@@ -1,0 +1,184 @@
+//! Batches: the unit of data exchanged between nodes.
+//!
+//! Algorithm 2 of the paper describes each node consuming a store `Ψ` of
+//! `(W_in, items)` pairs per time interval and emitting `(W_out, sample)`
+//! pairs. A [`Batch`] is one such pair: a set of items plus the weight
+//! metadata that accompanied them. The root node accumulates output batches
+//! into its `Θ` store before running the query.
+
+use crate::item::{StratumId, StreamItem};
+use crate::weight::WeightMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of stream items together with the weight metadata that travelled
+/// with them.
+///
+/// `weights` may be *partial*: a stratum present in `items` but absent from
+/// `weights` models the paper's Figure 3 situation where items and their
+/// weight crossed an interval boundary in transit. Receiving nodes resolve
+/// such strata through a [`crate::WeightStore`].
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+///
+/// let batch = Batch::from_items(vec![
+///     StreamItem::new(StratumId::new(0), 1.0),
+///     StreamItem::new(StratumId::new(0), 2.0),
+/// ]);
+/// assert_eq!(batch.len(), 2);
+/// assert!(batch.weights.is_empty()); // sources attach no weights
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Weight metadata accompanying the items (possibly partial).
+    pub weights: WeightMap,
+    /// The data items.
+    pub items: Vec<StreamItem>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Wraps raw source items (no weight metadata, i.e. all weights `1.0`).
+    pub fn from_items(items: Vec<StreamItem>) -> Self {
+        Batch { weights: WeightMap::new(), items }
+    }
+
+    /// Creates a batch with explicit weight metadata.
+    pub fn with_weights(weights: WeightMap, items: Vec<StreamItem>) -> Self {
+        Batch { weights, items }
+    }
+
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the batch carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Groups the items by stratum, preserving arrival order within each
+    /// stratum (line 5 of Algorithm 1, `Update(items)`).
+    pub fn stratify(&self) -> BTreeMap<StratumId, Vec<StreamItem>> {
+        let mut strata: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
+        for item in &self.items {
+            strata.entry(item.stratum).or_default().push(*item);
+        }
+        strata
+    }
+
+    /// The set of strata present in the batch, in ascending order.
+    pub fn strata(&self) -> Vec<StratumId> {
+        self.stratify().into_keys().collect()
+    }
+
+    /// Sum of item values, for ground-truth bookkeeping in tests/benches.
+    pub fn value_sum(&self) -> f64 {
+        self.items.iter().map(|i| i.value).sum()
+    }
+
+    /// Splits the batch into chunks of at most `chunk_len` items, replicating
+    /// the weight metadata only on the **first** chunk. This models the
+    /// paper's interval-split scenario (Figure 3) where trailing items arrive
+    /// without their weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn split_weight_first(&self, chunk_len: usize) -> Vec<Batch> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let mut out = Vec::new();
+        for (idx, chunk) in self.items.chunks(chunk_len).enumerate() {
+            let weights = if idx == 0 { self.weights.clone() } else { WeightMap::new() };
+            out.push(Batch { weights, items: chunk.to_vec() });
+        }
+        if out.is_empty() {
+            out.push(Batch { weights: self.weights.clone(), items: Vec::new() });
+        }
+        out
+    }
+}
+
+impl FromIterator<StreamItem> for Batch {
+    fn from_iter<I: IntoIterator<Item = StreamItem>>(iter: I) -> Self {
+        Batch::from_items(iter.into_iter().collect())
+    }
+}
+
+impl Extend<StreamItem> for Batch {
+    fn extend<I: IntoIterator<Item = StreamItem>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(stratum: u32, value: f64) -> StreamItem {
+        StreamItem::new(StratumId::new(stratum), value)
+    }
+
+    #[test]
+    fn stratify_groups_by_stratum_preserving_order() {
+        let batch = Batch::from_items(vec![item(1, 10.0), item(0, 1.0), item(1, 20.0)]);
+        let strata = batch.stratify();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[&StratumId::new(1)].len(), 2);
+        assert_eq!(strata[&StratumId::new(1)][0].value, 10.0);
+        assert_eq!(strata[&StratumId::new(1)][1].value, 20.0);
+        assert_eq!(batch.strata(), vec![StratumId::new(0), StratumId::new(1)]);
+    }
+
+    #[test]
+    fn value_sum_adds_all_items() {
+        let batch = Batch::from_items(vec![item(0, 1.5), item(1, 2.5)]);
+        assert_eq!(batch.value_sum(), 4.0);
+    }
+
+    #[test]
+    fn split_keeps_weights_only_on_first_chunk() {
+        let mut weights = WeightMap::new();
+        weights.set(StratumId::new(0), 1.5);
+        let batch = Batch::with_weights(
+            weights,
+            vec![item(0, 1.0), item(0, 2.0), item(0, 3.0)],
+        );
+        let chunks = batch.split_weight_first(2);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].weights.get(StratumId::new(0)), 1.5);
+        assert!(chunks[1].weights.is_empty());
+        assert_eq!(chunks[0].len() + chunks[1].len(), 3);
+    }
+
+    #[test]
+    fn split_of_empty_batch_yields_one_empty_chunk() {
+        let batch = Batch::new();
+        let chunks = batch.split_weight_first(4);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn split_rejects_zero_chunk() {
+        Batch::new().split_weight_first(0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let batch: Batch = (0..5).map(|i| item(0, i as f64)).collect();
+        assert_eq!(batch.len(), 5);
+        let mut batch = batch;
+        batch.extend([item(1, 9.0)]);
+        assert_eq!(batch.len(), 6);
+    }
+}

@@ -1,0 +1,294 @@
+//! Resource budgets and the cost function — Algorithm 2 line 3 and the
+//! adaptive feedback loop of §IV.
+//!
+//! The paper assumes "a cost function which translates a given query budget
+//! … into the appropriate sample size for a node". This module provides the
+//! concrete policies used by the reproduction:
+//!
+//! * [`SamplingBudget`] — a validated sampling fraction; the cost function
+//!   used throughout the evaluation (`sample size = ⌈fraction · arrivals⌉`).
+//! * [`CostFunction`] — the abstraction, for users with richer budget
+//!   models.
+//! * [`AdaptiveController`] — the §IV feedback mechanism: when the root's
+//!   error bound exceeds the user's accuracy budget, the sampling fraction
+//!   at all layers is refined upward for subsequent windows (and relaxed
+//!   downward when comfortably within budget).
+
+use std::fmt;
+
+/// Translates a node's resource budget into a per-interval sample size.
+///
+/// Implementations receive the number of items that arrived in the interval
+/// and return how many reservoir slots the node may spend on them.
+pub trait CostFunction {
+    /// Sample size for an interval in which `arrivals` items arrived.
+    fn sample_size(&self, arrivals: usize) -> usize;
+}
+
+/// A validated sampling fraction in `(0, 1]` acting as the evaluation's cost
+/// function.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{CostFunction, SamplingBudget};
+///
+/// let budget = SamplingBudget::new(0.10)?;
+/// assert_eq!(budget.sample_size(1000), 100);
+/// assert_eq!(budget.sample_size(5), 1); // never rounds a non-empty interval to zero
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingBudget {
+    fraction: f64,
+}
+
+impl SamplingBudget {
+    /// Creates a budget keeping `fraction` of arriving items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64) -> Result<Self, BudgetError> {
+        if fraction.is_finite() && fraction > 0.0 && fraction <= 1.0 {
+            Ok(SamplingBudget { fraction })
+        } else {
+            Err(BudgetError { fraction })
+        }
+    }
+
+    /// The sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+impl CostFunction for SamplingBudget {
+    fn sample_size(&self, arrivals: usize) -> usize {
+        if arrivals == 0 {
+            0
+        } else {
+            ((self.fraction * arrivals as f64).ceil() as usize).clamp(1, arrivals)
+        }
+    }
+}
+
+impl Default for SamplingBudget {
+    /// The default budget keeps everything (fraction `1.0`).
+    fn default() -> Self {
+        SamplingBudget { fraction: 1.0 }
+    }
+}
+
+/// A fixed absolute sample size per interval, independent of arrivals —
+/// models a node with a hard memory cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedSize(pub usize);
+
+impl CostFunction for FixedSize {
+    fn sample_size(&self, arrivals: usize) -> usize {
+        self.0.min(arrivals)
+    }
+}
+
+/// Error returned for a sampling fraction outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetError {
+    fraction: f64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sampling fraction must be in (0, 1], got {}", self.fraction)
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// The §IV adaptive feedback mechanism.
+///
+/// After each window the root compares the observed relative error bound
+/// against the user's accuracy budget and multiplicatively refines the
+/// sampling fraction for subsequent windows: too much error → sample more;
+/// comfortably under budget → sample less (to save resources), with
+/// hysteresis so the fraction does not oscillate.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::AdaptiveController;
+///
+/// let mut ctl = AdaptiveController::new(0.10, 0.01)?; // start at 10%, target 1% error
+/// let f = ctl.observe(0.05); // error 5× over budget → fraction grows
+/// assert!(f > 0.10);
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveController {
+    fraction: f64,
+    target_rel_error: f64,
+    min_fraction: f64,
+    max_fraction: f64,
+    /// Errors below `relax_ratio * target` allow the fraction to shrink.
+    relax_ratio: f64,
+    /// Per-window multiplicative step cap.
+    max_step: f64,
+}
+
+impl AdaptiveController {
+    /// Creates a controller starting at `fraction` with an accuracy budget
+    /// of `target_rel_error` (relative error bound, e.g. `0.01` for 1%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64, target_rel_error: f64) -> Result<Self, BudgetError> {
+        let budget = SamplingBudget::new(fraction)?;
+        Ok(AdaptiveController {
+            fraction: budget.fraction(),
+            target_rel_error: target_rel_error.max(f64::MIN_POSITIVE),
+            min_fraction: 0.01,
+            max_fraction: 1.0,
+            relax_ratio: 0.5,
+            max_step: 2.0,
+        })
+    }
+
+    /// Restricts the fraction range (both clamped to `(0, 1]`,
+    /// `min <= max`).
+    pub fn with_bounds(mut self, min_fraction: f64, max_fraction: f64) -> Self {
+        let min = min_fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        let max = max_fraction.clamp(min, 1.0);
+        self.min_fraction = min;
+        self.max_fraction = max;
+        self.fraction = self.fraction.clamp(min, max);
+        self
+    }
+
+    /// Current sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The accuracy budget (target relative error bound).
+    pub fn target(&self) -> f64 {
+        self.target_rel_error
+    }
+
+    /// Feeds back one window's observed relative error bound; returns the
+    /// refined fraction to use for the next window.
+    pub fn observe(&mut self, observed_rel_error: f64) -> f64 {
+        let observed = observed_rel_error.max(0.0);
+        let ratio = observed / self.target_rel_error;
+        let step = if ratio > 1.0 {
+            // Over budget: grow fraction, proportional to overshoot, capped.
+            ratio.min(self.max_step)
+        } else if ratio < self.relax_ratio {
+            // Comfortably under budget: shrink gently (half the headroom).
+            let shrink = (ratio / self.relax_ratio).max(1.0 / self.max_step);
+            shrink.max(0.5)
+        } else {
+            1.0 // within the hysteresis band: hold
+        };
+        self.fraction = (self.fraction * step).clamp(self.min_fraction, self.max_fraction);
+        self.fraction
+    }
+
+    /// The current budget as a [`SamplingBudget`].
+    pub fn budget(&self) -> SamplingBudget {
+        SamplingBudget { fraction: self.fraction }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validates_fraction() {
+        assert!(SamplingBudget::new(0.0).is_err());
+        assert!(SamplingBudget::new(1.01).is_err());
+        assert!(SamplingBudget::new(f64::INFINITY).is_err());
+        assert!(SamplingBudget::new(0.5).is_ok());
+        let err = SamplingBudget::new(0.0).unwrap_err();
+        assert!(err.to_string().contains("(0, 1]"));
+    }
+
+    #[test]
+    fn sample_size_rounds_up_and_clamps() {
+        let b = SamplingBudget::new(0.1).expect("valid");
+        assert_eq!(b.sample_size(1000), 100);
+        assert_eq!(b.sample_size(1001), 101); // ceil
+        assert_eq!(b.sample_size(3), 1);
+        assert_eq!(b.sample_size(0), 0);
+        let full = SamplingBudget::new(1.0).expect("valid");
+        assert_eq!(full.sample_size(7), 7);
+    }
+
+    #[test]
+    fn default_budget_keeps_everything() {
+        assert_eq!(SamplingBudget::default().fraction(), 1.0);
+    }
+
+    #[test]
+    fn fixed_size_caps_at_arrivals() {
+        let f = FixedSize(50);
+        assert_eq!(f.sample_size(1000), 50);
+        assert_eq!(f.sample_size(10), 10);
+    }
+
+    #[test]
+    fn controller_grows_when_over_budget() {
+        let mut ctl = AdaptiveController::new(0.1, 0.01).expect("valid");
+        let f1 = ctl.observe(0.05);
+        assert!(f1 > 0.1, "5x overshoot should grow the fraction");
+        let f2 = ctl.observe(0.05);
+        assert!(f2 > f1);
+    }
+
+    #[test]
+    fn controller_step_is_capped() {
+        let mut ctl = AdaptiveController::new(0.1, 0.001).expect("valid");
+        let f = ctl.observe(1.0); // 1000x overshoot
+        assert!(f <= 0.1 * 2.0 + 1e-12, "per-window growth capped at 2x");
+    }
+
+    #[test]
+    fn controller_shrinks_when_comfortably_under() {
+        let mut ctl = AdaptiveController::new(0.8, 0.10).expect("valid");
+        let f = ctl.observe(0.001);
+        assert!(f < 0.8);
+    }
+
+    #[test]
+    fn controller_holds_within_hysteresis_band() {
+        let mut ctl = AdaptiveController::new(0.4, 0.10).expect("valid");
+        let f = ctl.observe(0.08); // between 0.5*target and target
+        assert_eq!(f, 0.4);
+    }
+
+    #[test]
+    fn controller_respects_bounds() {
+        let mut ctl = AdaptiveController::new(0.5, 0.01)
+            .expect("valid")
+            .with_bounds(0.2, 0.6);
+        for _ in 0..20 {
+            ctl.observe(10.0);
+        }
+        assert!(ctl.fraction() <= 0.6);
+        for _ in 0..40 {
+            ctl.observe(0.0);
+        }
+        assert!(ctl.fraction() >= 0.2);
+    }
+
+    #[test]
+    fn controller_fraction_never_exceeds_one() {
+        let mut ctl = AdaptiveController::new(0.9, 0.0001).expect("valid");
+        for _ in 0..10 {
+            ctl.observe(1.0);
+        }
+        assert!(ctl.fraction() <= 1.0);
+        assert_eq!(ctl.budget().fraction(), ctl.fraction());
+    }
+}

@@ -1,0 +1,223 @@
+//! Error bounds for approximate results — paper §III-D.
+//!
+//! ApproxIoT reports every approximate answer as `value ± error` where the
+//! error is derived from the estimator's variance via the *68–95–99.7 rule*:
+//! the true value lies within one, two or three standard deviations of the
+//! estimate with probability ≈68%, ≈95% and ≈99.7% respectively.
+
+use std::fmt;
+
+/// Confidence level for an error bound, expressed as a number of standard
+/// deviations per the 68–95–99.7 rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Confidence {
+    /// One standard deviation: ≈68% coverage.
+    P68,
+    /// Two standard deviations: ≈95% coverage (the default used in the
+    /// paper's evaluation figures).
+    #[default]
+    P95,
+    /// Three standard deviations: ≈99.7% coverage.
+    P997,
+}
+
+impl Confidence {
+    /// The multiplier applied to the standard deviation.
+    pub fn sigmas(self) -> f64 {
+        match self {
+            Confidence::P68 => 1.0,
+            Confidence::P95 => 2.0,
+            Confidence::P997 => 3.0,
+        }
+    }
+
+    /// Nominal coverage probability of the bound.
+    pub fn probability(self) -> f64 {
+        match self {
+            Confidence::P68 => 0.68,
+            Confidence::P95 => 0.95,
+            Confidence::P997 => 0.997,
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::P68 => write!(f, "68%"),
+            Confidence::P95 => write!(f, "95%"),
+            Confidence::P997 => write!(f, "99.7%"),
+        }
+    }
+}
+
+/// An approximate result with its estimated variance: the `result ± error`
+/// the root node emits (Algorithm 2 line 25).
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Confidence, Estimate};
+///
+/// let est = Estimate::new(100.0, 4.0); // variance 4 → σ = 2
+/// assert_eq!(est.std_dev(), 2.0);
+/// assert_eq!(est.bound(Confidence::P95), 4.0); // 2σ
+/// assert_eq!(est.interval(Confidence::P95), (96.0, 104.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Estimate {
+    /// The approximate value.
+    pub value: f64,
+    /// Estimated variance of the value.
+    pub variance: f64,
+}
+
+impl Estimate {
+    /// Creates an estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is negative or either argument is NaN.
+    pub fn new(value: f64, variance: f64) -> Self {
+        assert!(!value.is_nan(), "estimate value must not be NaN");
+        assert!(
+            variance >= 0.0 && !variance.is_nan(),
+            "variance must be non-negative, got {variance}"
+        );
+        Estimate { value, variance }
+    }
+
+    /// Standard deviation of the estimate.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// The ± error at the given confidence level.
+    pub fn bound(&self, confidence: Confidence) -> f64 {
+        confidence.sigmas() * self.std_dev()
+    }
+
+    /// The error bound relative to the value's magnitude; `None` when the
+    /// value is zero.
+    pub fn relative_bound(&self, confidence: Confidence) -> Option<f64> {
+        if self.value == 0.0 {
+            None
+        } else {
+            Some(self.bound(confidence) / self.value.abs())
+        }
+    }
+
+    /// The `(low, high)` confidence interval.
+    pub fn interval(&self, confidence: Confidence) -> (f64, f64) {
+        let b = self.bound(confidence);
+        (self.value - b, self.value + b)
+    }
+
+    /// Returns `true` when `truth` falls inside the confidence interval.
+    pub fn covers(&self, truth: f64, confidence: Confidence) -> bool {
+        let (lo, hi) = self.interval(confidence);
+        lo <= truth && truth <= hi
+    }
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ± {}", self.value, self.bound(Confidence::P95))
+    }
+}
+
+/// Relative accuracy loss — the paper's headline metric:
+/// `|approx − exact| / |exact|`.
+///
+/// Returns `0.0` when both values are zero and infinity when only `exact`
+/// is zero, mirroring how the paper's plots treat degenerate windows.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::accuracy_loss;
+///
+/// assert_eq!(accuracy_loss(98.0, 100.0), 0.02);
+/// assert_eq!(accuracy_loss(0.0, 0.0), 0.0);
+/// ```
+pub fn accuracy_loss(approx: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if approx == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (approx - exact).abs() / exact.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_sigmas_follow_rule() {
+        assert_eq!(Confidence::P68.sigmas(), 1.0);
+        assert_eq!(Confidence::P95.sigmas(), 2.0);
+        assert_eq!(Confidence::P997.sigmas(), 3.0);
+        assert_eq!(Confidence::P95.probability(), 0.95);
+        assert_eq!(Confidence::P68.to_string(), "68%");
+    }
+
+    #[test]
+    fn default_confidence_is_95() {
+        assert_eq!(Confidence::default(), Confidence::P95);
+    }
+
+    #[test]
+    fn bound_scales_with_confidence() {
+        let est = Estimate::new(10.0, 9.0);
+        assert_eq!(est.bound(Confidence::P68), 3.0);
+        assert_eq!(est.bound(Confidence::P95), 6.0);
+        assert_eq!(est.bound(Confidence::P997), 9.0);
+    }
+
+    #[test]
+    fn interval_and_coverage() {
+        let est = Estimate::new(50.0, 25.0); // σ = 5
+        assert_eq!(est.interval(Confidence::P68), (45.0, 55.0));
+        assert!(est.covers(47.0, Confidence::P68));
+        assert!(!est.covers(40.0, Confidence::P68));
+        assert!(est.covers(40.0, Confidence::P95));
+    }
+
+    #[test]
+    fn relative_bound_handles_zero_value() {
+        assert_eq!(Estimate::new(0.0, 1.0).relative_bound(Confidence::P95), None);
+        let est = Estimate::new(200.0, 100.0); // σ = 10, 2σ = 20
+        assert_eq!(est.relative_bound(Confidence::P95), Some(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be non-negative")]
+    fn rejects_negative_variance() {
+        Estimate::new(1.0, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan_value() {
+        Estimate::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn accuracy_loss_matches_definition() {
+        assert_eq!(accuracy_loss(110.0, 100.0), 0.1);
+        assert_eq!(accuracy_loss(90.0, 100.0), 0.1);
+        assert_eq!(accuracy_loss(-90.0, -100.0), 0.1);
+        assert_eq!(accuracy_loss(5.0, 0.0), f64::INFINITY);
+        assert_eq!(accuracy_loss(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn display_shows_value_and_bound() {
+        let est = Estimate::new(10.0, 4.0);
+        assert_eq!(est.to_string(), "10 ± 4");
+    }
+}

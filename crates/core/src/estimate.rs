@@ -1,0 +1,373 @@
+//! The root node's estimators — Equations 3–5, 8 and 13 of the paper.
+//!
+//! The root accumulates `(W_out, sample)` pairs into a store `Θ` during each
+//! window and, at window close, turns them into:
+//!
+//! * per-stratum **SUM** estimates: `SUM_i = Σ_pairs (Σ items) · W_out_i`,
+//! * the reconstructed ground-truth **count** `ĉ_i,b = Σ_pairs |I_i| · W_out_i`
+//!   (Equation 8 — exact by the count-reconstruction invariant),
+//! * the global `SUM* = Σ_i SUM_i` and `MEAN* = SUM* / Σ_i ĉ_i,b`, and
+//! * variance estimates for both (Equations 11 and 14), from which
+//!   [`crate::Estimate`] derives the "68–95–99.7" error bounds.
+
+use crate::error::Estimate;
+use crate::item::StratumId;
+use crate::sampling::whs::WhsOutput;
+use std::collections::BTreeMap;
+
+/// Per-stratum aggregates the root derives from its `Θ` store.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StratumEstimate {
+    /// Estimated sum of the stratum's original items (`SUM_i`, Equation 3).
+    pub sum: f64,
+    /// Reconstructed original item count (`ĉ_i,b`, Equation 8).
+    pub count_hat: f64,
+    /// Number of sampled items seen at the root (`ζ` in Equation 11).
+    pub zeta: u64,
+    /// Mean of the sampled item values (`Ī` in Equation 12).
+    pub sample_mean: f64,
+    /// Sample variance of the sampled item values (`s²`, Equation 12).
+    pub sample_variance: f64,
+    /// Estimated variance of `SUM_i` (Equation 11).
+    pub sum_variance: f64,
+}
+
+/// The root's buffer of `(W_out, sample)` pairs for one window (`Θ` in
+/// Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem, ThetaStore, WeightMap, WhsOutput};
+///
+/// let mut theta = ThetaStore::new();
+/// let mut weights = WeightMap::new();
+/// weights.set(StratumId::new(0), 3.0);
+/// theta.push(WhsOutput {
+///     weights,
+///     sample: vec![StreamItem::new(StratumId::new(0), 5.0)],
+/// });
+/// let sum = theta.sum_estimate();
+/// assert_eq!(sum.value, 15.0); // 5.0 * weight 3
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThetaStore {
+    pairs: Vec<WhsOutput>,
+}
+
+impl ThetaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ThetaStore { pairs: Vec::new() }
+    }
+
+    /// Appends one `(W_out, sample)` pair (line 16 of Algorithm 2).
+    pub fn push(&mut self, output: WhsOutput) {
+        self.pairs.push(output);
+    }
+
+    /// Number of buffered pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` when no pair is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Drops all buffered pairs for the next window.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+    }
+
+    /// The buffered pairs.
+    pub fn pairs(&self) -> &[WhsOutput] {
+        &self.pairs
+    }
+
+    /// Total number of sampled items buffered (across strata).
+    pub fn sampled_items(&self) -> usize {
+        self.pairs.iter().map(|p| p.sample.len()).sum()
+    }
+
+    /// Computes all per-stratum aggregates (Equations 3, 8, 11, 12).
+    pub fn stratum_estimates(&self) -> BTreeMap<StratumId, StratumEstimate> {
+        // First pass: per-stratum sums, weighted counts, raw moments.
+        #[derive(Default)]
+        struct Acc {
+            sum: f64,
+            count_hat: f64,
+            zeta: u64,
+            value_sum: f64,
+            value_sq_sum: f64,
+        }
+        let mut accs: BTreeMap<StratumId, Acc> = BTreeMap::new();
+        for pair in &self.pairs {
+            // Group this pair's items by stratum.
+            let mut per: BTreeMap<StratumId, (f64, u64, f64)> = BTreeMap::new();
+            for item in &pair.sample {
+                let e = per.entry(item.stratum).or_insert((0.0, 0, 0.0));
+                e.0 += item.value;
+                e.1 += 1;
+                e.2 += item.value * item.value;
+            }
+            for (stratum, (vsum, n, vsq)) in per {
+                let w = pair.weights.get(stratum);
+                let acc = accs.entry(stratum).or_default();
+                acc.sum += vsum * w;
+                acc.count_hat += n as f64 * w;
+                acc.zeta += n;
+                acc.value_sum += vsum;
+                acc.value_sq_sum += vsq;
+            }
+        }
+        accs.into_iter()
+            .map(|(stratum, acc)| {
+                let zeta = acc.zeta;
+                let mean = if zeta > 0 { acc.value_sum / zeta as f64 } else { 0.0 };
+                let s2 = if zeta > 1 {
+                    // Numerically the two-pass form is better, but Θ items are
+                    // gone after grouping; use the corrected sum-of-squares
+                    // guarded against tiny negative round-off.
+                    ((acc.value_sq_sum - zeta as f64 * mean * mean) / (zeta as f64 - 1.0)).max(0.0)
+                } else {
+                    0.0
+                };
+                let c = acc.count_hat;
+                let fpc = (c - zeta as f64).max(0.0);
+                let var = if zeta > 0 { c * fpc * s2 / zeta as f64 } else { 0.0 };
+                (
+                    stratum,
+                    StratumEstimate {
+                        sum: acc.sum,
+                        count_hat: c,
+                        zeta,
+                        sample_mean: mean,
+                        sample_variance: s2,
+                        sum_variance: var,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The approximate total sum over all strata with its variance
+    /// (`SUM*`, Equations 4 and 10–11).
+    pub fn sum_estimate(&self) -> Estimate {
+        let per = self.stratum_estimates();
+        let value: f64 = per.values().map(|e| e.sum).sum();
+        let variance: f64 = per.values().map(|e| e.sum_variance).sum();
+        Estimate::new(value, variance)
+    }
+
+    /// The approximate mean over all strata with its variance
+    /// (`MEAN*`, Equations 13–14).
+    ///
+    /// Returns an estimate of `0` with zero variance when the store is
+    /// empty.
+    pub fn mean_estimate(&self) -> Estimate {
+        let per = self.stratum_estimates();
+        let total_count: f64 = per.values().map(|e| e.count_hat).sum();
+        if total_count <= 0.0 {
+            return Estimate::new(0.0, 0.0);
+        }
+        let mut value = 0.0;
+        let mut variance = 0.0;
+        for est in per.values() {
+            let phi = est.count_hat / total_count;
+            if est.zeta == 0 || est.count_hat <= 0.0 {
+                continue;
+            }
+            let mean_i = est.sum / est.count_hat;
+            value += phi * mean_i;
+            let fpc = ((est.count_hat - est.zeta as f64) / est.count_hat).max(0.0);
+            variance += phi * phi * est.sample_variance / est.zeta as f64 * fpc;
+        }
+        Estimate::new(value, variance)
+    }
+
+    /// The reconstructed total item count `Σ_i ĉ_i,b` (Equation 8 summed).
+    pub fn count_estimate(&self) -> f64 {
+        self.stratum_estimates().values().map(|e| e.count_hat).sum()
+    }
+}
+
+impl FromIterator<WhsOutput> for ThetaStore {
+    fn from_iter<I: IntoIterator<Item = WhsOutput>>(iter: I) -> Self {
+        ThetaStore { pairs: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<WhsOutput> for ThetaStore {
+    fn extend<I: IntoIterator<Item = WhsOutput>>(&mut self, iter: I) {
+        self.pairs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::item::StreamItem;
+    use crate::sampling::allocation::Allocation;
+    use crate::sampling::whs::whs_sample;
+    use crate::weight::WeightMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn s(i: u32) -> StratumId {
+        StratumId::new(i)
+    }
+
+    fn pair(stratum: u32, weight: f64, values: &[f64]) -> WhsOutput {
+        let mut weights = WeightMap::new();
+        weights.set(s(stratum), weight);
+        WhsOutput {
+            weights,
+            sample: values.iter().map(|&v| StreamItem::new(s(stratum), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_figure_3_worked_example() {
+        // Θ at root C holds (3, {item 5}) and (3, {item 3}); with item value
+        // equal to its index the estimated sum is 3*5 + 3*3 = 24.
+        let mut theta = ThetaStore::new();
+        theta.push(pair(0, 3.0, &[5.0]));
+        theta.push(pair(0, 3.0, &[3.0]));
+        assert_eq!(theta.sum_estimate().value, 24.0);
+        assert_eq!(theta.len(), 2);
+        assert_eq!(theta.sampled_items(), 2);
+    }
+
+    #[test]
+    fn empty_store_yields_zero_estimates() {
+        let theta = ThetaStore::new();
+        assert_eq!(theta.sum_estimate().value, 0.0);
+        assert_eq!(theta.mean_estimate().value, 0.0);
+        assert_eq!(theta.count_estimate(), 0.0);
+        assert!(theta.is_empty());
+    }
+
+    #[test]
+    fn count_hat_reconstructs_ground_truth_through_whs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let items: Vec<_> = (0..500).map(|i| StreamItem::new(s(0), i as f64)).collect();
+        let out = whs_sample(
+            &Batch::from_items(items),
+            50,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
+        let theta: ThetaStore = [out].into_iter().collect();
+        assert!((theta.count_estimate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsampled_store_is_exact() {
+        // When weights are all 1 (no sampling happened) both SUM* and MEAN*
+        // are exact with zero variance.
+        let mut theta = ThetaStore::new();
+        theta.push(pair(0, 1.0, &[1.0, 2.0, 3.0]));
+        theta.push(pair(1, 1.0, &[10.0]));
+        let sum = theta.sum_estimate();
+        assert_eq!(sum.value, 16.0);
+        assert_eq!(sum.variance, 0.0);
+        let mean = theta.mean_estimate();
+        assert!((mean.value - 4.0).abs() < 1e-12);
+        assert_eq!(mean.variance, 0.0);
+    }
+
+    #[test]
+    fn variance_grows_with_weight() {
+        // Same sampled values, heavier weight → larger extrapolation → more
+        // variance.
+        let light: ThetaStore = [pair(0, 2.0, &[1.0, 5.0, 9.0])].into_iter().collect();
+        let heavy: ThetaStore = [pair(0, 20.0, &[1.0, 5.0, 9.0])].into_iter().collect();
+        assert!(heavy.sum_estimate().variance > light.sum_estimate().variance);
+    }
+
+    #[test]
+    fn zero_variance_for_constant_values() {
+        let theta: ThetaStore = [pair(0, 4.0, &[7.0, 7.0, 7.0])].into_iter().collect();
+        let est = theta.sum_estimate();
+        assert_eq!(est.variance, 0.0, "constant samples have s² = 0");
+        assert!((est.value - 4.0 * 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sampled_item_has_zero_s2_but_valid_sum() {
+        let theta: ThetaStore = [pair(0, 10.0, &[3.0])].into_iter().collect();
+        let per = theta.stratum_estimates();
+        let e = &per[&s(0)];
+        assert_eq!(e.zeta, 1);
+        assert_eq!(e.sample_variance, 0.0);
+        assert_eq!(e.sum, 30.0);
+        assert_eq!(e.count_hat, 10.0);
+    }
+
+    #[test]
+    fn strata_are_independent_in_the_store() {
+        let mut theta = ThetaStore::new();
+        theta.push(pair(0, 2.0, &[1.0]));
+        theta.push(pair(1, 5.0, &[10.0, 20.0]));
+        let per = theta.stratum_estimates();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[&s(0)].sum, 2.0);
+        assert_eq!(per[&s(1)].sum, 150.0);
+        assert_eq!(per[&s(1)].count_hat, 10.0);
+    }
+
+    #[test]
+    fn mean_estimate_weights_strata_by_count() {
+        // Stratum 0: 90 original items of value 1; stratum 1: 10 of value 11.
+        // True mean = (90*1 + 10*11)/100 = 2.0.
+        let mut theta = ThetaStore::new();
+        theta.push(pair(0, 30.0, &[1.0, 1.0, 1.0])); // ĉ = 90
+        theta.push(pair(1, 5.0, &[11.0, 11.0])); // ĉ = 10
+        let mean = theta.mean_estimate();
+        assert!((mean.value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_estimate_is_unbiased_over_repeated_sampling() {
+        // End-to-end with real WHS: the average of many estimates converges
+        // to the true sum.
+        let mut rng = StdRng::seed_from_u64(22);
+        let items: Vec<_> = (0..2_000)
+            .map(|i| StreamItem::new(s((i % 4) as u32), (i % 13) as f64))
+            .collect();
+        let batch = Batch::from_items(items);
+        let truth = batch.value_sum();
+        let trials = 300;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let out = whs_sample(&batch, 200, &WeightMap::new(), Allocation::Uniform, &mut rng);
+            let theta: ThetaStore = [out].into_iter().collect();
+            acc += theta.sum_estimate().value;
+        }
+        let mean_est = acc / trials as f64;
+        assert!(
+            (mean_est - truth).abs() / truth < 0.02,
+            "mean estimate {mean_est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn clear_resets_for_next_window() {
+        let mut theta: ThetaStore = [pair(0, 1.0, &[1.0])].into_iter().collect();
+        theta.clear();
+        assert!(theta.is_empty());
+        assert_eq!(theta.sum_estimate().value, 0.0);
+    }
+
+    #[test]
+    fn extend_appends_pairs() {
+        let mut theta = ThetaStore::new();
+        theta.extend([pair(0, 1.0, &[1.0]), pair(0, 1.0, &[2.0])]);
+        assert_eq!(theta.len(), 2);
+        assert_eq!(theta.sum_estimate().value, 3.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The data model shared by every layer of an ApproxIoT pipeline.
+//!
+//! A *stream item* is a single measurement produced by an IoT source. Items
+//! belong to a *stratum* (the paper's "sub-stream"): all items from sources
+//! that follow the same distribution share a [`StratumId`], and every
+//! sampling decision in the system is made per stratum.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a stratum (the paper's *sub-stream*).
+///
+/// Each data source — or group of sources with the same distribution — is
+/// assigned one `StratumId`. Stratified sampling guarantees every stratum is
+/// represented in the sample regardless of its arrival rate.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::StratumId;
+///
+/// let a = StratumId::new(0);
+/// let b = StratumId::new(1);
+/// assert_ne!(a, b);
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StratumId(u32);
+
+impl StratumId {
+    /// Creates a stratum identifier from a dense index.
+    pub const fn new(index: u32) -> Self {
+        StratumId(index)
+    }
+
+    /// Returns the dense index backing this identifier.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for StratumId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for StratumId {
+    fn from(index: u32) -> Self {
+        StratumId(index)
+    }
+}
+
+/// A single measurement flowing through the pipeline.
+///
+/// The `value` is what queries aggregate (taxi fare, pollutant reading, …);
+/// `source_ts` is the event time assigned at the source, in nanoseconds of
+/// the driving clock (simulated or wall), and `seq` is the per-stratum
+/// sequence number assigned at the source, used by tests to check sampling
+/// uniformity.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{StratumId, StreamItem};
+///
+/// let item = StreamItem::new(StratumId::new(3), 42.5);
+/// assert_eq!(item.stratum, StratumId::new(3));
+/// assert_eq!(item.value, 42.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamItem {
+    /// Stratum (sub-stream) this item belongs to.
+    pub stratum: StratumId,
+    /// The measured value aggregated by queries.
+    pub value: f64,
+    /// Per-stratum sequence number assigned at the source.
+    pub seq: u64,
+    /// Event time at the source, in nanoseconds.
+    pub source_ts: u64,
+}
+
+impl StreamItem {
+    /// Creates an item with zero sequence number and timestamp.
+    pub fn new(stratum: StratumId, value: f64) -> Self {
+        StreamItem { stratum, value, seq: 0, source_ts: 0 }
+    }
+
+    /// Creates an item with full provenance metadata.
+    pub fn with_meta(stratum: StratumId, value: f64, seq: u64, source_ts: u64) -> Self {
+        StreamItem { stratum, value, seq, source_ts }
+    }
+}
+
+/// Types that expose a numeric measurement so that estimators can aggregate
+/// them.
+///
+/// Implemented for [`StreamItem`] and for bare `f64`, which keeps the
+/// samplers usable in unit tests without constructing full items.
+pub trait Measure {
+    /// Returns the numeric value aggregated by SUM/MEAN queries.
+    fn measure(&self) -> f64;
+}
+
+impl Measure for StreamItem {
+    fn measure(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Measure for f64 {
+    fn measure(&self) -> f64 {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratum_id_roundtrip() {
+        let id = StratumId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(StratumId::from(7u32), id);
+        assert_eq!(id.to_string(), "S7");
+    }
+
+    #[test]
+    fn stratum_id_ordering_follows_index() {
+        assert!(StratumId::new(1) < StratumId::new(2));
+    }
+
+    #[test]
+    fn item_constructors_set_fields() {
+        let i = StreamItem::with_meta(StratumId::new(1), 2.5, 9, 100);
+        assert_eq!(i.seq, 9);
+        assert_eq!(i.source_ts, 100);
+        let j = StreamItem::new(StratumId::new(1), 2.5);
+        assert_eq!(j.seq, 0);
+    }
+
+    #[test]
+    fn measure_trait_returns_value() {
+        let i = StreamItem::new(StratumId::new(0), 3.25);
+        assert_eq!(i.measure(), 3.25);
+        assert_eq!(4.5f64.measure(), 4.5);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", StratumId::new(0)).is_empty());
+        assert!(!format!("{:?}", StreamItem::new(StratumId::new(0), 0.0)).is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! # approxiot-core
+//!
+//! Core algorithms of **ApproxIoT** (Wen et al., ICDCS 2018): *weighted
+//! hierarchical sampling* for approximate stream analytics at the edge.
+//!
+//! The idea: arrange edge computing nodes in a logical tree. Every node
+//! independently stratifies its input by source, reservoir-samples each
+//! stratum within a per-interval budget, and multiplies a per-stratum
+//! *weight* by `c/N` whenever a stratum overflowed its reservoir. The root
+//! reconstructs unbiased SUM/MEAN estimates — with rigorous error bounds —
+//! from the weighted samples, with **no cross-node coordination**.
+//!
+//! This crate is pure algorithms: samplers, weight bookkeeping, estimators,
+//! error bounds and budget policies. The companion crates provide the
+//! messaging substrate (`approxiot-mq`), WAN emulation (`approxiot-net`),
+//! the stream-processing runtime (`approxiot-streams`, `approxiot-runtime`)
+//! and workload generators (`approxiot-workload`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use approxiot_core::{
+//!     whs_sample, Allocation, Batch, Confidence, StratumId, StreamItem, ThetaStore, WeightMap,
+//! };
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//!
+//! // A batch mixing two sub-streams of very different rates.
+//! let mut items = Vec::new();
+//! for i in 0..900 {
+//!     items.push(StreamItem::new(StratumId::new(0), 1.0 + (i % 7) as f64));
+//! }
+//! for _ in 0..100 {
+//!     items.push(StreamItem::new(StratumId::new(1), 1000.0));
+//! }
+//! let batch = Batch::from_items(items);
+//! let truth = batch.value_sum();
+//!
+//! // Sample 20% of it with weighted hierarchical sampling...
+//! let out = whs_sample(&batch, 200, &WeightMap::new(), Allocation::Uniform, &mut rng);
+//!
+//! // ...and recover an estimate with an error bound at the root.
+//! let theta: ThetaStore = [out].into_iter().collect();
+//! let est = theta.sum_estimate();
+//! assert!(est.covers(truth, Confidence::P997));
+//! ```
+
+pub mod batch;
+pub mod budget;
+pub mod error;
+pub mod estimate;
+pub mod item;
+pub mod quantile;
+pub mod sampling;
+pub mod stats;
+pub mod weight;
+
+pub use batch::Batch;
+pub use budget::{AdaptiveController, BudgetError, CostFunction, FixedSize, SamplingBudget};
+pub use error::{accuracy_loss, Confidence, Estimate};
+pub use estimate::{StratumEstimate, ThetaStore};
+pub use item::{Measure, StratumId, StreamItem};
+pub use sampling::allocation::Allocation;
+pub use sampling::reservoir::{Reservoir, SkipReservoir};
+pub use sampling::sharded::sharded_whs_sample;
+pub use sampling::srs::{InvalidFractionError, SrsSampler};
+pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler};
+pub use weight::{WeightMap, WeightStore};

@@ -1,0 +1,244 @@
+//! Sample-size allocation across strata (`getSampleSize` in Algorithm 1).
+//!
+//! The paper leaves the per-stratum reservoir sizing policy abstract (line 7
+//! of Algorithm 1). This module provides the policies used by the
+//! evaluation plus one ablation:
+//!
+//! * [`Allocation::Uniform`] — split the interval's sample budget equally
+//!   across the strata seen in the interval. This is the fairness-first
+//!   policy the paper's accuracy argument relies on (no stratum is starved
+//!   regardless of arrival rate).
+//! * [`Allocation::Proportional`] — size each stratum's reservoir in
+//!   proportion to its arrival count in the batch. This degenerates towards
+//!   simple random sampling and is used as an ablation in the benches.
+
+use crate::item::StratumId;
+use std::collections::BTreeMap;
+
+/// Policy deciding each stratum's reservoir capacity from the interval
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Allocation {
+    /// Equal share per stratum (paper's fairness-first policy).
+    #[default]
+    Uniform,
+    /// Share proportional to the stratum's item count (SRS-like ablation).
+    Proportional,
+}
+
+impl Allocation {
+    /// Computes the per-stratum reservoir sizes (`N` map of Algorithm 1).
+    ///
+    /// `counts` maps each stratum to the number of items it contributed in
+    /// the interval; `sample_size` is the node's total budget for the
+    /// interval. The returned sizes sum to at most `sample_size` and are
+    /// never larger than needed for their stratum.
+    ///
+    /// With [`Allocation::Uniform`], budget left over by small strata (those
+    /// with fewer items than their equal share) is redistributed to the
+    /// remaining strata, so the budget is not wasted when strata are
+    /// unbalanced.
+    pub fn reservoir_sizes(
+        self,
+        counts: &BTreeMap<StratumId, usize>,
+        sample_size: usize,
+    ) -> BTreeMap<StratumId, usize> {
+        match self {
+            Allocation::Uniform => uniform_sizes(counts, sample_size),
+            Allocation::Proportional => proportional_sizes(counts, sample_size),
+        }
+    }
+}
+
+/// Equal share with redistribution: repeatedly give every unsatisfied
+/// stratum an equal slice of the remaining budget; strata needing less than
+/// their slice are capped at their count and the slack is recycled.
+fn uniform_sizes(
+    counts: &BTreeMap<StratumId, usize>,
+    sample_size: usize,
+) -> BTreeMap<StratumId, usize> {
+    let mut sizes: BTreeMap<StratumId, usize> = counts.keys().map(|&s| (s, 0)).collect();
+    if counts.is_empty() || sample_size == 0 {
+        return sizes;
+    }
+    let mut remaining_budget = sample_size;
+    // Strata still able to absorb more budget.
+    let mut open: Vec<StratumId> = counts.keys().copied().collect();
+    while remaining_budget > 0 && !open.is_empty() {
+        let share = remaining_budget / open.len();
+        if share == 0 {
+            // Fewer budget units than open strata: hand out one slot each in
+            // stratum order until the budget is gone.
+            for s in open.iter().take(remaining_budget) {
+                *sizes.get_mut(s).expect("open stratum present in sizes") += 1;
+            }
+            break;
+        }
+        let mut next_open = Vec::with_capacity(open.len());
+        let mut spent = 0usize;
+        for s in &open {
+            let need = counts[s] - sizes[s];
+            let give = need.min(share);
+            *sizes.get_mut(s).expect("open stratum present in sizes") += give;
+            spent += give;
+            if sizes[s] < counts[s] {
+                next_open.push(*s);
+            }
+        }
+        remaining_budget -= spent;
+        if spent == 0 {
+            break; // every open stratum is satisfied
+        }
+        open = next_open;
+    }
+    sizes
+}
+
+/// Proportional share using largest-remainder rounding so the total equals
+/// `min(sample_size, total_count)`.
+fn proportional_sizes(
+    counts: &BTreeMap<StratumId, usize>,
+    sample_size: usize,
+) -> BTreeMap<StratumId, usize> {
+    let total: usize = counts.values().sum();
+    let mut sizes: BTreeMap<StratumId, usize> = counts.keys().map(|&s| (s, 0)).collect();
+    if total == 0 || sample_size == 0 {
+        return sizes;
+    }
+    let budget = sample_size.min(total);
+    let mut remainders: Vec<(f64, StratumId)> = Vec::with_capacity(counts.len());
+    let mut assigned = 0usize;
+    for (&s, &c) in counts {
+        let exact = budget as f64 * c as f64 / total as f64;
+        let floor = exact.floor() as usize;
+        let capped = floor.min(c);
+        sizes.insert(s, capped);
+        assigned += capped;
+        remainders.push((exact - floor as f64, s));
+    }
+    // Hand out leftover slots by descending fractional remainder, skipping
+    // strata already at their item count.
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut left = budget.saturating_sub(assigned);
+    while left > 0 {
+        let mut progressed = false;
+        for &(_, s) in &remainders {
+            if left == 0 {
+                break;
+            }
+            if sizes[&s] < counts[&s] {
+                *sizes.get_mut(&s).expect("stratum present") += 1;
+                left -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(u32, usize)]) -> BTreeMap<StratumId, usize> {
+        pairs.iter().map(|&(s, c)| (StratumId::new(s), c)).collect()
+    }
+
+    #[test]
+    fn uniform_splits_evenly_for_balanced_strata() {
+        let sizes = Allocation::Uniform.reservoir_sizes(&counts(&[(0, 100), (1, 100)]), 50);
+        assert_eq!(sizes[&StratumId::new(0)], 25);
+        assert_eq!(sizes[&StratumId::new(1)], 25);
+    }
+
+    #[test]
+    fn uniform_redistributes_slack_from_small_strata() {
+        // Stratum 0 only has 5 items; its unused share flows to stratum 1.
+        let sizes = Allocation::Uniform.reservoir_sizes(&counts(&[(0, 5), (1, 1_000)]), 100);
+        assert_eq!(sizes[&StratumId::new(0)], 5);
+        assert_eq!(sizes[&StratumId::new(1)], 95);
+    }
+
+    #[test]
+    fn uniform_never_allocates_more_than_count() {
+        let sizes = Allocation::Uniform.reservoir_sizes(&counts(&[(0, 3), (1, 4)]), 100);
+        assert_eq!(sizes[&StratumId::new(0)], 3);
+        assert_eq!(sizes[&StratumId::new(1)], 4);
+    }
+
+    #[test]
+    fn uniform_budget_smaller_than_strata_count() {
+        // 2 budget units over 4 strata: first two strata (in id order) get one.
+        let sizes =
+            Allocation::Uniform.reservoir_sizes(&counts(&[(0, 9), (1, 9), (2, 9), (3, 9)]), 2);
+        let total: usize = sizes.values().sum();
+        assert_eq!(total, 2);
+        assert_eq!(sizes[&StratumId::new(0)], 1);
+        assert_eq!(sizes[&StratumId::new(1)], 1);
+    }
+
+    #[test]
+    fn uniform_zero_budget_and_empty_strata() {
+        assert!(Allocation::Uniform
+            .reservoir_sizes(&counts(&[]), 10)
+            .is_empty());
+        let sizes = Allocation::Uniform.reservoir_sizes(&counts(&[(0, 5)]), 0);
+        assert_eq!(sizes[&StratumId::new(0)], 0);
+    }
+
+    #[test]
+    fn uniform_total_never_exceeds_budget() {
+        for budget in [0usize, 1, 3, 7, 50, 1_000] {
+            let sizes = Allocation::Uniform
+                .reservoir_sizes(&counts(&[(0, 13), (1, 200), (2, 1), (3, 77)]), budget);
+            let total: usize = sizes.values().sum();
+            assert!(total <= budget, "budget {budget} exceeded: {total}");
+        }
+    }
+
+    #[test]
+    fn proportional_tracks_counts() {
+        let sizes =
+            Allocation::Proportional.reservoir_sizes(&counts(&[(0, 80), (1, 20)]), 10);
+        assert_eq!(sizes[&StratumId::new(0)], 8);
+        assert_eq!(sizes[&StratumId::new(1)], 2);
+    }
+
+    #[test]
+    fn proportional_total_matches_budget() {
+        let sizes = Allocation::Proportional
+            .reservoir_sizes(&counts(&[(0, 33), (1, 33), (2, 34)]), 10);
+        let total: usize = sizes.values().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn proportional_caps_at_item_count() {
+        let sizes = Allocation::Proportional.reservoir_sizes(&counts(&[(0, 2), (1, 98)]), 50);
+        assert!(sizes[&StratumId::new(0)] <= 2);
+        let total: usize = sizes.values().sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn proportional_budget_exceeding_total_keeps_everything() {
+        let sizes = Allocation::Proportional.reservoir_sizes(&counts(&[(0, 4), (1, 6)]), 100);
+        assert_eq!(sizes[&StratumId::new(0)], 4);
+        assert_eq!(sizes[&StratumId::new(1)], 6);
+    }
+
+    #[test]
+    fn proportional_starves_tiny_strata_unlike_uniform() {
+        // This is precisely why the paper uses fair allocation: with a
+        // dominating stratum, proportional allocation leaves almost nothing
+        // for the rare-but-important one.
+        let c = counts(&[(0, 10_000), (1, 10)]);
+        let prop = Allocation::Proportional.reservoir_sizes(&c, 100);
+        let unif = Allocation::Uniform.reservoir_sizes(&c, 100);
+        assert!(prop[&StratumId::new(1)] <= 1);
+        assert_eq!(unif[&StratumId::new(1)], 10);
+    }
+}

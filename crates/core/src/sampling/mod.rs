@@ -1,0 +1,8 @@
+//! Sampling algorithms: reservoirs, allocation policies, weighted
+//! hierarchical sampling and the SRS baseline.
+
+pub mod allocation;
+pub mod reservoir;
+pub mod sharded;
+pub mod srs;
+pub mod whs;

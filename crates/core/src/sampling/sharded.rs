@@ -1,0 +1,199 @@
+//! Sharded (distributed) execution of the sampler — paper §III-E.
+//!
+//! The paper's design extension for parallelisation: a sub-stream handled by
+//! a node is split over `w` worker shards. Each shard samples its portion
+//! into a local reservoir of size at most `N_i / w` and keeps a local
+//! arrival counter for weight calculation. Because each shard produces its
+//! own `(W_out, items)` pair and the root's `Θ` handling already accepts
+//! multiple pairs per stratum (Equation 3 sums over pairs), no other part of
+//! the design changes — the whole point of the section.
+
+use crate::batch::Batch;
+use crate::item::StreamItem;
+use crate::sampling::allocation::Allocation;
+use crate::sampling::whs::{whs_sample, WhsOutput};
+use crate::weight::WeightMap;
+use rand::Rng;
+
+/// Samples one batch using `workers` independent shards per the paper's
+/// distributed-execution extension.
+///
+/// Items are dealt to shards round-robin (any source-side partitioning
+/// works; the analysis only needs each shard to see a random-ish portion and
+/// count its own arrivals). Each shard runs ordinary [`whs_sample`] with a
+/// budget of `sample_size / workers`, producing one [`WhsOutput`] per shard.
+///
+/// The union of the outputs feeds the root exactly like outputs from
+/// distinct nodes would.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{sharded_whs_sample, Allocation, Batch, StratumId, StreamItem, WeightMap};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let items: Vec<_> = (0..100).map(|i| StreamItem::new(StratumId::new(0), i as f64)).collect();
+/// let outs = sharded_whs_sample(&Batch::from_items(items), 20, &WeightMap::new(),
+///                               Allocation::Uniform, 4, &mut rng);
+/// assert_eq!(outs.len(), 4);
+/// let total: usize = outs.iter().map(|o| o.sample.len()).sum();
+/// assert_eq!(total, 20); // 4 shards x 5 slots
+/// ```
+pub fn sharded_whs_sample<R: Rng + ?Sized>(
+    batch: &Batch,
+    sample_size: usize,
+    w_in: &WeightMap,
+    allocation: Allocation,
+    workers: usize,
+    rng: &mut R,
+) -> Vec<WhsOutput> {
+    assert!(workers > 0, "workers must be positive");
+    let per_shard_budget = sample_size / workers;
+    // Deal items to shards round-robin.
+    let mut shards: Vec<Vec<StreamItem>> = vec![Vec::new(); workers];
+    for (idx, item) in batch.items.iter().enumerate() {
+        shards[idx % workers].push(*item);
+    }
+    shards
+        .into_iter()
+        .map(|items| {
+            let shard_batch = Batch::with_weights(batch.weights.clone(), items);
+            whs_sample(&shard_batch, per_shard_budget, w_in, allocation, rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::ThetaStore;
+    use crate::item::StratumId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn s(i: u32) -> StratumId {
+        StratumId::new(i)
+    }
+
+    fn batch_of(counts: &[(u32, usize)]) -> Batch {
+        let mut items = Vec::new();
+        for &(stratum, n) in counts {
+            for k in 0..n {
+                items.push(StreamItem::with_meta(s(stratum), 1.0, k as u64, 0));
+            }
+        }
+        Batch::from_items(items)
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be positive")]
+    fn rejects_zero_workers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        sharded_whs_sample(
+            &Batch::new(),
+            10,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn one_worker_equals_plain_whs_sample_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = batch_of(&[(0, 100)]);
+        let outs = sharded_whs_sample(
+            &batch,
+            10,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            1,
+            &mut rng,
+        );
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].sample.len(), 10);
+        assert_eq!(outs[0].weights.get(s(0)), 10.0);
+    }
+
+    #[test]
+    fn shard_budgets_are_local_fractions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = batch_of(&[(0, 400)]);
+        let outs = sharded_whs_sample(
+            &batch,
+            40,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            4,
+            &mut rng,
+        );
+        for out in &outs {
+            assert_eq!(out.sample.len(), 10, "each shard keeps N/w items");
+            assert_eq!(out.weights.get(s(0)), 10.0, "100 local items / 10 slots");
+        }
+    }
+
+    #[test]
+    fn count_reconstruction_holds_across_shards() {
+        // The union of shard outputs must still reconstruct the ground-truth
+        // count (Equation 8) because each shard's local counter feeds its
+        // local weight.
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = batch_of(&[(0, 1_000), (1, 37)]);
+        let outs = sharded_whs_sample(
+            &batch,
+            120,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            3,
+            &mut rng,
+        );
+        let mut theta = ThetaStore::new();
+        for out in outs {
+            theta.push(out);
+        }
+        for (stratum, expected) in [(s(0), 1_000.0), (s(1), 37.0)] {
+            let est = theta.stratum_estimates();
+            let got = est[&stratum].count_hat;
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "{stratum}: reconstructed {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_preserve_input_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let batch = batch_of(&[(0, 90)]);
+        let mut w_in = WeightMap::new();
+        w_in.set(s(0), 2.0);
+        let outs = sharded_whs_sample(&batch, 30, &w_in, Allocation::Uniform, 3, &mut rng);
+        for out in &outs {
+            // 30 local items into 10 slots: w = 2 * 3 = 6.
+            assert!((out.weights.get(s(0)) - 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uneven_item_count_distributes_remainder() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let batch = batch_of(&[(0, 10)]);
+        let outs = sharded_whs_sample(
+            &batch,
+            100,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            3,
+            &mut rng,
+        );
+        let total: usize = outs.iter().map(|o| o.sample.len()).sum();
+        assert_eq!(total, 10, "budget exceeds items: everything survives");
+    }
+}

@@ -1,0 +1,278 @@
+//! Online summary statistics (Welford's algorithm) — the reproduction's
+//! stand-in for the Apache Commons Math routines the paper's error
+//! estimation module uses (§IV-B III).
+//!
+//! [`Moments`] accumulates count/mean/variance in one pass with the
+//! numerically stable recurrence; [`Summary`] adds min/max. Both merge, so
+//! per-shard statistics combine exactly (Chan et al. parallel variance).
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass mean/variance accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::stats::Moments;
+///
+/// let mut m = Moments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.mean(), 5.0);
+/// assert_eq!(m.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (`M2`).
+    m2: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0` with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count > 1 {
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Population variance (`0` when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count > 0 {
+            (self.m2 / self.count as f64).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (exact parallel combine).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let t = total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / t;
+        self.mean += delta * other.count as f64 / t;
+        self.count = total;
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Moments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for Moments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// [`Moments`] plus running min/max.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::stats::Summary;
+///
+/// let s: Summary = [3.0, 1.0, 4.0, 1.0, 5.0].into_iter().collect();
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(5.0));
+/// assert_eq!(s.moments().count(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    moments: Moments,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { moments: Moments::new(), min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// The underlying moments.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.moments.count() > 0).then_some(self.min)
+    }
+
+    /// The largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.moments.count() > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.moments.merge(&other.moments);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_moments_are_zero() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_variance() {
+        let m: Moments = [42.0].into_iter().collect();
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let m: Moments = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.sample_variance() - var).abs() < 1e-9);
+        assert!((m.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 100.0).collect();
+        let sequential: Moments = data.iter().copied().collect();
+        let mut left: Moments = data[..200].iter().copied().collect();
+        let right: Moments = data[200..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((left.sample_variance() - sequential.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: Moments = [1.0, 2.0].into_iter().collect();
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+        let mut empty = Moments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offsets() {
+        // Classic catastrophic-cancellation case: large mean, tiny variance.
+        let m: Moments = (0..1000).map(|i| 1e9 + (i % 2) as f64).collect();
+        assert!((m.sample_variance() - 0.2502502).abs() < 1e-3, "var {}", m.sample_variance());
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let s: Summary = [5.0, -3.0, 7.0].into_iter().collect();
+        assert_eq!(s.min(), Some(-3.0));
+        assert_eq!(s.max(), Some(7.0));
+        assert_eq!(Summary::new().min(), None);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [-5.0, 10.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.min(), Some(-5.0));
+        assert_eq!(a.max(), Some(10.0));
+        assert_eq!(a.moments().count(), 4);
+        assert_eq!(a.moments().mean(), 2.0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut m = Moments::new();
+        m.extend([1.0, 3.0]);
+        assert_eq!(m.mean(), 2.0);
+        let mut s = Summary::new();
+        s.extend([1.0, 3.0]);
+        assert_eq!(s.max(), Some(3.0));
+    }
+}

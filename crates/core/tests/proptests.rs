@@ -1,0 +1,219 @@
+//! Property-based tests on the core data structures and algorithms.
+
+use approxiot_core::{
+    quantile, stats::Moments, whs_sample, Allocation, Batch, Confidence, CostFunction, Estimate,
+    Reservoir, SamplingBudget, SkipReservoir, StratumId, StreamItem, ThetaStore, WeightMap,
+    WeightStore,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn arb_counts() -> impl Strategy<Value = BTreeMap<StratumId, usize>> {
+    proptest::collection::btree_map(0u32..8, 0usize..300, 1..6)
+        .prop_map(|m| m.into_iter().map(|(s, c)| (StratumId::new(s), c)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- Reservoirs -------------------------------------------------------
+
+    /// Both reservoir variants retain exactly min(seen, capacity) items and
+    /// count every offer.
+    #[test]
+    fn reservoirs_respect_capacity(n in 0usize..2000, cap in 0usize..64, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Reservoir::new(cap);
+        r.offer_all(0..n as u64, &mut rng);
+        prop_assert_eq!(r.len(), n.min(cap));
+        prop_assert_eq!(r.seen(), n as u64);
+
+        let mut l = SkipReservoir::new(cap);
+        l.offer_all(0..n as u64, &mut rng);
+        prop_assert_eq!(l.len(), n.min(cap));
+        prop_assert_eq!(l.seen(), n as u64);
+    }
+
+    /// Reservoir contents are always distinct elements of the input.
+    #[test]
+    fn reservoir_contents_from_input(n in 1usize..500, cap in 1usize..32, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Reservoir::new(cap);
+        r.offer_all(0..n as u64, &mut rng);
+        let mut kept: Vec<u64> = r.into_items();
+        kept.sort_unstable();
+        let len_before = kept.len();
+        kept.dedup();
+        prop_assert_eq!(kept.len(), len_before, "distinct inputs stay distinct");
+        prop_assert!(kept.iter().all(|&x| x < n as u64));
+    }
+
+    // ---- Allocation --------------------------------------------------------
+
+    /// Any allocation policy: per-stratum size <= its count, total <= budget.
+    #[test]
+    fn allocation_respects_bounds(counts in arb_counts(), budget in 0usize..500) {
+        for policy in [Allocation::Uniform, Allocation::Proportional] {
+            let sizes = policy.reservoir_sizes(&counts, budget);
+            let total: usize = sizes.values().sum();
+            prop_assert!(total <= budget, "{policy:?} total {total} > budget {budget}");
+            for (s, &size) in &sizes {
+                prop_assert!(size <= counts[s], "{policy:?} over-allocates {s}");
+            }
+        }
+    }
+
+    /// Uniform allocation never wastes budget while any stratum is unserved.
+    #[test]
+    fn uniform_allocation_is_work_conserving(counts in arb_counts(), budget in 0usize..500) {
+        let sizes = Allocation::Uniform.reservoir_sizes(&counts, budget);
+        let total_assigned: usize = sizes.values().sum();
+        let total_items: usize = counts.values().sum();
+        prop_assert_eq!(total_assigned, budget.min(total_items));
+    }
+
+    // ---- Weight bookkeeping -----------------------------------------------
+
+    /// The carry-forward store always returns the most recent explicit
+    /// weight, or 1.0 before any.
+    #[test]
+    fn weight_store_carries_latest(updates in proptest::collection::vec((0u32..4, 1.0f64..50.0), 0..30)) {
+        let mut store = WeightStore::new();
+        let mut latest: BTreeMap<u32, f64> = BTreeMap::new();
+        for (stratum, w) in updates {
+            store.input_weight(StratumId::new(stratum), Some(w));
+            latest.insert(stratum, w);
+        }
+        for s in 0u32..4 {
+            let expected = latest.get(&s).copied().unwrap_or(1.0);
+            assert_eq!(store.input_weight(StratumId::new(s), None), expected);
+        }
+    }
+
+    /// WeightMap merge: the right-hand side wins on conflicts and nothing
+    /// is lost.
+    #[test]
+    fn weight_map_merge_semantics(
+        a in proptest::collection::vec((0u32..6, 1.0f64..10.0), 0..6),
+        b in proptest::collection::vec((0u32..6, 1.0f64..10.0), 0..6),
+    ) {
+        let mut left: WeightMap = a.iter().map(|&(s, w)| (StratumId::new(s), w)).collect();
+        let right: WeightMap = b.iter().map(|&(s, w)| (StratumId::new(s), w)).collect();
+        left.merge_from(&right);
+        for (s, w) in right.iter() {
+            prop_assert_eq!(left.get(s), w);
+        }
+    }
+
+    // ---- Budgets ------------------------------------------------------------
+
+    /// Sample size is monotone in the fraction and in arrivals, never
+    /// exceeding arrivals.
+    #[test]
+    fn budget_monotonicity(f1 in 0.01f64..1.0, f2 in 0.01f64..1.0, n in 0usize..10_000) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let b_lo = SamplingBudget::new(lo).expect("valid");
+        let b_hi = SamplingBudget::new(hi).expect("valid");
+        prop_assert!(b_lo.sample_size(n) <= b_hi.sample_size(n));
+        prop_assert!(b_hi.sample_size(n) <= n.max(0));
+        if n > 0 {
+            prop_assert!(b_lo.sample_size(n) >= 1);
+        }
+    }
+
+    // ---- Estimates ------------------------------------------------------------
+
+    /// Confidence intervals nest: 68% ⊆ 95% ⊆ 99.7%.
+    #[test]
+    fn confidence_intervals_nest(value in -1e6f64..1e6, variance in 0.0f64..1e9) {
+        let est = Estimate::new(value, variance);
+        let (l68, h68) = est.interval(Confidence::P68);
+        let (l95, h95) = est.interval(Confidence::P95);
+        let (l99, h99) = est.interval(Confidence::P997);
+        prop_assert!(l99 <= l95 && l95 <= l68);
+        prop_assert!(h68 <= h95 && h95 <= h99);
+        prop_assert!(est.covers(value, Confidence::P68));
+    }
+
+    /// Welford moments match the two-pass formulas on arbitrary data.
+    #[test]
+    fn moments_match_two_pass(data in proptest::collection::vec(-1e4f64..1e4, 2..200)) {
+        let m: Moments = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        prop_assert!((m.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((m.sample_variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// Merging moments in any split equals sequential accumulation.
+    #[test]
+    fn moments_merge_associative(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let cut = split % data.len();
+        let sequential: Moments = data.iter().copied().collect();
+        let mut left: Moments = data[..cut].iter().copied().collect();
+        let right: Moments = data[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), sequential.count());
+        prop_assert!((left.mean() - sequential.mean()).abs() < 1e-8 * (1.0 + sequential.mean().abs()));
+    }
+
+    // ---- Quantiles -------------------------------------------------------------
+
+    /// Quantiles are monotone in q and inside the data range.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let theta: ThetaStore = [approxiot_core::WhsOutput {
+            weights: WeightMap::new(),
+            sample: values.iter().map(|&v| StreamItem::new(StratumId::new(0), v)).collect(),
+        }].into_iter().collect();
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let v_lo = quantile::weighted_quantile(&theta, lo).expect("non-empty");
+        let v_hi = quantile::weighted_quantile(&theta, hi).expect("non-empty");
+        prop_assert!(v_lo <= v_hi);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min <= v_lo && v_hi <= max);
+    }
+
+    // ---- End-to-end sampling ----------------------------------------------------
+
+    /// Two sequential WHS hops preserve the weighted count exactly.
+    #[test]
+    fn two_hop_weight_composition(
+        n in 1usize..400,
+        budget1 in 1usize..200,
+        budget2 in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = Batch::from_items(
+            (0..n).map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0)).collect(),
+        );
+        let hop1 = whs_sample(&batch, budget1, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        if hop1.sample.is_empty() {
+            return Ok(());
+        }
+        let hop2 = whs_sample(
+            &hop1.clone().into_batch(),
+            budget2,
+            &hop1.weights,
+            Allocation::Uniform,
+            &mut rng,
+        );
+        if hop2.sample.is_empty() {
+            return Ok(());
+        }
+        let theta: ThetaStore = [hop2].into_iter().collect();
+        prop_assert!((theta.count_estimate() - n as f64).abs() < 1e-6);
+    }
+}

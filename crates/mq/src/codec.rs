@@ -1,0 +1,218 @@
+//! Wire format for batches travelling between edge layers.
+//!
+//! The paper's prototype serialises sampled sub-streams plus their weight
+//! metadata into Kafka topics. We do the same with a compact little-endian
+//! binary frame, so the network layer can meter *real* bytes on the wire
+//! for the bandwidth-saving experiment (Figure 7).
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic     u16  = 0xA107
+//! version   u8   = 1
+//! weights   u32  count, then per entry: stratum u32, weight f64
+//! items     u32  count, then per entry: stratum u32, value f64,
+//!                                        seq u64, source_ts u64
+//! ```
+
+use crate::error::MqError;
+use approxiot_core::{Batch, StratumId, StreamItem, WeightMap};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u16 = 0xA107;
+const VERSION: u8 = 1;
+
+/// Bytes per encoded weight entry.
+const WEIGHT_ENTRY: usize = 4 + 8;
+/// Bytes per encoded item.
+const ITEM_ENTRY: usize = 4 + 8 + 8 + 8;
+/// Fixed header size.
+const HEADER: usize = 2 + 1;
+
+/// Returns the exact encoded size of a batch, without encoding it.
+pub fn encoded_len(batch: &Batch) -> usize {
+    HEADER + 4 + batch.weights.len() * WEIGHT_ENTRY + 4 + batch.items.len() * ITEM_ENTRY
+}
+
+/// Encodes a batch into a wire frame.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+/// use approxiot_mq::codec::{decode_batch, encode_batch};
+///
+/// let batch = Batch::from_items(vec![StreamItem::new(StratumId::new(0), 1.5)]);
+/// let frame = encode_batch(&batch);
+/// let decoded = decode_batch(&frame)?;
+/// assert_eq!(decoded, batch);
+/// # Ok::<(), approxiot_mq::MqError>(())
+/// ```
+pub fn encode_batch(batch: &Batch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(batch));
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(batch.weights.len() as u32);
+    for (stratum, weight) in batch.weights.iter() {
+        buf.put_u32_le(stratum.index());
+        buf.put_f64_le(weight);
+    }
+    buf.put_u32_le(batch.items.len() as u32);
+    for item in &batch.items {
+        buf.put_u32_le(item.stratum.index());
+        buf.put_f64_le(item.value);
+        buf.put_u64_le(item.seq);
+        buf.put_u64_le(item.source_ts);
+    }
+    buf.freeze()
+}
+
+/// Decodes a wire frame back into a batch.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, unsupported version or
+/// truncated frame.
+pub fn decode_batch(frame: &[u8]) -> Result<Batch, MqError> {
+    let mut buf = frame;
+    if buf.remaining() < HEADER {
+        return Err(MqError::Codec("frame shorter than header".into()));
+    }
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(MqError::Codec(format!("bad magic 0x{magic:04X}")));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(MqError::Codec(format!("unsupported version {version}")));
+    }
+    if buf.remaining() < 4 {
+        return Err(MqError::Codec("truncated weight count".into()));
+    }
+    let weight_count = buf.get_u32_le() as usize;
+    if buf.remaining() < weight_count * WEIGHT_ENTRY {
+        return Err(MqError::Codec("truncated weight entries".into()));
+    }
+    let mut weights = WeightMap::new();
+    for _ in 0..weight_count {
+        let stratum = StratumId::new(buf.get_u32_le());
+        let weight = buf.get_f64_le();
+        if !weight.is_finite() || weight < 1.0 - 1e-9 {
+            return Err(MqError::Codec(format!("invalid weight {weight} for {stratum}")));
+        }
+        weights.set(stratum, weight);
+    }
+    if buf.remaining() < 4 {
+        return Err(MqError::Codec("truncated item count".into()));
+    }
+    let item_count = buf.get_u32_le() as usize;
+    if buf.remaining() < item_count * ITEM_ENTRY {
+        return Err(MqError::Codec("truncated item entries".into()));
+    }
+    let mut items = Vec::with_capacity(item_count);
+    for _ in 0..item_count {
+        let stratum = StratumId::new(buf.get_u32_le());
+        let value = buf.get_f64_le();
+        let seq = buf.get_u64_le();
+        let source_ts = buf.get_u64_le();
+        items.push(StreamItem::with_meta(stratum, value, seq, source_ts));
+    }
+    if buf.has_remaining() {
+        return Err(MqError::Codec(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(Batch::with_weights(weights, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Batch {
+        let mut weights = WeightMap::new();
+        weights.set(StratumId::new(0), 1.5);
+        weights.set(StratumId::new(3), 12.25);
+        Batch::with_weights(
+            weights,
+            vec![
+                StreamItem::with_meta(StratumId::new(0), 1.0, 1, 10),
+                StreamItem::with_meta(StratumId::new(3), -2.5, 2, 20),
+                StreamItem::with_meta(StratumId::new(0), 1e9, 3, 30),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_batch() {
+        let batch = sample_batch();
+        let frame = encode_batch(&batch);
+        assert_eq!(frame.len(), encoded_len(&batch));
+        let decoded = decode_batch(&frame).expect("decodes");
+        assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn roundtrip_empty_batch() {
+        let batch = Batch::new();
+        let decoded = decode_batch(&encode_batch(&batch)).expect("decodes");
+        assert_eq!(decoded, batch);
+        assert_eq!(encoded_len(&batch), HEADER + 8);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut frame = encode_batch(&sample_batch()).to_vec();
+        frame[0] ^= 0xFF;
+        assert!(matches!(decode_batch(&frame), Err(MqError::Codec(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut frame = encode_batch(&sample_batch()).to_vec();
+        frame[2] = 99;
+        let err = decode_batch(&frame).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let frame = encode_batch(&sample_batch());
+        for len in 0..frame.len() {
+            assert!(
+                decode_batch(&frame[..len]).is_err(),
+                "truncated frame of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut frame = encode_batch(&sample_batch()).to_vec();
+        frame.push(0);
+        let err = decode_batch(&frame).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_invalid_weight() {
+        // Hand-craft a frame with weight 0.5 (< 1).
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32_le(1);
+        buf.put_u32_le(7);
+        buf.put_f64_le(0.5);
+        buf.put_u32_le(0);
+        let err = decode_batch(&buf).unwrap_err();
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn encoded_len_is_linear_in_items() {
+        let one = Batch::from_items(vec![StreamItem::new(StratumId::new(0), 0.0)]);
+        let two = Batch::from_items(vec![
+            StreamItem::new(StratumId::new(0), 0.0),
+            StreamItem::new(StratumId::new(0), 0.0),
+        ]);
+        assert_eq!(encoded_len(&two) - encoded_len(&one), ITEM_ENTRY);
+    }
+}

@@ -1,0 +1,437 @@
+//! Consumers: offset-tracked, multi-partition subscription with decode.
+
+use crate::codec::decode_batch;
+use crate::error::MqError;
+use crate::record::Record;
+use crate::topic::Topic;
+use approxiot_core::Batch;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where a new consumer starts reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartOffset {
+    /// From the earliest retained record.
+    #[default]
+    Earliest,
+    /// From the log end (only new records).
+    Latest,
+}
+
+/// A consumer subscribed to a set of partitions of one topic, tracking its
+/// own offsets.
+///
+/// Polling round-robins across the assigned partitions so one hot partition
+/// cannot starve the others.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+/// use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
+/// use std::time::Duration;
+///
+/// let broker = Broker::new();
+/// let topic = broker.create_topic("t", 2)?;
+/// let producer = BatchProducer::new(topic.clone());
+/// producer.send(&Batch::from_items(vec![StreamItem::new(StratumId::new(0), 1.0)]))?;
+///
+/// let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+/// let records = consumer.poll(10, Duration::from_millis(10))?;
+/// assert_eq!(records.len(), 1);
+/// # Ok::<(), approxiot_mq::MqError>(())
+/// ```
+#[derive(Debug)]
+pub struct Consumer {
+    topic: Arc<Topic>,
+    /// Next offset to read, per assigned partition.
+    offsets: BTreeMap<u32, u64>,
+    /// Rotation cursor for fairness.
+    cursor: usize,
+}
+
+impl Consumer {
+    /// Subscribes to every partition of `topic`.
+    pub fn subscribe_all(topic: Arc<Topic>, start: StartOffset) -> Self {
+        let partitions: Vec<u32> = (0..topic.partition_count()).collect();
+        Consumer::subscribe(topic, &partitions, start)
+    }
+
+    /// Subscribes to an explicit partition set (out-of-range indices are
+    /// ignored, matching Kafka's lazy assignment semantics).
+    pub fn subscribe(topic: Arc<Topic>, partitions: &[u32], start: StartOffset) -> Self {
+        let mut offsets = BTreeMap::new();
+        for &p in partitions {
+            if let Ok(log) = topic.partition(p) {
+                let offset = match start {
+                    StartOffset::Earliest => log.earliest_offset(),
+                    StartOffset::Latest => log.latest_offset(),
+                };
+                offsets.insert(p, offset);
+            }
+        }
+        Consumer { topic, offsets, cursor: 0 }
+    }
+
+    /// The topic this consumer reads.
+    pub fn topic(&self) -> &Arc<Topic> {
+        &self.topic
+    }
+
+    /// The partitions assigned to this consumer.
+    pub fn assignment(&self) -> Vec<u32> {
+        self.offsets.keys().copied().collect()
+    }
+
+    /// Current position (next offset) for a partition, if assigned.
+    pub fn position(&self, partition: u32) -> Option<u64> {
+        self.offsets.get(&partition).copied()
+    }
+
+    /// Polls up to `max` records across assigned partitions, blocking up to
+    /// `timeout` when fully caught up. An empty result means the timeout
+    /// elapsed.
+    ///
+    /// Offsets that fell behind retention are transparently reset to the
+    /// earliest retained offset (Kafka's `auto.offset.reset = earliest`),
+    /// so a slow consumer skips data instead of wedging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MqError::Closed`] once every assigned partition is closed
+    /// **and** fully drained.
+    pub fn poll(&mut self, max: usize, timeout: Duration) -> Result<Vec<Record>, MqError> {
+        if self.offsets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let partitions: Vec<u32> = self.offsets.keys().copied().collect();
+        let n = partitions.len();
+        let mut out = Vec::new();
+        let mut closed = 0usize;
+        // First sweep: non-blocking drain in rotation order.
+        for step in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let p = partitions[(self.cursor + step) % n];
+            match self.poll_partition(p, max - out.len(), Duration::ZERO) {
+                Ok(mut records) => out.append(&mut records),
+                Err(MqError::Closed) => closed += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        self.cursor = (self.cursor + 1) % n;
+        if !out.is_empty() {
+            return Ok(out);
+        }
+        if closed == n {
+            return Err(MqError::Closed);
+        }
+        // Nothing ready: block on the first open partition for the timeout.
+        for &p in &partitions {
+            match self.poll_partition(p, max, timeout) {
+                Ok(records) => {
+                    if !records.is_empty() {
+                        return Ok(records);
+                    }
+                }
+                Err(MqError::Closed) => continue,
+                Err(e) => return Err(e),
+            }
+            break; // only spend the timeout once
+        }
+        Ok(Vec::new())
+    }
+
+    fn poll_partition(
+        &mut self,
+        partition: u32,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, MqError> {
+        let log = self.topic.partition(partition)?;
+        let offset = *self.offsets.get(&partition).unwrap_or(&0);
+        let records = match log.read_from(offset, max, timeout) {
+            Ok(r) => r,
+            Err(MqError::OffsetOutOfRange { earliest, .. }) => {
+                // auto.offset.reset = earliest
+                self.offsets.insert(partition, earliest);
+                log.read_from(earliest, max, timeout)?
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(last) = records.last() {
+            self.offsets.insert(partition, last.offset + 1);
+        }
+        Ok(records)
+    }
+
+    /// Polls and decodes records into [`Batch`]es (codec errors abort the
+    /// poll).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MqError::Closed`] when drained-and-closed, or
+    /// [`MqError::Codec`] on a corrupt frame.
+    pub fn poll_batches(&mut self, max: usize, timeout: Duration) -> Result<Vec<(Record, Batch)>, MqError> {
+        let records = self.poll(max, timeout)?;
+        records
+            .into_iter()
+            .map(|r| {
+                let batch = decode_batch(&r.value)?;
+                Ok((r, batch))
+            })
+            .collect()
+    }
+
+    /// Subscribes to every partition, resuming each from its committed
+    /// offset in `store` (or `start` where the group never committed).
+    pub fn subscribe_committed(
+        topic: Arc<Topic>,
+        group: &str,
+        store: &crate::offsets::OffsetStore,
+        fallback: StartOffset,
+    ) -> Self {
+        let mut consumer = Consumer::subscribe_all(topic, fallback);
+        let name = consumer.topic.name().to_string();
+        for p in consumer.assignment() {
+            if let Some(offset) = store.fetch(group, &name, p) {
+                consumer.offsets.insert(p, offset);
+            }
+        }
+        consumer
+    }
+
+    /// Commits this consumer's current positions for `group` into `store`.
+    pub fn commit(&self, group: &str, store: &crate::offsets::OffsetStore) {
+        for (&p, &o) in &self.offsets {
+            store.commit(group, self.topic.name(), p, o);
+        }
+    }
+
+    /// Seeks a partition to an absolute offset.
+    pub fn seek(&mut self, partition: u32, offset: u64) {
+        if self.offsets.contains_key(&partition) {
+            self.offsets.insert(partition, offset);
+        }
+    }
+
+    /// Total records between current positions and each log end (consumer
+    /// lag).
+    pub fn lag(&self) -> u64 {
+        self.offsets
+            .iter()
+            .filter_map(|(&p, &o)| {
+                self.topic.partition(p).ok().map(|log| log.latest_offset().saturating_sub(o))
+            })
+            .sum()
+    }
+}
+
+/// Splits a topic's partitions across `members` consumers round-robin — the
+/// broker-side half of Kafka's consumer-group assignment.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_mq::assign_partitions;
+///
+/// assert_eq!(assign_partitions(5, 2), vec![vec![0, 2, 4], vec![1, 3]]);
+/// ```
+pub fn assign_partitions(partitions: u32, members: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new(); members.max(1)];
+    for p in 0..partitions {
+        out[(p as usize) % members.max(1)].push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::producer::BatchProducer;
+    use approxiot_core::{StratumId, StreamItem};
+    use std::thread;
+
+    fn batch(value: f64) -> Batch {
+        Batch::from_items(vec![StreamItem::new(StratumId::new(0), value)])
+    }
+
+    fn setup(partitions: u32) -> (Broker, Arc<Topic>, BatchProducer) {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", partitions).expect("create");
+        let producer = BatchProducer::new(Arc::clone(&topic));
+        (broker, topic, producer)
+    }
+
+    #[test]
+    fn consumes_from_earliest() {
+        let (_b, topic, producer) = setup(1);
+        producer.send(&batch(1.0)).expect("send");
+        producer.send(&batch(2.0)).expect("send");
+        let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 2);
+        assert_eq!(consumer.position(0), Some(2));
+        assert_eq!(consumer.lag(), 0);
+    }
+
+    #[test]
+    fn latest_skips_history() {
+        let (_b, topic, producer) = setup(1);
+        producer.send(&batch(1.0)).expect("send");
+        let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Latest);
+        assert!(consumer.poll(10, Duration::ZERO).expect("poll").is_empty());
+        producer.send(&batch(2.0)).expect("send");
+        let got = consumer.poll_batches(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.items[0].value, 2.0);
+    }
+
+    #[test]
+    fn poll_round_robins_partitions() {
+        let (_b, topic, producer) = setup(2);
+        for i in 0..4 {
+            producer.send_to(i % 2, &batch(i as f64), 0).expect("send");
+        }
+        let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 4);
+        let p0 = got.iter().filter(|r| r.partition == 0).count();
+        assert_eq!(p0, 2);
+    }
+
+    #[test]
+    fn blocking_poll_wakes_on_produce() {
+        let (_b, topic, producer) = setup(1);
+        let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
+        let waker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            producer.send(&batch(9.0)).expect("send");
+        });
+        let got = consumer.poll(10, Duration::from_secs(5)).expect("poll");
+        assert_eq!(got.len(), 1);
+        waker.join().expect("join");
+    }
+
+    #[test]
+    fn closed_and_drained_reports_closed() {
+        let (broker, topic, producer) = setup(2);
+        producer.send_to(0, &batch(1.0), 0).expect("send");
+        broker.close();
+        let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+        // Drain the remaining record first.
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 1);
+        assert!(matches!(consumer.poll(10, Duration::ZERO), Err(MqError::Closed)));
+    }
+
+    #[test]
+    fn retention_reset_recovers_lost_offsets() {
+        let broker = Broker::new();
+        let topic = broker.create_topic_with_retention("t", 1, 2).expect("create");
+        let producer = BatchProducer::new(Arc::clone(&topic));
+        let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
+        for i in 0..10 {
+            producer.send(&batch(i as f64)).expect("send");
+        }
+        // Offsets 0..8 were truncated; consumer transparently resumes at 8.
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].offset, 8);
+    }
+
+    #[test]
+    fn seek_rewinds() {
+        let (_b, topic, producer) = setup(1);
+        producer.send(&batch(1.0)).expect("send");
+        let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+        consumer.poll(10, Duration::ZERO).expect("poll");
+        consumer.seek(0, 0);
+        let again = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn subscription_subset() {
+        let (_b, topic, producer) = setup(3);
+        producer.send_to(0, &batch(0.0), 0).expect("send");
+        producer.send_to(1, &batch(1.0), 0).expect("send");
+        producer.send_to(2, &batch(2.0), 0).expect("send");
+        let mut consumer = Consumer::subscribe(topic, &[1], StartOffset::Earliest);
+        assert_eq!(consumer.assignment(), vec![1]);
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].partition, 1);
+    }
+
+    #[test]
+    fn assign_partitions_round_robin() {
+        assert_eq!(assign_partitions(4, 2), vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(assign_partitions(2, 3), vec![vec![0], vec![1], vec![]]);
+        assert_eq!(assign_partitions(3, 0), vec![vec![0, 1, 2]], "zero members clamped to one");
+    }
+
+    #[test]
+    fn lag_counts_unread_records() {
+        let (_b, topic, producer) = setup(1);
+        let consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
+        producer.send(&batch(1.0)).expect("send");
+        producer.send(&batch(2.0)).expect("send");
+        assert_eq!(consumer.lag(), 2);
+    }
+}
+
+#[cfg(test)]
+mod committed_offset_tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::offsets::OffsetStore;
+    use crate::producer::BatchProducer;
+    use approxiot_core::{Batch, StratumId, StreamItem};
+
+    fn b(v: f64) -> Batch {
+        Batch::from_items(vec![StreamItem::new(StratumId::new(0), v)])
+    }
+
+    #[test]
+    fn consumer_resumes_from_committed_offsets() {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", 1).expect("create");
+        let producer = BatchProducer::new(Arc::clone(&topic));
+        let store = OffsetStore::new();
+        for i in 0..5 {
+            producer.send(&b(i as f64)).expect("send");
+        }
+        // First consumer reads 3 records and commits.
+        let mut first = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
+        let got = first.poll(3, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 3);
+        first.commit("analytics", &store);
+        drop(first);
+        // A restarted member resumes at offset 3, not 0.
+        let mut second =
+            Consumer::subscribe_committed(topic, "analytics", &store, StartOffset::Earliest);
+        let rest = second.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].offset, 3);
+    }
+
+    #[test]
+    fn uncommitted_partitions_use_fallback() {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", 2).expect("create");
+        let producer = BatchProducer::new(Arc::clone(&topic));
+        let store = OffsetStore::new();
+        producer.send_to(0, &b(1.0), 0).expect("send");
+        producer.send_to(1, &b(2.0), 0).expect("send");
+        store.commit("g", "t", 0, 1); // partition 0 fully consumed
+        let mut consumer =
+            Consumer::subscribe_committed(topic, "g", &store, StartOffset::Earliest);
+        let got = consumer.poll(10, Duration::ZERO).expect("poll");
+        assert_eq!(got.len(), 1, "only partition 1 (fallback earliest) has data left");
+        assert_eq!(got[0].partition, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for broker operations.
+
+use std::fmt;
+
+/// Errors returned by broker, producer and consumer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqError {
+    /// The named topic does not exist.
+    UnknownTopic(String),
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The partition index is out of range for the topic.
+    PartitionOutOfRange {
+        /// Requested partition.
+        partition: u32,
+        /// Number of partitions in the topic.
+        partitions: u32,
+    },
+    /// The requested offset was truncated by retention; the earliest
+    /// retained offset is attached.
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: u64,
+        /// Earliest offset still retained.
+        earliest: u64,
+    },
+    /// The broker (or topic) has been closed.
+    Closed,
+    /// A frame failed to decode.
+    Codec(String),
+}
+
+impl fmt::Display for MqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqError::UnknownTopic(name) => write!(f, "unknown topic `{name}`"),
+            MqError::TopicExists(name) => write!(f, "topic `{name}` already exists"),
+            MqError::PartitionOutOfRange { partition, partitions } => {
+                write!(f, "partition {partition} out of range (topic has {partitions})")
+            }
+            MqError::OffsetOutOfRange { requested, earliest } => {
+                write!(f, "offset {requested} truncated by retention (earliest is {earliest})")
+            }
+            MqError::Closed => write!(f, "broker is closed"),
+            MqError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(MqError::UnknownTopic("t".into()).to_string(), "unknown topic `t`");
+        assert!(MqError::PartitionOutOfRange { partition: 5, partitions: 2 }
+            .to_string()
+            .contains("out of range"));
+        assert!(MqError::OffsetOutOfRange { requested: 1, earliest: 10 }
+            .to_string()
+            .contains("truncated"));
+        assert_eq!(MqError::Closed.to_string(), "broker is closed");
+        assert!(MqError::Codec("bad magic".into()).to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MqError>();
+    }
+}

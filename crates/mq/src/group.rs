@@ -1,0 +1,248 @@
+//! Consumer groups: dynamic membership with partition rebalancing — the
+//! in-process analogue of Kafka's group coordinator, used when a tree
+//! layer is served by several worker processes (§III-E distributed
+//! execution).
+
+use crate::consumer::{assign_partitions, Consumer, StartOffset};
+use crate::error::MqError;
+use crate::topic::Topic;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Monotonic generation number, bumped on every rebalance.
+pub type Generation = u64;
+
+/// A member's view after (re)joining: its assignment and the generation it
+/// is valid for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    /// The member's id within the group.
+    pub member_id: u64,
+    /// Partitions assigned to this member.
+    pub partitions: Vec<u32>,
+    /// Generation this assignment belongs to.
+    pub generation: Generation,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    members: BTreeMap<u64, Vec<u32>>,
+    next_member: u64,
+    generation: Generation,
+}
+
+/// Coordinates a set of consumers sharing one topic: members join and
+/// leave; every change rebalances partitions round-robin across the
+/// current membership and bumps the generation.
+///
+/// Members poll [`GroupCoordinator::assignment`] and recreate their
+/// [`Consumer`] when the generation moves — the cooperative analogue of
+/// Kafka's rebalance callback.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_mq::{Broker, GroupCoordinator};
+///
+/// let broker = Broker::new();
+/// let topic = broker.create_topic("t", 4)?;
+/// let group = GroupCoordinator::new(topic);
+///
+/// let a = group.join();
+/// assert_eq!(a.partitions, vec![0, 1, 2, 3]); // sole member owns all
+///
+/// let b = group.join();
+/// let a_now = group.assignment(a.member_id).expect("still a member");
+/// assert_eq!(a_now.partitions.len() + group.assignment(b.member_id).unwrap().partitions.len(), 4);
+/// # Ok::<(), approxiot_mq::MqError>(())
+/// ```
+#[derive(Debug)]
+pub struct GroupCoordinator {
+    topic: Arc<Topic>,
+    state: Mutex<GroupState>,
+}
+
+impl GroupCoordinator {
+    /// Creates a coordinator for `topic`.
+    pub fn new(topic: Arc<Topic>) -> Self {
+        GroupCoordinator { topic, state: Mutex::new(GroupState::default()) }
+    }
+
+    /// The coordinated topic.
+    pub fn topic(&self) -> &Arc<Topic> {
+        &self.topic
+    }
+
+    /// Adds a member, rebalances, and returns the new member's view.
+    pub fn join(&self) -> Membership {
+        let mut state = self.state.lock();
+        let id = state.next_member;
+        state.next_member += 1;
+        state.members.insert(id, Vec::new());
+        Self::rebalance(&mut state, self.topic.partition_count());
+        Membership {
+            member_id: id,
+            partitions: state.members[&id].clone(),
+            generation: state.generation,
+        }
+    }
+
+    /// Removes a member and rebalances its partitions onto the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownMemberError`] when the member already left (or
+    /// never joined).
+    pub fn leave(&self, member_id: u64) -> Result<(), UnknownMemberError> {
+        let mut state = self.state.lock();
+        if state.members.remove(&member_id).is_none() {
+            return Err(UnknownMemberError { member_id });
+        }
+        Self::rebalance(&mut state, self.topic.partition_count());
+        Ok(())
+    }
+
+    /// The member's current assignment, or `None` after it left.
+    pub fn assignment(&self, member_id: u64) -> Option<Membership> {
+        let state = self.state.lock();
+        state.members.get(&member_id).map(|partitions| Membership {
+            member_id,
+            partitions: partitions.clone(),
+            generation: state.generation,
+        })
+    }
+
+    /// Current generation (bumped by every join/leave).
+    pub fn generation(&self) -> Generation {
+        self.state.lock().generation
+    }
+
+    /// Number of live members.
+    pub fn member_count(&self) -> usize {
+        self.state.lock().members.len()
+    }
+
+    /// Builds a [`Consumer`] for the member's current assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MqError::UnknownTopic`] when the member is not in the
+    /// group (mirrors Kafka's UNKNOWN_MEMBER_ID).
+    pub fn consumer(&self, member_id: u64, start: StartOffset) -> Result<Consumer, MqError> {
+        let membership = self
+            .assignment(member_id)
+            .ok_or_else(|| MqError::UnknownTopic(format!("member {member_id}")))?;
+        Ok(Consumer::subscribe(Arc::clone(&self.topic), &membership.partitions, start))
+    }
+
+    fn rebalance(state: &mut GroupState, partitions: u32) {
+        state.generation += 1;
+        let ids: Vec<u64> = state.members.keys().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        let split = assign_partitions(partitions, ids.len());
+        for (id, parts) in ids.into_iter().zip(split) {
+            state.members.insert(id, parts);
+        }
+    }
+}
+
+/// Error returned when operating on a member id that is not in the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownMemberError {
+    member_id: u64,
+}
+
+impl std::fmt::Display for UnknownMemberError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown group member {}", self.member_id)
+    }
+}
+
+impl std::error::Error for UnknownMemberError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::producer::BatchProducer;
+    use approxiot_core::{Batch, StratumId, StreamItem};
+    use std::time::Duration;
+
+    fn coordinator(partitions: u32) -> (Broker, GroupCoordinator) {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", partitions).expect("create");
+        (broker, GroupCoordinator::new(topic))
+    }
+
+    #[test]
+    fn sole_member_owns_everything() {
+        let (_b, group) = coordinator(3);
+        let m = group.join();
+        assert_eq!(m.partitions, vec![0, 1, 2]);
+        assert_eq!(group.member_count(), 1);
+    }
+
+    #[test]
+    fn join_rebalances_and_bumps_generation() {
+        let (_b, group) = coordinator(4);
+        let a = group.join();
+        let g1 = a.generation;
+        let b = group.join();
+        assert!(b.generation > g1, "generation must move on membership change");
+        let a_now = group.assignment(a.member_id).expect("member");
+        let b_now = group.assignment(b.member_id).expect("member");
+        let mut all: Vec<u32> =
+            a_now.partitions.iter().chain(b_now.partitions.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "partitions exactly partitioned");
+        assert!(!a_now.partitions.is_empty() && !b_now.partitions.is_empty());
+    }
+
+    #[test]
+    fn leave_returns_partitions_to_survivors() {
+        let (_b, group) = coordinator(4);
+        let a = group.join();
+        let b = group.join();
+        group.leave(a.member_id).expect("member exists");
+        assert_eq!(group.assignment(a.member_id), None);
+        let b_now = group.assignment(b.member_id).expect("member");
+        assert_eq!(b_now.partitions, vec![0, 1, 2, 3]);
+        assert!(group.leave(a.member_id).is_err(), "double leave reported");
+    }
+
+    #[test]
+    fn more_members_than_partitions_leaves_some_idle() {
+        let (_b, group) = coordinator(2);
+        let members: Vec<_> = (0..4).map(|_| group.join()).collect();
+        let sizes: Vec<usize> = members
+            .iter()
+            .map(|m| group.assignment(m.member_id).expect("member").partitions.len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert!(sizes.iter().filter(|&&s| s == 0).count() == 2);
+    }
+
+    #[test]
+    fn group_consumers_cover_the_topic_exactly_once() {
+        let (_b, group) = coordinator(4);
+        let producer = BatchProducer::new(Arc::clone(group.topic()));
+        let a = group.join();
+        let b = group.join();
+        for p in 0..4 {
+            let batch =
+                Batch::from_items(vec![StreamItem::new(StratumId::new(p), p as f64)]);
+            producer.send_to(p, &batch, 0).expect("send");
+        }
+        let mut got = Vec::new();
+        for m in [a, b] {
+            let mut consumer =
+                group.consumer(m.member_id, StartOffset::Earliest).expect("member");
+            got.extend(consumer.poll(10, Duration::ZERO).expect("poll"));
+        }
+        assert_eq!(got.len(), 4, "each record delivered to exactly one member");
+        assert!(group.consumer(99, StartOffset::Earliest).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # approxiot-mq
+//!
+//! An in-process, partitioned publish/subscribe broker: the reproduction's
+//! substitute for Apache Kafka (which the ApproxIoT paper's prototype is
+//! built on).
+//!
+//! The ApproxIoT design only needs four properties from its messaging
+//! substrate, and this crate provides all of them:
+//!
+//! 1. **Named topics** decoupling the edge-computing layers — one topic per
+//!    layer of the logical tree (paper §IV, Figure 4).
+//! 2. **Partitioned, offset-addressed logs** so consumers track their own
+//!    progress and multiple sampling workers can share a layer.
+//! 3. **Blocking consumption with backpressure-adjacent retention** —
+//!    bounded logs whose truncation surfaces to slow consumers.
+//! 4. **A wire format** so the network layer can meter real bytes for the
+//!    bandwidth-saving experiment (Figure 7).
+//!
+//! ## Example
+//!
+//! ```
+//! use approxiot_core::{Batch, StratumId, StreamItem};
+//! use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
+//! use std::time::Duration;
+//!
+//! let broker = Broker::new();
+//! let topic = broker.create_topic("edge-layer-1", 4)?;
+//!
+//! let producer = BatchProducer::new(topic.clone());
+//! producer.send(&Batch::from_items(vec![StreamItem::new(StratumId::new(0), 21.5)]))?;
+//!
+//! let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+//! let batches = consumer.poll_batches(16, Duration::from_millis(10))?;
+//! assert_eq!(batches[0].1.items[0].value, 21.5);
+//! # Ok::<(), approxiot_mq::MqError>(())
+//! ```
+
+pub mod broker;
+pub mod codec;
+pub mod consumer;
+pub mod error;
+pub mod group;
+pub mod log;
+pub mod offsets;
+pub mod producer;
+pub mod record;
+pub mod topic;
+
+pub use broker::{Broker, DEFAULT_RETENTION};
+pub use consumer::{assign_partitions, Consumer, StartOffset};
+pub use error::MqError;
+pub use group::{GroupCoordinator, Membership, UnknownMemberError};
+pub use log::PartitionLog;
+pub use offsets::OffsetStore;
+pub use producer::BatchProducer;
+pub use record::{ProducerRecord, Record};
+pub use topic::{Partitioner, Topic};

@@ -1,0 +1,265 @@
+//! The partition log: an append-only, offset-addressed record sequence with
+//! size-bounded retention and blocking reads.
+
+use crate::error::MqError;
+use crate::record::Record;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// State protected by the partition lock.
+#[derive(Debug, Default)]
+struct LogState {
+    records: VecDeque<Record>,
+    /// Offset of the first retained record.
+    earliest: u64,
+    /// Offset the next appended record will get.
+    next: u64,
+    closed: bool,
+}
+
+/// A single partition: an append-only log with monotonically increasing
+/// offsets.
+///
+/// Retention is size-based: when more than `retention` records are stored,
+/// the oldest are truncated and consumers positioned before the new earliest
+/// offset receive [`MqError::OffsetOutOfRange`].
+#[derive(Debug)]
+pub struct PartitionLog {
+    index: u32,
+    retention: usize,
+    state: Mutex<LogState>,
+    appended: Condvar,
+}
+
+impl PartitionLog {
+    /// Creates an empty partition retaining at most `retention` records
+    /// (`usize::MAX` for unbounded).
+    pub fn new(index: u32, retention: usize) -> Self {
+        PartitionLog {
+            index,
+            retention: retention.max(1),
+            state: Mutex::new(LogState::default()),
+            appended: Condvar::new(),
+        }
+    }
+
+    /// The partition's index within its topic.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Appends a record (offset is assigned here) and wakes blocked readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MqError::Closed`] after [`PartitionLog::close`].
+    pub fn append(&self, mut record: Record) -> Result<u64, MqError> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(MqError::Closed);
+        }
+        let offset = state.next;
+        record.offset = offset;
+        record.partition = self.index;
+        state.records.push_back(record);
+        state.next += 1;
+        while state.records.len() > self.retention {
+            state.records.pop_front();
+            state.earliest += 1;
+        }
+        drop(state);
+        self.appended.notify_all();
+        Ok(offset)
+    }
+
+    /// Reads up to `max` records starting at `offset`, blocking up to
+    /// `timeout` for data when the log is caught up. An empty result means
+    /// the timeout elapsed with no new data.
+    ///
+    /// # Errors
+    ///
+    /// * [`MqError::OffsetOutOfRange`] when `offset` was truncated.
+    /// * [`MqError::Closed`] when the log is closed **and** fully consumed.
+    pub fn read_from(
+        &self,
+        offset: u64,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Record>, MqError> {
+        let mut state = self.state.lock();
+        if offset < state.earliest {
+            return Err(MqError::OffsetOutOfRange { requested: offset, earliest: state.earliest });
+        }
+        if offset >= state.next {
+            if state.closed {
+                return Err(MqError::Closed);
+            }
+            // Wait for an append or timeout.
+            self.appended.wait_for(&mut state, timeout);
+            if offset >= state.next {
+                return if state.closed { Err(MqError::Closed) } else { Ok(Vec::new()) };
+            }
+        }
+        let start = (offset - state.earliest) as usize;
+        let end = state.records.len().min(start + max);
+        Ok(state.records.iter().skip(start).take(end - start).cloned().collect())
+    }
+
+    /// Earliest retained offset.
+    pub fn earliest_offset(&self) -> u64 {
+        self.state.lock().earliest
+    }
+
+    /// Offset the next record will receive (== log end offset).
+    pub fn latest_offset(&self) -> u64 {
+        self.state.lock().next
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Returns `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().records.is_empty()
+    }
+
+    /// Marks the log closed: further appends fail, and readers that reach
+    /// the end receive [`MqError::Closed`] instead of blocking.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.appended.notify_all();
+    }
+
+    /// Returns `true` once the log is closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn rec(n: u8) -> Record {
+        Record {
+            partition: 0,
+            offset: 0,
+            timestamp: n as u64,
+            key: None,
+            value: Bytes::copy_from_slice(&[n]),
+        }
+    }
+
+    #[test]
+    fn appends_assign_monotonic_offsets() {
+        let log = PartitionLog::new(3, usize::MAX);
+        assert_eq!(log.append(rec(0)).expect("append"), 0);
+        assert_eq!(log.append(rec(1)).expect("append"), 1);
+        assert_eq!(log.latest_offset(), 2);
+        let got = log.read_from(0, 10, Duration::ZERO).expect("read");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].offset, 0);
+        assert_eq!(got[0].partition, 3, "partition index stamped on append");
+        assert_eq!(got[1].offset, 1);
+    }
+
+    #[test]
+    fn read_respects_max() {
+        let log = PartitionLog::new(0, usize::MAX);
+        for i in 0..10 {
+            log.append(rec(i)).expect("append");
+        }
+        let got = log.read_from(2, 3, Duration::ZERO).expect("read");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].offset, 2);
+        assert_eq!(got[2].offset, 4);
+    }
+
+    #[test]
+    fn empty_read_times_out_with_no_data() {
+        let log = PartitionLog::new(0, usize::MAX);
+        let got = log.read_from(0, 10, Duration::from_millis(5)).expect("read");
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn retention_truncates_oldest() {
+        let log = PartitionLog::new(0, 3);
+        for i in 0..5 {
+            log.append(rec(i)).expect("append");
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.earliest_offset(), 2);
+        let err = log.read_from(0, 10, Duration::ZERO).unwrap_err();
+        assert_eq!(err, MqError::OffsetOutOfRange { requested: 0, earliest: 2 });
+        let got = log.read_from(2, 10, Duration::ZERO).expect("read");
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_append() {
+        let log = Arc::new(PartitionLog::new(0, usize::MAX));
+        let reader = {
+            let log = Arc::clone(&log);
+            thread::spawn(move || log.read_from(0, 10, Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        log.append(rec(7)).expect("append");
+        let got = reader.join().expect("join").expect("read");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value.as_ref(), &[7]);
+    }
+
+    #[test]
+    fn close_rejects_appends_and_unblocks_readers() {
+        let log = Arc::new(PartitionLog::new(0, usize::MAX));
+        log.append(rec(1)).expect("append");
+        log.close();
+        assert_eq!(log.append(rec(2)).unwrap_err(), MqError::Closed);
+        // Reads of existing data still work...
+        assert_eq!(log.read_from(0, 10, Duration::ZERO).expect("read").len(), 1);
+        // ...but reading past the end reports Closed instead of blocking.
+        assert_eq!(log.read_from(1, 10, Duration::from_secs(5)).unwrap_err(), MqError::Closed);
+        assert!(log.is_closed());
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_records() {
+        let log = Arc::new(PartitionLog::new(0, usize::MAX));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                thread::spawn(move || {
+                    for i in 0..250u8 {
+                        log.append(rec(i.wrapping_add(t))).expect("append");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join");
+        }
+        assert_eq!(log.latest_offset(), 1000);
+        assert_eq!(log.len(), 1000);
+        // Offsets are dense.
+        let got = log.read_from(0, 1000, Duration::ZERO).expect("read");
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn zero_retention_is_clamped_to_one() {
+        let log = PartitionLog::new(0, 0);
+        log.append(rec(1)).expect("append");
+        log.append(rec(2)).expect("append");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.earliest_offset(), 1);
+    }
+}

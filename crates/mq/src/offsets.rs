@@ -1,0 +1,149 @@
+//! Committed-offset storage: the in-process analogue of Kafka's
+//! `__consumer_offsets`, letting a consumer group resume where it left off
+//! after a member restarts or an assignment rebalances.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Key of a committed offset: `(group, topic, partition)`.
+type Key = (String, String, u32);
+
+/// Thread-safe store of committed offsets per consumer group.
+///
+/// Offsets follow Kafka's convention: the committed value is the offset of
+/// the **next** record to consume.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_mq::OffsetStore;
+///
+/// let store = OffsetStore::new();
+/// store.commit("analytics", "layer1", 0, 42);
+/// assert_eq!(store.fetch("analytics", "layer1", 0), Some(42));
+/// assert_eq!(store.fetch("analytics", "layer1", 1), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct OffsetStore {
+    offsets: RwLock<BTreeMap<Key, u64>>,
+}
+
+impl OffsetStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        OffsetStore::default()
+    }
+
+    /// Commits `offset` for the group/topic/partition, returning the
+    /// previous commit if any. Commits are last-writer-wins (Kafka
+    /// semantics — the group coordinator serialises members).
+    pub fn commit(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Option<u64> {
+        self.offsets
+            .write()
+            .insert((group.to_string(), topic.to_string(), partition), offset)
+    }
+
+    /// Fetches the committed offset, `None` when the group never committed
+    /// for this partition.
+    pub fn fetch(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.offsets
+            .read()
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+    }
+
+    /// All commits of a group on a topic, by partition.
+    pub fn fetch_all(&self, group: &str, topic: &str) -> BTreeMap<u32, u64> {
+        self.offsets
+            .read()
+            .iter()
+            .filter(|((g, t, _), _)| g == group && t == topic)
+            .map(|((_, _, p), &o)| (*p, o))
+            .collect()
+    }
+
+    /// Deletes every commit of a group (group deletion / expiry).
+    pub fn reset_group(&self, group: &str) {
+        self.offsets.write().retain(|(g, _, _), _| g != group);
+    }
+
+    /// Total number of committed entries.
+    pub fn len(&self) -> usize {
+        self.offsets.read().len()
+    }
+
+    /// Returns `true` when nothing is committed.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn commit_and_fetch_roundtrip() {
+        let store = OffsetStore::new();
+        assert_eq!(store.commit("g", "t", 0, 10), None);
+        assert_eq!(store.commit("g", "t", 0, 20), Some(10));
+        assert_eq!(store.fetch("g", "t", 0), Some(20));
+    }
+
+    #[test]
+    fn groups_and_topics_are_isolated() {
+        let store = OffsetStore::new();
+        store.commit("g1", "t", 0, 5);
+        store.commit("g2", "t", 0, 9);
+        store.commit("g1", "u", 0, 7);
+        assert_eq!(store.fetch("g1", "t", 0), Some(5));
+        assert_eq!(store.fetch("g2", "t", 0), Some(9));
+        assert_eq!(store.fetch("g1", "u", 0), Some(7));
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn fetch_all_collects_partitions() {
+        let store = OffsetStore::new();
+        store.commit("g", "t", 2, 20);
+        store.commit("g", "t", 0, 5);
+        store.commit("g", "other", 0, 99);
+        let all = store.fetch_all("g", "t");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[&0], 5);
+        assert_eq!(all[&2], 20);
+    }
+
+    #[test]
+    fn reset_group_forgets_only_that_group() {
+        let store = OffsetStore::new();
+        store.commit("g1", "t", 0, 1);
+        store.commit("g2", "t", 0, 2);
+        store.reset_group("g1");
+        assert_eq!(store.fetch("g1", "t", 0), None);
+        assert_eq!(store.fetch("g2", "t", 0), Some(2));
+    }
+
+    #[test]
+    fn concurrent_commits_land() {
+        let store = Arc::new(OffsetStore::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|p| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    for o in 0..100u64 {
+                        store.commit("g", "t", p, o);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+        for p in 0..4 {
+            assert_eq!(store.fetch("g", "t", p), Some(99));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Records: the unit of storage and delivery in the broker.
+
+use bytes::Bytes;
+
+/// A record as stored in a partition log and handed to consumers.
+///
+/// `offset` is assigned by the partition at append time and is strictly
+/// increasing; `timestamp` is the producer-supplied event time in
+/// nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Partition the record lives in.
+    pub partition: u32,
+    /// Monotonic position within the partition.
+    pub offset: u64,
+    /// Producer-supplied event time (nanoseconds).
+    pub timestamp: u64,
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// The payload.
+    pub value: Bytes,
+}
+
+impl Record {
+    /// Total payload size in bytes (key + value), used by the network layer
+    /// for bytes-on-wire accounting.
+    pub fn payload_len(&self) -> usize {
+        self.key.as_ref().map_or(0, |k| k.len()) + self.value.len()
+    }
+}
+
+/// A record as handed to the broker by a producer (before offset
+/// assignment).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProducerRecord {
+    /// Optional partitioning key; records with the same key land in the
+    /// same partition.
+    pub key: Option<Bytes>,
+    /// The payload.
+    pub value: Bytes,
+    /// Event time in nanoseconds (0 when unknown).
+    pub timestamp: u64,
+}
+
+impl ProducerRecord {
+    /// Creates a record carrying `value` with no key.
+    pub fn new(value: impl Into<Bytes>) -> Self {
+        ProducerRecord { key: None, value: value.into(), timestamp: 0 }
+    }
+
+    /// Sets the partitioning key.
+    pub fn with_key(mut self, key: impl Into<Bytes>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    /// Sets the event timestamp (nanoseconds).
+    pub fn with_timestamp(mut self, timestamp: u64) -> Self {
+        self.timestamp = timestamp;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_record_builder() {
+        let r = ProducerRecord::new(&b"payload"[..]).with_key(&b"k"[..]).with_timestamp(42);
+        assert_eq!(r.key.as_deref(), Some(&b"k"[..]));
+        assert_eq!(r.value.as_ref(), b"payload");
+        assert_eq!(r.timestamp, 42);
+    }
+
+    #[test]
+    fn payload_len_counts_key_and_value() {
+        let rec = Record {
+            partition: 0,
+            offset: 0,
+            timestamp: 0,
+            key: Some(Bytes::from_static(b"ab")),
+            value: Bytes::from_static(b"cdef"),
+        };
+        assert_eq!(rec.payload_len(), 6);
+        let no_key = Record { key: None, ..rec };
+        assert_eq!(no_key.payload_len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the broker's log, codec and group invariants.
+
+use approxiot_core::{Batch, StratumId, StreamItem, WeightMap};
+use approxiot_mq::codec::{decode_batch, encode_batch, encoded_len};
+use approxiot_mq::{assign_partitions, Broker, GroupCoordinator, PartitionLog, ProducerRecord};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (
+        proptest::collection::vec((0u32..16, -1e9f64..1e9, 0u64..1000, 0u64..1_000_000), 0..50),
+        proptest::collection::vec((0u32..16, 1.0f64..1e6), 0..8),
+    )
+        .prop_map(|(items, weights)| {
+            let mut map = WeightMap::new();
+            for (s, w) in weights {
+                map.set(StratumId::new(s), w);
+            }
+            Batch::with_weights(
+                map,
+                items
+                    .into_iter()
+                    .map(|(s, v, seq, ts)| StreamItem::with_meta(StratumId::new(s), v, seq, ts))
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The codec round-trips arbitrary batches bit-exactly and the
+    /// predicted length matches the frame.
+    #[test]
+    fn codec_roundtrip_and_length(batch in arb_batch()) {
+        let frame = encode_batch(&batch);
+        prop_assert_eq!(frame.len(), encoded_len(&batch));
+        let decoded = decode_batch(&frame).expect("well-formed frame");
+        prop_assert_eq!(decoded, batch);
+    }
+
+    /// Every truncation of a valid frame fails to decode (no partial reads).
+    #[test]
+    fn codec_rejects_all_truncations(batch in arb_batch(), cut in 0usize..100) {
+        let frame = encode_batch(&batch);
+        if frame.is_empty() {
+            return Ok(());
+        }
+        let len = cut % frame.len();
+        prop_assert!(decode_batch(&frame[..len]).is_err());
+    }
+
+    /// Log appends assign dense offsets and reads return exactly the asked
+    /// range, regardless of retention.
+    #[test]
+    fn log_offsets_are_dense(
+        appends in 1usize..200,
+        retention in 1usize..64,
+        read_from in 0u64..250,
+        max in 1usize..64,
+    ) {
+        let log = PartitionLog::new(0, retention);
+        for i in 0..appends {
+            let offset = log.append(approxiot_mq::Record {
+                partition: 0,
+                offset: 0,
+                timestamp: i as u64,
+                key: None,
+                value: Bytes::from(vec![i as u8]),
+            }).expect("append");
+            prop_assert_eq!(offset, i as u64);
+        }
+        prop_assert_eq!(log.latest_offset(), appends as u64);
+        prop_assert_eq!(log.len(), appends.min(retention));
+        match log.read_from(read_from, max, Duration::ZERO) {
+            Ok(records) => {
+                // Offsets are consecutive starting at read_from.
+                for (i, r) in records.iter().enumerate() {
+                    prop_assert_eq!(r.offset, read_from + i as u64);
+                }
+                prop_assert!(records.len() <= max);
+            }
+            Err(approxiot_mq::MqError::OffsetOutOfRange { earliest, .. }) => {
+                prop_assert!(read_from < earliest);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Partition assignment is an exact partition of the topic, balanced to
+    /// within one.
+    #[test]
+    fn assignment_partitions_exactly(partitions in 1u32..64, members in 1usize..16) {
+        let split = assign_partitions(partitions, members);
+        prop_assert_eq!(split.len(), members);
+        let mut all: Vec<u32> = split.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..partitions).collect::<Vec<_>>());
+        let min = split.iter().map(Vec::len).min().unwrap_or(0);
+        let max = split.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert!(max - min <= 1, "imbalanced: {min}..{max}");
+    }
+
+    /// Group membership churn always leaves the partitions exactly covered
+    /// by the surviving members.
+    #[test]
+    fn group_churn_keeps_exact_coverage(
+        partitions in 1u32..16,
+        ops in proptest::collection::vec(proptest::bool::ANY, 1..30),
+    ) {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", partitions).expect("create");
+        let group = GroupCoordinator::new(topic);
+        let mut members: Vec<u64> = Vec::new();
+        for join in ops {
+            if join || members.is_empty() {
+                members.push(group.join().member_id);
+            } else {
+                let id = members.remove(members.len() / 2);
+                group.leave(id).expect("member exists");
+            }
+            // Invariant: while any member is live, their partitions tile
+            // the topic exactly (an empty group trivially covers nothing).
+            if !members.is_empty() {
+                let mut covered: Vec<u32> = members
+                    .iter()
+                    .flat_map(|&id| group.assignment(id).expect("live member").partitions)
+                    .collect();
+                covered.sort_unstable();
+                prop_assert_eq!(covered, (0..partitions).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// Keyed records always map to a valid partition, deterministically.
+    #[test]
+    fn keyed_partitioning_is_stable(key in proptest::collection::vec(any::<u8>(), 0..32), partitions in 1u32..32) {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", partitions).expect("create");
+        let record = ProducerRecord::new(&b"v"[..]).with_key(key.clone());
+        let p1 = topic.partition_for(&record);
+        let p2 = topic.partition_for(&ProducerRecord::new(&b"other"[..]).with_key(key));
+        prop_assert!(p1 < partitions);
+        prop_assert_eq!(p1, p2);
+    }
+}

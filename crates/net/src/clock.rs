@@ -1,0 +1,159 @@
+//! Clock abstraction: wall time for latency experiments, virtual time for
+//! fast deterministic accuracy experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock the pipeline components share.
+///
+/// Implementations must be cheap to call and safe to share across threads.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's epoch.
+    fn now_nanos(&self) -> u64;
+
+    /// Sleeps (really or virtually) for `duration`.
+    fn sleep(&self, duration: Duration);
+
+    /// Convenience: the current time as a [`Duration`] since epoch.
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+}
+
+/// Real time, anchored at construction.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::{Clock, WallClock};
+///
+/// let clock = WallClock::new();
+/// let t0 = clock.now_nanos();
+/// let t1 = clock.now_nanos();
+/// assert!(t1 >= t0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// Deterministic virtual time: `sleep` advances the clock instantly.
+///
+/// Shared via internal [`Arc`], so clones observe the same timeline. Used by
+/// the accuracy experiments, which need interval/window semantics but not
+/// real waiting.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::{Clock, SimClock};
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// clock.sleep(Duration::from_secs(5));
+/// assert_eq!(clock.now_nanos(), 5_000_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advances the clock by `duration` and returns the new time.
+    pub fn advance(&self, duration: Duration) -> u64 {
+        self.nanos.fetch_add(duration.as_nanos() as u64, Ordering::SeqCst)
+            + duration.as_nanos() as u64
+    }
+
+    /// Moves the clock forward to `nanos` if it is ahead of the current
+    /// time (never moves backwards).
+    pub fn advance_to(&self, nanos: u64) {
+        self.nanos.fetch_max(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, duration: Duration) {
+        self.advance(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        std::thread::sleep(Duration::from_millis(1));
+        let b = clock.now_nanos();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_advances() {
+        let clock = SimClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.advance(Duration::from_nanos(10)), 10);
+        assert_eq!(clock.now_nanos(), 10);
+    }
+
+    #[test]
+    fn sim_clock_clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.sleep(Duration::from_secs(1));
+        assert_eq!(b.now_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn sim_clock_never_rewinds() {
+        let clock = SimClock::new();
+        clock.advance_to(100);
+        clock.advance_to(50);
+        assert_eq!(clock.now_nanos(), 100);
+        clock.advance_to(200);
+        assert_eq!(clock.now_nanos(), 200);
+    }
+
+    #[test]
+    fn clock_objects_are_usable_via_dyn() {
+        let clock: Box<dyn Clock> = Box::new(SimClock::new());
+        clock.sleep(Duration::from_millis(2));
+        assert_eq!(clock.now(), Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,139 @@
+//! Link impairments: deterministic jitter and loss models layered over the
+//! base delay/capacity emulation — `tc netem`'s `delay ... jitter` and
+//! `loss` knobs for the failure-injection experiments.
+//!
+//! Impairments are driven by a seeded xorshift generator, so a run with the
+//! same seed impairs the same messages: failure tests stay reproducible.
+
+use std::time::Duration;
+
+/// A deterministic per-message impairment decision source.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::Impairment;
+/// use std::time::Duration;
+///
+/// let mut imp = Impairment::new(42)
+///     .with_jitter(Duration::from_millis(5))
+///     .with_loss(0.10);
+/// let mut dropped = 0;
+/// for _ in 0..1000 {
+///     if imp.drops() {
+///         dropped += 1;
+///     }
+/// }
+/// assert!(dropped > 50 && dropped < 160); // ~10%
+/// ```
+#[derive(Debug, Clone)]
+pub struct Impairment {
+    state: u64,
+    jitter: Duration,
+    loss: f64,
+}
+
+impl Impairment {
+    /// Creates an impairment source with no jitter and no loss.
+    pub fn new(seed: u64) -> Self {
+        Impairment { state: seed.max(1), jitter: Duration::ZERO, loss: 0.0 }
+    }
+
+    /// Adds uniform jitter in `[0, jitter)` to each message's delay.
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Drops each message independently with probability `loss`
+    /// (clamped to `[0, 1)`).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 0.999_999);
+        self
+    }
+
+    /// The configured jitter bound.
+    pub fn jitter(&self) -> Duration {
+        self.jitter
+    }
+
+    /// The configured loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64*: cheap, deterministic, good enough for impairment
+        // decisions (not for sampling — the samplers use `rand`).
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides whether the next message is dropped.
+    pub fn drops(&mut self) -> bool {
+        self.loss > 0.0 && self.next_unit() < self.loss
+    }
+
+    /// Draws the next message's extra delay.
+    pub fn extra_delay(&mut self) -> Duration {
+        if self.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            self.jitter.mul_f64(self.next_unit())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_impairment_by_default() {
+        let mut imp = Impairment::new(1);
+        for _ in 0..100 {
+            assert!(!imp.drops());
+            assert_eq!(imp.extra_delay(), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut imp = Impairment::new(7).with_loss(0.25);
+        let dropped = (0..10_000).filter(|_| imp.drops()).count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varied() {
+        let bound = Duration::from_millis(10);
+        let mut imp = Impairment::new(9).with_jitter(bound);
+        let delays: Vec<Duration> = (0..1000).map(|_| imp.extra_delay()).collect();
+        assert!(delays.iter().all(|&d| d < bound));
+        let distinct: std::collections::BTreeSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 100, "jitter should vary");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = Impairment::new(5).with_loss(0.5).with_jitter(Duration::from_millis(3));
+        let mut b = Impairment::new(5).with_loss(0.5).with_jitter(Duration::from_millis(3));
+        for _ in 0..100 {
+            assert_eq!(a.drops(), b.drops());
+            assert_eq!(a.extra_delay(), b.extra_delay());
+        }
+    }
+
+    #[test]
+    fn loss_is_clamped_below_one() {
+        let imp = Impairment::new(2).with_loss(5.0);
+        assert!(imp.loss() < 1.0);
+        let imp = Impairment::new(2).with_loss(-1.0);
+        assert_eq!(imp.loss(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # approxiot-net
+//!
+//! WAN emulation for the ApproxIoT reproduction: the substitute for the
+//! paper's 25-node testbed shaped with Linux `tc`.
+//!
+//! The paper's evaluation sets round-trip delays of 20/40/80 ms between
+//! adjacent tree layers over 1 Gbps links. This crate provides:
+//!
+//! * [`Link`] — a point-to-point channel with configurable one-way
+//!   propagation delay and finite capacity (serialisation delay), driven by
+//!   a background pump thread;
+//! * [`NetMetrics`] / [`bandwidth_saving`] — bytes-on-wire accounting for
+//!   the Figure 7 bandwidth experiment;
+//! * [`Clock`], [`WallClock`], [`SimClock`] — the time abstraction letting
+//!   accuracy experiments run in fast virtual time while latency
+//!   experiments use real waiting.
+//!
+//! ## Example
+//!
+//! ```
+//! use approxiot_net::{Link, LinkConfig};
+//! use std::time::Duration;
+//!
+//! // The paper's first-layer link: 20 ms RTT → 10 ms one-way.
+//! let cfg = LinkConfig::with_delay(Duration::from_millis(10))
+//!     .capacity(125_000_000); // 1 Gbps in bytes/s
+//! let (tx, rx, _pump) = Link::connect(cfg);
+//! tx.send(b"frame".to_vec(), 5).expect("receiver alive");
+//! assert_eq!(rx.recv().expect("delivered"), b"frame");
+//! ```
+
+pub mod clock;
+pub mod impairment;
+pub mod link;
+pub mod metrics;
+pub mod ratelimit;
+
+pub use clock::{Clock, SimClock, WallClock};
+pub use impairment::Impairment;
+pub use link::{Link, LinkClosed, LinkConfig, LinkSender};
+pub use metrics::{bandwidth_saving, NetMetrics};
+pub use ratelimit::RateLimiter;

@@ -1,0 +1,365 @@
+//! Simulated WAN links: one-way propagation delay plus serialisation delay
+//! from a finite link capacity.
+//!
+//! The paper's testbed shapes traffic with Linux `tc`: 20/40/80 ms RTTs
+//! between layers and 1 Gbps links. [`Link`] reproduces both effects for an
+//! in-process pipeline:
+//!
+//! * **propagation delay** — every message is delivered `delay` after its
+//!   departure;
+//! * **serialisation/bandwidth** — messages depart no faster than
+//!   `capacity` allows, queueing behind each other exactly like packets on
+//!   a bottleneck link.
+//!
+//! Delivery order is FIFO. A background pump thread owns the waiting; the
+//! sender never blocks beyond an (optional) bounded queue.
+
+use crate::impairment::Impairment;
+use crate::metrics::NetMetrics;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Configuration of one simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay (half the `tc` RTT).
+    pub delay: Duration,
+    /// Link capacity in bytes/second; `None` = infinite (no serialisation
+    /// delay).
+    pub capacity_bytes_per_sec: Option<u64>,
+    /// Bound on the sender-side queue (messages); `None` = unbounded.
+    pub queue_limit: Option<usize>,
+    /// Uniform extra delay in `[0, jitter)` per message (netem `jitter`).
+    pub jitter: Duration,
+    /// Independent per-message drop probability (netem `loss`).
+    pub loss: f64,
+    /// Seed for the deterministic impairment decisions.
+    pub impairment_seed: u64,
+}
+
+impl LinkConfig {
+    /// An ideal link: zero delay, infinite capacity, no impairment.
+    pub fn ideal() -> Self {
+        LinkConfig {
+            delay: Duration::ZERO,
+            capacity_bytes_per_sec: None,
+            queue_limit: None,
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            impairment_seed: 0x11F,
+        }
+    }
+
+    /// A link with propagation delay only.
+    pub fn with_delay(delay: Duration) -> Self {
+        LinkConfig { delay, ..LinkConfig::ideal() }
+    }
+
+    /// Adds uniform jitter in `[0, jitter)` per message.
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Drops each message independently with probability `loss`.
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the capacity in bytes per second.
+    pub fn capacity(mut self, bytes_per_sec: u64) -> Self {
+        self.capacity_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Bounds the sender queue.
+    pub fn queue_limit(mut self, messages: usize) -> Self {
+        self.queue_limit = Some(messages);
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::ideal()
+    }
+}
+
+struct InFlight<T> {
+    msg: T,
+    size: u64,
+    /// Time the message entered the link queue (since the link's epoch).
+    enqueued: Duration,
+}
+
+/// Sending endpoint of a simulated link.
+#[derive(Debug)]
+pub struct LinkSender<T> {
+    tx: Sender<InFlight<T>>,
+    metrics: NetMetrics,
+    epoch: Instant,
+}
+
+impl<T> LinkSender<T> {
+    /// Enqueues a message of `size` bytes, blocking when the queue is
+    /// bounded and full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkClosed`] when the receiving endpoint is gone.
+    pub fn send(&self, msg: T, size: u64) -> Result<(), LinkClosed> {
+        self.metrics.record_send(size);
+        self.tx
+            .send(InFlight { msg, size, enqueued: self.epoch.elapsed() })
+            .map_err(|_| LinkClosed)
+    }
+
+    /// This link's byte/message counters.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+}
+
+impl<T> Clone for LinkSender<T> {
+    fn clone(&self) -> Self {
+        LinkSender { tx: self.tx.clone(), metrics: self.metrics.clone(), epoch: self.epoch }
+    }
+}
+
+/// Error returned when sending on a link whose receiver has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClosed;
+
+impl std::fmt::Display for LinkClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link closed")
+    }
+}
+
+impl std::error::Error for LinkClosed {}
+
+/// A WAN-emulating point-to-point link.
+///
+/// Create with [`Link::connect`], which returns the sending endpoint and the
+/// receiving channel. Dropping all senders drains then closes the receiver;
+/// dropping the receiver makes sends fail.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::{Link, LinkConfig};
+/// use std::time::{Duration, Instant};
+///
+/// let (tx, rx, _pump) = Link::connect(LinkConfig::with_delay(Duration::from_millis(5)));
+/// let t0 = Instant::now();
+/// tx.send("hello", 100).expect("receiver alive");
+/// let msg = rx.recv().expect("delivered");
+/// assert_eq!(msg, "hello");
+/// assert!(t0.elapsed() >= Duration::from_millis(5));
+/// ```
+#[derive(Debug)]
+pub struct Link;
+
+impl Link {
+    /// Builds a link, spawning its pump thread. Returns
+    /// `(sender, receiver, pump_handle)`; the pump exits when every sender
+    /// is dropped and the queue drains.
+    pub fn connect<T: Send + 'static>(
+        config: LinkConfig,
+    ) -> (LinkSender<T>, Receiver<T>, JoinHandle<()>) {
+        let (in_tx, in_rx) = match config.queue_limit {
+            Some(limit) => channel::bounded::<InFlight<T>>(limit),
+            None => channel::unbounded(),
+        };
+        let (out_tx, out_rx) = channel::unbounded::<T>();
+        let metrics = NetMetrics::new();
+        let epoch = Instant::now();
+        let pump = thread::Builder::new()
+            .name("approxiot-link-pump".into())
+            .spawn(move || pump_loop(in_rx, out_tx, config, epoch))
+            .expect("spawn link pump thread");
+        (LinkSender { tx: in_tx, metrics, epoch }, out_rx, pump)
+    }
+}
+
+fn pump_loop<T: Send>(
+    in_rx: Receiver<InFlight<T>>,
+    out_tx: Sender<T>,
+    config: LinkConfig,
+    epoch: Instant,
+) {
+    // Time (since epoch) when the link finishes serialising the previous
+    // message — the bottleneck queue state.
+    let mut link_free_at = Duration::ZERO;
+    let mut impairment = Impairment::new(config.impairment_seed)
+        .with_jitter(config.jitter)
+        .with_loss(config.loss);
+    loop {
+        let in_flight = match in_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if impairment.drops() {
+            continue; // lost on the wire
+        }
+        let tx_time = match config.capacity_bytes_per_sec {
+            Some(bps) if bps > 0 => {
+                Duration::from_secs_f64(in_flight.size as f64 / bps as f64)
+            }
+            _ => Duration::ZERO,
+        };
+        // The message starts serialising when both it has arrived at the
+        // queue and the link is free, finishing tx_time later; propagation
+        // then overlaps with the next message's serialisation (pipelining).
+        let depart = link_free_at.max(in_flight.enqueued) + tx_time;
+        link_free_at = depart;
+        let deliver_at = depart + config.delay + impairment.extra_delay();
+        let wait = deliver_at.saturating_sub(epoch.elapsed());
+        if !wait.is_zero() {
+            thread::sleep(wait);
+        }
+        if out_tx.send(in_flight.msg).is_err() {
+            break; // receiver gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_is_fast_and_ordered() {
+        let (tx, rx, pump) = Link::connect(LinkConfig::ideal());
+        for i in 0..100 {
+            tx.send(i, 10).expect("send");
+        }
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().expect("recv")).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        drop(tx);
+        pump.join().expect("pump exits");
+    }
+
+    #[test]
+    fn delay_is_applied() {
+        let (tx, rx, _pump) =
+            Link::connect(LinkConfig::with_delay(Duration::from_millis(20)));
+        let t0 = Instant::now();
+        tx.send((), 1).expect("send");
+        rx.recv().expect("recv");
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(20), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(200), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn capacity_serialises_messages() {
+        // 10 KB/s link, 5 messages of 100 bytes = 50 ms of serialisation.
+        let (tx, rx, _pump) = Link::connect(LinkConfig::ideal().capacity(10_000));
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            tx.send((), 100).expect("send");
+        }
+        for _ in 0..5 {
+            rx.recv().expect("recv");
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(45), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn pipelining_overlaps_delay_not_bandwidth() {
+        // With pure propagation delay, N messages take ~delay total, not
+        // N * delay: the link pipelines.
+        let (tx, rx, _pump) =
+            Link::connect(LinkConfig::with_delay(Duration::from_millis(30)));
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            tx.send((), 1).expect("send");
+        }
+        for _ in 0..10 {
+            rx.recv().expect("recv");
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed < Duration::from_millis(300), "pipelined, got {elapsed:?}");
+        assert!(elapsed >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn metrics_count_bytes() {
+        let (tx, rx, _pump) = Link::connect(LinkConfig::ideal());
+        tx.send((), 500).expect("send");
+        tx.send((), 700).expect("send");
+        rx.recv().expect("recv");
+        rx.recv().expect("recv");
+        assert_eq!(tx.metrics().bytes_sent(), 1200);
+        assert_eq!(tx.metrics().messages_sent(), 2);
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let (tx, rx, pump) = Link::connect::<u32>(LinkConfig::ideal());
+        drop(rx);
+        // The pump notices on its next forward; give it a message to choke on.
+        tx.send(1, 1).ok();
+        pump.join().expect("pump exits after receiver drop");
+        assert_eq!(tx.send(2, 1), Err(LinkClosed));
+    }
+
+    #[test]
+    fn receiver_sees_disconnect_after_senders_drop() {
+        let (tx, rx, pump) = Link::connect(LinkConfig::ideal());
+        tx.send(9, 1).expect("send");
+        drop(tx);
+        assert_eq!(rx.recv().expect("last message"), 9);
+        assert!(rx.recv().is_err(), "channel closed after drain");
+        pump.join().expect("pump exits");
+    }
+
+    #[test]
+    fn cloned_senders_share_the_link() {
+        let (tx, rx, _pump) = Link::connect(LinkConfig::ideal());
+        let tx2 = tx.clone();
+        tx.send(1, 10).expect("send");
+        tx2.send(2, 10).expect("send");
+        let mut got = vec![rx.recv().expect("recv"), rx.recv().expect("recv")];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(tx.metrics().messages_sent(), 2, "clones share metrics");
+    }
+}
+
+#[cfg(test)]
+mod impairment_tests {
+    use super::*;
+
+    #[test]
+    fn lossy_link_drops_about_the_configured_fraction() {
+        let (tx, rx, pump) = Link::connect(LinkConfig::ideal().loss(0.3));
+        for i in 0..2_000 {
+            tx.send(i, 1).expect("send");
+        }
+        drop(tx);
+        let delivered: Vec<i32> = rx.iter().collect();
+        pump.join().expect("pump exits");
+        let rate = 1.0 - delivered.len() as f64 / 2_000.0;
+        assert!((rate - 0.3).abs() < 0.06, "loss rate {rate}");
+        // Survivors keep their order.
+        assert!(delivered.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn jitter_spreads_deliveries_without_reordering() {
+        let (tx, rx, _pump) = Link::connect(
+            LinkConfig::with_delay(Duration::from_millis(2)).jitter(Duration::from_millis(8)),
+        );
+        for i in 0..50 {
+            tx.send(i, 1).expect("send");
+        }
+        let got: Vec<i32> = (0..50).map(|_| rx.recv().expect("recv")).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "FIFO preserved under jitter");
+    }
+}

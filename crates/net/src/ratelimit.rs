@@ -1,0 +1,146 @@
+//! Token-bucket rate limiting: the in-band way to model link capacity when
+//! a component sends through a shared broker rather than a dedicated
+//! [`crate::Link`].
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A token bucket dispensing bytes at a fixed rate.
+///
+/// `acquire(bytes)` blocks until the bucket can cover the request, which
+/// reproduces a bottleneck link's serialisation delay for a producer
+/// thread. The bucket's burst size bounds how far ahead a sender can run.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::RateLimiter;
+///
+/// // 1 MB/s with a 64 KB burst allowance.
+/// let limiter = RateLimiter::new(1_000_000, 64_000);
+/// limiter.acquire(1000); // returns quickly: within the initial burst
+/// ```
+#[derive(Debug)]
+pub struct RateLimiter {
+    bytes_per_sec: f64,
+    burst: f64,
+    state: Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl RateLimiter {
+    /// Creates a limiter dispensing `bytes_per_sec`, allowing bursts of up
+    /// to `burst` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn new(bytes_per_sec: u64, burst: u64) -> Self {
+        assert!(bytes_per_sec > 0, "rate must be positive");
+        assert!(burst > 0, "burst must be positive");
+        RateLimiter {
+            bytes_per_sec: bytes_per_sec as f64,
+            burst: burst as f64,
+            state: Mutex::new(BucketState { tokens: burst as f64, last_refill: Instant::now() }),
+        }
+    }
+
+    /// The configured rate in bytes/second.
+    pub fn rate(&self) -> u64 {
+        self.bytes_per_sec as u64
+    }
+
+    /// Blocks until `bytes` tokens are available, then consumes them.
+    ///
+    /// Requests larger than the burst size are still served (the caller
+    /// waits for the deficit), so oversized frames degrade to pure pacing
+    /// rather than deadlocking.
+    pub fn acquire(&self, bytes: u64) {
+        let needed = bytes as f64;
+        loop {
+            let wait = {
+                let mut s = self.state.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+                s.tokens = (s.tokens + elapsed * self.bytes_per_sec).min(self.burst.max(needed));
+                s.last_refill = now;
+                if s.tokens >= needed {
+                    s.tokens -= needed;
+                    return;
+                }
+                Duration::from_secs_f64(((needed - s.tokens) / self.bytes_per_sec).min(0.05))
+            };
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Non-blocking variant: consumes and returns `true` when the bucket
+    /// covers `bytes` right now.
+    pub fn try_acquire(&self, bytes: u64) -> bool {
+        let needed = bytes as f64;
+        let mut s = self.state.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+        s.tokens = (s.tokens + elapsed * self.bytes_per_sec).min(self.burst);
+        s.last_refill = now;
+        if s.tokens >= needed {
+            s.tokens -= needed;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_served_immediately() {
+        let limiter = RateLimiter::new(1_000, 10_000);
+        let t0 = Instant::now();
+        limiter.acquire(5_000);
+        assert!(t0.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        // 100 KB/s, tiny burst; 10 KB should take ~100 ms.
+        let limiter = RateLimiter::new(100_000, 1_000);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            limiter.acquire(1_000);
+        }
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(70), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(400), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn oversized_request_does_not_deadlock() {
+        let limiter = RateLimiter::new(1_000_000, 100);
+        let t0 = Instant::now();
+        limiter.acquire(10_000); // 100x the burst
+        assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn try_acquire_reports_availability() {
+        let limiter = RateLimiter::new(1_000, 1_000);
+        assert!(limiter.try_acquire(500));
+        assert!(limiter.try_acquire(500));
+        assert!(!limiter.try_acquire(800), "bucket drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        RateLimiter::new(0, 1);
+    }
+}

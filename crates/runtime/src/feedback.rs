@@ -1,0 +1,130 @@
+//! The adaptive feedback loop of §IV: when a window's error bound exceeds
+//! the user's accuracy budget, refine the sampling parameters at all layers
+//! for subsequent windows.
+
+use crate::root::WindowResult;
+use approxiot_core::{AdaptiveController, BudgetError, Confidence};
+
+/// Drives an [`AdaptiveController`] from the root's window results and
+/// exposes the refined per-layer fraction the pipeline should apply.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_runtime::FeedbackLoop;
+///
+/// let mut feedback = FeedbackLoop::new(0.2, 0.01)?; // start 20%, budget 1% error
+/// assert_eq!(feedback.overall_fraction(), 0.2);
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeedbackLoop {
+    controller: AdaptiveController,
+    confidence: Confidence,
+    refinements: u64,
+}
+
+impl FeedbackLoop {
+    /// Creates a loop starting at `fraction` with a relative error budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64, target_rel_error: f64) -> Result<Self, BudgetError> {
+        Ok(FeedbackLoop {
+            controller: AdaptiveController::new(fraction, target_rel_error)?,
+            confidence: Confidence::P95,
+            refinements: 0,
+        })
+    }
+
+    /// Uses a different confidence level for the observed bound.
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// The current end-to-end sampling fraction.
+    pub fn overall_fraction(&self) -> f64 {
+        self.controller.fraction()
+    }
+
+    /// The per-stage fraction for a three-stage tree.
+    pub fn per_stage_fraction(&self) -> f64 {
+        self.controller.fraction().cbrt().min(1.0)
+    }
+
+    /// Number of times the fraction actually changed.
+    pub fn refinements(&self) -> u64 {
+        self.refinements
+    }
+
+    /// Feeds one window result back; returns the (possibly refined)
+    /// overall fraction for the next window.
+    pub fn observe(&mut self, result: &WindowResult) -> f64 {
+        let observed = result
+            .estimate
+            .relative_bound(self.confidence)
+            .unwrap_or(0.0);
+        let before = self.controller.fraction();
+        let after = self.controller.observe(observed);
+        if (after - before).abs() > f64::EPSILON {
+            self.refinements += 1;
+        }
+        after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::Estimate;
+    use std::collections::BTreeMap;
+
+    fn result(value: f64, variance: f64) -> WindowResult {
+        WindowResult {
+            window: 0,
+            start_nanos: 0,
+            end_nanos: 1,
+            estimate: Estimate::new(value, variance),
+            per_stratum: BTreeMap::new(),
+            sampled_items: 0,
+            count_hat: 0.0,
+        }
+    }
+
+    #[test]
+    fn noisy_windows_raise_the_fraction() {
+        let mut feedback = FeedbackLoop::new(0.1, 0.01).expect("valid");
+        // value 100, sigma 10 → 2-sigma relative bound 0.2, 20x over budget.
+        let f = feedback.observe(&result(100.0, 100.0));
+        assert!(f > 0.1);
+        assert_eq!(feedback.refinements(), 1);
+    }
+
+    #[test]
+    fn quiet_windows_relax_the_fraction() {
+        let mut feedback = FeedbackLoop::new(0.8, 0.10).expect("valid");
+        // Essentially exact result → shrink.
+        let f = feedback.observe(&result(100.0, 1e-9));
+        assert!(f < 0.8);
+    }
+
+    #[test]
+    fn per_stage_is_cube_root() {
+        let feedback = FeedbackLoop::new(0.125, 0.01).expect("valid");
+        assert!((feedback.per_stage_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_value_estimates_do_not_panic() {
+        let mut feedback = FeedbackLoop::new(0.5, 0.01).expect("valid");
+        let f = feedback.observe(&result(0.0, 4.0));
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        assert!(FeedbackLoop::new(0.0, 0.01).is_err());
+    }
+}

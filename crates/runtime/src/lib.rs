@@ -1,0 +1,56 @@
+//! # approxiot-runtime
+//!
+//! The assembled ApproxIoT system: sampling nodes, the windowed root node,
+//! logical-tree topologies and end-to-end pipelines over the messaging and
+//! network substrates.
+//!
+//! Two execution modes cover the paper's evaluation:
+//!
+//! * [`SimTree`] — the four-layer topology in deterministic virtual time,
+//!   used by every *accuracy* experiment (Figures 5, 10, 11a). Thousands of
+//!   windows run in milliseconds with seeded randomness.
+//! * [`run_pipeline`] — the fully threaded pipeline over `approxiot-mq`
+//!   topics with WAN delay/capacity emulation, used by the *wall-clock*
+//!   experiments (Figures 6–9, 11b).
+//!
+//! Both run any of three strategies side by side: ApproxIoT's weighted
+//! hierarchical sampling, the coin-flip SRS baseline, and the native
+//! (unsampled) execution — exactly the three systems the paper compares.
+//!
+//! ## Example
+//!
+//! ```
+//! use approxiot_core::{Batch, StratumId, StreamItem};
+//! use approxiot_runtime::{SimTree, TreeConfig};
+//!
+//! // The paper's topology at a 10% end-to-end sampling fraction.
+//! let mut tree = SimTree::new(TreeConfig::paper_topology(0.10))?;
+//! let sources: Vec<Batch> = (0..8)
+//!     .map(|s| {
+//!         Batch::from_items(
+//!             (0..1000)
+//!                 .map(|k| StreamItem::with_meta(StratumId::new(s), 1.0, k, 0))
+//!                 .collect(),
+//!         )
+//!     })
+//!     .collect();
+//! tree.push_interval(&sources);
+//! let results = tree.flush();
+//! // 8000 original items reconstructed from ~800 sampled ones.
+//! assert!((results[0].count_hat - 8000.0).abs() < 1e-6);
+//! # Ok::<(), approxiot_core::BudgetError>(())
+//! ```
+
+pub mod feedback;
+pub mod node;
+pub mod pipeline;
+pub mod query;
+pub mod root;
+pub mod tree;
+
+pub use feedback::FeedbackLoop;
+pub use node::{SamplingNode, Strategy};
+pub use pipeline::{run_pipeline, LatencyStats, PipelineConfig, PipelineReport};
+pub use query::Query;
+pub use root::{RootConfig, RootNode, WindowResult};
+pub use tree::{FractionSplit, LayerBytes, SimTree, TreeConfig};

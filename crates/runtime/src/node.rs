@@ -1,0 +1,355 @@
+//! Sampling nodes: the per-node behaviour of Algorithm 2, parameterised by
+//! sampling strategy so the same pipeline can run ApproxIoT, the SRS
+//! baseline or the native (no sampling) execution.
+
+use approxiot_core::{
+    Allocation, Batch, CostFunction, SamplingBudget, SrsSampler, WhsSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The sampling strategy a node runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Weighted hierarchical sampling (the paper's contribution).
+    Whs {
+        /// Per-stratum reservoir allocation policy.
+        allocation: Allocation,
+    },
+    /// Coin-flip simple random sampling (the paper's baseline).
+    Srs,
+    /// No sampling: forward everything (the paper's "native execution").
+    Native,
+}
+
+impl Strategy {
+    /// The default ApproxIoT strategy (uniform allocation).
+    pub fn whs() -> Self {
+        Strategy::Whs { allocation: Allocation::Uniform }
+    }
+
+    /// Short label for reports ("approxiot", "srs", "native").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Whs { .. } => "approxiot",
+            Strategy::Srs => "srs",
+            Strategy::Native => "native",
+        }
+    }
+}
+
+/// One sampling node of the logical tree (Algorithm 2, lines 2–19).
+///
+/// For every incoming `(W_in, items)` batch, the node derives its sample
+/// size from the cost function and produces a `(W_out, sample)` batch for
+/// its parent.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+/// use approxiot_runtime::{SamplingNode, Strategy};
+///
+/// let mut node = SamplingNode::new(Strategy::whs(), 0.5, 42)?;
+/// let batch = Batch::from_items(
+///     (0..100).map(|i| StreamItem::new(StratumId::new(0), i as f64)).collect(),
+/// );
+/// let out = node.process_batch(&batch);
+/// assert_eq!(out.len(), 50);
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug)]
+pub struct SamplingNode {
+    strategy: Strategy,
+    budget: SamplingBudget,
+    whs: WhsSampler,
+    srs: Option<SrsSampler>,
+    rng: StdRng,
+    items_in: u64,
+    items_out: u64,
+}
+
+impl SamplingNode {
+    /// Creates a node keeping `fraction` of its input under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] unless `0 < fraction <= 1`.
+    pub fn new(
+        strategy: Strategy,
+        fraction: f64,
+        seed: u64,
+    ) -> Result<Self, approxiot_core::BudgetError> {
+        let budget = SamplingBudget::new(fraction)?;
+        // The budget already validated the (0, 1] domain SrsSampler requires.
+        let srs = match strategy {
+            Strategy::Srs => Some(SrsSampler::new(fraction).expect("fraction validated by budget")),
+            _ => None,
+        };
+        let allocation = match strategy {
+            Strategy::Whs { allocation } => allocation,
+            _ => Allocation::Uniform,
+        };
+        Ok(SamplingNode {
+            strategy,
+            budget,
+            whs: WhsSampler::new(allocation),
+            srs,
+            rng: StdRng::seed_from_u64(seed),
+            items_in: 0,
+            items_out: 0,
+        })
+    }
+
+    /// The node's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The node's sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        self.budget.fraction()
+    }
+
+    /// Replaces the sampling fraction (adaptive feedback, §IV).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] unless `0 < fraction <= 1`.
+    pub fn set_fraction(&mut self, fraction: f64) -> Result<(), approxiot_core::BudgetError> {
+        self.budget = SamplingBudget::new(fraction)?;
+        if self.srs.is_some() {
+            self.srs = Some(SrsSampler::new(fraction).expect("same domain as budget"));
+        }
+        Ok(())
+    }
+
+    /// Processes one incoming batch into the batch forwarded upstream.
+    pub fn process_batch(&mut self, batch: &Batch) -> Batch {
+        self.items_in += batch.len() as u64;
+        let out = match self.strategy {
+            Strategy::Whs { .. } => {
+                let size = self.budget.sample_size(batch.len());
+                self.whs.sample_batch(batch, size, &mut self.rng).into_batch()
+            }
+            Strategy::Srs => {
+                let srs = self.srs.as_ref().expect("srs sampler present for Srs strategy");
+                Batch::from_items(srs.sample(batch, &mut self.rng))
+            }
+            Strategy::Native => batch.clone(),
+        };
+        self.items_out += out.len() as u64;
+        out
+    }
+
+    /// Processes one batch using `workers` independent shards — the paper's
+    /// §III-E distributed execution. Each shard samples its portion into a
+    /// local reservoir of at most `N/workers` slots with its own arrival
+    /// counter, producing one output batch per shard; the root's `Θ`
+    /// handling accepts multiple pairs per stratum, so nothing else
+    /// changes.
+    ///
+    /// Only meaningful for the WHS strategy; SRS and native are per-item
+    /// and fall back to a single [`SamplingNode::process_batch`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn process_batch_sharded(&mut self, batch: &Batch, workers: usize) -> Vec<Batch> {
+        assert!(workers > 0, "workers must be positive");
+        match self.strategy {
+            Strategy::Whs { allocation } => {
+                self.items_in += batch.len() as u64;
+                let size = self.budget.sample_size(batch.len());
+                // Resolve carried weights exactly like the unsharded path.
+                let resolved = self.whs.resolve_weights(batch);
+                let outs = approxiot_core::sharded_whs_sample(
+                    batch,
+                    size,
+                    &resolved,
+                    allocation,
+                    workers,
+                    &mut self.rng,
+                );
+                outs.into_iter()
+                    .filter(|o| !o.sample.is_empty())
+                    .map(|o| {
+                        self.items_out += o.sample.len() as u64;
+                        o.into_batch()
+                    })
+                    .collect()
+            }
+            _ => vec![self.process_batch(batch)],
+        }
+    }
+
+    /// Items received so far.
+    pub fn items_in(&self) -> u64 {
+        self.items_in
+    }
+
+    /// Items forwarded so far.
+    pub fn items_out(&self) -> u64 {
+        self.items_out
+    }
+
+    /// Clears carried weights and counters (between independent runs).
+    pub fn reset(&mut self) {
+        self.whs.reset();
+        self.items_in = 0;
+        self.items_out = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::{StratumId, StreamItem, WeightMap};
+
+    fn batch(counts: &[(u32, usize)]) -> Batch {
+        let mut items = Vec::new();
+        for &(stratum, n) in counts {
+            for k in 0..n {
+                items.push(StreamItem::with_meta(StratumId::new(stratum), 1.0, k as u64, 0));
+            }
+        }
+        Batch::from_items(items)
+    }
+
+    #[test]
+    fn whs_node_samples_to_budget() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.1, 1).expect("valid");
+        let out = node.process_batch(&batch(&[(0, 1000)]));
+        assert_eq!(out.len(), 100);
+        assert_eq!(out.weights.get(StratumId::new(0)), 10.0);
+        assert_eq!(node.items_in(), 1000);
+        assert_eq!(node.items_out(), 100);
+    }
+
+    #[test]
+    fn srs_node_flips_coins() {
+        let mut node = SamplingNode::new(Strategy::Srs, 0.5, 2).expect("valid");
+        let out = node.process_batch(&batch(&[(0, 10_000)]));
+        assert!((out.len() as f64 - 5_000.0).abs() < 300.0, "got {}", out.len());
+        assert!(out.weights.is_empty(), "SRS carries no weight metadata");
+    }
+
+    #[test]
+    fn native_node_is_identity() {
+        let mut node = SamplingNode::new(Strategy::Native, 1.0, 3).expect("valid");
+        let input = batch(&[(0, 17), (1, 3)]);
+        let out = node.process_batch(&input);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::whs().label(), "approxiot");
+        assert_eq!(Strategy::Srs.label(), "srs");
+        assert_eq!(Strategy::Native.label(), "native");
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        assert!(SamplingNode::new(Strategy::whs(), 0.0, 0).is_err());
+        assert!(SamplingNode::new(Strategy::Srs, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn set_fraction_changes_behaviour() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.1, 4).expect("valid");
+        node.set_fraction(1.0).expect("valid");
+        let out = node.process_batch(&batch(&[(0, 100)]));
+        assert_eq!(out.len(), 100);
+        assert!(node.set_fraction(2.0).is_err());
+    }
+
+    #[test]
+    fn whs_node_carries_weights_between_batches() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.5, 5).expect("valid");
+        let mut first = batch(&[(0, 4)]);
+        first.weights.set(StratumId::new(0), 2.0);
+        let out1 = node.process_batch(&first);
+        assert_eq!(out1.weights.get(StratumId::new(0)), 4.0, "2 * 4/2");
+        // Weightless follow-up uses the carried 2.0.
+        let out2 = node.process_batch(&batch(&[(0, 4)]));
+        assert_eq!(out2.weights.get(StratumId::new(0)), 4.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.5, 6).expect("valid");
+        let mut wb = batch(&[(0, 2)]);
+        wb.weights = WeightMap::new();
+        wb.weights.set(StratumId::new(0), 8.0);
+        node.process_batch(&wb);
+        node.reset();
+        assert_eq!(node.items_in(), 0);
+        // 2 items into ceil(0.5*2) = 1 slot: with the carried 8.0 cleared the
+        // input weight is 1, so the output weight is 1 * 2/1 = 2 (not 16).
+        let out = node.process_batch(&batch(&[(0, 2)]));
+        assert_eq!(out.weights.get(StratumId::new(0)), 2.0, "carry cleared");
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+    use super::*;
+    use approxiot_core::{StratumId, StreamItem, ThetaStore, WhsOutput};
+
+    fn batch(n: usize) -> Batch {
+        Batch::from_items(
+            (0..n).map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0)).collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_node_emits_one_batch_per_worker() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.1, 1).expect("valid");
+        let outs = node.process_batch_sharded(&batch(1_000), 4);
+        assert_eq!(outs.len(), 4);
+        let total: usize = outs.iter().map(Batch::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sharded_outputs_reconstruct_the_count() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.2, 2).expect("valid");
+        let outs = node.process_batch_sharded(&batch(500), 5);
+        let theta: ThetaStore = outs
+            .into_iter()
+            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .collect();
+        assert!((theta.count_estimate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_whs_strategies_fall_back_to_single_output() {
+        let mut node = SamplingNode::new(Strategy::Native, 1.0, 3).expect("valid");
+        let outs = node.process_batch_sharded(&batch(10), 4);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].len(), 10);
+    }
+
+    #[test]
+    fn sharded_node_honours_carried_weights() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.5, 4).expect("valid");
+        let mut first = batch(4);
+        first.weights.set(StratumId::new(0), 3.0);
+        node.process_batch_sharded(&first, 2);
+        // Weightless follow-up carries the 3.0 into every shard.
+        let outs = node.process_batch_sharded(&batch(8), 2);
+        let theta: ThetaStore = outs
+            .into_iter()
+            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .collect();
+        assert!((theta.count_estimate() - 24.0).abs() < 1e-9, "3.0 * 8 items");
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be positive")]
+    fn zero_workers_rejected() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.5, 5).expect("valid");
+        node.process_batch_sharded(&batch(1), 0);
+    }
+}

@@ -1,0 +1,630 @@
+//! The threaded end-to-end pipeline: sources → leaf edge nodes → mid edge
+//! nodes → root, connected through broker topics with WAN delay and
+//! capacity emulation.
+//!
+//! This is the engine behind the wall-clock experiments — throughput
+//! (Figure 6), bandwidth (Figure 7), latency vs sampling fraction
+//! (Figure 8), latency vs window size (Figure 9) and the real-world
+//! throughput runs (Figure 11b). Accuracy experiments use the faster
+//! deterministic [`crate::SimTree`] instead.
+//!
+//! ## How the WAN is emulated
+//!
+//! * **Propagation delay**: producers stamp each record with its send time;
+//!   consumers hold records until `send_time + hop_delay` before processing
+//!   — equivalent to the paper's `tc` netem delay without a thread per
+//!   link.
+//! * **Capacity**: each sending node owns a token bucket
+//!   ([`approxiot_net::RateLimiter`]) charged with the encoded frame size —
+//!   the paper's 1 Gbps link cap, scaled down for laptop runs.
+//! * **Interval semantics**: in WHS mode each edge node buffers one
+//!   computation window of input before sampling and forwarding — this is
+//!   Algorithm 2's per-interval loop and the source of the window-size
+//!   latency dependence in Figure 9. SRS and native nodes forward
+//!   immediately (coin flips need no window).
+
+use crate::node::{SamplingNode, Strategy};
+use crate::query::Query;
+use crate::root::{RootConfig, RootNode, WindowResult};
+use crate::tree::{FractionSplit, LayerBytes};
+use approxiot_core::Batch;
+use approxiot_mq::codec::encoded_len;
+use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, StartOffset};
+use approxiot_net::RateLimiter;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// First-layer edge nodes.
+    pub leaves: usize,
+    /// Second-layer edge nodes.
+    pub mids: usize,
+    /// Sampling strategy at every node.
+    pub strategy: Strategy,
+    /// End-to-end sampling fraction, divided across stages per `split`.
+    pub overall_fraction: f64,
+    /// How the fraction is divided across the three sampling stages.
+    pub split: FractionSplit,
+    /// Computation window (and WHS edge-buffering interval).
+    pub window: Duration,
+    /// Query at the root.
+    pub query: Query,
+    /// One-way delays per hop: sources→leaves, leaves→mids, mids→root.
+    /// The paper's testbed: 10 ms, 20 ms, 40 ms (half of 20/40/80 ms RTT).
+    pub hop_delays: [Duration; 3],
+    /// Per-edge-node uplink capacity in bytes/second (`None` = unlimited).
+    /// These are the WAN links sampling saves bytes on.
+    pub capacity_bytes_per_sec: Option<u64>,
+    /// Source-uplink capacity (`None` = unlimited). The paper's throughput
+    /// experiments saturate the system downstream of the sources, so
+    /// throughput benches leave this unlimited.
+    pub source_capacity_bytes_per_sec: Option<u64>,
+    /// Pace sources at one batch per `source_interval` of wall time;
+    /// `None` drives sources as fast as the links accept (throughput
+    /// mode).
+    pub source_interval: Option<Duration>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The paper's topology with WAN delays scaled by `delay_scale`
+    /// (1.0 = the paper's 10/20/40 ms one-way).
+    pub fn paper_topology(overall_fraction: f64, delay_scale: f64) -> Self {
+        let ms = |m: f64| Duration::from_secs_f64(m * delay_scale / 1000.0);
+        PipelineConfig {
+            leaves: 4,
+            mids: 2,
+            strategy: Strategy::whs(),
+            overall_fraction,
+            split: FractionSplit::Even,
+            window: Duration::from_secs(1),
+            query: Query::Sum,
+            hop_delays: [ms(10.0), ms(20.0), ms(40.0)],
+            capacity_bytes_per_sec: None,
+            source_capacity_bytes_per_sec: None,
+            source_interval: None,
+            seed: 0x717E,
+        }
+    }
+
+    fn stage_fractions(&self) -> [f64; 3] {
+        self.split.stage_fractions(self.overall_fraction)
+    }
+
+    fn total_delay(&self) -> Duration {
+        self.hop_delays.iter().sum()
+    }
+}
+
+/// Latency summary over per-item end-to-end samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Summarises raw nanosecond samples.
+    pub fn from_nanos(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        let pick = |q: f64| {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            Duration::from_nanos(samples[idx])
+        };
+        LatencyStats {
+            count,
+            mean: Duration::from_nanos((sum / count as u128) as u64),
+            p50: pick(0.50),
+            p95: pick(0.95),
+            max: Duration::from_nanos(samples[count - 1]),
+        }
+    }
+}
+
+/// The outcome of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Every window's approximate answer, in window order.
+    pub results: Vec<WindowResult>,
+    /// Wall time from first send to root completion.
+    pub elapsed: Duration,
+    /// Items generated by the sources.
+    pub source_items: u64,
+    /// Source items drained per wall second.
+    pub throughput_items_per_sec: f64,
+    /// End-to-end per-item latency summary (items that reached the root,
+    /// measured when their window's result is available).
+    pub latency: LatencyStats,
+    /// Wire bytes per layer.
+    pub bytes: LayerBytes,
+}
+
+/// Shared byte counters per layer.
+#[derive(Clone, Default)]
+struct ByteCounters {
+    l1: Arc<AtomicU64>,
+    l2: Arc<AtomicU64>,
+    root: Arc<AtomicU64>,
+}
+
+/// Runs the full threaded pipeline over pre-generated source data.
+///
+/// `source_intervals[t][s]` is source `s`'s batch for interval `t`. Each
+/// source, edge node and the root run on their own threads, connected
+/// through broker topics `layer1`, `layer2` and `root`.
+///
+/// Item `source_ts` fields are re-stamped with wall-clock send time so the
+/// report's latency statistics are true end-to-end measurements.
+///
+/// # Errors
+///
+/// Returns [`approxiot_core::BudgetError`] for an invalid sampling
+/// fraction.
+///
+/// # Panics
+///
+/// Panics if `leaves`, `mids` or the source count is zero, if the interval
+/// matrix is ragged, or if a worker thread panics.
+pub fn run_pipeline(
+    config: &PipelineConfig,
+    source_intervals: Vec<Vec<Batch>>,
+) -> Result<PipelineReport, approxiot_core::BudgetError> {
+    assert!(config.leaves > 0 && config.mids > 0, "topology layers must be non-empty");
+    let sources = source_intervals.first().map_or(0, Vec::len);
+    assert!(sources > 0, "need at least one source interval with at least one source");
+    approxiot_core::SamplingBudget::new(config.overall_fraction)?;
+    let [leaf_fraction, mid_fraction, root_fraction] = config.stage_fractions();
+
+    let broker = Arc::new(Broker::new());
+    let layer1 = broker.create_topic("layer1", sources as u32).expect("fresh broker");
+    let layer2 = broker.create_topic("layer2", config.mids as u32).expect("fresh broker");
+    let root_topic = broker.create_topic("root", 1).expect("fresh broker");
+
+    let epoch = Instant::now();
+    let bytes = ByteCounters::default();
+    let source_items = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    // ---- Sources ---------------------------------------------------------
+    // Transpose the interval matrix into per-source schedules.
+    let mut per_source: Vec<Vec<Batch>> = (0..sources).map(|_| Vec::new()).collect();
+    for interval in source_intervals {
+        assert_eq!(interval.len(), sources, "ragged source interval matrix");
+        for (s, batch) in interval.into_iter().enumerate() {
+            per_source[s].push(batch);
+        }
+    }
+    let sources_left = Arc::new(AtomicUsize::new(sources));
+    for (s, batches) in per_source.into_iter().enumerate() {
+        let producer = BatchProducer::new(Arc::clone(&layer1));
+        let counter = Arc::clone(&source_items);
+        let bytes_out = Arc::clone(&bytes.l1);
+        let left = Arc::clone(&sources_left);
+        let limiter = make_limiter(config.source_capacity_bytes_per_sec);
+        let pace = config.source_interval;
+        handles.push(
+            thread::Builder::new()
+                .name(format!("approxiot-source-{s}"))
+                .spawn(move || {
+                    for mut batch in batches {
+                        let ts = epoch.elapsed().as_nanos() as u64;
+                        for item in &mut batch.items {
+                            item.source_ts = ts;
+                        }
+                        counter.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        if let Some(l) = &limiter {
+                            l.acquire(encoded_len(&batch) as u64);
+                        }
+                        if producer.send_to(s as u32, &batch, ts).is_err() {
+                            break;
+                        }
+                        if let Some(p) = pace {
+                            thread::sleep(p);
+                        }
+                    }
+                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
+                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        producer.topic().close();
+                    }
+                })
+                .expect("spawn source thread"),
+        );
+    }
+
+    // ---- Leaf edge nodes ---------------------------------------------------
+    let leaves_left = Arc::new(AtomicUsize::new(config.leaves));
+    for j in 0..config.leaves {
+        let partitions: Vec<u32> =
+            (0..sources as u32).filter(|p| (*p as usize) % config.leaves == j).collect();
+        let consumer =
+            Consumer::subscribe(Arc::clone(&layer1), &partitions, StartOffset::Earliest);
+        let producer = BatchProducer::new(Arc::clone(&layer2));
+        let node =
+            SamplingNode::new(config.strategy, leaf_fraction, config.seed ^ (0xA0 + j as u64))?;
+        let left = Arc::clone(&leaves_left);
+        let bytes_out = Arc::clone(&bytes.l2);
+        let limiter = make_limiter(config.capacity_bytes_per_sec);
+        let params = EdgeParams {
+            hop_delay: config.hop_delays[0],
+            window: config.window,
+            out_partition: (j % config.mids) as u32,
+            buffered: matches!(config.strategy, Strategy::Whs { .. }),
+        };
+        handles.push(
+            thread::Builder::new()
+                .name(format!("approxiot-leaf-{j}"))
+                .spawn(move || {
+                    edge_node_loop(consumer, &producer, node, params, limiter, epoch);
+                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
+                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        producer.topic().close();
+                    }
+                })
+                .expect("spawn leaf thread"),
+        );
+    }
+
+    // ---- Mid edge nodes ------------------------------------------------------
+    let mids_left = Arc::new(AtomicUsize::new(config.mids));
+    for k in 0..config.mids {
+        let consumer =
+            Consumer::subscribe(Arc::clone(&layer2), &[k as u32], StartOffset::Earliest);
+        let producer = BatchProducer::new(Arc::clone(&root_topic));
+        let node =
+            SamplingNode::new(config.strategy, mid_fraction, config.seed ^ (0xB0 + k as u64))?;
+        let left = Arc::clone(&mids_left);
+        let bytes_out = Arc::clone(&bytes.root);
+        let limiter = make_limiter(config.capacity_bytes_per_sec);
+        let params = EdgeParams {
+            hop_delay: config.hop_delays[1],
+            window: config.window,
+            out_partition: 0,
+            buffered: matches!(config.strategy, Strategy::Whs { .. }),
+        };
+        handles.push(
+            thread::Builder::new()
+                .name(format!("approxiot-mid-{k}"))
+                .spawn(move || {
+                    edge_node_loop(consumer, &producer, node, params, limiter, epoch);
+                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
+                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        producer.topic().close();
+                    }
+                })
+                .expect("spawn mid thread"),
+        );
+    }
+
+    // ---- Root -------------------------------------------------------------
+    let mut root = RootNode::new(RootConfig {
+        strategy: config.strategy,
+        fraction: root_fraction,
+        overall_fraction: config.overall_fraction,
+        window: config.window,
+        query: config.query,
+        seed: config.seed ^ 0xC0,
+    })?;
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let root_latencies = Arc::clone(&latencies);
+    let root_delay = config.hop_delays[2];
+    let total_delay = config.total_delay();
+    let (result_tx, result_rx) = std::sync::mpsc::channel::<(Vec<WindowResult>, Duration)>();
+    let mut root_consumer = Consumer::subscribe_all(Arc::clone(&root_topic), StartOffset::Earliest);
+    handles.push(
+        thread::Builder::new()
+            .name("approxiot-root".into())
+            .spawn(move || {
+                let mut results = Vec::new();
+                loop {
+                    match root_consumer.poll_batches(64, Duration::from_millis(5)) {
+                        Ok(records) => {
+                            for (record, batch) in records {
+                                wait_until(epoch, record.timestamp, root_delay);
+                                let now = epoch.elapsed().as_nanos() as u64;
+                                {
+                                    let mut lat = root_latencies
+                                        .lock()
+                                        .expect("latency mutex never poisoned");
+                                    if lat.len() < 500_000 {
+                                        lat.extend(
+                                            batch
+                                                .items
+                                                .iter()
+                                                .map(|i| now.saturating_sub(i.source_ts)),
+                                        );
+                                    }
+                                }
+                                root.ingest(&batch);
+                            }
+                            // Advance the watermark conservatively: no item
+                            // older than now − 2×total network delay can
+                            // still be in flight.
+                            let wm = epoch
+                                .elapsed()
+                                .as_nanos()
+                                .saturating_sub(2 * total_delay.as_nanos())
+                                as u64;
+                            results.extend(root.advance_watermark(wm));
+                        }
+                        Err(MqError::Closed) => break,
+                        Err(_) => break,
+                    }
+                }
+                results.extend(root.flush());
+                results.sort_by_key(|r| r.window);
+                let _ = result_tx.send((results, epoch.elapsed()));
+            })
+            .expect("spawn root thread"),
+    );
+
+    for handle in handles {
+        handle.join().expect("pipeline worker thread panicked");
+    }
+    let (results, elapsed) = result_rx.recv().expect("root thread reports results");
+
+    let items = source_items.load(Ordering::Relaxed);
+    let latency_samples = std::mem::take(
+        &mut *latencies.lock().expect("latency mutex never poisoned"),
+    );
+    Ok(PipelineReport {
+        results,
+        elapsed,
+        source_items: items,
+        throughput_items_per_sec: items as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencyStats::from_nanos(latency_samples),
+        bytes: LayerBytes {
+            source_to_leaf: bytes.l1.load(Ordering::Relaxed),
+            leaf_to_mid: bytes.l2.load(Ordering::Relaxed),
+            mid_to_root: bytes.root.load(Ordering::Relaxed),
+        },
+    })
+}
+
+fn make_limiter(capacity: Option<u64>) -> Option<RateLimiter> {
+    capacity.map(|bps| RateLimiter::new(bps, (bps / 10).max(4096)))
+}
+
+/// Sleeps until `sent_ts + delay` of the shared epoch clock has passed —
+/// the consumer-side propagation-delay emulation.
+fn wait_until(epoch: Instant, sent_ts: u64, delay: Duration) {
+    let target = Duration::from_nanos(sent_ts) + delay;
+    let now = epoch.elapsed();
+    if target > now {
+        thread::sleep(target - now);
+    }
+}
+
+struct EdgeParams {
+    hop_delay: Duration,
+    window: Duration,
+    out_partition: u32,
+    /// WHS nodes buffer one window of input before sampling (Algorithm 2's
+    /// interval loop); SRS/native forward immediately.
+    buffered: bool,
+}
+
+/// The per-edge-node loop shared by leaves and mids.
+fn edge_node_loop(
+    mut consumer: Consumer,
+    producer: &BatchProducer,
+    mut node: SamplingNode,
+    params: EdgeParams,
+    limiter: Option<RateLimiter>,
+    epoch: Instant,
+) {
+    let mut held: Vec<Batch> = Vec::new();
+    let mut last_flush = epoch.elapsed();
+    let forward = |node: &mut SamplingNode, batch: &Batch| {
+        let out = node.process_batch(batch);
+        if out.is_empty() {
+            return true;
+        }
+        if let Some(l) = &limiter {
+            l.acquire(encoded_len(&out) as u64);
+        }
+        let ts = epoch.elapsed().as_nanos() as u64;
+        producer.send_to(params.out_partition, &out, ts).is_ok()
+    };
+    loop {
+        let poll = consumer.poll_batches(64, Duration::from_millis(5));
+        match poll {
+            Ok(records) => {
+                for (record, batch) in records {
+                    wait_until(epoch, record.timestamp, params.hop_delay);
+                    if params.buffered {
+                        held.push(batch);
+                    } else if !forward(&mut node, &batch) {
+                        return;
+                    }
+                }
+            }
+            Err(MqError::Closed) => {
+                for batch in held.drain(..) {
+                    if !forward(&mut node, &batch) {
+                        return;
+                    }
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+        if params.buffered {
+            let now = epoch.elapsed();
+            if now.saturating_sub(last_flush) >= params.window {
+                for batch in held.drain(..) {
+                    if !forward(&mut node, &batch) {
+                        return;
+                    }
+                }
+                last_flush = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::{accuracy_loss, StratumId, StreamItem};
+
+    fn intervals(
+        n_intervals: usize,
+        sources: usize,
+        items_per_batch: usize,
+        value: f64,
+    ) -> Vec<Vec<Batch>> {
+        (0..n_intervals)
+            .map(|_| {
+                (0..sources)
+                    .map(|s| {
+                        Batch::from_items(
+                            (0..items_per_batch)
+                                .map(|k| {
+                                    StreamItem::with_meta(
+                                        StratumId::new(s as u32),
+                                        value,
+                                        k as u64,
+                                        0,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn fast_config(strategy: Strategy, fraction: f64) -> PipelineConfig {
+        PipelineConfig {
+            leaves: 2,
+            mids: 2,
+            strategy,
+            overall_fraction: fraction,
+            split: FractionSplit::Even,
+            window: Duration::from_millis(50),
+            query: Query::Sum,
+            hop_delays: [Duration::from_millis(1); 3],
+            capacity_bytes_per_sec: None,
+            source_capacity_bytes_per_sec: None,
+            source_interval: None,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn native_pipeline_is_exact() {
+        let data = intervals(3, 4, 50, 2.0);
+        let truth: f64 = data.iter().flatten().map(Batch::value_sum).sum();
+        let report =
+            run_pipeline(&fast_config(Strategy::Native, 1.0), data).expect("runs");
+        let total: f64 = report.results.iter().map(|r| r.estimate.value).sum();
+        assert_eq!(total, truth);
+        assert_eq!(report.source_items, 600);
+        assert!(report.throughput_items_per_sec > 0.0);
+    }
+
+    #[test]
+    fn whs_pipeline_reconstructs_counts() {
+        let data = intervals(4, 4, 200, 1.0);
+        let report = run_pipeline(&fast_config(Strategy::whs(), 0.2), data).expect("runs");
+        let count: f64 = report.results.iter().map(|r| r.count_hat).sum();
+        assert!(
+            (count - 3200.0).abs() < 1e-6,
+            "count reconstruction through threaded pipeline: {count}"
+        );
+        // Fewer bytes cross each deeper layer.
+        assert!(report.bytes.leaf_to_mid < report.bytes.source_to_leaf);
+        assert!(report.bytes.mid_to_root < report.bytes.leaf_to_mid);
+    }
+
+    #[test]
+    fn srs_pipeline_estimates_approximately() {
+        let data = intervals(4, 4, 500, 3.0);
+        let truth: f64 = data.iter().flatten().map(Batch::value_sum).sum();
+        let report = run_pipeline(&fast_config(Strategy::Srs, 0.5), data).expect("runs");
+        let total: f64 = report.results.iter().map(|r| r.estimate.value).sum();
+        assert!(accuracy_loss(total, truth) < 0.15, "SRS estimate {total} vs truth {truth}");
+    }
+
+    #[test]
+    fn latency_reflects_hop_delays() {
+        let mut config = fast_config(Strategy::Native, 1.0);
+        config.hop_delays = [Duration::from_millis(10); 3];
+        let report = run_pipeline(&config, intervals(2, 2, 20, 1.0)).expect("runs");
+        assert!(report.latency.count > 0);
+        assert!(
+            report.latency.p50 >= Duration::from_millis(25),
+            "p50 {:?} should include ~30 ms of propagation",
+            report.latency.p50
+        );
+    }
+
+    #[test]
+    fn whs_buffers_a_window_at_each_edge_layer() {
+        // WHS latency should include the edge buffering window; native's
+        // should not. Sources must be paced so the stream outlives a window
+        // (otherwise edges just flush at close).
+        let window = Duration::from_millis(100);
+        let pace = Duration::from_millis(20);
+        let mut whs_cfg = fast_config(Strategy::whs(), 0.9);
+        whs_cfg.window = window;
+        whs_cfg.source_interval = Some(pace);
+        let mut native_cfg = fast_config(Strategy::Native, 1.0);
+        native_cfg.window = window;
+        native_cfg.source_interval = Some(pace);
+        let whs = run_pipeline(&whs_cfg, intervals(8, 2, 50, 1.0)).expect("runs");
+        let native = run_pipeline(&native_cfg, intervals(8, 2, 50, 1.0)).expect("runs");
+        assert!(
+            whs.latency.p50 > native.latency.p50 + Duration::from_millis(20),
+            "whs {:?} vs native {:?}",
+            whs.latency.p50,
+            native.latency.p50
+        );
+    }
+
+    #[test]
+    fn capacity_throttles_throughput() {
+        let mut slow = fast_config(Strategy::Native, 1.0);
+        slow.capacity_bytes_per_sec = Some(200_000); // 200 KB/s
+        let data = intervals(10, 2, 200, 1.0);
+        let fast_report =
+            run_pipeline(&fast_config(Strategy::Native, 1.0), data.clone()).expect("runs");
+        let slow_report = run_pipeline(&slow, data).expect("runs");
+        assert!(
+            slow_report.throughput_items_per_sec < fast_report.throughput_items_per_sec,
+            "limited link must reduce throughput: {} vs {}",
+            slow_report.throughput_items_per_sec,
+            fast_report.throughput_items_per_sec
+        );
+    }
+
+    #[test]
+    fn latency_stats_from_nanos() {
+        let stats = LatencyStats::from_nanos(vec![100, 200, 300, 400, 1_000]);
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.p50, Duration::from_nanos(300));
+        assert_eq!(stats.max, Duration::from_nanos(1_000));
+        assert_eq!(stats.mean, Duration::from_nanos(400));
+        let empty = LatencyStats::from_nanos(vec![]);
+        assert_eq!(empty.count, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Queries executed at the root node.
+//!
+//! The paper's current system supports *approximate linear queries* —
+//! windowed SUM, MEAN and COUNT over the weighted samples in `Θ` — which is
+//! exactly what the two case studies ask ("total payment per window",
+//! "total pollution value per window").
+
+use approxiot_core::{Estimate, StratumId, ThetaStore};
+use std::collections::BTreeMap;
+
+/// A linear streaming query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Query {
+    /// Total of item values per window (the case studies' query).
+    #[default]
+    Sum,
+    /// Mean item value per window.
+    Mean,
+    /// Number of items per window.
+    Count,
+}
+
+impl Query {
+    /// Executes the query over a window's `Θ` store, returning the
+    /// estimate with its variance (§III-C and §III-D).
+    pub fn run(self, theta: &ThetaStore) -> Estimate {
+        match self {
+            Query::Sum => theta.sum_estimate(),
+            Query::Mean => theta.mean_estimate(),
+            // COUNT is SUM with all values 1; its estimator is the exact
+            // count reconstruction (Equation 8), variance 0 by the
+            // invariant.
+            Query::Count => Estimate::new(theta.count_estimate(), 0.0),
+        }
+    }
+
+    /// Executes the query per stratum (used by the per-pollutant variant of
+    /// the Brasov query).
+    pub fn run_per_stratum(self, theta: &ThetaStore) -> BTreeMap<StratumId, Estimate> {
+        theta
+            .stratum_estimates()
+            .into_iter()
+            .map(|(stratum, est)| {
+                let e = match self {
+                    Query::Sum => Estimate::new(est.sum, est.sum_variance),
+                    Query::Mean => {
+                        if est.count_hat > 0.0 && est.zeta > 0 {
+                            let mean = est.sum / est.count_hat;
+                            let fpc =
+                                ((est.count_hat - est.zeta as f64) / est.count_hat).max(0.0);
+                            Estimate::new(mean, est.sample_variance / est.zeta as f64 * fpc)
+                        } else {
+                            Estimate::new(0.0, 0.0)
+                        }
+                    }
+                    Query::Count => Estimate::new(est.count_hat, 0.0),
+                };
+                (stratum, e)
+            })
+            .collect()
+    }
+
+    /// The exact (ground-truth) answer over raw values, for
+    /// accuracy-loss computation in tests and benches.
+    pub fn exact(self, values: &[f64]) -> f64 {
+        match self {
+            Query::Sum => values.iter().sum(),
+            Query::Mean => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            Query::Count => values.len() as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Query::Sum => write!(f, "SUM"),
+            Query::Mean => write!(f, "MEAN"),
+            Query::Count => write!(f, "COUNT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::{StreamItem, WeightMap, WhsOutput};
+
+    fn theta(pairs: &[(u32, f64, &[f64])]) -> ThetaStore {
+        pairs
+            .iter()
+            .map(|&(stratum, weight, values)| {
+                let mut weights = WeightMap::new();
+                weights.set(StratumId::new(stratum), weight);
+                WhsOutput {
+                    weights,
+                    sample: values
+                        .iter()
+                        .map(|&v| StreamItem::new(StratumId::new(stratum), v))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sum_query_scales_by_weight() {
+        let t = theta(&[(0, 2.0, &[3.0, 4.0])]);
+        assert_eq!(Query::Sum.run(&t).value, 14.0);
+    }
+
+    #[test]
+    fn count_query_reconstructs_exactly() {
+        let t = theta(&[(0, 5.0, &[1.0, 1.0])]);
+        let est = Query::Count.run(&t);
+        assert_eq!(est.value, 10.0);
+        assert_eq!(est.variance, 0.0);
+    }
+
+    #[test]
+    fn mean_query_weights_strata() {
+        // 10 items of value 1 (weight 5 x 2 samples), 10 of value 3.
+        let t = theta(&[(0, 5.0, &[1.0, 1.0]), (1, 5.0, &[3.0, 3.0])]);
+        let est = Query::Mean.run(&t);
+        assert!((est.value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stratum_results_are_separate() {
+        let t = theta(&[(0, 2.0, &[1.0]), (1, 3.0, &[10.0])]);
+        let per = Query::Sum.run_per_stratum(&t);
+        assert_eq!(per[&StratumId::new(0)].value, 2.0);
+        assert_eq!(per[&StratumId::new(1)].value, 30.0);
+        let counts = Query::Count.run_per_stratum(&t);
+        assert_eq!(counts[&StratumId::new(1)].value, 3.0);
+        let means = Query::Mean.run_per_stratum(&t);
+        assert_eq!(means[&StratumId::new(1)].value, 10.0);
+    }
+
+    #[test]
+    fn exact_matches_plain_arithmetic() {
+        let values = [1.0, 2.0, 3.0];
+        assert_eq!(Query::Sum.exact(&values), 6.0);
+        assert_eq!(Query::Mean.exact(&values), 2.0);
+        assert_eq!(Query::Count.exact(&values), 3.0);
+        assert_eq!(Query::Mean.exact(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Query::Sum.to_string(), "SUM");
+        assert_eq!(Query::Mean.to_string(), "MEAN");
+        assert_eq!(Query::Count.to_string(), "COUNT");
+        assert_eq!(Query::default(), Query::Sum);
+    }
+}

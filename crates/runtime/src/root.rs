@@ -1,0 +1,355 @@
+//! The root node: final sampling stage, windowed `Θ` store, query
+//! execution and error bounds (Algorithm 2, lines 20–26).
+
+use crate::node::{SamplingNode, Strategy};
+use crate::query::Query;
+use approxiot_core::{Batch, Confidence, Estimate, StratumId, ThetaStore, WeightMap, WhsOutput};
+use approxiot_streams::{TumblingWindow, WindowBuffer, WindowId};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One window's approximate answer, as the root emits it
+/// (`result ± error`).
+#[derive(Debug, Clone)]
+pub struct WindowResult {
+    /// The window index.
+    pub window: WindowId,
+    /// Window start (nanoseconds, inclusive).
+    pub start_nanos: u64,
+    /// Window end (nanoseconds, exclusive).
+    pub end_nanos: u64,
+    /// The query's estimate with variance.
+    pub estimate: Estimate,
+    /// Per-stratum estimates (for per-pollutant style reporting).
+    pub per_stratum: BTreeMap<StratumId, Estimate>,
+    /// Number of sampled items the estimate was computed from.
+    pub sampled_items: usize,
+    /// Reconstructed original item count for the window (Equation 8).
+    pub count_hat: f64,
+}
+
+impl WindowResult {
+    /// The ± error at `confidence` (the paper's default reporting is 95%).
+    pub fn error_bound(&self, confidence: Confidence) -> f64 {
+        self.estimate.bound(confidence)
+    }
+}
+
+/// Configuration of a [`RootNode`].
+#[derive(Debug, Clone, Copy)]
+pub struct RootConfig {
+    /// The strategy the whole pipeline runs (decides how estimates are
+    /// reconstructed).
+    pub strategy: Strategy,
+    /// The root's own sampling fraction (the root samples too, §IV).
+    pub fraction: f64,
+    /// End-to-end keep probability across all sampling layers — the SRS
+    /// estimator's Horvitz–Thompson scale is `1 / overall_fraction`.
+    pub overall_fraction: f64,
+    /// The computation window.
+    pub window: Duration,
+    /// The query to run per window.
+    pub query: Query,
+    /// RNG seed for the root's sampler.
+    pub seed: u64,
+}
+
+impl RootConfig {
+    /// A root for an ApproxIoT pipeline with the given per-layer and
+    /// overall fractions.
+    pub fn approxiot(fraction: f64, overall_fraction: f64, window: Duration) -> Self {
+        RootConfig {
+            strategy: Strategy::whs(),
+            fraction,
+            overall_fraction,
+            window,
+            query: Query::Sum,
+            seed: 0xB07,
+        }
+    }
+}
+
+/// The datacenter node: samples its input one last time, accumulates
+/// `(W_out, sample)` pairs per window, and at each watermark advance runs
+/// the query and emits [`WindowResult`]s with rigorous error bounds.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+/// use approxiot_runtime::{Query, RootConfig, RootNode, Strategy};
+/// use std::time::Duration;
+///
+/// let mut root = RootNode::new(RootConfig {
+///     strategy: Strategy::whs(),
+///     fraction: 1.0,
+///     overall_fraction: 1.0,
+///     window: Duration::from_secs(1),
+///     query: Query::Sum,
+///     seed: 1,
+/// })?;
+/// root.ingest(&Batch::from_items(vec![StreamItem::with_meta(StratumId::new(0), 5.0, 0, 10)]));
+/// let results = root.advance_watermark(2_000_000_000);
+/// assert_eq!(results[0].estimate.value, 5.0);
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug)]
+pub struct RootNode {
+    sampler: SamplingNode,
+    buffer: WindowBuffer<WhsOutput>,
+    query: Query,
+    strategy: Strategy,
+    /// Horvitz–Thompson scale for SRS reconstruction.
+    srs_scale: f64,
+    emitted: u64,
+}
+
+impl RootNode {
+    /// Creates a root node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] for fractions outside
+    /// `(0, 1]`.
+    pub fn new(config: RootConfig) -> Result<Self, approxiot_core::BudgetError> {
+        // Validate the overall fraction through the same gate.
+        approxiot_core::SamplingBudget::new(config.overall_fraction)?;
+        Ok(RootNode {
+            sampler: SamplingNode::new(config.strategy, config.fraction, config.seed)?,
+            buffer: WindowBuffer::new(TumblingWindow::new(config.window)),
+            query: config.query,
+            strategy: config.strategy,
+            srs_scale: 1.0 / config.overall_fraction,
+            emitted: 0,
+        })
+    }
+
+    /// The query this root runs.
+    pub fn query(&self) -> Query {
+        self.query
+    }
+
+    /// The window scheme.
+    pub fn window(&self) -> TumblingWindow {
+        self.buffer.scheme()
+    }
+
+    /// Ingests one batch from the final edge layer: the root samples it,
+    /// then files the weighted output into the per-window `Θ` store, with
+    /// items split across windows by their event time.
+    pub fn ingest(&mut self, batch: &Batch) {
+        let sampled = self.sampler.process_batch(batch);
+        if sampled.is_empty() {
+            return;
+        }
+        // Split the sampled batch by event-time window. Replicating the
+        // weight map across splits is safe: Θ's estimators sum |I|·W per
+        // pair, which is invariant under splitting.
+        let scheme = self.buffer.scheme();
+        let mut per_window: BTreeMap<WindowId, Vec<approxiot_core::StreamItem>> = BTreeMap::new();
+        for item in &sampled.items {
+            per_window.entry(scheme.index_of(item.source_ts)).or_default().push(*item);
+        }
+        for (window, items) in per_window {
+            let weights = self.effective_weights(&sampled.weights, &items);
+            self.buffer.insert(
+                scheme.start_of(window),
+                WhsOutput { weights, sample: items },
+            );
+        }
+    }
+
+    /// Builds the weight map `Θ` should record for `items`:
+    /// WHS keeps the sampled weights; SRS substitutes the Horvitz–Thompson
+    /// scale; native forces weight 1 (exact).
+    fn effective_weights(
+        &self,
+        sampled: &WeightMap,
+        items: &[approxiot_core::StreamItem],
+    ) -> WeightMap {
+        match self.strategy {
+            Strategy::Whs { .. } => sampled.clone(),
+            Strategy::Srs => {
+                let mut w = WeightMap::new();
+                for item in items {
+                    w.set(item.stratum, self.srs_scale.max(1.0));
+                }
+                w
+            }
+            Strategy::Native => WeightMap::new(),
+        }
+    }
+
+    /// Advances the event-time watermark, closing and answering every
+    /// window that ended at or before it.
+    pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
+        let closed = self.buffer.drain_closed(watermark_nanos);
+        closed.into_iter().map(|(id, outputs)| self.answer(id, outputs)).collect()
+    }
+
+    /// Flushes all remaining windows (end of stream).
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        let all = self.buffer.drain_all();
+        all.into_iter().map(|(id, outputs)| self.answer(id, outputs)).collect()
+    }
+
+    fn answer(&mut self, window: WindowId, outputs: Vec<WhsOutput>) -> WindowResult {
+        let theta: ThetaStore = outputs.into_iter().collect();
+        let estimate = self.query.run(&theta);
+        let per_stratum = self.query.run_per_stratum(&theta);
+        self.emitted += 1;
+        let scheme = self.buffer.scheme();
+        WindowResult {
+            window,
+            start_nanos: scheme.start_of(window),
+            end_nanos: scheme.end_of(window),
+            estimate,
+            per_stratum,
+            sampled_items: theta.sampled_items(),
+            count_hat: theta.count_estimate(),
+        }
+    }
+
+    /// Number of window results emitted so far.
+    pub fn windows_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Items received (pre-sampling) by the root.
+    pub fn items_in(&self) -> u64 {
+        self.sampler.items_in()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::StreamItem;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn cfg(strategy: Strategy, fraction: f64, overall: f64) -> RootConfig {
+        RootConfig {
+            strategy,
+            fraction,
+            overall_fraction: overall,
+            window: Duration::from_secs(1),
+            query: Query::Sum,
+            seed: 7,
+        }
+    }
+
+    fn items(stratum: u32, n: usize, value: f64, ts: u64) -> Batch {
+        Batch::from_items(
+            (0..n)
+                .map(|k| StreamItem::with_meta(StratumId::new(stratum), value, k as u64, ts))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unsampled_root_is_exact() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        root.ingest(&items(0, 10, 2.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].estimate.value, 20.0);
+        assert_eq!(results[0].estimate.variance, 0.0);
+        assert_eq!(results[0].count_hat, 10.0);
+        assert_eq!(root.windows_emitted(), 1);
+    }
+
+    #[test]
+    fn watermark_only_closes_finished_windows() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        root.ingest(&items(0, 1, 1.0, 100)); // window 0
+        root.ingest(&items(0, 1, 1.0, SEC + 100)); // window 1
+        let r = root.advance_watermark(SEC);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].window, 0);
+        let rest = root.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].window, 1);
+    }
+
+    #[test]
+    fn batch_spanning_windows_is_split() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        let mut batch = items(0, 1, 5.0, 100);
+        batch.extend(items(0, 1, 7.0, SEC + 100).items);
+        root.ingest(&batch);
+        let results = root.advance_watermark(2 * SEC);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].estimate.value, 5.0);
+        assert_eq!(results[1].estimate.value, 7.0);
+    }
+
+    #[test]
+    fn root_applies_its_own_sampling() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 0.1, 0.1)).expect("valid");
+        root.ingest(&items(0, 1000, 1.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].sampled_items, 100);
+        // The estimate still reconstructs the original count.
+        assert!((results[0].count_hat - 1000.0).abs() < 1e-9);
+        assert!((results[0].estimate.value - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srs_root_scales_by_inverse_fraction() {
+        let mut root = RootNode::new(cfg(Strategy::Srs, 0.5, 0.5)).expect("valid");
+        root.ingest(&items(0, 10_000, 2.0, 100));
+        let results = root.advance_watermark(SEC);
+        let est = results[0].estimate.value;
+        let truth = 20_000.0;
+        assert!((est - truth).abs() / truth < 0.1, "estimate {est} vs {truth}");
+    }
+
+    #[test]
+    fn native_root_reports_exact_values() {
+        let mut root = RootNode::new(cfg(Strategy::Native, 1.0, 1.0)).expect("valid");
+        root.ingest(&items(0, 123, 3.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].estimate.value, 369.0);
+        assert_eq!(results[0].estimate.variance, 0.0);
+    }
+
+    #[test]
+    fn per_stratum_estimates_present() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        root.ingest(&items(0, 2, 1.0, 100));
+        root.ingest(&items(1, 3, 10.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].per_stratum.len(), 2);
+        assert_eq!(results[0].per_stratum[&StratumId::new(1)].value, 30.0);
+    }
+
+    #[test]
+    fn empty_windows_produce_no_results() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        assert!(root.advance_watermark(100 * SEC).is_empty());
+        assert!(root.flush().is_empty());
+    }
+
+    #[test]
+    fn error_bound_scales_with_confidence() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 0.2, 0.2)).expect("valid");
+        // Mixed values so the sample variance is non-zero.
+        let batch = Batch::from_items(
+            (0..500)
+                .map(|k| StreamItem::with_meta(StratumId::new(0), (k % 10) as f64, k as u64, 100))
+                .collect(),
+        );
+        root.ingest(&batch);
+        let results = root.advance_watermark(SEC);
+        let r = &results[0];
+        assert!(r.error_bound(Confidence::P68) < r.error_bound(Confidence::P95));
+        assert!(r.error_bound(Confidence::P95) < r.error_bound(Confidence::P997));
+        assert!(r.error_bound(Confidence::P95) > 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_overall_fraction() {
+        assert!(RootNode::new(cfg(Strategy::Srs, 0.5, 0.0)).is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! The synchronous logical tree: the full ApproxIoT topology evaluated in
+//! deterministic virtual time.
+//!
+//! This is the engine behind all *accuracy* experiments (Figures 5, 10
+//! and 11a): it wires sources → leaf edge nodes → mid edge nodes → root
+//! exactly like the paper's four-layer testbed, but advances time
+//! virtually so thousands of windows run in milliseconds with seeded
+//! randomness. The threaded [`crate::pipeline`] covers the wall-clock
+//! experiments (throughput, latency, bandwidth).
+
+use crate::node::{SamplingNode, Strategy};
+use crate::query::Query;
+use crate::root::{RootConfig, RootNode, WindowResult};
+use approxiot_core::Batch;
+use approxiot_mq::codec::encoded_len;
+use std::time::Duration;
+
+/// How the end-to-end sampling fraction is divided across the three
+/// sampling stages (leaf, mid, root).
+///
+/// The paper leaves per-node budgets to the analyst (Figure 4's "sample
+/// sizes" arrows). Two natural policies cover the evaluation:
+///
+/// * [`FractionSplit::Even`] — every stage keeps the cube root of the
+///   overall fraction, exercising truly hierarchical sampling (weights
+///   multiply across hops).
+/// * [`FractionSplit::LeafHeavy`] — the whole budget is spent at the first
+///   edge layer; later stages forward everything. This reproduces the
+///   paper's Figure 7 claim that "a sampling fraction of 10% means the
+///   system only requires 10% of the total capacity" on *every* WAN link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FractionSplit {
+    /// Equal share per stage (`overall^(1/3)` each).
+    #[default]
+    Even,
+    /// Entire budget at the leaf layer; mid and root keep everything.
+    LeafHeavy,
+}
+
+impl FractionSplit {
+    /// The per-stage fractions `[leaf, mid, root]` compounding to
+    /// `overall`.
+    pub fn stage_fractions(self, overall: f64) -> [f64; 3] {
+        match self {
+            FractionSplit::Even => {
+                let f = overall.cbrt().min(1.0);
+                [f, f, f]
+            }
+            FractionSplit::LeafHeavy => [overall.min(1.0), 1.0, 1.0],
+        }
+    }
+}
+
+/// Shape and behaviour of a [`SimTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// First-layer edge nodes (the paper's testbed uses 4).
+    pub leaves: usize,
+    /// Second-layer edge nodes (the paper uses 2).
+    pub mids: usize,
+    /// Sampling strategy at every node.
+    pub strategy: Strategy,
+    /// End-to-end sampling fraction, divided across stages per `split`.
+    pub overall_fraction: f64,
+    /// How the fraction is divided across the three sampling stages.
+    pub split: FractionSplit,
+    /// Computation window at the root.
+    pub window: Duration,
+    /// Query run per window.
+    pub query: Query,
+    /// Base RNG seed (per-node seeds derive from it).
+    pub seed: u64,
+}
+
+impl TreeConfig {
+    /// The paper's four-layer topology (8 sources → 4 → 2 → 1) running
+    /// ApproxIoT at `overall_fraction`.
+    pub fn paper_topology(overall_fraction: f64) -> Self {
+        TreeConfig {
+            leaves: 4,
+            mids: 2,
+            strategy: Strategy::whs(),
+            overall_fraction,
+            split: FractionSplit::Even,
+            window: Duration::from_secs(1),
+            query: Query::Sum,
+            seed: 0x10D5,
+        }
+    }
+
+    /// Same topology with a different fraction split.
+    pub fn with_split(mut self, split: FractionSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Same topology with a different strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Same topology with a different query.
+    pub fn with_query(mut self, query: Query) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Same topology with a different window.
+    pub fn with_window(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Same topology with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The per-stage fractions `[leaf, mid, root]` under this config's
+    /// split. Native ignores them.
+    pub fn stage_fractions(&self) -> [f64; 3] {
+        self.split.stage_fractions(self.overall_fraction)
+    }
+}
+
+/// Wire-byte accounting per tree layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerBytes {
+    /// Sources → leaf edge nodes (always unsampled).
+    pub source_to_leaf: u64,
+    /// Leaf → mid edge nodes (after the first sampling stage).
+    pub leaf_to_mid: u64,
+    /// Mid → root (after the second sampling stage).
+    pub mid_to_root: u64,
+}
+
+impl LayerBytes {
+    /// Bytes crossing the WAN segments that sampling can save on
+    /// (everything past the first hop).
+    pub fn sampled_wire_bytes(&self) -> u64 {
+        self.leaf_to_mid + self.mid_to_root
+    }
+}
+
+/// The assembled synchronous tree.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StratumId, StreamItem};
+/// use approxiot_runtime::{SimTree, TreeConfig};
+///
+/// let mut tree = SimTree::new(TreeConfig::paper_topology(0.5))?;
+/// let batch = Batch::from_items(
+///     (0..1000).map(|i| StreamItem::with_meta(StratumId::new(0), 1.0, i, 0)).collect(),
+/// );
+/// tree.push_interval(&[batch]);
+/// let results = tree.flush();
+/// // The estimate reconstructs the original count despite sampling.
+/// assert!((results[0].count_hat - 1000.0).abs() < 1e-6);
+/// # Ok::<(), approxiot_core::BudgetError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimTree {
+    config: TreeConfig,
+    leaves: Vec<SamplingNode>,
+    mids: Vec<SamplingNode>,
+    root: RootNode,
+    bytes: LayerBytes,
+    source_items: u64,
+}
+
+impl SimTree {
+    /// Builds the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] for a fraction outside
+    /// `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` or `mids` is zero.
+    pub fn new(config: TreeConfig) -> Result<Self, approxiot_core::BudgetError> {
+        assert!(config.leaves > 0, "need at least one leaf node");
+        assert!(config.mids > 0, "need at least one mid node");
+        let [leaf_f, mid_f, root_f] = config.stage_fractions();
+        let leaves = (0..config.leaves)
+            .map(|i| SamplingNode::new(config.strategy, leaf_f, config.seed ^ (0xA + i as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mids = (0..config.mids)
+            .map(|i| SamplingNode::new(config.strategy, mid_f, config.seed ^ (0xB00 + i as u64)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let root = RootNode::new(RootConfig {
+            strategy: config.strategy,
+            fraction: root_f,
+            overall_fraction: config.overall_fraction,
+            window: config.window,
+            query: config.query,
+            seed: config.seed ^ 0xC000,
+        })?;
+        Ok(SimTree { config, leaves, mids, root, bytes: LayerBytes::default(), source_items: 0 })
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Pushes one interval of source batches through every layer.
+    ///
+    /// Source `i` connects to leaf `i % leaves`; leaf `j` forwards to mid
+    /// `j % mids`; mids forward to the root. Wire bytes are accounted with
+    /// the real codec frame sizes.
+    pub fn push_interval(&mut self, source_batches: &[Batch]) {
+        let n_leaves = self.leaves.len();
+        let n_mids = self.mids.len();
+        // Gather per-leaf input.
+        let mut leaf_in: Vec<Vec<&Batch>> = vec![Vec::new(); n_leaves];
+        for (i, batch) in source_batches.iter().enumerate() {
+            self.source_items += batch.len() as u64;
+            self.bytes.source_to_leaf += encoded_len(batch) as u64;
+            leaf_in[i % n_leaves].push(batch);
+        }
+        // Leaf stage → mid inputs.
+        let mut mid_in: Vec<Vec<Batch>> = vec![Vec::new(); n_mids];
+        for (j, inputs) in leaf_in.into_iter().enumerate() {
+            for batch in inputs {
+                let out = self.leaves[j].process_batch(batch);
+                if out.is_empty() {
+                    continue;
+                }
+                self.bytes.leaf_to_mid += encoded_len(&out) as u64;
+                mid_in[j % n_mids].push(out);
+            }
+        }
+        // Mid stage → root.
+        for (k, inputs) in mid_in.into_iter().enumerate() {
+            for batch in inputs {
+                let out = self.mids[k].process_batch(&batch);
+                if out.is_empty() {
+                    continue;
+                }
+                self.bytes.mid_to_root += encoded_len(&out) as u64;
+                self.root.ingest(&out);
+            }
+        }
+    }
+
+    /// Advances the root's event-time watermark, returning closed windows'
+    /// results.
+    pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
+        self.root.advance_watermark(watermark_nanos)
+    }
+
+    /// Flushes every open window (end of stream).
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        self.root.flush()
+    }
+
+    /// Wire bytes so far, per layer.
+    pub fn bytes(&self) -> LayerBytes {
+        self.bytes
+    }
+
+    /// Total items generated by sources so far.
+    pub fn source_items(&self) -> u64 {
+        self.source_items
+    }
+
+    /// Items that reached the root (post mid-layer sampling).
+    pub fn root_items_in(&self) -> u64 {
+        self.root.items_in()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_core::{accuracy_loss, Confidence, StratumId, StreamItem};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn source_batch(stratum: u32, n: usize, mut value_of: impl FnMut(usize) -> f64, ts: u64) -> Batch {
+        Batch::from_items(
+            (0..n)
+                .map(|k| {
+                    StreamItem::with_meta(StratumId::new(stratum), value_of(k), k as u64, ts)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn per_stage_fraction_compounds_to_overall() {
+        let config = TreeConfig::paper_topology(0.125);
+        let [l, m, r] = config.stage_fractions();
+        assert!((l - 0.5).abs() < 1e-12);
+        assert!((l * m * r - 0.125).abs() < 1e-12);
+        let leafy = config.with_split(FractionSplit::LeafHeavy).stage_fractions();
+        assert_eq!(leafy, [0.125, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn native_tree_is_exact() {
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(1.0).with_strategy(Strategy::Native),
+        )
+        .expect("valid");
+        let batches: Vec<Batch> =
+            (0..8).map(|s| source_batch(s, 100, |k| k as f64, 10)).collect();
+        let truth: f64 = batches.iter().map(Batch::value_sum).sum();
+        tree.push_interval(&batches);
+        let results = tree.flush();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].estimate.value, truth);
+        assert_eq!(tree.source_items(), 800);
+    }
+
+    #[test]
+    fn count_reconstruction_survives_three_sampling_stages() {
+        let mut tree = SimTree::new(TreeConfig::paper_topology(0.3)).expect("valid");
+        let batches: Vec<Batch> =
+            (0..8).map(|s| source_batch(s, 500, |_| 1.0, 10)).collect();
+        tree.push_interval(&batches);
+        let results = tree.flush();
+        assert!(
+            (results[0].count_hat - 4000.0).abs() < 1e-6,
+            "count_hat {} != 4000",
+            results[0].count_hat
+        );
+        // All values are 1, so the SUM estimate is exactly the count.
+        assert!((results[0].estimate.value - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_reduces_wire_bytes_downstream() {
+        let mut tree = SimTree::new(TreeConfig::paper_topology(0.1)).expect("valid");
+        let batches: Vec<Batch> =
+            (0..8).map(|s| source_batch(s, 1000, |k| k as f64, 10)).collect();
+        tree.push_interval(&batches);
+        let bytes = tree.bytes();
+        assert!(bytes.leaf_to_mid < bytes.source_to_leaf / 2);
+        assert!(bytes.mid_to_root < bytes.leaf_to_mid);
+        assert!(bytes.sampled_wire_bytes() > 0);
+    }
+
+    #[test]
+    fn whs_estimate_is_close_and_covered_by_bounds() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut tree = SimTree::new(TreeConfig::paper_topology(0.4)).expect("valid");
+        // Two strata with different scales, noisy values.
+        let mut truth = 0.0;
+        for interval in 0..5u64 {
+            let ts = interval * SEC + 1;
+            let batches: Vec<Batch> = (0..8)
+                .map(|s| {
+                    let scale = if s % 2 == 0 { 1.0 } else { 100.0 };
+                    let b = source_batch(s, 400, |_| scale * (1.0 + rng.random::<f64>()), ts);
+                    truth += b.value_sum();
+                    b
+                })
+                .collect();
+            tree.push_interval(&batches);
+        }
+        let results = tree.flush();
+        let est_total: f64 = results.iter().map(|r| r.estimate.value).sum();
+        let loss = accuracy_loss(est_total, truth);
+        assert!(loss < 0.05, "accuracy loss {loss}");
+        // Coverage per window at 3 sigma should mostly hold; check the
+        // aggregate is inside the summed bound (conservative).
+        let bound: f64 = results.iter().map(|r| r.error_bound(Confidence::P997)).sum();
+        assert!((est_total - truth).abs() <= bound * 2.0, "way outside bounds");
+    }
+
+    #[test]
+    fn watermark_splits_windows_across_intervals() {
+        let mut tree = SimTree::new(TreeConfig::paper_topology(1.0)).expect("valid");
+        tree.push_interval(&[source_batch(0, 10, |_| 1.0, 10)]);
+        tree.push_interval(&[source_batch(0, 10, |_| 1.0, SEC + 10)]);
+        let first = tree.advance_watermark(SEC);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].window, 0);
+        let rest = tree.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].window, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn zero_leaves_rejected() {
+        let mut config = TreeConfig::paper_topology(0.5);
+        config.leaves = 0;
+        let _ = SimTree::new(config);
+    }
+
+    #[test]
+    fn whs_beats_srs_on_skewed_strata() {
+        // The paper's headline claim, end-to-end through the full tree:
+        // a rare stratum with huge values ruins SRS but not ApproxIoT.
+        let make_batches = |rng: &mut StdRng, ts: u64| -> (Vec<Batch>, f64) {
+            let mut truth = 0.0;
+            let batches: Vec<Batch> = (0..8)
+                .map(|s| {
+                    // Stratum 7: 5 items of value 1e6; others: 2000 items of ~1.
+                    let b = if s == 7 {
+                        source_batch(s, 5, |_| 1_000_000.0, ts)
+                    } else {
+                        let noise: f64 = rng.random();
+                        source_batch(s, 2000, move |_| 1.0 + noise, ts)
+                    };
+                    truth += b.value_sum();
+                    b
+                })
+                .collect();
+            (batches, truth)
+        };
+        let run = |strategy: Strategy, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(1234);
+            let mut tree = SimTree::new(
+                TreeConfig::paper_topology(0.05).with_strategy(strategy).with_seed(seed),
+            )
+            .expect("valid");
+            let mut truth_total = 0.0;
+            for i in 0..10u64 {
+                let (batches, truth) = make_batches(&mut rng, i * SEC + 1);
+                truth_total += truth;
+                tree.push_interval(&batches);
+            }
+            let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
+            accuracy_loss(est, truth_total)
+        };
+        // Average a few seeds to avoid a lucky SRS draw.
+        let whs_loss: f64 = (0..5).map(|s| run(Strategy::whs(), s)).sum::<f64>() / 5.0;
+        let srs_loss: f64 = (0..5).map(|s| run(Strategy::Srs, s)).sum::<f64>() / 5.0;
+        assert!(
+            whs_loss * 3.0 < srs_loss,
+            "WHS loss {whs_loss} should be ≪ SRS loss {srs_loss}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Windowed aggregation processors: the High-Level-DSL-style operators the
+//! paper's computation engine runs at the root (Figure 4, "Computation
+//! Engine (Kafka Streams)").
+
+use crate::processor::{Context, Processor};
+use crate::window::{TumblingWindow, WindowId};
+use std::collections::BTreeMap;
+
+/// A closed window's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAggregate<A> {
+    /// The window index.
+    pub window: WindowId,
+    /// The folded aggregate.
+    pub aggregate: A,
+    /// Items folded into this window.
+    pub count: u64,
+}
+
+/// Folds timestamped values into per-window aggregates and emits each
+/// window when the punctuation watermark passes its end.
+///
+/// The fold is an arbitrary closure over `(accumulator, value)`; the
+/// initial accumulator is cloned per window.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_streams::{Context, Processor, TumblingWindow, WindowedAggregate};
+/// use std::time::Duration;
+///
+/// // Windowed SUM of (timestamp, value) pairs.
+/// let mut sum = WindowedAggregate::new(
+///     TumblingWindow::new(Duration::from_secs(1)),
+///     0.0f64,
+///     |acc, v: f64| acc + v,
+/// );
+/// let mut ctx = Context::new();
+/// sum.process((100, 2.5), &mut ctx);
+/// sum.process((200, 1.5), &mut ctx);
+/// assert!(ctx.is_empty(), "window still open");
+/// sum.punctuate(2_000_000_000, &mut ctx); // watermark past window 0
+/// let out = ctx.drain();
+/// assert_eq!(out[0].aggregate, 4.0);
+/// assert_eq!(out[0].count, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedAggregate<V, A, F> {
+    scheme: TumblingWindow,
+    init: A,
+    fold: F,
+    open: BTreeMap<WindowId, (A, u64)>,
+    _value: std::marker::PhantomData<fn(V)>,
+}
+
+impl<V, A: Clone, F> WindowedAggregate<V, A, F>
+where
+    F: FnMut(A, V) -> A,
+{
+    /// Creates a windowed fold with the given initial accumulator.
+    pub fn new(scheme: TumblingWindow, init: A, fold: F) -> Self {
+        WindowedAggregate { scheme, init, fold, open: BTreeMap::new(), _value: std::marker::PhantomData }
+    }
+
+    /// Number of currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+}
+
+impl<V, A, F> Processor for WindowedAggregate<V, A, F>
+where
+    A: Clone + Send,
+    V: Send,
+    F: FnMut(A, V) -> A + Send,
+{
+    /// `(event-time nanos, value)` pairs.
+    type In = (u64, V);
+    type Out = WindowAggregate<A>;
+
+    fn process(&mut self, (ts, value): (u64, V), _ctx: &mut Context<Self::Out>) {
+        let id = self.scheme.index_of(ts);
+        let slot = self.open.entry(id).or_insert_with(|| (self.init.clone(), 0));
+        let acc = std::mem::replace(&mut slot.0, self.init.clone());
+        slot.0 = (self.fold)(acc, value);
+        slot.1 += 1;
+    }
+
+    fn punctuate(&mut self, now_nanos: u64, ctx: &mut Context<Self::Out>) {
+        let closed: Vec<WindowId> = self
+            .open
+            .keys()
+            .copied()
+            .take_while(|&id| self.scheme.end_of(id) <= now_nanos)
+            .collect();
+        for id in closed {
+            let (aggregate, count) = self.open.remove(&id).expect("key from open set");
+            ctx.forward(WindowAggregate { window: id, aggregate, count });
+        }
+    }
+
+    fn close(&mut self, ctx: &mut Context<Self::Out>) {
+        for (id, (aggregate, count)) in std::mem::take(&mut self.open) {
+            ctx.forward(WindowAggregate { window: id, aggregate, count });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn sum_agg() -> WindowedAggregate<f64, f64, impl FnMut(f64, f64) -> f64> {
+        WindowedAggregate::new(TumblingWindow::new(Duration::from_secs(1)), 0.0, |a, v| a + v)
+    }
+
+    #[test]
+    fn aggregates_per_window() {
+        let mut agg = sum_agg();
+        let mut ctx = Context::new();
+        agg.process((0, 1.0), &mut ctx);
+        agg.process((SEC / 2, 2.0), &mut ctx);
+        agg.process((SEC + 1, 10.0), &mut ctx);
+        assert_eq!(agg.open_windows(), 2);
+        agg.punctuate(2 * SEC, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].aggregate, 3.0);
+        assert_eq!(out[1].aggregate, 10.0);
+        assert_eq!(out[1].count, 1);
+    }
+
+    #[test]
+    fn watermark_holds_back_open_windows() {
+        let mut agg = sum_agg();
+        let mut ctx = Context::new();
+        agg.process((0, 1.0), &mut ctx);
+        agg.process((SEC, 2.0), &mut ctx);
+        agg.punctuate(SEC + SEC / 2, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out.len(), 1, "window 1 is still open");
+        assert_eq!(out[0].window, 0);
+        assert_eq!(agg.open_windows(), 1);
+    }
+
+    #[test]
+    fn close_flushes_everything() {
+        let mut agg = sum_agg();
+        let mut ctx = Context::new();
+        agg.process((0, 5.0), &mut ctx);
+        agg.process((10 * SEC, 7.0), &mut ctx);
+        agg.close(&mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out.len(), 2);
+        assert_eq!(agg.open_windows(), 0);
+    }
+
+    #[test]
+    fn generic_accumulator_types_work() {
+        // min/max tracking with a tuple accumulator.
+        let mut agg = WindowedAggregate::new(
+            TumblingWindow::new(Duration::from_secs(1)),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), v: f64| (v.min(lo), v.max(hi)),
+        );
+        let mut ctx = Context::new();
+        for v in [3.0, -1.0, 7.0] {
+            agg.process((0, v), &mut ctx);
+        }
+        agg.punctuate(SEC, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out[0].aggregate, (-1.0, 7.0));
+        assert_eq!(out[0].count, 3);
+    }
+
+    #[test]
+    fn chains_with_other_processors() {
+        use crate::processor::MapProcessor;
+        // Stamp items with a constant timestamp, then window-sum them.
+        let mut topo =
+            MapProcessor::new(|v: f64| (0u64, v)).then(sum_agg());
+        let mut ctx = Context::new();
+        topo.process(1.5, &mut ctx);
+        topo.process(2.5, &mut ctx);
+        topo.punctuate(SEC, &mut ctx);
+        let out = ctx.drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].aggregate, 4.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # approxiot-streams
+//!
+//! A minimal stream-processing engine: the reproduction's substitute for
+//! Kafka Streams, on which the ApproxIoT prototype implements its sampling
+//! operator (paper §IV).
+//!
+//! The pieces mirror what the paper uses from Kafka Streams:
+//!
+//! * [`Processor`] — the Low-Level Processor API: a user-defined operator
+//!   receiving records and periodic punctuation. ApproxIoT's sampling
+//!   module is implemented as exactly such a processor (in
+//!   `approxiot-runtime`).
+//! * [`Processor::then`] — a linear topology builder (the paper's
+//!   "processing topology").
+//! * [`TumblingWindow`] / [`WindowBuffer`] — the computation windows of
+//!   Algorithm 2's interval loop (0.5–4 s in the evaluation).
+//! * [`StreamTask`] — the threaded driver pairing a source (e.g. an
+//!   `approxiot-mq` consumer) with a sink (e.g. a producer into the next
+//!   layer's topic).
+//!
+//! ## Example
+//!
+//! ```
+//! use approxiot_streams::{Context, MapProcessor, Processor};
+//!
+//! // Build a two-stage topology and push a record through it.
+//! let mut topo = MapProcessor::new(|x: i32| x + 1).then(MapProcessor::new(|x: i32| x * 10));
+//! let mut ctx = Context::new();
+//! topo.process(4, &mut ctx);
+//! assert_eq!(ctx.drain(), vec![50]);
+//! ```
+
+pub mod aggregate;
+pub mod processor;
+pub mod runtime;
+pub mod window;
+
+pub use aggregate::{WindowAggregate, WindowedAggregate};
+pub use processor::{Chain, Context, FilterProcessor, MapProcessor, Processor};
+pub use runtime::{SourceEvent, StreamTask, TaskConfig};
+pub use window::{TumblingWindow, WindowBuffer, WindowId};

@@ -1,0 +1,283 @@
+//! The processor abstraction — the reproduction's equivalent of Kafka
+//! Streams' Low-Level Processor API, which the paper uses to implement its
+//! sampling operator (§IV-B II).
+
+/// Collects a processor's outputs for the runtime to forward downstream.
+#[derive(Debug)]
+pub struct Context<O> {
+    outputs: Vec<O>,
+}
+
+impl<O> Context<O> {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Context { outputs: Vec::new() }
+    }
+
+    /// Emits one output downstream.
+    pub fn forward(&mut self, output: O) {
+        self.outputs.push(output);
+    }
+
+    /// Emits many outputs downstream.
+    pub fn forward_all(&mut self, outputs: impl IntoIterator<Item = O>) {
+        self.outputs.extend(outputs);
+    }
+
+    /// Takes the buffered outputs, leaving the context empty.
+    pub fn drain(&mut self) -> Vec<O> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Number of buffered outputs.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+}
+
+impl<O> Default for Context<O> {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// A stream operator: transforms inputs into zero or more outputs, with
+/// optional time-driven punctuation.
+///
+/// Implementors receive every input via [`Processor::process`] and a
+/// periodic [`Processor::punctuate`] callback carrying the current time —
+/// which is where window-close logic lives. [`Processor::close`] runs once
+/// at shutdown for final flushes.
+pub trait Processor: Send {
+    /// Input message type.
+    type In;
+    /// Output message type.
+    type Out;
+
+    /// Handles one input message.
+    fn process(&mut self, input: Self::In, ctx: &mut Context<Self::Out>);
+
+    /// Periodic time callback (`now_nanos` from the driving clock).
+    fn punctuate(&mut self, _now_nanos: u64, _ctx: &mut Context<Self::Out>) {}
+
+    /// Final flush before shutdown.
+    fn close(&mut self, _ctx: &mut Context<Self::Out>) {}
+
+    /// Chains `next` after `self`, producing a composite processor
+    /// (the reproduction's topology builder — a linear DAG is all the
+    /// ApproxIoT pipeline needs at a single node).
+    fn then<P>(self, next: P) -> Chain<Self, P>
+    where
+        Self: Sized,
+        P: Processor<In = Self::Out>,
+    {
+        Chain { first: self, second: next }
+    }
+}
+
+/// Two processors composed in sequence (built by [`Processor::then`]).
+#[derive(Debug, Clone)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Processor for Chain<A, B>
+where
+    A: Processor,
+    B: Processor<In = A::Out>,
+{
+    type In = A::In;
+    type Out = B::Out;
+
+    fn process(&mut self, input: Self::In, ctx: &mut Context<Self::Out>) {
+        let mut mid = Context::new();
+        self.first.process(input, &mut mid);
+        for m in mid.drain() {
+            self.second.process(m, ctx);
+        }
+    }
+
+    fn punctuate(&mut self, now_nanos: u64, ctx: &mut Context<Self::Out>) {
+        let mut mid = Context::new();
+        self.first.punctuate(now_nanos, &mut mid);
+        for m in mid.drain() {
+            self.second.process(m, ctx);
+        }
+        self.second.punctuate(now_nanos, ctx);
+    }
+
+    fn close(&mut self, ctx: &mut Context<Self::Out>) {
+        let mut mid = Context::new();
+        self.first.close(&mut mid);
+        for m in mid.drain() {
+            self.second.process(m, ctx);
+        }
+        self.second.close(ctx);
+    }
+}
+
+/// A stateless map processor built from a closure.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_streams::{Context, MapProcessor, Processor};
+///
+/// let mut double = MapProcessor::new(|x: i32| x * 2);
+/// let mut ctx = Context::new();
+/// double.process(21, &mut ctx);
+/// assert_eq!(ctx.drain(), vec![42]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapProcessor<I, O, F> {
+    f: F,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> MapProcessor<I, O, F>
+where
+    F: FnMut(I) -> O,
+{
+    /// Wraps a mapping closure.
+    pub fn new(f: F) -> Self {
+        MapProcessor { f, _types: std::marker::PhantomData }
+    }
+}
+
+impl<I, O, F> Processor for MapProcessor<I, O, F>
+where
+    F: FnMut(I) -> O + Send,
+    I: Send,
+    O: Send,
+{
+    type In = I;
+    type Out = O;
+
+    fn process(&mut self, input: I, ctx: &mut Context<O>) {
+        ctx.forward((self.f)(input));
+    }
+}
+
+/// A stateless filter processor built from a predicate.
+#[derive(Debug, Clone)]
+pub struct FilterProcessor<I, F> {
+    predicate: F,
+    _types: std::marker::PhantomData<fn(I) -> I>,
+}
+
+impl<I, F> FilterProcessor<I, F>
+where
+    F: FnMut(&I) -> bool,
+{
+    /// Wraps a predicate.
+    pub fn new(predicate: F) -> Self {
+        FilterProcessor { predicate, _types: std::marker::PhantomData }
+    }
+}
+
+impl<I, F> Processor for FilterProcessor<I, F>
+where
+    F: FnMut(&I) -> bool + Send,
+    I: Send,
+{
+    type In = I;
+    type Out = I;
+
+    fn process(&mut self, input: I, ctx: &mut Context<I>) {
+        if (self.predicate)(&input) {
+            ctx.forward(input);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_forwards_and_drains() {
+        let mut ctx = Context::new();
+        ctx.forward(1);
+        ctx.forward_all([2, 3]);
+        assert_eq!(ctx.len(), 3);
+        assert_eq!(ctx.drain(), vec![1, 2, 3]);
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn map_processor_transforms() {
+        let mut p = MapProcessor::new(|x: u32| x + 1);
+        let mut ctx = Context::new();
+        p.process(1, &mut ctx);
+        p.process(2, &mut ctx);
+        assert_eq!(ctx.drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn filter_processor_drops_non_matching() {
+        let mut p = FilterProcessor::new(|x: &i32| *x % 2 == 0);
+        let mut ctx = Context::new();
+        for i in 0..6 {
+            p.process(i, &mut ctx);
+        }
+        assert_eq!(ctx.drain(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn chain_composes_in_order() {
+        let mut p = MapProcessor::new(|x: i32| x * 10).then(FilterProcessor::new(|x: &i32| *x > 15));
+        let mut ctx = Context::new();
+        p.process(1, &mut ctx);
+        p.process(2, &mut ctx);
+        assert_eq!(ctx.drain(), vec![20]);
+    }
+
+    #[test]
+    fn chain_punctuation_flows_through_second_stage() {
+        // A first stage that emits buffered state at punctuation.
+        struct FlushOnTick {
+            held: Vec<i32>,
+        }
+        impl Processor for FlushOnTick {
+            type In = i32;
+            type Out = i32;
+            fn process(&mut self, input: i32, _ctx: &mut Context<i32>) {
+                self.held.push(input);
+            }
+            fn punctuate(&mut self, _now: u64, ctx: &mut Context<i32>) {
+                ctx.forward_all(self.held.drain(..));
+            }
+        }
+        let mut p = FlushOnTick { held: vec![] }.then(MapProcessor::new(|x: i32| x + 100));
+        let mut ctx = Context::new();
+        p.process(1, &mut ctx);
+        assert!(ctx.is_empty(), "first stage holds input");
+        p.punctuate(0, &mut ctx);
+        assert_eq!(ctx.drain(), vec![101]);
+    }
+
+    #[test]
+    fn chain_close_flushes_both_stages() {
+        struct EmitOnClose;
+        impl Processor for EmitOnClose {
+            type In = i32;
+            type Out = i32;
+            fn process(&mut self, input: i32, ctx: &mut Context<i32>) {
+                ctx.forward(input);
+            }
+            fn close(&mut self, ctx: &mut Context<i32>) {
+                ctx.forward(-1);
+            }
+        }
+        let mut p = EmitOnClose.then(MapProcessor::new(|x: i32| x * 2));
+        let mut ctx = Context::new();
+        p.close(&mut ctx);
+        assert_eq!(ctx.drain(), vec![-2]);
+    }
+}

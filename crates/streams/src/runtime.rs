@@ -1,0 +1,262 @@
+//! The threaded driver: polls a source, runs a processor, forwards to a
+//! sink, and fires punctuation on a fixed cadence.
+
+use crate::processor::{Context, Processor};
+use approxiot_net::Clock;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// What a source hands the task on each poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceEvent<I> {
+    /// Messages to process (possibly empty — treated as [`SourceEvent::Idle`]).
+    Items(Vec<I>),
+    /// Nothing available right now.
+    Idle,
+    /// The source is exhausted; the task flushes and exits.
+    Closed,
+}
+
+/// Configuration of a stream task.
+#[derive(Debug, Clone)]
+pub struct TaskConfig {
+    /// Cadence of `punctuate` callbacks.
+    pub punctuation_interval: Duration,
+    /// Thread name.
+    pub name: String,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        TaskConfig {
+            punctuation_interval: Duration::from_millis(100),
+            name: "approxiot-stream-task".to_string(),
+        }
+    }
+}
+
+/// A running stream task; join to wait for source exhaustion.
+#[derive(Debug)]
+pub struct StreamTask {
+    handle: JoinHandle<()>,
+}
+
+impl StreamTask {
+    /// Spawns a task thread driving `processor` between `source` and
+    /// `sink`.
+    ///
+    /// * `source` is polled repeatedly; it should block briefly (not spin)
+    ///   when no data is available and return [`SourceEvent::Closed`] at end
+    ///   of stream.
+    /// * `sink` receives every output; returning `false` stops the task
+    ///   (downstream gone).
+    /// * `punctuate` fires between polls whenever at least
+    ///   `punctuation_interval` of clock time has passed since the last
+    ///   firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread cannot be spawned.
+    pub fn spawn<P, S, K>(
+        config: TaskConfig,
+        clock: Arc<dyn Clock>,
+        mut source: S,
+        mut processor: P,
+        mut sink: K,
+    ) -> StreamTask
+    where
+        P: Processor + 'static,
+        S: FnMut() -> SourceEvent<P::In> + Send + 'static,
+        K: FnMut(P::Out) -> bool + Send + 'static,
+    {
+        let handle = thread::Builder::new()
+            .name(config.name.clone())
+            .spawn(move || {
+                let mut ctx = Context::new();
+                let tick = config.punctuation_interval.as_nanos() as u64;
+                let mut last_tick = clock.now_nanos();
+                'main: loop {
+                    let event = source();
+                    match event {
+                        SourceEvent::Items(items) => {
+                            for item in items {
+                                processor.process(item, &mut ctx);
+                            }
+                        }
+                        SourceEvent::Idle => {}
+                        SourceEvent::Closed => {
+                            processor.close(&mut ctx);
+                            for out in ctx.drain() {
+                                if !sink(out) {
+                                    break;
+                                }
+                            }
+                            break 'main;
+                        }
+                    }
+                    let now = clock.now_nanos();
+                    if now.saturating_sub(last_tick) >= tick {
+                        processor.punctuate(now, &mut ctx);
+                        last_tick = now;
+                    }
+                    for out in ctx.drain() {
+                        if !sink(out) {
+                            break 'main;
+                        }
+                    }
+                }
+            })
+            .expect("spawn stream task thread");
+        StreamTask { handle }
+    }
+
+    /// Waits for the task to finish (source closed or sink refused).
+    pub fn join(self) -> thread::Result<()> {
+        self.handle.join()
+    }
+
+    /// Returns `true` once the task thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::MapProcessor;
+    use approxiot_net::WallClock;
+    use crossbeam::channel;
+
+    fn wall() -> Arc<dyn Clock> {
+        Arc::new(WallClock::new())
+    }
+
+    #[test]
+    fn task_processes_until_source_closes() {
+        let inputs = vec![1, 2, 3];
+        let mut served = false;
+        let source = move || {
+            if served {
+                SourceEvent::Closed
+            } else {
+                served = true;
+                SourceEvent::Items(inputs.clone())
+            }
+        };
+        let (tx, rx) = channel::unbounded();
+        let task = StreamTask::spawn(
+            TaskConfig::default(),
+            wall(),
+            source,
+            MapProcessor::new(|x: i32| x * 2),
+            move |out| tx.send(out).is_ok(),
+        );
+        task.join().expect("task joins");
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn punctuation_fires_on_cadence() {
+        struct CountTicks {
+            ticks: u32,
+        }
+        impl Processor for CountTicks {
+            type In = ();
+            type Out = u32;
+            fn process(&mut self, _input: (), _ctx: &mut Context<u32>) {}
+            fn punctuate(&mut self, _now: u64, ctx: &mut Context<u32>) {
+                self.ticks += 1;
+                ctx.forward(self.ticks);
+            }
+        }
+        let mut polls = 0;
+        let source = move || {
+            polls += 1;
+            if polls > 50 {
+                SourceEvent::Closed
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+                SourceEvent::Idle
+            }
+        };
+        let (tx, rx) = channel::unbounded();
+        let task = StreamTask::spawn(
+            TaskConfig { punctuation_interval: Duration::from_millis(10), name: "tick".into() },
+            wall(),
+            source,
+            CountTicks { ticks: 0 },
+            move |out| tx.send(out).is_ok(),
+        );
+        task.join().expect("task joins");
+        let ticks: Vec<u32> = rx.try_iter().collect();
+        assert!(ticks.len() >= 3, "expected several punctuations, got {}", ticks.len());
+    }
+
+    #[test]
+    fn close_flushes_processor_state() {
+        struct HoldAll {
+            held: Vec<i32>,
+        }
+        impl Processor for HoldAll {
+            type In = i32;
+            type Out = i32;
+            fn process(&mut self, input: i32, _ctx: &mut Context<i32>) {
+                self.held.push(input);
+            }
+            fn close(&mut self, ctx: &mut Context<i32>) {
+                ctx.forward_all(self.held.drain(..));
+            }
+        }
+        let mut sent = false;
+        let source = move || {
+            if sent {
+                SourceEvent::Closed
+            } else {
+                sent = true;
+                SourceEvent::Items(vec![7, 8])
+            }
+        };
+        let (tx, rx) = channel::unbounded();
+        StreamTask::spawn(
+            TaskConfig::default(),
+            wall(),
+            source,
+            HoldAll { held: vec![] },
+            move |out| tx.send(out).is_ok(),
+        )
+        .join()
+        .expect("task joins");
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![7, 8]);
+    }
+
+    #[test]
+    fn sink_refusal_stops_task() {
+        let source = || SourceEvent::Items(vec![1]);
+        let task = StreamTask::spawn(
+            TaskConfig::default(),
+            wall(),
+            source,
+            MapProcessor::new(|x: i32| x),
+            |_out| false, // refuse immediately
+        );
+        task.join().expect("task joins despite infinite source");
+    }
+
+    #[test]
+    fn is_finished_reflects_exit() {
+        let task = StreamTask::spawn(
+            TaskConfig::default(),
+            wall(),
+            || SourceEvent::Closed,
+            MapProcessor::new(|x: i32| x),
+            |_out| true,
+        );
+        // Give it a moment, then check.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(task.is_finished());
+        task.join().expect("join");
+    }
+}

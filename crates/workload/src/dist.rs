@@ -1,0 +1,297 @@
+//! Random-variate sampling implemented from first principles.
+//!
+//! The approved offline dependency set includes `rand` but not `rand_distr`,
+//! so the distributions the paper's workloads need are implemented here:
+//!
+//! * [`Normal`] — Box–Muller transform.
+//! * [`Poisson`] — Knuth's product method for small `λ`, normal
+//!   approximation for large `λ` (the evaluation's skew experiment uses
+//!   `λ = 10⁷`, far inside the approximation's comfort zone).
+//! * [`LogNormal`] — exponentiated normal (used by the taxi-fare model).
+//! * [`Exponential`] — inverse transform (inter-arrival gaps).
+
+use rand::Rng;
+
+/// Gaussian distribution sampled with the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_workload::Normal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n = Normal::new(10.0, 5.0);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid normal parameters mean={mean} std_dev={std_dev}"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Draws a standard-normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Poisson distribution.
+///
+/// Small means use Knuth's exact product method; means above
+/// [`Poisson::NORMAL_APPROX_THRESHOLD`] use the normal approximation
+/// `N(λ, λ)` rounded and clamped at zero, whose relative error is
+/// negligible there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Mean above which the normal approximation is used.
+    pub const NORMAL_APPROX_THRESHOLD: f64 = 64.0;
+
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "invalid poisson lambda {lambda}");
+        Poisson { lambda }
+    }
+
+    /// The mean.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda <= Self::NORMAL_APPROX_THRESHOLD {
+            // Knuth: count multiplications until the product drops below
+            // e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.random();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.random::<f64>();
+                count += 1;
+            }
+            count as f64
+        } else {
+            let approx = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            approx.round().max(0.0)
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))` of the underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    underlying: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the *underlying normal's* parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid underlying parameters (see [`Normal::new`]).
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal { underlying: Normal::new(mu, sigma) }
+    }
+
+    /// Creates a log-normal whose *own* mean and standard deviation match
+    /// the given values (solves for the underlying parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `std_dev >= 0`.
+    pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
+        assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws one variate (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.underlying.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution via inverse transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate (`1/mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "invalid exponential rate {rate}");
+        Exponential { rate }
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(100.0, 15.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 0.5, "std {}", var.sqrt());
+        assert_eq!(d.mean(), 100.0);
+        assert_eq!(d.std_dev(), 15.0);
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(7.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn normal_rejects_negative_std() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Poisson::new(4.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+        // Integer-valued and non-negative.
+        assert!(samples.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Poisson::new(10_000_000.0);
+        let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean / 1e7 - 1.0).abs() < 0.001, "mean {mean}");
+        assert!((var / 1e7 - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_threshold_continuity() {
+        // Means just below and above the threshold should produce similar
+        // moments (no discontinuity at the switch).
+        let mut rng = StdRng::seed_from_u64(5);
+        let below = Poisson::new(Poisson::NORMAL_APPROX_THRESHOLD - 1.0);
+        let above = Poisson::new(Poisson::NORMAL_APPROX_THRESHOLD + 1.0);
+        let mb = moments(&(0..30_000).map(|_| below.sample(&mut rng)).collect::<Vec<_>>()).0;
+        let ma = moments(&(0..30_000).map(|_| above.sample(&mut rng)).collect::<Vec<_>>()).0;
+        assert!((ma - mb - 2.0).abs() < 0.5, "means {mb} vs {ma}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid poisson lambda")]
+    fn poisson_rejects_zero_lambda() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_matches_target_moments() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = LogNormal::from_mean_std(12.5, 9.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (mean, var) = moments(&samples);
+        assert!((mean - 12.5).abs() < 0.2, "mean {mean}");
+        assert!((var.sqrt() - 9.0).abs() < 0.4, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "log-normal mean must be positive")]
+    fn lognormal_rejects_nonpositive_mean() {
+        LogNormal::from_mean_std(0.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Exponential::new(2.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn standard_normal_symmetry() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let positive = (0..50_000).filter(|_| standard_normal(&mut rng) > 0.0).count();
+        let frac = positive as f64 / 50_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "positive fraction {frac}");
+    }
+}

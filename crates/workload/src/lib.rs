@@ -1,0 +1,46 @@
+//! # approxiot-workload
+//!
+//! Workload generators for the ApproxIoT reproduction: the synthetic
+//! sub-stream mixes of the paper's microbenchmarks (§V) and trace-shaped
+//! stand-ins for its two real-world datasets (§VI).
+//!
+//! * [`StreamMix`] — general sub-stream mixer: per-stratum rates and value
+//!   distributions, one [`approxiot_core::Batch`] per interval.
+//! * [`scenarios`] — the paper's exact configurations: Gaussian/Poisson
+//!   A–D mixes (Figure 5), fluctuating rate settings (Figure 10(a,b)) and
+//!   the extreme-skew mix (Figure 10(c)).
+//! * [`TaxiTrace`] — NYC-taxi-shaped stream: borough strata, log-normal
+//!   fares, diurnal demand (Figure 11, "NYC Taxi").
+//! * [`PollutionTrace`] — Brasov-pollution-shaped stream: four pollutant
+//!   strata with mean-reverting, low-variance readings (Figure 11,
+//!   "Brasov Pollution").
+//! * [`dist`] — Normal/Poisson/LogNormal/Exponential variate generation
+//!   implemented from scratch (the offline dependency set has no
+//!   `rand_distr`).
+//!
+//! ## Example
+//!
+//! ```
+//! use approxiot_workload::scenarios;
+//! use rand::SeedableRng;
+//! use std::time::Duration;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut mix = scenarios::gaussian_mix(10_000.0, Duration::from_secs(1));
+//! let batch = mix.next_interval(&mut rng);
+//! assert_eq!(batch.stratify().len(), 4); // sub-streams A–D
+//! ```
+
+pub mod dist;
+pub mod pollution;
+pub mod replay;
+pub mod scenarios;
+pub mod source;
+pub mod taxi;
+
+pub use dist::{standard_normal, Exponential, LogNormal, Normal, Poisson};
+pub use pollution::PollutionTrace;
+pub use replay::{CsvSchema, CsvTraceReader, ParseTraceError};
+pub use scenarios::RateSetting;
+pub use source::{StreamMix, SubStreamSpec, ValueDist};
+pub use taxi::TaxiTrace;

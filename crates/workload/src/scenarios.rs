@@ -1,0 +1,194 @@
+//! The paper's synthetic workload configurations (§V).
+//!
+//! Four sub-streams A–D make up every microbenchmark input:
+//!
+//! * **Gaussian**: A(μ=10, σ=5), B(1 000, 50), C(10 000, 500),
+//!   D(100 000, 5 000) — Figure 5(a), 10(a).
+//! * **Poisson**: A(λ=10), B(100), C(1 000), D(10 000) — Figure 5(b),
+//!   10(b).
+//! * **Fluctuating rates** (Figure 10): Setting1 (50k : 25k : 12.5k : 625),
+//!   Setting2 (25k × 4), Setting3 (625 : 12.5k : 25k : 50k) items/s.
+//! * **Extreme skew** (Figure 10(c)): Poisson λ = 10, 100, 1 000, 10⁷ with
+//!   arrival shares 80%, 19.89%, 0.1%, 0.01%.
+
+use crate::source::{StreamMix, SubStreamSpec, ValueDist};
+use approxiot_core::StratumId;
+use std::time::Duration;
+
+/// The four Gaussian value distributions A–D of §V.
+pub fn gaussian_values() -> [ValueDist; 4] {
+    [
+        ValueDist::Gaussian { mu: 10.0, sigma: 5.0 },
+        ValueDist::Gaussian { mu: 1_000.0, sigma: 50.0 },
+        ValueDist::Gaussian { mu: 10_000.0, sigma: 500.0 },
+        ValueDist::Gaussian { mu: 100_000.0, sigma: 5_000.0 },
+    ]
+}
+
+/// The four Poisson value distributions A–D of §V.
+pub fn poisson_values() -> [ValueDist; 4] {
+    [
+        ValueDist::Poisson { lambda: 10.0 },
+        ValueDist::Poisson { lambda: 100.0 },
+        ValueDist::Poisson { lambda: 1_000.0 },
+        ValueDist::Poisson { lambda: 10_000.0 },
+    ]
+}
+
+/// Arrival-rate settings of the Figure 10 experiments, items/s per
+/// sub-stream A–D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateSetting {
+    /// (50k : 25k : 12.5k : 625) — sub-stream D is rare but most valuable.
+    Setting1,
+    /// (25k : 25k : 25k : 25k) — balanced.
+    Setting2,
+    /// (625 : 12.5k : 25k : 50k) — sub-stream D dominates.
+    Setting3,
+}
+
+impl RateSetting {
+    /// The per-sub-stream rates, items/s.
+    pub fn rates(self) -> [f64; 4] {
+        match self {
+            RateSetting::Setting1 => [50_000.0, 25_000.0, 12_500.0, 625.0],
+            RateSetting::Setting2 => [25_000.0; 4],
+            RateSetting::Setting3 => [625.0, 12_500.0, 25_000.0, 50_000.0],
+        }
+    }
+
+    /// All three settings, in paper order.
+    pub fn all() -> [RateSetting; 3] {
+        [RateSetting::Setting1, RateSetting::Setting2, RateSetting::Setting3]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            RateSetting::Setting1 => "Setting1",
+            RateSetting::Setting2 => "Setting2",
+            RateSetting::Setting3 => "Setting3",
+        }
+    }
+}
+
+/// Builds the four-sub-stream mix from value distributions and rates.
+pub fn mix_of(values: [ValueDist; 4], rates: [f64; 4], interval: Duration) -> StreamMix {
+    let specs = values
+        .into_iter()
+        .zip(rates)
+        .enumerate()
+        .map(|(i, (v, r))| SubStreamSpec::new(StratumId::new(i as u32), r, v))
+        .collect();
+    StreamMix::new(specs, interval)
+}
+
+/// The Figure 5(a) mix: Gaussian values, equal rates summing to
+/// `total_rate` items/s.
+pub fn gaussian_mix(total_rate: f64, interval: Duration) -> StreamMix {
+    mix_of(gaussian_values(), [total_rate / 4.0; 4], interval)
+}
+
+/// The Figure 5(b) mix: Poisson values, equal rates summing to
+/// `total_rate` items/s.
+pub fn poisson_mix(total_rate: f64, interval: Duration) -> StreamMix {
+    mix_of(poisson_values(), [total_rate / 4.0; 4], interval)
+}
+
+/// The Figure 10(a) mix: Gaussian values with a [`RateSetting`].
+pub fn gaussian_rate_mix(setting: RateSetting, interval: Duration) -> StreamMix {
+    mix_of(gaussian_values(), setting.rates(), interval)
+}
+
+/// The Figure 10(b) mix: Poisson values with a [`RateSetting`].
+pub fn poisson_rate_mix(setting: RateSetting, interval: Duration) -> StreamMix {
+    mix_of(poisson_values(), setting.rates(), interval)
+}
+
+/// The Figure 10(c) extreme-skew mix: Poisson λ = 10, 100, 1 000, 10⁷ with
+/// arrival shares 80%, 19.89%, 0.1% and 0.01% of `total_rate` items/s.
+///
+/// The rare sub-stream D carries values seven orders of magnitude larger
+/// than A's, which is why SRS fails catastrophically here (up to 2 600×
+/// worse accuracy in the paper).
+pub fn skewed_mix(total_rate: f64, interval: Duration) -> StreamMix {
+    let values = [
+        ValueDist::Poisson { lambda: 10.0 },
+        ValueDist::Poisson { lambda: 100.0 },
+        ValueDist::Poisson { lambda: 1_000.0 },
+        ValueDist::Poisson { lambda: 10_000_000.0 },
+    ];
+    let shares = [0.80, 0.1989, 0.001, 0.0001];
+    let rates = [
+        total_rate * shares[0],
+        total_rate * shares[1],
+        total_rate * shares[2],
+        total_rate * shares[3],
+    ];
+    mix_of(values, rates, interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_mix_has_four_strata() {
+        let mix = gaussian_mix(1000.0, Duration::from_secs(1));
+        assert_eq!(mix.strata().len(), 4);
+        assert_eq!(mix.expected_items_per_interval(), 1000.0);
+    }
+
+    #[test]
+    fn rate_settings_match_paper() {
+        assert_eq!(RateSetting::Setting1.rates(), [50_000.0, 25_000.0, 12_500.0, 625.0]);
+        assert_eq!(RateSetting::Setting2.rates(), [25_000.0; 4]);
+        assert_eq!(RateSetting::Setting3.rates(), [625.0, 12_500.0, 25_000.0, 50_000.0]);
+        assert_eq!(RateSetting::all().len(), 3);
+        assert_eq!(RateSetting::Setting1.label(), "Setting1");
+    }
+
+    #[test]
+    fn skewed_mix_shares_match_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
+        let batch = mix.next_interval(&mut rng);
+        let strata = batch.stratify();
+        let total = batch.len() as f64;
+        let share_a = strata[&StratumId::new(0)].len() as f64 / total;
+        let share_d = strata[&StratumId::new(3)].len() as f64 / total;
+        assert!((share_a - 0.80).abs() < 0.01, "A share {share_a}");
+        assert!((share_d - 0.0001).abs() < 0.0001, "D share {share_d}");
+    }
+
+    #[test]
+    fn skewed_mix_d_values_dominate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
+        let batch = mix.next_interval(&mut rng);
+        let strata = batch.stratify();
+        let sum_d: f64 = strata[&StratumId::new(3)].iter().map(|i| i.value).sum();
+        let sum_a: f64 = strata[&StratumId::new(0)].iter().map(|i| i.value).sum();
+        assert!(sum_d > 50.0 * sum_a, "D should dwarf A: {sum_d} vs {sum_a}");
+    }
+
+    #[test]
+    fn poisson_mix_values_are_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mix = poisson_mix(4_000.0, Duration::from_secs(1));
+        let batch = mix.next_interval(&mut rng);
+        assert!(batch.items.iter().all(|i| i.value >= 0.0 && i.value.fract() == 0.0));
+    }
+
+    #[test]
+    fn gaussian_rate_mix_uses_setting() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mix = gaussian_rate_mix(RateSetting::Setting1, Duration::from_millis(100));
+        let batch = mix.next_interval(&mut rng);
+        let strata = batch.stratify();
+        assert_eq!(strata[&StratumId::new(0)].len(), 5_000); // 50k * 0.1s
+        assert_eq!(strata[&StratumId::new(3)].len(), 62); // 625 * 0.1s (floor)
+    }
+}

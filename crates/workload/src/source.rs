@@ -1,0 +1,328 @@
+//! Sub-stream sources and mixes: turn per-stratum specs into timestamped
+//! item batches, one batch per time interval.
+
+use crate::dist::{LogNormal, Normal, Poisson};
+use approxiot_core::{Batch, StratumId, StreamItem};
+use rand::Rng;
+use std::time::Duration;
+
+/// The value distribution of a sub-stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueDist {
+    /// Gaussian values (the paper's §V Gaussian sub-streams).
+    Gaussian {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Poisson-distributed values (the paper's §V Poisson sub-streams).
+    Poisson {
+        /// Mean.
+        lambda: f64,
+    },
+    /// Log-normal values (taxi fares).
+    LogNormal {
+        /// Target mean of the variate.
+        mean: f64,
+        /// Target standard deviation of the variate.
+        std_dev: f64,
+    },
+    /// A constant value (tests and calibration).
+    Constant(f64),
+}
+
+impl ValueDist {
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ValueDist::Gaussian { mu, sigma } => Normal::new(mu, sigma).sample(rng),
+            ValueDist::Poisson { lambda } => Poisson::new(lambda).sample(rng),
+            ValueDist::LogNormal { mean, std_dev } => {
+                LogNormal::from_mean_std(mean, std_dev).sample(rng)
+            }
+            ValueDist::Constant(v) => v,
+        }
+    }
+
+    /// The distribution's expected value (used by tests and by benches to
+    /// compute analytic ground truths).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ValueDist::Gaussian { mu, .. } => mu,
+            ValueDist::Poisson { lambda } => lambda,
+            ValueDist::LogNormal { mean, .. } => mean,
+            ValueDist::Constant(v) => v,
+        }
+    }
+}
+
+/// Specification of one sub-stream: a stratum, an arrival rate and a value
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubStreamSpec {
+    /// Stratum identity.
+    pub stratum: StratumId,
+    /// Arrival rate in items per second.
+    pub rate_per_sec: f64,
+    /// Distribution of item values.
+    pub values: ValueDist,
+}
+
+impl SubStreamSpec {
+    /// Creates a spec.
+    pub fn new(stratum: StratumId, rate_per_sec: f64, values: ValueDist) -> Self {
+        SubStreamSpec { stratum, rate_per_sec, values }
+    }
+}
+
+/// A running sub-stream: spec plus sequence/time cursors.
+#[derive(Debug, Clone)]
+struct SubStreamState {
+    spec: SubStreamSpec,
+    next_seq: u64,
+    /// Fractional item carry between intervals so rates below one
+    /// item/interval still emit over time.
+    carry: f64,
+}
+
+/// A set of sub-streams generating one [`Batch`] per interval.
+///
+/// Items within an interval are spread uniformly over the interval's time
+/// span and interleaved across sub-streams in timestamp order — the shape a
+/// leaf edge node would see from its sources.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::StratumId;
+/// use approxiot_workload::{StreamMix, SubStreamSpec, ValueDist};
+/// use rand::SeedableRng;
+/// use std::time::Duration;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut mix = StreamMix::new(
+///     vec![SubStreamSpec::new(StratumId::new(0), 1000.0, ValueDist::Constant(1.0))],
+///     Duration::from_secs(1),
+/// );
+/// let batch = mix.next_interval(&mut rng);
+/// assert_eq!(batch.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamMix {
+    streams: Vec<SubStreamState>,
+    interval: Duration,
+    /// Start time of the next interval (nanoseconds).
+    now_nanos: u64,
+}
+
+impl StreamMix {
+    /// Creates a mix emitting one batch per `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or an empty spec list.
+    pub fn new(specs: Vec<SubStreamSpec>, interval: Duration) -> Self {
+        assert!(!specs.is_empty(), "a mix needs at least one sub-stream");
+        assert!(!interval.is_zero(), "interval must be positive");
+        StreamMix {
+            streams: specs
+                .into_iter()
+                .map(|spec| SubStreamState { spec, next_seq: 0, carry: 0.0 })
+                .collect(),
+            interval,
+            now_nanos: 0,
+        }
+    }
+
+    /// The interval length.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// The strata in this mix.
+    pub fn strata(&self) -> Vec<StratumId> {
+        self.streams.iter().map(|s| s.spec.stratum).collect()
+    }
+
+    /// The sub-stream specs.
+    pub fn specs(&self) -> Vec<SubStreamSpec> {
+        self.streams.iter().map(|s| s.spec).collect()
+    }
+
+    /// Expected total items per interval (sum of rates × interval).
+    pub fn expected_items_per_interval(&self) -> f64 {
+        let secs = self.interval.as_secs_f64();
+        self.streams.iter().map(|s| s.spec.rate_per_sec * secs).sum()
+    }
+
+    /// Replaces the arrival rate of `stratum`, returning `true` when the
+    /// stratum exists (used by the fluctuating-rate experiments).
+    pub fn set_rate(&mut self, stratum: StratumId, rate_per_sec: f64) -> bool {
+        for s in &mut self.streams {
+            if s.spec.stratum == stratum {
+                s.spec.rate_per_sec = rate_per_sec;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Generates the next interval's batch; timestamps advance by one
+    /// interval per call.
+    pub fn next_interval<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Batch {
+        let interval_nanos = self.interval.as_nanos() as u64;
+        let base = self.now_nanos;
+        let secs = self.interval.as_secs_f64();
+        let mut items = Vec::new();
+        for s in &mut self.streams {
+            let exact = s.spec.rate_per_sec * secs + s.carry;
+            let count = exact.floor() as u64;
+            s.carry = exact - count as f64;
+            if count == 0 {
+                continue;
+            }
+            let step = interval_nanos / count.max(1);
+            for k in 0..count {
+                let ts = base + k * step;
+                items.push(StreamItem::with_meta(
+                    s.spec.stratum,
+                    s.spec.values.sample(rng),
+                    s.next_seq,
+                    ts,
+                ));
+                s.next_seq += 1;
+            }
+        }
+        items.sort_by_key(|i| i.source_ts);
+        self.now_nanos = base + interval_nanos;
+        Batch::from_items(items)
+    }
+
+    /// Current virtual time (start of the next interval), in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.now_nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn s(i: u32) -> StratumId {
+        StratumId::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sub-stream")]
+    fn empty_mix_rejected() {
+        StreamMix::new(vec![], Duration::from_secs(1));
+    }
+
+    #[test]
+    fn item_counts_match_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mix = StreamMix::new(
+            vec![
+                SubStreamSpec::new(s(0), 100.0, ValueDist::Constant(1.0)),
+                SubStreamSpec::new(s(1), 50.0, ValueDist::Constant(2.0)),
+            ],
+            Duration::from_secs(1),
+        );
+        let batch = mix.next_interval(&mut rng);
+        let strata = batch.stratify();
+        assert_eq!(strata[&s(0)].len(), 100);
+        assert_eq!(strata[&s(1)].len(), 50);
+        assert_eq!(mix.expected_items_per_interval(), 150.0);
+    }
+
+    #[test]
+    fn fractional_rates_accumulate_via_carry() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 0.5 items/sec with 1-second intervals: one item every two calls.
+        let mut mix = StreamMix::new(
+            vec![SubStreamSpec::new(s(0), 0.5, ValueDist::Constant(1.0))],
+            Duration::from_secs(1),
+        );
+        let counts: Vec<usize> = (0..6).map(|_| mix.next_interval(&mut rng).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn timestamps_fall_inside_interval_and_advance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mix = StreamMix::new(
+            vec![SubStreamSpec::new(s(0), 10.0, ValueDist::Constant(1.0))],
+            Duration::from_secs(1),
+        );
+        let first = mix.next_interval(&mut rng);
+        assert!(first.items.iter().all(|i| i.source_ts < 1_000_000_000));
+        let second = mix.next_interval(&mut rng);
+        assert!(second.items.iter().all(|i| (1_000_000_000..2_000_000_000).contains(&i.source_ts)));
+        assert_eq!(mix.now_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn sequences_are_dense_per_stratum() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mix = StreamMix::new(
+            vec![SubStreamSpec::new(s(0), 20.0, ValueDist::Constant(1.0))],
+            Duration::from_secs(1),
+        );
+        let b1 = mix.next_interval(&mut rng);
+        let b2 = mix.next_interval(&mut rng);
+        let mut seqs: Vec<u64> =
+            b1.items.iter().chain(b2.items.iter()).map(|i| i.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn set_rate_changes_future_intervals() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mix = StreamMix::new(
+            vec![SubStreamSpec::new(s(0), 10.0, ValueDist::Constant(1.0))],
+            Duration::from_secs(1),
+        );
+        assert!(mix.set_rate(s(0), 30.0));
+        assert!(!mix.set_rate(s(9), 1.0));
+        assert_eq!(mix.next_interval(&mut rng).len(), 30);
+    }
+
+    #[test]
+    fn batch_is_sorted_by_timestamp() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mix = StreamMix::new(
+            vec![
+                SubStreamSpec::new(s(0), 500.0, ValueDist::Constant(1.0)),
+                SubStreamSpec::new(s(1), 300.0, ValueDist::Constant(1.0)),
+            ],
+            Duration::from_secs(1),
+        );
+        let batch = mix.next_interval(&mut rng);
+        assert!(batch.items.windows(2).all(|w| w[0].source_ts <= w[1].source_ts));
+    }
+
+    #[test]
+    fn gaussian_values_have_right_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = ValueDist::Gaussian { mu: 1000.0, sigma: 50.0 };
+        let mut mix = StreamMix::new(
+            vec![SubStreamSpec::new(s(0), 20_000.0, dist)],
+            Duration::from_secs(1),
+        );
+        let batch = mix.next_interval(&mut rng);
+        let mean = batch.value_sum() / batch.len() as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        assert_eq!(dist.mean(), 1000.0);
+    }
+
+    #[test]
+    fn value_dist_means() {
+        assert_eq!(ValueDist::Poisson { lambda: 5.0 }.mean(), 5.0);
+        assert_eq!(ValueDist::LogNormal { mean: 12.0, std_dev: 3.0 }.mean(), 12.0);
+        assert_eq!(ValueDist::Constant(9.0).mean(), 9.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! A trace-shaped stand-in for the DEBS 2015 NYC taxi-ride dataset
+//! (paper §VI-A).
+//!
+//! The real dataset is not redistributable here, so we generate a stream
+//! with the statistical features the Figure 11 experiments depend on:
+//!
+//! * **Strata = boroughs** (pickup regions), with very different ride
+//!   volumes (Manhattan dominates, Staten Island is rare) — the stratified
+//!   structure WHS exploits.
+//! * **Fare values** are log-normal (heavy right tail: a few airport runs
+//!   among many short hops), with per-borough means — the high value
+//!   dispersion that makes this dataset *harder* than the pollution one
+//!   (the paper's explanation of Figure 11(a)).
+//! * **Diurnal rate modulation**: arrival rates swing over a simulated day
+//!   (rush-hour peaks), so windows see fluctuating volumes.
+//!
+//! The query reproduced against this trace is the paper's: *total taxi fare
+//! per time window*.
+
+use crate::dist::LogNormal;
+use approxiot_core::{Batch, StratumId, StreamItem};
+use rand::Rng;
+use std::time::Duration;
+
+/// One borough's ride profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Borough {
+    name: &'static str,
+    /// Share of the total ride volume.
+    volume_share: f64,
+    /// Mean fare (USD).
+    mean_fare: f64,
+    /// Fare standard deviation (USD).
+    std_fare: f64,
+}
+
+const BOROUGHS: [Borough; 5] = [
+    Borough { name: "manhattan", volume_share: 0.70, mean_fare: 11.5, std_fare: 8.0 },
+    Borough { name: "brooklyn", volume_share: 0.14, mean_fare: 14.0, std_fare: 10.0 },
+    Borough { name: "queens", volume_share: 0.11, mean_fare: 24.0, std_fare: 16.0 },
+    Borough { name: "bronx", volume_share: 0.04, mean_fare: 15.0, std_fare: 9.0 },
+    Borough { name: "staten_island", volume_share: 0.01, mean_fare: 30.0, std_fare: 18.0 },
+];
+
+/// Generator for the taxi-shaped trace.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_workload::TaxiTrace;
+/// use rand::SeedableRng;
+/// use std::time::Duration;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut trace = TaxiTrace::new(10_000.0, Duration::from_secs(1));
+/// let batch = trace.next_interval(&mut rng);
+/// assert!(!batch.is_empty());
+/// assert!(batch.items.iter().all(|i| i.value > 0.0)); // fares are positive
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaxiTrace {
+    base_rate_per_sec: f64,
+    interval: Duration,
+    now_nanos: u64,
+    next_seq: [u64; BOROUGHS.len()],
+    carry: [f64; BOROUGHS.len()],
+    /// Simulated seconds per real second (compresses a day into a short
+    /// run).
+    time_compression: f64,
+}
+
+impl TaxiTrace {
+    /// Nanoseconds per simulated day.
+    const DAY_NANOS: f64 = 86_400.0 * 1e9;
+
+    /// Creates a trace averaging `rate_per_sec` rides/s in batches of
+    /// `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate or zero interval.
+    pub fn new(rate_per_sec: f64, interval: Duration) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(!interval.is_zero(), "interval must be positive");
+        TaxiTrace {
+            base_rate_per_sec: rate_per_sec,
+            interval,
+            now_nanos: 0,
+            next_seq: [0; BOROUGHS.len()],
+            carry: [0.0; BOROUGHS.len()],
+            time_compression: 3600.0, // one simulated day ≈ 24 s of stream
+        }
+    }
+
+    /// Changes how many simulated seconds pass per stream second (default
+    /// 3600: a day in 24 s).
+    pub fn with_time_compression(mut self, factor: f64) -> Self {
+        self.time_compression = factor.max(1.0);
+        self
+    }
+
+    /// Names of the strata, index-aligned with [`StratumId`]s.
+    pub fn stratum_names() -> Vec<&'static str> {
+        BOROUGHS.iter().map(|b| b.name).collect()
+    }
+
+    /// The strata produced by this trace.
+    pub fn strata(&self) -> Vec<StratumId> {
+        (0..BOROUGHS.len() as u32).map(StratumId::new).collect()
+    }
+
+    /// Diurnal demand multiplier at a simulated time-of-day (double-peaked:
+    /// morning and evening rush).
+    fn diurnal(&self, nanos: u64) -> f64 {
+        let sim_nanos = nanos as f64 * self.time_compression;
+        let day_frac = (sim_nanos % Self::DAY_NANOS) / Self::DAY_NANOS;
+        // Base load + morning peak (~8h) + taller evening peak (~19h).
+        let gauss = |centre: f64, width: f64| {
+            let d = (day_frac - centre).abs().min(1.0 - (day_frac - centre).abs());
+            (-0.5 * (d / width).powi(2)).exp()
+        };
+        0.5 + 0.8 * gauss(8.0 / 24.0, 0.06) + 1.2 * gauss(19.0 / 24.0, 0.08)
+    }
+
+    /// Generates the next interval's rides.
+    pub fn next_interval<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Batch {
+        let interval_nanos = self.interval.as_nanos() as u64;
+        let secs = self.interval.as_secs_f64();
+        let demand = self.diurnal(self.now_nanos);
+        let mut items = Vec::new();
+        for (idx, borough) in BOROUGHS.iter().enumerate() {
+            let exact = self.base_rate_per_sec * borough.volume_share * demand * secs
+                + self.carry[idx];
+            let count = exact.floor() as u64;
+            self.carry[idx] = exact - count as f64;
+            if count == 0 {
+                continue;
+            }
+            let fares = LogNormal::from_mean_std(borough.mean_fare, borough.std_fare);
+            let step = interval_nanos / count;
+            for k in 0..count {
+                items.push(StreamItem::with_meta(
+                    StratumId::new(idx as u32),
+                    fares.sample(rng),
+                    self.next_seq[idx],
+                    self.now_nanos + k * step,
+                ));
+                self.next_seq[idx] += 1;
+            }
+        }
+        items.sort_by_key(|i| i.source_ts);
+        self.now_nanos += interval_nanos;
+        Batch::from_items(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn volume_shares_sum_to_one() {
+        let total: f64 = BOROUGHS.iter().map(|b| b.volume_share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_dominates_staten_island() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut trace = TaxiTrace::new(50_000.0, Duration::from_secs(1));
+        let batch = trace.next_interval(&mut rng);
+        let strata = batch.stratify();
+        let manhattan = strata[&StratumId::new(0)].len();
+        let staten = strata.get(&StratumId::new(4)).map_or(0, Vec::len);
+        assert!(manhattan > 30 * staten.max(1), "{manhattan} vs {staten}");
+    }
+
+    #[test]
+    fn fares_are_positive_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trace = TaxiTrace::new(20_000.0, Duration::from_secs(1));
+        let batch = trace.next_interval(&mut rng);
+        assert!(batch.items.iter().all(|i| i.value > 0.0));
+        // Heavy tail: the max fare should far exceed the mean fare.
+        let mean = batch.value_sum() / batch.len() as f64;
+        let max = batch.items.iter().map(|i| i.value).fold(0.0, f64::max);
+        assert!(max > 4.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_rate_varies_over_the_day() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut trace = TaxiTrace::new(10_000.0, Duration::from_secs(1));
+        let sizes: Vec<usize> = (0..24).map(|_| trace.next_interval(&mut rng).len()).collect();
+        let min = *sizes.iter().min().expect("nonempty");
+        let max = *sizes.iter().max().expect("nonempty");
+        assert!(max as f64 > 1.5 * min as f64, "rates flat: min {min}, max {max}");
+    }
+
+    #[test]
+    fn five_strata_are_named() {
+        assert_eq!(TaxiTrace::stratum_names().len(), 5);
+        let trace = TaxiTrace::new(1.0, Duration::from_secs(1));
+        assert_eq!(trace.strata().len(), 5);
+    }
+
+    #[test]
+    fn timestamps_advance_across_intervals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut trace = TaxiTrace::new(1_000.0, Duration::from_millis(500));
+        let b1 = trace.next_interval(&mut rng);
+        let b2 = trace.next_interval(&mut rng);
+        let max1 = b1.items.iter().map(|i| i.source_ts).max().expect("items");
+        let min2 = b2.items.iter().map(|i| i.source_ts).min().expect("items");
+        assert!(min2 > max1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        TaxiTrace::new(0.0, Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the workload generators.
+
+use approxiot_workload::{
+    Exponential, LogNormal, Normal, Poisson, PollutionTrace, StreamMix, SubStreamSpec, TaxiTrace,
+    ValueDist,
+};
+use approxiot_core::StratumId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The mix's long-run item count per stratum tracks its configured rate
+    /// exactly (the fractional carry loses nothing).
+    #[test]
+    fn mix_item_counts_track_rates(
+        rates in proptest::collection::vec(0.5f64..500.0, 1..5),
+        intervals in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let specs: Vec<SubStreamSpec> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| SubStreamSpec::new(StratumId::new(i as u32), r, ValueDist::Constant(1.0)))
+            .collect();
+        let mut mix = StreamMix::new(specs, Duration::from_millis(100));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; rates.len()];
+        for _ in 0..intervals {
+            for item in mix.next_interval(&mut rng).items {
+                counts[item.stratum.index() as usize] += 1;
+            }
+        }
+        for (i, &rate) in rates.iter().enumerate() {
+            let expected = rate * 0.1 * intervals as f64;
+            // The carry keeps the error under one item overall.
+            prop_assert!(
+                (counts[i] as f64 - expected).abs() <= 1.0,
+                "stratum {i}: {} vs {expected}",
+                counts[i]
+            );
+        }
+    }
+
+    /// Timestamps are non-decreasing within a batch and strictly advance
+    /// across intervals.
+    #[test]
+    fn mix_timestamps_are_ordered(seed in 0u64..500) {
+        let mut mix = StreamMix::new(
+            vec![
+                SubStreamSpec::new(StratumId::new(0), 200.0, ValueDist::Constant(1.0)),
+                SubStreamSpec::new(StratumId::new(1), 100.0, ValueDist::Constant(1.0)),
+            ],
+            Duration::from_millis(50),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut last_max = 0u64;
+        for _ in 0..5 {
+            let batch = mix.next_interval(&mut rng);
+            prop_assert!(batch.items.windows(2).all(|w| w[0].source_ts <= w[1].source_ts));
+            if let (Some(first), Some(last)) = (batch.items.first(), batch.items.last()) {
+                prop_assert!(first.source_ts >= last_max);
+                last_max = last.source_ts;
+            }
+        }
+    }
+
+    /// Normal sampling respects mean ± a generous tolerance for any
+    /// parameters.
+    #[test]
+    fn normal_mean_tracks_parameter(mu in -1e3f64..1e3, sigma in 0.0f64..100.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Normal::new(mu, sigma);
+        let mean: f64 = (0..4000).map(|_| d.sample(&mut rng)).sum::<f64>() / 4000.0;
+        prop_assert!((mean - mu).abs() < 5.0 * (sigma / (4000f64).sqrt()) + 1e-9);
+    }
+
+    /// Poisson samples are non-negative integers with roughly the right
+    /// mean across the Knuth/normal-approximation boundary.
+    #[test]
+    fn poisson_samples_are_counts(lambda in 0.5f64..500.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Poisson::new(lambda);
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        prop_assert!(samples.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let tolerance = 5.0 * (lambda / 2000.0).sqrt() + 0.5;
+        prop_assert!((mean - lambda).abs() < tolerance, "mean {mean} vs λ {lambda}");
+    }
+
+    /// Log-normal samples are strictly positive for any parameterisation.
+    #[test]
+    fn lognormal_is_positive(mean in 0.1f64..1e4, cv in 0.01f64..3.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = LogNormal::from_mean_std(mean, mean * cv);
+        for _ in 0..200 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    /// Exponential samples are non-negative with mean ~1/rate.
+    #[test]
+    fn exponential_mean(rate in 0.01f64..100.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Exponential::new(rate);
+        let samples: Vec<f64> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        prop_assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((mean * rate - 1.0).abs() < 0.2, "normalised mean {}", mean * rate);
+    }
+
+    /// The taxi trace always emits positive fares from its five boroughs
+    /// with Manhattan dominant.
+    #[test]
+    fn taxi_trace_invariants(rate in 1_000.0f64..50_000.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = TaxiTrace::new(rate, Duration::from_millis(100));
+        let batch = trace.next_interval(&mut rng);
+        prop_assert!(batch.items.iter().all(|i| i.value > 0.0));
+        prop_assert!(batch.items.iter().all(|i| i.stratum.index() < 5));
+        let strata = batch.stratify();
+        if let Some(manhattan) = strata.get(&StratumId::new(0)) {
+            for (s, items) in &strata {
+                if s.index() != 0 {
+                    prop_assert!(manhattan.len() >= items.len(),
+                        "manhattan must dominate {s}");
+                }
+            }
+        }
+    }
+
+    /// The pollution trace reports exactly sensors × 4 readings, all
+    /// non-negative.
+    #[test]
+    fn pollution_trace_invariants(sensors in 1usize..200, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = PollutionTrace::new(sensors, Duration::from_millis(100));
+        for _ in 0..3 {
+            let batch = trace.next_interval(&mut rng);
+            prop_assert_eq!(batch.len(), sensors * 4);
+            prop_assert!(batch.items.iter().all(|i| i.value >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's §VI-A case study: *"What is the total payment for taxi
+//! fares in NYC at each time window?"* — on the trace-shaped NYC-taxi
+//! generator (log-normal fares, borough strata, diurnal demand).
+//!
+//! Shows per-window approximate totals with error bounds, the per-borough
+//! breakdown for one window, and — as a taste of the future-work complex
+//! queries — median/p95 fares estimated from the same weighted sample.
+//!
+//! Run with: `cargo run --release --example nyc_taxi`
+
+use approxiot::core::quantile;
+use approxiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), approxiot::core::BudgetError> {
+    let window = Duration::from_millis(100);
+    let fraction = 0.10;
+    let mut rng = StdRng::seed_from_u64(2013); // the dataset's vintage
+    let mut trace = TaxiTrace::new(30_000.0, window);
+
+    let mut tree = SimTree::new(
+        TreeConfig::paper_topology(fraction).with_window(window).with_query(Query::Sum),
+    )?;
+
+    println!("total taxi fares per {window:?} window, sampling {:.0}%:\n", fraction * 100.0);
+    let mut total_truth = 0.0;
+    let mut total_estimate = 0.0;
+    let mut last_window = None;
+    for i in 0..15 {
+        let batch = trace.next_interval(&mut rng);
+        let truth = batch.value_sum();
+        total_truth += truth;
+        let sources: Vec<Batch> =
+            batch.stratify().into_values().map(Batch::from_items).collect();
+        tree.push_interval(&sources);
+        // Close everything generated so far.
+        let results = tree.advance_watermark((i + 1) * window.as_nanos() as u64);
+        for r in results {
+            total_estimate += r.estimate.value;
+            println!(
+                "  window {:>2}: ${:>12.2} ± {:>8.2}   (exact ${:>12.2}, loss {:.4}%)",
+                r.window,
+                r.estimate.value,
+                r.error_bound(Confidence::P95),
+                truth,
+                accuracy_loss(r.estimate.value, truth) * 100.0
+            );
+            last_window = Some(r);
+        }
+    }
+    for r in tree.flush() {
+        total_estimate += r.estimate.value;
+    }
+
+    if let Some(r) = last_window {
+        println!("\nper-borough breakdown of window {}:", r.window);
+        let names = TaxiTrace::stratum_names();
+        for (stratum, est) in &r.per_stratum {
+            println!(
+                "  {:>14}: ${:>12.2} ± {:>8.2}",
+                names[stratum.index() as usize],
+                est.value,
+                est.bound(Confidence::P95)
+            );
+        }
+    }
+
+    println!("\nrun total: exact ${total_truth:.2}, approx ${total_estimate:.2} ");
+    println!(
+        "overall accuracy loss: {:.4}% from {:.0}% of the data",
+        accuracy_loss(total_estimate, total_truth) * 100.0,
+        fraction * 100.0
+    );
+
+    // Complex-query extension (§VIII future work): fare quantiles straight
+    // from the weighted sample of one fresh window.
+    let batch = trace.next_interval(&mut rng);
+    let out = whs_sample(
+        &batch,
+        (batch.len() as f64 * fraction) as usize,
+        &WeightMap::new(),
+        Allocation::Uniform,
+        &mut rng,
+    );
+    let theta: ThetaStore = [out].into_iter().collect();
+    let median = quantile::quantile_with_bounds(&theta, 0.5, Confidence::P95)
+        .expect("window has sampled items");
+    let p95 = quantile::quantile_with_bounds(&theta, 0.95, Confidence::P95)
+        .expect("window has sampled items");
+    println!("\nfare quantiles from the sampled window (95% CI):");
+    println!("  median fare: ${:.2}  [{:.2}, {:.2}]", median.value, median.lo, median.hi);
+    println!("  p95 fare   : ${:.2}  [{:.2}, {:.2}]", p95.value, p95.lo, p95.hi);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # ApproxIoT
+//!
+//! A from-scratch Rust reproduction of **"ApproxIoT: Approximate Analytics
+//! for Edge Computing"** (Wen, Quoc, Bhatotia, Chen & Lee — ICDCS 2018):
+//! approximate stream analytics over a logical tree of edge computing
+//! nodes, built on *weighted hierarchical sampling* — stratified reservoir
+//! sampling whose per-stratum weights multiply hop by hop with **no
+//! cross-node coordination**, yielding unbiased SUM/MEAN estimates with
+//! rigorous "68–95–99.7" error bounds at a fraction of the bandwidth and
+//! latency of exact execution.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] | the paper's algorithms: reservoirs, WHS, estimators, error bounds, budgets |
+//! | [`mq`] | in-process partitioned pub/sub broker (Kafka substitute) |
+//! | [`net`] | WAN emulation: delay/capacity links, clocks, byte metering |
+//! | [`streams`] | processor API, topologies, windows, threaded tasks (Kafka Streams substitute) |
+//! | [`workload`] | the paper's synthetic mixes + trace-shaped NYC-taxi / Brasov-pollution generators |
+//! | [`runtime`] | the assembled system: sampling nodes, windowed root, tree & pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use approxiot::prelude::*;
+//!
+//! // The paper's 4-layer topology (8 sources → 4 edge → 2 edge → root),
+//! // sampling 10% end to end.
+//! let mut tree = SimTree::new(TreeConfig::paper_topology(0.10))?;
+//!
+//! // One interval of data from 8 sources.
+//! let sources: Vec<Batch> = (0..8)
+//!     .map(|s| {
+//!         Batch::from_items(
+//!             (0..500).map(|k| StreamItem::with_meta(StratumId::new(s), 2.5, k, 0)).collect(),
+//!         )
+//!     })
+//!     .collect();
+//! let truth: f64 = sources.iter().map(Batch::value_sum).sum();
+//!
+//! tree.push_interval(&sources);
+//! let result = &tree.flush()[0];
+//!
+//! // ~10% of the items reconstruct the exact total (constant values make
+//! // the weighted estimate exact up to float round-off).
+//! assert!(accuracy_loss(result.estimate.value, truth) < 1e-9);
+//! # Ok::<(), approxiot::core::BudgetError>(())
+//! ```
+
+pub use approxiot_core as core;
+pub use approxiot_mq as mq;
+pub use approxiot_net as net;
+pub use approxiot_runtime as runtime;
+pub use approxiot_streams as streams;
+pub use approxiot_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use approxiot_core::{
+        accuracy_loss, whs_sample, AdaptiveController, Allocation, Batch, Confidence, Estimate,
+        Reservoir, SamplingBudget, SkipReservoir, SrsSampler, StratumId, StreamItem, ThetaStore,
+        WeightMap, WhsOutput, WhsSampler,
+    };
+    pub use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
+    pub use approxiot_net::{bandwidth_saving, Clock, LinkConfig, SimClock, WallClock};
+    pub use approxiot_runtime::{
+        run_pipeline, FeedbackLoop, FractionSplit, PipelineConfig, Query, RootConfig, RootNode,
+        SamplingNode, SimTree, Strategy, TreeConfig, WindowResult,
+    };
+    pub use approxiot_streams::{Processor, TumblingWindow, WindowBuffer};
+    pub use approxiot_workload::{
+        scenarios, PollutionTrace, RateSetting, StreamMix, SubStreamSpec, TaxiTrace, ValueDist,
+    };
+}

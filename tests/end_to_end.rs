@@ -1,0 +1,266 @@
+//! End-to-end integration tests: the full system (workload → tree/pipeline
+//! → estimates) across crates.
+
+use approxiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const WINDOW: Duration = Duration::from_millis(100);
+
+fn run_tree_on_mix(
+    mix: &mut StreamMix,
+    strategy: Strategy,
+    fraction: f64,
+    intervals: usize,
+    seed: u64,
+) -> (f64, f64, Vec<WindowResult>) {
+    let mut tree = SimTree::new(
+        TreeConfig::paper_topology(fraction)
+            .with_strategy(strategy)
+            .with_window(mix.interval())
+            .with_seed(seed),
+    )
+    .expect("valid fraction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut truth = 0.0;
+    for _ in 0..intervals {
+        let batch = mix.next_interval(&mut rng);
+        truth += batch.value_sum();
+        let sources: Vec<Batch> =
+            batch.stratify().into_values().map(Batch::from_items).collect();
+        tree.push_interval(&sources);
+    }
+    let results = tree.flush();
+    let estimate = results.iter().map(|r| r.estimate.value).sum();
+    (estimate, truth, results)
+}
+
+#[test]
+fn gaussian_mix_estimates_within_one_percent_at_forty_percent() {
+    let mut mix = scenarios::gaussian_mix(20_000.0, WINDOW);
+    let (estimate, truth, _) = run_tree_on_mix(&mut mix, Strategy::whs(), 0.4, 10, 1);
+    let loss = accuracy_loss(estimate, truth);
+    assert!(loss < 0.01, "loss {loss}");
+}
+
+#[test]
+fn poisson_mix_estimates_within_one_percent_at_forty_percent() {
+    let mut mix = scenarios::poisson_mix(20_000.0, WINDOW);
+    let (estimate, truth, _) = run_tree_on_mix(&mut mix, Strategy::whs(), 0.4, 10, 2);
+    let loss = accuracy_loss(estimate, truth);
+    assert!(loss < 0.01, "loss {loss}");
+}
+
+#[test]
+fn whs_beats_srs_on_the_skewed_mix() {
+    let seeds = [1u64, 2, 3];
+    let mut whs_loss = 0.0;
+    let mut srs_loss = 0.0;
+    for &seed in &seeds {
+        let mut mix = scenarios::skewed_mix(20_000.0, WINDOW);
+        let (est, truth, _) = run_tree_on_mix(&mut mix, Strategy::whs(), 0.1, 10, seed);
+        whs_loss += accuracy_loss(est, truth);
+        let mut mix = scenarios::skewed_mix(20_000.0, WINDOW);
+        let (est, truth, _) = run_tree_on_mix(&mut mix, Strategy::Srs, 0.1, 10, seed);
+        srs_loss += accuracy_loss(est, truth);
+    }
+    assert!(
+        whs_loss * 10.0 < srs_loss,
+        "WHS {whs_loss} should be at least 10x better than SRS {srs_loss}"
+    );
+}
+
+#[test]
+fn error_bounds_cover_the_truth_at_nominal_rate() {
+    // Over many windows, the 95% bound should cover the exact answer in
+    // roughly 95% of windows; we assert a conservative >= 80%.
+    let mut covered = 0u32;
+    let mut total = 0u32;
+    for seed in 0..5u64 {
+        let mut mix = scenarios::gaussian_mix(20_000.0, WINDOW);
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(0.2).with_window(WINDOW).with_seed(seed),
+        )
+        .expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut truths = Vec::new();
+        for _ in 0..10 {
+            let batch = mix.next_interval(&mut rng);
+            truths.push(batch.value_sum());
+            let sources: Vec<Batch> =
+                batch.stratify().into_values().map(Batch::from_items).collect();
+            tree.push_interval(&sources);
+        }
+        for r in tree.flush() {
+            let truth = truths[r.window as usize];
+            total += 1;
+            if r.estimate.covers(truth, Confidence::P95) {
+                covered += 1;
+            }
+        }
+    }
+    let rate = covered as f64 / total as f64;
+    assert!(rate >= 0.8, "coverage {rate} ({covered}/{total})");
+}
+
+#[test]
+fn count_reconstruction_is_exact_for_every_strategy_setting() {
+    for fraction in [0.1, 0.3, 0.7, 1.0] {
+        let mut mix = scenarios::gaussian_mix(10_000.0, WINDOW);
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(9),
+        )
+        .expect("valid");
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut total_items = 0usize;
+        for _ in 0..5 {
+            let batch = mix.next_interval(&mut rng);
+            total_items += batch.len();
+            let sources: Vec<Batch> =
+                batch.stratify().into_values().map(Batch::from_items).collect();
+            tree.push_interval(&sources);
+        }
+        let count: f64 = tree.flush().iter().map(|r| r.count_hat).sum();
+        assert!(
+            (count - total_items as f64).abs() < 1e-6,
+            "fraction {fraction}: ĉ = {count} vs {total_items}"
+        );
+    }
+}
+
+#[test]
+fn taxi_trace_end_to_end() {
+    let mut trace = TaxiTrace::new(20_000.0, WINDOW);
+    let mut tree = SimTree::new(
+        TreeConfig::paper_topology(0.4).with_window(WINDOW).with_seed(77),
+    )
+    .expect("valid");
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut truth = 0.0;
+    for _ in 0..10 {
+        let batch = trace.next_interval(&mut rng);
+        truth += batch.value_sum();
+        let sources: Vec<Batch> =
+            batch.stratify().into_values().map(Batch::from_items).collect();
+        tree.push_interval(&sources);
+    }
+    let estimate: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
+    assert!(accuracy_loss(estimate, truth) < 0.05, "taxi loss too large");
+}
+
+#[test]
+fn pollution_trace_is_more_accurate_than_taxi_at_same_fraction() {
+    let fraction = 0.2;
+    let seeds = [1u64, 2, 3, 4];
+    let mut taxi_loss = 0.0;
+    let mut pollution_loss = 0.0;
+    for &seed in &seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut taxi = TaxiTrace::new(20_000.0, WINDOW);
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(seed),
+        )
+        .expect("valid");
+        let mut truth = 0.0;
+        for _ in 0..10 {
+            let batch = taxi.next_interval(&mut rng);
+            truth += batch.value_sum();
+            let sources: Vec<Batch> =
+                batch.stratify().into_values().map(Batch::from_items).collect();
+            tree.push_interval(&sources);
+        }
+        let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
+        taxi_loss += accuracy_loss(est, truth);
+
+        let mut pollution = PollutionTrace::new(2_000, WINDOW);
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(seed),
+        )
+        .expect("valid");
+        let mut truth = 0.0;
+        for _ in 0..10 {
+            let batch = pollution.next_interval(&mut rng);
+            truth += batch.value_sum();
+            let sources: Vec<Batch> =
+                batch.stratify().into_values().map(Batch::from_items).collect();
+            tree.push_interval(&sources);
+        }
+        let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
+        pollution_loss += accuracy_loss(est, truth);
+    }
+    assert!(
+        pollution_loss < taxi_loss,
+        "pollution ({pollution_loss}) should beat taxi ({taxi_loss}) — Fig 11a"
+    );
+}
+
+#[test]
+fn threaded_pipeline_matches_sim_tree_counts() {
+    // The same workload through both execution modes reconstructs the same
+    // ground-truth count.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut mix = scenarios::gaussian_mix(5_000.0, WINDOW);
+    let intervals: Vec<Vec<Batch>> = (0..5)
+        .map(|_| {
+            let batch = mix.next_interval(&mut rng);
+            let mut parts: Vec<Batch> =
+                batch.stratify().into_values().map(Batch::from_items).collect();
+            while parts.len() < 4 {
+                parts.push(Batch::new());
+            }
+            parts
+        })
+        .collect();
+    let total_items: usize = intervals.iter().flatten().map(Batch::len).sum();
+
+    let config = PipelineConfig {
+        leaves: 2,
+        mids: 2,
+        strategy: Strategy::whs(),
+        overall_fraction: 0.3,
+        split: FractionSplit::Even,
+        window: WINDOW,
+        query: Query::Sum,
+        hop_delays: [Duration::from_millis(1); 3],
+        capacity_bytes_per_sec: None,
+        source_capacity_bytes_per_sec: None,
+        source_interval: None,
+        seed: 5,
+    };
+    let report = run_pipeline(&config, intervals).expect("valid");
+    let count: f64 = report.results.iter().map(|r| r.count_hat).sum();
+    assert!(
+        (count - total_items as f64).abs() < 1e-6,
+        "pipeline ĉ {count} vs {total_items}"
+    );
+}
+
+#[test]
+fn adaptive_feedback_converges_towards_error_budget() {
+    let mut feedback = FeedbackLoop::new(0.02, 0.02).expect("valid");
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut mix = scenarios::gaussian_mix(20_000.0, WINDOW);
+    let mut last_bound = f64::INFINITY;
+    for i in 0..12u64 {
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(feedback.overall_fraction())
+                .with_window(WINDOW)
+                .with_seed(i),
+        )
+        .expect("valid");
+        let batch = mix.next_interval(&mut rng);
+        let sources: Vec<Batch> =
+            batch.stratify().into_values().map(Batch::from_items).collect();
+        tree.push_interval(&sources);
+        let results = tree.flush();
+        let r = &results[0];
+        feedback.observe(r);
+        last_bound = r.estimate.relative_bound(Confidence::P95).unwrap_or(0.0);
+    }
+    assert!(
+        last_bound <= 0.05,
+        "feedback failed to pull the bound near budget: {last_bound}"
+    );
+    assert!(feedback.refinements() > 0, "controller never adjusted");
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) on the system's core invariants, run
+//! against arbitrary batch shapes, weights, fractions and tree routes.
+
+use approxiot::prelude::*;
+// No proptest prelude glob: its `Strategy` trait would collide with the
+// runtime's `Strategy` enum. Import the pieces explicitly.
+use proptest::strategy::Strategy as _;
+use proptest::test_runner::Config as ProptestConfig;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Strategy: a batch of up to 4 strata with up to 200 items each.
+fn arb_batch() -> impl proptest::strategy::Strategy<Value = Batch> {
+    proptest::collection::vec((0u32..4, 1usize..200), 1..4).prop_map(|spec| {
+        let mut items = Vec::new();
+        for (stratum, count) in spec {
+            for k in 0..count {
+                items.push(StreamItem::with_meta(
+                    StratumId::new(stratum),
+                    (k % 17) as f64 + 0.5,
+                    k as u64,
+                    0,
+                ));
+            }
+        }
+        Batch::from_items(items)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 8: for every stratum, `Σ |I|·W_out` over the outputs equals
+    /// the input count times the input weight, regardless of batch shape,
+    /// sample size or input weights.
+    #[test]
+    fn count_reconstruction_invariant(
+        batch in arb_batch(),
+        sample_size in 0usize..500,
+        w_in_scale in 1u32..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w_in = WeightMap::new();
+        for s in batch.strata() {
+            w_in.set(s, w_in_scale as f64);
+        }
+        let out = whs_sample(&batch, sample_size, &w_in, Allocation::Uniform, &mut rng);
+        for (stratum, originals) in batch.stratify() {
+            let kept = out.sample.iter().filter(|i| i.stratum == stratum).count();
+            if kept == 0 {
+                // Fully dropped stratum (zero reservoir): no invariant to
+                // check — the weight map must not contain it either.
+                prop_assert!(out.weights.get_explicit(stratum).is_none()
+                    || sample_size == 0 || kept == 0);
+                continue;
+            }
+            let lhs = out.weights.get(stratum) * kept as f64;
+            let rhs = w_in.get(stratum) * originals.len() as f64;
+            prop_assert!((lhs - rhs).abs() < 1e-6,
+                "stratum {stratum}: {lhs} != {rhs}");
+        }
+    }
+
+    /// The sample never exceeds the budget, and never exceeds the input.
+    #[test]
+    fn sample_size_is_bounded(
+        batch in arb_batch(),
+        sample_size in 0usize..500,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = whs_sample(&batch, sample_size, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        prop_assert!(out.sample.len() <= sample_size.max(0));
+        prop_assert!(out.sample.len() <= batch.len());
+    }
+
+    /// Sampled items are a genuine subset of the input (no invention, no
+    /// duplication beyond input multiplicity).
+    #[test]
+    fn sample_is_subset_of_input(
+        batch in arb_batch(),
+        sample_size in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = whs_sample(&batch, sample_size, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        let mut pool: Vec<_> = batch.items.clone();
+        for item in &out.sample {
+            let pos = pool.iter().position(|p| p == item);
+            prop_assert!(pos.is_some(), "sampled item not from input: {item:?}");
+            pool.swap_remove(pos.expect("checked above"));
+        }
+    }
+
+    /// Weights are always >= 1 and finite after sampling.
+    #[test]
+    fn weights_at_least_one(
+        batch in arb_batch(),
+        sample_size in 0usize..500,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = whs_sample(&batch, sample_size, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        for (_, w) in out.weights.iter() {
+            prop_assert!(w.is_finite() && w >= 1.0 - 1e-9, "bad weight {w}");
+        }
+    }
+
+    /// SUM estimate at 100% budget is exact for any batch.
+    #[test]
+    fn full_budget_is_exact(batch in arb_batch(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = whs_sample(
+            &batch,
+            batch.len(),
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
+        let theta: ThetaStore = [out].into_iter().collect();
+        let est = theta.sum_estimate();
+        prop_assert!((est.value - batch.value_sum()).abs() < 1e-6);
+        prop_assert_eq!(est.variance, 0.0);
+    }
+
+    /// The codec round-trips arbitrary batches bit-exactly.
+    #[test]
+    fn codec_roundtrip(batch in arb_batch(), w in 1.0f64..100.0) {
+        let mut weighted = batch.clone();
+        for s in batch.strata() {
+            weighted.weights.set(s, w);
+        }
+        let frame = approxiot::mq::codec::encode_batch(&weighted);
+        let decoded = approxiot::mq::codec::decode_batch(&frame).expect("well-formed frame");
+        prop_assert_eq!(decoded, weighted);
+    }
+
+    /// Count reconstruction holds through the entire 4-layer tree for any
+    /// fraction and any batch mix.
+    #[test]
+    fn tree_count_reconstruction(
+        batch in arb_batch(),
+        fraction in 0.05f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let mut tree = SimTree::new(
+            TreeConfig::paper_topology(fraction)
+                .with_window(Duration::from_millis(100))
+                .with_seed(seed),
+        ).expect("valid fraction");
+        let total = batch.len();
+        let sources: Vec<Batch> =
+            batch.stratify().into_values().map(Batch::from_items).collect();
+        tree.push_interval(&sources);
+        let count: f64 = tree.flush().iter().map(|r| r.count_hat).sum();
+        prop_assert!((count - total as f64).abs() < 1e-6,
+            "fraction {fraction}: {count} vs {total}");
+    }
+
+    /// Splitting a batch into chunks (with the weight map only on the first,
+    /// as in transit) preserves the reconstructed count through a node.
+    #[test]
+    fn split_in_transit_preserves_counts(
+        n_items in 2usize..100,
+        chunk in 1usize..50,
+        w in 1.0f64..8.0,
+        seed in 0u64..500,
+    ) {
+        let mut batch = Batch::from_items(
+            (0..n_items)
+                .map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0))
+                .collect(),
+        );
+        batch.weights.set(StratumId::new(0), w);
+        let mut node = SamplingNode::new(Strategy::whs(), 0.5, seed).expect("valid");
+        let mut theta = ThetaStore::new();
+        for part in batch.split_weight_first(chunk) {
+            let out = node.process_batch(&part);
+            theta.push(WhsOutput { weights: out.weights.clone(), sample: out.items });
+        }
+        let expected = w * n_items as f64;
+        prop_assert!((theta.count_estimate() - expected).abs() < 1e-6,
+            "{} vs {expected}", theta.count_estimate());
+    }
+}
