@@ -48,10 +48,17 @@ fn mixed_source_accuracy(allocation: Allocation, fraction: f64, seeds: &[u64]) -
 }
 
 fn main() {
-    figure_header("Ablation 1", "uniform vs proportional reservoir allocation (skewed mix)");
+    figure_header(
+        "Ablation 1",
+        "uniform vs proportional reservoir allocation (skewed mix)",
+    );
     println!("(single mixed source: the allocation policy arbitrates the budget)");
     let seeds = [5, 15, 25, 35, 45];
-    print_row(&["fraction %".into(), "uniform %".into(), "proportional %".into()]);
+    print_row(&[
+        "fraction %".into(),
+        "uniform %".into(),
+        "proportional %".into(),
+    ]);
     for f_pct in [10u32, 20, 40, 60] {
         let fraction = f_pct as f64 / 100.0;
         let uniform = mixed_source_accuracy(Allocation::Uniform, fraction, &seeds);
@@ -65,7 +72,10 @@ fn main() {
     println!("\nExpected: proportional allocation starves the rare stratum and loses");
     println!("accuracy exactly where stratification is supposed to help.");
 
-    figure_header("Ablation 2", "edge sampling vs root-only sampling (same end-to-end fraction)");
+    figure_header(
+        "Ablation 2",
+        "edge sampling vs root-only sampling (same end-to-end fraction)",
+    );
     print_row(&[
         "fraction %".into(),
         "edge WAN bytes".into(),
@@ -128,7 +138,9 @@ fn run_tree(fraction: f64, root_only: bool) -> (u64, f64) {
     if root_only {
         // Native edges + a separate WHS "root" stage at the overall
         // fraction: run the native tree, then sample its root input.
-        use approxiot_core::{Allocation, SamplingBudget, CostFunction, ThetaStore, WeightMap, whs_sample};
+        use approxiot_core::{
+            whs_sample, Allocation, CostFunction, SamplingBudget, ThetaStore, WeightMap,
+        };
         let mut tree = SimTree::new(config).expect("valid");
         let budget = SamplingBudget::new(fraction).expect("valid");
         let mut theta = ThetaStore::new();
@@ -138,13 +150,21 @@ fn run_tree(fraction: f64, root_only: bool) -> (u64, f64) {
             tree.push_interval(&split_by_stratum(&batch));
             // Sample at the "root" over the raw batch (centralised).
             let size = budget.sample_size(batch.len());
-            let out =
-                whs_sample(&batch, size, &WeightMap::new(), Allocation::Uniform, &mut rng);
+            let out = whs_sample(
+                &batch,
+                size,
+                &WeightMap::new(),
+                Allocation::Uniform,
+                &mut rng,
+            );
             theta.push(out);
         }
         tree.flush();
         estimate = theta.sum_estimate().value;
-        (tree.bytes().sampled_wire_bytes(), approxiot_core::accuracy_loss(estimate, truth))
+        (
+            tree.bytes().sampled_wire_bytes(),
+            approxiot_core::accuracy_loss(estimate, truth),
+        )
     } else {
         let mut tree = SimTree::new(config).expect("valid");
         for _ in 0..20 {
@@ -155,6 +175,9 @@ fn run_tree(fraction: f64, root_only: bool) -> (u64, f64) {
         for r in tree.flush() {
             estimate += r.estimate.value;
         }
-        (tree.bytes().sampled_wire_bytes(), approxiot_core::accuracy_loss(estimate, truth))
+        (
+            tree.bytes().sampled_wire_bytes(),
+            approxiot_core::accuracy_loss(estimate, truth),
+        )
     }
 }

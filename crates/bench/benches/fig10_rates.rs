@@ -36,9 +36,16 @@ fn sweep(dataset: &str, builder: impl Fn(RateSetting) -> approxiot_workload::Str
 }
 
 fn main() {
-    figure_header("Figure 10(a,b)", "accuracy under fluctuating sub-stream rates");
-    sweep("(a) Gaussian", |s| scenarios::gaussian_rate_mix(s, accuracy_interval()));
-    sweep("(b) Poisson", |s| scenarios::poisson_rate_mix(s, accuracy_interval()));
+    figure_header(
+        "Figure 10(a,b)",
+        "accuracy under fluctuating sub-stream rates",
+    );
+    sweep("(a) Gaussian", |s| {
+        scenarios::gaussian_rate_mix(s, accuracy_interval())
+    });
+    sweep("(b) Poisson", |s| {
+        scenarios::poisson_rate_mix(s, accuracy_interval())
+    });
     println!("\nExpected shape: ApproxIoT < SRS everywhere; largest gap in Setting1");
     println!("(rare-but-valuable sub-stream D); both improve towards Setting3.");
 }

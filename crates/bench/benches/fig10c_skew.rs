@@ -17,7 +17,10 @@ use approxiot_runtime::Strategy;
 use approxiot_workload::scenarios;
 
 fn main() {
-    figure_header("Figure 10(c)", "accuracy loss on an extremely skewed stream");
+    figure_header(
+        "Figure 10(c)",
+        "accuracy loss on an extremely skewed stream",
+    );
     let builder = || scenarios::skewed_mix(40_000.0, accuracy_interval());
     let seeds = [7, 17, 27, 37, 47, 57, 67, 77];
     print_row(&[

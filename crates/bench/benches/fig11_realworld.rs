@@ -24,17 +24,34 @@ const WINDOW: Duration = Duration::from_millis(100);
 
 fn taxi_accuracy(strategy: Strategy, fraction: f64, seed: u64) -> f64 {
     let mut trace = TaxiTrace::new(40_000.0, WINDOW);
-    accuracy_run_trace(|rng| trace.next_interval(rng), WINDOW, strategy, fraction, 20, seed)
+    accuracy_run_trace(
+        |rng| trace.next_interval(rng),
+        WINDOW,
+        strategy,
+        fraction,
+        20,
+        seed,
+    )
 }
 
 fn pollution_accuracy(strategy: Strategy, fraction: f64, seed: u64) -> f64 {
     let mut trace = PollutionTrace::new(1_000, WINDOW);
-    accuracy_run_trace(|rng| trace.next_interval(rng), WINDOW, strategy, fraction, 20, seed)
+    accuracy_run_trace(
+        |rng| trace.next_interval(rng),
+        WINDOW,
+        strategy,
+        fraction,
+        20,
+        seed,
+    )
 }
 
 /// Pre-generates interval batches from a trace, split per stratum into
 /// "sources" for the threaded pipeline.
-fn trace_intervals(mut next: impl FnMut(&mut StdRng) -> Batch, intervals: usize) -> Vec<Vec<Batch>> {
+fn trace_intervals(
+    mut next: impl FnMut(&mut StdRng) -> Batch,
+    intervals: usize,
+) -> Vec<Vec<Batch>> {
     let mut rng = StdRng::seed_from_u64(0xF16);
     (0..intervals)
         .map(|_| {
@@ -65,15 +82,25 @@ fn throughput(data: &[Vec<Batch>], strategy: Strategy, fraction: f64) -> f64 {
         // attainable speedup near the paper's ~10x at a 10% fraction.
         source_capacity_bytes_per_sec: Some(7_500_000),
         source_interval: None,
+        edge_workers: 1,
         seed: 11,
     };
-    run_pipeline(&config, data.to_vec()).expect("valid config").throughput_items_per_sec
+    run_pipeline(&config, data.to_vec())
+        .expect("valid config")
+        .throughput_items_per_sec
 }
 
 fn main() {
-    figure_header("Figure 11(a)", "accuracy loss vs fraction, real-world traces");
+    figure_header(
+        "Figure 11(a)",
+        "accuracy loss vs fraction, real-world traces",
+    );
     let seeds = [3, 13, 23, 33, 43];
-    print_row(&["fraction %".into(), "NYC Taxi %".into(), "Brasov Pollution %".into()]);
+    print_row(&[
+        "fraction %".into(),
+        "NYC Taxi %".into(),
+        "Brasov Pollution %".into(),
+    ]);
     for f_pct in PAPER_FRACTIONS_PCT {
         let fraction = f_pct as f64 / 100.0;
         let taxi: f64 = seeds

@@ -36,11 +36,18 @@ fn sweep(dataset: &str, mix_builder: impl Fn() -> approxiot_workload::StreamMix 
 }
 
 fn main() {
-    figure_header("Figure 5", "accuracy loss vs sampling fraction (ApproxIoT vs SRS)");
+    figure_header(
+        "Figure 5",
+        "accuracy loss vs sampling fraction (ApproxIoT vs SRS)",
+    );
     // Rates scaled down 10x from the paper's saturation point; ratios and
     // distributions are the paper's exactly.
     let rate = 40_000.0;
-    sweep("(a) Gaussian", move || scenarios::gaussian_mix(rate, accuracy_interval()));
-    sweep("(b) Poisson", move || scenarios::poisson_mix(rate, accuracy_interval()));
+    sweep("(a) Gaussian", move || {
+        scenarios::gaussian_mix(rate, accuracy_interval())
+    });
+    sweep("(b) Poisson", move || {
+        scenarios::poisson_mix(rate, accuracy_interval())
+    });
     println!("\nExpected shape: ApproxIoT ≪ SRS at 10-40%, gap closes by 90%.");
 }

@@ -52,14 +52,23 @@ fn config(strategy: Strategy, fraction: f64) -> PipelineConfig {
         // attainable speedup near the paper's ~10x at a 10% fraction.
         source_capacity_bytes_per_sec: Some(7_500_000),
         source_interval: None,
+        edge_workers: 1,
         seed: 6,
     }
 }
 
 fn main() {
-    figure_header("Figure 6", "throughput vs sampling fraction (items/s at the root)");
+    figure_header(
+        "Figure 6",
+        "throughput vs sampling fraction (items/s at the root)",
+    );
     let data = source_data(40, 8, 800); // 256k items per run
-    print_row(&["fraction %".into(), "ApproxIoT".into(), "SRS".into(), "Native".into()]);
+    print_row(&[
+        "fraction %".into(),
+        "ApproxIoT".into(),
+        "SRS".into(),
+        "Native".into(),
+    ]);
     let native = run_pipeline(&config(Strategy::Native, 1.0), data.clone())
         .expect("valid config")
         .throughput_items_per_sec;

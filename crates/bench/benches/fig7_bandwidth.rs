@@ -37,7 +37,10 @@ fn wire_bytes(strategy: Strategy, fraction: f64, split: FractionSplit) -> u64 {
 }
 
 fn main() {
-    figure_header("Figure 7", "bandwidth saving rate vs sampling fraction (WAN segments)");
+    figure_header(
+        "Figure 7",
+        "bandwidth saving rate vs sampling fraction (WAN segments)",
+    );
     let native = wire_bytes(Strategy::Native, 1.0, FractionSplit::LeafHeavy);
     println!("(leaf-heavy budget: the paper's evaluation setting — fraction = capacity share)");
     print_row(&[

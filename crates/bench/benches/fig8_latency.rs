@@ -51,12 +51,16 @@ fn config(strategy: Strategy, fraction: f64) -> PipelineConfig {
         capacity_bytes_per_sec: Some(900_000),
         source_capacity_bytes_per_sec: None,
         source_interval: Some(Duration::from_millis(25)),
+        edge_workers: 1,
         seed: 8,
     }
 }
 
 fn main() {
-    figure_header("Figure 8", "latency vs sampling fraction (window = 0.1 s scaled)");
+    figure_header(
+        "Figure 8",
+        "latency vs sampling fraction (window = 0.1 s scaled)",
+    );
     let data = source_data(80, 8, 400);
     print_row(&[
         "fraction %".into(),
@@ -69,10 +73,12 @@ fn main() {
         .latency;
     for f_pct in PAPER_FRACTIONS_WITH_FULL_PCT {
         let fraction = f_pct as f64 / 100.0;
-        let whs =
-            run_pipeline(&config(Strategy::whs(), fraction), data.clone()).expect("valid").latency;
-        let srs =
-            run_pipeline(&config(Strategy::Srs, fraction), data.clone()).expect("valid").latency;
+        let whs = run_pipeline(&config(Strategy::whs(), fraction), data.clone())
+            .expect("valid")
+            .latency;
+        let srs = run_pipeline(&config(Strategy::Srs, fraction), data.clone())
+            .expect("valid")
+            .latency;
         print_row(&[
             format!("{f_pct}"),
             format!("{:.1}", whs.p50.as_secs_f64() * 1000.0),

@@ -45,12 +45,16 @@ fn config(strategy: Strategy, window: Duration) -> PipelineConfig {
         capacity_bytes_per_sec: None, // uncongested: isolate the window effect
         source_capacity_bytes_per_sec: None,
         source_interval: Some(Duration::from_millis(20)),
+        edge_workers: 1,
         seed: 9,
     }
 }
 
 fn main() {
-    figure_header("Figure 9", "latency vs window size (fraction = 10%, windows scaled x0.1)");
+    figure_header(
+        "Figure 9",
+        "latency vs window size (fraction = 10%, windows scaled x0.1)",
+    );
     // The paper's 0.5–4 s windows, scaled ×0.1.
     let windows_ms = [50u64, 100, 200, 300, 400];
     print_row(&["window ms".into(), "ApproxIoT ms".into(), "SRS ms".into()]);
@@ -62,8 +66,9 @@ fn main() {
         let whs = run_pipeline(&config(Strategy::whs(), window), data.clone())
             .expect("valid")
             .latency;
-        let srs =
-            run_pipeline(&config(Strategy::Srs, window), data).expect("valid").latency;
+        let srs = run_pipeline(&config(Strategy::Srs, window), data)
+            .expect("valid")
+            .latency;
         print_row(&[
             format!("{w}"),
             format!("{:.1}", whs.p50.as_secs_f64() * 1000.0),

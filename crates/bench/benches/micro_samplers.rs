@@ -3,8 +3,8 @@
 //! per-batch costs of the samplers and estimators.
 
 use approxiot_core::{
-    whs_sample, Allocation, Batch, Reservoir, SkipReservoir, SrsSampler, StratumId, StreamItem,
-    ThetaStore, WeightMap,
+    sharded_whs_sample, whs_sample, Allocation, Batch, ParallelShardedSampler, Reservoir,
+    SkipReservoir, SrsSampler, StratumId, StreamItem, ThetaStore, WeightMap, WhsSampler,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -15,7 +15,12 @@ fn batch(strata: u32, items_per_stratum: usize) -> Batch {
     let mut items = Vec::with_capacity(strata as usize * items_per_stratum);
     for s in 0..strata {
         for k in 0..items_per_stratum {
-            items.push(StreamItem::with_meta(StratumId::new(s), k as f64, k as u64, 0));
+            items.push(StreamItem::with_meta(
+                StratumId::new(s),
+                k as f64,
+                k as u64,
+                0,
+            ));
         }
     }
     Batch::from_items(items)
@@ -44,21 +49,37 @@ fn bench_reservoirs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hot-path acceptance benchmark: 64k items over a strata sweep,
+/// sampled at 10%. `whs_seed` is the original per-batch-allocating
+/// Algorithm R path (`whs_sample`, kept as the comparison baseline);
+/// `whs` is the rebuilt zero-copy `WhsSampler` hot path (StrataIndex +
+/// slice allocation + Floyd's selection sampling for overflow — see the
+/// `reservoir` group above for why Algorithm L's transcendental-heavy
+/// draws lose to both Algorithm R and Floyd under a cheap RNG).
 fn bench_whs_vs_srs(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampler_per_batch");
-    for &strata in &[1u32, 4, 16, 64] {
-        let input = batch(strata, 40_000 / strata as usize);
+    const TOTAL_ITEMS: usize = 65_536;
+    const BUDGET: usize = TOTAL_ITEMS / 10;
+    for &strata in &[1u32, 8, 64] {
+        let input = batch(strata, TOTAL_ITEMS / strata as usize);
         group.throughput(Throughput::Elements(input.len() as u64));
-        group.bench_with_input(BenchmarkId::new("whs", strata), &input, |b, input| {
+        group.bench_with_input(BenchmarkId::new("whs_seed", strata), &input, |b, input| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(2);
                 black_box(whs_sample(
                     black_box(input),
-                    4_000,
+                    BUDGET,
                     &WeightMap::new(),
                     Allocation::Uniform,
                     &mut rng,
                 ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("whs", strata), &input, |b, input| {
+            let mut sampler = WhsSampler::new(Allocation::Uniform);
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(sampler.sample_batch(black_box(input), BUDGET, &mut rng))
             })
         });
         group.bench_with_input(BenchmarkId::new("srs", strata), &input, |b, input| {
@@ -72,13 +93,51 @@ fn bench_whs_vs_srs(c: &mut Criterion) {
     group.finish();
 }
 
+/// §III-E sharded execution: the sequential reference (`sharded_whs_sample`,
+/// round-robin dealing on one thread) against the scoped-thread
+/// `ParallelShardedSampler` across worker counts. Same 8-strata 64k-item
+/// window and 10% budget as the hot-path group.
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_sampler");
+    const TOTAL_ITEMS: usize = 65_536;
+    const BUDGET: usize = TOTAL_ITEMS / 10;
+    let input = batch(8, TOTAL_ITEMS / 8);
+    group.throughput(Throughput::Elements(input.len() as u64));
+    group.bench_with_input(BenchmarkId::new("sequential", 8), &input, |b, input| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(sharded_whs_sample(
+                black_box(input),
+                BUDGET,
+                &WeightMap::new(),
+                Allocation::Uniform,
+                8,
+                &mut rng,
+            ))
+        })
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", workers), &input, |b, input| {
+            let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, workers, 3);
+            b.iter(|| black_box(sampler.sample_batch(black_box(input), BUDGET)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_estimator(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     // A realistic root window: 100 pairs of 100 sampled items over 16 strata.
     let theta: ThetaStore = (0..100)
         .map(|_| {
             let input = batch(16, 64);
-            whs_sample(&input, 100, &WeightMap::new(), Allocation::Uniform, &mut rng)
+            whs_sample(
+                &input,
+                100,
+                &WeightMap::new(),
+                Allocation::Uniform,
+                &mut rng,
+            )
         })
         .collect();
     let mut group = c.benchmark_group("estimator");
@@ -113,6 +172,6 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_reservoirs, bench_whs_vs_srs, bench_estimator, bench_codec
+    targets = bench_reservoirs, bench_whs_vs_srs, bench_sharded_scaling, bench_estimator, bench_codec
 }
 criterion_main!(benches);

@@ -58,7 +58,10 @@ where
     let window_nanos = window.as_nanos() as u64;
     for _ in 0..intervals {
         let batch = next_interval(&mut rng);
-        let window_id = batch.items.first().map_or(0, |i| i.source_ts / window_nanos);
+        let window_id = batch
+            .items
+            .first()
+            .map_or(0, |i| i.source_ts / window_nanos);
         *truths.entry(window_id).or_default() += batch.value_sum();
         tree.push_interval(&split_by_stratum(&batch));
     }
@@ -83,7 +86,14 @@ pub fn accuracy_run(
     seed: u64,
 ) -> f64 {
     let window = mix.interval();
-    accuracy_run_trace(|rng| mix.next_interval(rng), window, strategy, fraction, intervals, seed)
+    accuracy_run_trace(
+        |rng| mix.next_interval(rng),
+        window,
+        strategy,
+        fraction,
+        intervals,
+        seed,
+    )
 }
 
 /// Averages [`accuracy_run`] over several seeds (fresh workload per seed).
@@ -166,12 +176,18 @@ mod tests {
                 SubStreamSpec::new(
                     StratumId::new(0),
                     1_000.0,
-                    ValueDist::Gaussian { mu: 10.0, sigma: 5.0 },
+                    ValueDist::Gaussian {
+                        mu: 10.0,
+                        sigma: 5.0,
+                    },
                 ),
                 SubStreamSpec::new(
                     StratumId::new(1),
                     100.0,
-                    ValueDist::Gaussian { mu: 1_000.0, sigma: 300.0 },
+                    ValueDist::Gaussian {
+                        mu: 1_000.0,
+                        sigma: 300.0,
+                    },
                 ),
             ],
             Duration::from_millis(100),

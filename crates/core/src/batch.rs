@@ -8,7 +8,6 @@
 
 use crate::item::{StratumId, StreamItem};
 use crate::weight::WeightMap;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A set of stream items together with the weight metadata that travelled
@@ -31,7 +30,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(batch.len(), 2);
 /// assert!(batch.weights.is_empty()); // sources attach no weights
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Batch {
     /// Weight metadata accompanying the items (possibly partial).
     pub weights: WeightMap,
@@ -47,7 +46,10 @@ impl Batch {
 
     /// Wraps raw source items (no weight metadata, i.e. all weights `1.0`).
     pub fn from_items(items: Vec<StreamItem>) -> Self {
-        Batch { weights: WeightMap::new(), items }
+        Batch {
+            weights: WeightMap::new(),
+            items,
+        }
     }
 
     /// Creates a batch with explicit weight metadata.
@@ -76,8 +78,15 @@ impl Batch {
     }
 
     /// The set of strata present in the batch, in ascending order.
+    ///
+    /// Costs one pass over the items and one small vector — unlike the
+    /// obvious `stratify().into_keys()`, which would clone every item into
+    /// per-stratum vectors just to read the keys. Callers on a hot path
+    /// should prefer [`distinct_strata_into`] with a reused buffer.
     pub fn strata(&self) -> Vec<StratumId> {
-        self.stratify().into_keys().collect()
+        let mut ids = Vec::new();
+        distinct_strata_into(&self.items, &mut ids);
+        ids
     }
 
     /// Sum of item values, for ground-truth bookkeeping in tests/benches.
@@ -97,14 +106,322 @@ impl Batch {
         assert!(chunk_len > 0, "chunk_len must be positive");
         let mut out = Vec::new();
         for (idx, chunk) in self.items.chunks(chunk_len).enumerate() {
-            let weights = if idx == 0 { self.weights.clone() } else { WeightMap::new() };
-            out.push(Batch { weights, items: chunk.to_vec() });
+            let weights = if idx == 0 {
+                self.weights.clone()
+            } else {
+                WeightMap::new()
+            };
+            out.push(Batch {
+                weights,
+                items: chunk.to_vec(),
+            });
         }
         if out.is_empty() {
-            out.push(Batch { weights: self.weights.clone(), items: Vec::new() });
+            out.push(Batch {
+                weights: self.weights.clone(),
+                items: Vec::new(),
+            });
         }
         out
     }
+}
+
+/// Reusable zero-copy stratification: groups a batch of items into
+/// contiguous per-stratum ranges over an internal scratch buffer.
+///
+/// This is the allocation-free replacement for [`Batch::stratify`] on the
+/// sampling hot path. Where `stratify` builds a fresh
+/// `BTreeMap<StratumId, Vec<StreamItem>>` per batch (one heap vector per
+/// stratum, every item pushed through `BTreeMap` lookups), a `StrataIndex`
+/// owns all its buffers and reuses them across batches: after the first
+/// few batches of a steady workload, [`StrataIndex::build`] performs
+/// **zero allocations**, and for the common case of inputs that already
+/// arrive grouped by stratum (per-source batches, the bench workloads) it
+/// also copies **zero items** — the counting pass detects that every
+/// stratum forms one contiguous run and the ranges then index the caller's
+/// slice directly. Interleaved inputs take one extra scatter pass through
+/// the internal scratch buffer.
+///
+/// Within each stratum the arrival order of items is preserved, matching
+/// `stratify`'s semantics (line 5 of Algorithm 1).
+///
+/// Stratum ids index a sparse lookup table, so they are assumed *dense*
+/// (as [`StratumId`]'s docs promise). Ids above an internal cap fall back
+/// to a tree map so a stray huge id degrades performance, not memory.
+///
+/// Because the ranges may point into the indexed slice, the accessors take
+/// the same `items` slice that was passed to [`StrataIndex::build`].
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Batch, StrataIndex, StratumId, StreamItem};
+///
+/// let batch = Batch::from_items(vec![
+///     StreamItem::new(StratumId::new(1), 10.0),
+///     StreamItem::new(StratumId::new(0), 1.0),
+///     StreamItem::new(StratumId::new(1), 20.0),
+/// ]);
+/// let mut index = StrataIndex::new();
+/// index.build(&batch.items);
+/// let groups: Vec<_> = index.iter_in(&batch.items).collect();
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].0, StratumId::new(0));
+/// assert_eq!(groups[1].1.len(), 2);
+/// assert_eq!(groups[1].1[0].value, 10.0); // arrival order kept
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StrataIndex {
+    /// Items regrouped contiguously by stratum (scatter path only); only
+    /// `..len` is valid.
+    scratch: Vec<StreamItem>,
+    len: usize,
+    /// `true` when the input was already grouped and the ranges index the
+    /// caller's slice instead of `scratch`.
+    grouped: bool,
+    /// Per-stratum ranges, ascending by stratum.
+    ranges: Vec<StratumRange>,
+    /// Per-item bucket assignment from the counting pass.
+    bucket_of_item: Vec<u32>,
+    /// Sparse stratum-id → bucket table, invalidated by generation stamps
+    /// so it never needs clearing between batches.
+    table: Vec<TableSlot>,
+    /// Fallback for stratum ids beyond [`TABLE_CAP`] (cleared per build).
+    overflow: BTreeMap<StratumId, u32>,
+    generation: u32,
+    /// Item count per bucket, in first-seen order.
+    counts: Vec<usize>,
+    /// Position of the bucket's first item, in first-seen order.
+    first_pos: Vec<usize>,
+    /// Bucket → stratum, in first-seen order.
+    strata_of_bucket: Vec<StratumId>,
+    /// Bucket → next scatter position.
+    cursors: Vec<usize>,
+}
+
+/// One contiguous per-stratum range of the scratch buffer.
+#[derive(Debug, Clone, Copy)]
+struct StratumRange {
+    stratum: StratumId,
+    bucket: u32,
+    start: usize,
+    end: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TableSlot {
+    generation: u32,
+    bucket: u32,
+}
+
+/// Largest stratum id served by the O(1) sparse table (4 MiB of slots);
+/// ids at or above this go through the `overflow` tree map.
+const TABLE_CAP: usize = 1 << 19;
+
+impl StrataIndex {
+    /// Creates an empty index; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        StrataIndex::default()
+    }
+
+    /// Rebuilds the index over `items`, reusing all internal buffers.
+    pub fn build(&mut self, items: &[StreamItem]) {
+        self.len = items.len();
+        self.ranges.clear();
+        self.counts.clear();
+        self.first_pos.clear();
+        self.strata_of_bucket.clear();
+        self.bucket_of_item.clear();
+        self.overflow.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation counter wrapped: stale stamps could collide, so
+            // wipe the table once every 2^32 builds.
+            self.table
+                .iter_mut()
+                .for_each(|s| *s = TableSlot::default());
+            self.generation = 1;
+        }
+
+        // Pass 1: discover strata and count, memoising the previous item's
+        // stratum — real streams arrive in long per-source runs. Along the
+        // way, detect whether every stratum forms a single contiguous run;
+        // a stratum re-entered after a gap breaks contiguity.
+        let mut contiguous = true;
+        let mut last: Option<(StratumId, u32)> = None;
+        for (pos, item) in items.iter().enumerate() {
+            let bucket = match last {
+                Some((stratum, bucket)) if stratum == item.stratum => bucket,
+                _ => {
+                    let bucket = self.bucket_for(item.stratum);
+                    if self.counts[bucket as usize] == 0 {
+                        self.first_pos[bucket as usize] = pos;
+                    } else {
+                        contiguous = false;
+                    }
+                    bucket
+                }
+            };
+            last = Some((item.stratum, bucket));
+            self.counts[bucket as usize] += 1;
+            self.bucket_of_item.push(bucket);
+        }
+
+        // Order the (few) strata.
+        self.ranges.extend(
+            self.strata_of_bucket
+                .iter()
+                .enumerate()
+                .map(|(b, &stratum)| StratumRange {
+                    stratum,
+                    bucket: b as u32,
+                    start: 0,
+                    end: 0,
+                }),
+        );
+        self.ranges.sort_unstable_by_key(|r| r.stratum);
+
+        self.grouped = contiguous;
+        if contiguous {
+            // Zero-copy path: the ranges index the caller's slice.
+            for range in &mut self.ranges {
+                range.start = self.first_pos[range.bucket as usize];
+                range.end = range.start + self.counts[range.bucket as usize];
+            }
+            return;
+        }
+
+        // Interleaved input: lay out contiguous scratch ranges...
+        self.cursors.clear();
+        self.cursors.resize(self.strata_of_bucket.len(), 0);
+        let mut offset = 0usize;
+        for range in &mut self.ranges {
+            range.start = offset;
+            offset += self.counts[range.bucket as usize];
+            range.end = offset;
+            self.cursors[range.bucket as usize] = range.start;
+        }
+        // ...and scatter items into them (pass 2), preserving arrival
+        // order within each stratum.
+        if self.scratch.len() < items.len() {
+            let filler = items
+                .first()
+                .copied()
+                .unwrap_or_else(|| StreamItem::new(StratumId::new(0), 0.0));
+            self.scratch.resize(items.len(), filler);
+        }
+        for (item, &bucket) in items.iter().zip(&self.bucket_of_item) {
+            let pos = self.cursors[bucket as usize];
+            self.scratch[pos] = *item;
+            self.cursors[bucket as usize] = pos + 1;
+        }
+    }
+
+    fn bucket_for(&mut self, stratum: StratumId) -> u32 {
+        let id = stratum.index() as usize;
+        if id >= TABLE_CAP {
+            let next = self.strata_of_bucket.len() as u32;
+            return match self.overflow.entry(stratum) {
+                std::collections::btree_map::Entry::Occupied(e) => *e.get(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(next);
+                    self.strata_of_bucket.push(stratum);
+                    self.counts.push(0);
+                    self.first_pos.push(0);
+                    next
+                }
+            };
+        }
+        if id >= self.table.len() {
+            self.table.resize(id + 1, TableSlot::default());
+        }
+        let generation = self.generation;
+        let slot = &mut self.table[id];
+        if slot.generation == generation {
+            slot.bucket
+        } else {
+            let bucket = self.strata_of_bucket.len() as u32;
+            *slot = TableSlot { generation, bucket };
+            self.strata_of_bucket.push(stratum);
+            self.counts.push(0);
+            self.first_pos.push(0);
+            bucket
+        }
+    }
+
+    /// Number of items indexed by the last [`StrataIndex::build`].
+    pub fn total_items(&self) -> usize {
+        self.len
+    }
+
+    /// Number of distinct strata in the last build.
+    pub fn num_strata(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Returns `true` when the last build saw no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The distinct strata, ascending.
+    pub fn strata(&self) -> impl Iterator<Item = StratumId> + '_ {
+        self.ranges.iter().map(|r| r.stratum)
+    }
+
+    /// `(stratum, item count)` pairs, ascending by stratum.
+    pub fn counts(&self) -> impl Iterator<Item = (StratumId, usize)> + '_ {
+        self.ranges.iter().map(|r| (r.stratum, r.end - r.start))
+    }
+
+    /// `(stratum, items)` groups, ascending by stratum, arrival order
+    /// preserved within each group.
+    ///
+    /// `items` must be the slice passed to the matching
+    /// [`StrataIndex::build`] — for already-grouped inputs the ranges
+    /// index it directly (the zero-copy path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` has a different length than the indexed slice.
+    pub fn iter_in<'a>(
+        &'a self,
+        items: &'a [StreamItem],
+    ) -> impl Iterator<Item = (StratumId, &'a [StreamItem])> + 'a {
+        assert_eq!(
+            items.len(),
+            self.len,
+            "iter_in needs the slice passed to build"
+        );
+        let source: &'a [StreamItem] = if self.grouped {
+            items
+        } else {
+            &self.scratch[..self.len]
+        };
+        self.ranges
+            .iter()
+            .map(move |r| (r.stratum, &source[r.start..r.end]))
+    }
+}
+
+/// Collects the distinct strata of `items` into `out` (ascending) with a
+/// run-aware scan: one push per stratum *run*, then sort+dedup of the tiny
+/// list. For the per-source batches real pipelines carry, this is a single
+/// pass with zero allocations once `out` has warmed up — unlike per-item
+/// set insertions. Shared by [`Batch::strata`], the parallel sharded
+/// sampler and the stateful sampler's weight resolution.
+pub fn distinct_strata_into(items: &[StreamItem], out: &mut Vec<StratumId>) {
+    out.clear();
+    let mut last = None;
+    for item in items {
+        if last != Some(item.stratum) {
+            out.push(item.stratum);
+            last = Some(item.stratum);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 impl FromIterator<StreamItem> for Batch {
@@ -148,10 +465,7 @@ mod tests {
     fn split_keeps_weights_only_on_first_chunk() {
         let mut weights = WeightMap::new();
         weights.set(StratumId::new(0), 1.5);
-        let batch = Batch::with_weights(
-            weights,
-            vec![item(0, 1.0), item(0, 2.0), item(0, 3.0)],
-        );
+        let batch = Batch::with_weights(weights, vec![item(0, 1.0), item(0, 2.0), item(0, 3.0)]);
         let chunks = batch.split_weight_first(2);
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].weights.get(StratumId::new(0)), 1.5);
@@ -171,6 +485,90 @@ mod tests {
     #[should_panic(expected = "chunk_len must be positive")]
     fn split_rejects_zero_chunk() {
         Batch::new().split_weight_first(0);
+    }
+
+    #[test]
+    fn strata_index_matches_stratify_interleaved() {
+        // Interleaved strata exercise the scatter path.
+        let batch = Batch::from_items(vec![
+            item(3, 1.0),
+            item(1, 2.0),
+            item(3, 3.0),
+            item(0, 4.0),
+            item(1, 5.0),
+        ]);
+        let mut index = StrataIndex::new();
+        index.build(&batch.items);
+        let by_map = batch.stratify();
+        assert_eq!(index.num_strata(), by_map.len());
+        assert_eq!(index.total_items(), batch.len());
+        for ((stratum, slice), (map_stratum, map_items)) in
+            index.iter_in(&batch.items).zip(by_map.iter())
+        {
+            assert_eq!(stratum, *map_stratum);
+            assert_eq!(
+                slice,
+                map_items.as_slice(),
+                "order preserved within {stratum}"
+            );
+        }
+    }
+
+    #[test]
+    fn strata_index_grouped_input_is_zero_copy() {
+        // Per-stratum runs (descending ids to prove order-independence)
+        // exercise the grouped fast path: ranges must serve the caller's
+        // slice itself.
+        let items = vec![
+            item(5, 1.0),
+            item(5, 2.0),
+            item(2, 3.0),
+            item(0, 4.0),
+            item(0, 5.0),
+        ];
+        let mut index = StrataIndex::new();
+        index.build(&items);
+        let groups: Vec<_> = index.iter_in(&items).collect();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, StratumId::new(0));
+        assert_eq!(groups[2].0, StratumId::new(5));
+        // Zero-copy: the served slices alias the input allocation.
+        assert!(std::ptr::eq(groups[2].1.as_ptr(), items[0..].as_ptr()));
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[0].1[0].value, 4.0);
+    }
+
+    #[test]
+    fn strata_index_reuse_across_batches() {
+        let mut index = StrataIndex::new();
+        // Interleaved (scatter) build first...
+        let first = [item(0, 1.0), item(1, 2.0), item(0, 3.0)];
+        index.build(&first);
+        assert_eq!(index.num_strata(), 2);
+        // ...then a grouped rebuild: stale state must vanish.
+        let second = [item(7, 9.0)];
+        index.build(&second);
+        assert_eq!(index.num_strata(), 1);
+        assert_eq!(index.total_items(), 1);
+        let (stratum, slice) = index.iter_in(&second).next().expect("one group");
+        assert_eq!(stratum, StratumId::new(7));
+        assert_eq!(slice[0].value, 9.0);
+        // And empty batches are fine.
+        index.build(&[]);
+        assert!(index.is_empty());
+        assert_eq!(index.num_strata(), 0);
+    }
+
+    #[test]
+    fn strata_index_handles_huge_stratum_ids() {
+        let mut index = StrataIndex::new();
+        let big = u32::MAX - 1;
+        index.build(&[item(big, 1.0), item(2, 2.0), item(big, 3.0)]);
+        assert_eq!(index.num_strata(), 2);
+        let strata: Vec<_> = index.strata().collect();
+        assert_eq!(strata, vec![StratumId::new(2), StratumId::new(big)]);
+        let counts: Vec<_> = index.counts().collect();
+        assert_eq!(counts[1], (StratumId::new(big), 2));
     }
 
     #[test]

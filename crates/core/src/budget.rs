@@ -99,7 +99,11 @@ pub struct BudgetError {
 
 impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sampling fraction must be in (0, 1], got {}", self.fraction)
+        write!(
+            f,
+            "sampling fraction must be in (0, 1], got {}",
+            self.fraction
+        )
     }
 }
 
@@ -196,7 +200,9 @@ impl AdaptiveController {
 
     /// The current budget as a [`SamplingBudget`].
     pub fn budget(&self) -> SamplingBudget {
-        SamplingBudget { fraction: self.fraction }
+        SamplingBudget {
+            fraction: self.fraction,
+        }
     }
 }
 

@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn relative_bound_handles_zero_value() {
-        assert_eq!(Estimate::new(0.0, 1.0).relative_bound(Confidence::P95), None);
+        assert_eq!(
+            Estimate::new(0.0, 1.0).relative_bound(Confidence::P95),
+            None
+        );
         let est = Estimate::new(200.0, 100.0); // σ = 10, 2σ = 20
         assert_eq!(est.relative_bound(Confidence::P95), Some(0.1));
     }

@@ -125,7 +125,11 @@ impl ThetaStore {
         accs.into_iter()
             .map(|(stratum, acc)| {
                 let zeta = acc.zeta;
-                let mean = if zeta > 0 { acc.value_sum / zeta as f64 } else { 0.0 };
+                let mean = if zeta > 0 {
+                    acc.value_sum / zeta as f64
+                } else {
+                    0.0
+                };
                 let s2 = if zeta > 1 {
                     // Numerically the two-pass form is better, but Θ items are
                     // gone after grouping; use the corrected sum-of-squares
@@ -136,7 +140,11 @@ impl ThetaStore {
                 };
                 let c = acc.count_hat;
                 let fpc = (c - zeta as f64).max(0.0);
-                let var = if zeta > 0 { c * fpc * s2 / zeta as f64 } else { 0.0 };
+                let var = if zeta > 0 {
+                    c * fpc * s2 / zeta as f64
+                } else {
+                    0.0
+                };
                 (
                     stratum,
                     StratumEstimate {
@@ -195,7 +203,9 @@ impl ThetaStore {
 
 impl FromIterator<WhsOutput> for ThetaStore {
     fn from_iter<I: IntoIterator<Item = WhsOutput>>(iter: I) -> Self {
-        ThetaStore { pairs: iter.into_iter().collect() }
+        ThetaStore {
+            pairs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -225,7 +235,10 @@ mod tests {
         weights.set(s(stratum), weight);
         WhsOutput {
             weights,
-            sample: values.iter().map(|&v| StreamItem::new(s(stratum), v)).collect(),
+            sample: values
+                .iter()
+                .map(|&v| StreamItem::new(s(stratum), v))
+                .collect(),
         }
     }
 
@@ -344,7 +357,13 @@ mod tests {
         let trials = 300;
         let mut acc = 0.0;
         for _ in 0..trials {
-            let out = whs_sample(&batch, 200, &WeightMap::new(), Allocation::Uniform, &mut rng);
+            let out = whs_sample(
+                &batch,
+                200,
+                &WeightMap::new(),
+                Allocation::Uniform,
+                &mut rng,
+            );
             let theta: ThetaStore = [out].into_iter().collect();
             acc += theta.sum_estimate().value;
         }

@@ -5,7 +5,6 @@
 //! that follow the same distribution share a [`StratumId`], and every
 //! sampling decision in the system is made per stratum.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a stratum (the paper's *sub-stream*).
@@ -24,7 +23,7 @@ use std::fmt;
 /// assert_ne!(a, b);
 /// assert_eq!(a.index(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StratumId(u32);
 
 impl StratumId {
@@ -68,7 +67,7 @@ impl From<u32> for StratumId {
 /// assert_eq!(item.stratum, StratumId::new(3));
 /// assert_eq!(item.value, 42.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamItem {
     /// Stratum (sub-stream) this item belongs to.
     pub stratum: StratumId,
@@ -83,12 +82,22 @@ pub struct StreamItem {
 impl StreamItem {
     /// Creates an item with zero sequence number and timestamp.
     pub fn new(stratum: StratumId, value: f64) -> Self {
-        StreamItem { stratum, value, seq: 0, source_ts: 0 }
+        StreamItem {
+            stratum,
+            value,
+            seq: 0,
+            source_ts: 0,
+        }
     }
 
     /// Creates an item with full provenance metadata.
     pub fn with_meta(stratum: StratumId, value: f64, seq: u64, source_ts: u64) -> Self {
-        StreamItem { stratum, value, seq, source_ts }
+        StreamItem {
+            stratum,
+            value,
+            seq,
+            source_ts,
+        }
     }
 }
 

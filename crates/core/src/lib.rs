@@ -16,6 +16,40 @@
 //! the stream-processing runtime (`approxiot-streams`, `approxiot-runtime`)
 //! and workload generators (`approxiot-workload`).
 //!
+//! ## The sampling hot path
+//!
+//! Every item in the system crosses `WHSamp` at every tree level, so the
+//! per-item cost of one sampler invocation bounds whole-system throughput.
+//! Two implementations coexist:
+//!
+//! * [`whs_sample`] — the readable reference (and benchmark baseline):
+//!   per batch it builds a `BTreeMap<StratumId, Vec<StreamItem>>`
+//!   ([`Batch::stratify`]), two more maps for reservoir sizing, and runs
+//!   Vitter's Algorithm R with one RNG draw per item.
+//! * [`WhsSampler`] / [`WhsScratch`] — the production hot path. A
+//!   reusable [`StrataIndex`] groups each batch into contiguous
+//!   per-stratum ranges (zero allocations in steady state; zero item
+//!   copies when the batch already arrives grouped by stratum, the common
+//!   per-source case), sizing runs on slices
+//!   ([`Allocation::reservoir_sizes_slice`]), and overflowing strata draw
+//!   their reservoir with Floyd's selection sampling — exactly `N_i`
+//!   cheap uniform draws per stratum, no transcendentals. The statistics
+//!   (uniform without-replacement samples, Equations 1–2 weights, the
+//!   Equation 9 invariant) are identical to the reference; property tests
+//!   in `tests/proptests.rs` pin the two paths to the same per-stratum
+//!   kept counts.
+//!
+//! The paper's §III-E parallelisation is [`ParallelShardedSampler`]:
+//! contiguous slice partitioning over `w` worker shards, one reusable
+//! [`WhsScratch`] and one deterministic `StdRng` (seed ⊕ shard index) per
+//! shard, sampled concurrently under `std::thread::scope` (inline when
+//! the host has a single CPU — per-shard RNG state makes the output
+//! identical either way). Each shard emits its own `(W_out, sample)`
+//! pair, which the root's Θ handling already accepts.
+//!
+//! `micro_samplers` in `approxiot-bench` tracks both paths; baseline
+//! numbers live in `BENCH_micro.json` at the repository root.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -56,14 +90,14 @@ pub mod sampling;
 pub mod stats;
 pub mod weight;
 
-pub use batch::Batch;
+pub use batch::{distinct_strata_into, Batch, StrataIndex};
 pub use budget::{AdaptiveController, BudgetError, CostFunction, FixedSize, SamplingBudget};
 pub use error::{accuracy_loss, Confidence, Estimate};
 pub use estimate::{StratumEstimate, ThetaStore};
 pub use item::{Measure, StratumId, StreamItem};
-pub use sampling::allocation::Allocation;
+pub use sampling::allocation::{Allocation, SizingScratch};
 pub use sampling::reservoir::{Reservoir, SkipReservoir};
-pub use sampling::sharded::sharded_whs_sample;
+pub use sampling::sharded::{sharded_whs_sample, ParallelShardedSampler};
 pub use sampling::srs::{InvalidFractionError, SrsSampler};
-pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler};
+pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler, WhsScratch};
 pub use weight::{WeightMap, WeightStore};

@@ -35,7 +35,9 @@ fn weighted_values(theta: &ThetaStore) -> Vec<(f64, f64)> {
         .pairs()
         .iter()
         .flat_map(|p| {
-            p.sample.iter().map(move |item| (item.value, p.weights.get(item.stratum)))
+            p.sample
+                .iter()
+                .map(move |item| (item.value, p.weights.get(item.stratum)))
         })
         .collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -84,7 +86,10 @@ fn invert_cdf(pairs: &[(f64, f64)], target: f64) -> f64 {
 /// assert_eq!(weighted_quantile(&theta, 0.5), Some(3.0));
 /// ```
 pub fn weighted_quantile(theta: &ThetaStore, q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     let pairs = weighted_values(theta);
     if pairs.is_empty() {
         return None;
@@ -104,7 +109,10 @@ pub fn weighted_quantiles(theta: &ThetaStore, qs: &[f64]) -> Vec<Option<f64>> {
     let total: f64 = pairs.iter().map(|p| p.1).sum();
     qs.iter()
         .map(|&q| {
-            assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+            assert!(
+                (0.0..=1.0).contains(&q),
+                "quantile must be in [0, 1], got {q}"
+            );
             if pairs.is_empty() {
                 None
             } else {
@@ -129,7 +137,10 @@ pub fn quantile_with_bounds(
     q: f64,
     confidence: Confidence,
 ) -> Option<QuantileEstimate> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     let pairs = weighted_values(theta);
     if pairs.is_empty() {
         return None;
@@ -176,7 +187,11 @@ pub fn top_k_strata(theta: &ThetaStore, k: usize) -> Vec<(StratumId, Estimate)> 
         .into_iter()
         .map(|(s, e)| (s, Estimate::new(e.sum, e.sum_variance)))
         .collect();
-    ranked.sort_by(|a, b| b.1.value.partial_cmp(&a.1.value).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.1.value
+            .partial_cmp(&a.1.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     ranked.truncate(k);
     ranked
 }
@@ -205,7 +220,10 @@ mod tests {
                 weights.set(s(*stratum), *weight);
                 WhsOutput {
                     weights,
-                    sample: values.iter().map(|&v| StreamItem::new(s(*stratum), v)).collect(),
+                    sample: values
+                        .iter()
+                        .map(|&v| StreamItem::new(s(*stratum), v))
+                        .collect(),
                 }
             })
             .collect()
@@ -226,7 +244,10 @@ mod tests {
         let mut theta = theta_of(&[(0, 1.0, vec![1.0, 2.0, 3.0])]);
         let mut weights = WeightMap::new();
         weights.set(s(1), 10.0);
-        theta.push(WhsOutput { weights, sample: vec![StreamItem::new(s(1), 100.0)] });
+        theta.push(WhsOutput {
+            weights,
+            sample: vec![StreamItem::new(s(1), 100.0)],
+        });
         // Total weight 13: q = 0.9 → cumulative target 11.7 lands on the
         // heavy item; q = 0.05 → target 0.65 stays on the first value.
         assert_eq!(weighted_quantile(&theta, 0.9), Some(100.0));
@@ -277,10 +298,17 @@ mod tests {
         // Sample 10% of a stream and check the median estimate lands near
         // the true median.
         let mut rng = StdRng::seed_from_u64(5);
-        let items: Vec<StreamItem> =
-            (0..10_000).map(|k| StreamItem::new(s(0), (k % 1000) as f64)).collect();
+        let items: Vec<StreamItem> = (0..10_000)
+            .map(|k| StreamItem::new(s(0), (k % 1000) as f64))
+            .collect();
         let batch = Batch::from_items(items);
-        let out = whs_sample(&batch, 1_000, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        let out = whs_sample(
+            &batch,
+            1_000,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
         let theta: ThetaStore = [out].into_iter().collect();
         let median = weighted_quantile(&theta, 0.5).expect("non-empty");
         assert!((median - 500.0).abs() < 50.0, "median {median}");
@@ -289,9 +317,9 @@ mod tests {
     #[test]
     fn top_k_orders_by_estimated_sum() {
         let theta = theta_of(&[
-            (0, 2.0, vec![1.0, 1.0]),      // sum 4
-            (1, 3.0, vec![100.0]),         // sum 300
-            (2, 1.0, vec![10.0, 10.0]),    // sum 20
+            (0, 2.0, vec![1.0, 1.0]),   // sum 4
+            (1, 3.0, vec![100.0]),      // sum 300
+            (2, 1.0, vec![10.0, 10.0]), // sum 20
         ]);
         let top = top_k_strata(&theta, 2);
         assert_eq!(top.len(), 2);

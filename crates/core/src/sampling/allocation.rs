@@ -48,6 +48,135 @@ impl Allocation {
             Allocation::Proportional => proportional_sizes(counts, sample_size),
         }
     }
+
+    /// Slice-based, allocation-free variant of
+    /// [`Allocation::reservoir_sizes`] for the sampling hot path.
+    ///
+    /// `counts[i]` is the item count of the `i`-th stratum in ascending
+    /// stratum order (the order [`crate::StrataIndex`] yields); on return
+    /// `sizes[i]` is that stratum's reservoir capacity. Both output and
+    /// working storage live in the caller-owned `sizes` /
+    /// [`SizingScratch`] buffers, so steady-state batches allocate
+    /// nothing. The resulting sizes are identical to the `BTreeMap` API's
+    /// for the same counts.
+    pub fn reservoir_sizes_slice(
+        self,
+        counts: &[usize],
+        sample_size: usize,
+        sizes: &mut Vec<usize>,
+        scratch: &mut SizingScratch,
+    ) {
+        sizes.clear();
+        sizes.resize(counts.len(), 0);
+        if counts.is_empty() || sample_size == 0 {
+            return;
+        }
+        match self {
+            Allocation::Uniform => uniform_sizes_slice(counts, sample_size, sizes, scratch),
+            Allocation::Proportional => {
+                proportional_sizes_slice(counts, sample_size, sizes, scratch)
+            }
+        }
+    }
+}
+
+/// Reusable working storage for [`Allocation::reservoir_sizes_slice`].
+#[derive(Debug, Clone, Default)]
+pub struct SizingScratch {
+    /// Indices of strata still able to absorb budget (uniform), or
+    /// stratum indices ordered by fractional remainder (proportional).
+    open: Vec<u32>,
+    next_open: Vec<u32>,
+    remainders: Vec<f64>,
+}
+
+/// Slice twin of [`uniform_sizes`]: equal share with slack redistribution,
+/// byte-for-byte the same results in ascending stratum order.
+fn uniform_sizes_slice(
+    counts: &[usize],
+    sample_size: usize,
+    sizes: &mut [usize],
+    scratch: &mut SizingScratch,
+) {
+    let mut remaining_budget = sample_size;
+    scratch.open.clear();
+    scratch.open.extend(0..counts.len() as u32);
+    while remaining_budget > 0 && !scratch.open.is_empty() {
+        let share = remaining_budget / scratch.open.len();
+        if share == 0 {
+            for &s in scratch.open.iter().take(remaining_budget) {
+                sizes[s as usize] += 1;
+            }
+            break;
+        }
+        scratch.next_open.clear();
+        let mut spent = 0usize;
+        for &s in &scratch.open {
+            let s = s as usize;
+            let need = counts[s] - sizes[s];
+            let give = need.min(share);
+            sizes[s] += give;
+            spent += give;
+            if sizes[s] < counts[s] {
+                scratch.next_open.push(s as u32);
+            }
+        }
+        remaining_budget -= spent;
+        if spent == 0 {
+            break;
+        }
+        std::mem::swap(&mut scratch.open, &mut scratch.next_open);
+    }
+}
+
+/// Slice twin of [`proportional_sizes`] (largest-remainder rounding).
+fn proportional_sizes_slice(
+    counts: &[usize],
+    sample_size: usize,
+    sizes: &mut [usize],
+    scratch: &mut SizingScratch,
+) {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return;
+    }
+    let budget = sample_size.min(total);
+    scratch.remainders.clear();
+    let mut assigned = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        let exact = budget as f64 * c as f64 / total as f64;
+        let floor = exact.floor() as usize;
+        let capped = floor.min(c);
+        sizes[i] = capped;
+        assigned += capped;
+        scratch.remainders.push(exact - floor as f64);
+    }
+    scratch.open.clear();
+    scratch.open.extend(0..counts.len() as u32);
+    let remainders = &scratch.remainders;
+    scratch.open.sort_by(|&a, &b| {
+        remainders[b as usize]
+            .partial_cmp(&remainders[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut left = budget.saturating_sub(assigned);
+    while left > 0 {
+        let mut progressed = false;
+        for &s in &scratch.open {
+            if left == 0 {
+                break;
+            }
+            let s = s as usize;
+            if sizes[s] < counts[s] {
+                sizes[s] += 1;
+                left -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
 }
 
 /// Equal share with redistribution: repeatedly give every unsatisfied
@@ -201,16 +330,15 @@ mod tests {
 
     #[test]
     fn proportional_tracks_counts() {
-        let sizes =
-            Allocation::Proportional.reservoir_sizes(&counts(&[(0, 80), (1, 20)]), 10);
+        let sizes = Allocation::Proportional.reservoir_sizes(&counts(&[(0, 80), (1, 20)]), 10);
         assert_eq!(sizes[&StratumId::new(0)], 8);
         assert_eq!(sizes[&StratumId::new(1)], 2);
     }
 
     #[test]
     fn proportional_total_matches_budget() {
-        let sizes = Allocation::Proportional
-            .reservoir_sizes(&counts(&[(0, 33), (1, 33), (2, 34)]), 10);
+        let sizes =
+            Allocation::Proportional.reservoir_sizes(&counts(&[(0, 33), (1, 33), (2, 34)]), 10);
         let total: usize = sizes.values().sum();
         assert_eq!(total, 10);
     }
@@ -228,6 +356,31 @@ mod tests {
         let sizes = Allocation::Proportional.reservoir_sizes(&counts(&[(0, 4), (1, 6)]), 100);
         assert_eq!(sizes[&StratumId::new(0)], 4);
         assert_eq!(sizes[&StratumId::new(1)], 6);
+    }
+
+    #[test]
+    fn slice_api_matches_btreemap_api() {
+        let cases: [&[(u32, usize)]; 4] = [
+            &[(0, 100), (1, 100)],
+            &[(0, 5), (1, 1_000)],
+            &[(0, 13), (1, 200), (2, 1), (3, 77)],
+            &[(0, 10_000), (1, 10)],
+        ];
+        let mut sizes = Vec::new();
+        let mut scratch = SizingScratch::default();
+        for alloc in [Allocation::Uniform, Allocation::Proportional] {
+            for case in cases {
+                for budget in [0usize, 1, 2, 7, 50, 100, 1_000, 100_000] {
+                    let map_counts = counts(case);
+                    let expected = alloc.reservoir_sizes(&map_counts, budget);
+                    let slice_counts: Vec<usize> = map_counts.values().copied().collect();
+                    alloc.reservoir_sizes_slice(&slice_counts, budget, &mut sizes, &mut scratch);
+                    let got: Vec<usize> = sizes.clone();
+                    let want: Vec<usize> = expected.values().copied().collect();
+                    assert_eq!(got, want, "{alloc:?} budget {budget} case {case:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Sampling algorithms: reservoirs, allocation policies, weighted
-//! hierarchical sampling and the SRS baseline.
+//! hierarchical sampling (reference path and the zero-copy
+//! [`whs::WhsScratch`] hot path), §III-E sharding (sequential reference
+//! and the scoped-thread [`sharded::ParallelShardedSampler`]) and the SRS
+//! baseline.
 
 pub mod allocation;
 pub mod reservoir;

@@ -7,8 +7,13 @@
 //!   item, one random draw per item once the reservoir is full.
 //! * [`SkipReservoir`] — Vitter's *Algorithm L*: draws a geometric "skip
 //!   count" and fast-forwards over items that cannot enter the reservoir,
-//!   reducing random draws from O(n) to O(R·log(n/R)). Used by the
-//!   high-throughput edge nodes and compared in the micro-benchmarks.
+//!   reducing random draws from O(n) to O(R·log(n/R)). Its
+//!   [`SkipReservoir::sample_slice`] turns the skip into an index jump for
+//!   materialised slices. The right tool when items arrive one at a time
+//!   (e.g. a stratum split across frames in transit); when a whole
+//!   stratum is available as a slice, the `WHSamp` hot path goes further
+//!   with Floyd's selection sampling (see [`crate::WhsScratch`]), which
+//!   needs exactly R draws and no transcendentals.
 //!
 //! Both guarantee that after observing `n ≥ R` items, every item was
 //! retained with probability exactly `R / n`.
@@ -48,7 +53,11 @@ impl<T> Reservoir<T> {
     /// allocation policy can assign zero slots to a stratum when the sample
     /// budget is smaller than the stratum count.
     pub fn new(capacity: usize) -> Self {
-        Reservoir { capacity, seen: 0, slots: Vec::with_capacity(capacity.min(1024)) }
+        Reservoir {
+            capacity,
+            seen: 0,
+            slots: Vec::with_capacity(capacity.min(1024)),
+        }
     }
 
     /// Offers one item. Returns the evicted item when the new item displaced
@@ -179,7 +188,11 @@ impl<T> SkipReservoir<T> {
             u64::MAX
         } else {
             let s = (u.ln() / denom).floor();
-            if s >= u64::MAX as f64 { u64::MAX } else { s as u64 }
+            if s >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                s as u64
+            }
         };
     }
 
@@ -226,6 +239,20 @@ impl<T> SkipReservoir<T> {
         self.seen
     }
 
+    /// Resets the reservoir for a fresh stream with a (possibly different)
+    /// capacity, keeping the slot allocation. This is what lets one
+    /// reservoir be reused across every stratum of every batch on the
+    /// sampling hot path without steady-state allocations.
+    pub fn reset_to(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.slots.clear();
+        self.slots.reserve(capacity.min(1024));
+        self.seen = 0;
+        self.skip = 0;
+        self.w = 1.0;
+        self.primed = false;
+    }
+
     /// Number of items retained.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -258,6 +285,62 @@ impl<T> SkipReservoir<T> {
         self.skip = 0;
         self.w = 1.0;
         self.primed = false;
+    }
+}
+
+impl<T: Copy> SkipReservoir<T> {
+    /// Offers an entire slice, jumping directly over skipped items instead
+    /// of visiting them one by one.
+    ///
+    /// Statistically identical to calling [`SkipReservoir::offer`] per item
+    /// (same RNG draw sequence), but the geometric skip becomes an index
+    /// jump, so per-item cost drops to a bounds check: total work is
+    /// `O(R·log(n/R))` RNG draws plus `O(n)` only for the initial fill.
+    /// This is the per-stratum overflow path of the `WHSamp` hot loop.
+    pub fn sample_slice<R: Rng + ?Sized>(&mut self, items: &[T], rng: &mut R) {
+        let mut i = 0usize;
+        // Fill phase: the first `capacity` items enter verbatim.
+        if self.slots.len() < self.capacity {
+            let take = (self.capacity - self.slots.len()).min(items.len());
+            self.slots.extend_from_slice(&items[..take]);
+            self.seen += take as u64;
+            i = take;
+            if self.slots.len() == self.capacity {
+                self.primed = false;
+            }
+            if i == items.len() {
+                return;
+            }
+        }
+        if self.capacity == 0 {
+            self.seen += (items.len() - i) as u64;
+            return;
+        }
+        // Skip phase: fast-forward over rejected items by index.
+        loop {
+            if !self.primed {
+                self.advance(rng);
+                self.primed = true;
+            }
+            let remaining = (items.len() - i) as u64;
+            if self.skip >= remaining {
+                // The whole tail is skipped; carry the leftover skip into
+                // the next call so split streams stay equivalent.
+                self.skip -= remaining;
+                self.seen += remaining;
+                return;
+            }
+            i += self.skip as usize;
+            self.seen += self.skip + 1;
+            self.skip = 0;
+            let slot = rng.random_range(0..self.capacity);
+            self.slots[slot] = items[i];
+            self.advance(rng);
+            i += 1;
+            if i == items.len() {
+                return;
+            }
+        }
     }
 }
 
@@ -314,7 +397,10 @@ mod tests {
         // or the evicted occupant), so total conservation holds.
         let mut returned = Vec::new();
         for x in 1..100 {
-            returned.push(res.offer(x, &mut rng).expect("full reservoir returns an item"));
+            returned.push(
+                res.offer(x, &mut rng)
+                    .expect("full reservoir returns an item"),
+            );
         }
         assert_eq!(returned.len() + res.len(), 100);
     }

@@ -11,17 +11,23 @@
 use crate::batch::Batch;
 use crate::item::StreamItem;
 use crate::sampling::allocation::Allocation;
-use crate::sampling::whs::{whs_sample, WhsOutput};
-use crate::weight::WeightMap;
-use rand::Rng;
+use crate::sampling::whs::{whs_sample, WhsOutput, WhsScratch};
+use crate::weight::{WeightMap, WeightStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Samples one batch using `workers` independent shards per the paper's
-/// distributed-execution extension.
+/// distributed-execution extension — the sequential reference
+/// implementation (see [`ParallelShardedSampler`] for the one that
+/// actually uses cores).
 ///
 /// Items are dealt to shards round-robin (any source-side partitioning
 /// works; the analysis only needs each shard to see a random-ish portion and
 /// count its own arrivals). Each shard runs ordinary [`whs_sample`] with a
-/// budget of `sample_size / workers`, producing one [`WhsOutput`] per shard.
+/// budget of `sample_size / workers` — plus one extra slot on the first
+/// `sample_size % workers` shards, so integer truncation never silently
+/// drops reservoir capacity the caller paid for — producing one
+/// [`WhsOutput`] per shard.
 ///
 /// The union of the outputs feeds the root exactly like outputs from
 /// distinct nodes would.
@@ -53,7 +59,6 @@ pub fn sharded_whs_sample<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<WhsOutput> {
     assert!(workers > 0, "workers must be positive");
-    let per_shard_budget = sample_size / workers;
     // Deal items to shards round-robin.
     let mut shards: Vec<Vec<StreamItem>> = vec![Vec::new(); workers];
     for (idx, item) in batch.items.iter().enumerate() {
@@ -61,11 +66,222 @@ pub fn sharded_whs_sample<R: Rng + ?Sized>(
     }
     shards
         .into_iter()
-        .map(|items| {
-            let shard_batch = Batch::with_weights(batch.weights.clone(), items);
-            whs_sample(&shard_batch, per_shard_budget, w_in, allocation, rng)
+        .enumerate()
+        .map(|(idx, items)| {
+            // `whs_sample` reads input weights from `w_in`, not from the
+            // batch, so the shard batch carries no weight metadata.
+            let shard_batch = Batch::from_items(items);
+            let budget = shard_budget(sample_size, workers, idx);
+            whs_sample(&shard_batch, budget, w_in, allocation, rng)
         })
         .collect()
+}
+
+/// Shard `idx`'s reservoir budget: `total / workers`, with the remainder
+/// distributed one slot each to the lowest-indexed shards so the budgets
+/// sum exactly to `total`.
+fn shard_budget(total: usize, workers: usize, idx: usize) -> usize {
+    total / workers + usize::from(idx < total % workers)
+}
+
+/// Contiguous slice partitioning: shard `idx` of `workers` gets
+/// `items.len() / workers` items, the remainder spread over the first
+/// shards. Slices index directly into the caller's buffer — no per-shard
+/// item vectors.
+fn shard_slice(items: &[StreamItem], workers: usize, idx: usize) -> &[StreamItem] {
+    let n = items.len();
+    let base = n / workers;
+    let extra = n % workers;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    &items[start..start + len]
+}
+
+/// Truly parallel §III-E sharding: the node's sub-stream is split over `w`
+/// worker shards that sample **concurrently** on a scoped-thread pool.
+///
+/// Design deltas versus [`sharded_whs_sample`], which executes its shards
+/// one after another on the calling thread:
+///
+/// * **Slice partitioning** — each shard samples a contiguous slice of the
+///   input (no round-robin `Vec` pushes, no per-shard copies of the
+///   batch). The paper's analysis only needs each shard to count its own
+///   arrivals, so any partition is admissible.
+/// * **Per-shard deterministic RNG** — shard `i` owns a `StdRng` seeded
+///   `seed ^ i` at construction and advanced only by that shard, so a
+///   fixed `(seed, workers)` pair reproduces identical samples regardless
+///   of thread scheduling, batch sizes or how often the parallel path
+///   engages.
+/// * **Per-shard reusable [`WhsScratch`]** — the zero-allocation hot-path
+///   kernel, one per worker, reused across batches.
+/// * **No `WeightMap` clones** — shards share the resolved input weights
+///   by reference across the scope.
+/// * **Exact budget split** — remainder slots are distributed, so the
+///   shard budgets always sum to the requested sample size.
+///
+/// Each shard still emits its own `(W_out, items)` pair; the root's `Θ`
+/// handling (Equation 3) sums over pairs, so downstream code is unchanged
+/// — the whole point of §III-E.
+///
+/// Small batches (fewer than [`ParallelShardedSampler::MIN_PARALLEL_ITEMS`]
+/// items) run the shards inline on the calling thread: identical output,
+/// no spawn overhead.
+///
+/// The worker scope is spawned **per batch**; on hosts where thread
+/// spawn+join (tens of µs per worker) is comparable to the per-batch
+/// sampling work, a persistent channel-fed pool would amortise it — a
+/// known follow-up (ROADMAP), not yet needed at the batch sizes the
+/// pipelines carry.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Allocation, Batch, ParallelShardedSampler, StratumId, StreamItem};
+///
+/// let items: Vec<_> = (0..100).map(|i| StreamItem::new(StratumId::new(0), i as f64)).collect();
+/// let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, 4, 7);
+/// let outs = sampler.sample_batch(&Batch::from_items(items), 20);
+/// assert_eq!(outs.len(), 4);
+/// let total: usize = outs.iter().map(|o| o.sample.len()).sum();
+/// assert_eq!(total, 20);
+/// ```
+#[derive(Debug)]
+pub struct ParallelShardedSampler {
+    allocation: Allocation,
+    store: WeightStore,
+    shards: Vec<ShardState>,
+    /// Reusable buffer for the batch's distinct strata (weight
+    /// resolution).
+    strata_scratch: Vec<crate::item::StratumId>,
+    /// Spawn the worker scope for large batches. Defaults to whether the
+    /// machine has more than one logical CPU; override with
+    /// [`ParallelShardedSampler::set_threaded`]. Output is identical
+    /// either way — each shard's RNG belongs to the shard, not a thread.
+    threaded: bool,
+}
+
+/// One worker shard's private state, reused across batches.
+#[derive(Debug)]
+struct ShardState {
+    rng: StdRng,
+    scratch: WhsScratch,
+}
+
+impl ParallelShardedSampler {
+    /// Batches smaller than this sample inline instead of spawning the
+    /// worker scope (thread startup would dominate the sampling work).
+    pub const MIN_PARALLEL_ITEMS: usize = 4096;
+
+    /// Creates a sampler with `workers` shards. Shard `i` draws from a
+    /// generator seeded `seed ^ i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(allocation: Allocation, workers: usize, seed: u64) -> Self {
+        assert!(workers > 0, "workers must be positive");
+        let shards = (0..workers as u64)
+            .map(|i| ShardState {
+                rng: StdRng::seed_from_u64(seed ^ i),
+                scratch: WhsScratch::new(),
+            })
+            .collect();
+        let threaded = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        ParallelShardedSampler {
+            allocation,
+            store: WeightStore::new(),
+            shards,
+            strata_scratch: Vec::new(),
+            threaded,
+        }
+    }
+
+    /// Forces the scoped-thread path on or off (on by default when the
+    /// machine has more than one logical CPU). Sampling output is
+    /// unaffected; this only trades thread-spawn overhead against
+    /// parallel speedup.
+    pub fn set_threaded(&mut self, threaded: bool) {
+        self.threaded = threaded;
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The allocation policy in use.
+    pub fn allocation(&self) -> Allocation {
+        self.allocation
+    }
+
+    /// Samples one batch across all shards, resolving missing input
+    /// weights via the carry-forward rule (like [`crate::WhsSampler`]); one
+    /// [`WhsOutput`] per shard, in shard order.
+    pub fn sample_batch(&mut self, batch: &Batch, sample_size: usize) -> Vec<WhsOutput> {
+        let mut strata = std::mem::take(&mut self.strata_scratch);
+        crate::batch::distinct_strata_into(&batch.items, &mut strata);
+        let resolved = self.store.resolve(strata.iter().copied(), &batch.weights);
+        self.strata_scratch = strata;
+        self.sample_with_weights(&batch.items, sample_size, &resolved)
+    }
+
+    /// Samples `items` across all shards with already-resolved input
+    /// weights, shared by reference with every worker.
+    pub fn sample_with_weights(
+        &mut self,
+        items: &[StreamItem],
+        sample_size: usize,
+        w_in: &WeightMap,
+    ) -> Vec<WhsOutput> {
+        let workers = self.shards.len();
+        let allocation = self.allocation;
+        if workers == 1 || !self.threaded || items.len() < Self::MIN_PARALLEL_ITEMS {
+            // Inline path: identical per-shard RNG/scratch usage, so the
+            // output matches the threaded path bit for bit.
+            return self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(idx, shard)| {
+                    shard.scratch.sample_slice(
+                        shard_slice(items, workers, idx),
+                        shard_budget(sample_size, workers, idx),
+                        w_in,
+                        allocation,
+                        &mut shard.rng,
+                    )
+                })
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(idx, shard)| {
+                    let slice = shard_slice(items, workers, idx);
+                    let budget = shard_budget(sample_size, workers, idx);
+                    scope.spawn(move || {
+                        shard
+                            .scratch
+                            .sample_slice(slice, budget, w_in, allocation, &mut shard.rng)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Forgets carried weights (between independent runs). Shard RNGs keep
+    /// advancing; rebuild the sampler to reproduce a run from its seed.
+    pub fn reset(&mut self) {
+        self.store.clear();
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +395,124 @@ mod tests {
             // 30 local items into 10 slots: w = 2 * 3 = 6.
             assert!((out.weights.get(s(0)) - 6.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn budget_remainder_is_not_lost() {
+        // 10 budget over 3 workers: the old integer-truncated split gave
+        // 3+3+3 = 9 slots; the fixed split gives 4+3+3 = 10.
+        let mut rng = StdRng::seed_from_u64(6);
+        let batch = batch_of(&[(0, 300)]);
+        let outs = sharded_whs_sample(
+            &batch,
+            10,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            3,
+            &mut rng,
+        );
+        let total: usize = outs.iter().map(|o| o.sample.len()).sum();
+        assert_eq!(total, 10, "remainder slots distributed across shards");
+        assert_eq!(outs[0].sample.len(), 4);
+        assert_eq!(outs[1].sample.len(), 3);
+    }
+
+    #[test]
+    fn shard_slices_partition_exactly() {
+        let items: Vec<_> = (0..10)
+            .map(|k| StreamItem::with_meta(s(0), 0.0, k, 0))
+            .collect();
+        let mut seen = Vec::new();
+        for idx in 0..3 {
+            seen.extend_from_slice(shard_slice(&items, 3, idx));
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(
+            seen.iter().enumerate().all(|(k, i)| i.seq == k as u64),
+            "cover in order"
+        );
+        assert_eq!(shard_slice(&items, 3, 0).len(), 4);
+        assert_eq!(shard_slice(&items, 3, 2).len(), 3);
+    }
+
+    #[test]
+    fn parallel_sampler_matches_budget_and_reconstructs_counts() {
+        let batch = batch_of(&[(0, 20_000), (1, 1_000)]);
+        let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, 8, 42);
+        let outs = sampler.sample_batch(&batch, 2_100);
+        assert_eq!(outs.len(), 8);
+        let total: usize = outs.iter().map(|o| o.sample.len()).sum();
+        assert_eq!(total, 2_100, "budgets sum exactly to the request");
+        let theta: ThetaStore = outs.into_iter().collect();
+        let est = theta.stratum_estimates();
+        for (stratum, expected) in [(s(0), 20_000.0), (s(1), 1_000.0)] {
+            let got = est[&stratum].count_hat;
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "{stratum}: reconstructed {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sampler_is_deterministic_for_fixed_seed() {
+        // Threaded and inline execution must both reproduce exactly for a
+        // fixed seed — per-shard RNGs make the output independent of the
+        // thread schedule (and of whether threads are used at all).
+        for n in [100usize, 50_000] {
+            let batch = batch_of(&[(0, n), (1, n / 2)]);
+            let run = |seed: u64, threaded: bool| {
+                let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, 4, seed);
+                sampler.set_threaded(threaded);
+                sampler.sample_batch(&batch, n / 5)
+            };
+            let a = run(7, true);
+            let b = run(7, true);
+            assert_eq!(a, b, "fixed seed + workers reproduces samples (n = {n})");
+            let inline = run(7, false);
+            assert_eq!(a, inline, "inline path matches threaded path (n = {n})");
+            let c = run(8, true);
+            assert_ne!(a, c, "different seed diverges (n = {n})");
+        }
+    }
+
+    #[test]
+    fn parallel_sampler_carries_weights_forward() {
+        let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, 2, 3);
+        let mut first = batch_of(&[(0, 8)]);
+        first.weights.set(s(0), 3.0);
+        sampler.sample_batch(&first, 8);
+        // Weightless follow-up: carried 3.0 must reach every shard.
+        let outs = sampler.sample_batch(&batch_of(&[(0, 8)]), 4);
+        let theta: ThetaStore = outs.into_iter().collect();
+        assert!(
+            (theta.count_estimate() - 24.0).abs() < 1e-9,
+            "3.0 carried into both shards: {}",
+            theta.count_estimate()
+        );
+        sampler.reset();
+        let outs = sampler.sample_batch(&batch_of(&[(0, 8)]), 4);
+        let theta: ThetaStore = outs.into_iter().collect();
+        assert!(
+            (theta.count_estimate() - 8.0).abs() < 1e-9,
+            "reset clears carry"
+        );
+    }
+
+    #[test]
+    fn parallel_one_worker_equals_whole_budget() {
+        let batch = batch_of(&[(0, 100)]);
+        let mut sampler = ParallelShardedSampler::new(Allocation::Uniform, 1, 1);
+        let outs = sampler.sample_batch(&batch, 10);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].sample.len(), 10);
+        assert_eq!(outs[0].weights.get(s(0)), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be positive")]
+    fn parallel_rejects_zero_workers() {
+        ParallelShardedSampler::new(Allocation::Uniform, 0, 0);
     }
 
     #[test]

@@ -100,7 +100,11 @@ pub struct InvalidFractionError {
 
 impl std::fmt::Display for InvalidFractionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sampling fraction must be in (0, 1], got {}", self.fraction)
+        write!(
+            f,
+            "sampling fraction must be in (0, 1], got {}",
+            self.fraction
+        )
     }
 }
 
@@ -187,8 +191,9 @@ mod tests {
         // 20-item stratum is missed in a substantial share of runs.
         let mut rng = StdRng::seed_from_u64(4);
         let srs = SrsSampler::new(0.01).expect("valid");
-        let mut items: Vec<StreamItem> =
-            (0..10_000).map(|i| StreamItem::with_meta(StratumId::new(0), 1.0, i, 0)).collect();
+        let mut items: Vec<StreamItem> = (0..10_000)
+            .map(|i| StreamItem::with_meta(StratumId::new(0), 1.0, i, 0))
+            .collect();
         items.extend((0..20).map(|i| StreamItem::with_meta(StratumId::new(1), 1e6, i, 0)));
         let b = Batch::from_items(items);
         let mut missed = 0;
@@ -200,6 +205,9 @@ mod tests {
             }
         }
         // P(miss) = 0.99^20 ≈ 0.818; allow a generous band.
-        assert!(missed > trials / 2, "rare stratum missed only {missed}/{trials} times");
+        assert!(
+            missed > trials / 2,
+            "rare stratum missed only {missed}/{trials} times"
+        );
     }
 }

@@ -13,9 +13,9 @@
 //! `W_out · c̃ = W_in · c` (paper Equation 9), which is what makes the root's
 //! SUM/MEAN estimators unbiased without any cross-node coordination.
 
-use crate::batch::Batch;
+use crate::batch::{Batch, StrataIndex};
 use crate::item::StreamItem;
-use crate::sampling::allocation::Allocation;
+use crate::sampling::allocation::{Allocation, SizingScratch};
 use crate::sampling::reservoir::Reservoir;
 use crate::weight::{WeightMap, WeightStore};
 use rand::Rng;
@@ -106,6 +106,197 @@ pub fn whs_sample<R: Rng + ?Sized>(
     WhsOutput { weights, sample }
 }
 
+/// Reusable zero-allocation `WHSamp` kernel: the Algorithm 1 hot path over
+/// item slices.
+///
+/// This is the engine behind [`WhsSampler`] and the parallel sharded
+/// sampler. It owns every buffer the per-batch loop needs — the
+/// [`StrataIndex`], the per-stratum size table and the selection-sampling
+/// scratch — so that in steady state a call to
+/// [`WhsScratch::sample_slice`] allocates only the returned output. Three
+/// changes versus the original [`whs_sample`] path:
+///
+/// 1. stratification builds contiguous ranges with a reusable
+///    [`StrataIndex`] instead of a fresh `BTreeMap<_, Vec<_>>` of cloned
+///    items — zero item copies when the input already arrives grouped by
+///    stratum;
+/// 2. reservoir sizing runs on slices ([`Allocation::reservoir_sizes_slice`])
+///    instead of allocating two more `BTreeMap`s;
+/// 3. overflowing strata draw a uniform `N_i`-subset with Floyd's
+///    selection sampling — exactly `N_i` cheap uniform draws per stratum
+///    instead of Algorithm R's `O(c_i)`. (Vitter's Algorithm L,
+///    [`crate::SkipReservoir`], already cuts the draws to
+///    `O(N_i·log(c_i/N_i))`, but each of its draws costs two logarithms
+///    and a power; with the whole stratum materialised as a slice there
+///    is no need to *stream* at all, and Floyd's transcendental-free
+///    draws are strictly cheaper. The skip-based reservoir remains the
+///    right tool when items really do arrive one at a time —
+///    [`crate::SkipReservoir::sample_slice`] covers the split-stream case.)
+///
+/// The statistics are unchanged: per-stratum uniform sampling without
+/// replacement and the Equation 1–2 weight update, so the Equation 9
+/// count-reconstruction invariant holds exactly as for [`whs_sample`].
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{Allocation, StratumId, StreamItem, WeightMap, WhsScratch};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut kernel = WhsScratch::new();
+/// let items: Vec<_> = (0..100).map(|i| StreamItem::new(StratumId::new(0), i as f64)).collect();
+/// let out = kernel.sample_slice(&items, 10, &WeightMap::new(), Allocation::Uniform, &mut rng);
+/// assert_eq!(out.sample.len(), 10);
+/// assert_eq!(out.weights.get(StratumId::new(0)), 10.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WhsScratch {
+    index: StrataIndex,
+    sizes: Vec<usize>,
+    counts: Vec<usize>,
+    sizing: SizingScratch,
+    /// Indices chosen by the current Floyd draw.
+    chosen: Vec<u32>,
+    /// One bit per candidate index; bits set during a draw are cleared
+    /// again afterwards, so the buffer stays all-zero between strata.
+    chosen_bits: Vec<u64>,
+}
+
+impl WhsScratch {
+    /// Creates a kernel; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        WhsScratch::default()
+    }
+
+    /// Runs `WHSamp` over `items` with resolved input weights `w_in`.
+    ///
+    /// Equivalent in distribution to
+    /// `whs_sample(&Batch::from_items(items.to_vec()), ...)`, without the
+    /// per-batch allocations (the RNG draw sequences differ, so samples
+    /// are not bit-identical between the two paths).
+    pub fn sample_slice<R: Rng + ?Sized>(
+        &mut self,
+        items: &[StreamItem],
+        sample_size: usize,
+        w_in: &WeightMap,
+        allocation: Allocation,
+        rng: &mut R,
+    ) -> WhsOutput {
+        self.index.build(items);
+        self.sample_indexed(items, sample_size, w_in, allocation, rng)
+    }
+
+    /// The distinct strata of the most recently indexed items, ascending.
+    /// Valid after [`WhsScratch::index_items`].
+    pub fn strata(&self) -> impl Iterator<Item = crate::item::StratumId> + '_ {
+        self.index.strata()
+    }
+
+    /// Builds the stratum index for `items` without sampling yet — used by
+    /// callers that must resolve carried weights between indexing and
+    /// sampling (see [`WhsSampler::sample_batch`]).
+    pub fn index_items(&mut self, items: &[StreamItem]) {
+        self.index.build(items);
+    }
+
+    /// Samples the previously indexed items (Algorithm 1 lines 7–18).
+    /// `items` must be the slice passed to [`WhsScratch::index_items`].
+    pub fn sample_indexed<R: Rng + ?Sized>(
+        &mut self,
+        items: &[StreamItem],
+        sample_size: usize,
+        w_in: &WeightMap,
+        allocation: Allocation,
+        rng: &mut R,
+    ) -> WhsOutput {
+        // Line 7: per-stratum reservoir sizes from the interval budget.
+        self.counts.clear();
+        self.counts.extend(self.index.counts().map(|(_, c)| c));
+        allocation.reservoir_sizes_slice(
+            &self.counts,
+            sample_size,
+            &mut self.sizes,
+            &mut self.sizing,
+        );
+
+        let mut kept_total = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            kept_total += c.min(self.sizes[i]);
+        }
+        let mut weights = WeightMap::new();
+        let mut sample = Vec::with_capacity(kept_total);
+        for (i, (stratum, stratum_items)) in self.index.iter_in(items).enumerate() {
+            let c_i = stratum_items.len();
+            let n_i = self.sizes[i];
+            let input = w_in.get(stratum);
+            if c_i <= n_i {
+                // Whole stratum fits: keep it verbatim, weight unchanged.
+                sample.extend_from_slice(stratum_items);
+                weights.set(stratum, input);
+            } else if n_i == 0 {
+                // Entire stratum dropped; no surviving item can carry the
+                // weight (same rule as `whs_sample`).
+                continue;
+            } else {
+                // Line 10 overflow path: Floyd's selection sampling picks
+                // a uniform n_i-subset with exactly n_i draws.
+                floyd_sample_into(
+                    stratum_items,
+                    n_i,
+                    &mut self.chosen,
+                    &mut self.chosen_bits,
+                    &mut sample,
+                    rng,
+                );
+                // Lines 12–18, Equations 1–2.
+                weights.set(stratum, input * c_i as f64 / n_i as f64);
+            }
+        }
+        WhsOutput { weights, sample }
+    }
+}
+
+/// Appends a uniform `n`-subset of `items` to `out` using Floyd's
+/// selection-sampling algorithm: exactly `n` uniform draws, no
+/// transcendentals, no replacement.
+///
+/// `chosen` and `bits` are caller-owned scratch; `bits` must be all-zero
+/// on entry and is returned all-zero (only the bits set during this draw
+/// are cleared, so the buffer's size never forces a full wipe).
+fn floyd_sample_into<R: Rng + ?Sized>(
+    items: &[StreamItem],
+    n: usize,
+    chosen: &mut Vec<u32>,
+    bits: &mut Vec<u64>,
+    out: &mut Vec<StreamItem>,
+    rng: &mut R,
+) {
+    let c = items.len();
+    debug_assert!(n <= c, "selection needs n <= c");
+    let words = c.div_ceil(64);
+    if bits.len() < words {
+        bits.resize(words, 0);
+    }
+    chosen.clear();
+    for j in (c - n)..c {
+        let t = rng.random_range(0..(j as u64 + 1)) as usize;
+        let pick = if bits[t / 64] >> (t % 64) & 1 == 1 {
+            j
+        } else {
+            t
+        };
+        bits[pick / 64] |= 1 << (pick % 64);
+        chosen.push(pick as u32);
+    }
+    for &i in chosen.iter() {
+        out.push(items[i as usize]);
+    }
+    for &i in chosen.iter() {
+        bits[i as usize / 64] &= !(1 << (i as usize % 64));
+    }
+}
+
 /// Stateful per-node sampler: `WHSamp` plus the paper's Figure 3 weight
 /// carry-forward rule.
 ///
@@ -113,6 +304,12 @@ pub fn whs_sample<R: Rng + ?Sized>(
 /// arrive with partial weight metadata (items and weights can cross interval
 /// boundaries in transit); the sampler resolves missing weights from the
 /// last value seen for that stratum.
+///
+/// Since the hot-path rebuild, the sampler runs on a private
+/// [`WhsScratch`] kernel, so per-batch work is allocation-free apart from
+/// the returned output; see [`WhsScratch`] for what changed versus the
+/// pure [`whs_sample`] function (which is kept as the readable reference
+/// and comparison baseline).
 ///
 /// # Examples
 ///
@@ -130,12 +327,20 @@ pub fn whs_sample<R: Rng + ?Sized>(
 pub struct WhsSampler {
     allocation: Allocation,
     store: WeightStore,
+    scratch: WhsScratch,
+    /// Reusable buffer for weight resolution's distinct-strata scan.
+    strata_scratch: Vec<crate::item::StratumId>,
 }
 
 impl WhsSampler {
     /// Creates a sampler with the given allocation policy.
     pub fn new(allocation: Allocation) -> Self {
-        WhsSampler { allocation, store: WeightStore::new() }
+        WhsSampler {
+            allocation,
+            store: WeightStore::new(),
+            scratch: WhsScratch::new(),
+            strata_scratch: Vec::new(),
+        }
     }
 
     /// The allocation policy in use.
@@ -148,19 +353,30 @@ impl WhsSampler {
     /// fall back to the last value seen. Used by callers that drive
     /// [`whs_sample`] or [`crate::sharded_whs_sample`] themselves.
     pub fn resolve_weights(&mut self, batch: &Batch) -> WeightMap {
-        self.store.resolve(batch.strata(), &batch.weights)
+        crate::batch::distinct_strata_into(&batch.items, &mut self.strata_scratch);
+        let strata = std::mem::take(&mut self.strata_scratch);
+        let resolved = self.store.resolve(strata.iter().copied(), &batch.weights);
+        self.strata_scratch = strata;
+        resolved
     }
 
     /// Runs `WHSamp` on one batch with `sample_size` total reservoir slots,
     /// resolving missing input weights via the carry-forward rule.
+    ///
+    /// Runs on the reusable [`WhsScratch`] kernel: zero steady-state
+    /// allocations beyond the returned output.
     pub fn sample_batch<R: Rng + ?Sized>(
         &mut self,
         batch: &Batch,
         sample_size: usize,
         rng: &mut R,
     ) -> WhsOutput {
-        let resolved = self.store.resolve(batch.strata(), &batch.weights);
-        whs_sample(batch, sample_size, &resolved, self.allocation, rng)
+        self.scratch.index_items(&batch.items);
+        let resolved = self
+            .store
+            .resolve(self.scratch.index.strata(), &batch.weights);
+        self.scratch
+            .sample_indexed(&batch.items, sample_size, &resolved, self.allocation, rng)
     }
 
     /// Forgets all carried weights (used between independent runs).
@@ -209,7 +425,10 @@ mod tests {
         let batch1 = batch_of(&[(1, 4)]);
         let out1 = whs_sample(&batch1, 3, &w_in, Allocation::Uniform, &mut rng);
         assert_eq!(out1.sample.len(), 3);
-        assert!((out1.weights.get(s(1)) - 4.0).abs() < 1e-12, "W_out = 3 * 4/3 = 4");
+        assert!(
+            (out1.weights.get(s(1)) - 4.0).abs() < 1e-12,
+            "W_out = 3 * 4/3 = 4"
+        );
 
         let batch2 = batch_of(&[(2, 2)]);
         let out2 = whs_sample(&batch2, 3, &w_in, Allocation::Uniform, &mut rng);
@@ -244,7 +463,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         // A dominating stratum plus a tiny one; budget well above stratum count.
         let batch = batch_of(&[(0, 10_000), (1, 5)]);
-        let out = whs_sample(&batch, 100, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        let out = whs_sample(
+            &batch,
+            100,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
         let tiny = out.sample.iter().filter(|i| i.stratum == s(1)).count();
         assert_eq!(tiny, 5, "uniform allocation keeps the tiny stratum whole");
     }
@@ -278,17 +503,29 @@ mod tests {
         let mut first = batch_of(&[(0, 2)]);
         first.weights.set(s(0), 1.5);
         let out1 = node.sample_batch(&first, 1, &mut rng);
-        assert!((out1.weights.get(s(0)) - 3.0).abs() < 1e-12, "1.5 * 2/1 = 3");
+        assert!(
+            (out1.weights.get(s(0)) - 3.0).abs() < 1e-12,
+            "1.5 * 2/1 = 3"
+        );
 
         let second = batch_of(&[(0, 2)]); // no weight metadata
         let out2 = node.sample_batch(&second, 1, &mut rng);
-        assert!((out2.weights.get(s(0)) - 3.0).abs() < 1e-12, "carried 1.5 * 2 = 3");
+        assert!(
+            (out2.weights.get(s(0)) - 3.0).abs() < 1e-12,
+            "carried 1.5 * 2 = 3"
+        );
     }
 
     #[test]
     fn empty_batch_yields_empty_output() {
         let mut rng = StdRng::seed_from_u64(11);
-        let out = whs_sample(&Batch::new(), 10, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        let out = whs_sample(
+            &Batch::new(),
+            10,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
         assert!(out.sample.is_empty());
         assert!(out.weights.is_empty());
     }
@@ -299,14 +536,23 @@ mod tests {
         let batch = batch_of(&[(0, 5)]);
         let out = whs_sample(&batch, 0, &WeightMap::new(), Allocation::Uniform, &mut rng);
         assert!(out.sample.is_empty());
-        assert!(out.weights.is_empty(), "fully dropped strata carry no weight");
+        assert!(
+            out.weights.is_empty(),
+            "fully dropped strata carry no weight"
+        );
     }
 
     #[test]
     fn budget_larger_than_batch_is_lossless() {
         let mut rng = StdRng::seed_from_u64(13);
         let batch = batch_of(&[(0, 5), (1, 7)]);
-        let out = whs_sample(&batch, 100, &WeightMap::new(), Allocation::Uniform, &mut rng);
+        let out = whs_sample(
+            &batch,
+            100,
+            &WeightMap::new(),
+            Allocation::Uniform,
+            &mut rng,
+        );
         assert_eq!(out.sample.len(), 12);
         assert_eq!(out.weights.get(s(0)), 1.0);
         assert_eq!(out.weights.get(s(1)), 1.0);
@@ -321,7 +567,11 @@ mod tests {
         node.sample_batch(&first, 10, &mut rng);
         node.reset();
         let out = node.sample_batch(&batch_of(&[(0, 1)]), 10, &mut rng);
-        assert_eq!(out.weights.get(s(0)), 1.0, "after reset unknown strata weigh 1");
+        assert_eq!(
+            out.weights.get(s(0)),
+            1.0,
+            "after reset unknown strata weigh 1"
+        );
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! numerically stable recurrence; [`Summary`] adds min/max. Both merge, so
 //! per-shard statistics combine exactly (Chan et al. parallel variance).
 
-use serde::{Deserialize, Serialize};
-
 /// One-pass mean/variance accumulator (Welford).
 ///
 /// # Examples
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.mean(), 5.0);
 /// assert_eq!(m.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Moments {
     count: u64,
     mean: f64,
@@ -125,7 +123,7 @@ impl Extend<f64> for Moments {
 /// assert_eq!(s.max(), Some(5.0));
 /// assert_eq!(s.moments().count(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     moments: Moments,
     min: f64,
@@ -135,7 +133,11 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { moments: Moments::new(), min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            moments: Moments::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -244,7 +246,11 @@ mod tests {
     fn numerical_stability_with_large_offsets() {
         // Classic catastrophic-cancellation case: large mean, tiny variance.
         let m: Moments = (0..1000).map(|i| 1e9 + (i % 2) as f64).collect();
-        assert!((m.sample_variance() - 0.2502502).abs() < 1e-3, "var {}", m.sample_variance());
+        assert!(
+            (m.sample_variance() - 0.2502502).abs() < 1e-3,
+            "var {}",
+            m.sample_variance()
+        );
     }
 
     #[test]

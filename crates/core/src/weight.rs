@@ -12,7 +12,6 @@
 //! input weight for that stratum. [`WeightStore`] implements exactly that.
 
 use crate::item::StratumId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -31,7 +30,7 @@ use std::fmt;
 /// assert_eq!(w.get(StratumId::new(0)), 1.5);
 /// assert_eq!(w.get(StratumId::new(9)), 1.0); // unknown strata weigh 1
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WeightMap {
     entries: BTreeMap<StratumId, f64>,
 }
@@ -39,7 +38,9 @@ pub struct WeightMap {
 impl WeightMap {
     /// Creates an empty weight map (every stratum implicitly weighs `1.0`).
     pub fn new() -> Self {
-        WeightMap { entries: BTreeMap::new() }
+        WeightMap {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Returns the weight for `stratum`, defaulting to `1.0`.
@@ -149,7 +150,9 @@ pub struct WeightStore {
 impl WeightStore {
     /// Creates an empty store; unknown strata weigh `1.0`.
     pub fn new() -> Self {
-        WeightStore { last_seen: BTreeMap::new() }
+        WeightStore {
+            last_seen: BTreeMap::new(),
+        }
     }
 
     /// Resolves the input weight for a batch of `stratum` items.
@@ -169,7 +172,11 @@ impl WeightStore {
 
     /// Resolves input weights for a whole incoming weight map: explicit
     /// entries update the store, missing strata fall back to carried values.
-    pub fn resolve(&mut self, strata: impl IntoIterator<Item = StratumId>, observed: &WeightMap) -> WeightMap {
+    pub fn resolve(
+        &mut self,
+        strata: impl IntoIterator<Item = StratumId>,
+        observed: &WeightMap,
+    ) -> WeightMap {
         strata
             .into_iter()
             .map(|s| (s, self.input_weight(s, observed.get_explicit(s))))
@@ -273,7 +280,7 @@ mod tests {
         assert_eq!(resolved.get(s(0)), 2.0); // carried
         assert_eq!(resolved.get(s(1)), 4.0); // explicit
         assert_eq!(resolved.get(s(2)), 1.0); // default
-        // The explicit observation is now remembered.
+                                             // The explicit observation is now remembered.
         assert_eq!(store.input_weight(s(1), None), 4.0);
     }
 

@@ -138,7 +138,10 @@ mod tests {
     fn duplicate_creation_fails() {
         let broker = Broker::new();
         broker.create_topic("a", 1).expect("create");
-        assert!(matches!(broker.create_topic("a", 1), Err(MqError::TopicExists(_))));
+        assert!(matches!(
+            broker.create_topic("a", 1),
+            Err(MqError::TopicExists(_))
+        ));
     }
 
     #[test]
@@ -156,7 +159,10 @@ mod tests {
         let t = broker.create_topic("a", 1).expect("create");
         broker.delete_topic("a").expect("delete");
         assert!(matches!(broker.topic("a"), Err(MqError::UnknownTopic(_))));
-        assert!(matches!(t.append(ProducerRecord::new(&b"x"[..])), Err(MqError::Closed)));
+        assert!(matches!(
+            t.append(ProducerRecord::new(&b"x"[..])),
+            Err(MqError::Closed)
+        ));
         assert!(broker.delete_topic("a").is_err());
     }
 
@@ -177,7 +183,10 @@ mod tests {
                 thread::spawn(move || broker.topic_or_create("shared", 2))
             })
             .collect();
-        let topics: Vec<_> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+        let topics: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect();
         for t in &topics[1..] {
             assert!(Arc::ptr_eq(&topics[0], t));
         }

@@ -98,7 +98,9 @@ pub fn decode_batch(frame: &[u8]) -> Result<Batch, MqError> {
         let stratum = StratumId::new(buf.get_u32_le());
         let weight = buf.get_f64_le();
         if !weight.is_finite() || weight < 1.0 - 1e-9 {
-            return Err(MqError::Codec(format!("invalid weight {weight} for {stratum}")));
+            return Err(MqError::Codec(format!(
+                "invalid weight {weight} for {stratum}"
+            )));
         }
         weights.set(stratum, weight);
     }
@@ -118,7 +120,10 @@ pub fn decode_batch(frame: &[u8]) -> Result<Batch, MqError> {
         items.push(StreamItem::with_meta(stratum, value, seq, source_ts));
     }
     if buf.has_remaining() {
-        return Err(MqError::Codec(format!("{} trailing bytes", buf.remaining())));
+        return Err(MqError::Codec(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
     }
     Ok(Batch::with_weights(weights, items))
 }

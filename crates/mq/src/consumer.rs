@@ -71,7 +71,11 @@ impl Consumer {
                 offsets.insert(p, offset);
             }
         }
-        Consumer { topic, offsets, cursor: 0 }
+        Consumer {
+            topic,
+            offsets,
+            cursor: 0,
+        }
     }
 
     /// The topic this consumer reads.
@@ -174,7 +178,11 @@ impl Consumer {
     ///
     /// Returns [`MqError::Closed`] when drained-and-closed, or
     /// [`MqError::Codec`] on a corrupt frame.
-    pub fn poll_batches(&mut self, max: usize, timeout: Duration) -> Result<Vec<(Record, Batch)>, MqError> {
+    pub fn poll_batches(
+        &mut self,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(Record, Batch)>, MqError> {
         let records = self.poll(max, timeout)?;
         records
             .into_iter()
@@ -223,7 +231,10 @@ impl Consumer {
         self.offsets
             .iter()
             .filter_map(|(&p, &o)| {
-                self.topic.partition(p).ok().map(|log| log.latest_offset().saturating_sub(o))
+                self.topic
+                    .partition(p)
+                    .ok()
+                    .map(|log| log.latest_offset().saturating_sub(o))
             })
             .sum()
     }
@@ -325,13 +336,18 @@ mod tests {
         // Drain the remaining record first.
         let got = consumer.poll(10, Duration::ZERO).expect("poll");
         assert_eq!(got.len(), 1);
-        assert!(matches!(consumer.poll(10, Duration::ZERO), Err(MqError::Closed)));
+        assert!(matches!(
+            consumer.poll(10, Duration::ZERO),
+            Err(MqError::Closed)
+        ));
     }
 
     #[test]
     fn retention_reset_recovers_lost_offsets() {
         let broker = Broker::new();
-        let topic = broker.create_topic_with_retention("t", 1, 2).expect("create");
+        let topic = broker
+            .create_topic_with_retention("t", 1, 2)
+            .expect("create");
         let producer = BatchProducer::new(Arc::clone(&topic));
         let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
         for i in 0..10 {
@@ -371,7 +387,11 @@ mod tests {
     fn assign_partitions_round_robin() {
         assert_eq!(assign_partitions(4, 2), vec![vec![0, 2], vec![1, 3]]);
         assert_eq!(assign_partitions(2, 3), vec![vec![0], vec![1], vec![]]);
-        assert_eq!(assign_partitions(3, 0), vec![vec![0, 1, 2]], "zero members clamped to one");
+        assert_eq!(
+            assign_partitions(3, 0),
+            vec![vec![0, 1, 2]],
+            "zero members clamped to one"
+        );
     }
 
     #[test]
@@ -428,10 +448,13 @@ mod committed_offset_tests {
         producer.send_to(0, &b(1.0), 0).expect("send");
         producer.send_to(1, &b(2.0), 0).expect("send");
         store.commit("g", "t", 0, 1); // partition 0 fully consumed
-        let mut consumer =
-            Consumer::subscribe_committed(topic, "g", &store, StartOffset::Earliest);
+        let mut consumer = Consumer::subscribe_committed(topic, "g", &store, StartOffset::Earliest);
         let got = consumer.poll(10, Duration::ZERO).expect("poll");
-        assert_eq!(got.len(), 1, "only partition 1 (fallback earliest) has data left");
+        assert_eq!(
+            got.len(),
+            1,
+            "only partition 1 (fallback earliest) has data left"
+        );
         assert_eq!(got[0].partition, 1);
     }
 }

@@ -35,11 +35,23 @@ impl fmt::Display for MqError {
         match self {
             MqError::UnknownTopic(name) => write!(f, "unknown topic `{name}`"),
             MqError::TopicExists(name) => write!(f, "topic `{name}` already exists"),
-            MqError::PartitionOutOfRange { partition, partitions } => {
-                write!(f, "partition {partition} out of range (topic has {partitions})")
+            MqError::PartitionOutOfRange {
+                partition,
+                partitions,
+            } => {
+                write!(
+                    f,
+                    "partition {partition} out of range (topic has {partitions})"
+                )
             }
-            MqError::OffsetOutOfRange { requested, earliest } => {
-                write!(f, "offset {requested} truncated by retention (earliest is {earliest})")
+            MqError::OffsetOutOfRange {
+                requested,
+                earliest,
+            } => {
+                write!(
+                    f,
+                    "offset {requested} truncated by retention (earliest is {earliest})"
+                )
             }
             MqError::Closed => write!(f, "broker is closed"),
             MqError::Codec(msg) => write!(f, "codec error: {msg}"),
@@ -55,15 +67,26 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(MqError::UnknownTopic("t".into()).to_string(), "unknown topic `t`");
-        assert!(MqError::PartitionOutOfRange { partition: 5, partitions: 2 }
-            .to_string()
-            .contains("out of range"));
-        assert!(MqError::OffsetOutOfRange { requested: 1, earliest: 10 }
-            .to_string()
-            .contains("truncated"));
+        assert_eq!(
+            MqError::UnknownTopic("t".into()).to_string(),
+            "unknown topic `t`"
+        );
+        assert!(MqError::PartitionOutOfRange {
+            partition: 5,
+            partitions: 2
+        }
+        .to_string()
+        .contains("out of range"));
+        assert!(MqError::OffsetOutOfRange {
+            requested: 1,
+            earliest: 10
+        }
+        .to_string()
+        .contains("truncated"));
         assert_eq!(MqError::Closed.to_string(), "broker is closed");
-        assert!(MqError::Codec("bad magic".into()).to_string().contains("bad magic"));
+        assert!(MqError::Codec("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 
     #[test]

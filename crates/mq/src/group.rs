@@ -66,7 +66,10 @@ pub struct GroupCoordinator {
 impl GroupCoordinator {
     /// Creates a coordinator for `topic`.
     pub fn new(topic: Arc<Topic>) -> Self {
-        GroupCoordinator { topic, state: Mutex::new(GroupState::default()) }
+        GroupCoordinator {
+            topic,
+            state: Mutex::new(GroupState::default()),
+        }
     }
 
     /// The coordinated topic.
@@ -133,7 +136,11 @@ impl GroupCoordinator {
         let membership = self
             .assignment(member_id)
             .ok_or_else(|| MqError::UnknownTopic(format!("member {member_id}")))?;
-        Ok(Consumer::subscribe(Arc::clone(&self.topic), &membership.partitions, start))
+        Ok(Consumer::subscribe(
+            Arc::clone(&self.topic),
+            &membership.partitions,
+            start,
+        ))
     }
 
     fn rebalance(state: &mut GroupState, partitions: u32) {
@@ -191,11 +198,18 @@ mod tests {
         let a = group.join();
         let g1 = a.generation;
         let b = group.join();
-        assert!(b.generation > g1, "generation must move on membership change");
+        assert!(
+            b.generation > g1,
+            "generation must move on membership change"
+        );
         let a_now = group.assignment(a.member_id).expect("member");
         let b_now = group.assignment(b.member_id).expect("member");
-        let mut all: Vec<u32> =
-            a_now.partitions.iter().chain(b_now.partitions.iter()).copied().collect();
+        let mut all: Vec<u32> = a_now
+            .partitions
+            .iter()
+            .chain(b_now.partitions.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3], "partitions exactly partitioned");
         assert!(!a_now.partitions.is_empty() && !b_now.partitions.is_empty());
@@ -219,7 +233,13 @@ mod tests {
         let members: Vec<_> = (0..4).map(|_| group.join()).collect();
         let sizes: Vec<usize> = members
             .iter()
-            .map(|m| group.assignment(m.member_id).expect("member").partitions.len())
+            .map(|m| {
+                group
+                    .assignment(m.member_id)
+                    .expect("member")
+                    .partitions
+                    .len()
+            })
             .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 2);
         assert!(sizes.iter().filter(|&&s| s == 0).count() == 2);
@@ -232,14 +252,14 @@ mod tests {
         let a = group.join();
         let b = group.join();
         for p in 0..4 {
-            let batch =
-                Batch::from_items(vec![StreamItem::new(StratumId::new(p), p as f64)]);
+            let batch = Batch::from_items(vec![StreamItem::new(StratumId::new(p), p as f64)]);
             producer.send_to(p, &batch, 0).expect("send");
         }
         let mut got = Vec::new();
         for m in [a, b] {
-            let mut consumer =
-                group.consumer(m.member_id, StartOffset::Earliest).expect("member");
+            let mut consumer = group
+                .consumer(m.member_id, StartOffset::Earliest)
+                .expect("member");
             got.extend(consumer.poll(10, Duration::ZERO).expect("poll"));
         }
         assert_eq!(got.len(), 4, "each record delivered to exactly one member");

@@ -89,7 +89,10 @@ impl PartitionLog {
     ) -> Result<Vec<Record>, MqError> {
         let mut state = self.state.lock();
         if offset < state.earliest {
-            return Err(MqError::OffsetOutOfRange { requested: offset, earliest: state.earliest });
+            return Err(MqError::OffsetOutOfRange {
+                requested: offset,
+                earliest: state.earliest,
+            });
         }
         if offset >= state.next {
             if state.closed {
@@ -98,12 +101,22 @@ impl PartitionLog {
             // Wait for an append or timeout.
             self.appended.wait_for(&mut state, timeout);
             if offset >= state.next {
-                return if state.closed { Err(MqError::Closed) } else { Ok(Vec::new()) };
+                return if state.closed {
+                    Err(MqError::Closed)
+                } else {
+                    Ok(Vec::new())
+                };
             }
         }
         let start = (offset - state.earliest) as usize;
         let end = state.records.len().min(start + max);
-        Ok(state.records.iter().skip(start).take(end - start).cloned().collect())
+        Ok(state
+            .records
+            .iter()
+            .skip(start)
+            .take(end - start)
+            .cloned()
+            .collect())
     }
 
     /// Earliest retained offset.
@@ -184,7 +197,9 @@ mod tests {
     #[test]
     fn empty_read_times_out_with_no_data() {
         let log = PartitionLog::new(0, usize::MAX);
-        let got = log.read_from(0, 10, Duration::from_millis(5)).expect("read");
+        let got = log
+            .read_from(0, 10, Duration::from_millis(5))
+            .expect("read");
         assert!(got.is_empty());
     }
 
@@ -197,7 +212,13 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.earliest_offset(), 2);
         let err = log.read_from(0, 10, Duration::ZERO).unwrap_err();
-        assert_eq!(err, MqError::OffsetOutOfRange { requested: 0, earliest: 2 });
+        assert_eq!(
+            err,
+            MqError::OffsetOutOfRange {
+                requested: 0,
+                earliest: 2
+            }
+        );
         let got = log.read_from(2, 10, Duration::ZERO).expect("read");
         assert_eq!(got.len(), 3);
     }
@@ -225,7 +246,10 @@ mod tests {
         // Reads of existing data still work...
         assert_eq!(log.read_from(0, 10, Duration::ZERO).expect("read").len(), 1);
         // ...but reading past the end reports Closed instead of blocking.
-        assert_eq!(log.read_from(1, 10, Duration::from_secs(5)).unwrap_err(), MqError::Closed);
+        assert_eq!(
+            log.read_from(1, 10, Duration::from_secs(5)).unwrap_err(),
+            MqError::Closed
+        );
         assert!(log.is_closed());
     }
 

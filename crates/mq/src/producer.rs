@@ -64,10 +64,16 @@ impl BatchProducer {
     /// Returns [`MqError::Closed`] once the topic is closed.
     pub fn send_at(&self, batch: &Batch, timestamp: u64) -> Result<(u32, u64), MqError> {
         let frame = encode_batch(batch);
-        self.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.items_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        self.topic.append(ProducerRecord { key: None, value: frame, timestamp })
+        self.items_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.topic.append(ProducerRecord {
+            key: None,
+            value: frame,
+            timestamp,
+        })
     }
 
     /// Publishes to a specific partition (used when each source owns a
@@ -76,12 +82,26 @@ impl BatchProducer {
     /// # Errors
     ///
     /// Returns [`MqError::PartitionOutOfRange`] or [`MqError::Closed`].
-    pub fn send_to(&self, partition: u32, batch: &Batch, timestamp: u64) -> Result<(u32, u64), MqError> {
+    pub fn send_to(
+        &self,
+        partition: u32,
+        batch: &Batch,
+        timestamp: u64,
+    ) -> Result<(u32, u64), MqError> {
         let frame = encode_batch(batch);
-        self.bytes_sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.items_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        self.topic.append_to(partition, ProducerRecord { key: None, value: frame, timestamp })
+        self.items_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.topic.append_to(
+            partition,
+            ProducerRecord {
+                key: None,
+                value: frame,
+                timestamp,
+            },
+        )
     }
 
     /// Total encoded bytes published.
@@ -107,7 +127,9 @@ mod tests {
     use approxiot_core::{StratumId, StreamItem};
 
     fn batch(n: usize) -> Batch {
-        (0..n).map(|i| StreamItem::new(StratumId::new(0), i as f64)).collect()
+        (0..n)
+            .map(|i| StreamItem::new(StratumId::new(0), i as f64))
+            .collect()
     }
 
     #[test]
@@ -131,7 +153,10 @@ mod tests {
         let after_small = producer.bytes_sent();
         producer.send(&batch(100)).expect("send");
         let big = producer.bytes_sent() - after_small;
-        assert!(big > after_small, "100-item frame larger than 10-item frame");
+        assert!(
+            big > after_small,
+            "100-item frame larger than 10-item frame"
+        );
     }
 
     #[test]

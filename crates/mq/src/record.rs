@@ -45,7 +45,11 @@ pub struct ProducerRecord {
 impl ProducerRecord {
     /// Creates a record carrying `value` with no key.
     pub fn new(value: impl Into<Bytes>) -> Self {
-        ProducerRecord { key: None, value: value.into(), timestamp: 0 }
+        ProducerRecord {
+            key: None,
+            value: value.into(),
+            timestamp: 0,
+        }
     }
 
     /// Sets the partitioning key.
@@ -67,7 +71,9 @@ mod tests {
 
     #[test]
     fn producer_record_builder() {
-        let r = ProducerRecord::new(&b"payload"[..]).with_key(&b"k"[..]).with_timestamp(42);
+        let r = ProducerRecord::new(&b"payload"[..])
+            .with_key(&b"k"[..])
+            .with_timestamp(42);
         assert_eq!(r.key.as_deref(), Some(&b"k"[..]));
         assert_eq!(r.value.as_ref(), b"payload");
         assert_eq!(r.timestamp, 42);

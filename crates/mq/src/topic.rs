@@ -3,8 +3,8 @@
 use crate::error::MqError;
 use crate::log::PartitionLog;
 use crate::record::{ProducerRecord, Record};
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How a topic assigns keyless records to partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,7 +37,9 @@ impl Topic {
         assert!(partitions > 0, "a topic needs at least one partition");
         Topic {
             name: name.into(),
-            partitions: (0..partitions).map(|i| Arc::new(PartitionLog::new(i, retention))).collect(),
+            partitions: (0..partitions)
+                .map(|i| Arc::new(PartitionLog::new(i, retention)))
+                .collect(),
             partitioner: Partitioner::RoundRobin,
             round_robin: AtomicU64::new(0),
         }
@@ -65,10 +67,13 @@ impl Topic {
     ///
     /// Returns [`MqError::PartitionOutOfRange`] for a bad index.
     pub fn partition(&self, index: u32) -> Result<Arc<PartitionLog>, MqError> {
-        self.partitions.get(index as usize).cloned().ok_or(MqError::PartitionOutOfRange {
-            partition: index,
-            partitions: self.partition_count(),
-        })
+        self.partitions
+            .get(index as usize)
+            .cloned()
+            .ok_or(MqError::PartitionOutOfRange {
+                partition: index,
+                partitions: self.partition_count(),
+            })
     }
 
     /// All partitions, in index order.
@@ -83,7 +88,9 @@ impl Topic {
         match &record.key {
             Some(key) => (fnv1a(key) % n) as u32,
             None => match self.partitioner {
-                Partitioner::RoundRobin => (self.round_robin.fetch_add(1, Ordering::Relaxed) % n) as u32,
+                Partitioner::RoundRobin => {
+                    (self.round_robin.fetch_add(1, Ordering::Relaxed) % n) as u32
+                }
                 Partitioner::Sticky => 0,
             },
         }
@@ -162,7 +169,9 @@ mod tests {
         let topic = Topic::new("t", 3, usize::MAX);
         let mut hit = [0usize; 3];
         for _ in 0..9 {
-            let (p, _) = topic.append(ProducerRecord::new(&b"x"[..])).expect("append");
+            let (p, _) = topic
+                .append(ProducerRecord::new(&b"x"[..]))
+                .expect("append");
             hit[p as usize] += 1;
         }
         assert_eq!(hit, [3, 3, 3]);
@@ -172,7 +181,9 @@ mod tests {
     fn sticky_partitioner_stays_on_zero() {
         let topic = Topic::new("t", 3, usize::MAX).with_partitioner(Partitioner::Sticky);
         for _ in 0..5 {
-            let (p, _) = topic.append(ProducerRecord::new(&b"x"[..])).expect("append");
+            let (p, _) = topic
+                .append(ProducerRecord::new(&b"x"[..]))
+                .expect("append");
             assert_eq!(p, 0);
         }
     }
@@ -190,7 +201,10 @@ mod tests {
         let topic = Topic::new("t", 2, usize::MAX);
         assert!(matches!(
             topic.partition(5),
-            Err(MqError::PartitionOutOfRange { partition: 5, partitions: 2 })
+            Err(MqError::PartitionOutOfRange {
+                partition: 5,
+                partitions: 2
+            })
         ));
         assert!(topic.append_to(9, ProducerRecord::new(&b"x"[..])).is_err());
     }
@@ -214,7 +228,10 @@ mod tests {
     fn close_propagates_to_partitions() {
         let topic = Topic::new("t", 2, usize::MAX);
         topic.close();
-        assert!(matches!(topic.append(ProducerRecord::new(&b"x"[..])), Err(MqError::Closed)));
+        assert!(matches!(
+            topic.append(ProducerRecord::new(&b"x"[..])),
+            Err(MqError::Closed)
+        ));
     }
 
     #[test]

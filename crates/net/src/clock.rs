@@ -41,7 +41,9 @@ pub struct WallClock {
 impl WallClock {
     /// Creates a wall clock whose epoch is "now".
     pub fn new() -> Self {
-        WallClock { epoch: Instant::now() }
+        WallClock {
+            epoch: Instant::now(),
+        }
     }
 }
 
@@ -90,7 +92,8 @@ impl SimClock {
 
     /// Advances the clock by `duration` and returns the new time.
     pub fn advance(&self, duration: Duration) -> u64 {
-        self.nanos.fetch_add(duration.as_nanos() as u64, Ordering::SeqCst)
+        self.nanos
+            .fetch_add(duration.as_nanos() as u64, Ordering::SeqCst)
             + duration.as_nanos() as u64
     }
 

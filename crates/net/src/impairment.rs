@@ -36,7 +36,11 @@ pub struct Impairment {
 impl Impairment {
     /// Creates an impairment source with no jitter and no loss.
     pub fn new(seed: u64) -> Self {
-        Impairment { state: seed.max(1), jitter: Duration::ZERO, loss: 0.0 }
+        Impairment {
+            state: seed.max(1),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+        }
     }
 
     /// Adds uniform jitter in `[0, jitter)` to each message's delay.
@@ -121,8 +125,12 @@ mod tests {
 
     #[test]
     fn same_seed_same_decisions() {
-        let mut a = Impairment::new(5).with_loss(0.5).with_jitter(Duration::from_millis(3));
-        let mut b = Impairment::new(5).with_loss(0.5).with_jitter(Duration::from_millis(3));
+        let mut a = Impairment::new(5)
+            .with_loss(0.5)
+            .with_jitter(Duration::from_millis(3));
+        let mut b = Impairment::new(5)
+            .with_loss(0.5)
+            .with_jitter(Duration::from_millis(3));
         for _ in 0..100 {
             assert_eq!(a.drops(), b.drops());
             assert_eq!(a.extra_delay(), b.extra_delay());

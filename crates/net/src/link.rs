@@ -53,7 +53,10 @@ impl LinkConfig {
 
     /// A link with propagation delay only.
     pub fn with_delay(delay: Duration) -> Self {
-        LinkConfig { delay, ..LinkConfig::ideal() }
+        LinkConfig {
+            delay,
+            ..LinkConfig::ideal()
+        }
     }
 
     /// Adds uniform jitter in `[0, jitter)` per message.
@@ -112,7 +115,11 @@ impl<T> LinkSender<T> {
     pub fn send(&self, msg: T, size: u64) -> Result<(), LinkClosed> {
         self.metrics.record_send(size);
         self.tx
-            .send(InFlight { msg, size, enqueued: self.epoch.elapsed() })
+            .send(InFlight {
+                msg,
+                size,
+                enqueued: self.epoch.elapsed(),
+            })
             .map_err(|_| LinkClosed)
     }
 
@@ -124,7 +131,11 @@ impl<T> LinkSender<T> {
 
 impl<T> Clone for LinkSender<T> {
     fn clone(&self) -> Self {
-        LinkSender { tx: self.tx.clone(), metrics: self.metrics.clone(), epoch: self.epoch }
+        LinkSender {
+            tx: self.tx.clone(),
+            metrics: self.metrics.clone(),
+            epoch: self.epoch,
+        }
     }
 }
 
@@ -180,7 +191,15 @@ impl Link {
             .name("approxiot-link-pump".into())
             .spawn(move || pump_loop(in_rx, out_tx, config, epoch))
             .expect("spawn link pump thread");
-        (LinkSender { tx: in_tx, metrics, epoch }, out_rx, pump)
+        (
+            LinkSender {
+                tx: in_tx,
+                metrics,
+                epoch,
+            },
+            out_rx,
+            pump,
+        )
     }
 }
 
@@ -206,9 +225,7 @@ fn pump_loop<T: Send>(
             continue; // lost on the wire
         }
         let tx_time = match config.capacity_bytes_per_sec {
-            Some(bps) if bps > 0 => {
-                Duration::from_secs_f64(in_flight.size as f64 / bps as f64)
-            }
+            Some(bps) if bps > 0 => Duration::from_secs_f64(in_flight.size as f64 / bps as f64),
             _ => Duration::ZERO,
         };
         // The message starts serialising when both it has arrived at the
@@ -245,8 +262,7 @@ mod tests {
 
     #[test]
     fn delay_is_applied() {
-        let (tx, rx, _pump) =
-            Link::connect(LinkConfig::with_delay(Duration::from_millis(20)));
+        let (tx, rx, _pump) = Link::connect(LinkConfig::with_delay(Duration::from_millis(20)));
         let t0 = Instant::now();
         tx.send((), 1).expect("send");
         rx.recv().expect("recv");
@@ -274,8 +290,7 @@ mod tests {
     fn pipelining_overlaps_delay_not_bandwidth() {
         // With pure propagation delay, N messages take ~delay total, not
         // N * delay: the link pipelines.
-        let (tx, rx, _pump) =
-            Link::connect(LinkConfig::with_delay(Duration::from_millis(30)));
+        let (tx, rx, _pump) = Link::connect(LinkConfig::with_delay(Duration::from_millis(30)));
         let t0 = Instant::now();
         for _ in 0..10 {
             tx.send((), 1).expect("send");
@@ -284,7 +299,10 @@ mod tests {
             rx.recv().expect("recv");
         }
         let elapsed = t0.elapsed();
-        assert!(elapsed < Duration::from_millis(300), "pipelined, got {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "pipelined, got {elapsed:?}"
+        );
         assert!(elapsed >= Duration::from_millis(30));
     }
 
@@ -360,6 +378,10 @@ mod impairment_tests {
             tx.send(i, 1).expect("send");
         }
         let got: Vec<i32> = (0..50).map(|_| rx.recv().expect("recv")).collect();
-        assert_eq!(got, (0..50).collect::<Vec<_>>(), "FIFO preserved under jitter");
+        assert_eq!(
+            got,
+            (0..50).collect::<Vec<_>>(),
+            "FIFO preserved under jitter"
+        );
     }
 }

@@ -46,7 +46,10 @@ impl RateLimiter {
         RateLimiter {
             bytes_per_sec: bytes_per_sec as f64,
             burst: burst as f64,
-            state: Mutex::new(BucketState { tokens: burst as f64, last_refill: Instant::now() }),
+            state: Mutex::new(BucketState {
+                tokens: burst as f64,
+                last_refill: Instant::now(),
+            }),
         }
     }
 

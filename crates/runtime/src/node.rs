@@ -3,7 +3,7 @@
 //! baseline or the native (no sampling) execution.
 
 use approxiot_core::{
-    Allocation, Batch, CostFunction, SamplingBudget, SrsSampler, WhsSampler,
+    Allocation, Batch, CostFunction, ParallelShardedSampler, SamplingBudget, SrsSampler, WhsSampler,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +25,9 @@ pub enum Strategy {
 impl Strategy {
     /// The default ApproxIoT strategy (uniform allocation).
     pub fn whs() -> Self {
-        Strategy::Whs { allocation: Allocation::Uniform }
+        Strategy::Whs {
+            allocation: Allocation::Uniform,
+        }
     }
 
     /// Short label for reports ("approxiot", "srs", "native").
@@ -64,6 +66,9 @@ pub struct SamplingNode {
     budget: SamplingBudget,
     whs: WhsSampler,
     srs: Option<SrsSampler>,
+    /// §III-E parallel sharding engine, present when the node was built
+    /// with more than one worker and runs the WHS strategy.
+    parallel: Option<ParallelShardedSampler>,
     rng: StdRng,
     items_in: u64,
     items_out: u64,
@@ -80,6 +85,28 @@ impl SamplingNode {
         fraction: f64,
         seed: u64,
     ) -> Result<Self, approxiot_core::BudgetError> {
+        SamplingNode::with_workers(strategy, fraction, seed, 1)
+    }
+
+    /// Creates a node whose WHS sampling runs on `workers` parallel shards
+    /// (the paper's §III-E distributed execution). `workers == 1` is the
+    /// plain single-threaded node; non-WHS strategies ignore the worker
+    /// count (their samplers are per-item and already cheap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] unless `0 < fraction <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(
+        strategy: Strategy,
+        fraction: f64,
+        seed: u64,
+        workers: usize,
+    ) -> Result<Self, approxiot_core::BudgetError> {
+        assert!(workers > 0, "workers must be positive");
         let budget = SamplingBudget::new(fraction)?;
         // The budget already validated the (0, 1] domain SrsSampler requires.
         let srs = match strategy {
@@ -90,11 +117,24 @@ impl SamplingNode {
             Strategy::Whs { allocation } => allocation,
             _ => Allocation::Uniform,
         };
+        let parallel = match strategy {
+            Strategy::Whs { allocation } if workers > 1 => {
+                // Deterministic shard seeds derive from the node seed; the
+                // mixing constant keeps them disjoint from the node RNG.
+                Some(ParallelShardedSampler::new(
+                    allocation,
+                    workers,
+                    seed ^ 0x5A4D_BEEF,
+                ))
+            }
+            _ => None,
+        };
         Ok(SamplingNode {
             strategy,
             budget,
             whs: WhsSampler::new(allocation),
             srs,
+            parallel,
             rng: StdRng::seed_from_u64(seed),
             items_in: 0,
             items_out: 0,
@@ -104,6 +144,13 @@ impl SamplingNode {
     /// The node's strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Worker shards the node samples with (1 = unsharded).
+    pub fn workers(&self) -> usize {
+        self.parallel
+            .as_ref()
+            .map_or(1, ParallelShardedSampler::workers)
     }
 
     /// The node's sampling fraction.
@@ -130,10 +177,15 @@ impl SamplingNode {
         let out = match self.strategy {
             Strategy::Whs { .. } => {
                 let size = self.budget.sample_size(batch.len());
-                self.whs.sample_batch(batch, size, &mut self.rng).into_batch()
+                self.whs
+                    .sample_batch(batch, size, &mut self.rng)
+                    .into_batch()
             }
             Strategy::Srs => {
-                let srs = self.srs.as_ref().expect("srs sampler present for Srs strategy");
+                let srs = self
+                    .srs
+                    .as_ref()
+                    .expect("srs sampler present for Srs strategy");
                 Batch::from_items(srs.sample(batch, &mut self.rng))
             }
             Strategy::Native => batch.clone(),
@@ -183,6 +235,32 @@ impl SamplingNode {
         }
     }
 
+    /// Processes one batch on the node's parallel shard pool (§III-E,
+    /// [`ParallelShardedSampler`]): one output batch per worker shard,
+    /// sampled concurrently on scoped threads.
+    ///
+    /// Falls back to a single [`SamplingNode::process_batch`] output when
+    /// the node was built with one worker or runs a non-WHS strategy.
+    /// Carried weights share the same store as the unsharded path, so the
+    /// two entry points can be mixed freely.
+    pub fn process_batch_parallel(&mut self, batch: &Batch) -> Vec<Batch> {
+        let Some(parallel) = self.parallel.as_mut() else {
+            return vec![self.process_batch(batch)];
+        };
+        self.items_in += batch.len() as u64;
+        let size = self.budget.sample_size(batch.len());
+        // Resolve carried weights through the node's single weight store.
+        let resolved = self.whs.resolve_weights(batch);
+        let outs = parallel.sample_with_weights(&batch.items, size, &resolved);
+        outs.into_iter()
+            .filter(|o| !o.sample.is_empty())
+            .map(|o| {
+                self.items_out += o.sample.len() as u64;
+                o.into_batch()
+            })
+            .collect()
+    }
+
     /// Items received so far.
     pub fn items_in(&self) -> u64 {
         self.items_in
@@ -210,7 +288,12 @@ mod tests {
         let mut items = Vec::new();
         for &(stratum, n) in counts {
             for k in 0..n {
-                items.push(StreamItem::with_meta(StratumId::new(stratum), 1.0, k as u64, 0));
+                items.push(StreamItem::with_meta(
+                    StratumId::new(stratum),
+                    1.0,
+                    k as u64,
+                    0,
+                ));
             }
         }
         Batch::from_items(items)
@@ -230,7 +313,11 @@ mod tests {
     fn srs_node_flips_coins() {
         let mut node = SamplingNode::new(Strategy::Srs, 0.5, 2).expect("valid");
         let out = node.process_batch(&batch(&[(0, 10_000)]));
-        assert!((out.len() as f64 - 5_000.0).abs() < 300.0, "got {}", out.len());
+        assert!(
+            (out.len() as f64 - 5_000.0).abs() < 300.0,
+            "got {}",
+            out.len()
+        );
         assert!(out.weights.is_empty(), "SRS carries no weight metadata");
     }
 
@@ -299,7 +386,9 @@ mod sharded_tests {
 
     fn batch(n: usize) -> Batch {
         Batch::from_items(
-            (0..n).map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0)).collect(),
+            (0..n)
+                .map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0))
+                .collect(),
         )
     }
 
@@ -318,7 +407,10 @@ mod sharded_tests {
         let outs = node.process_batch_sharded(&batch(500), 5);
         let theta: ThetaStore = outs
             .into_iter()
-            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .map(|b| WhsOutput {
+                weights: b.weights,
+                sample: b.items,
+            })
             .collect();
         assert!((theta.count_estimate() - 500.0).abs() < 1e-9);
     }
@@ -341,9 +433,15 @@ mod sharded_tests {
         let outs = node.process_batch_sharded(&batch(8), 2);
         let theta: ThetaStore = outs
             .into_iter()
-            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .map(|b| WhsOutput {
+                weights: b.weights,
+                sample: b.items,
+            })
             .collect();
-        assert!((theta.count_estimate() - 24.0).abs() < 1e-9, "3.0 * 8 items");
+        assert!(
+            (theta.count_estimate() - 24.0).abs() < 1e-9,
+            "3.0 * 8 items"
+        );
     }
 
     #[test]
@@ -351,5 +449,61 @@ mod sharded_tests {
     fn zero_workers_rejected() {
         let mut node = SamplingNode::new(Strategy::whs(), 0.5, 5).expect("valid");
         node.process_batch_sharded(&batch(1), 0);
+    }
+
+    #[test]
+    fn parallel_node_emits_one_batch_per_worker() {
+        let mut node = SamplingNode::with_workers(Strategy::whs(), 0.1, 1, 4).expect("valid");
+        assert_eq!(node.workers(), 4);
+        let outs = node.process_batch_parallel(&batch(100_000));
+        assert_eq!(outs.len(), 4);
+        let total: usize = outs.iter().map(Batch::len).sum();
+        assert_eq!(total, 10_000);
+        assert_eq!(node.items_out(), 10_000);
+    }
+
+    #[test]
+    fn parallel_node_outputs_reconstruct_the_count() {
+        let mut node = SamplingNode::with_workers(Strategy::whs(), 0.2, 2, 5).expect("valid");
+        let outs = node.process_batch_parallel(&batch(50_000));
+        let theta: ThetaStore = outs
+            .into_iter()
+            .map(|b| WhsOutput {
+                weights: b.weights,
+                sample: b.items,
+            })
+            .collect();
+        assert!((theta.count_estimate() - 50_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_node_with_one_worker_falls_back_to_single_output() {
+        let mut node = SamplingNode::with_workers(Strategy::whs(), 0.5, 3, 1).expect("valid");
+        assert_eq!(node.workers(), 1);
+        let outs = node.process_batch_parallel(&batch(10));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].len(), 5);
+    }
+
+    #[test]
+    fn parallel_node_shares_carried_weights_with_unsharded_path() {
+        let mut node = SamplingNode::with_workers(Strategy::whs(), 0.5, 4, 2).expect("valid");
+        let mut first = batch(4);
+        first.weights.set(StratumId::new(0), 3.0);
+        // Seen on the *unsharded* path...
+        node.process_batch(&first);
+        // ...must carry into the parallel path.
+        let outs = node.process_batch_parallel(&batch(8));
+        let theta: ThetaStore = outs
+            .into_iter()
+            .map(|b| WhsOutput {
+                weights: b.weights,
+                sample: b.items,
+            })
+            .collect();
+        assert!(
+            (theta.count_estimate() - 24.0).abs() < 1e-9,
+            "3.0 * 8 items"
+        );
     }
 }

@@ -67,6 +67,12 @@ pub struct PipelineConfig {
     /// `None` drives sources as fast as the links accept (throughput
     /// mode).
     pub source_interval: Option<Duration>,
+    /// Worker shards per WHS edge node (the paper's §III-E parallel
+    /// execution): each node's window is split over this many concurrently
+    /// sampling shards, each emitting its own `(W_out, sample)` batch.
+    /// `1` (the paper's base design) samples on the node thread itself.
+    /// SRS/native nodes ignore this.
+    pub edge_workers: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -88,6 +94,7 @@ impl PipelineConfig {
             capacity_bytes_per_sec: None,
             source_capacity_bytes_per_sec: None,
             source_interval: None,
+            edge_workers: 1,
             seed: 0x717E,
         }
     }
@@ -187,15 +194,26 @@ pub fn run_pipeline(
     config: &PipelineConfig,
     source_intervals: Vec<Vec<Batch>>,
 ) -> Result<PipelineReport, approxiot_core::BudgetError> {
-    assert!(config.leaves > 0 && config.mids > 0, "topology layers must be non-empty");
+    assert!(
+        config.leaves > 0 && config.mids > 0,
+        "topology layers must be non-empty"
+    );
+    assert!(config.edge_workers > 0, "edge_workers must be positive");
     let sources = source_intervals.first().map_or(0, Vec::len);
-    assert!(sources > 0, "need at least one source interval with at least one source");
+    assert!(
+        sources > 0,
+        "need at least one source interval with at least one source"
+    );
     approxiot_core::SamplingBudget::new(config.overall_fraction)?;
     let [leaf_fraction, mid_fraction, root_fraction] = config.stage_fractions();
 
     let broker = Arc::new(Broker::new());
-    let layer1 = broker.create_topic("layer1", sources as u32).expect("fresh broker");
-    let layer2 = broker.create_topic("layer2", config.mids as u32).expect("fresh broker");
+    let layer1 = broker
+        .create_topic("layer1", sources as u32)
+        .expect("fresh broker");
+    let layer2 = broker
+        .create_topic("layer2", config.mids as u32)
+        .expect("fresh broker");
     let root_topic = broker.create_topic("root", 1).expect("fresh broker");
 
     let epoch = Instant::now();
@@ -252,13 +270,17 @@ pub fn run_pipeline(
     // ---- Leaf edge nodes ---------------------------------------------------
     let leaves_left = Arc::new(AtomicUsize::new(config.leaves));
     for j in 0..config.leaves {
-        let partitions: Vec<u32> =
-            (0..sources as u32).filter(|p| (*p as usize) % config.leaves == j).collect();
-        let consumer =
-            Consumer::subscribe(Arc::clone(&layer1), &partitions, StartOffset::Earliest);
+        let partitions: Vec<u32> = (0..sources as u32)
+            .filter(|p| (*p as usize) % config.leaves == j)
+            .collect();
+        let consumer = Consumer::subscribe(Arc::clone(&layer1), &partitions, StartOffset::Earliest);
         let producer = BatchProducer::new(Arc::clone(&layer2));
-        let node =
-            SamplingNode::new(config.strategy, leaf_fraction, config.seed ^ (0xA0 + j as u64))?;
+        let node = SamplingNode::with_workers(
+            config.strategy,
+            leaf_fraction,
+            config.seed ^ (0xA0 + j as u64),
+            config.edge_workers,
+        )?;
         let left = Arc::clone(&leaves_left);
         let bytes_out = Arc::clone(&bytes.l2);
         let limiter = make_limiter(config.capacity_bytes_per_sec);
@@ -267,6 +289,7 @@ pub fn run_pipeline(
             window: config.window,
             out_partition: (j % config.mids) as u32,
             buffered: matches!(config.strategy, Strategy::Whs { .. }),
+            sharded: config.edge_workers > 1,
         };
         handles.push(
             thread::Builder::new()
@@ -285,11 +308,14 @@ pub fn run_pipeline(
     // ---- Mid edge nodes ------------------------------------------------------
     let mids_left = Arc::new(AtomicUsize::new(config.mids));
     for k in 0..config.mids {
-        let consumer =
-            Consumer::subscribe(Arc::clone(&layer2), &[k as u32], StartOffset::Earliest);
+        let consumer = Consumer::subscribe(Arc::clone(&layer2), &[k as u32], StartOffset::Earliest);
         let producer = BatchProducer::new(Arc::clone(&root_topic));
-        let node =
-            SamplingNode::new(config.strategy, mid_fraction, config.seed ^ (0xB0 + k as u64))?;
+        let node = SamplingNode::with_workers(
+            config.strategy,
+            mid_fraction,
+            config.seed ^ (0xB0 + k as u64),
+            config.edge_workers,
+        )?;
         let left = Arc::clone(&mids_left);
         let bytes_out = Arc::clone(&bytes.root);
         let limiter = make_limiter(config.capacity_bytes_per_sec);
@@ -298,6 +324,7 @@ pub fn run_pipeline(
             window: config.window,
             out_partition: 0,
             buffered: matches!(config.strategy, Strategy::Whs { .. }),
+            sharded: config.edge_workers > 1,
         };
         handles.push(
             thread::Builder::new()
@@ -381,9 +408,8 @@ pub fn run_pipeline(
     let (results, elapsed) = result_rx.recv().expect("root thread reports results");
 
     let items = source_items.load(Ordering::Relaxed);
-    let latency_samples = std::mem::take(
-        &mut *latencies.lock().expect("latency mutex never poisoned"),
-    );
+    let latency_samples =
+        std::mem::take(&mut *latencies.lock().expect("latency mutex never poisoned"));
     Ok(PipelineReport {
         results,
         elapsed,
@@ -419,6 +445,9 @@ struct EdgeParams {
     /// WHS nodes buffer one window of input before sampling (Algorithm 2's
     /// interval loop); SRS/native forward immediately.
     buffered: bool,
+    /// Sample each batch on the node's §III-E parallel shard pool,
+    /// forwarding one batch per shard.
+    sharded: bool,
 }
 
 /// The per-edge-node loop shared by leaves and mids.
@@ -432,8 +461,7 @@ fn edge_node_loop(
 ) {
     let mut held: Vec<Batch> = Vec::new();
     let mut last_flush = epoch.elapsed();
-    let forward = |node: &mut SamplingNode, batch: &Batch| {
-        let out = node.process_batch(batch);
+    let send = |out: Batch| {
         if out.is_empty() {
             return true;
         }
@@ -442,6 +470,13 @@ fn edge_node_loop(
         }
         let ts = epoch.elapsed().as_nanos() as u64;
         producer.send_to(params.out_partition, &out, ts).is_ok()
+    };
+    let forward = |node: &mut SamplingNode, batch: &Batch| {
+        if params.sharded {
+            node.process_batch_parallel(batch).into_iter().all(&send)
+        } else {
+            send(node.process_batch(batch))
+        }
     };
     loop {
         let poll = consumer.poll_batches(64, Duration::from_millis(5));
@@ -526,6 +561,7 @@ mod tests {
             capacity_bytes_per_sec: None,
             source_capacity_bytes_per_sec: None,
             source_interval: None,
+            edge_workers: 1,
             seed: 42,
         }
     }
@@ -534,8 +570,7 @@ mod tests {
     fn native_pipeline_is_exact() {
         let data = intervals(3, 4, 50, 2.0);
         let truth: f64 = data.iter().flatten().map(Batch::value_sum).sum();
-        let report =
-            run_pipeline(&fast_config(Strategy::Native, 1.0), data).expect("runs");
+        let report = run_pipeline(&fast_config(Strategy::Native, 1.0), data).expect("runs");
         let total: f64 = report.results.iter().map(|r| r.estimate.value).sum();
         assert_eq!(total, truth);
         assert_eq!(report.source_items, 600);
@@ -557,12 +592,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_whs_pipeline_reconstructs_counts() {
+        // §III-E end to end: every edge node samples on 4 parallel shards,
+        // emitting one (W_out, sample) batch per shard; the root must still
+        // reconstruct the exact count from the union of pairs.
+        let mut config = fast_config(Strategy::whs(), 0.2);
+        config.edge_workers = 4;
+        let data = intervals(4, 4, 200, 1.0);
+        let report = run_pipeline(&config, data).expect("runs");
+        let count: f64 = report.results.iter().map(|r| r.count_hat).sum();
+        assert!(
+            (count - 3200.0).abs() < 1e-6,
+            "count reconstruction through sharded pipeline: {count}"
+        );
+    }
+
+    #[test]
     fn srs_pipeline_estimates_approximately() {
         let data = intervals(4, 4, 500, 3.0);
         let truth: f64 = data.iter().flatten().map(Batch::value_sum).sum();
         let report = run_pipeline(&fast_config(Strategy::Srs, 0.5), data).expect("runs");
         let total: f64 = report.results.iter().map(|r| r.estimate.value).sum();
-        assert!(accuracy_loss(total, truth) < 0.15, "SRS estimate {total} vs truth {truth}");
+        assert!(
+            accuracy_loss(total, truth) < 0.15,
+            "SRS estimate {total} vs truth {truth}"
+        );
     }
 
     #[test]

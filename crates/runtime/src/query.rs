@@ -46,8 +46,7 @@ impl Query {
                     Query::Mean => {
                         if est.count_hat > 0.0 && est.zeta > 0 {
                             let mean = est.sum / est.count_hat;
-                            let fpc =
-                                ((est.count_hat - est.zeta as f64) / est.count_hat).max(0.0);
+                            let fpc = ((est.count_hat - est.zeta as f64) / est.count_hat).max(0.0);
                             Estimate::new(mean, est.sample_variance / est.zeta as f64 * fpc)
                         } else {
                             Estimate::new(0.0, 0.0)

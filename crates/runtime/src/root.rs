@@ -148,13 +148,19 @@ impl RootNode {
         let scheme = self.buffer.scheme();
         let mut per_window: BTreeMap<WindowId, Vec<approxiot_core::StreamItem>> = BTreeMap::new();
         for item in &sampled.items {
-            per_window.entry(scheme.index_of(item.source_ts)).or_default().push(*item);
+            per_window
+                .entry(scheme.index_of(item.source_ts))
+                .or_default()
+                .push(*item);
         }
         for (window, items) in per_window {
             let weights = self.effective_weights(&sampled.weights, &items);
             self.buffer.insert(
                 scheme.start_of(window),
-                WhsOutput { weights, sample: items },
+                WhsOutput {
+                    weights,
+                    sample: items,
+                },
             );
         }
     }
@@ -184,13 +190,18 @@ impl RootNode {
     /// window that ended at or before it.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
         let closed = self.buffer.drain_closed(watermark_nanos);
-        closed.into_iter().map(|(id, outputs)| self.answer(id, outputs)).collect()
+        closed
+            .into_iter()
+            .map(|(id, outputs)| self.answer(id, outputs))
+            .collect()
     }
 
     /// Flushes all remaining windows (end of stream).
     pub fn flush(&mut self) -> Vec<WindowResult> {
         let all = self.buffer.drain_all();
-        all.into_iter().map(|(id, outputs)| self.answer(id, outputs)).collect()
+        all.into_iter()
+            .map(|(id, outputs)| self.answer(id, outputs))
+            .collect()
     }
 
     fn answer(&mut self, window: WindowId, outputs: Vec<WhsOutput>) -> WindowResult {
@@ -302,7 +313,10 @@ mod tests {
         let results = root.advance_watermark(SEC);
         let est = results[0].estimate.value;
         let truth = 20_000.0;
-        assert!((est - truth).abs() / truth < 0.1, "estimate {est} vs {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "estimate {est} vs {truth}"
+        );
     }
 
     #[test]

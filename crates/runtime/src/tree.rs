@@ -201,7 +201,14 @@ impl SimTree {
             query: config.query,
             seed: config.seed ^ 0xC000,
         })?;
-        Ok(SimTree { config, leaves, mids, root, bytes: LayerBytes::default(), source_items: 0 })
+        Ok(SimTree {
+            config,
+            leaves,
+            mids,
+            root,
+            bytes: LayerBytes::default(),
+            source_items: 0,
+        })
     }
 
     /// The tree's configuration.
@@ -285,12 +292,15 @@ mod tests {
 
     const SEC: u64 = 1_000_000_000;
 
-    fn source_batch(stratum: u32, n: usize, mut value_of: impl FnMut(usize) -> f64, ts: u64) -> Batch {
+    fn source_batch(
+        stratum: u32,
+        n: usize,
+        mut value_of: impl FnMut(usize) -> f64,
+        ts: u64,
+    ) -> Batch {
         Batch::from_items(
             (0..n)
-                .map(|k| {
-                    StreamItem::with_meta(StratumId::new(stratum), value_of(k), k as u64, ts)
-                })
+                .map(|k| StreamItem::with_meta(StratumId::new(stratum), value_of(k), k as u64, ts))
                 .collect(),
         )
     }
@@ -301,18 +311,20 @@ mod tests {
         let [l, m, r] = config.stage_fractions();
         assert!((l - 0.5).abs() < 1e-12);
         assert!((l * m * r - 0.125).abs() < 1e-12);
-        let leafy = config.with_split(FractionSplit::LeafHeavy).stage_fractions();
+        let leafy = config
+            .with_split(FractionSplit::LeafHeavy)
+            .stage_fractions();
         assert_eq!(leafy, [0.125, 1.0, 1.0]);
     }
 
     #[test]
     fn native_tree_is_exact() {
-        let mut tree = SimTree::new(
-            TreeConfig::paper_topology(1.0).with_strategy(Strategy::Native),
-        )
-        .expect("valid");
-        let batches: Vec<Batch> =
-            (0..8).map(|s| source_batch(s, 100, |k| k as f64, 10)).collect();
+        let mut tree =
+            SimTree::new(TreeConfig::paper_topology(1.0).with_strategy(Strategy::Native))
+                .expect("valid");
+        let batches: Vec<Batch> = (0..8)
+            .map(|s| source_batch(s, 100, |k| k as f64, 10))
+            .collect();
         let truth: f64 = batches.iter().map(Batch::value_sum).sum();
         tree.push_interval(&batches);
         let results = tree.flush();
@@ -324,8 +336,7 @@ mod tests {
     #[test]
     fn count_reconstruction_survives_three_sampling_stages() {
         let mut tree = SimTree::new(TreeConfig::paper_topology(0.3)).expect("valid");
-        let batches: Vec<Batch> =
-            (0..8).map(|s| source_batch(s, 500, |_| 1.0, 10)).collect();
+        let batches: Vec<Batch> = (0..8).map(|s| source_batch(s, 500, |_| 1.0, 10)).collect();
         tree.push_interval(&batches);
         let results = tree.flush();
         assert!(
@@ -340,8 +351,9 @@ mod tests {
     #[test]
     fn sampling_reduces_wire_bytes_downstream() {
         let mut tree = SimTree::new(TreeConfig::paper_topology(0.1)).expect("valid");
-        let batches: Vec<Batch> =
-            (0..8).map(|s| source_batch(s, 1000, |k| k as f64, 10)).collect();
+        let batches: Vec<Batch> = (0..8)
+            .map(|s| source_batch(s, 1000, |k| k as f64, 10))
+            .collect();
         tree.push_interval(&batches);
         let bytes = tree.bytes();
         assert!(bytes.leaf_to_mid < bytes.source_to_leaf / 2);
@@ -373,8 +385,14 @@ mod tests {
         assert!(loss < 0.05, "accuracy loss {loss}");
         // Coverage per window at 3 sigma should mostly hold; check the
         // aggregate is inside the summed bound (conservative).
-        let bound: f64 = results.iter().map(|r| r.error_bound(Confidence::P997)).sum();
-        assert!((est_total - truth).abs() <= bound * 2.0, "way outside bounds");
+        let bound: f64 = results
+            .iter()
+            .map(|r| r.error_bound(Confidence::P997))
+            .sum();
+        assert!(
+            (est_total - truth).abs() <= bound * 2.0,
+            "way outside bounds"
+        );
     }
 
     #[test]
@@ -422,7 +440,9 @@ mod tests {
         let run = |strategy: Strategy, seed: u64| -> f64 {
             let mut rng = StdRng::seed_from_u64(1234);
             let mut tree = SimTree::new(
-                TreeConfig::paper_topology(0.05).with_strategy(strategy).with_seed(seed),
+                TreeConfig::paper_topology(0.05)
+                    .with_strategy(strategy)
+                    .with_seed(seed),
             )
             .expect("valid");
             let mut truth_total = 0.0;

@@ -59,7 +59,13 @@ where
 {
     /// Creates a windowed fold with the given initial accumulator.
     pub fn new(scheme: TumblingWindow, init: A, fold: F) -> Self {
-        WindowedAggregate { scheme, init, fold, open: BTreeMap::new(), _value: std::marker::PhantomData }
+        WindowedAggregate {
+            scheme,
+            init,
+            fold,
+            open: BTreeMap::new(),
+            _value: std::marker::PhantomData,
+        }
     }
 
     /// Number of currently open windows.
@@ -80,7 +86,10 @@ where
 
     fn process(&mut self, (ts, value): (u64, V), _ctx: &mut Context<Self::Out>) {
         let id = self.scheme.index_of(ts);
-        let slot = self.open.entry(id).or_insert_with(|| (self.init.clone(), 0));
+        let slot = self
+            .open
+            .entry(id)
+            .or_insert_with(|| (self.init.clone(), 0));
         let acc = std::mem::replace(&mut slot.0, self.init.clone());
         slot.0 = (self.fold)(acc, value);
         slot.1 += 1;
@@ -95,13 +104,21 @@ where
             .collect();
         for id in closed {
             let (aggregate, count) = self.open.remove(&id).expect("key from open set");
-            ctx.forward(WindowAggregate { window: id, aggregate, count });
+            ctx.forward(WindowAggregate {
+                window: id,
+                aggregate,
+                count,
+            });
         }
     }
 
     fn close(&mut self, ctx: &mut Context<Self::Out>) {
         for (id, (aggregate, count)) in std::mem::take(&mut self.open) {
-            ctx.forward(WindowAggregate { window: id, aggregate, count });
+            ctx.forward(WindowAggregate {
+                window: id,
+                aggregate,
+                count,
+            });
         }
     }
 }
@@ -114,7 +131,9 @@ mod tests {
     const SEC: u64 = 1_000_000_000;
 
     fn sum_agg() -> WindowedAggregate<f64, f64, impl FnMut(f64, f64) -> f64> {
-        WindowedAggregate::new(TumblingWindow::new(Duration::from_secs(1)), 0.0, |a, v| a + v)
+        WindowedAggregate::new(TumblingWindow::new(Duration::from_secs(1)), 0.0, |a, v| {
+            a + v
+        })
     }
 
     #[test]
@@ -180,8 +199,7 @@ mod tests {
     fn chains_with_other_processors() {
         use crate::processor::MapProcessor;
         // Stamp items with a constant timestamp, then window-sum them.
-        let mut topo =
-            MapProcessor::new(|v: f64| (0u64, v)).then(sum_agg());
+        let mut topo = MapProcessor::new(|v: f64| (0u64, v)).then(sum_agg());
         let mut ctx = Context::new();
         topo.process(1.5, &mut ctx);
         topo.process(2.5, &mut ctx);

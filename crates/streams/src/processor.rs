@@ -11,7 +11,9 @@ pub struct Context<O> {
 impl<O> Context<O> {
     /// Creates an empty context.
     pub fn new() -> Self {
-        Context { outputs: Vec::new() }
+        Context {
+            outputs: Vec::new(),
+        }
     }
 
     /// Emits one output downstream.
@@ -76,7 +78,10 @@ pub trait Processor: Send {
         Self: Sized,
         P: Processor<In = Self::Out>,
     {
-        Chain { first: self, second: next }
+        Chain {
+            first: self,
+            second: next,
+        }
     }
 }
 
@@ -146,7 +151,10 @@ where
 {
     /// Wraps a mapping closure.
     pub fn new(f: F) -> Self {
-        MapProcessor { f, _types: std::marker::PhantomData }
+        MapProcessor {
+            f,
+            _types: std::marker::PhantomData,
+        }
     }
 }
 
@@ -177,7 +185,10 @@ where
 {
     /// Wraps a predicate.
     pub fn new(predicate: F) -> Self {
-        FilterProcessor { predicate, _types: std::marker::PhantomData }
+        FilterProcessor {
+            predicate,
+            _types: std::marker::PhantomData,
+        }
     }
 }
 
@@ -231,7 +242,8 @@ mod tests {
 
     #[test]
     fn chain_composes_in_order() {
-        let mut p = MapProcessor::new(|x: i32| x * 10).then(FilterProcessor::new(|x: &i32| *x > 15));
+        let mut p =
+            MapProcessor::new(|x: i32| x * 10).then(FilterProcessor::new(|x: &i32| *x > 15));
         let mut ctx = Context::new();
         p.process(1, &mut ctx);
         p.process(2, &mut ctx);

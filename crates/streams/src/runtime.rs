@@ -184,7 +184,10 @@ mod tests {
         };
         let (tx, rx) = channel::unbounded();
         let task = StreamTask::spawn(
-            TaskConfig { punctuation_interval: Duration::from_millis(10), name: "tick".into() },
+            TaskConfig {
+                punctuation_interval: Duration::from_millis(10),
+                name: "tick".into(),
+            },
             wall(),
             source,
             CountTicks { ticks: 0 },
@@ -192,7 +195,11 @@ mod tests {
         );
         task.join().expect("task joins");
         let ticks: Vec<u32> = rx.try_iter().collect();
-        assert!(ticks.len() >= 3, "expected several punctuations, got {}", ticks.len());
+        assert!(
+            ticks.len() >= 3,
+            "expected several punctuations, got {}",
+            ticks.len()
+        );
     }
 
     #[test]

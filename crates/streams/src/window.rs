@@ -93,7 +93,10 @@ pub struct WindowBuffer<T> {
 impl<T> WindowBuffer<T> {
     /// Creates an empty buffer over `scheme`.
     pub fn new(scheme: TumblingWindow) -> Self {
-        WindowBuffer { scheme, windows: BTreeMap::new() }
+        WindowBuffer {
+            scheme,
+            windows: BTreeMap::new(),
+        }
     }
 
     /// The window scheme.
@@ -103,7 +106,10 @@ impl<T> WindowBuffer<T> {
 
     /// Files `value` under the window containing `ts_nanos`.
     pub fn insert(&mut self, ts_nanos: u64, value: T) {
-        self.windows.entry(self.scheme.index_of(ts_nanos)).or_default().push(value);
+        self.windows
+            .entry(self.scheme.index_of(ts_nanos))
+            .or_default()
+            .push(value);
     }
 
     /// Removes and returns every window whose end is at or before
@@ -202,7 +208,8 @@ mod tests {
 
     #[test]
     fn drain_closed_on_empty_buffer() {
-        let mut buf: WindowBuffer<u8> = WindowBuffer::new(TumblingWindow::new(Duration::from_secs(1)));
+        let mut buf: WindowBuffer<u8> =
+            WindowBuffer::new(TumblingWindow::new(Duration::from_secs(1)));
         assert!(buf.drain_closed(u64::MAX).is_empty());
     }
 
@@ -223,6 +230,9 @@ mod tests {
         buf.insert(0, 1);
         buf.insert(5 * SEC, 2);
         let closed = buf.drain_closed(10 * SEC);
-        assert_eq!(closed.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(
+            closed.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![0, 5]
+        );
     }
 }

@@ -90,7 +90,10 @@ impl Poisson {
     ///
     /// Panics unless `lambda` is positive and finite.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "invalid poisson lambda {lambda}");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "invalid poisson lambda {lambda}"
+        );
         Poisson { lambda }
     }
 
@@ -132,7 +135,9 @@ impl LogNormal {
     ///
     /// Panics on invalid underlying parameters (see [`Normal::new`]).
     pub fn new(mu: f64, sigma: f64) -> Self {
-        LogNormal { underlying: Normal::new(mu, sigma) }
+        LogNormal {
+            underlying: Normal::new(mu, sigma),
+        }
     }
 
     /// Creates a log-normal whose *own* mean and standard deviation match
@@ -143,7 +148,10 @@ impl LogNormal {
     /// Panics unless `mean > 0` and `std_dev >= 0`.
     pub fn from_mean_std(mean: f64, std_dev: f64) -> Self {
         assert!(mean > 0.0, "log-normal mean must be positive, got {mean}");
-        assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+        assert!(
+            std_dev >= 0.0,
+            "std_dev must be non-negative, got {std_dev}"
+        );
         let cv2 = (std_dev / mean).powi(2);
         let sigma2 = (1.0 + cv2).ln();
         let mu = mean.ln() - sigma2 / 2.0;
@@ -169,7 +177,10 @@ impl Exponential {
     ///
     /// Panics unless `rate` is positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "invalid exponential rate {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "invalid exponential rate {rate}"
+        );
         Exponential { rate }
     }
 
@@ -249,8 +260,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let below = Poisson::new(Poisson::NORMAL_APPROX_THRESHOLD - 1.0);
         let above = Poisson::new(Poisson::NORMAL_APPROX_THRESHOLD + 1.0);
-        let mb = moments(&(0..30_000).map(|_| below.sample(&mut rng)).collect::<Vec<_>>()).0;
-        let ma = moments(&(0..30_000).map(|_| above.sample(&mut rng)).collect::<Vec<_>>()).0;
+        let mb = moments(
+            &(0..30_000)
+                .map(|_| below.sample(&mut rng))
+                .collect::<Vec<_>>(),
+        )
+        .0;
+        let ma = moments(
+            &(0..30_000)
+                .map(|_| above.sample(&mut rng))
+                .collect::<Vec<_>>(),
+        )
+        .0;
         assert!((ma - mb - 2.0).abs() < 0.5, "means {mb} vs {ma}");
     }
 
@@ -290,7 +311,9 @@ mod tests {
     #[test]
     fn standard_normal_symmetry() {
         let mut rng = StdRng::seed_from_u64(8);
-        let positive = (0..50_000).filter(|_| standard_normal(&mut rng) > 0.0).count();
+        let positive = (0..50_000)
+            .filter(|_| standard_normal(&mut rng) > 0.0)
+            .count();
         let frac = positive as f64 / 50_000.0;
         assert!((frac - 0.5).abs() < 0.02, "positive fraction {frac}");
     }

@@ -29,10 +29,30 @@ struct Pollutant {
 }
 
 const POLLUTANTS: [Pollutant; 4] = [
-    Pollutant { name: "particulate_matter", baseline: 35.0, noise: 1.5, reversion: 0.92 },
-    Pollutant { name: "carbon_monoxide", baseline: 4.5, noise: 0.15, reversion: 0.95 },
-    Pollutant { name: "sulfur_dioxide", baseline: 12.0, noise: 0.5, reversion: 0.9 },
-    Pollutant { name: "nitrogen_dioxide", baseline: 28.0, noise: 1.0, reversion: 0.93 },
+    Pollutant {
+        name: "particulate_matter",
+        baseline: 35.0,
+        noise: 1.5,
+        reversion: 0.92,
+    },
+    Pollutant {
+        name: "carbon_monoxide",
+        baseline: 4.5,
+        noise: 0.15,
+        reversion: 0.95,
+    },
+    Pollutant {
+        name: "sulfur_dioxide",
+        baseline: 12.0,
+        noise: 0.5,
+        reversion: 0.9,
+    },
+    Pollutant {
+        name: "nitrogen_dioxide",
+        baseline: 28.0,
+        noise: 1.0,
+        reversion: 0.93,
+    },
 ];
 
 /// Generator for the pollution-shaped trace.
@@ -164,7 +184,12 @@ mod tests {
             let items = &strata[&StratumId::new(p_idx as u32)];
             let mean: f64 = items.iter().map(|i| i.value).sum::<f64>() / items.len() as f64;
             let rel = (mean - pollutant.baseline).abs() / pollutant.baseline;
-            assert!(rel < 0.25, "{}: mean {mean} vs baseline {}", pollutant.name, pollutant.baseline);
+            assert!(
+                rel < 0.25,
+                "{}: mean {mean} vs baseline {}",
+                pollutant.name,
+                pollutant.baseline
+            );
         }
     }
 
@@ -192,7 +217,10 @@ mod tests {
             })
             .collect();
         // Within-stratum CV is small (stable sensors).
-        assert!(cv_per_stratum.iter().all(|&cv| cv < 0.35), "CVs {cv_per_stratum:?}");
+        assert!(
+            cv_per_stratum.iter().all(|&cv| cv < 0.35),
+            "CVs {cv_per_stratum:?}"
+        );
         let _ = var; // overall dispersion dominated by stratum baselines
     }
 
@@ -208,8 +236,15 @@ mod tests {
 
     #[test]
     fn names_and_strata_align() {
-        assert_eq!(PollutionTrace::stratum_names(),
-                   vec!["particulate_matter", "carbon_monoxide", "sulfur_dioxide", "nitrogen_dioxide"]);
+        assert_eq!(
+            PollutionTrace::stratum_names(),
+            vec![
+                "particulate_matter",
+                "carbon_monoxide",
+                "sulfur_dioxide",
+                "nitrogen_dioxide"
+            ]
+        );
         let trace = PollutionTrace::new(1, Duration::from_secs(1));
         assert_eq!(trace.strata().len(), 4);
         assert_eq!(trace.sensors(), 1);

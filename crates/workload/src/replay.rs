@@ -168,15 +168,20 @@ impl CsvTraceReader {
             if fields.len() <= need {
                 return Err(ParseTraceError {
                     line: line_no,
-                    reason: format!("expected at least {} fields, found {}", need + 1, fields.len()),
+                    reason: format!(
+                        "expected at least {} fields, found {}",
+                        need + 1,
+                        fields.len()
+                    ),
                 });
             }
-            let value: f64 = fields[self.schema.value_column].trim().parse().map_err(|_| {
-                ParseTraceError {
+            let value: f64 = fields[self.schema.value_column]
+                .trim()
+                .parse()
+                .map_err(|_| ParseTraceError {
                     line: line_no,
                     reason: format!("bad value {:?}", fields[self.schema.value_column]),
-                }
-            })?;
+                })?;
             let stratum = self.intern(fields[self.schema.stratum_column].trim());
             let ts = match self.schema.timestamp_column {
                 Some(col) => {
@@ -219,7 +224,10 @@ impl CsvTraceReader {
         let items = self.read_items(input)?;
         let mut per_interval: BTreeMap<u64, Vec<StreamItem>> = BTreeMap::new();
         for item in items {
-            per_interval.entry(item.source_ts / interval_nanos).or_default().push(item);
+            per_interval
+                .entry(item.source_ts / interval_nanos)
+                .or_default()
+                .push(item);
         }
         Ok(per_interval.into_values().map(Batch::from_items).collect())
     }
@@ -247,7 +255,10 @@ mod tests {
     #[test]
     fn header_is_skipped() {
         let csv = "sensor,value\na,1.0\n";
-        let schema = CsvSchema { has_header: true, ..CsvSchema::two_column() };
+        let schema = CsvSchema {
+            has_header: true,
+            ..CsvSchema::two_column()
+        };
         let mut reader = CsvTraceReader::new(schema);
         let items = reader.read_items(csv.as_bytes()).expect("parses");
         assert_eq!(items.len(), 1);
@@ -288,7 +299,9 @@ mod tests {
             has_header: false,
         };
         let mut reader = CsvTraceReader::new(schema);
-        let batches = reader.read_batches(csv.as_bytes(), 100_000_000).expect("parses");
+        let batches = reader
+            .read_batches(csv.as_bytes(), 100_000_000)
+            .expect("parses");
         assert_eq!(batches.len(), 2, "0.05 s | 0.15+0.16 s");
         assert_eq!(batches[0].len(), 1);
         assert_eq!(batches[1].len(), 2);
@@ -304,7 +317,11 @@ mod tests {
         let items = reader.read_items(row.as_bytes()).expect("parses");
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].value, 4.50, "total_amount column");
-        assert_eq!(reader.stratum_names().len(), 1, "medallion interned as stratum");
+        assert_eq!(
+            reader.stratum_names().len(),
+            1,
+            "medallion interned as stratum"
+        );
     }
 
     #[test]
@@ -312,16 +329,25 @@ mod tests {
         use approxiot_core::{whs_sample, Allocation, ThetaStore, WeightMap};
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let csv: String =
-            (0..500).map(|i| format!("s{},{}\n", i % 3, (i % 7) as f64)).collect();
+        let csv: String = (0..500)
+            .map(|i| format!("s{},{}\n", i % 3, (i % 7) as f64))
+            .collect();
         let mut reader = CsvTraceReader::new(CsvSchema::two_column());
-        let batches = reader.read_batches(csv.as_bytes(), 100_000).expect("parses");
+        let batches = reader
+            .read_batches(csv.as_bytes(), 100_000)
+            .expect("parses");
         let mut rng = StdRng::seed_from_u64(1);
         let mut theta = ThetaStore::new();
         let mut truth = 0.0;
         for batch in &batches {
             truth += batch.value_sum();
-            theta.push(whs_sample(batch, 20, &WeightMap::new(), Allocation::Uniform, &mut rng));
+            theta.push(whs_sample(
+                batch,
+                20,
+                &WeightMap::new(),
+                Allocation::Uniform,
+                &mut rng,
+            ));
         }
         // Count reconstruction is exact even on replayed data.
         assert!((theta.count_estimate() - 500.0).abs() < 1e-9);

@@ -18,10 +18,22 @@ use std::time::Duration;
 /// The four Gaussian value distributions A–D of §V.
 pub fn gaussian_values() -> [ValueDist; 4] {
     [
-        ValueDist::Gaussian { mu: 10.0, sigma: 5.0 },
-        ValueDist::Gaussian { mu: 1_000.0, sigma: 50.0 },
-        ValueDist::Gaussian { mu: 10_000.0, sigma: 500.0 },
-        ValueDist::Gaussian { mu: 100_000.0, sigma: 5_000.0 },
+        ValueDist::Gaussian {
+            mu: 10.0,
+            sigma: 5.0,
+        },
+        ValueDist::Gaussian {
+            mu: 1_000.0,
+            sigma: 50.0,
+        },
+        ValueDist::Gaussian {
+            mu: 10_000.0,
+            sigma: 500.0,
+        },
+        ValueDist::Gaussian {
+            mu: 100_000.0,
+            sigma: 5_000.0,
+        },
     ]
 }
 
@@ -59,7 +71,11 @@ impl RateSetting {
 
     /// All three settings, in paper order.
     pub fn all() -> [RateSetting; 3] {
-        [RateSetting::Setting1, RateSetting::Setting2, RateSetting::Setting3]
+        [
+            RateSetting::Setting1,
+            RateSetting::Setting2,
+            RateSetting::Setting3,
+        ]
     }
 
     /// The label used in the paper's figures.
@@ -116,7 +132,9 @@ pub fn skewed_mix(total_rate: f64, interval: Duration) -> StreamMix {
         ValueDist::Poisson { lambda: 10.0 },
         ValueDist::Poisson { lambda: 100.0 },
         ValueDist::Poisson { lambda: 1_000.0 },
-        ValueDist::Poisson { lambda: 10_000_000.0 },
+        ValueDist::Poisson {
+            lambda: 10_000_000.0,
+        },
     ];
     let shares = [0.80, 0.1989, 0.001, 0.0001];
     let rates = [
@@ -143,9 +161,15 @@ mod tests {
 
     #[test]
     fn rate_settings_match_paper() {
-        assert_eq!(RateSetting::Setting1.rates(), [50_000.0, 25_000.0, 12_500.0, 625.0]);
+        assert_eq!(
+            RateSetting::Setting1.rates(),
+            [50_000.0, 25_000.0, 12_500.0, 625.0]
+        );
         assert_eq!(RateSetting::Setting2.rates(), [25_000.0; 4]);
-        assert_eq!(RateSetting::Setting3.rates(), [625.0, 12_500.0, 25_000.0, 50_000.0]);
+        assert_eq!(
+            RateSetting::Setting3.rates(),
+            [625.0, 12_500.0, 25_000.0, 50_000.0]
+        );
         assert_eq!(RateSetting::all().len(), 3);
         assert_eq!(RateSetting::Setting1.label(), "Setting1");
     }
@@ -179,7 +203,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut mix = poisson_mix(4_000.0, Duration::from_secs(1));
         let batch = mix.next_interval(&mut rng);
-        assert!(batch.items.iter().all(|i| i.value >= 0.0 && i.value.fract() == 0.0));
+        assert!(batch
+            .items
+            .iter()
+            .all(|i| i.value >= 0.0 && i.value.fract() == 0.0));
     }
 
     #[test]

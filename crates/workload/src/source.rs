@@ -72,7 +72,11 @@ pub struct SubStreamSpec {
 impl SubStreamSpec {
     /// Creates a spec.
     pub fn new(stratum: StratumId, rate_per_sec: f64, values: ValueDist) -> Self {
-        SubStreamSpec { stratum, rate_per_sec, values }
+        SubStreamSpec {
+            stratum,
+            rate_per_sec,
+            values,
+        }
     }
 }
 
@@ -128,7 +132,11 @@ impl StreamMix {
         StreamMix {
             streams: specs
                 .into_iter()
-                .map(|spec| SubStreamState { spec, next_seq: 0, carry: 0.0 })
+                .map(|spec| SubStreamState {
+                    spec,
+                    next_seq: 0,
+                    carry: 0.0,
+                })
                 .collect(),
             interval,
             now_nanos: 0,
@@ -153,7 +161,10 @@ impl StreamMix {
     /// Expected total items per interval (sum of rates × interval).
     pub fn expected_items_per_interval(&self) -> f64 {
         let secs = self.interval.as_secs_f64();
-        self.streams.iter().map(|s| s.spec.rate_per_sec * secs).sum()
+        self.streams
+            .iter()
+            .map(|s| s.spec.rate_per_sec * secs)
+            .sum()
     }
 
     /// Replaces the arrival rate of `stratum`, returning `true` when the
@@ -260,7 +271,10 @@ mod tests {
         let first = mix.next_interval(&mut rng);
         assert!(first.items.iter().all(|i| i.source_ts < 1_000_000_000));
         let second = mix.next_interval(&mut rng);
-        assert!(second.items.iter().all(|i| (1_000_000_000..2_000_000_000).contains(&i.source_ts)));
+        assert!(second
+            .items
+            .iter()
+            .all(|i| (1_000_000_000..2_000_000_000).contains(&i.source_ts)));
         assert_eq!(mix.now_nanos(), 2_000_000_000);
     }
 
@@ -273,8 +287,12 @@ mod tests {
         );
         let b1 = mix.next_interval(&mut rng);
         let b2 = mix.next_interval(&mut rng);
-        let mut seqs: Vec<u64> =
-            b1.items.iter().chain(b2.items.iter()).map(|i| i.seq).collect();
+        let mut seqs: Vec<u64> = b1
+            .items
+            .iter()
+            .chain(b2.items.iter())
+            .map(|i| i.seq)
+            .collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..40).collect::<Vec<u64>>());
     }
@@ -302,13 +320,19 @@ mod tests {
             Duration::from_secs(1),
         );
         let batch = mix.next_interval(&mut rng);
-        assert!(batch.items.windows(2).all(|w| w[0].source_ts <= w[1].source_ts));
+        assert!(batch
+            .items
+            .windows(2)
+            .all(|w| w[0].source_ts <= w[1].source_ts));
     }
 
     #[test]
     fn gaussian_values_have_right_mean() {
         let mut rng = StdRng::seed_from_u64(7);
-        let dist = ValueDist::Gaussian { mu: 1000.0, sigma: 50.0 };
+        let dist = ValueDist::Gaussian {
+            mu: 1000.0,
+            sigma: 50.0,
+        };
         let mut mix = StreamMix::new(
             vec![SubStreamSpec::new(s(0), 20_000.0, dist)],
             Duration::from_secs(1),
@@ -322,7 +346,14 @@ mod tests {
     #[test]
     fn value_dist_means() {
         assert_eq!(ValueDist::Poisson { lambda: 5.0 }.mean(), 5.0);
-        assert_eq!(ValueDist::LogNormal { mean: 12.0, std_dev: 3.0 }.mean(), 12.0);
+        assert_eq!(
+            ValueDist::LogNormal {
+                mean: 12.0,
+                std_dev: 3.0
+            }
+            .mean(),
+            12.0
+        );
         assert_eq!(ValueDist::Constant(9.0).mean(), 9.0);
     }
 }

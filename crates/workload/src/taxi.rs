@@ -35,11 +35,36 @@ struct Borough {
 }
 
 const BOROUGHS: [Borough; 5] = [
-    Borough { name: "manhattan", volume_share: 0.70, mean_fare: 11.5, std_fare: 8.0 },
-    Borough { name: "brooklyn", volume_share: 0.14, mean_fare: 14.0, std_fare: 10.0 },
-    Borough { name: "queens", volume_share: 0.11, mean_fare: 24.0, std_fare: 16.0 },
-    Borough { name: "bronx", volume_share: 0.04, mean_fare: 15.0, std_fare: 9.0 },
-    Borough { name: "staten_island", volume_share: 0.01, mean_fare: 30.0, std_fare: 18.0 },
+    Borough {
+        name: "manhattan",
+        volume_share: 0.70,
+        mean_fare: 11.5,
+        std_fare: 8.0,
+    },
+    Borough {
+        name: "brooklyn",
+        volume_share: 0.14,
+        mean_fare: 14.0,
+        std_fare: 10.0,
+    },
+    Borough {
+        name: "queens",
+        volume_share: 0.11,
+        mean_fare: 24.0,
+        std_fare: 16.0,
+    },
+    Borough {
+        name: "bronx",
+        volume_share: 0.04,
+        mean_fare: 15.0,
+        std_fare: 9.0,
+    },
+    Borough {
+        name: "staten_island",
+        volume_share: 0.01,
+        mean_fare: 30.0,
+        std_fare: 18.0,
+    },
 ];
 
 /// Generator for the taxi-shaped trace.
@@ -116,7 +141,9 @@ impl TaxiTrace {
         let day_frac = (sim_nanos % Self::DAY_NANOS) / Self::DAY_NANOS;
         // Base load + morning peak (~8h) + taller evening peak (~19h).
         let gauss = |centre: f64, width: f64| {
-            let d = (day_frac - centre).abs().min(1.0 - (day_frac - centre).abs());
+            let d = (day_frac - centre)
+                .abs()
+                .min(1.0 - (day_frac - centre).abs());
             (-0.5 * (d / width).powi(2)).exp()
         };
         0.5 + 0.8 * gauss(8.0 / 24.0, 0.06) + 1.2 * gauss(19.0 / 24.0, 0.08)
@@ -129,8 +156,8 @@ impl TaxiTrace {
         let demand = self.diurnal(self.now_nanos);
         let mut items = Vec::new();
         for (idx, borough) in BOROUGHS.iter().enumerate() {
-            let exact = self.base_rate_per_sec * borough.volume_share * demand * secs
-                + self.carry[idx];
+            let exact =
+                self.base_rate_per_sec * borough.volume_share * demand * secs + self.carry[idx];
             let count = exact.floor() as u64;
             self.carry[idx] = exact - count as f64;
             if count == 0 {
@@ -193,10 +220,15 @@ mod tests {
     fn diurnal_rate_varies_over_the_day() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut trace = TaxiTrace::new(10_000.0, Duration::from_secs(1));
-        let sizes: Vec<usize> = (0..24).map(|_| trace.next_interval(&mut rng).len()).collect();
+        let sizes: Vec<usize> = (0..24)
+            .map(|_| trace.next_interval(&mut rng).len())
+            .collect();
         let min = *sizes.iter().min().expect("nonempty");
         let max = *sizes.iter().max().expect("nonempty");
-        assert!(max as f64 > 1.5 * min as f64, "rates flat: min {min}, max {max}");
+        assert!(
+            max as f64 > 1.5 * min as f64,
+            "rates flat: min {min}, max {max}"
+        );
     }
 
     #[test]

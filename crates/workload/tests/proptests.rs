@@ -1,10 +1,10 @@
 //! Property-based tests on the workload generators.
 
+use approxiot_core::StratumId;
 use approxiot_workload::{
     Exponential, LogNormal, Normal, Poisson, PollutionTrace, StreamMix, SubStreamSpec, TaxiTrace,
     ValueDist,
 };
-use approxiot_core::StratumId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

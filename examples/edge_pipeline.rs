@@ -28,7 +28,11 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
             let batch = mix.next_interval(&mut rng);
             truth_per_interval.push(batch.value_sum());
             // One source per sub-stream.
-            batch.stratify().into_values().map(Batch::from_items).collect()
+            batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect()
         })
         .collect();
 
@@ -49,6 +53,7 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
         capacity_bytes_per_sec: Some(4_000_000),
         source_capacity_bytes_per_sec: None,
         source_interval: Some(window),
+        edge_workers: 1,
         seed: 99,
     };
 

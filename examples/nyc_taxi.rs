@@ -21,10 +21,15 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     let mut trace = TaxiTrace::new(30_000.0, window);
 
     let mut tree = SimTree::new(
-        TreeConfig::paper_topology(fraction).with_window(window).with_query(Query::Sum),
+        TreeConfig::paper_topology(fraction)
+            .with_window(window)
+            .with_query(Query::Sum),
     )?;
 
-    println!("total taxi fares per {window:?} window, sampling {:.0}%:\n", fraction * 100.0);
+    println!(
+        "total taxi fares per {window:?} window, sampling {:.0}%:\n",
+        fraction * 100.0
+    );
     let mut total_truth = 0.0;
     let mut total_estimate = 0.0;
     let mut last_window = None;
@@ -32,8 +37,11 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
         let batch = trace.next_interval(&mut rng);
         let truth = batch.value_sum();
         total_truth += truth;
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
         // Close everything generated so far.
         let results = tree.advance_watermark((i + 1) * window.as_nanos() as u64);
@@ -90,7 +98,13 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     let p95 = quantile::quantile_with_bounds(&theta, 0.95, Confidence::P95)
         .expect("window has sampled items");
     println!("\nfare quantiles from the sampled window (95% CI):");
-    println!("  median fare: ${:.2}  [{:.2}, {:.2}]", median.value, median.lo, median.hi);
-    println!("  p95 fare   : ${:.2}  [{:.2}, {:.2}]", p95.value, p95.lo, p95.hi);
+    println!(
+        "  median fare: ${:.2}  [{:.2}, {:.2}]",
+        median.value, median.lo, median.hi
+    );
+    println!(
+        "  p95 fare   : ${:.2}  [{:.2}, {:.2}]",
+        p95.value, p95.lo, p95.hi
+    );
     Ok(())
 }

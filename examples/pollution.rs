@@ -27,12 +27,17 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     for i in 0..12u64 {
         let fraction = feedback.overall_fraction();
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction).with_window(window).with_seed(500 + i),
+            TreeConfig::paper_topology(fraction)
+                .with_window(window)
+                .with_seed(500 + i),
         )?;
         let batch = trace.next_interval(&mut rng);
         let truth = batch.value_sum();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
         let results = tree.flush();
         let r = &results[0];

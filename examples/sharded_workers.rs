@@ -24,22 +24,36 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     let batch = Batch::from_items(items);
     let truth = batch.value_sum();
 
-    println!("one sub-stream, {} items, sampled at 2% by w workers:\n", batch.len());
-    println!("{:>8} {:>12} {:>16} {:>12} {:>10}", "workers", "pairs in Θ", "estimate", "exact ĉ", "loss %");
+    println!(
+        "one sub-stream, {} items, sampled at 2% by w truly parallel workers:\n",
+        batch.len()
+    );
+    println!(
+        "{:>8} {:>12} {:>16} {:>12} {:>10} {:>12}",
+        "workers", "pairs in Θ", "estimate", "exact ĉ", "loss %", "wall µs"
+    );
     for workers in [1usize, 2, 4, 8, 16] {
-        let mut node = SamplingNode::new(Strategy::whs(), 0.02, workers as u64)?;
-        let outs = node.process_batch_sharded(&batch, workers);
+        // Each node samples its window on `workers` scoped-thread shards
+        // with deterministic per-shard RNGs (ParallelShardedSampler).
+        let mut node = SamplingNode::with_workers(Strategy::whs(), 0.02, 35, workers)?;
+        let start = std::time::Instant::now();
+        let outs = node.process_batch_parallel(&batch);
+        let elapsed = start.elapsed();
         let theta: ThetaStore = outs
             .into_iter()
-            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .map(|b| WhsOutput {
+                weights: b.weights,
+                sample: b.items,
+            })
             .collect();
         let est = theta.sum_estimate();
         println!(
-            "{workers:>8} {:>12} {:>16.1} {:>12.1} {:>10.4}",
+            "{workers:>8} {:>12} {:>16.1} {:>12.1} {:>10.4} {:>12}",
             theta.len(),
             est.value,
             theta.count_estimate(),
-            accuracy_loss(est.value, truth) * 100.0
+            accuracy_loss(est.value, truth) * 100.0,
+            elapsed.as_micros()
         );
     }
     println!("\nexact SUM: {truth:.1}");
@@ -49,7 +63,9 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     // The membership half: workers joining and leaving a consumer group
     // over the hot topic's partitions.
     let broker = Broker::new();
-    let topic = broker.create_topic("hot-sub-stream", 8).expect("fresh broker");
+    let topic = broker
+        .create_topic("hot-sub-stream", 8)
+        .expect("fresh broker");
     let group = GroupCoordinator::new(topic);
     let w1 = group.join();
     let w2 = group.join();
@@ -57,13 +73,23 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     println!("3 workers join an 8-partition topic:");
     for w in [&w1, &w2, &w3] {
         let m = group.assignment(w.member_id).expect("live member");
-        println!("  worker {} owns partitions {:?}", m.member_id, m.partitions);
+        println!(
+            "  worker {} owns partitions {:?}",
+            m.member_id, m.partitions
+        );
     }
     group.leave(w2.member_id).expect("member exists");
-    println!("worker {} leaves; rebalanced (generation {}):", w2.member_id, group.generation());
+    println!(
+        "worker {} leaves; rebalanced (generation {}):",
+        w2.member_id,
+        group.generation()
+    );
     for w in [&w1, &w3] {
         let m = group.assignment(w.member_id).expect("live member");
-        println!("  worker {} owns partitions {:?}", m.member_id, m.partitions);
+        println!(
+            "  worker {} owns partitions {:?}",
+            m.member_id, m.partitions
+        );
     }
     Ok(())
 }

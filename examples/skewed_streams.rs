@@ -19,15 +19,20 @@ fn run(strategy: Strategy, fraction: f64, seed: u64) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mix = scenarios::skewed_mix(40_000.0, window);
     let mut tree = SimTree::new(
-        TreeConfig::paper_topology(fraction).with_strategy(strategy).with_seed(seed),
+        TreeConfig::paper_topology(fraction)
+            .with_strategy(strategy)
+            .with_seed(seed),
     )
     .expect("valid fraction");
     let mut truth = 0.0;
     for _ in 0..10 {
         let batch = mix.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
     }
     let estimate: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -37,9 +42,15 @@ fn run(strategy: Strategy, fraction: f64, seed: u64) -> (f64, f64) {
 fn main() {
     let fraction = 0.10;
     println!("extremely skewed stream (Fig. 10c): sub-stream shares 80% / 19.89% / 0.1% / 0.01%,");
-    println!("but the rarest sub-stream has values ~10^6 larger. Sampling {:.0}%.\n", fraction * 100.0);
+    println!(
+        "but the rarest sub-stream has values ~10^6 larger. Sampling {:.0}%.\n",
+        fraction * 100.0
+    );
 
-    println!("{:>6} {:>18} {:>18} {:>12} {:>12}", "seed", "ApproxIoT", "SRS", "WHS loss%", "SRS loss%");
+    println!(
+        "{:>6} {:>18} {:>18} {:>12} {:>12}",
+        "seed", "ApproxIoT", "SRS", "WHS loss%", "SRS loss%"
+    );
     let mut whs_losses = Vec::new();
     let mut srs_losses = Vec::new();
     for seed in 1..=8u64 {
@@ -58,8 +69,15 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let whs_mean = mean(&whs_losses);
     let srs_mean = mean(&srs_losses);
-    println!("\nmean accuracy loss: ApproxIoT {:.4}%  vs  SRS {:.4}%", whs_mean * 100.0, srs_mean * 100.0);
-    println!("ApproxIoT is {:.0}x more accurate on this stream.", srs_mean / whs_mean.max(1e-12));
+    println!(
+        "\nmean accuracy loss: ApproxIoT {:.4}%  vs  SRS {:.4}%",
+        whs_mean * 100.0,
+        srs_mean * 100.0
+    );
+    println!(
+        "ApproxIoT is {:.0}x more accurate on this stream.",
+        srs_mean / whs_mean.max(1e-12)
+    );
     println!("\nNote how SRS sometimes *overestimates* hugely: a lucky draw of one");
     println!("high-value item gets multiplied by 1/fraction — the failure mode the");
     println!("paper highlights in Figure 10(c).");

@@ -58,9 +58,10 @@ pub use approxiot_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use approxiot_core::{
-        accuracy_loss, whs_sample, AdaptiveController, Allocation, Batch, Confidence, Estimate,
-        Reservoir, SamplingBudget, SkipReservoir, SrsSampler, StratumId, StreamItem, ThetaStore,
-        WeightMap, WhsOutput, WhsSampler,
+        accuracy_loss, sharded_whs_sample, whs_sample, AdaptiveController, Allocation, Batch,
+        Confidence, Estimate, ParallelShardedSampler, Reservoir, SamplingBudget, SkipReservoir,
+        SrsSampler, StrataIndex, StratumId, StreamItem, ThetaStore, WeightMap, WhsOutput,
+        WhsSampler, WhsScratch,
     };
     pub use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
     pub use approxiot_net::{bandwidth_saving, Clock, LinkConfig, SimClock, WallClock};

@@ -27,8 +27,11 @@ fn run_tree_on_mix(
     for _ in 0..intervals {
         let batch = mix.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
     }
     let results = tree.flush();
@@ -80,7 +83,9 @@ fn error_bounds_cover_the_truth_at_nominal_rate() {
     for seed in 0..5u64 {
         let mut mix = scenarios::gaussian_mix(20_000.0, WINDOW);
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(0.2).with_window(WINDOW).with_seed(seed),
+            TreeConfig::paper_topology(0.2)
+                .with_window(WINDOW)
+                .with_seed(seed),
         )
         .expect("valid");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -88,8 +93,11 @@ fn error_bounds_cover_the_truth_at_nominal_rate() {
         for _ in 0..10 {
             let batch = mix.next_interval(&mut rng);
             truths.push(batch.value_sum());
-            let sources: Vec<Batch> =
-                batch.stratify().into_values().map(Batch::from_items).collect();
+            let sources: Vec<Batch> = batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect();
             tree.push_interval(&sources);
         }
         for r in tree.flush() {
@@ -109,7 +117,9 @@ fn count_reconstruction_is_exact_for_every_strategy_setting() {
     for fraction in [0.1, 0.3, 0.7, 1.0] {
         let mut mix = scenarios::gaussian_mix(10_000.0, WINDOW);
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(9),
+            TreeConfig::paper_topology(fraction)
+                .with_window(WINDOW)
+                .with_seed(9),
         )
         .expect("valid");
         let mut rng = StdRng::seed_from_u64(9);
@@ -117,8 +127,11 @@ fn count_reconstruction_is_exact_for_every_strategy_setting() {
         for _ in 0..5 {
             let batch = mix.next_interval(&mut rng);
             total_items += batch.len();
-            let sources: Vec<Batch> =
-                batch.stratify().into_values().map(Batch::from_items).collect();
+            let sources: Vec<Batch> = batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect();
             tree.push_interval(&sources);
         }
         let count: f64 = tree.flush().iter().map(|r| r.count_hat).sum();
@@ -133,7 +146,9 @@ fn count_reconstruction_is_exact_for_every_strategy_setting() {
 fn taxi_trace_end_to_end() {
     let mut trace = TaxiTrace::new(20_000.0, WINDOW);
     let mut tree = SimTree::new(
-        TreeConfig::paper_topology(0.4).with_window(WINDOW).with_seed(77),
+        TreeConfig::paper_topology(0.4)
+            .with_window(WINDOW)
+            .with_seed(77),
     )
     .expect("valid");
     let mut rng = StdRng::seed_from_u64(77);
@@ -141,8 +156,11 @@ fn taxi_trace_end_to_end() {
     for _ in 0..10 {
         let batch = trace.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
     }
     let estimate: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -159,15 +177,20 @@ fn pollution_trace_is_more_accurate_than_taxi_at_same_fraction() {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut taxi = TaxiTrace::new(20_000.0, WINDOW);
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(seed),
+            TreeConfig::paper_topology(fraction)
+                .with_window(WINDOW)
+                .with_seed(seed),
         )
         .expect("valid");
         let mut truth = 0.0;
         for _ in 0..10 {
             let batch = taxi.next_interval(&mut rng);
             truth += batch.value_sum();
-            let sources: Vec<Batch> =
-                batch.stratify().into_values().map(Batch::from_items).collect();
+            let sources: Vec<Batch> = batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect();
             tree.push_interval(&sources);
         }
         let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -175,15 +198,20 @@ fn pollution_trace_is_more_accurate_than_taxi_at_same_fraction() {
 
         let mut pollution = PollutionTrace::new(2_000, WINDOW);
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(seed),
+            TreeConfig::paper_topology(fraction)
+                .with_window(WINDOW)
+                .with_seed(seed),
         )
         .expect("valid");
         let mut truth = 0.0;
         for _ in 0..10 {
             let batch = pollution.next_interval(&mut rng);
             truth += batch.value_sum();
-            let sources: Vec<Batch> =
-                batch.stratify().into_values().map(Batch::from_items).collect();
+            let sources: Vec<Batch> = batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect();
             tree.push_interval(&sources);
         }
         let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -204,8 +232,11 @@ fn threaded_pipeline_matches_sim_tree_counts() {
     let intervals: Vec<Vec<Batch>> = (0..5)
         .map(|_| {
             let batch = mix.next_interval(&mut rng);
-            let mut parts: Vec<Batch> =
-                batch.stratify().into_values().map(Batch::from_items).collect();
+            let mut parts: Vec<Batch> = batch
+                .stratify()
+                .into_values()
+                .map(Batch::from_items)
+                .collect();
             while parts.len() < 4 {
                 parts.push(Batch::new());
             }
@@ -226,6 +257,7 @@ fn threaded_pipeline_matches_sim_tree_counts() {
         capacity_bytes_per_sec: None,
         source_capacity_bytes_per_sec: None,
         source_interval: None,
+        edge_workers: 1,
         seed: 5,
     };
     let report = run_pipeline(&config, intervals).expect("valid");
@@ -250,8 +282,11 @@ fn adaptive_feedback_converges_towards_error_budget() {
         )
         .expect("valid");
         let batch = mix.next_interval(&mut rng);
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
         let results = tree.flush();
         let r = &results[0];

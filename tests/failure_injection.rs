@@ -2,8 +2,8 @@
 //! of the pipeline misbehave — slow links, dropped batches, bursty strata,
 //! topic retention pressure.
 
-use approxiot::prelude::*;
 use approxiot::mq::{codec, Broker, MqError};
+use approxiot::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -55,7 +55,10 @@ fn bursty_stratum_does_not_starve_others() {
     tree.push_interval(&[Batch::from_items(items)]);
     let results = tree.flush();
     let r = &results[0];
-    let steady = r.per_stratum.get(&StratumId::new(1)).expect("stratum 1 present");
+    let steady = r
+        .per_stratum
+        .get(&StratumId::new(1))
+        .expect("stratum 1 present");
     // The steady stratum's sum must be reconstructed well despite the burst.
     assert!(
         accuracy_loss(steady.value, 200_000.0) < 0.05,
@@ -71,7 +74,9 @@ fn weight_carry_forward_survives_interval_splits() {
     let mut node = SamplingNode::new(Strategy::whs(), 0.5, 11).expect("valid");
     // Upstream sent a batch whose weight metadata says 4.0.
     let mut first = Batch::from_items(
-        (0..10).map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k, 0)).collect(),
+        (0..10)
+            .map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k, 0))
+            .collect(),
     );
     first.weights.set(StratumId::new(0), 4.0);
     // ...but the items got split in transit: the second half arrives in the
@@ -80,7 +85,10 @@ fn weight_carry_forward_survives_interval_splits() {
     let mut theta = ThetaStore::new();
     for chunk in &chunks {
         let out = node.process_batch(chunk);
-        theta.push(WhsOutput { weights: out.weights.clone(), sample: out.items.clone() });
+        theta.push(WhsOutput {
+            weights: out.weights.clone(),
+            sample: out.items.clone(),
+        });
     }
     // 10 original items at input weight 4 → reconstructed count 40.
     assert!((theta.count_estimate() - 40.0).abs() < 1e-9);
@@ -92,7 +100,9 @@ fn weight_carry_forward_survives_interval_splits() {
 #[test]
 fn slow_consumer_survives_retention_truncation() {
     let broker = Broker::new();
-    let topic = broker.create_topic_with_retention("t", 1, 4).expect("create");
+    let topic = broker
+        .create_topic_with_retention("t", 1, 4)
+        .expect("create");
     let producer = BatchProducer::new(Arc::clone(&topic));
     let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
     for i in 0..100 {
@@ -136,6 +146,7 @@ fn pipeline_with_empty_sources_terminates() {
         capacity_bytes_per_sec: None,
         source_capacity_bytes_per_sec: None,
         source_interval: None,
+        edge_workers: 1,
         seed: 1,
     };
     // Sources that produce nothing at all.
@@ -153,13 +164,18 @@ fn extreme_fractions_are_stable() {
         let mut rng = StdRng::seed_from_u64(21);
         let mut mix = scenarios::gaussian_mix(10_000.0, WINDOW);
         let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction).with_window(WINDOW).with_seed(21),
+            TreeConfig::paper_topology(fraction)
+                .with_window(WINDOW)
+                .with_seed(21),
         )
         .expect("valid");
         let batch = mix.next_interval(&mut rng);
         let truth = batch.value_sum();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
         tree.push_interval(&sources);
         let results = tree.flush();
         assert_eq!(results.len(), 1);

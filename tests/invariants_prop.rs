@@ -73,7 +73,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let out = whs_sample(&batch, sample_size, &WeightMap::new(), Allocation::Uniform, &mut rng);
-        prop_assert!(out.sample.len() <= sample_size.max(0));
+        prop_assert!(out.sample.len() <= sample_size);
         prop_assert!(out.sample.len() <= batch.len());
     }
 
@@ -184,5 +184,63 @@ proptest! {
         let expected = w * n_items as f64;
         prop_assert!((theta.count_estimate() - expected).abs() < 1e-6,
             "{} vs {expected}", theta.count_estimate());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PR-1 hot path through the facade: the stateful `WhsSampler` (now
+    /// running on the zero-copy StrataIndex kernel) preserves Eq. 9 for
+    /// arbitrary batches, exactly like the pure `whs_sample` reference.
+    #[test]
+    fn hot_path_node_count_reconstruction(
+        batch in arb_batch(),
+        fraction_pct in 5u32..100,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = WhsSampler::new(Allocation::Uniform);
+        let size = (batch.len() * fraction_pct as usize).div_ceil(100);
+        let out = sampler.sample_batch(&batch, size, &mut rng);
+        for (stratum, originals) in batch.stratify() {
+            let kept = out.sample.iter().filter(|i| i.stratum == stratum).count();
+            if kept == 0 {
+                continue;
+            }
+            let lhs = out.weights.get(stratum) * kept as f64;
+            prop_assert!((lhs - originals.len() as f64).abs() < 1e-6,
+                "stratum {stratum}: {lhs} vs {}", originals.len());
+        }
+    }
+
+    /// PR-1 parallel sharding through the runtime node: the union of
+    /// per-shard outputs reconstructs the total count, and a fixed seed
+    /// reproduces the shard outputs exactly.
+    #[test]
+    fn parallel_node_count_and_determinism(
+        n_items in 1usize..2_000,
+        workers in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let batch = Batch::from_items(
+            (0..n_items)
+                .map(|k| StreamItem::with_meta(StratumId::new(0), 1.0, k as u64, 0))
+                .collect(),
+        );
+        let run = || {
+            let mut node = SamplingNode::with_workers(Strategy::whs(), 0.25, seed, workers)
+                .expect("valid fraction");
+            node.process_batch_parallel(&batch)
+        };
+        let outs = run();
+        let theta: ThetaStore = outs
+            .iter()
+            .cloned()
+            .map(|b| WhsOutput { weights: b.weights, sample: b.items })
+            .collect();
+        prop_assert!((theta.count_estimate() - n_items as f64).abs() < 1e-6,
+            "{} vs {n_items}", theta.count_estimate());
+        prop_assert_eq!(outs, run());
     }
 }

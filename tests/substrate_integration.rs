@@ -2,7 +2,9 @@
 //! network emulation working together outside the pre-assembled pipeline —
 //! the way a downstream user would compose them.
 
-use approxiot::mq::{BatchProducer, Broker, Consumer, GroupCoordinator, MqError, OffsetStore, StartOffset};
+use approxiot::mq::{
+    BatchProducer, Broker, Consumer, GroupCoordinator, MqError, OffsetStore, StartOffset,
+};
 use approxiot::net::{Clock, Link, LinkConfig, WallClock};
 use approxiot::prelude::*;
 use approxiot::streams::{SourceEvent, StreamTask, TaskConfig, TumblingWindow, WindowedAggregate};
@@ -30,9 +32,13 @@ fn broker_fed_stream_task_computes_windowed_weighted_sums() {
 
     const SEC: u64 = 1_000_000_000;
     // Two windows of data with known sums.
-    producer.send(&batch_of(0, &[1.0, 2.0, 3.0], 100)).expect("send");
+    producer
+        .send(&batch_of(0, &[1.0, 2.0, 3.0], 100))
+        .expect("send");
     producer.send(&batch_of(0, &[10.0], SEC / 2)).expect("send");
-    producer.send(&batch_of(0, &[100.0, 200.0], SEC + 100)).expect("send");
+    producer
+        .send(&batch_of(0, &[100.0, 200.0], SEC + 100))
+        .expect("send");
     broker.close();
 
     // Source: poll the consumer until drained.
@@ -71,7 +77,10 @@ fn broker_fed_stream_task_computes_windowed_weighted_sums() {
     let (tx, rx) = crossbeam::channel::unbounded();
     let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
     StreamTask::spawn(
-        TaskConfig { punctuation_interval: Duration::from_millis(10), name: "agg".into() },
+        TaskConfig {
+            punctuation_interval: Duration::from_millis(10),
+            name: "agg".into(),
+        },
         clock,
         source,
         topology,
@@ -80,8 +89,10 @@ fn broker_fed_stream_task_computes_windowed_weighted_sums() {
     .join()
     .expect("task joins");
 
-    let mut results: Vec<(u64, f64)> =
-        rx.try_iter().map(|agg| (agg.window, agg.aggregate)).collect();
+    let mut results: Vec<(u64, f64)> = rx
+        .try_iter()
+        .map(|agg| (agg.window, agg.aggregate))
+        .collect();
     results.sort_unstable_by_key(|&(w, _)| w);
     assert_eq!(results.len(), 2, "two windows: {results:?}");
     assert_eq!(results[0], (0, 16.0));
@@ -97,7 +108,9 @@ fn group_workers_share_topic_and_resume_from_commits() {
     let producer = BatchProducer::new(Arc::clone(&topic));
     for p in 0..4u32 {
         for i in 0..5 {
-            producer.send_to(p, &batch_of(p, &[i as f64], 0), 0).expect("send");
+            producer
+                .send_to(p, &batch_of(p, &[i as f64], 0), 0)
+                .expect("send");
         }
     }
 
@@ -109,7 +122,9 @@ fn group_workers_share_topic_and_resume_from_commits() {
     // Each worker drains its share and commits.
     let mut drained = 0;
     for m in [&a, &b] {
-        let mut consumer = group.consumer(m.member_id, StartOffset::Earliest).expect("member");
+        let mut consumer = group
+            .consumer(m.member_id, StartOffset::Earliest)
+            .expect("member");
         loop {
             let records = consumer.poll(16, Duration::ZERO).expect("poll");
             if records.is_empty() {
@@ -123,8 +138,11 @@ fn group_workers_share_topic_and_resume_from_commits() {
 
     // New data arrives; a "restarted" worker with the committed offsets
     // sees only the new records.
-    producer.send_to(0, &batch_of(0, &[99.0], 0), 0).expect("send");
-    let mut resumed = Consumer::subscribe_committed(topic, "workers", &store, StartOffset::Earliest);
+    producer
+        .send_to(0, &batch_of(0, &[99.0], 0), 0)
+        .expect("send");
+    let mut resumed =
+        Consumer::subscribe_committed(topic, "workers", &store, StartOffset::Earliest);
     let fresh = resumed.poll(16, Duration::ZERO).expect("poll");
     assert_eq!(fresh.len(), 1);
     assert_eq!(fresh[0].offset, 5);
@@ -138,11 +156,13 @@ fn encoded_batches_survive_an_impaired_link() {
         .jitter(Duration::from_millis(2))
         .loss(0.2);
     let (tx, rx, pump) = Link::connect::<Vec<u8>>(config);
-    let sent: Vec<Batch> =
-        (0..200).map(|i| batch_of(i % 4, &[i as f64, (i * 2) as f64], i as u64)).collect();
+    let sent: Vec<Batch> = (0..200)
+        .map(|i| batch_of(i % 4, &[i as f64, (i * 2) as f64], i as u64))
+        .collect();
     for batch in &sent {
         let frame = approxiot::mq::codec::encode_batch(batch);
-        tx.send(frame.to_vec(), frame.len() as u64).expect("receiver alive");
+        tx.send(frame.to_vec(), frame.len() as u64)
+            .expect("receiver alive");
     }
     drop(tx);
     let mut delivered = 0;
@@ -158,5 +178,8 @@ fn encoded_batches_survive_an_impaired_link() {
         delivered += 1;
     }
     pump.join().expect("pump exits");
-    assert!(delivered > 120 && delivered < 195, "~20% loss, got {delivered}/200");
+    assert!(
+        delivered > 120 && delivered < 195,
+        "~20% loss, got {delivered}/200"
+    );
 }

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a cheaply clonable immutable byte buffer (`Arc<[u8]>`
+//! inside), [`BytesMut`] a growable builder with little-endian `put_*`
+//! methods, and [`Buf`] the cursor trait the codec uses to decode from
+//! `&[u8]`. Only the workspace's actual API surface is implemented.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (no copy in the real crate; here a single
+    /// upfront copy into the shared allocation).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+/// Growable byte builder with little-endian writers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty builder with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write sink for encoded data (implemented for [`BytesMut`] and
+/// `Vec<u8>`).
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, v: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, v: &[u8]) {
+        self.data.extend_from_slice(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+/// Read cursor over a byte source (implemented for `&[u8]`).
+///
+/// Reads advance the cursor; `get_*` methods panic when the source has too
+/// few bytes left, matching the real crate — callers check `remaining()`
+/// first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns the next `N`-byte array.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at yields exactly N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip_little_endian() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16_le(0xA107);
+        b.put_u8(1);
+        b.put_u32_le(7);
+        b.put_u64_le(u64::MAX);
+        b.put_f64_le(1.5);
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u16_le(), 0xA107);
+        assert_eq!(cur.get_u8(), 1);
+        assert_eq!(cur.get_u32_le(), 7);
+        assert_eq!(cur.get_u64_le(), u64::MAX);
+        assert_eq!(cur.get_f64_le(), 1.5);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let s: Bytes = (&b"abc"[..]).into();
+        assert_eq!(&s[..], b"abc");
+        let st = Bytes::from_static(b"xy");
+        assert_eq!(&st[..], b"xy");
+        let c = Bytes::copy_from_slice(&[9]);
+        assert_eq!(&c[..], &[9]);
+    }
+}

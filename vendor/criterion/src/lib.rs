@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the micro-benchmarks use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], [`BenchmarkId`] —
+//! with a simple but honest measurement loop: warm up for
+//! `warm_up_time`, size iteration batches from the warm-up estimate, take
+//! `sample_size` timed batches and report the median per-iteration time
+//! plus derived throughput. Results print as one line per benchmark:
+//!
+//! ```text
+//! bench <group>/<name>[/<param>]  median <ns> ns/iter  (<rate> <unit>/s)
+//! ```
+//!
+//! A positional command-line substring filter is honoured like the real
+//! crate's, so `cargo bench --bench micro_samplers -- sampler_per_batch`
+//! runs a subset.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration plus the benchmark-name filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many items each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `whs/8`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id combining a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        self.run(full, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().name);
+        self.run(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, full_name: String, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({} elem/s)", human_rate(n as f64 / (median * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({}B/s)", human_rate(n as f64 / (median * 1e-9)))
+            }
+            _ => String::new(),
+        };
+        println!("bench {full_name:<44} median {median:>12.1} ns/iter{rate}");
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2}")
+    }
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, called repeatedly; its return value is
+    /// black-boxed so the work is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        // Size batches so all samples fit the measurement budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / est_ns).floor() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// Declares a benchmark group function in the criterion macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_fast_closures() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        c.filter = None;
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("add", |b| {
+            ran = true;
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.filter = Some("nomatch".into());
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("x", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_param() {
+        assert_eq!(BenchmarkId::new("whs", 8).name, "whs/8");
+    }
+}
