@@ -62,6 +62,14 @@ impl Batch {
         self.items.len()
     }
 
+    /// Empties the batch (items and weights), keeping both allocations so
+    /// the storage can be refilled — the recycling primitive behind
+    /// [`crate::BatchPool`] and the wire codec's `decode_batch_into`.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.weights.clear();
+    }
+
     /// Returns `true` when the batch carries no items.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()

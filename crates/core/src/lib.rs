@@ -45,7 +45,11 @@
 //! shard, sampled concurrently under `std::thread::scope` (inline when
 //! the host has a single CPU — per-shard RNG state makes the output
 //! identical either way). Each shard emits its own `(W_out, sample)`
-//! pair, which the root's Θ handling already accepts.
+//! pair, which the root's Θ handling already accepts. The threaded
+//! pipeline runs the same design on `approxiot-runtime`'s persistent
+//! `WorkerPool` (long-lived channel-fed workers, bit-identical output via
+//! the shared [`shard_slice`]/[`shard_budget`] partitioning), keeping this
+//! type as the reference implementation.
 //!
 //! `micro_samplers` in `approxiot-bench` tracks both paths; baseline
 //! numbers live in `BENCH_micro.json` at the repository root.
@@ -85,6 +89,7 @@ pub mod budget;
 pub mod error;
 pub mod estimate;
 pub mod item;
+pub mod pool;
 pub mod quantile;
 pub mod sampling;
 pub mod stats;
@@ -95,9 +100,12 @@ pub use budget::{AdaptiveController, BudgetError, CostFunction, FixedSize, Sampl
 pub use error::{accuracy_loss, Confidence, Estimate};
 pub use estimate::{StratumEstimate, ThetaStore};
 pub use item::{Measure, StratumId, StreamItem};
+pub use pool::BatchPool;
 pub use sampling::allocation::{Allocation, SizingScratch};
 pub use sampling::reservoir::{Reservoir, SkipReservoir};
-pub use sampling::sharded::{sharded_whs_sample, ParallelShardedSampler};
+pub use sampling::sharded::{
+    shard_budget, shard_slice, sharded_whs_sample, ParallelShardedSampler,
+};
 pub use sampling::srs::{InvalidFractionError, SrsSampler};
 pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler, WhsScratch};
 pub use weight::{WeightMap, WeightStore};

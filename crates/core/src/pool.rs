@@ -1,0 +1,118 @@
+//! Batch recycling: a small free-list of [`Batch`]es so decode-heavy loops
+//! reuse item and weight storage instead of allocating per frame.
+//!
+//! The threaded pipeline decodes one [`Batch`] per wire frame at every edge
+//! node and at the root. Without recycling, each frame costs a fresh
+//! `Vec<StreamItem>` (plus its growth doublings) that is dropped a few
+//! microseconds later. A [`BatchPool`] keeps the storage of finished
+//! batches and hands it back to the decoder: after warm-up, the
+//! decode → process → recycle loop performs no per-frame allocations.
+//!
+//! The pool is deliberately single-threaded (each node loop owns one);
+//! nothing here needs locks.
+
+use crate::batch::Batch;
+
+/// A bounded free-list of cleared [`Batch`]es.
+///
+/// [`BatchPool::get`] pops a recycled batch (or creates an empty one);
+/// [`BatchPool::put`] clears a finished batch and keeps it for the next
+/// `get`, up to the capacity given at construction — beyond that, batches
+/// are simply dropped, so a transient backlog cannot pin memory forever.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{BatchPool, StratumId, StreamItem};
+///
+/// let mut pool = BatchPool::new(4);
+/// let mut batch = pool.get();
+/// batch.items.push(StreamItem::new(StratumId::new(0), 1.0));
+/// pool.put(batch);
+/// let recycled = pool.get();
+/// assert!(recycled.is_empty(), "recycled batches come back cleared");
+/// assert!(recycled.items.capacity() >= 1, "but keep their storage");
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchPool {
+    free: Vec<Batch>,
+    cap: usize,
+}
+
+impl BatchPool {
+    /// Creates a pool retaining at most `cap` idle batches.
+    pub fn new(cap: usize) -> Self {
+        BatchPool {
+            free: Vec::with_capacity(cap.min(64)),
+            cap,
+        }
+    }
+
+    /// Takes a batch from the pool, or a fresh empty one when the pool is
+    /// dry. The returned batch is always empty but may carry warmed-up
+    /// capacity.
+    pub fn get(&mut self) -> Batch {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished batch to the pool. The batch is cleared here;
+    /// its item and weight storage is kept for the next [`BatchPool::get`].
+    /// Dropped instead when the pool already holds its capacity.
+    pub fn put(&mut self, mut batch: Batch) {
+        if self.free.len() >= self.cap {
+            return;
+        }
+        batch.clear();
+        self.free.push(batch);
+    }
+
+    /// Number of idle batches currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The retention capacity given at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{StratumId, StreamItem};
+
+    #[test]
+    fn get_put_recycles_storage() {
+        let mut pool = BatchPool::new(2);
+        let mut batch = pool.get();
+        batch
+            .items
+            .extend((0..100).map(|i| StreamItem::new(StratumId::new(0), i as f64)));
+        batch.weights.set(StratumId::new(0), 2.0);
+        let ptr = batch.items.as_ptr();
+        pool.put(batch);
+        assert_eq!(pool.idle(), 1);
+        let recycled = pool.get();
+        assert!(recycled.is_empty());
+        assert!(recycled.weights.is_empty());
+        assert!(recycled.items.capacity() >= 100);
+        assert_eq!(recycled.items.as_ptr(), ptr, "same allocation comes back");
+    }
+
+    #[test]
+    fn pool_drops_beyond_capacity() {
+        let mut pool = BatchPool::new(1);
+        pool.put(Batch::new());
+        pool.put(Batch::new());
+        assert_eq!(pool.idle(), 1, "capacity bounds retained batches");
+        assert_eq!(pool.capacity(), 1);
+    }
+
+    #[test]
+    fn dry_pool_hands_out_fresh_batches() {
+        let mut pool = BatchPool::new(4);
+        assert_eq!(pool.idle(), 0);
+        assert!(pool.get().is_empty());
+    }
+}

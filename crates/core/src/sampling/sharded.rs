@@ -80,7 +80,11 @@ pub fn sharded_whs_sample<R: Rng + ?Sized>(
 /// Shard `idx`'s reservoir budget: `total / workers`, with the remainder
 /// distributed one slot each to the lowest-indexed shards so the budgets
 /// sum exactly to `total`.
-fn shard_budget(total: usize, workers: usize, idx: usize) -> usize {
+///
+/// Public because the persistent `WorkerPool` in `approxiot-runtime` must
+/// split budgets **identically** to [`ParallelShardedSampler`] for its
+/// bit-identical-output guarantee to hold.
+pub fn shard_budget(total: usize, workers: usize, idx: usize) -> usize {
     total / workers + usize::from(idx < total % workers)
 }
 
@@ -88,7 +92,11 @@ fn shard_budget(total: usize, workers: usize, idx: usize) -> usize {
 /// `items.len() / workers` items, the remainder spread over the first
 /// shards. Slices index directly into the caller's buffer — no per-shard
 /// item vectors.
-fn shard_slice(items: &[StreamItem], workers: usize, idx: usize) -> &[StreamItem] {
+///
+/// Public for the same reason as [`shard_budget`]: every execution engine
+/// of the §III-E design must partition identically or fixed-seed outputs
+/// diverge between engines.
+pub fn shard_slice(items: &[StreamItem], workers: usize, idx: usize) -> &[StreamItem] {
     let n = items.len();
     let base = n / workers;
     let extra = n % workers;
@@ -129,9 +137,12 @@ fn shard_slice(items: &[StreamItem], workers: usize, idx: usize) -> &[StreamItem
 ///
 /// The worker scope is spawned **per batch**; on hosts where thread
 /// spawn+join (tens of µs per worker) is comparable to the per-batch
-/// sampling work, a persistent channel-fed pool would amortise it — a
-/// known follow-up (ROADMAP), not yet needed at the batch sizes the
-/// pipelines carry.
+/// sampling work, that overhead matters. The runtime crate's persistent
+/// `WorkerPool` amortises it with long-lived channel-fed workers and is
+/// what the threaded pipeline uses; it produces bit-identical output to
+/// this sampler (same [`shard_slice`]/[`shard_budget`] partitioning, same
+/// per-shard RNG discipline), which keeps this type as the reference
+/// implementation and property-test oracle.
 ///
 /// # Examples
 ///

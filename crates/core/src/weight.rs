@@ -90,6 +90,12 @@ impl WeightMap {
             self.entries.insert(s, w);
         }
     }
+
+    /// Removes every explicit weight (all strata weigh `1.0` again). Used
+    /// when recycling a [`crate::Batch`] through a [`crate::BatchPool`].
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 impl fmt::Display for WeightMap {

@@ -16,7 +16,7 @@
 //! ```
 
 use crate::error::MqError;
-use approxiot_core::{Batch, StratumId, StreamItem, WeightMap};
+use approxiot_core::{Batch, StratumId, StreamItem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u16 = 0xA107;
@@ -50,6 +50,20 @@ pub fn encoded_len(batch: &Batch) -> usize {
 /// ```
 pub fn encode_batch(batch: &Batch) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_len(batch));
+    encode_batch_into(batch, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a batch into a caller-owned buffer, replacing its contents.
+///
+/// This is the steady-state entry point: the buffer is cleared (keeping
+/// its allocation) and exact room is reserved up front, so a loop that
+/// encodes same-sized batches through one reused `BytesMut` performs
+/// **zero allocations per frame** after the first. [`encode_batch`] is a
+/// thin wrapper for one-shot callers.
+pub fn encode_batch_into(batch: &Batch, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(encoded_len(batch));
     buf.put_u16_le(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u32_le(batch.weights.len() as u32);
@@ -64,7 +78,6 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
         buf.put_u64_le(item.seq);
         buf.put_u64_le(item.source_ts);
     }
-    buf.freeze()
 }
 
 /// Decodes a wire frame back into a batch.
@@ -74,6 +87,27 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
 /// Returns [`MqError::Codec`] on a bad magic number, unsupported version or
 /// truncated frame.
 pub fn decode_batch(frame: &[u8]) -> Result<Batch, MqError> {
+    let mut batch = Batch::new();
+    decode_batch_into(frame, &mut batch)?;
+    Ok(batch)
+}
+
+/// Decodes a wire frame into a caller-owned (typically recycled) batch,
+/// replacing its contents.
+///
+/// The batch is cleared first, keeping its item storage, so a loop that
+/// decodes frames into batches drawn from an
+/// [`approxiot_core::BatchPool`] allocates nothing per frame once the
+/// pooled capacities have warmed up. On error the batch is left cleared —
+/// never partially decoded.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, unsupported version,
+/// truncated/corrupted frame or trailing bytes; never panics, whatever
+/// the input bytes.
+pub fn decode_batch_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqError> {
+    batch.clear();
     let mut buf = frame;
     if buf.remaining() < HEADER {
         return Err(MqError::Codec("frame shorter than header".into()));
@@ -93,44 +127,51 @@ pub fn decode_batch(frame: &[u8]) -> Result<Batch, MqError> {
     if buf.remaining() < weight_count * WEIGHT_ENTRY {
         return Err(MqError::Codec("truncated weight entries".into()));
     }
-    let mut weights = WeightMap::new();
     for _ in 0..weight_count {
         let stratum = StratumId::new(buf.get_u32_le());
         let weight = buf.get_f64_le();
         if !weight.is_finite() || weight < 1.0 - 1e-9 {
+            batch.weights.clear();
             return Err(MqError::Codec(format!(
                 "invalid weight {weight} for {stratum}"
             )));
         }
-        weights.set(stratum, weight);
+        batch.weights.set(stratum, weight);
     }
     if buf.remaining() < 4 {
+        batch.weights.clear();
         return Err(MqError::Codec("truncated item count".into()));
     }
     let item_count = buf.get_u32_le() as usize;
-    if buf.remaining() < item_count * ITEM_ENTRY {
-        return Err(MqError::Codec("truncated item entries".into()));
+    if buf.remaining() != item_count * ITEM_ENTRY {
+        let failure = if buf.remaining() < item_count * ITEM_ENTRY {
+            "truncated item entries".to_string()
+        } else {
+            format!(
+                "{} trailing bytes",
+                buf.remaining() - item_count * ITEM_ENTRY
+            )
+        };
+        batch.weights.clear();
+        return Err(MqError::Codec(failure));
     }
-    let mut items = Vec::with_capacity(item_count);
+    batch.items.reserve(item_count);
     for _ in 0..item_count {
         let stratum = StratumId::new(buf.get_u32_le());
         let value = buf.get_f64_le();
         let seq = buf.get_u64_le();
         let source_ts = buf.get_u64_le();
-        items.push(StreamItem::with_meta(stratum, value, seq, source_ts));
+        batch
+            .items
+            .push(StreamItem::with_meta(stratum, value, seq, source_ts));
     }
-    if buf.has_remaining() {
-        return Err(MqError::Codec(format!(
-            "{} trailing bytes",
-            buf.remaining()
-        )));
-    }
-    Ok(Batch::with_weights(weights, items))
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use approxiot_core::WeightMap;
 
     fn sample_batch() -> Batch {
         let mut weights = WeightMap::new();
@@ -209,6 +250,48 @@ mod tests {
         buf.put_u32_le(0);
         let err = decode_batch(&buf).unwrap_err();
         assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_without_growth() {
+        let batch = sample_batch();
+        let mut buf = BytesMut::new();
+        encode_batch_into(&batch, &mut buf);
+        assert_eq!(
+            &buf[..],
+            &encode_batch(&batch)[..],
+            "same bytes as one-shot"
+        );
+        let warm = buf.capacity();
+        for _ in 0..100 {
+            encode_batch_into(&batch, &mut buf);
+        }
+        assert_eq!(buf.capacity(), warm, "steady state: no per-frame growth");
+        assert_eq!(buf.len(), encoded_len(&batch));
+    }
+
+    #[test]
+    fn decode_into_refills_recycled_batch_without_growth() {
+        let batch = sample_batch();
+        let frame = encode_batch(&batch);
+        let mut recycled = Batch::new();
+        decode_batch_into(&frame, &mut recycled).expect("decodes");
+        assert_eq!(recycled, batch);
+        let warm = recycled.items.capacity();
+        for _ in 0..100 {
+            decode_batch_into(&frame, &mut recycled).expect("decodes");
+        }
+        assert_eq!(recycled, batch);
+        assert_eq!(recycled.items.capacity(), warm, "item storage reused");
+    }
+
+    #[test]
+    fn decode_into_clears_stale_contents_on_error() {
+        let mut stale = sample_batch();
+        let err = decode_batch_into(&[0xFF, 0xFF, 1], &mut stale).unwrap_err();
+        assert!(matches!(err, MqError::Codec(_)));
+        assert!(stale.is_empty(), "failed decode must not leave stale items");
+        assert!(stale.weights.is_empty());
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct Consumer {
     topic: Arc<Topic>,
     /// Next offset to read, per assigned partition.
     offsets: BTreeMap<u32, u64>,
+    /// The assigned partitions in ascending order — cached at subscribe
+    /// time (the assignment never changes afterwards) so polling never
+    /// rebuilds the key list.
+    partitions: Vec<u32>,
     /// Rotation cursor for fairness.
     cursor: usize,
 }
@@ -71,9 +75,11 @@ impl Consumer {
                 offsets.insert(p, offset);
             }
         }
+        let partitions = offsets.keys().copied().collect();
         Consumer {
             topic,
             offsets,
+            partitions,
             cursor: 0,
         }
     }
@@ -106,69 +112,97 @@ impl Consumer {
     /// Returns [`MqError::Closed`] once every assigned partition is closed
     /// **and** fully drained.
     pub fn poll(&mut self, max: usize, timeout: Duration) -> Result<Vec<Record>, MqError> {
-        if self.offsets.is_empty() {
-            return Ok(Vec::new());
-        }
-        let partitions: Vec<u32> = self.offsets.keys().copied().collect();
-        let n = partitions.len();
         let mut out = Vec::new();
+        self.poll_into(&mut out, max, timeout)?;
+        Ok(out)
+    }
+
+    /// Polls like [`Consumer::poll`], but **replaces** the contents of a
+    /// caller-owned buffer instead of returning a fresh vector, and returns
+    /// how many records were delivered.
+    ///
+    /// This is the steady-state consumption path: `out` is cleared (keeping
+    /// its allocation) and refilled, and the partition sweep appends
+    /// directly into it via [`crate::PartitionLog::read_into`], so a node
+    /// loop polling through one reused buffer allocates nothing per poll
+    /// once the buffer has warmed up. Both phases of the poll — the
+    /// non-blocking rotation sweep and the single blocking wait when fully
+    /// caught up — run through the same partition drain, so blocked polls
+    /// wake on produce exactly like [`Consumer::poll`] always has.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Consumer::poll`].
+    pub fn poll_into(
+        &mut self,
+        out: &mut Vec<Record>,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<usize, MqError> {
+        out.clear();
+        let n = self.partitions.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        // Phase 1: non-blocking drain in rotation order.
         let mut closed = 0usize;
-        // First sweep: non-blocking drain in rotation order.
         for step in 0..n {
             if out.len() >= max {
                 break;
             }
-            let p = partitions[(self.cursor + step) % n];
-            match self.poll_partition(p, max - out.len(), Duration::ZERO) {
-                Ok(mut records) => out.append(&mut records),
+            let p = self.partitions[(self.cursor + step) % n];
+            match self.drain_partition_into(p, max - out.len(), Duration::ZERO, out) {
+                Ok(_) => {}
                 Err(MqError::Closed) => closed += 1,
                 Err(e) => return Err(e),
             }
         }
         self.cursor = (self.cursor + 1) % n;
         if !out.is_empty() {
-            return Ok(out);
+            return Ok(out.len());
         }
         if closed == n {
             return Err(MqError::Closed);
         }
-        // Nothing ready: block on the first open partition for the timeout.
-        for &p in &partitions {
-            match self.poll_partition(p, max, timeout) {
-                Ok(records) => {
-                    if !records.is_empty() {
-                        return Ok(records);
-                    }
-                }
+        // Phase 2: fully caught up — spend the timeout blocking on the
+        // first open partition (the same drain, now allowed to wait).
+        for step in 0..n {
+            let p = self.partitions[step];
+            match self.drain_partition_into(p, max, timeout, out) {
+                Ok(_) => {}
                 Err(MqError::Closed) => continue,
                 Err(e) => return Err(e),
             }
             break; // only spend the timeout once
         }
-        Ok(Vec::new())
+        Ok(out.len())
     }
 
-    fn poll_partition(
+    /// Drains one partition into `out` (appending), advancing its offset
+    /// past the delivered records. Shared by both poll phases.
+    fn drain_partition_into(
         &mut self,
         partition: u32,
         max: usize,
         timeout: Duration,
-    ) -> Result<Vec<Record>, MqError> {
+        out: &mut Vec<Record>,
+    ) -> Result<usize, MqError> {
         let log = self.topic.partition(partition)?;
         let offset = *self.offsets.get(&partition).unwrap_or(&0);
-        let records = match log.read_from(offset, max, timeout) {
-            Ok(r) => r,
+        let taken = match log.read_into(offset, max, timeout, out) {
+            Ok(taken) => taken,
             Err(MqError::OffsetOutOfRange { earliest, .. }) => {
                 // auto.offset.reset = earliest
                 self.offsets.insert(partition, earliest);
-                log.read_from(earliest, max, timeout)?
+                log.read_into(earliest, max, timeout, out)?
             }
             Err(e) => return Err(e),
         };
-        if let Some(last) = records.last() {
+        if taken > 0 {
+            let last = out.last().expect("taken > 0 records were appended");
             self.offsets.insert(partition, last.offset + 1);
         }
-        Ok(records)
+        Ok(taken)
     }
 
     /// Polls and decodes records into [`Batch`]es (codec errors abort the
@@ -312,6 +346,52 @@ mod tests {
         assert_eq!(got.len(), 4);
         let p0 = got.iter().filter(|r| r.partition == 0).count();
         assert_eq!(p0, 2);
+    }
+
+    #[test]
+    fn blocked_poll_into_still_wakes_on_produce() {
+        // Regression for the poll/poll_into unification: the blocking
+        // second phase must still park on the partition condvar and wake
+        // when a producer appends, not just spin the non-blocking sweep.
+        let (_b, topic, producer) = setup(2);
+        let mut consumer = Consumer::subscribe_all(Arc::clone(&topic), StartOffset::Earliest);
+        let mut buf = Vec::new();
+        // Warm the buffer so the wake-up delivery is allocation-free too.
+        assert_eq!(consumer.poll_into(&mut buf, 10, Duration::ZERO), Ok(0));
+        let waker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            producer.send_to(0, &batch(9.0), 0).expect("send");
+        });
+        let start = std::time::Instant::now();
+        let got = consumer
+            .poll_into(&mut buf, 10, Duration::from_secs(5))
+            .expect("poll");
+        assert_eq!(got, 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].partition, 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "woke on produce, not on timeout"
+        );
+        waker.join().expect("join");
+    }
+
+    #[test]
+    fn poll_into_reuses_buffer_and_replaces_contents() {
+        let (_b, topic, producer) = setup(1);
+        for i in 0..8 {
+            producer.send(&batch(i as f64)).expect("send");
+        }
+        let mut consumer = Consumer::subscribe_all(topic, StartOffset::Earliest);
+        let mut buf = Vec::new();
+        assert_eq!(consumer.poll_into(&mut buf, 4, Duration::ZERO), Ok(4));
+        let warm = buf.capacity();
+        let first_offsets: Vec<u64> = buf.iter().map(|r| r.offset).collect();
+        assert_eq!(first_offsets, vec![0, 1, 2, 3]);
+        assert_eq!(consumer.poll_into(&mut buf, 4, Duration::ZERO), Ok(4));
+        let second_offsets: Vec<u64> = buf.iter().map(|r| r.offset).collect();
+        assert_eq!(second_offsets, vec![4, 5, 6, 7], "contents replaced");
+        assert_eq!(buf.capacity(), warm, "no per-poll growth");
     }
 
     #[test]

@@ -87,6 +87,27 @@ impl PartitionLog {
         max: usize,
         timeout: Duration,
     ) -> Result<Vec<Record>, MqError> {
+        let mut out = Vec::new();
+        self.read_into(offset, max, timeout, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`PartitionLog::read_from`], but **appends** the records to a
+    /// caller-owned buffer and returns how many were appended — the
+    /// allocation-free consumption path ([`crate::Consumer::poll_into`]
+    /// sweeps several partitions into one reused buffer). Record clones
+    /// only bump the payload's refcount; no payload bytes are copied.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PartitionLog::read_from`].
+    pub fn read_into(
+        &self,
+        offset: u64,
+        max: usize,
+        timeout: Duration,
+        out: &mut Vec<Record>,
+    ) -> Result<usize, MqError> {
         let mut state = self.state.lock();
         if offset < state.earliest {
             return Err(MqError::OffsetOutOfRange {
@@ -104,19 +125,15 @@ impl PartitionLog {
                 return if state.closed {
                     Err(MqError::Closed)
                 } else {
-                    Ok(Vec::new())
+                    Ok(0)
                 };
             }
         }
         let start = (offset - state.earliest) as usize;
         let end = state.records.len().min(start + max);
-        Ok(state
-            .records
-            .iter()
-            .skip(start)
-            .take(end - start)
-            .cloned()
-            .collect())
+        let taken = end - start;
+        out.extend(state.records.iter().skip(start).take(taken).cloned());
+        Ok(taken)
     }
 
     /// Earliest retained offset.

@@ -1,15 +1,23 @@
 //! Producers: typed convenience handles for publishing batches.
 
-use crate::codec::encode_batch;
+use crate::codec::encode_batch_into;
 use crate::error::MqError;
 use crate::record::ProducerRecord;
 use crate::topic::Topic;
 use approxiot_core::Batch;
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Publishes [`Batch`]es to a topic, encoding them with the wire codec and
 /// metering bytes produced (for the bandwidth experiments).
+///
+/// Encoding runs through a producer-owned scratch buffer
+/// ([`crate::codec::encode_batch_into`]), so the only per-send allocation
+/// is the one the log's retention model requires: the shared immutable
+/// payload handed to the partition. The scratch itself never shrinks and
+/// stops growing once it has seen the largest frame the producer sends.
 ///
 /// # Examples
 ///
@@ -27,6 +35,10 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct BatchProducer {
     topic: Arc<Topic>,
+    /// Reused encode buffer; a mutex (not `&mut self`) so shared producer
+    /// handles keep working — uncontended in the pipeline, where every
+    /// node thread owns its producer.
+    scratch: Mutex<BytesMut>,
     bytes_sent: AtomicU64,
     batches_sent: AtomicU64,
     items_sent: AtomicU64,
@@ -37,10 +49,24 @@ impl BatchProducer {
     pub fn new(topic: Arc<Topic>) -> Self {
         BatchProducer {
             topic,
+            scratch: Mutex::new(BytesMut::new()),
             bytes_sent: AtomicU64::new(0),
             batches_sent: AtomicU64::new(0),
             items_sent: AtomicU64::new(0),
         }
+    }
+
+    /// Encodes `batch` through the reused scratch and returns the shared
+    /// payload to append, metering as it goes.
+    fn encode_frame(&self, batch: &Batch) -> Bytes {
+        let mut scratch = self.scratch.lock();
+        encode_batch_into(batch, &mut scratch);
+        self.bytes_sent
+            .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.items_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        Bytes::copy_from_slice(&scratch)
     }
 
     /// The topic this producer publishes to.
@@ -63,12 +89,7 @@ impl BatchProducer {
     ///
     /// Returns [`MqError::Closed`] once the topic is closed.
     pub fn send_at(&self, batch: &Batch, timestamp: u64) -> Result<(u32, u64), MqError> {
-        let frame = encode_batch(batch);
-        self.bytes_sent
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.items_sent
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let frame = self.encode_frame(batch);
         self.topic.append(ProducerRecord {
             key: None,
             value: frame,
@@ -88,12 +109,7 @@ impl BatchProducer {
         batch: &Batch,
         timestamp: u64,
     ) -> Result<(u32, u64), MqError> {
-        let frame = encode_batch(batch);
-        self.bytes_sent
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        self.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.items_sent
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let frame = self.encode_frame(batch);
         self.topic.append_to(
             partition,
             ProducerRecord {
@@ -157,6 +173,26 @@ mod tests {
             big > after_small,
             "100-item frame larger than 10-item frame"
         );
+    }
+
+    #[test]
+    fn encode_scratch_stops_growing_after_warm_up() {
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", 1).expect("create");
+        let producer = BatchProducer::new(topic);
+        producer.send(&batch(100)).expect("send");
+        let warm = producer.scratch.lock().capacity();
+        for _ in 0..50 {
+            producer.send(&batch(100)).expect("send");
+        }
+        assert_eq!(
+            producer.scratch.lock().capacity(),
+            warm,
+            "steady state: the encode buffer is reused, not regrown"
+        );
+        // Smaller frames reuse the same buffer too.
+        producer.send(&batch(1)).expect("send");
+        assert_eq!(producer.scratch.lock().capacity(), warm);
     }
 
     #[test]

@@ -51,6 +51,81 @@ proptest! {
         prop_assert!(decode_batch(&frame[..len]).is_err());
     }
 
+    /// The buffer-reusing codec paths agree with the one-shot ones: a
+    /// recycled `BytesMut` encodes the same bytes, and a recycled `Batch`
+    /// decodes to the same contents — including when the buffers carry
+    /// stale state from a previous (differently sized) frame.
+    #[test]
+    fn codec_reuse_paths_match_one_shot(first in arb_batch(), second in arb_batch()) {
+        let mut buf = bytes::BytesMut::new();
+        let mut recycled = Batch::new();
+        for batch in [&first, &second] {
+            approxiot_mq::codec::encode_batch_into(batch, &mut buf);
+            prop_assert_eq!(&buf[..], &encode_batch(batch)[..]);
+            prop_assert_eq!(buf.len(), encoded_len(batch));
+            approxiot_mq::codec::decode_batch_into(&buf, &mut recycled).expect("well-formed");
+            prop_assert_eq!(&recycled, batch);
+        }
+    }
+
+    /// Truncation is rejected at *every* prefix length of an arbitrary
+    /// frame — not just a sampled one — and never leaves a recycled batch
+    /// partially decoded.
+    #[test]
+    fn codec_rejects_every_prefix_length(batch in arb_batch()) {
+        let frame = encode_batch(&batch);
+        let mut recycled = Batch::new();
+        for len in 0..frame.len() {
+            prop_assert!(
+                approxiot_mq::codec::decode_batch_into(&frame[..len], &mut recycled).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+            prop_assert!(recycled.is_empty(), "failed decode left items behind");
+            prop_assert!(recycled.weights.is_empty(), "failed decode left weights behind");
+        }
+    }
+
+    /// Corrupting any single byte of a valid frame never panics the
+    /// decoder: it either errs gracefully with `MqError::Codec` (or an
+    /// equally graceful non-codec error is impossible here) or decodes to
+    /// some batch whose re-encoding is consistent with the frame length.
+    #[test]
+    fn codec_corruption_never_panics(batch in arb_batch(), pos in 0usize..2000, flip in 1u8..=255) {
+        let mut frame = encode_batch(&batch).to_vec();
+        if frame.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % frame.len();
+        frame[pos] ^= flip;
+        match decode_batch(&frame) {
+            Err(approxiot_mq::MqError::Codec(_)) => {}
+            Err(e) => prop_assert!(false, "corruption surfaced a non-codec error: {e}"),
+            Ok(decoded) => {
+                // A flipped byte can still be a valid frame (e.g. a value
+                // byte changed, or two weight entries' strata collided and
+                // merged), so the re-encoding can only shrink — and must
+                // itself round-trip cleanly.
+                prop_assert!(encoded_len(&decoded) <= frame.len());
+                let reencoded = encode_batch(&decoded);
+                prop_assert_eq!(decode_batch(&reencoded).expect("re-encode decodes"), decoded);
+            }
+        }
+    }
+
+    /// Feeding the decoder arbitrary bytes never panics.
+    #[test]
+    fn codec_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        match decode_batch(&bytes) {
+            Ok(decoded) => {
+                prop_assert!(encoded_len(&decoded) <= bytes.len());
+                let reencoded = encode_batch(&decoded);
+                prop_assert_eq!(decode_batch(&reencoded).expect("re-encode decodes"), decoded);
+            }
+            Err(approxiot_mq::MqError::Codec(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
     /// Log appends assign dense offsets and reads return exactly the asked
     /// range, regardless of retention.
     #[test]

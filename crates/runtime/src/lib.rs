@@ -44,6 +44,7 @@
 pub mod feedback;
 pub mod node;
 pub mod pipeline;
+pub mod pool;
 pub mod query;
 pub mod root;
 pub mod tree;
@@ -51,6 +52,7 @@ pub mod tree;
 pub use feedback::FeedbackLoop;
 pub use node::{SamplingNode, Strategy};
 pub use pipeline::{run_pipeline, LatencyStats, PipelineConfig, PipelineReport};
+pub use pool::WorkerPool;
 pub use query::Query;
 pub use root::{RootConfig, RootNode, WindowResult};
 pub use tree::{FractionSplit, LayerBytes, SimTree, TreeConfig};

@@ -2,9 +2,8 @@
 //! sampling strategy so the same pipeline can run ApproxIoT, the SRS
 //! baseline or the native (no sampling) execution.
 
-use approxiot_core::{
-    Allocation, Batch, CostFunction, ParallelShardedSampler, SamplingBudget, SrsSampler, WhsSampler,
-};
+use crate::pool::WorkerPool;
+use approxiot_core::{Allocation, Batch, CostFunction, SamplingBudget, SrsSampler, WhsSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,8 +66,9 @@ pub struct SamplingNode {
     whs: WhsSampler,
     srs: Option<SrsSampler>,
     /// §III-E parallel sharding engine, present when the node was built
-    /// with more than one worker and runs the WHS strategy.
-    parallel: Option<ParallelShardedSampler>,
+    /// with more than one worker and runs the WHS strategy: a persistent
+    /// [`WorkerPool`] whose shard threads live as long as the node.
+    parallel: Option<WorkerPool>,
     rng: StdRng,
     items_in: u64,
     items_out: u64,
@@ -121,11 +121,10 @@ impl SamplingNode {
             Strategy::Whs { allocation } if workers > 1 => {
                 // Deterministic shard seeds derive from the node seed; the
                 // mixing constant keeps them disjoint from the node RNG.
-                Some(ParallelShardedSampler::new(
-                    allocation,
-                    workers,
-                    seed ^ 0x5A4D_BEEF,
-                ))
+                // The pool seeds shard i with `seed ^ i` exactly like the
+                // scoped-thread sampler did, so fixed-seed pipeline output
+                // is unchanged by the engine swap.
+                Some(WorkerPool::new(allocation, workers, seed ^ 0x5A4D_BEEF))
             }
             _ => None,
         };
@@ -148,9 +147,7 @@ impl SamplingNode {
 
     /// Worker shards the node samples with (1 = unsharded).
     pub fn workers(&self) -> usize {
-        self.parallel
-            .as_ref()
-            .map_or(1, ParallelShardedSampler::workers)
+        self.parallel.as_ref().map_or(1, WorkerPool::workers)
     }
 
     /// The node's sampling fraction.
@@ -194,6 +191,22 @@ impl SamplingNode {
         out
     }
 
+    /// Like [`SamplingNode::process_batch`], but borrows the input
+    /// mutably so native (no-sampling) nodes can **move** it to the output
+    /// instead of cloning every item. WHS/SRS nodes sample from the batch
+    /// and leave it untouched; native nodes leave it empty. Either way the
+    /// caller keeps the storage and can recycle it (the pipeline returns
+    /// both input and output batches to a [`approxiot_core::BatchPool`]).
+    pub fn process_batch_mut(&mut self, batch: &mut Batch) -> Batch {
+        if matches!(self.strategy, Strategy::Native) {
+            let out = std::mem::take(batch);
+            self.items_in += out.len() as u64;
+            self.items_out += out.len() as u64;
+            return out;
+        }
+        self.process_batch(batch)
+    }
+
     /// Processes one batch using `workers` independent shards — the paper's
     /// §III-E distributed execution. Each shard samples its portion into a
     /// local reservoir of at most `N/workers` slots with its own arrival
@@ -235,9 +248,9 @@ impl SamplingNode {
         }
     }
 
-    /// Processes one batch on the node's parallel shard pool (§III-E,
-    /// [`ParallelShardedSampler`]): one output batch per worker shard,
-    /// sampled concurrently on scoped threads.
+    /// Processes one batch on the node's persistent [`WorkerPool`]
+    /// (§III-E): one output batch per worker shard, sampled concurrently
+    /// on the pool's long-lived threads (no per-batch spawn).
     ///
     /// Falls back to a single [`SamplingNode::process_batch`] output when
     /// the node was built with one worker or runs a non-WHS strategy.
@@ -327,6 +340,28 @@ mod tests {
         let input = batch(&[(0, 17), (1, 3)]);
         let out = node.process_batch(&input);
         assert_eq!(out, input);
+    }
+
+    #[test]
+    fn process_batch_mut_moves_native_input() {
+        let mut node = SamplingNode::new(Strategy::Native, 1.0, 3).expect("valid");
+        let mut input = batch(&[(0, 17)]);
+        let ptr = input.items.as_ptr();
+        let out = node.process_batch_mut(&mut input);
+        assert_eq!(out.len(), 17);
+        assert_eq!(out.items.as_ptr(), ptr, "moved, not cloned");
+        assert!(input.is_empty(), "input contents consumed");
+        assert_eq!(node.items_in(), 17);
+        assert_eq!(node.items_out(), 17);
+    }
+
+    #[test]
+    fn process_batch_mut_samples_whs_without_consuming() {
+        let mut node = SamplingNode::new(Strategy::whs(), 0.1, 1).expect("valid");
+        let mut input = batch(&[(0, 1000)]);
+        let out = node.process_batch_mut(&mut input);
+        assert_eq!(out.len(), 100);
+        assert_eq!(input.len(), 1000, "sampled from, not consumed");
     }
 
     #[test]

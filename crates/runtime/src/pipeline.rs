@@ -22,14 +22,35 @@
 //!   Algorithm 2's per-interval loop and the source of the window-size
 //!   latency dependence in Figure 9. SRS and native nodes forward
 //!   immediately (coin flips need no window).
+//!
+//! ## Buffer reuse on the wire path
+//!
+//! The node loops are steady-state allocation-free end to end. Every
+//! consumer polls through one reused record buffer
+//! ([`Consumer::poll_into`] appending via the partition logs'
+//! `read_into`), every frame decodes into a recycled [`Batch`] drawn from
+//! a per-node [`BatchPool`] ([`decode_batch_into`]), every producer
+//! encodes through its own reused scratch
+//! ([`approxiot_mq::codec::encode_batch_into`]), and both the input batch
+//! and the forwarded output batches return to the pool once sent — native
+//! nodes even *move* the input to the output instead of cloning it
+//! ([`SamplingNode::process_batch_mut`]). After the first few windows of a
+//! steady workload, the only per-frame allocations left are the shared
+//! payload the broker's retention model requires and — in native mode at
+//! the root, where decoded items move into `Θ` and live on — the storage
+//! for the retained data itself. Sharded WHS nodes
+//! sample on a persistent [`crate::WorkerPool`] rather than a per-batch
+//! thread scope, so thread lifecycle is off the per-batch path too; the
+//! `pipeline_throughput` bench (results in `BENCH_pipeline.json`) measures
+//! the combined effect at the system level.
 
 use crate::node::{SamplingNode, Strategy};
 use crate::query::Query;
 use crate::root::{RootConfig, RootNode, WindowResult};
 use crate::tree::{FractionSplit, LayerBytes};
-use approxiot_core::Batch;
-use approxiot_mq::codec::encoded_len;
-use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, StartOffset};
+use approxiot_core::{Batch, BatchPool};
+use approxiot_mq::codec::{decode_batch_into, encoded_len};
+use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, Record, StartOffset};
 use approxiot_net::RateLimiter;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -68,8 +89,9 @@ pub struct PipelineConfig {
     /// mode).
     pub source_interval: Option<Duration>,
     /// Worker shards per WHS edge node (the paper's §III-E parallel
-    /// execution): each node's window is split over this many concurrently
-    /// sampling shards, each emitting its own `(W_out, sample)` batch.
+    /// execution): each node samples on a persistent [`crate::WorkerPool`]
+    /// of this many long-lived shard threads, each emitting its own
+    /// `(W_out, sample)` batch per input batch.
     /// `1` (the paper's base design) samples on the node thread itself.
     /// SRS/native nodes ignore this.
     pub edge_workers: usize,
@@ -360,10 +382,17 @@ pub fn run_pipeline(
             .name("approxiot-root".into())
             .spawn(move || {
                 let mut results = Vec::new();
-                loop {
-                    match root_consumer.poll_batches(64, Duration::from_millis(5)) {
-                        Ok(records) => {
-                            for (record, batch) in records {
+                let mut pool = BatchPool::new(POLL_MAX + 2);
+                let mut records: Vec<Record> = Vec::new();
+                'run: loop {
+                    match root_consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5))
+                    {
+                        Ok(_) => {
+                            for record in records.drain(..) {
+                                let mut batch = pool.get();
+                                if decode_batch_into(&record.value, &mut batch).is_err() {
+                                    break 'run;
+                                }
                                 wait_until(epoch, record.timestamp, root_delay);
                                 let now = epoch.elapsed().as_nanos() as u64;
                                 {
@@ -379,7 +408,8 @@ pub fn run_pipeline(
                                         );
                                     }
                                 }
-                                root.ingest(&batch);
+                                root.ingest_mut(&mut batch);
+                                pool.put(batch);
                             }
                             // Advance the watermark conservatively: no item
                             // older than now − 2×total network delay can
@@ -424,6 +454,9 @@ pub fn run_pipeline(
     })
 }
 
+/// Records drained per poll by the node loops.
+const POLL_MAX: usize = 64;
+
 fn make_limiter(capacity: Option<u64>) -> Option<RateLimiter> {
     capacity.map(|bps| RateLimiter::new(bps, (bps / 10).max(4096)))
 }
@@ -451,6 +484,11 @@ struct EdgeParams {
 }
 
 /// The per-edge-node loop shared by leaves and mids.
+///
+/// Steady-state allocation-free (see the module docs): records poll into
+/// a reused buffer, frames decode into pooled batches, and every batch —
+/// the decoded input and each forwarded output — returns to the node's
+/// [`BatchPool`] after the producer's reused scratch has encoded it.
 fn edge_node_loop(
     mut consumer: Consumer,
     producer: &BatchProducer,
@@ -459,41 +497,70 @@ fn edge_node_loop(
     limiter: Option<RateLimiter>,
     epoch: Instant,
 ) {
+    // Sized to cover a window's held backlog in buffered (WHS) mode, not
+    // just one poll's worth; beyond this a burst falls back to fresh
+    // allocations rather than pinning memory.
+    let mut pool = BatchPool::new(256);
+    let mut records: Vec<Record> = Vec::new();
     let mut held: Vec<Batch> = Vec::new();
     let mut last_flush = epoch.elapsed();
-    let send = |out: Batch| {
+    let send = |out: &Batch| {
         if out.is_empty() {
             return true;
         }
         if let Some(l) = &limiter {
-            l.acquire(encoded_len(&out) as u64);
+            l.acquire(encoded_len(out) as u64);
         }
         let ts = epoch.elapsed().as_nanos() as u64;
-        producer.send_to(params.out_partition, &out, ts).is_ok()
+        producer.send_to(params.out_partition, out, ts).is_ok()
     };
-    let forward = |node: &mut SamplingNode, batch: &Batch| {
+    let forward = |node: &mut SamplingNode, pool: &mut BatchPool, mut batch: Batch| {
         if params.sharded {
-            node.process_batch_parallel(batch).into_iter().all(&send)
+            let mut ok = true;
+            for out in node.process_batch_parallel(&batch) {
+                ok = ok && send(&out);
+                pool.put(out);
+            }
+            pool.put(batch);
+            ok
         } else {
-            send(node.process_batch(batch))
+            // Native nodes move the input into the output here, so even
+            // the unsampled baseline forwards without copying items.
+            let out = node.process_batch_mut(&mut batch);
+            let ok = send(&out);
+            // The pool pops LIFO, so put the larger storage last: native
+            // moved the input's allocation into `out` (leaving `batch` a
+            // husk), while WHS/SRS leave the big decoded input in `batch`
+            // — either way the next decode gets the warmest buffer.
+            if out.items.capacity() > batch.items.capacity() {
+                pool.put(batch);
+                pool.put(out);
+            } else {
+                pool.put(out);
+                pool.put(batch);
+            }
+            ok
         }
     };
     loop {
-        let poll = consumer.poll_batches(64, Duration::from_millis(5));
-        match poll {
-            Ok(records) => {
-                for (record, batch) in records {
+        match consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5)) {
+            Ok(_) => {
+                for record in records.drain(..) {
+                    let mut batch = pool.get();
+                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                        return;
+                    }
                     wait_until(epoch, record.timestamp, params.hop_delay);
                     if params.buffered {
                         held.push(batch);
-                    } else if !forward(&mut node, &batch) {
+                    } else if !forward(&mut node, &mut pool, batch) {
                         return;
                     }
                 }
             }
             Err(MqError::Closed) => {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &batch) {
+                    if !forward(&mut node, &mut pool, batch) {
                         return;
                     }
                 }
@@ -505,7 +572,7 @@ fn edge_node_loop(
             let now = epoch.elapsed();
             if now.saturating_sub(last_flush) >= params.window {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &batch) {
+                    if !forward(&mut node, &mut pool, batch) {
                         return;
                     }
                 }

@@ -139,13 +139,50 @@ impl RootNode {
     /// items split across windows by their event time.
     pub fn ingest(&mut self, batch: &Batch) {
         let sampled = self.sampler.process_batch(batch);
+        self.ingest_sampled(sampled);
+    }
+
+    /// Like [`RootNode::ingest`], but borrows the batch mutably so native
+    /// roots can consume it without cloning
+    /// ([`SamplingNode::process_batch_mut`]); the caller keeps the (then
+    /// possibly emptied) storage for recycling. The pipeline's root loop
+    /// uses this with a [`approxiot_core::BatchPool`].
+    pub fn ingest_mut(&mut self, batch: &mut Batch) {
+        let sampled = self.sampler.process_batch_mut(batch);
+        self.ingest_sampled(sampled);
+    }
+
+    /// Files the root's own sampled output into `Θ`, **consuming** it: a
+    /// batch whose items all fall in one window (the overwhelmingly common
+    /// case — edge nodes forward at window granularity) moves its item
+    /// vector and weight map straight into the store, no per-item copies
+    /// and no weight-map clone. Only batches genuinely straddling a window
+    /// boundary take the splitting path.
+    fn ingest_sampled(&mut self, sampled: Batch) {
         if sampled.is_empty() {
+            return;
+        }
+        let scheme = self.buffer.scheme();
+        let first_window = scheme.index_of(sampled.items[0].source_ts);
+        if sampled
+            .items
+            .iter()
+            .all(|i| scheme.index_of(i.source_ts) == first_window)
+        {
+            let Batch { weights, items } = sampled;
+            let weights = self.effective_weights_owned(weights, &items);
+            self.buffer.insert(
+                scheme.start_of(first_window),
+                WhsOutput {
+                    weights,
+                    sample: items,
+                },
+            );
             return;
         }
         // Split the sampled batch by event-time window. Replicating the
         // weight map across splits is safe: Θ's estimators sum |I|·W per
         // pair, which is invariant under splitting.
-        let scheme = self.buffer.scheme();
         let mut per_window: BTreeMap<WindowId, Vec<approxiot_core::StreamItem>> = BTreeMap::new();
         for item in &sampled.items {
             per_window
@@ -168,13 +205,18 @@ impl RootNode {
     /// Builds the weight map `Θ` should record for `items`:
     /// WHS keeps the sampled weights; SRS substitutes the Horvitz–Thompson
     /// scale; native forces weight 1 (exact).
-    fn effective_weights(
+    ///
+    /// The owned variant is the single-window fast path — the WHS arm
+    /// passes the sampled map through without cloning it. The borrowed
+    /// variant serves the window-splitting path, where each split needs
+    /// its own copy.
+    fn effective_weights_owned(
         &self,
-        sampled: &WeightMap,
+        sampled: WeightMap,
         items: &[approxiot_core::StreamItem],
     ) -> WeightMap {
         match self.strategy {
-            Strategy::Whs { .. } => sampled.clone(),
+            Strategy::Whs { .. } => sampled,
             Strategy::Srs => {
                 let mut w = WeightMap::new();
                 for item in items {
@@ -183,6 +225,17 @@ impl RootNode {
                 w
             }
             Strategy::Native => WeightMap::new(),
+        }
+    }
+
+    fn effective_weights(
+        &self,
+        sampled: &WeightMap,
+        items: &[approxiot_core::StreamItem],
+    ) -> WeightMap {
+        match self.strategy {
+            Strategy::Whs { .. } => sampled.clone(),
+            _ => self.effective_weights_owned(WeightMap::new(), items),
         }
     }
 
@@ -281,6 +334,32 @@ mod tests {
         let rest = root.flush();
         assert_eq!(rest.len(), 1);
         assert_eq!(rest[0].window, 1);
+    }
+
+    #[test]
+    fn ingest_mut_consumes_native_batches_without_cloning() {
+        let mut root = RootNode::new(cfg(Strategy::Native, 1.0, 1.0)).expect("valid");
+        let mut batch = items(0, 10, 2.0, 100);
+        root.ingest_mut(&mut batch);
+        assert!(batch.is_empty(), "native root takes the items it owns");
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].estimate.value, 20.0);
+        assert_eq!(results[0].count_hat, 10.0);
+    }
+
+    #[test]
+    fn ingest_mut_matches_ingest_for_whs() {
+        let mut by_ref = RootNode::new(cfg(Strategy::whs(), 0.5, 0.5)).expect("valid");
+        let mut by_mut = RootNode::new(cfg(Strategy::whs(), 0.5, 0.5)).expect("valid");
+        let batch = items(0, 200, 1.0, 100);
+        by_ref.ingest(&batch);
+        let mut owned = batch.clone();
+        by_mut.ingest_mut(&mut owned);
+        assert_eq!(owned.len(), 200, "WHS root samples from, not consumes");
+        let a = by_ref.advance_watermark(SEC);
+        let b = by_mut.advance_watermark(SEC);
+        assert_eq!(a[0].estimate.value, b[0].estimate.value);
+        assert_eq!(a[0].count_hat, b[0].count_hat);
     }
 
     #[test]

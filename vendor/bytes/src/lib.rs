@@ -131,6 +131,21 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Number of bytes the builder can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Empties the builder, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -269,6 +284,19 @@ mod tests {
         assert_eq!(cur.get_u64_le(), u64::MAX);
         assert_eq!(cur.get_f64_le(), 1.5);
         assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u64_le(7); // grows past the initial 4 bytes
+        let grown = b.capacity();
+        assert!(grown >= 8);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), grown, "clear must not shed the allocation");
+        b.reserve(16);
+        assert!(b.capacity() >= 16);
     }
 
     #[test]

@@ -202,6 +202,19 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// How much setup output to batch per measurement. API parity with the
+/// real crate; the stand-in always runs `setup` once per iteration,
+/// outside the timed section.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is small; the real crate batches many per sample.
+    SmallInput,
+    /// Setup output is large; the real crate batches few per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
 /// Timing driver passed to benchmark closures.
 pub struct Bencher {
     warm_up_time: Duration,
@@ -238,6 +251,54 @@ impl Bencher {
                 black_box(routine());
             }
             samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding the
+    /// setup cost from the timing — use when each iteration consumes its
+    /// input (e.g. cloning a large dataset per run). The per-iteration
+    /// `Instant` reads add ~tens of nanoseconds, negligible against the
+    /// millisecond-scale routines this entry point exists for.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up bounded by wall clock (setup included), so a setup
+        // slower than the routine cannot stretch it unboundedly.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            black_box(start.elapsed());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        // Size sample batches from the *total* per-iteration wall cost so
+        // the measurement budget covers setup too; only the routine's time
+        // enters the reported samples.
+        let est_total_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / est_total_ns).floor() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut spent = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(black_box(input)));
+                spent += start.elapsed();
+            }
+            samples_ns.push(spent.as_nanos() as f64 / iters_per_sample as f64);
         }
         samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
         self.median_ns = samples_ns[samples_ns.len() / 2];
@@ -292,6 +353,34 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_from_timing() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        c.filter = None;
+        let mut group = c.benchmark_group("batched");
+        group.bench_function("routine_only", |b| {
+            b.iter_batched(
+                || {
+                    // Setup far slower than the routine; excluded from the
+                    // reported median by construction.
+                    std::thread::sleep(Duration::from_micros(200));
+                    7u64
+                },
+                |x| x + 1,
+                BatchSize::SmallInput,
+            );
+            assert!(
+                b.median_ns < 100_000.0,
+                "setup leaked into timing: {} ns",
+                b.median_ns
+            );
+        });
+        group.finish();
     }
 
     #[test]
