@@ -15,7 +15,10 @@
 //! [`WorkerPool`]: approxiot_runtime::WorkerPool
 
 use approxiot_core::{Batch, StratumId, StreamItem};
-use approxiot_runtime::{run_pipeline, FractionSplit, PipelineConfig, Query, Strategy};
+use approxiot_runtime::{
+    run_pipeline, Driver, EngineKind, FractionSplit, LayerSpec, PipelineConfig, Query, QuerySet,
+    Strategy, Topology,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
@@ -104,6 +107,29 @@ fn bench_pipeline(c: &mut Criterion) {
             )
         });
     }
+    // A depth-4 tree (8 → 4 → 2 → 1 edge → root) through the unified
+    // driver: one extra sampling stage and one extra wire hop over the
+    // paper shape, from the same Topology description.
+    let deep = || {
+        Topology::builder()
+            .sources(SOURCES)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .overall_fraction(0.1)
+            .window(Duration::from_millis(10))
+            .seed(0x717E)
+            .build()
+            .expect("valid fraction")
+    };
+    group.bench_function(BenchmarkId::new("whs-deep", 1), |b| {
+        b.iter(|| {
+            let driver = Driver::new(deep(), QuerySet::default(), EngineKind::pipeline())
+                .expect("valid topology");
+            let report = driver.run(black_box(&data)).expect("source count matches");
+            black_box(report.throughput_items_per_sec)
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,581 @@
+//! The one front door: a [`Driver`] runs any [`Topology`] +
+//! [`QuerySet`] on either execution [`Engine`].
+//!
+//! Two engines cover the paper's evaluation from the same description:
+//!
+//! * [`SimEngine`] ([`EngineKind::Sim`]) — the tree in deterministic
+//!   virtual time, used by the accuracy experiments; thousands of windows
+//!   run in milliseconds with seeded randomness.
+//! * [`crate::pipeline::PipelineEngine`] ([`EngineKind::Pipeline`]) — the
+//!   fully threaded pipeline over broker topics with WAN delay/capacity
+//!   emulation, used by the wall-clock experiments. Its deterministic
+//!   mode replays the exact virtual-time sampling decisions over the real
+//!   wire path, so fixed-seed runs produce **identical estimates** on
+//!   both engines.
+//!
+//! ```
+//! use approxiot_core::{Batch, StratumId, StreamItem};
+//! use approxiot_runtime::{Driver, EngineKind, LayerSpec, QuerySet, QuerySpec, Topology};
+//!
+//! let topology = Topology::builder()
+//!     .sources(4)
+//!     .layer(LayerSpec::new(2))
+//!     .layer(LayerSpec::new(1))
+//!     .overall_fraction(0.5)
+//!     .seed(7)
+//!     .build()?;
+//! let queries = QuerySet::new()
+//!     .with(QuerySpec::Sum)
+//!     .with(QuerySpec::Quantile(0.5));
+//! let mut driver = Driver::new(topology, queries, EngineKind::Sim)?;
+//! let interval: Vec<Batch> = (0..4)
+//!     .map(|s| {
+//!         Batch::from_items(
+//!             (0..250).map(|k| StreamItem::with_meta(StratumId::new(s), 1.0, k, 0)).collect(),
+//!         )
+//!     })
+//!     .collect();
+//! driver.push_interval(&interval).expect("source count matches");
+//! let report = driver.finish();
+//! assert!((report.results[0].count_hat - 1000.0).abs() < 1e-6);
+//! # Ok::<(), approxiot_runtime::EngineError>(())
+//! ```
+
+use crate::node::SamplingNode;
+use crate::pipeline::{LatencyStats, PipelineEngine, PipelineOptions};
+use crate::query::QuerySet;
+use crate::root::{RootConfig, RootNode, WindowResult};
+use crate::topology::{HopBytes, Topology};
+use approxiot_core::{Batch, BudgetError};
+use approxiot_mq::codec::encoded_len;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the driver/engine layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The sampling fraction was outside `(0, 1]`.
+    Budget(BudgetError),
+    /// An interval carried the wrong number of per-source batches.
+    SourceCount {
+        /// Sources the topology declares.
+        expected: usize,
+        /// Batches the interval carried.
+        got: usize,
+    },
+    /// The engine's transport shut down before the push (threaded engine
+    /// only).
+    Closed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Budget(e) => write!(f, "{e}"),
+            EngineError::SourceCount { expected, got } => {
+                write!(
+                    f,
+                    "interval has {got} source batches, topology declares {expected}"
+                )
+            }
+            EngineError::Closed => write!(f, "engine transport already closed"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<BudgetError> for EngineError {
+    fn from(e: BudgetError) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+/// Which execution backend a [`Driver`] runs on.
+#[derive(Debug, Clone, Default)]
+pub enum EngineKind {
+    /// Deterministic virtual time ([`SimEngine`]): the accuracy engine.
+    #[default]
+    Sim,
+    /// The threaded pipeline over broker topics with WAN emulation
+    /// ([`crate::pipeline::PipelineEngine`]): the wall-clock engine.
+    Pipeline(PipelineOptions),
+}
+
+impl EngineKind {
+    /// The threaded pipeline in wall-clock mode with default options.
+    pub fn pipeline() -> Self {
+        EngineKind::Pipeline(PipelineOptions::default())
+    }
+
+    /// The threaded pipeline in deterministic mode: event time is
+    /// preserved and every node processes its input in the canonical
+    /// `(interval, child, arrival)` order, so fixed-seed estimates match
+    /// [`EngineKind::Sim`] bit for bit.
+    pub fn pipeline_deterministic() -> Self {
+        EngineKind::Pipeline(PipelineOptions::deterministic())
+    }
+}
+
+/// The outcome of a full run on either engine.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Every window's result, in window order.
+    pub results: Vec<WindowResult>,
+    /// Wire bytes per hop (sources-side hop first).
+    pub bytes: HopBytes,
+    /// Items pushed by the sources.
+    pub source_items: u64,
+    /// Wall time from engine start to completion.
+    pub elapsed: Duration,
+    /// Source items per wall second (only meaningful on the threaded
+    /// engine).
+    pub throughput_items_per_sec: f64,
+    /// End-to-end per-item latency (wall-clock pipeline mode only; empty
+    /// on the sim engine and in deterministic mode).
+    pub latency: LatencyStats,
+}
+
+/// An execution backend: feeds intervals through a topology and answers
+/// the query set per closed window.
+///
+/// Implementations accumulate every emitted window internally, so
+/// [`Engine::finish`] always reports the complete run regardless of how
+/// often [`Engine::poll`] was called.
+pub trait Engine {
+    /// Feeds one interval of per-source batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Closed`] if the engine's transport already
+    /// shut down.
+    fn push_interval(&mut self, interval: &[Batch]) -> Result<(), EngineError>;
+
+    /// Drains the window results that have become available since the
+    /// last poll.
+    fn poll(&mut self) -> Vec<WindowResult>;
+
+    /// Ends the stream: drains everything and reports the full run.
+    fn finish(self: Box<Self>) -> RunReport;
+}
+
+/// The deterministic virtual-time engine: the generalized N-layer logical
+/// tree evaluated synchronously (the engine behind every accuracy
+/// experiment — Figures 5, 10 and 11a).
+#[derive(Debug)]
+pub struct SimEngine {
+    topology: Topology,
+    /// `nodes[layer][index]`, source side first.
+    nodes: Vec<Vec<SamplingNode>>,
+    root: RootNode,
+    bytes: HopBytes,
+    results: Vec<WindowResult>,
+    source_items: u64,
+    /// High-water event time seen so far — [`Engine::poll`]'s watermark.
+    max_event_ts: u64,
+    started: Instant,
+}
+
+impl SimEngine {
+    /// Builds the engine for a topology and query set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] for a fraction outside `(0, 1]`.
+    pub fn new(topology: Topology, queries: QuerySet) -> Result<Self, BudgetError> {
+        let fractions = topology.stage_fractions();
+        let nodes = topology
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                (0..layer.nodes)
+                    .map(|j| {
+                        SamplingNode::with_workers(
+                            topology.layer_strategy(l),
+                            fractions[l],
+                            topology.node_seed(l, j),
+                            layer.workers,
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let root = RootNode::new(RootConfig {
+            strategy: topology.root_strategy(),
+            fraction: *fractions.last().expect("depth >= 1"),
+            overall_fraction: topology.overall_fraction(),
+            window: topology.window(),
+            queries,
+            seed: topology.root_seed(),
+        })?;
+        let hops = topology.hops();
+        Ok(SimEngine {
+            topology,
+            nodes,
+            root,
+            bytes: HopBytes::new(hops),
+            results: Vec::new(),
+            source_items: 0,
+            max_event_ts: 0,
+            started: Instant::now(),
+        })
+    }
+
+    /// The topology this engine runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Pushes one interval of source batches through every layer.
+    ///
+    /// Source `i` feeds node `i % n` of the first layer; node `j` of each
+    /// layer feeds node `j % m` of the next (the root last). Every node
+    /// processes its inputs in canonical `(child, arrival)` order — the
+    /// same order the deterministic threaded engine reconstructs — and
+    /// wire bytes are accounted per hop with real codec frame sizes.
+    pub fn push_interval(&mut self, source_batches: &[Batch]) {
+        for batch in source_batches {
+            self.source_items += batch.len() as u64;
+            if let Some(ts) = batch.items.iter().map(|i| i.source_ts).max() {
+                self.max_event_ts = self.max_event_ts.max(ts);
+            }
+            self.bytes.add(0, encoded_len(batch) as u64);
+        }
+        // First layer: inputs are the source batches themselves.
+        let n0 = self.topology.layers()[0].nodes;
+        let mut carried: Vec<Vec<Batch>> = vec![Vec::new(); n0];
+        for (j, outs) in carried.iter_mut().enumerate() {
+            for (i, batch) in source_batches.iter().enumerate() {
+                if i % n0 == j {
+                    outs.extend(
+                        self.nodes[0][j]
+                            .process_batch_parallel(batch)
+                            .into_iter()
+                            .filter(|out| !out.is_empty()),
+                    );
+                }
+            }
+        }
+        // Deeper layers: child j of the previous layer feeds node
+        // j % n, inputs gathered in child order.
+        for l in 1..self.nodes.len() {
+            let n = self.topology.layers()[l].nodes;
+            let mut inputs: Vec<Vec<Batch>> = vec![Vec::new(); n];
+            for (child, outs) in carried.into_iter().enumerate() {
+                for out in outs {
+                    self.bytes.add(l, encoded_len(&out) as u64);
+                    inputs[child % n].push(out);
+                }
+            }
+            carried = vec![Vec::new(); n];
+            for (j, input) in inputs.into_iter().enumerate() {
+                for batch in &input {
+                    carried[j].extend(
+                        self.nodes[l][j]
+                            .process_batch_parallel(batch)
+                            .into_iter()
+                            .filter(|out| !out.is_empty()),
+                    );
+                }
+            }
+        }
+        // Root: last-layer nodes in index order.
+        let root_hop = self.topology.hops() - 1;
+        for outs in carried {
+            for out in outs {
+                self.bytes.add(root_hop, encoded_len(&out) as u64);
+                self.root.ingest(&out);
+            }
+        }
+    }
+
+    /// Advances the event-time watermark, returning (and recording) the
+    /// closed windows' results.
+    pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
+        let new = self.root.advance_watermark(watermark_nanos);
+        self.results.extend(new.iter().cloned());
+        new
+    }
+
+    /// Flushes every open window (end of stream).
+    pub fn flush(&mut self) -> Vec<WindowResult> {
+        let new = self.root.flush();
+        self.results.extend(new.iter().cloned());
+        new
+    }
+
+    /// Wire bytes so far, per hop.
+    pub fn bytes(&self) -> &HopBytes {
+        &self.bytes
+    }
+
+    /// Total items pushed by sources so far.
+    pub fn source_items(&self) -> u64 {
+        self.source_items
+    }
+
+    /// Items that reached the root (after every edge sampling stage).
+    pub fn root_items_in(&self) -> u64 {
+        self.root.items_in()
+    }
+}
+
+impl Engine for SimEngine {
+    fn push_interval(&mut self, interval: &[Batch]) -> Result<(), EngineError> {
+        SimEngine::push_interval(self, interval);
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<WindowResult> {
+        // A window closes once an event at/past its end has been seen.
+        self.advance_watermark(self.max_event_ts)
+    }
+
+    fn finish(mut self: Box<Self>) -> RunReport {
+        self.flush();
+        let mut results = std::mem::take(&mut self.results);
+        results.sort_by_key(|r| r.window);
+        let elapsed = self.started.elapsed();
+        RunReport {
+            results,
+            bytes: self.bytes,
+            source_items: self.source_items,
+            elapsed,
+            throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency: LatencyStats::default(),
+        }
+    }
+}
+
+/// The unified front door: one driver, one topology + query set, either
+/// engine. See the [module docs](self) for an example.
+pub struct Driver {
+    topology: Topology,
+    engine: Box<dyn Engine>,
+}
+
+impl Driver {
+    /// Builds a driver for `topology` + `queries` on the chosen engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Budget`] for an invalid sampling fraction.
+    pub fn new(
+        topology: Topology,
+        queries: QuerySet,
+        kind: EngineKind,
+    ) -> Result<Self, EngineError> {
+        let engine: Box<dyn Engine> = match kind {
+            EngineKind::Sim => Box::new(SimEngine::new(topology.clone(), queries)?),
+            EngineKind::Pipeline(options) => {
+                Box::new(PipelineEngine::new(topology.clone(), queries, options)?)
+            }
+        };
+        Ok(Driver { topology, engine })
+    }
+
+    /// A driver on the virtual-time engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Budget`] for an invalid sampling fraction.
+    pub fn sim(topology: Topology, queries: QuerySet) -> Result<Self, EngineError> {
+        Driver::new(topology, queries, EngineKind::Sim)
+    }
+
+    /// A driver on the threaded wall-clock engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Budget`] for an invalid sampling fraction.
+    pub fn pipeline(topology: Topology, queries: QuerySet) -> Result<Self, EngineError> {
+        Driver::new(topology, queries, EngineKind::pipeline())
+    }
+
+    /// The topology this driver runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Feeds one interval: exactly one batch per declared source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SourceCount`] on an interval whose length
+    /// differs from the topology's declared sources, and
+    /// [`EngineError::Closed`] if the engine already shut down.
+    pub fn push_interval(&mut self, interval: &[Batch]) -> Result<(), EngineError> {
+        if interval.len() != self.topology.sources() {
+            return Err(EngineError::SourceCount {
+                expected: self.topology.sources(),
+                got: interval.len(),
+            });
+        }
+        self.engine.push_interval(interval)
+    }
+
+    /// Drains the window results that became available since the last
+    /// poll. On the sim engine a window closes once an event at/past its
+    /// end was pushed; the wall-clock pipeline closes windows as its
+    /// watermark advances; the deterministic pipeline reports everything
+    /// at [`Driver::finish`].
+    pub fn poll(&mut self) -> Vec<WindowResult> {
+        self.engine.poll()
+    }
+
+    /// Ends the stream and reports the full run.
+    pub fn finish(self) -> RunReport {
+        self.engine.finish()
+    }
+
+    /// Convenience: pushes every interval, then finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Driver::push_interval`] errors.
+    pub fn run(mut self, intervals: &[Vec<Batch>]) -> Result<RunReport, EngineError> {
+        for interval in intervals {
+            self.push_interval(interval)?;
+        }
+        Ok(self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+    use crate::topology::LayerSpec;
+    use approxiot_core::{StratumId, StreamItem};
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn interval(sources: usize, n: usize, value: f64, ts: u64) -> Vec<Batch> {
+        (0..sources)
+            .map(|s| {
+                Batch::from_items(
+                    (0..n)
+                        .map(|k| {
+                            StreamItem::with_meta(StratumId::new(s as u32), value, k as u64, ts)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn deep_topology(fraction: f64) -> Topology {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .overall_fraction(fraction)
+            .seed(11)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn four_stage_tree_reconstructs_counts() {
+        let mut engine = SimEngine::new(deep_topology(0.3), QuerySet::default()).expect("valid");
+        engine.push_interval(&interval(5, 400, 1.0, 10));
+        let results = engine.flush();
+        assert_eq!(results.len(), 1);
+        assert!(
+            (results[0].count_hat - 2000.0).abs() < 1e-6,
+            "count through four sampling stages: {}",
+            results[0].count_hat
+        );
+        assert_eq!(engine.source_items(), 2000);
+    }
+
+    #[test]
+    fn per_hop_bytes_shrink_down_the_tree() {
+        let mut engine = SimEngine::new(deep_topology(0.05), QuerySet::default()).expect("valid");
+        engine.push_interval(&interval(5, 1000, 1.0, 10));
+        engine.flush();
+        let hops = engine.bytes().hops().to_vec();
+        assert_eq!(hops.len(), 4);
+        for pair in hops.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "each hop must carry fewer bytes: {hops:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_rejects_wrong_source_count() {
+        let mut driver = Driver::sim(deep_topology(0.5), QuerySet::default()).expect("valid");
+        assert_eq!(
+            driver.push_interval(&interval(3, 10, 1.0, 0)),
+            Err(EngineError::SourceCount {
+                expected: 5,
+                got: 3
+            })
+        );
+        assert!(driver.push_interval(&interval(5, 10, 1.0, 0)).is_ok());
+    }
+
+    #[test]
+    fn driver_poll_closes_windows_behind_the_event_high_water() {
+        let mut driver = Driver::sim(deep_topology(1.0), QuerySet::default()).expect("valid");
+        driver
+            .push_interval(&interval(5, 10, 1.0, 10))
+            .expect("runs");
+        assert!(driver.poll().is_empty(), "window 0 still open");
+        driver
+            .push_interval(&interval(5, 10, 1.0, SEC + 10))
+            .expect("runs");
+        let closed = driver.poll();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window, 0);
+        // finish still reports every window, polled or not.
+        let report = driver.finish();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.source_items, 100);
+    }
+
+    #[test]
+    fn driver_runs_multi_query_windows() {
+        let queries = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(3));
+        let driver = Driver::sim(deep_topology(1.0), queries).expect("valid");
+        let report = driver.run(&[interval(5, 100, 2.0, 10)]).expect("runs");
+        let r = &report.results[0];
+        assert_eq!(r.queries.len(), 3);
+        assert_eq!(r.estimate.value, 1000.0);
+        let median = r
+            .queries
+            .get(QuerySpec::Quantile(0.5))
+            .and_then(crate::query::QueryValue::quantile)
+            .expect("non-empty");
+        assert_eq!(median.value, 2.0);
+        let top = r
+            .queries
+            .get(QuerySpec::TopK(3))
+            .and_then(crate::query::QueryValue::top_k)
+            .expect("top-k");
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn heterogeneous_layers_run() {
+        use crate::node::Strategy;
+        // Native first layer (forward everything), WHS mid, at full depth.
+        let topology = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2).strategy(Strategy::Native))
+            .layer(LayerSpec::new(1))
+            .overall_fraction(0.5)
+            .seed(3)
+            .build()
+            .expect("valid");
+        let driver = Driver::sim(topology, QuerySet::default()).expect("valid");
+        let report = driver.run(&[interval(4, 100, 1.0, 10)]).expect("runs");
+        assert!((report.results[0].count_hat - 400.0).abs() < 1e-6);
+    }
+}

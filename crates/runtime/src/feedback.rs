@@ -21,11 +21,17 @@ use approxiot_core::{AdaptiveController, BudgetError, Confidence};
 pub struct FeedbackLoop {
     controller: AdaptiveController,
     confidence: Confidence,
+    /// Sampling stages the refined fraction divides across (edge layers
+    /// plus root); the paper's testbed has 3.
+    depth: usize,
     refinements: u64,
 }
 
 impl FeedbackLoop {
-    /// Creates a loop starting at `fraction` with a relative error budget.
+    /// Creates a loop starting at `fraction` with a relative error budget,
+    /// assuming the paper's three sampling stages; see
+    /// [`FeedbackLoop::with_depth`] and [`FeedbackLoop::for_topology`] for
+    /// deeper trees.
     ///
     /// # Errors
     ///
@@ -34,6 +40,7 @@ impl FeedbackLoop {
         Ok(FeedbackLoop {
             controller: AdaptiveController::new(fraction, target_rel_error)?,
             confidence: Confidence::P95,
+            depth: 3,
             refinements: 0,
         })
     }
@@ -44,14 +51,40 @@ impl FeedbackLoop {
         self
     }
 
+    /// Divides the refined fraction across `depth` sampling stages
+    /// instead of the paper's 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "a tree has at least one sampling stage");
+        self.depth = depth;
+        self
+    }
+
+    /// Drives the per-stage fraction from a [`crate::Topology`]'s depth.
+    pub fn for_topology(self, topology: &crate::Topology) -> Self {
+        self.with_depth(topology.depth())
+    }
+
     /// The current end-to-end sampling fraction.
     pub fn overall_fraction(&self) -> f64 {
         self.controller.fraction()
     }
 
-    /// The per-stage fraction for a three-stage tree.
+    /// The sampling-stage count the per-stage fraction assumes.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The per-stage fraction: `overall^(1/depth)`, so the stages
+    /// compound back to the refined overall fraction.
     pub fn per_stage_fraction(&self) -> f64 {
-        self.controller.fraction().cbrt().min(1.0)
+        self.controller
+            .fraction()
+            .powf(1.0 / self.depth as f64)
+            .min(1.0)
     }
 
     /// Number of times the fraction actually changed.
@@ -88,6 +121,7 @@ mod tests {
             end_nanos: 1,
             estimate: Estimate::new(value, variance),
             per_stratum: BTreeMap::new(),
+            queries: Default::default(),
             sampled_items: 0,
             count_hat: 0.0,
         }
@@ -111,9 +145,38 @@ mod tests {
     }
 
     #[test]
-    fn per_stage_is_cube_root() {
+    fn per_stage_is_cube_root_at_paper_depth() {
         let feedback = FeedbackLoop::new(0.125, 0.01).expect("valid");
+        assert_eq!(feedback.depth(), 3);
         assert!((feedback.per_stage_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stage_fraction_tracks_tree_depth() {
+        let feedback = FeedbackLoop::new(0.0625, 0.01).expect("valid");
+        assert!((feedback.clone().with_depth(4).per_stage_fraction() - 0.5).abs() < 1e-12);
+        assert!((feedback.clone().with_depth(2).per_stage_fraction() - 0.25).abs() < 1e-12);
+        assert!((feedback.clone().with_depth(1).per_stage_fraction() - 0.0625).abs() < 1e-12);
+        // Stages always compound back to the overall fraction.
+        let deep = feedback.with_depth(5);
+        let product = deep.per_stage_fraction().powi(5);
+        assert!((product - deep.overall_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topology_drives_the_depth() {
+        use crate::{LayerSpec, Topology};
+        let topology = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .build()
+            .expect("valid");
+        let feedback = FeedbackLoop::new(0.5, 0.01)
+            .expect("valid")
+            .for_topology(&topology);
+        assert_eq!(feedback.depth(), 4);
     }
 
     #[test]

@@ -1,58 +1,86 @@
 //! # approxiot-runtime
 //!
-//! The assembled ApproxIoT system: sampling nodes, the windowed root node,
-//! logical-tree topologies and end-to-end pipelines over the messaging and
-//! network substrates.
+//! The assembled ApproxIoT system behind a topology-first API: describe
+//! any logical edge tree once, register any number of window queries, and
+//! run it on either execution engine.
 //!
-//! Two execution modes cover the paper's evaluation:
+//! ## The three core types
 //!
-//! * [`SimTree`] — the four-layer topology in deterministic virtual time,
-//!   used by every *accuracy* experiment (Figures 5, 10, 11a). Thousands of
-//!   windows run in milliseconds with seeded randomness.
-//! * [`run_pipeline`] — the fully threaded pipeline over `approxiot-mq`
-//!   topics with WAN delay/capacity emulation, used by the *wall-clock*
-//!   experiments (Figures 6–9, 11b).
+//! * [`Topology`] — a builder for an arbitrary-depth, heterogeneous edge
+//!   tree: per-layer fan-in, [`Strategy`] overrides, §III-E worker
+//!   shards, per-hop link delay/capacity, and a depth-aware
+//!   [`FractionSplit`] dividing the end-to-end sampling fraction across
+//!   every stage.
+//! * [`QuerySet`] — concurrent window queries ([`QuerySpec`]): SUM, MEAN,
+//!   COUNT, their per-stratum variants, plus `Quantile(q)` and `TopK(k)`
+//!   backed by [`approxiot_core::quantile`]. Each [`WindowResult`] carries
+//!   a per-query [`QueryResults`] map.
+//! * [`Driver`] — the one front door over the [`Engine`] trait, with two
+//!   backends: [`SimEngine`] (deterministic virtual time, the accuracy
+//!   engine) and the threaded [`pipeline::PipelineEngine`] (broker topics
+//!   plus WAN emulation, the wall-clock engine). The pipeline's
+//!   deterministic mode replays the sim engine's canonical processing
+//!   order over the real wire path, so fixed-seed runs produce identical
+//!   estimates on both engines.
 //!
-//! Both run any of three strategies side by side: ApproxIoT's weighted
-//! hierarchical sampling, the coin-flip SRS baseline, and the native
-//! (unsampled) execution — exactly the three systems the paper compares.
+//! The paper's fixed `leaves/mids/root` shape survives as thin wrappers:
+//! [`TreeConfig`]/[`SimTree`] and [`PipelineConfig`]/[`run_pipeline`].
 //!
 //! ## Example
 //!
 //! ```
 //! use approxiot_core::{Batch, StratumId, StreamItem};
-//! use approxiot_runtime::{SimTree, TreeConfig};
+//! use approxiot_runtime::{Driver, EngineKind, LayerSpec, QuerySet, QuerySpec, Topology};
 //!
-//! // The paper's topology at a 10% end-to-end sampling fraction.
-//! let mut tree = SimTree::new(TreeConfig::paper_topology(0.10))?;
-//! let sources: Vec<Batch> = (0..8)
+//! // An asymmetric 4-layer tree: 5 sources → 3 edge → 2 edge → root,
+//! // sampling 20% end to end, answering three queries per window.
+//! let topology = Topology::builder()
+//!     .sources(5)
+//!     .layer(LayerSpec::new(3))
+//!     .layer(LayerSpec::new(2))
+//!     .overall_fraction(0.2)
+//!     .seed(7)
+//!     .build()?;
+//! let queries = QuerySet::new()
+//!     .with(QuerySpec::Sum)
+//!     .with(QuerySpec::Quantile(0.5))
+//!     .with(QuerySpec::TopK(3));
+//! let mut driver = Driver::new(topology, queries, EngineKind::Sim)?;
+//!
+//! let interval: Vec<Batch> = (0..5)
 //!     .map(|s| {
 //!         Batch::from_items(
-//!             (0..1000)
-//!                 .map(|k| StreamItem::with_meta(StratumId::new(s), 1.0, k, 0))
-//!                 .collect(),
+//!             (0..1000).map(|k| StreamItem::with_meta(StratumId::new(s), 1.0, k, 0)).collect(),
 //!         )
 //!     })
 //!     .collect();
-//! tree.push_interval(&sources);
-//! let results = tree.flush();
-//! // 8000 original items reconstructed from ~800 sampled ones.
-//! assert!((results[0].count_hat - 8000.0).abs() < 1e-6);
-//! # Ok::<(), approxiot_core::BudgetError>(())
+//! driver.push_interval(&interval)?;
+//! let report = driver.finish();
+//! // ~20% of 5000 items reconstruct the original count...
+//! assert!((report.results[0].count_hat - 5000.0).abs() < 1e-6);
+//! // ...and every query in the set got its per-window answer.
+//! assert_eq!(report.results[0].queries.len(), 3);
+//! # Ok::<(), approxiot_runtime::EngineError>(())
 //! ```
 
+pub mod engine;
 pub mod feedback;
 pub mod node;
 pub mod pipeline;
 pub mod pool;
 pub mod query;
 pub mod root;
+pub mod topology;
 pub mod tree;
 
+pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
 pub use feedback::FeedbackLoop;
 pub use node::{SamplingNode, Strategy};
-pub use pipeline::{run_pipeline, LatencyStats, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    run_pipeline, LatencyStats, PipelineConfig, PipelineEngine, PipelineOptions, PipelineReport,
+};
 pub use pool::WorkerPool;
-pub use query::Query;
+pub use query::{Query, QueryResults, QuerySet, QuerySpec, QueryValue};
 pub use root::{RootConfig, RootNode, WindowResult};
-pub use tree::{FractionSplit, LayerBytes, SimTree, TreeConfig};
+pub use topology::{FractionSplit, HopBytes, LayerSpec, LinkSpec, Topology, TopologyBuilder};
+pub use tree::{LayerBytes, SimTree, TreeConfig};

@@ -1,12 +1,13 @@
-//! The threaded end-to-end pipeline: sources → leaf edge nodes → mid edge
-//! nodes → root, connected through broker topics with WAN delay and
-//! capacity emulation.
+//! The threaded execution engine: an arbitrary-depth [`Topology`] of edge
+//! nodes connected through broker topics with WAN delay and capacity
+//! emulation.
 //!
 //! This is the engine behind the wall-clock experiments — throughput
 //! (Figure 6), bandwidth (Figure 7), latency vs sampling fraction
 //! (Figure 8), latency vs window size (Figure 9) and the real-world
 //! throughput runs (Figure 11b). Accuracy experiments use the faster
-//! deterministic [`crate::SimTree`] instead.
+//! virtual-time [`crate::SimEngine`] instead; both engines run behind the
+//! same [`crate::Driver`] front door.
 //!
 //! ## How the WAN is emulated
 //!
@@ -16,17 +17,29 @@
 //!   link.
 //! * **Capacity**: each sending node owns a token bucket
 //!   ([`approxiot_net::RateLimiter`]) charged with the encoded frame size —
-//!   the paper's 1 Gbps link cap, scaled down for laptop runs.
+//!   the paper's 1 Gbps link cap, scaled down for laptop runs. Per-hop
+//!   links come straight from the topology's [`crate::LinkSpec`]s.
 //! * **Interval semantics**: in WHS mode each edge node buffers one
 //!   computation window of input before sampling and forwarding — this is
 //!   Algorithm 2's per-interval loop and the source of the window-size
 //!   latency dependence in Figure 9. SRS and native nodes forward
 //!   immediately (coin flips need no window).
 //!
+//! ## Deterministic mode
+//!
+//! [`PipelineOptions::deterministic`] trades the WAN timing emulation for
+//! bit-reproducibility: sources keep their event timestamps (no wall
+//! re-stamping), records are keyed by interval, and every node defers
+//! processing until its input closes, then replays it in the canonical
+//! `(interval, child, arrival)` order — the exact order the virtual-time
+//! engine uses. A fixed-seed topology therefore produces **identical
+//! window estimates** on both engines, pinned by the engine-equivalence
+//! integration test.
+//!
 //! ## Buffer reuse on the wire path
 //!
-//! The node loops are steady-state allocation-free end to end. Every
-//! consumer polls through one reused record buffer
+//! The wall-clock node loops are steady-state allocation-free end to end.
+//! Every consumer polls through one reused record buffer
 //! ([`Consumer::poll_into`] appending via the partition logs'
 //! `read_into`), every frame decodes into a recycled [`Batch`] drawn from
 //! a per-node [`BatchPool`] ([`decode_batch_into`]), every producer
@@ -34,30 +47,30 @@
 //! ([`approxiot_mq::codec::encode_batch_into`]), and both the input batch
 //! and the forwarded output batches return to the pool once sent — native
 //! nodes even *move* the input to the output instead of cloning it
-//! ([`SamplingNode::process_batch_mut`]). After the first few windows of a
-//! steady workload, the only per-frame allocations left are the shared
-//! payload the broker's retention model requires and — in native mode at
-//! the root, where decoded items move into `Θ` and live on — the storage
-//! for the retained data itself. Sharded WHS nodes
-//! sample on a persistent [`crate::WorkerPool`] rather than a per-batch
-//! thread scope, so thread lifecycle is off the per-batch path too; the
+//! ([`SamplingNode::process_batch_mut`]). Sharded WHS nodes sample on a
+//! persistent [`crate::WorkerPool`] rather than a per-batch thread scope,
+//! so thread lifecycle is off the per-batch path too; the
 //! `pipeline_throughput` bench (results in `BENCH_pipeline.json`) measures
 //! the combined effect at the system level.
 
+use crate::engine::{Engine, EngineError, RunReport};
 use crate::node::{SamplingNode, Strategy};
-use crate::query::Query;
+use crate::query::{Query, QuerySet};
 use crate::root::{RootConfig, RootNode, WindowResult};
-use crate::tree::{FractionSplit, LayerBytes};
-use approxiot_core::{Batch, BatchPool};
+use crate::topology::{FractionSplit, LayerSpec, Topology};
+use crate::tree::LayerBytes;
+use approxiot_core::{Batch, BatchPool, BudgetError};
 use approxiot_mq::codec::{decode_batch_into, encoded_len};
 use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, Record, StartOffset};
 use approxiot_net::RateLimiter;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Configuration of a threaded pipeline run.
+/// Configuration of a legacy three-stage pipeline run — the paper's
+/// fixed `leaves → mids → root` shape, kept as a thin wrapper over
+/// [`Topology`] ([`PipelineConfig::to_topology`]).
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// First-layer edge nodes.
@@ -121,12 +134,45 @@ impl PipelineConfig {
         }
     }
 
-    fn stage_fractions(&self) -> [f64; 3] {
-        self.split.stage_fractions(self.overall_fraction)
-    }
-
-    fn total_delay(&self) -> Duration {
-        self.hop_delays.iter().sum()
+    /// The equivalent [`Topology`] for `sources` first-hop producers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] for a fraction outside `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves`, `mids`, `sources` or `edge_workers` is zero.
+    pub fn to_topology(&self, sources: usize) -> Result<Topology, BudgetError> {
+        let mut leaf = LayerSpec::new(self.leaves)
+            .workers(self.edge_workers)
+            .delay(self.hop_delays[0]);
+        if let Some(c) = self.source_capacity_bytes_per_sec {
+            leaf = leaf.capacity(c);
+        }
+        let mut mid = LayerSpec::new(self.mids)
+            .workers(self.edge_workers)
+            .delay(self.hop_delays[1]);
+        if let Some(c) = self.capacity_bytes_per_sec {
+            mid = mid.capacity(c);
+        }
+        let mut builder = Topology::builder()
+            .sources(sources)
+            .layer(leaf)
+            .layer(mid)
+            .root_delay(self.hop_delays[2])
+            .strategy(self.strategy)
+            .overall_fraction(self.overall_fraction)
+            .split(self.split)
+            .window(self.window)
+            .seed(self.seed);
+        if let Some(c) = self.capacity_bytes_per_sec {
+            builder = builder.root_link(crate::topology::LinkSpec {
+                delay: self.hop_delays[2],
+                capacity_bytes_per_sec: Some(c),
+            });
+        }
+        builder.build()
     }
 }
 
@@ -168,7 +214,8 @@ impl LatencyStats {
     }
 }
 
-/// The outcome of a pipeline run.
+/// The outcome of a legacy [`run_pipeline`] call (the three-hop view of a
+/// [`RunReport`]).
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Every window's approximate answer, in window order.
@@ -186,19 +233,37 @@ pub struct PipelineReport {
     pub bytes: LayerBytes,
 }
 
-/// Shared byte counters per layer.
-#[derive(Clone, Default)]
-struct ByteCounters {
-    l1: Arc<AtomicU64>,
-    l2: Arc<AtomicU64>,
-    root: Arc<AtomicU64>,
+/// Options of the threaded engine that are about *driving* the run rather
+/// than describing the tree (which is the [`Topology`]'s job).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Replay mode: preserve event time and process in canonical order so
+    /// fixed-seed estimates match the sim engine (see the
+    /// [module docs](self)). Disables the latency/delay emulation.
+    pub deterministic: bool,
+    /// Pace the driver at one interval per `source_interval` of wall time
+    /// (`None` = push as fast as the links accept). Ignored in
+    /// deterministic mode.
+    pub source_interval: Option<Duration>,
 }
 
-/// Runs the full threaded pipeline over pre-generated source data.
+impl PipelineOptions {
+    /// The deterministic replay mode.
+    pub fn deterministic() -> Self {
+        PipelineOptions {
+            deterministic: true,
+            source_interval: None,
+        }
+    }
+}
+
+/// Runs the full threaded pipeline over pre-generated source data — the
+/// legacy three-stage entry point, now a wrapper over
+/// [`PipelineEngine`] via [`PipelineConfig::to_topology`].
 ///
 /// `source_intervals[t][s]` is source `s`'s batch for interval `t`. Each
-/// source, edge node and the root run on their own threads, connected
-/// through broker topics `layer1`, `layer2` and `root`.
+/// edge node and the root run on their own threads, connected through
+/// per-layer broker topics.
 ///
 /// Item `source_ts` fields are re-stamped with wall-clock send time so the
 /// report's latency statistics are true end-to-end measurements.
@@ -215,7 +280,7 @@ struct ByteCounters {
 pub fn run_pipeline(
     config: &PipelineConfig,
     source_intervals: Vec<Vec<Batch>>,
-) -> Result<PipelineReport, approxiot_core::BudgetError> {
+) -> Result<PipelineReport, BudgetError> {
     assert!(
         config.leaves > 0 && config.mids > 0,
         "topology layers must be non-empty"
@@ -226,236 +291,334 @@ pub fn run_pipeline(
         sources > 0,
         "need at least one source interval with at least one source"
     );
-    approxiot_core::SamplingBudget::new(config.overall_fraction)?;
-    let [leaf_fraction, mid_fraction, root_fraction] = config.stage_fractions();
-
-    let broker = Arc::new(Broker::new());
-    let layer1 = broker
-        .create_topic("layer1", sources as u32)
-        .expect("fresh broker");
-    let layer2 = broker
-        .create_topic("layer2", config.mids as u32)
-        .expect("fresh broker");
-    let root_topic = broker.create_topic("root", 1).expect("fresh broker");
-
-    let epoch = Instant::now();
-    let bytes = ByteCounters::default();
-    let source_items = Arc::new(AtomicU64::new(0));
-    let mut handles = Vec::new();
-
-    // ---- Sources ---------------------------------------------------------
-    // Transpose the interval matrix into per-source schedules.
-    let mut per_source: Vec<Vec<Batch>> = (0..sources).map(|_| Vec::new()).collect();
-    for interval in source_intervals {
+    let topology = config.to_topology(sources)?;
+    let options = PipelineOptions {
+        deterministic: false,
+        source_interval: config.source_interval,
+    };
+    let mut engine = PipelineEngine::new(topology, QuerySet::single(config.query), options)?;
+    for interval in &source_intervals {
         assert_eq!(interval.len(), sources, "ragged source interval matrix");
-        for (s, batch) in interval.into_iter().enumerate() {
-            per_source[s].push(batch);
+        // A closed transport mid-stream (e.g. a decode error downstream)
+        // drains gracefully, mirroring the historical source behaviour.
+        if Engine::push_interval(&mut engine, interval).is_err() {
+            break;
         }
     }
-    let sources_left = Arc::new(AtomicUsize::new(sources));
-    for (s, batches) in per_source.into_iter().enumerate() {
-        let producer = BatchProducer::new(Arc::clone(&layer1));
-        let counter = Arc::clone(&source_items);
-        let bytes_out = Arc::clone(&bytes.l1);
-        let left = Arc::clone(&sources_left);
-        let limiter = make_limiter(config.source_capacity_bytes_per_sec);
-        let pace = config.source_interval;
-        handles.push(
-            thread::Builder::new()
-                .name(format!("approxiot-source-{s}"))
-                .spawn(move || {
-                    for mut batch in batches {
-                        let ts = epoch.elapsed().as_nanos() as u64;
-                        for item in &mut batch.items {
-                            item.source_ts = ts;
-                        }
-                        counter.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        if let Some(l) = &limiter {
-                            l.acquire(encoded_len(&batch) as u64);
-                        }
-                        if producer.send_to(s as u32, &batch, ts).is_err() {
-                            break;
-                        }
-                        if let Some(p) = pace {
-                            thread::sleep(p);
-                        }
-                    }
-                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
-                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        producer.topic().close();
-                    }
-                })
-                .expect("spawn source thread"),
-        );
-    }
-
-    // ---- Leaf edge nodes ---------------------------------------------------
-    let leaves_left = Arc::new(AtomicUsize::new(config.leaves));
-    for j in 0..config.leaves {
-        let partitions: Vec<u32> = (0..sources as u32)
-            .filter(|p| (*p as usize) % config.leaves == j)
-            .collect();
-        let consumer = Consumer::subscribe(Arc::clone(&layer1), &partitions, StartOffset::Earliest);
-        let producer = BatchProducer::new(Arc::clone(&layer2));
-        let node = SamplingNode::with_workers(
-            config.strategy,
-            leaf_fraction,
-            config.seed ^ (0xA0 + j as u64),
-            config.edge_workers,
-        )?;
-        let left = Arc::clone(&leaves_left);
-        let bytes_out = Arc::clone(&bytes.l2);
-        let limiter = make_limiter(config.capacity_bytes_per_sec);
-        let params = EdgeParams {
-            hop_delay: config.hop_delays[0],
-            window: config.window,
-            out_partition: (j % config.mids) as u32,
-            buffered: matches!(config.strategy, Strategy::Whs { .. }),
-            sharded: config.edge_workers > 1,
-        };
-        handles.push(
-            thread::Builder::new()
-                .name(format!("approxiot-leaf-{j}"))
-                .spawn(move || {
-                    edge_node_loop(consumer, &producer, node, params, limiter, epoch);
-                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
-                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        producer.topic().close();
-                    }
-                })
-                .expect("spawn leaf thread"),
-        );
-    }
-
-    // ---- Mid edge nodes ------------------------------------------------------
-    let mids_left = Arc::new(AtomicUsize::new(config.mids));
-    for k in 0..config.mids {
-        let consumer = Consumer::subscribe(Arc::clone(&layer2), &[k as u32], StartOffset::Earliest);
-        let producer = BatchProducer::new(Arc::clone(&root_topic));
-        let node = SamplingNode::with_workers(
-            config.strategy,
-            mid_fraction,
-            config.seed ^ (0xB0 + k as u64),
-            config.edge_workers,
-        )?;
-        let left = Arc::clone(&mids_left);
-        let bytes_out = Arc::clone(&bytes.root);
-        let limiter = make_limiter(config.capacity_bytes_per_sec);
-        let params = EdgeParams {
-            hop_delay: config.hop_delays[1],
-            window: config.window,
-            out_partition: 0,
-            buffered: matches!(config.strategy, Strategy::Whs { .. }),
-            sharded: config.edge_workers > 1,
-        };
-        handles.push(
-            thread::Builder::new()
-                .name(format!("approxiot-mid-{k}"))
-                .spawn(move || {
-                    edge_node_loop(consumer, &producer, node, params, limiter, epoch);
-                    bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
-                    if left.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        producer.topic().close();
-                    }
-                })
-                .expect("spawn mid thread"),
-        );
-    }
-
-    // ---- Root -------------------------------------------------------------
-    let mut root = RootNode::new(RootConfig {
-        strategy: config.strategy,
-        fraction: root_fraction,
-        overall_fraction: config.overall_fraction,
-        window: config.window,
-        query: config.query,
-        seed: config.seed ^ 0xC0,
-    })?;
-    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
-    let root_latencies = Arc::clone(&latencies);
-    let root_delay = config.hop_delays[2];
-    let total_delay = config.total_delay();
-    let (result_tx, result_rx) = std::sync::mpsc::channel::<(Vec<WindowResult>, Duration)>();
-    let mut root_consumer = Consumer::subscribe_all(Arc::clone(&root_topic), StartOffset::Earliest);
-    handles.push(
-        thread::Builder::new()
-            .name("approxiot-root".into())
-            .spawn(move || {
-                let mut results = Vec::new();
-                let mut pool = BatchPool::new(POLL_MAX + 2);
-                let mut records: Vec<Record> = Vec::new();
-                'run: loop {
-                    match root_consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5))
-                    {
-                        Ok(_) => {
-                            for record in records.drain(..) {
-                                let mut batch = pool.get();
-                                if decode_batch_into(&record.value, &mut batch).is_err() {
-                                    break 'run;
-                                }
-                                wait_until(epoch, record.timestamp, root_delay);
-                                let now = epoch.elapsed().as_nanos() as u64;
-                                {
-                                    let mut lat = root_latencies
-                                        .lock()
-                                        .expect("latency mutex never poisoned");
-                                    if lat.len() < 500_000 {
-                                        lat.extend(
-                                            batch
-                                                .items
-                                                .iter()
-                                                .map(|i| now.saturating_sub(i.source_ts)),
-                                        );
-                                    }
-                                }
-                                root.ingest_mut(&mut batch);
-                                pool.put(batch);
-                            }
-                            // Advance the watermark conservatively: no item
-                            // older than now − 2×total network delay can
-                            // still be in flight.
-                            let wm = epoch
-                                .elapsed()
-                                .as_nanos()
-                                .saturating_sub(2 * total_delay.as_nanos())
-                                as u64;
-                            results.extend(root.advance_watermark(wm));
-                        }
-                        Err(MqError::Closed) => break,
-                        Err(_) => break,
-                    }
-                }
-                results.extend(root.flush());
-                results.sort_by_key(|r| r.window);
-                let _ = result_tx.send((results, epoch.elapsed()));
-            })
-            .expect("spawn root thread"),
-    );
-
-    for handle in handles {
-        handle.join().expect("pipeline worker thread panicked");
-    }
-    let (results, elapsed) = result_rx.recv().expect("root thread reports results");
-
-    let items = source_items.load(Ordering::Relaxed);
-    let latency_samples =
-        std::mem::take(&mut *latencies.lock().expect("latency mutex never poisoned"));
+    let report = Box::new(engine).finish();
     Ok(PipelineReport {
-        results,
-        elapsed,
-        source_items: items,
-        throughput_items_per_sec: items as f64 / elapsed.as_secs_f64().max(1e-9),
-        latency: LatencyStats::from_nanos(latency_samples),
-        bytes: LayerBytes {
-            source_to_leaf: bytes.l1.load(Ordering::Relaxed),
-            leaf_to_mid: bytes.l2.load(Ordering::Relaxed),
-            mid_to_root: bytes.root.load(Ordering::Relaxed),
-        },
+        bytes: LayerBytes::from_hops(&report.bytes),
+        results: report.results,
+        elapsed: report.elapsed,
+        source_items: report.source_items,
+        throughput_items_per_sec: report.throughput_items_per_sec,
+        latency: report.latency,
     })
 }
 
 /// Records drained per poll by the node loops.
 const POLL_MAX: usize = 64;
+
+/// The threaded execution engine behind [`crate::EngineKind::Pipeline`]:
+/// one thread per edge node plus the root, connected through per-layer
+/// broker topics, driven incrementally through the [`Engine`] trait.
+///
+/// The topic feeding each layer has one partition per *upstream sender*
+/// (sources for the first layer, the previous layer's nodes after that),
+/// and node `j` of a layer with `n` nodes consumes partitions `p` with
+/// `p % n == j` — the same modular routing the sim engine uses, and the
+/// property that makes deterministic replay possible: within a partition,
+/// records are totally ordered by their single producer.
+pub struct PipelineEngine {
+    topology: Topology,
+    options: PipelineOptions,
+    epoch: Instant,
+    /// Driver-side producer into the first layer's topic.
+    producer: BatchProducer,
+    /// One first-hop token bucket per source: capacity is charged per
+    /// *sending node*, so N sources inject at N times the per-uplink cap
+    /// in aggregate (matching the legacy per-source-thread limiters).
+    source_limiters: Vec<Option<RateLimiter>>,
+    /// Per-hop byte counters (hop 0 filled from `producer` at finish).
+    bytes: Vec<Arc<AtomicU64>>,
+    latencies: Arc<Mutex<Vec<u64>>>,
+    result_rx: mpsc::Receiver<WindowResult>,
+    elapsed_rx: mpsc::Receiver<Duration>,
+    handles: Vec<JoinHandle<()>>,
+    results: Vec<WindowResult>,
+    source_items: u64,
+    intervals_pushed: u64,
+    closed: bool,
+    /// Scratch for wall-mode re-stamping.
+    stamp_scratch: Batch,
+}
+
+impl PipelineEngine {
+    /// Spawns the node and root threads for `topology` and returns the
+    /// engine ready for [`Engine::push_interval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError`] for a fraction outside `(0, 1]`.
+    pub fn new(
+        topology: Topology,
+        queries: QuerySet,
+        options: PipelineOptions,
+    ) -> Result<Self, BudgetError> {
+        let fractions = topology.stage_fractions();
+        let n_layers = topology.layers().len();
+        let broker = Arc::new(Broker::new());
+        // feeds[l] feeds layer l; the last topic feeds the root. One
+        // partition per upstream sender.
+        let mut feeds = Vec::with_capacity(n_layers + 1);
+        feeds.push(
+            broker
+                .create_topic("layer0", topology.sources() as u32)
+                .expect("fresh broker"),
+        );
+        for l in 1..n_layers {
+            feeds.push(
+                broker
+                    .create_topic(&format!("layer{l}"), topology.layers()[l - 1].nodes as u32)
+                    .expect("fresh broker"),
+            );
+        }
+        feeds.push(
+            broker
+                .create_topic("root", topology.layers()[n_layers - 1].nodes as u32)
+                .expect("fresh broker"),
+        );
+
+        let epoch = Instant::now();
+        let bytes: Vec<Arc<AtomicU64>> = (0..topology.hops())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let (result_tx, result_rx) = mpsc::channel();
+        let (elapsed_tx, elapsed_rx) = mpsc::channel();
+        let mut handles = Vec::new();
+
+        // ---- Edge layers ---------------------------------------------------
+        for (l, layer) in topology.layers().iter().enumerate() {
+            let closers = Arc::new(AtomicUsize::new(layer.nodes));
+            for j in 0..layer.nodes {
+                let partitions: Vec<u32> = (0..feeds[l].partition_count())
+                    .filter(|p| (*p as usize) % layer.nodes == j)
+                    .collect();
+                let consumer =
+                    Consumer::subscribe(Arc::clone(&feeds[l]), &partitions, StartOffset::Earliest);
+                let producer = BatchProducer::new(Arc::clone(&feeds[l + 1]));
+                let node = SamplingNode::with_workers(
+                    topology.layer_strategy(l),
+                    fractions[l],
+                    topology.node_seed(l, j),
+                    layer.workers,
+                )?;
+                let limiter = make_limiter(topology.hop_link(l + 1).capacity_bytes_per_sec);
+                let params = EdgeParams {
+                    hop_delay: topology.layer_link(l).delay,
+                    window: topology.window(),
+                    out_partition: j as u32,
+                    buffered: matches!(topology.layer_strategy(l), Strategy::Whs { .. }),
+                    sharded: layer.workers > 1,
+                };
+                let deterministic = options.deterministic;
+                let left = Arc::clone(&closers);
+                let bytes_out = Arc::clone(&bytes[l + 1]);
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("approxiot-edge-{l}-{j}"))
+                        .spawn(move || {
+                            if deterministic {
+                                edge_node_replay(consumer, &producer, node, &params, limiter);
+                            } else {
+                                edge_node_loop(consumer, &producer, node, params, limiter, epoch);
+                            }
+                            bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
+                            if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                producer.topic().close();
+                            }
+                        })
+                        .expect("spawn edge thread"),
+                );
+            }
+        }
+
+        // ---- Root ----------------------------------------------------------
+        let root = RootNode::new(RootConfig {
+            strategy: topology.root_strategy(),
+            fraction: *fractions.last().expect("depth >= 1"),
+            overall_fraction: topology.overall_fraction(),
+            window: topology.window(),
+            queries,
+            seed: topology.root_seed(),
+        })?;
+        let root_consumer =
+            Consumer::subscribe_all(Arc::clone(&feeds[n_layers]), StartOffset::Earliest);
+        let root_delay = topology.root_link().delay;
+        let total_delay = topology.total_delay();
+        let root_latencies = Arc::clone(&latencies);
+        let deterministic = options.deterministic;
+        handles.push(
+            thread::Builder::new()
+                .name("approxiot-root".into())
+                .spawn(move || {
+                    if deterministic {
+                        root_replay(root_consumer, root, &result_tx);
+                    } else {
+                        root_loop(
+                            root_consumer,
+                            root,
+                            &result_tx,
+                            &root_latencies,
+                            epoch,
+                            root_delay,
+                            total_delay,
+                        );
+                    }
+                    let _ = elapsed_tx.send(epoch.elapsed());
+                })
+                .expect("spawn root thread"),
+        );
+
+        let producer = BatchProducer::new(Arc::clone(&feeds[0]));
+        let source_limiters = (0..topology.sources())
+            .map(|_| make_limiter(topology.layer_link(0).capacity_bytes_per_sec))
+            .collect();
+        Ok(PipelineEngine {
+            topology,
+            options,
+            epoch,
+            producer,
+            source_limiters,
+            bytes,
+            latencies,
+            result_rx,
+            elapsed_rx,
+            handles,
+            results: Vec::new(),
+            source_items: 0,
+            intervals_pushed: 0,
+            closed: false,
+            stamp_scratch: Batch::new(),
+        })
+    }
+
+    /// The topology this engine runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn send_source(&mut self, partition: u32, batch: &Batch, ts: u64) -> Result<(), EngineError> {
+        if let Some(l) = &self.source_limiters[partition as usize] {
+            l.acquire(encoded_len(batch) as u64);
+        }
+        if self.producer.send_to(partition, batch, ts).is_err() {
+            self.closed = true;
+            return Err(EngineError::Closed);
+        }
+        Ok(())
+    }
+
+    fn drain_results(&mut self) -> Vec<WindowResult> {
+        let mut new = Vec::new();
+        while let Ok(result) = self.result_rx.try_recv() {
+            new.push(result);
+        }
+        self.results.extend(new.iter().cloned());
+        new
+    }
+}
+
+impl Engine for PipelineEngine {
+    fn push_interval(&mut self, interval: &[Batch]) -> Result<(), EngineError> {
+        if self.closed {
+            return Err(EngineError::Closed);
+        }
+        // The first-layer topic has one partition per declared source; an
+        // oversized interval is a caller error, not a transport failure.
+        if interval.len() > self.topology.sources() {
+            return Err(EngineError::SourceCount {
+                expected: self.topology.sources(),
+                got: interval.len(),
+            });
+        }
+        let key = self.intervals_pushed;
+        self.intervals_pushed += 1;
+        for (s, batch) in interval.iter().enumerate() {
+            self.source_items += batch.len() as u64;
+            if self.options.deterministic {
+                // Preserve event time; key records by interval so replay
+                // can reconstruct the canonical order.
+                self.send_source(s as u32, batch, key)?;
+            } else {
+                // Re-stamp with wall send time for true end-to-end latency.
+                let ts = self.epoch.elapsed().as_nanos() as u64;
+                let mut stamped = std::mem::take(&mut self.stamp_scratch);
+                stamped.clone_from(batch);
+                for item in &mut stamped.items {
+                    item.source_ts = ts;
+                }
+                let sent = self.send_source(s as u32, &stamped, ts);
+                self.stamp_scratch = stamped;
+                sent?;
+            }
+        }
+        if !self.options.deterministic {
+            if let Some(pace) = self.options.source_interval {
+                thread::sleep(pace);
+            }
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<WindowResult> {
+        self.drain_results()
+    }
+
+    fn finish(mut self: Box<Self>) -> RunReport {
+        self.producer.topic().close();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pipeline worker thread panicked");
+        }
+        self.drain_results();
+        let elapsed = self
+            .elapsed_rx
+            .try_recv()
+            .unwrap_or_else(|_| self.epoch.elapsed());
+        self.bytes[0].fetch_add(self.producer.bytes_sent(), Ordering::Relaxed);
+        let mut results = std::mem::take(&mut self.results);
+        results.sort_by_key(|r| r.window);
+        let latency_samples =
+            std::mem::take(&mut *self.latencies.lock().expect("latency mutex never poisoned"));
+        RunReport {
+            results,
+            bytes: self
+                .bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
+                .into(),
+            source_items: self.source_items,
+            elapsed,
+            throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),
+            latency: LatencyStats::from_nanos(latency_samples),
+        }
+    }
+}
+
+impl Drop for PipelineEngine {
+    /// An engine dropped without [`Engine::finish`] still shuts its
+    /// threads down: closing the source topic cascades layer by layer.
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.producer.topic().close();
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
 
 fn make_limiter(capacity: Option<u64>) -> Option<RateLimiter> {
     capacity.map(|bps| RateLimiter::new(bps, (bps / 10).max(4096)))
@@ -483,7 +646,7 @@ struct EdgeParams {
     sharded: bool,
 }
 
-/// The per-edge-node loop shared by leaves and mids.
+/// The per-edge-node wall-clock loop.
 ///
 /// Steady-state allocation-free (see the module docs): records poll into
 /// a reused buffer, frames decode into pooled batches, and every batch —
@@ -579,6 +742,134 @@ fn edge_node_loop(
                 last_flush = now;
             }
         }
+    }
+}
+
+/// The per-edge-node deterministic replay: buffer everything until the
+/// input closes, then process in canonical `(interval, child, arrival)`
+/// order — `(timestamp, partition, offset)` on the wire, since records are
+/// keyed by interval and each partition has a single producer. Outputs
+/// inherit their input's interval key so the next layer can do the same.
+fn edge_node_replay(
+    mut consumer: Consumer,
+    producer: &BatchProducer,
+    mut node: SamplingNode,
+    params: &EdgeParams,
+    limiter: Option<RateLimiter>,
+) {
+    let Some(mut held) = collect_until_closed(&mut consumer) else {
+        return;
+    };
+    held.sort_by_key(|(key, _)| *key);
+    for (key, mut batch) in held {
+        let outs = if params.sharded {
+            node.process_batch_parallel(&batch)
+        } else {
+            vec![node.process_batch_mut(&mut batch)]
+        };
+        for out in outs {
+            if out.is_empty() {
+                continue;
+            }
+            if let Some(l) = &limiter {
+                l.acquire(encoded_len(&out) as u64);
+            }
+            if producer.send_to(params.out_partition, &out, key.0).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Drains a consumer to close, decoding every record; `None` on a decode
+/// error (poisoned stream).
+#[allow(clippy::type_complexity)]
+fn collect_until_closed(consumer: &mut Consumer) -> Option<Vec<((u64, u32, u64), Batch)>> {
+    let mut held = Vec::new();
+    let mut records: Vec<Record> = Vec::new();
+    loop {
+        match consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5)) {
+            Ok(_) => {
+                for record in records.drain(..) {
+                    let mut batch = Batch::new();
+                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                        return None;
+                    }
+                    held.push(((record.timestamp, record.partition, record.offset), batch));
+                }
+            }
+            Err(MqError::Closed) => return Some(held),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// The wall-clock root loop: ingest with delay emulation and latency
+/// sampling, advancing the watermark conservatively as wall time passes,
+/// streaming each closed window's result as it becomes available.
+fn root_loop(
+    mut consumer: Consumer,
+    mut root: RootNode,
+    result_tx: &mpsc::Sender<WindowResult>,
+    latencies: &Mutex<Vec<u64>>,
+    epoch: Instant,
+    root_delay: Duration,
+    total_delay: Duration,
+) {
+    let mut pool = BatchPool::new(POLL_MAX + 2);
+    let mut records: Vec<Record> = Vec::new();
+    'run: loop {
+        match consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5)) {
+            Ok(_) => {
+                for record in records.drain(..) {
+                    let mut batch = pool.get();
+                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                        break 'run;
+                    }
+                    wait_until(epoch, record.timestamp, root_delay);
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    {
+                        let mut lat = latencies.lock().expect("latency mutex never poisoned");
+                        if lat.len() < 500_000 {
+                            lat.extend(batch.items.iter().map(|i| now.saturating_sub(i.source_ts)));
+                        }
+                    }
+                    root.ingest_mut(&mut batch);
+                    pool.put(batch);
+                }
+                // Advance the watermark conservatively: no item older than
+                // now − 2×total network delay can still be in flight.
+                let wm = epoch
+                    .elapsed()
+                    .as_nanos()
+                    .saturating_sub(2 * total_delay.as_nanos()) as u64;
+                for result in root.advance_watermark(wm) {
+                    let _ = result_tx.send(result);
+                }
+            }
+            Err(MqError::Closed) => break,
+            Err(_) => break,
+        }
+    }
+    for result in root.flush() {
+        let _ = result_tx.send(result);
+    }
+}
+
+/// The deterministic root: collect to close, replay in canonical order,
+/// answer every window at flush.
+fn root_replay(mut consumer: Consumer, mut root: RootNode, result_tx: &mpsc::Sender<WindowResult>) {
+    let Some(mut held) = collect_until_closed(&mut consumer) else {
+        return;
+    };
+    held.sort_by_key(|(key, _)| *key);
+    for (_, mut batch) in held {
+        root.ingest_mut(&mut batch);
+    }
+    let mut results = root.flush();
+    results.sort_by_key(|r| r.window);
+    for result in results {
+        let _ = result_tx.send(result);
     }
 }
 
@@ -747,5 +1038,40 @@ mod tests {
         assert_eq!(stats.mean, Duration::from_nanos(400));
         let empty = LatencyStats::from_nanos(vec![]);
         assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn to_topology_mirrors_the_config() {
+        let mut config = PipelineConfig::paper_topology(0.2, 1.0);
+        config.capacity_bytes_per_sec = Some(1_000_000);
+        config.source_capacity_bytes_per_sec = Some(9_999);
+        let topology = config.to_topology(8).expect("valid");
+        assert_eq!(topology.sources(), 8);
+        assert_eq!(topology.layers()[0].nodes, 4);
+        assert_eq!(topology.layers()[1].nodes, 2);
+        assert_eq!(topology.layer_link(0).delay, Duration::from_millis(10));
+        assert_eq!(
+            topology.layer_link(0).capacity_bytes_per_sec,
+            Some(9_999),
+            "source capacity rides on the first hop"
+        );
+        assert_eq!(
+            topology.layer_link(1).capacity_bytes_per_sec,
+            Some(1_000_000)
+        );
+        assert_eq!(topology.root_link().capacity_bytes_per_sec, Some(1_000_000));
+        assert_eq!(topology.root_link().delay, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn dropped_engine_shuts_down_cleanly() {
+        let topology = fast_config(Strategy::whs(), 0.5)
+            .to_topology(2)
+            .expect("valid");
+        let mut engine =
+            PipelineEngine::new(topology, QuerySet::default(), PipelineOptions::default())
+                .expect("valid");
+        Engine::push_interval(&mut engine, &intervals(1, 2, 10, 1.0)[0]).expect("open");
+        drop(engine); // must join every thread without a finish()
     }
 }

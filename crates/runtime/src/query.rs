@@ -1,11 +1,21 @@
 //! Queries executed at the root node.
 //!
-//! The paper's current system supports *approximate linear queries* —
-//! windowed SUM, MEAN and COUNT over the weighted samples in `Θ` — which is
-//! exactly what the two case studies ask ("total payment per window",
-//! "total pollution value per window").
+//! The paper's case studies ask *approximate linear queries* — windowed
+//! SUM, MEAN and COUNT over the weighted samples in `Θ` ("total payment
+//! per window", "total pollution value per window") — and its future-work
+//! section gestures at richer ones. This module covers both:
+//!
+//! * [`Query`] — the original single linear query (kept for the
+//!   `paper_topology` compatibility surface).
+//! * [`QuerySet`] — any number of concurrent window queries, each a
+//!   [`QuerySpec`]: the linear three, their per-stratum variants, and
+//!   [`QuerySpec::Quantile`] / [`QuerySpec::TopK`] backed by
+//!   [`approxiot_core::quantile`]. The root runs the whole set over each
+//!   closed window's `Θ` store and files the answers into a
+//!   [`QueryResults`] map on the window result.
 
-use approxiot_core::{Estimate, StratumId, ThetaStore};
+use approxiot_core::quantile::{quantile_with_bounds, top_k_strata, QuantileEstimate};
+use approxiot_core::{Confidence, Estimate, StratumId, ThetaStore};
 use std::collections::BTreeMap;
 
 /// A linear streaming query.
@@ -86,6 +96,255 @@ impl std::fmt::Display for Query {
     }
 }
 
+/// One window query in a [`QuerySet`].
+///
+/// The linear three answer with a scalar [`Estimate`]; the per-stratum
+/// variants answer with one estimate per stratum; `Quantile` and `TopK`
+/// run the [`approxiot_core::quantile`] estimators over the window's
+/// weighted sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuerySpec {
+    /// Total of item values per window.
+    Sum,
+    /// Mean item value per window.
+    Mean,
+    /// Number of items per window.
+    Count,
+    /// SUM broken out per stratum (the per-pollutant reporting variant).
+    SumPerStratum,
+    /// MEAN broken out per stratum.
+    MeanPerStratum,
+    /// COUNT broken out per stratum.
+    CountPerStratum,
+    /// The `q`-quantile of item values (`0 <= q <= 1`), with the
+    /// distribution-free order-statistic confidence interval.
+    Quantile(f64),
+    /// The `k` strata with the largest estimated SUM, each with its
+    /// Equation-11 variance.
+    TopK(usize),
+}
+
+impl QuerySpec {
+    /// Whether this query answers with a scalar [`Estimate`] the window
+    /// result can surface as its primary estimate.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, QuerySpec::Sum | QuerySpec::Mean | QuerySpec::Count)
+    }
+}
+
+impl From<Query> for QuerySpec {
+    fn from(query: Query) -> Self {
+        match query {
+            Query::Sum => QuerySpec::Sum,
+            Query::Mean => QuerySpec::Mean,
+            Query::Count => QuerySpec::Count,
+        }
+    }
+}
+
+impl std::fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuerySpec::Sum => write!(f, "SUM"),
+            QuerySpec::Mean => write!(f, "MEAN"),
+            QuerySpec::Count => write!(f, "COUNT"),
+            QuerySpec::SumPerStratum => write!(f, "SUM/stratum"),
+            QuerySpec::MeanPerStratum => write!(f, "MEAN/stratum"),
+            QuerySpec::CountPerStratum => write!(f, "COUNT/stratum"),
+            QuerySpec::Quantile(q) => write!(f, "QUANTILE({q})"),
+            QuerySpec::TopK(k) => write!(f, "TOP{k}"),
+        }
+    }
+}
+
+/// One query's answer for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryValue {
+    /// A scalar estimate with variance (Sum / Mean / Count).
+    Scalar(Estimate),
+    /// Per-stratum estimates.
+    PerStratum(BTreeMap<StratumId, Estimate>),
+    /// A quantile with its confidence interval; `None` for an empty window.
+    Quantile(Option<QuantileEstimate>),
+    /// Strata ranked by estimated SUM, largest first.
+    TopK(Vec<(StratumId, Estimate)>),
+}
+
+impl QueryValue {
+    /// The scalar estimate, if this answer is one.
+    pub fn scalar(&self) -> Option<&Estimate> {
+        match self {
+            QueryValue::Scalar(est) => Some(est),
+            _ => None,
+        }
+    }
+
+    /// The quantile estimate, if this answer is one.
+    pub fn quantile(&self) -> Option<&QuantileEstimate> {
+        match self {
+            QueryValue::Quantile(q) => q.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The ranked strata, if this answer is a top-k.
+    pub fn top_k(&self) -> Option<&[(StratumId, Estimate)]> {
+        match self {
+            QueryValue::TopK(ranked) => Some(ranked),
+            _ => None,
+        }
+    }
+
+    /// The per-stratum map, if this answer is one.
+    pub fn per_stratum(&self) -> Option<&BTreeMap<StratumId, Estimate>> {
+        match self {
+            QueryValue::PerStratum(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+/// The per-query result map of one window: every registered
+/// [`QuerySpec`] paired with its [`QueryValue`], in registration order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResults {
+    answers: Vec<(QuerySpec, QueryValue)>,
+}
+
+impl QueryResults {
+    /// The answer for `spec`, if it was registered.
+    pub fn get(&self, spec: QuerySpec) -> Option<&QueryValue> {
+        self.answers
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, v)| v)
+    }
+
+    /// All `(spec, answer)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &(QuerySpec, QueryValue)> {
+        self.answers.iter()
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether no queries were registered.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+/// Any number of concurrent window queries, run together over each closed
+/// window's `Θ` store.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_runtime::{QuerySet, QuerySpec};
+///
+/// let queries = QuerySet::new()
+///     .with(QuerySpec::Sum)
+///     .with(QuerySpec::Quantile(0.5))
+///     .with(QuerySpec::TopK(3));
+/// assert_eq!(queries.specs().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySet {
+    specs: Vec<QuerySpec>,
+    confidence: Confidence,
+}
+
+impl Default for QuerySet {
+    /// A single SUM query (the case studies' default).
+    fn default() -> Self {
+        QuerySet::single(Query::Sum)
+    }
+}
+
+impl From<Query> for QuerySet {
+    fn from(query: Query) -> Self {
+        QuerySet::single(query)
+    }
+}
+
+impl QuerySet {
+    /// An empty set; add queries with [`QuerySet::with`].
+    pub fn new() -> Self {
+        QuerySet {
+            specs: Vec::new(),
+            confidence: Confidence::P95,
+        }
+    }
+
+    /// The set holding exactly the legacy single query.
+    pub fn single(query: Query) -> Self {
+        QuerySet::new().with(query.into())
+    }
+
+    /// Adds one query.
+    pub fn with(mut self, spec: QuerySpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Confidence level used for quantile intervals (default 95%).
+    pub fn with_confidence(mut self, confidence: Confidence) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// The registered queries, in registration order.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// The first scalar query in the set (drives the window result's
+    /// primary `estimate` field), defaulting to SUM.
+    pub fn primary(&self) -> Query {
+        self.specs
+            .iter()
+            .find_map(|spec| match spec {
+                QuerySpec::Sum => Some(Query::Sum),
+                QuerySpec::Mean => Some(Query::Mean),
+                QuerySpec::Count => Some(Query::Count),
+                _ => None,
+            })
+            .unwrap_or_default()
+    }
+
+    /// Runs every registered query over a window's `Θ` store.
+    pub fn run(&self, theta: &ThetaStore) -> QueryResults {
+        let answers = self
+            .specs
+            .iter()
+            .map(|&spec| {
+                let value = match spec {
+                    QuerySpec::Sum => QueryValue::Scalar(Query::Sum.run(theta)),
+                    QuerySpec::Mean => QueryValue::Scalar(Query::Mean.run(theta)),
+                    QuerySpec::Count => QueryValue::Scalar(Query::Count.run(theta)),
+                    QuerySpec::SumPerStratum => {
+                        QueryValue::PerStratum(Query::Sum.run_per_stratum(theta))
+                    }
+                    QuerySpec::MeanPerStratum => {
+                        QueryValue::PerStratum(Query::Mean.run_per_stratum(theta))
+                    }
+                    QuerySpec::CountPerStratum => {
+                        QueryValue::PerStratum(Query::Count.run_per_stratum(theta))
+                    }
+                    QuerySpec::Quantile(q) => {
+                        QueryValue::Quantile(quantile_with_bounds(theta, q, self.confidence))
+                    }
+                    QuerySpec::TopK(k) => QueryValue::TopK(top_k_strata(theta, k)),
+                };
+                (spec, value)
+            })
+            .collect();
+        QueryResults { answers }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +416,66 @@ mod tests {
         assert_eq!(Query::Mean.to_string(), "MEAN");
         assert_eq!(Query::Count.to_string(), "COUNT");
         assert_eq!(Query::default(), Query::Sum);
+        assert_eq!(QuerySpec::Quantile(0.5).to_string(), "QUANTILE(0.5)");
+        assert_eq!(QuerySpec::TopK(3).to_string(), "TOP3");
+        assert_eq!(QuerySpec::SumPerStratum.to_string(), "SUM/stratum");
+    }
+
+    #[test]
+    fn query_set_runs_every_registered_query() {
+        let t = theta(&[(0, 2.0, &[1.0, 2.0, 3.0]), (1, 1.0, &[100.0])]);
+        let set = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Count)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(1))
+            .with(QuerySpec::SumPerStratum);
+        let results = set.run(&t);
+        assert_eq!(results.len(), 5);
+        assert_eq!(
+            results.get(QuerySpec::Sum).and_then(QueryValue::scalar),
+            Some(&Query::Sum.run(&t))
+        );
+        let median = results
+            .get(QuerySpec::Quantile(0.5))
+            .and_then(QueryValue::quantile)
+            .expect("non-empty window");
+        // Weighted CDF: weights 2,2,2,1; total 7, target 3.5 → value 2.
+        assert_eq!(median.value, 2.0);
+        assert!(median.lo <= median.value && median.value <= median.hi);
+        let top = results
+            .get(QuerySpec::TopK(1))
+            .and_then(QueryValue::top_k)
+            .expect("top-k answer");
+        assert_eq!(top[0].0, StratumId::new(1));
+        assert_eq!(top[0].1.value, 100.0);
+        let per = results
+            .get(QuerySpec::SumPerStratum)
+            .and_then(QueryValue::per_stratum)
+            .expect("per-stratum answer");
+        assert_eq!(per[&StratumId::new(0)].value, 12.0);
+    }
+
+    #[test]
+    fn query_set_quantile_of_empty_window_is_none() {
+        let set = QuerySet::new().with(QuerySpec::Quantile(0.9));
+        let results = set.run(&ThetaStore::new());
+        assert_eq!(
+            results.get(QuerySpec::Quantile(0.9)),
+            Some(&QueryValue::Quantile(None))
+        );
+        assert!(results.get(QuerySpec::Quantile(0.5)).is_none());
+    }
+
+    #[test]
+    fn primary_is_first_scalar_query() {
+        let set = QuerySet::new()
+            .with(QuerySpec::TopK(2))
+            .with(QuerySpec::Mean)
+            .with(QuerySpec::Sum);
+        assert_eq!(set.primary(), Query::Mean);
+        assert_eq!(QuerySet::new().primary(), Query::Sum, "default when none");
+        assert_eq!(QuerySet::default(), QuerySet::single(Query::Sum));
+        assert_eq!(QuerySet::from(Query::Count).primary(), Query::Count);
     }
 }

@@ -2,7 +2,7 @@
 //! execution and error bounds (Algorithm 2, lines 20–26).
 
 use crate::node::{SamplingNode, Strategy};
-use crate::query::Query;
+use crate::query::{Query, QueryResults, QuerySet, QuerySpec, QueryValue};
 use approxiot_core::{Batch, Confidence, Estimate, StratumId, ThetaStore, WeightMap, WhsOutput};
 use approxiot_streams::{TumblingWindow, WindowBuffer, WindowId};
 use std::collections::BTreeMap;
@@ -18,10 +18,15 @@ pub struct WindowResult {
     pub start_nanos: u64,
     /// Window end (nanoseconds, exclusive).
     pub end_nanos: u64,
-    /// The query's estimate with variance.
+    /// The primary query's estimate with variance (the first scalar query
+    /// in the window's [`QuerySet`], SUM by default).
     pub estimate: Estimate,
-    /// Per-stratum estimates (for per-pollutant style reporting).
+    /// Per-stratum estimates of the primary query (for per-pollutant
+    /// style reporting).
     pub per_stratum: BTreeMap<StratumId, Estimate>,
+    /// Every registered query's answer for this window, in registration
+    /// order.
+    pub queries: QueryResults,
     /// Number of sampled items the estimate was computed from.
     pub sampled_items: usize,
     /// Reconstructed original item count for the window (Equation 8).
@@ -36,7 +41,7 @@ impl WindowResult {
 }
 
 /// Configuration of a [`RootNode`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RootConfig {
     /// The strategy the whole pipeline runs (decides how estimates are
     /// reconstructed).
@@ -48,8 +53,8 @@ pub struct RootConfig {
     pub overall_fraction: f64,
     /// The computation window.
     pub window: Duration,
-    /// The query to run per window.
-    pub query: Query,
+    /// The queries to run per window.
+    pub queries: QuerySet,
     /// RNG seed for the root's sampler.
     pub seed: u64,
 }
@@ -63,7 +68,7 @@ impl RootConfig {
             fraction,
             overall_fraction,
             window,
-            query: Query::Sum,
+            queries: QuerySet::default(),
             seed: 0xB07,
         }
     }
@@ -77,7 +82,7 @@ impl RootConfig {
 ///
 /// ```
 /// use approxiot_core::{Batch, StratumId, StreamItem};
-/// use approxiot_runtime::{Query, RootConfig, RootNode, Strategy};
+/// use approxiot_runtime::{Query, QuerySet, RootConfig, RootNode, Strategy};
 /// use std::time::Duration;
 ///
 /// let mut root = RootNode::new(RootConfig {
@@ -85,7 +90,7 @@ impl RootConfig {
 ///     fraction: 1.0,
 ///     overall_fraction: 1.0,
 ///     window: Duration::from_secs(1),
-///     query: Query::Sum,
+///     queries: QuerySet::single(Query::Sum),
 ///     seed: 1,
 /// })?;
 /// root.ingest(&Batch::from_items(vec![StreamItem::with_meta(StratumId::new(0), 5.0, 0, 10)]));
@@ -97,7 +102,9 @@ impl RootConfig {
 pub struct RootNode {
     sampler: SamplingNode,
     buffer: WindowBuffer<WhsOutput>,
-    query: Query,
+    queries: QuerySet,
+    /// The first scalar query (drives the result's primary `estimate`).
+    primary: Query,
     strategy: Strategy,
     /// Horvitz–Thompson scale for SRS reconstruction.
     srs_scale: f64,
@@ -117,16 +124,22 @@ impl RootNode {
         Ok(RootNode {
             sampler: SamplingNode::new(config.strategy, config.fraction, config.seed)?,
             buffer: WindowBuffer::new(TumblingWindow::new(config.window)),
-            query: config.query,
+            primary: config.queries.primary(),
+            queries: config.queries,
             strategy: config.strategy,
             srs_scale: 1.0 / config.overall_fraction,
             emitted: 0,
         })
     }
 
-    /// The query this root runs.
+    /// The primary (first scalar) query this root runs.
     pub fn query(&self) -> Query {
-        self.query
+        self.primary
+    }
+
+    /// Every query this root runs per window.
+    pub fn queries(&self) -> &QuerySet {
+        &self.queries
     }
 
     /// The window scheme.
@@ -259,8 +272,24 @@ impl RootNode {
 
     fn answer(&mut self, window: WindowId, outputs: Vec<WhsOutput>) -> WindowResult {
         let theta: ThetaStore = outputs.into_iter().collect();
-        let estimate = self.query.run(&theta);
-        let per_stratum = self.query.run_per_stratum(&theta);
+        let queries = self.queries.run(&theta);
+        // Reuse the registered answers for the result's primary fields;
+        // only compute them separately when the set doesn't cover them.
+        let estimate = queries
+            .get(QuerySpec::from(self.primary))
+            .and_then(QueryValue::scalar)
+            .copied()
+            .unwrap_or_else(|| self.primary.run(&theta));
+        let per_stratum_spec = match self.primary {
+            Query::Sum => QuerySpec::SumPerStratum,
+            Query::Mean => QuerySpec::MeanPerStratum,
+            Query::Count => QuerySpec::CountPerStratum,
+        };
+        let per_stratum = queries
+            .get(per_stratum_spec)
+            .and_then(QueryValue::per_stratum)
+            .cloned()
+            .unwrap_or_else(|| self.primary.run_per_stratum(&theta));
         self.emitted += 1;
         let scheme = self.buffer.scheme();
         WindowResult {
@@ -269,6 +298,7 @@ impl RootNode {
             end_nanos: scheme.end_of(window),
             estimate,
             per_stratum,
+            queries,
             sampled_items: theta.sampled_items(),
             count_hat: theta.count_estimate(),
         }
@@ -298,7 +328,7 @@ mod tests {
             fraction,
             overall_fraction: overall,
             window: Duration::from_secs(1),
-            query: Query::Sum,
+            queries: QuerySet::single(Query::Sum),
             seed: 7,
         }
     }
@@ -444,5 +474,50 @@ mod tests {
     #[test]
     fn rejects_invalid_overall_fraction() {
         assert!(RootNode::new(cfg(Strategy::Srs, 0.5, 0.0)).is_err());
+    }
+
+    #[test]
+    fn multi_query_windows_answer_every_registered_query() {
+        use crate::query::{QuerySpec, QueryValue};
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.queries = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(2));
+        let mut root = RootNode::new(config).expect("valid");
+        root.ingest(&items(0, 9, 1.0, 100));
+        root.ingest(&items(1, 1, 50.0, 100));
+        let results = root.advance_watermark(SEC);
+        let r = &results[0];
+        assert_eq!(r.queries.len(), 3);
+        assert_eq!(r.estimate.value, 59.0, "primary estimate is the SUM");
+        let median = r
+            .queries
+            .get(QuerySpec::Quantile(0.5))
+            .and_then(QueryValue::quantile)
+            .expect("non-empty window");
+        assert_eq!(median.value, 1.0);
+        let top = r
+            .queries
+            .get(QuerySpec::TopK(2))
+            .and_then(QueryValue::top_k)
+            .expect("top-k answer");
+        assert_eq!(top[0].0, StratumId::new(1), "heavy stratum ranks first");
+        assert_eq!(top[0].1.value, 50.0);
+        assert_eq!(top[1].1.value, 9.0);
+    }
+
+    #[test]
+    fn query_set_without_scalar_still_produces_sum_primary() {
+        use crate::query::QuerySpec;
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.queries = QuerySet::new().with(QuerySpec::Quantile(0.25));
+        let mut root = RootNode::new(config).expect("valid");
+        assert_eq!(root.query(), Query::Sum);
+        assert_eq!(root.queries().specs().len(), 1);
+        root.ingest(&items(0, 4, 2.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].estimate.value, 8.0);
+        assert_eq!(results[0].queries.len(), 1);
     }
 }

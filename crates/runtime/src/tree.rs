@@ -1,57 +1,31 @@
-//! The synchronous logical tree: the full ApproxIoT topology evaluated in
-//! deterministic virtual time.
+//! The synchronous logical tree, as the paper's fixed three-stage shape:
+//! a thin wrapper over the generalized [`crate::SimEngine`].
 //!
-//! This is the engine behind all *accuracy* experiments (Figures 5, 10
-//! and 11a): it wires sources → leaf edge nodes → mid edge nodes → root
+//! [`SimTree`] is the engine behind all *accuracy* experiments (Figures 5,
+//! 10 and 11a): it wires sources → leaf edge nodes → mid edge nodes → root
 //! exactly like the paper's four-layer testbed, but advances time
 //! virtually so thousands of windows run in milliseconds with seeded
 //! randomness. The threaded [`crate::pipeline`] covers the wall-clock
 //! experiments (throughput, latency, bandwidth).
+//!
+//! New code should describe its tree with [`Topology`] and run it through
+//! [`crate::Driver`] — that unlocks arbitrary depth, per-layer strategies
+//! and multi-query windows. [`TreeConfig`] survives as the compatibility
+//! surface for the paper's `leaves/mids/root` shape
+//! ([`TreeConfig::to_topology`] is the bridge).
 
-use crate::node::{SamplingNode, Strategy};
-use crate::query::Query;
-use crate::root::{RootConfig, RootNode, WindowResult};
+use crate::engine::SimEngine;
+use crate::node::Strategy;
+use crate::query::{Query, QuerySet};
+use crate::root::WindowResult;
+use crate::topology::{HopBytes, LayerSpec, Topology};
 use approxiot_core::Batch;
-use approxiot_mq::codec::encoded_len;
 use std::time::Duration;
 
-/// How the end-to-end sampling fraction is divided across the three
-/// sampling stages (leaf, mid, root).
-///
-/// The paper leaves per-node budgets to the analyst (Figure 4's "sample
-/// sizes" arrows). Two natural policies cover the evaluation:
-///
-/// * [`FractionSplit::Even`] — every stage keeps the cube root of the
-///   overall fraction, exercising truly hierarchical sampling (weights
-///   multiply across hops).
-/// * [`FractionSplit::LeafHeavy`] — the whole budget is spent at the first
-///   edge layer; later stages forward everything. This reproduces the
-///   paper's Figure 7 claim that "a sampling fraction of 10% means the
-///   system only requires 10% of the total capacity" on *every* WAN link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FractionSplit {
-    /// Equal share per stage (`overall^(1/3)` each).
-    #[default]
-    Even,
-    /// Entire budget at the leaf layer; mid and root keep everything.
-    LeafHeavy,
-}
+pub use crate::topology::FractionSplit;
 
-impl FractionSplit {
-    /// The per-stage fractions `[leaf, mid, root]` compounding to
-    /// `overall`.
-    pub fn stage_fractions(self, overall: f64) -> [f64; 3] {
-        match self {
-            FractionSplit::Even => {
-                let f = overall.cbrt().min(1.0);
-                [f, f, f]
-            }
-            FractionSplit::LeafHeavy => [overall.min(1.0), 1.0, 1.0],
-        }
-    }
-}
-
-/// Shape and behaviour of a [`SimTree`].
+/// Shape and behaviour of a [`SimTree`] — the paper's fixed
+/// `leaves/mids/root` tree. A thin wrapper over [`Topology`].
 #[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
     /// First-layer edge nodes (the paper's testbed uses 4).
@@ -123,9 +97,31 @@ impl TreeConfig {
     pub fn stage_fractions(&self) -> [f64; 3] {
         self.split.stage_fractions(self.overall_fraction)
     }
+
+    /// The equivalent [`Topology`] for `sources` first-hop producers
+    /// (the sim engine routes any source count; the threaded engine needs
+    /// it declared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`approxiot_core::BudgetError`] for a fraction outside
+    /// `(0, 1]`.
+    pub fn to_topology(&self, sources: usize) -> Result<Topology, approxiot_core::BudgetError> {
+        Topology::builder()
+            .sources(sources)
+            .layer(LayerSpec::new(self.leaves))
+            .layer(LayerSpec::new(self.mids))
+            .strategy(self.strategy)
+            .overall_fraction(self.overall_fraction)
+            .split(self.split)
+            .window(self.window)
+            .seed(self.seed)
+            .build()
+    }
 }
 
-/// Wire-byte accounting per tree layer.
+/// Wire-byte accounting per tree layer — the named three-hop view of
+/// [`HopBytes`] for the paper's fixed shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LayerBytes {
     /// Sources → leaf edge nodes (always unsampled).
@@ -137,6 +133,17 @@ pub struct LayerBytes {
 }
 
 impl LayerBytes {
+    /// The three-hop view of a per-hop byte vector: the first two hops by
+    /// name, everything deeper folded into `mid_to_root`.
+    pub fn from_hops(hops: &HopBytes) -> Self {
+        let hops = hops.hops();
+        LayerBytes {
+            source_to_leaf: hops.first().copied().unwrap_or(0),
+            leaf_to_mid: hops.get(1).copied().unwrap_or(0),
+            mid_to_root: hops.iter().skip(2).sum(),
+        }
+    }
+
     /// Bytes crossing the WAN segments that sampling can save on
     /// (everything past the first hop).
     pub fn sampled_wire_bytes(&self) -> u64 {
@@ -165,11 +172,7 @@ impl LayerBytes {
 #[derive(Debug)]
 pub struct SimTree {
     config: TreeConfig,
-    leaves: Vec<SamplingNode>,
-    mids: Vec<SamplingNode>,
-    root: RootNode,
-    bytes: LayerBytes,
-    source_items: u64,
+    engine: SimEngine,
 }
 
 impl SimTree {
@@ -186,29 +189,11 @@ impl SimTree {
     pub fn new(config: TreeConfig) -> Result<Self, approxiot_core::BudgetError> {
         assert!(config.leaves > 0, "need at least one leaf node");
         assert!(config.mids > 0, "need at least one mid node");
-        let [leaf_f, mid_f, root_f] = config.stage_fractions();
-        let leaves = (0..config.leaves)
-            .map(|i| SamplingNode::new(config.strategy, leaf_f, config.seed ^ (0xA + i as u64)))
-            .collect::<Result<Vec<_>, _>>()?;
-        let mids = (0..config.mids)
-            .map(|i| SamplingNode::new(config.strategy, mid_f, config.seed ^ (0xB00 + i as u64)))
-            .collect::<Result<Vec<_>, _>>()?;
-        let root = RootNode::new(RootConfig {
-            strategy: config.strategy,
-            fraction: root_f,
-            overall_fraction: config.overall_fraction,
-            window: config.window,
-            query: config.query,
-            seed: config.seed ^ 0xC000,
-        })?;
-        Ok(SimTree {
-            config,
-            leaves,
-            mids,
-            root,
-            bytes: LayerBytes::default(),
-            source_items: 0,
-        })
+        // The sim engine accepts any per-interval source count, so the
+        // declared count is nominal (two sources per leaf, as the paper).
+        let topology = config.to_topology(config.leaves * 2)?;
+        let engine = SimEngine::new(topology, QuerySet::single(config.query))?;
+        Ok(SimTree { config, engine })
     }
 
     /// The tree's configuration.
@@ -222,64 +207,33 @@ impl SimTree {
     /// `j % mids`; mids forward to the root. Wire bytes are accounted with
     /// the real codec frame sizes.
     pub fn push_interval(&mut self, source_batches: &[Batch]) {
-        let n_leaves = self.leaves.len();
-        let n_mids = self.mids.len();
-        // Gather per-leaf input.
-        let mut leaf_in: Vec<Vec<&Batch>> = vec![Vec::new(); n_leaves];
-        for (i, batch) in source_batches.iter().enumerate() {
-            self.source_items += batch.len() as u64;
-            self.bytes.source_to_leaf += encoded_len(batch) as u64;
-            leaf_in[i % n_leaves].push(batch);
-        }
-        // Leaf stage → mid inputs.
-        let mut mid_in: Vec<Vec<Batch>> = vec![Vec::new(); n_mids];
-        for (j, inputs) in leaf_in.into_iter().enumerate() {
-            for batch in inputs {
-                let out = self.leaves[j].process_batch(batch);
-                if out.is_empty() {
-                    continue;
-                }
-                self.bytes.leaf_to_mid += encoded_len(&out) as u64;
-                mid_in[j % n_mids].push(out);
-            }
-        }
-        // Mid stage → root.
-        for (k, inputs) in mid_in.into_iter().enumerate() {
-            for batch in inputs {
-                let out = self.mids[k].process_batch(&batch);
-                if out.is_empty() {
-                    continue;
-                }
-                self.bytes.mid_to_root += encoded_len(&out) as u64;
-                self.root.ingest(&out);
-            }
-        }
+        self.engine.push_interval(source_batches);
     }
 
     /// Advances the root's event-time watermark, returning closed windows'
     /// results.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
-        self.root.advance_watermark(watermark_nanos)
+        self.engine.advance_watermark(watermark_nanos)
     }
 
     /// Flushes every open window (end of stream).
     pub fn flush(&mut self) -> Vec<WindowResult> {
-        self.root.flush()
+        self.engine.flush()
     }
 
     /// Wire bytes so far, per layer.
     pub fn bytes(&self) -> LayerBytes {
-        self.bytes
+        LayerBytes::from_hops(self.engine.bytes())
     }
 
     /// Total items generated by sources so far.
     pub fn source_items(&self) -> u64 {
-        self.source_items
+        self.engine.source_items()
     }
 
     /// Items that reached the root (post mid-layer sampling).
     pub fn root_items_in(&self) -> u64 {
-        self.root.items_in()
+        self.engine.root_items_in()
     }
 }
 

@@ -1,10 +1,12 @@
-//! The full threaded edge pipeline, live: sources publish through broker
-//! topics, edge nodes sample per interval, WAN delays apply, and the root
-//! prints one windowed result per 100 ms with its error bound.
+//! The full threaded edge pipeline, live, through the unified driver:
+//! the driver publishes intervals into broker topics, edge nodes sample
+//! per window, WAN delays and link caps apply, and the root answers a
+//! multi-query window set with error bounds.
 //!
 //! This exercises every substrate at once: `approxiot-mq` topics,
 //! `approxiot-net` delay/capacity emulation, the `approxiot-streams`
-//! windowing and the `approxiot-runtime` nodes.
+//! windowing and the `approxiot-runtime` engine — all behind the same
+//! `Topology` + `QuerySet` description the virtual-time engine runs.
 //!
 //! Run with: `cargo run --release --example edge_pipeline`
 
@@ -14,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn main() -> Result<(), approxiot::core::BudgetError> {
+fn main() -> Result<(), EngineError> {
     let window = Duration::from_millis(100);
     let intervals = 20;
 
@@ -28,44 +30,66 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
             let batch = mix.next_interval(&mut rng);
             truth_per_interval.push(batch.value_sum());
             // One source per sub-stream.
-            batch
+            let mut parts: Vec<Batch> = batch
                 .stratify()
                 .into_values()
                 .map(Batch::from_items)
-                .collect()
+                .collect();
+            parts.resize_with(4, Batch::new);
+            parts
         })
         .collect();
 
-    let config = PipelineConfig {
-        leaves: 4,
-        mids: 2,
-        strategy: Strategy::whs(),
-        overall_fraction: 0.20,
-        split: FractionSplit::Even,
-        window,
-        query: Query::Sum,
-        // The paper's WAN delays (10/20/40 ms one-way).
-        hop_delays: [
-            Duration::from_millis(10),
-            Duration::from_millis(20),
-            Duration::from_millis(40),
-        ],
-        capacity_bytes_per_sec: Some(4_000_000),
-        source_capacity_bytes_per_sec: None,
-        source_interval: Some(window),
-        edge_workers: 1,
-        seed: 99,
-    };
+    // The paper's testbed as a Topology: 4 sources → 4 edge → 2 edge →
+    // root with its 10/20/40 ms one-way WAN delays and a 4 MB/s uplink
+    // cap on the sampled hops, keeping 20% end to end.
+    let topology = Topology::builder()
+        .sources(4)
+        .layer(LayerSpec::new(4).delay(Duration::from_millis(10)))
+        .layer(
+            LayerSpec::new(2)
+                .delay(Duration::from_millis(20))
+                .capacity(4_000_000),
+        )
+        .root_link(LinkSpec {
+            delay: Duration::from_millis(40),
+            capacity_bytes_per_sec: Some(4_000_000),
+        })
+        .strategy(Strategy::whs())
+        .overall_fraction(0.20)
+        .window(window)
+        .seed(99)
+        .build()
+        .map_err(EngineError::Budget)?;
+
+    let queries = QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::TopK(2));
 
     println!("running the 4-layer pipeline at a 20% fraction ({intervals} windows)...\n");
-    let report = run_pipeline(&config, source_intervals).expect("fraction validated above");
+    let driver = Driver::new(
+        topology,
+        queries,
+        EngineKind::Pipeline(PipelineOptions {
+            deterministic: false,
+            source_interval: Some(window),
+        }),
+    )?;
+    let report = driver.run(&source_intervals)?;
 
     let total_truth: f64 = truth_per_interval.iter().sum();
     let total_estimate: f64 = report.results.iter().map(|r| r.estimate.value).sum();
     println!("windows emitted   : {}", report.results.len());
     for r in report.results.iter().take(5) {
+        let top = r
+            .queries
+            .get(QuerySpec::TopK(2))
+            .and_then(QueryValue::top_k)
+            .and_then(|t| t.first())
+            .map(|(s, _)| format!("{s}"))
+            .unwrap_or_default();
         println!(
-            "  window {:>3}: SUM ≈ {:>14.1} ± {:>10.1}  ({} sampled items)",
+            "  window {:>3}: SUM ≈ {:>14.1} ± {:>10.1}  ({} sampled items, top stratum {top})",
             r.window,
             r.estimate.value,
             r.error_bound(Confidence::P95),
@@ -93,8 +117,12 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
         Duration::from_millis(70),
     );
     println!(
-        "WAN bytes         : {} (leaf->mid) + {} (mid->root) vs {} raw",
-        report.bytes.leaf_to_mid, report.bytes.mid_to_root, report.bytes.source_to_leaf
+        "WAN bytes per hop : {:?} ({:.1}% saved on the sampled hops vs native)",
+        report.bytes.hops(),
+        100.0
+            * (1.0
+                - report.bytes.sampled_wire_bytes() as f64
+                    / (2 * report.bytes.source_bytes()) as f64)
     );
     Ok(())
 }

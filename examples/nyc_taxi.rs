@@ -2,109 +2,119 @@
 //! fares in NYC at each time window?"* — on the trace-shaped NYC-taxi
 //! generator (log-normal fares, borough strata, diurnal demand).
 //!
-//! Shows per-window approximate totals with error bounds, the per-borough
-//! breakdown for one window, and — as a taste of the future-work complex
-//! queries — median/p95 fares estimated from the same weighted sample.
+//! One `QuerySet` answers everything per window in a single pass over the
+//! weighted sample: the approximate total with error bounds, the
+//! per-borough breakdown, and the §VIII "complex queries" — median/p95
+//! fares and the top boroughs by revenue.
 //!
 //! Run with: `cargo run --release --example nyc_taxi`
 
-use approxiot::core::quantile;
 use approxiot::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn main() -> Result<(), approxiot::core::BudgetError> {
+fn main() -> Result<(), EngineError> {
     let window = Duration::from_millis(100);
     let fraction = 0.10;
     let mut rng = StdRng::seed_from_u64(2013); // the dataset's vintage
     let mut trace = TaxiTrace::new(30_000.0, window);
+    let names = TaxiTrace::stratum_names();
 
-    let mut tree = SimTree::new(
-        TreeConfig::paper_topology(fraction)
-            .with_window(window)
-            .with_query(Query::Sum),
-    )?;
+    // The paper's tree via the legacy wrapper — TreeConfig call sites
+    // keep working and bridge straight into the topology API.
+    let topology = TreeConfig::paper_topology(fraction)
+        .with_window(window)
+        .to_topology(names.len())
+        .map_err(EngineError::Budget)?;
+    let queries = QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::SumPerStratum)
+        .with(QuerySpec::Quantile(0.5))
+        .with(QuerySpec::Quantile(0.95))
+        .with(QuerySpec::TopK(3));
+    let mut driver = Driver::new(topology, queries, EngineKind::Sim)?;
 
     println!(
         "total taxi fares per {window:?} window, sampling {:.0}%:\n",
         fraction * 100.0
     );
-    let mut total_truth = 0.0;
-    let mut total_estimate = 0.0;
-    let mut last_window = None;
-    for i in 0..15 {
+    let mut truths = Vec::new();
+    for _ in 0..15 {
         let batch = trace.next_interval(&mut rng);
-        let truth = batch.value_sum();
-        total_truth += truth;
-        let sources: Vec<Batch> = batch
+        truths.push(batch.value_sum());
+        let mut sources: Vec<Batch> = batch
             .stratify()
             .into_values()
             .map(Batch::from_items)
             .collect();
-        tree.push_interval(&sources);
-        // Close everything generated so far.
-        let results = tree.advance_watermark((i + 1) * window.as_nanos() as u64);
-        for r in results {
-            total_estimate += r.estimate.value;
-            println!(
-                "  window {:>2}: ${:>12.2} ± {:>8.2}   (exact ${:>12.2}, loss {:.4}%)",
-                r.window,
-                r.estimate.value,
-                r.error_bound(Confidence::P95),
-                truth,
-                accuracy_loss(r.estimate.value, truth) * 100.0
-            );
-            last_window = Some(r);
-        }
+        sources.resize_with(names.len(), Batch::new);
+        driver.push_interval(&sources)?;
     }
-    for r in tree.flush() {
+    let report = driver.finish();
+
+    let mut total_estimate = 0.0;
+    for r in &report.results {
         total_estimate += r.estimate.value;
+        let truth = truths[r.window as usize];
+        println!(
+            "  window {:>2}: ${:>12.2} ± {:>8.2}   (exact ${:>12.2}, loss {:.4}%)",
+            r.window,
+            r.estimate.value,
+            r.error_bound(Confidence::P95),
+            truth,
+            accuracy_loss(r.estimate.value, truth) * 100.0
+        );
     }
 
-    if let Some(r) = last_window {
+    if let Some(r) = report.results.last() {
         println!("\nper-borough breakdown of window {}:", r.window);
-        let names = TaxiTrace::stratum_names();
-        for (stratum, est) in &r.per_stratum {
-            println!(
-                "  {:>14}: ${:>12.2} ± {:>8.2}",
-                names[stratum.index() as usize],
-                est.value,
-                est.bound(Confidence::P95)
-            );
+        if let Some(per) = r
+            .queries
+            .get(QuerySpec::SumPerStratum)
+            .and_then(QueryValue::per_stratum)
+        {
+            for (stratum, est) in per {
+                println!(
+                    "  {:>14}: ${:>12.2} ± {:>8.2}",
+                    names[stratum.index() as usize],
+                    est.value,
+                    est.bound(Confidence::P95)
+                );
+            }
+        }
+        if let Some(top) = r
+            .queries
+            .get(QuerySpec::TopK(3))
+            .and_then(QueryValue::top_k)
+        {
+            let ranked: Vec<&str> = top.iter().map(|(s, _)| names[s.index() as usize]).collect();
+            println!("  top-3 boroughs by revenue: {}", ranked.join(" > "));
+        }
+        println!("\nfare quantiles of window {} (95% CI):", r.window);
+        for q in [0.5, 0.95] {
+            if let Some(est) = r
+                .queries
+                .get(QuerySpec::Quantile(q))
+                .and_then(QueryValue::quantile)
+            {
+                println!(
+                    "  p{:>2.0} fare: ${:>7.2}  [{:.2}, {:.2}]",
+                    q * 100.0,
+                    est.value,
+                    est.lo,
+                    est.hi
+                );
+            }
         }
     }
 
+    let total_truth: f64 = truths.iter().sum();
     println!("\nrun total: exact ${total_truth:.2}, approx ${total_estimate:.2} ");
     println!(
         "overall accuracy loss: {:.4}% from {:.0}% of the data",
         accuracy_loss(total_estimate, total_truth) * 100.0,
         fraction * 100.0
-    );
-
-    // Complex-query extension (§VIII future work): fare quantiles straight
-    // from the weighted sample of one fresh window.
-    let batch = trace.next_interval(&mut rng);
-    let out = whs_sample(
-        &batch,
-        (batch.len() as f64 * fraction) as usize,
-        &WeightMap::new(),
-        Allocation::Uniform,
-        &mut rng,
-    );
-    let theta: ThetaStore = [out].into_iter().collect();
-    let median = quantile::quantile_with_bounds(&theta, 0.5, Confidence::P95)
-        .expect("window has sampled items");
-    let p95 = quantile::quantile_with_bounds(&theta, 0.95, Confidence::P95)
-        .expect("window has sampled items");
-    println!("\nfare quantiles from the sampled window (95% CI):");
-    println!(
-        "  median fare: ${:.2}  [{:.2}, {:.2}]",
-        median.value, median.lo, median.hi
-    );
-    println!(
-        "  p95 fare   : ${:.2}  [{:.2}, {:.2}]",
-        p95.value, p95.lo, p95.hi
     );
     Ok(())
 }

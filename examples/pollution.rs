@@ -4,7 +4,8 @@
 //! generator, reported per pollutant with error bounds.
 //!
 //! Also demonstrates the §IV adaptive feedback loop: the sampling fraction
-//! is refined window by window against a target error budget.
+//! is refined window by window against a target error budget, and the
+//! per-stage fraction is derived from the topology's actual depth.
 //!
 //! Run with: `cargo run --release --example pollution`
 
@@ -13,37 +14,65 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn main() -> Result<(), approxiot::core::BudgetError> {
+fn main() -> Result<(), EngineError> {
     let window = Duration::from_millis(100);
     let mut rng = StdRng::seed_from_u64(2014);
     let mut trace = PollutionTrace::new(2_000, window);
     let names = PollutionTrace::stratum_names();
+    let sources = names.len();
+
+    let topology_at = |fraction: f64, seed: u64| {
+        Topology::builder()
+            .sources(sources)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .overall_fraction(fraction)
+            .window(window)
+            .seed(seed)
+            .build()
+    };
+    let queries = QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::SumPerStratum)
+        .with(QuerySpec::TopK(1));
 
     // Start sampling aggressively at 5%; let the feedback loop adapt
-    // towards a 0.5% relative error bound.
-    let mut feedback = FeedbackLoop::new(0.05, 0.005)?;
+    // towards a 0.5% relative error bound, splitting the refined fraction
+    // across the topology's three sampling stages.
+    let mut feedback = FeedbackLoop::new(0.05, 0.005)
+        .map_err(EngineError::Budget)?
+        .for_topology(&topology_at(0.05, 0).map_err(EngineError::Budget)?);
 
-    println!("total pollution per window, adaptive sampling (target ±0.5%):\n");
+    println!(
+        "total pollution per window, adaptive sampling (target ±0.5%, {} stages):\n",
+        feedback.depth()
+    );
+    let mut last = None;
     for i in 0..12u64 {
         let fraction = feedback.overall_fraction();
-        let mut tree = SimTree::new(
-            TreeConfig::paper_topology(fraction)
-                .with_window(window)
-                .with_seed(500 + i),
-        )?;
+        let topology = topology_at(fraction, 500 + i).map_err(EngineError::Budget)?;
+        let mut driver = Driver::new(topology, queries.clone(), EngineKind::Sim)?;
         let batch = trace.next_interval(&mut rng);
         let truth = batch.value_sum();
-        let sources: Vec<Batch> = batch
+        let mut parts: Vec<Batch> = batch
             .stratify()
             .into_values()
             .map(Batch::from_items)
             .collect();
-        tree.push_interval(&sources);
-        let results = tree.flush();
-        let r = &results[0];
+        parts.resize_with(sources, Batch::new);
+        driver.push_interval(&parts)?;
+        let report = driver.finish();
+        let r = &report.results[0];
         feedback.observe(r);
+        let worst = r
+            .queries
+            .get(QuerySpec::TopK(1))
+            .and_then(QueryValue::top_k)
+            .and_then(|t| t.first())
+            .map(|(s, _)| names[s.index() as usize])
+            .unwrap_or("-");
         println!(
-            "window {:>2} @ {:>5.1}% sampling: total {:>10.1} ± {:>7.1}  (exact {:>10.1}, loss {:.4}%)",
+            "window {:>2} @ {:>5.1}% sampling: total {:>10.1} ± {:>7.1}  (exact {:>10.1}, loss {:.4}%, worst: {worst})",
             i,
             fraction * 100.0,
             r.estimate.value,
@@ -51,9 +80,16 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
             truth,
             accuracy_loss(r.estimate.value, truth) * 100.0
         );
-        if i == 11 {
-            println!("\nper-pollutant breakdown of the final window:");
-            for (stratum, est) in &r.per_stratum {
+        last = Some(r.clone());
+    }
+    if let Some(r) = last {
+        println!("\nper-pollutant breakdown of the final window:");
+        if let Some(per) = r
+            .queries
+            .get(QuerySpec::SumPerStratum)
+            .and_then(QueryValue::per_stratum)
+        {
+            for (stratum, est) in per {
                 println!(
                     "  {:>18}: {:>10.1} ± {:>6.1}",
                     names[stratum.index() as usize],
@@ -64,9 +100,10 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
         }
     }
     println!(
-        "\nfeedback refinements applied: {} (final fraction {:.1}%)",
+        "\nfeedback refinements applied: {} (final fraction {:.1}%, {:.1}% per stage)",
         feedback.refinements(),
-        feedback.overall_fraction() * 100.0
+        feedback.overall_fraction() * 100.0,
+        feedback.per_stage_fraction() * 100.0
     );
     Ok(())
 }

@@ -1,9 +1,10 @@
-//! Quickstart: the smallest useful ApproxIoT setup.
+//! Quickstart: the smallest useful ApproxIoT setup, through the
+//! topology-first API.
 //!
 //! One interval of sensor data from two very unequal sub-streams flows
-//! through the paper's four-layer tree at a 10% sampling fraction; the root
-//! prints the approximate SUM with its error bound next to the exact
-//! answer.
+//! through an asymmetric 4-layer tree at a 10% sampling fraction; the
+//! root answers three concurrent window queries — SUM, median and top-k —
+//! and prints them next to the exact answers.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -11,7 +12,7 @@ use approxiot::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() -> Result<(), approxiot::core::BudgetError> {
+fn main() -> Result<(), EngineError> {
     let mut rng = StdRng::seed_from_u64(42);
 
     // Two sub-streams: a chatty cheap sensor and a rare expensive one.
@@ -29,12 +30,29 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     let batch = Batch::from_items(items);
     let truth = batch.value_sum();
 
-    // The paper's topology: 8 sources -> 4 edge -> 2 edge -> root, keeping
-    // 10% of the stream end to end.
-    let mut tree = SimTree::new(TreeConfig::paper_topology(0.10))?;
-    tree.push_interval(&[batch]);
-    let results = tree.flush();
-    let result = &results[0];
+    // Describe the tree once: 1 source → 3 edge → 2 edge → root, keeping
+    // 10% of the stream end to end (each of the 3 stages keeps ∛0.10).
+    let topology = Topology::builder()
+        .sources(1)
+        .layer(LayerSpec::new(3))
+        .layer(LayerSpec::new(2))
+        .overall_fraction(0.10)
+        .seed(7)
+        .build()
+        .map_err(EngineError::Budget)?;
+
+    // Register any number of concurrent window queries.
+    let queries = QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::Quantile(0.5))
+        .with(QuerySpec::TopK(2));
+
+    // Run it — the same description also runs on the threaded WAN engine
+    // (EngineKind::pipeline()).
+    let mut driver = Driver::new(topology, queries, EngineKind::Sim)?;
+    driver.push_interval(&[batch])?;
+    let report = driver.finish();
+    let result = &report.results[0];
 
     let bound = result.error_bound(Confidence::P95);
     println!("exact SUM        : {truth:.1}");
@@ -46,18 +64,42 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
         "accuracy loss    : {:.4}%",
         accuracy_loss(result.estimate.value, truth) * 100.0
     );
+    if let Some(median) = result
+        .queries
+        .get(QuerySpec::Quantile(0.5))
+        .and_then(QueryValue::quantile)
+    {
+        println!(
+            "median value     : {:.2}  [{:.2}, {:.2}] (95% CI)",
+            median.value, median.lo, median.hi
+        );
+    }
+    if let Some(top) = result
+        .queries
+        .get(QuerySpec::TopK(2))
+        .and_then(QueryValue::top_k)
+    {
+        println!("top strata by SUM:");
+        for (stratum, est) in top {
+            println!(
+                "  {stratum}: {:.1} ± {:.1}",
+                est.value,
+                est.bound(Confidence::P95)
+            );
+        }
+    }
     println!(
         "items sampled    : {} of {} ({:.1}%)",
         result.sampled_items,
-        tree.source_items(),
-        100.0 * result.sampled_items as f64 / tree.source_items() as f64
+        report.source_items,
+        100.0 * result.sampled_items as f64 / report.source_items as f64
     );
     println!(
         "WAN bytes saved  : {:.1}% vs shipping everything",
         100.0
             * (1.0
-                - tree.bytes().sampled_wire_bytes() as f64
-                    / (2 * tree.bytes().source_to_leaf) as f64)
+                - report.bytes.sampled_wire_bytes() as f64
+                    / (2 * report.bytes.source_bytes()) as f64)
     );
     println!(
         "covered by bound : {}",

@@ -60,6 +60,28 @@ fn main() -> Result<(), approxiot::core::BudgetError> {
     println!("count reconstruction (ĉ = 200000) is exact for every worker count —");
     println!("each shard's local counter feeds its local weight (paper §III-E).\n");
 
+    // The same sharding, declared on the topology: every node of the
+    // first edge layer samples on 4 persistent worker shards, and the
+    // whole tree runs behind the driver (identically on either engine).
+    let topology = Topology::builder()
+        .sources(1)
+        .layer(LayerSpec::new(2).workers(4))
+        .layer(LayerSpec::new(1))
+        .overall_fraction(0.02)
+        .seed(35)
+        .build()
+        .expect("valid fraction");
+    let driver =
+        Driver::new(topology, QuerySet::default(), EngineKind::Sim).expect("valid topology");
+    let report = driver
+        .run(std::slice::from_ref(&vec![batch.clone()]))
+        .expect("source count matches");
+    let r = &report.results[0];
+    println!(
+        "same stream through a sharded 2-layer topology: SUM ≈ {:.1} (ĉ = {:.0}, {} pairs in Θ)\n",
+        r.estimate.value, r.count_hat, r.sampled_items
+    );
+
     // The membership half: workers joining and leaving a consumer group
     // over the hot topic's partitions.
     let broker = Broker::new();

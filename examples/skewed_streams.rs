@@ -6,6 +6,11 @@
 //! Simple random sampling misses or wildly over-scales D; weighted
 //! hierarchical sampling guarantees every sub-stream a reservoir.
 //!
+//! This example deliberately runs through the legacy
+//! [`TreeConfig::paper_topology`] wrapper: existing call sites keep
+//! working unchanged on top of the topology-first engine underneath
+//! (`TreeConfig::to_topology` is the bridge).
+//!
 //! Run with: `cargo run --release --example skewed_streams`
 
 use approxiot::prelude::*;

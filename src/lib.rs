@@ -5,48 +5,79 @@
 //! approximate stream analytics over a logical tree of edge computing
 //! nodes, built on *weighted hierarchical sampling* — stratified reservoir
 //! sampling whose per-stratum weights multiply hop by hop with **no
-//! cross-node coordination**, yielding unbiased SUM/MEAN estimates with
-//! rigorous "68–95–99.7" error bounds at a fraction of the bandwidth and
-//! latency of exact execution.
+//! cross-node coordination**, yielding unbiased estimates with rigorous
+//! "68–95–99.7" error bounds at a fraction of the bandwidth and latency of
+//! exact execution.
 //!
 //! This facade crate re-exports the whole workspace:
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`core`] | the paper's algorithms: reservoirs, WHS, estimators, error bounds, budgets |
+//! | [`core`] | the paper's algorithms: reservoirs, WHS, estimators, error bounds, quantiles, budgets |
 //! | [`mq`] | in-process partitioned pub/sub broker (Kafka substitute) |
 //! | [`net`] | WAN emulation: delay/capacity links, clocks, byte metering |
 //! | [`streams`] | processor API, topologies, windows, threaded tasks (Kafka Streams substitute) |
 //! | [`workload`] | the paper's synthetic mixes + trace-shaped NYC-taxi / Brasov-pollution generators |
-//! | [`runtime`] | the assembled system: sampling nodes, windowed root, tree & pipeline |
+//! | [`runtime`] | the assembled system: `Topology` → `QuerySet` → `Driver` over two engines |
 //!
 //! ## Quickstart
+//!
+//! Describe the tree once ([`runtime::Topology`]), register the window
+//! queries ([`runtime::QuerySet`]), pick an engine
+//! ([`runtime::EngineKind`]), and run — the same description executes on
+//! the deterministic virtual-time engine *and* the threaded WAN-emulating
+//! pipeline:
 //!
 //! ```
 //! use approxiot::prelude::*;
 //!
-//! // The paper's 4-layer topology (8 sources → 4 edge → 2 edge → root),
-//! // sampling 10% end to end.
-//! let mut tree = SimTree::new(TreeConfig::paper_topology(0.10))?;
+//! // An asymmetric 4-layer tree: 5 sources → 3 edge → 2 edge → root,
+//! // keeping 20% of the stream end to end.
+//! let topology = Topology::builder()
+//!     .sources(5)
+//!     .layer(LayerSpec::new(3))
+//!     .layer(LayerSpec::new(2))
+//!     .overall_fraction(0.20)
+//!     .seed(42)
+//!     .build()?;
 //!
-//! // One interval of data from 8 sources.
-//! let sources: Vec<Batch> = (0..8)
+//! // Three concurrent window queries.
+//! let queries = QuerySet::new()
+//!     .with(QuerySpec::Sum)
+//!     .with(QuerySpec::Quantile(0.5))
+//!     .with(QuerySpec::TopK(3));
+//!
+//! // One interval of data from the 5 sources.
+//! let interval: Vec<Batch> = (0..5)
 //!     .map(|s| {
 //!         Batch::from_items(
 //!             (0..500).map(|k| StreamItem::with_meta(StratumId::new(s), 2.5, k, 0)).collect(),
 //!         )
 //!     })
 //!     .collect();
-//! let truth: f64 = sources.iter().map(Batch::value_sum).sum();
+//! let truth: f64 = interval.iter().map(Batch::value_sum).sum();
 //!
-//! tree.push_interval(&sources);
-//! let result = &tree.flush()[0];
+//! let mut driver = Driver::new(topology, queries, EngineKind::Sim)?;
+//! driver.push_interval(&interval)?;
+//! let report = driver.finish();
+//! let result = &report.results[0];
 //!
-//! // ~10% of the items reconstruct the exact total (constant values make
-//! // the weighted estimate exact up to float round-off).
+//! // ~20% of the items reconstruct the exact total (constant values make
+//! // the weighted estimate exact up to float round-off)...
 //! assert!(accuracy_loss(result.estimate.value, truth) < 1e-9);
-//! # Ok::<(), approxiot::core::BudgetError>(())
+//! // ...the median lands on the constant value...
+//! let median = result.queries.get(QuerySpec::Quantile(0.5))
+//!     .and_then(QueryValue::quantile)
+//!     .expect("non-empty window");
+//! assert_eq!(median.value, 2.5);
+//! // ...and per-hop byte accounting shows the WAN savings.
+//! assert!(report.bytes.sampled_wire_bytes() < report.bytes.source_bytes());
+//! # Ok::<(), approxiot::runtime::EngineError>(())
 //! ```
+//!
+//! The paper's fixed `leaves/mids/root` shape survives as thin wrappers —
+//! [`runtime::TreeConfig::paper_topology`] /
+//! [`runtime::PipelineConfig::paper_topology`] — over the same builder.
 
 pub use approxiot_core as core;
 pub use approxiot_mq as mq;
@@ -57,6 +88,9 @@ pub use approxiot_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use approxiot_core::quantile::{
+        quantile_with_bounds, top_k_strata, weighted_quantile, QuantileEstimate,
+    };
     pub use approxiot_core::{
         accuracy_loss, sharded_whs_sample, whs_sample, AdaptiveController, Allocation, Batch,
         Confidence, Estimate, ParallelShardedSampler, Reservoir, SamplingBudget, SkipReservoir,
@@ -66,8 +100,11 @@ pub mod prelude {
     pub use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
     pub use approxiot_net::{bandwidth_saving, Clock, LinkConfig, SimClock, WallClock};
     pub use approxiot_runtime::{
-        run_pipeline, FeedbackLoop, FractionSplit, PipelineConfig, Query, RootConfig, RootNode,
-        SamplingNode, SimTree, Strategy, TreeConfig, WindowResult,
+        run_pipeline, Driver, Engine, EngineError, EngineKind, FeedbackLoop, FractionSplit,
+        HopBytes, LatencyStats, LayerBytes, LayerSpec, LinkSpec, PipelineConfig, PipelineEngine,
+        PipelineOptions, PipelineReport, Query, QueryResults, QuerySet, QuerySpec, QueryValue,
+        RootConfig, RootNode, RunReport, SamplingNode, SimEngine, SimTree, Strategy, Topology,
+        TreeConfig, WindowResult,
     };
     pub use approxiot_streams::{Processor, TumblingWindow, WindowBuffer};
     pub use approxiot_workload::{

@@ -269,6 +269,75 @@ fn threaded_pipeline_matches_sim_tree_counts() {
 }
 
 #[test]
+fn multi_query_driver_answers_quantiles_on_real_workloads() {
+    // The taxi workload through the topology-first driver: the SUM the
+    // case study asks, plus the §VIII complex queries, all from one pass
+    // over the weighted sample per window.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut trace = TaxiTrace::new(20_000.0, WINDOW);
+    let topology = Topology::builder()
+        .sources(6)
+        .layer(LayerSpec::new(3))
+        .layer(LayerSpec::new(2))
+        .overall_fraction(0.4)
+        .window(WINDOW)
+        .seed(8)
+        .build()
+        .expect("valid");
+    let queries = QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::Quantile(0.5))
+        .with(QuerySpec::TopK(3));
+    let mut driver = Driver::sim(topology, queries).expect("valid");
+    let mut truth = 0.0;
+    let mut all_values = Vec::new();
+    for _ in 0..10 {
+        let batch = trace.next_interval(&mut rng);
+        truth += batch.value_sum();
+        all_values.extend(batch.items.iter().map(|i| i.value));
+        let mut sources: Vec<Batch> = batch
+            .stratify()
+            .into_values()
+            .map(Batch::from_items)
+            .collect();
+        sources.resize_with(6, Batch::new);
+        driver
+            .push_interval(&sources)
+            .expect("source count matches");
+    }
+    let report = driver.finish();
+    let estimate: f64 = report.results.iter().map(|r| r.estimate.value).sum();
+    assert!(accuracy_loss(estimate, truth) < 0.05, "sum loss too large");
+    // Every window answered every query; the median estimate lands near
+    // the true overall median.
+    all_values.sort_by(|a, b| a.partial_cmp(b).expect("finite fares"));
+    let true_median = all_values[all_values.len() / 2];
+    for r in &report.results {
+        assert_eq!(r.queries.len(), 3);
+        let median = r
+            .queries
+            .get(QuerySpec::Quantile(0.5))
+            .and_then(QueryValue::quantile)
+            .expect("non-empty window");
+        assert!(median.lo <= median.value && median.value <= median.hi);
+        assert!(
+            (median.value - true_median).abs() / true_median < 0.5,
+            "window {} median {} vs {}",
+            r.window,
+            median.value,
+            true_median
+        );
+        let top = r
+            .queries
+            .get(QuerySpec::TopK(3))
+            .and_then(QueryValue::top_k)
+            .expect("top-k answer");
+        assert_eq!(top.len(), 3, "taxi has >= 3 boroughs");
+        assert!(top[0].1.value >= top[1].1.value);
+    }
+}
+
+#[test]
 fn adaptive_feedback_converges_towards_error_budget() {
     let mut feedback = FeedbackLoop::new(0.02, 0.02).expect("valid");
     let mut rng = StdRng::seed_from_u64(31);

@@ -1,0 +1,210 @@
+//! Engine-equivalence integration tests: the same [`Topology`] +
+//! [`QuerySet`] description runs on both execution engines — the
+//! virtual-time sim and the threaded pipeline in deterministic replay
+//! mode — and fixed-seed runs produce **bit-identical** window estimates.
+//!
+//! This is the contract that makes the threaded engine trustworthy: every
+//! sampling decision it makes over the real wire path (broker topics,
+//! codec frames, per-node threads) is the one the deterministic simulation
+//! makes.
+
+use approxiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const SEC: u64 = 1_000_000_000;
+
+/// The asymmetric 4-layer tree of the acceptance criterion:
+/// 5 sources → 3 edge → 2 edge → root (uneven fan-in at every hop).
+fn asymmetric_topology(fraction: f64, workers: usize) -> Topology {
+    Topology::builder()
+        .sources(5)
+        .layer(LayerSpec::new(3).workers(workers))
+        .layer(LayerSpec::new(2).workers(workers))
+        .overall_fraction(fraction)
+        .window(Duration::from_secs(1))
+        .seed(0xE0_0E)
+        .build()
+        .expect("valid fraction")
+}
+
+fn multi_queries() -> QuerySet {
+    QuerySet::new()
+        .with(QuerySpec::Sum)
+        .with(QuerySpec::Quantile(0.5))
+        .with(QuerySpec::TopK(3))
+}
+
+/// Noisy multi-stratum intervals with real event timestamps spanning
+/// several windows.
+fn noisy_intervals(intervals: usize, sources: usize, per_batch: usize) -> Vec<Vec<Batch>> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..intervals as u64)
+        .map(|t| {
+            (0..sources)
+                .map(|s| {
+                    let scale = 10f64.powi((s % 3) as i32);
+                    Batch::from_items(
+                        (0..per_batch)
+                            .map(|k| {
+                                StreamItem::with_meta(
+                                    StratumId::new(s as u32),
+                                    scale * (1.0 + rng.random::<f64>()),
+                                    k as u64,
+                                    t * SEC + 1 + k as u64,
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts two runs produced bit-identical window estimates, including
+/// every answer in the per-query result map.
+fn assert_identical(sim: &RunReport, pipeline: &RunReport) {
+    assert_eq!(sim.results.len(), pipeline.results.len(), "window count");
+    for (a, b) in sim.results.iter().zip(&pipeline.results) {
+        assert_eq!(a.window, b.window);
+        assert_eq!(
+            a.estimate.value.to_bits(),
+            b.estimate.value.to_bits(),
+            "window {} estimate: {} vs {}",
+            a.window,
+            a.estimate.value,
+            b.estimate.value
+        );
+        assert_eq!(a.estimate.variance.to_bits(), b.estimate.variance.to_bits());
+        assert_eq!(a.count_hat.to_bits(), b.count_hat.to_bits());
+        assert_eq!(a.sampled_items, b.sampled_items);
+        assert_eq!(a.per_stratum, b.per_stratum);
+        assert_eq!(a.queries, b.queries, "per-query result maps");
+    }
+}
+
+#[test]
+fn asymmetric_four_layer_topology_is_engine_identical() {
+    let data = noisy_intervals(4, 5, 300);
+    let sim = Driver::new(
+        asymmetric_topology(0.3, 1),
+        multi_queries(),
+        EngineKind::Sim,
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("sim run");
+    let pipeline = Driver::new(
+        asymmetric_topology(0.3, 1),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_eq!(sim.results.len(), 4, "one result per 1s window");
+    assert_identical(&sim, &pipeline);
+    // The multi-query answers are present and non-trivial.
+    let r = &sim.results[0];
+    assert!(r
+        .queries
+        .get(QuerySpec::Quantile(0.5))
+        .and_then(QueryValue::quantile)
+        .is_some());
+    let top = r
+        .queries
+        .get(QuerySpec::TopK(3))
+        .and_then(QueryValue::top_k)
+        .expect("top-k answer");
+    assert_eq!(top.len(), 3);
+    // Ranked descending by estimated stratum SUM.
+    assert!(top[0].1.value >= top[1].1.value && top[1].1.value >= top[2].1.value);
+}
+
+#[test]
+fn sharded_workers_stay_engine_identical() {
+    // §III-E parallel shards are deterministic too: each node's persistent
+    // worker pool derives per-shard RNGs from the node seed on both
+    // engines.
+    let data = noisy_intervals(3, 5, 400);
+    let sim = Driver::new(
+        asymmetric_topology(0.2, 2),
+        multi_queries(),
+        EngineKind::Sim,
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("sim run");
+    let pipeline = Driver::new(
+        asymmetric_topology(0.2, 2),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+}
+
+#[test]
+fn five_layer_heterogeneous_tree_is_engine_identical() {
+    // Deeper than the paper's testbed, with a per-layer strategy override
+    // and a leaf-heavy split — the description both engines must honour.
+    let build = || {
+        Topology::builder()
+            .sources(6)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2).strategy(Strategy::Native))
+            .layer(LayerSpec::new(1))
+            .split(FractionSplit::LeafHeavy)
+            .overall_fraction(0.25)
+            .window(Duration::from_secs(1))
+            .seed(0x5EED)
+            .build()
+            .expect("valid")
+    };
+    let data = noisy_intervals(3, 6, 200);
+    let sim = Driver::new(build(), QuerySet::default(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        QuerySet::default(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+    // LeafHeavy split: the whole budget at the first layer, so the count
+    // still reconstructs exactly.
+    let total: f64 = sim.results.iter().map(|r| r.count_hat).sum();
+    assert!((total - 3600.0).abs() < 1e-6, "count_hat {total}");
+}
+
+#[test]
+fn wall_clock_pipeline_runs_the_same_description() {
+    // The wall-clock engine is not bit-identical (event time is re-stamped
+    // at send), but the same description must run and reconstruct counts.
+    let data = noisy_intervals(3, 5, 200);
+    let report = Driver::new(
+        asymmetric_topology(0.3, 1),
+        multi_queries(),
+        EngineKind::pipeline(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("wall run");
+    let count: f64 = report.results.iter().map(|r| r.count_hat).sum();
+    assert!(
+        (count - 3000.0).abs() < 1e-6,
+        "count through wall-clock pipeline: {count}"
+    );
+    let hops = report.bytes.hops();
+    assert_eq!(hops.len(), 3);
+    // Each sampling stage keeps ~67%, so every hop carries fewer bytes.
+    assert!(hops[1] < hops[0] && hops[2] < hops[1], "hops {hops:?}");
+}
