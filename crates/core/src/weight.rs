@@ -56,14 +56,19 @@ impl WeightMap {
     /// Records the weight for `stratum`, returning the previous explicit
     /// value if any.
     ///
+    /// Hierarchical *sampling* only ever produces weights ≥ 1 (it can only
+    /// discard items), but the root's loss-aware Horvitz–Thompson rescale
+    /// divides weights by the expected delivery factor — which exceeds one
+    /// on a net-duplicating network, legitimately pushing a weight below
+    /// one. The map therefore admits any positive finite weight.
+    ///
     /// # Panics
     ///
-    /// Panics if `weight` is not finite or is less than `1.0 - 1e-9`;
-    /// sampling can only *discard* items, so weights never shrink below one.
+    /// Panics unless `weight` is finite and positive.
     pub fn set(&mut self, stratum: StratumId, weight: f64) -> Option<f64> {
         assert!(
-            weight.is_finite() && weight >= 1.0 - 1e-9,
-            "weight must be finite and >= 1, got {weight}"
+            weight.is_finite() && weight > 0.0,
+            "weight must be finite and positive, got {weight}"
         );
         self.entries.insert(stratum, weight)
     }
@@ -232,8 +237,17 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "weight must be finite")]
-    fn rejects_sub_unit_weight() {
-        WeightMap::new().set(s(0), 0.5);
+    fn rejects_non_positive_weight() {
+        WeightMap::new().set(s(0), 0.0);
+    }
+
+    #[test]
+    fn admits_sub_unit_weights_for_loss_rescaling() {
+        // The root's Horvitz–Thompson correction divides by the delivery
+        // factor; under net duplication that lands below one.
+        let mut w = WeightMap::new();
+        w.set(s(0), 0.5);
+        assert_eq!(w.get(s(0)), 0.5);
     }
 
     #[test]

@@ -5,13 +5,17 @@
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
-/// Key of a committed offset: `(group, topic, partition)`.
-type Key = (String, String, u32);
+/// Per-topic commits of one group: `topic → partition → offset`.
+type TopicOffsets = BTreeMap<String, BTreeMap<u32, u64>>;
 
 /// Thread-safe store of committed offsets per consumer group.
 ///
 /// Offsets follow Kafka's convention: the committed value is the offset of
 /// the **next** record to consume.
+///
+/// Internally the store nests `group → topic → partition` maps so lookups
+/// borrow the caller's `&str`s directly — [`OffsetStore::fetch`] sits on
+/// every consumer-resume path and allocates nothing.
 ///
 /// # Examples
 ///
@@ -25,7 +29,7 @@ type Key = (String, String, u32);
 /// ```
 #[derive(Debug, Default)]
 pub struct OffsetStore {
-    offsets: RwLock<BTreeMap<Key, u64>>,
+    offsets: RwLock<BTreeMap<String, TopicOffsets>>,
 }
 
 impl OffsetStore {
@@ -38,17 +42,28 @@ impl OffsetStore {
     /// previous commit if any. Commits are last-writer-wins (Kafka
     /// semantics — the group coordinator serialises members).
     pub fn commit(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Option<u64> {
-        self.offsets
-            .write()
-            .insert((group.to_string(), topic.to_string(), partition), offset)
+        let mut groups = self.offsets.write();
+        // Only the first commit for a group/topic allocates its key.
+        let topics = match groups.get_mut(group) {
+            Some(topics) => topics,
+            None => groups.entry(group.to_string()).or_default(),
+        };
+        let partitions = match topics.get_mut(topic) {
+            Some(partitions) => partitions,
+            None => topics.entry(topic.to_string()).or_default(),
+        };
+        partitions.insert(partition, offset)
     }
 
     /// Fetches the committed offset, `None` when the group never committed
-    /// for this partition.
+    /// for this partition. Allocation-free: the nested maps are keyed by
+    /// `String` but looked up by `&str`.
     pub fn fetch(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
         self.offsets
             .read()
-            .get(&(group.to_string(), topic.to_string(), partition))
+            .get(group)?
+            .get(topic)?
+            .get(&partition)
             .copied()
     }
 
@@ -56,23 +71,30 @@ impl OffsetStore {
     pub fn fetch_all(&self, group: &str, topic: &str) -> BTreeMap<u32, u64> {
         self.offsets
             .read()
-            .iter()
-            .filter(|((g, t, _), _)| g == group && t == topic)
-            .map(|((_, _, p), &o)| (*p, o))
-            .collect()
+            .get(group)
+            .and_then(|topics| topics.get(topic))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Deletes every commit of a group (group deletion / expiry).
     pub fn reset_group(&self, group: &str) {
-        self.offsets.write().retain(|(g, _, _), _| g != group);
+        self.offsets.write().remove(group);
     }
 
     /// Total number of committed entries.
     pub fn len(&self) -> usize {
-        self.offsets.read().len()
+        self.offsets
+            .read()
+            .values()
+            .flat_map(TopicOffsets::values)
+            .map(BTreeMap::len)
+            .sum()
     }
 
-    /// Returns `true` when nothing is committed.
+    /// Returns `true` when nothing is committed. O(1): `commit` never
+    /// leaves an empty inner map behind and `reset_group` removes whole
+    /// groups, so the outer map is empty exactly when the store is.
     pub fn is_empty(&self) -> bool {
         self.offsets.read().is_empty()
     }

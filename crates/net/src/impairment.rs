@@ -1,11 +1,154 @@
-//! Link impairments: deterministic jitter and loss models layered over the
-//! base delay/capacity emulation — `tc netem`'s `delay ... jitter` and
-//! `loss` knobs for the failure-injection experiments.
+//! Link impairments: deterministic loss, jitter, duplication and bounded
+//! reorder layered over the base delay/capacity emulation — `tc netem`'s
+//! `loss`, `delay ... jitter`, `duplicate` and `reorder` knobs for the
+//! failure-injection experiments.
 //!
 //! Impairments are driven by a seeded xorshift generator, so a run with the
 //! same seed impairs the same messages: failure tests stay reproducible.
+//! Two layers make up the API:
+//!
+//! * [`ImpairmentSpec`] — the pure configuration (probabilities and the
+//!   jitter bound), `Copy` so topology descriptions can embed it per hop;
+//! * [`Impairment`] — one seeded decision *stream* built from a spec, as
+//!   used by a single sender on a single hop.
+//!
+//! ## Determinism guarantees
+//!
+//! * Seeds are mixed through splitmix64 before they become generator
+//!   state, so numerically close seeds (0, 1, 2, …) produce statistically
+//!   independent streams — a requirement for per-hop seed derivation,
+//!   where adjacent senders get adjacent seeds.
+//! * Every decision method short-circuits **without consuming randomness**
+//!   when its knob is disabled: a spec with only loss configured draws one
+//!   variate per message, and an all-zero spec draws none. A zero spec is
+//!   therefore bit-identical to no impairment at all.
 
 use std::time::Duration;
+
+/// splitmix64: a single mixing round turning any seed into well-spread
+/// generator state (Steele, Lea & Flood, OOPSLA 2014).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Probability clamp for the loss/duplicate/reorder knobs: NaN (e.g. a
+/// ratio computed from an empty config) disables the knob rather than
+/// poisoning `is_noop`/`delivery_factor` downstream.
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 0.999_999)
+    }
+}
+
+/// Configuration of a hop's impairments: what fraction of messages are
+/// lost or duplicated, how much extra in-flight delay they pick up, and
+/// how often adjacent messages swap.
+///
+/// All probabilities are clamped to `[0, 1)` on the loss/duplicate/reorder
+/// setters; the all-zero default ([`ImpairmentSpec::none`]) is a strict
+/// no-op.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_net::ImpairmentSpec;
+/// use std::time::Duration;
+///
+/// let spec = ImpairmentSpec::none()
+///     .loss(0.01)
+///     .jitter(Duration::from_millis(5));
+/// assert!(!spec.is_noop());
+/// assert!((spec.delivery_factor() - 0.99).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImpairmentSpec {
+    loss: f64,
+    jitter: Duration,
+    duplicate: f64,
+    reorder: f64,
+}
+
+impl ImpairmentSpec {
+    /// The all-zero spec: no loss, no jitter, no duplication, no reorder.
+    pub fn none() -> Self {
+        ImpairmentSpec::default()
+    }
+
+    /// Drops each message independently with probability `loss`
+    /// (clamped to `[0, 1)`).
+    pub fn loss(mut self, loss: f64) -> Self {
+        self.loss = clamp_probability(loss);
+        self
+    }
+
+    /// Adds uniform extra delay in `[0, jitter)` to each delivered copy.
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Delivers each surviving message twice with probability `duplicate`
+    /// (clamped to `[0, 1)`).
+    pub fn duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = clamp_probability(duplicate);
+        self
+    }
+
+    /// Swaps a surviving message with the next one from the same sender
+    /// with probability `reorder` (clamped to `[0, 1)`) — bounded
+    /// displacement of one position.
+    pub fn reorder(mut self, reorder: f64) -> Self {
+        self.reorder = clamp_probability(reorder);
+        self
+    }
+
+    /// The configured loss probability.
+    pub fn loss_probability(&self) -> f64 {
+        self.loss
+    }
+
+    /// The configured jitter bound.
+    pub fn jitter_bound(&self) -> Duration {
+        self.jitter
+    }
+
+    /// The configured duplication probability.
+    pub fn duplicate_probability(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// The configured reorder probability.
+    pub fn reorder_probability(&self) -> f64 {
+        self.reorder
+    }
+
+    /// Returns `true` when every knob is zero — the spec impairs nothing
+    /// and consumes no randomness.
+    pub fn is_noop(&self) -> bool {
+        self.loss == 0.0 && self.jitter.is_zero() && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+
+    /// Expected delivered copies per sent message:
+    /// `(1 − loss) · (1 + duplicate)`. The Horvitz–Thompson correction for
+    /// uniform random loss divides estimates by this factor.
+    pub fn delivery_factor(&self) -> f64 {
+        (1.0 - self.loss) * (1.0 + self.duplicate)
+    }
+
+    /// Builds the seeded decision stream for one sender on this hop.
+    pub fn stream(&self, seed: u64) -> Impairment {
+        Impairment::new(seed)
+            .with_loss(self.loss)
+            .with_jitter(self.jitter)
+            .with_duplicate(self.duplicate)
+            .with_reorder(self.reorder)
+    }
+}
 
 /// A deterministic per-message impairment decision source.
 ///
@@ -31,15 +174,29 @@ pub struct Impairment {
     state: u64,
     jitter: Duration,
     loss: f64,
+    duplicate: f64,
+    reorder: f64,
 }
 
 impl Impairment {
-    /// Creates an impairment source with no jitter and no loss.
+    /// Creates an impairment source with no jitter, loss, duplication or
+    /// reorder.
+    ///
+    /// The seed is mixed through splitmix64, so adjacent seeds (0, 1, 2 …)
+    /// yield independent decision streams.
     pub fn new(seed: u64) -> Self {
+        let mixed = splitmix64(seed);
         Impairment {
-            state: seed.max(1),
+            // xorshift state must be non-zero; exactly one seed mixes to 0.
+            state: if mixed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                mixed
+            },
             jitter: Duration::ZERO,
             loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
         }
     }
 
@@ -52,7 +209,21 @@ impl Impairment {
     /// Drops each message independently with probability `loss`
     /// (clamped to `[0, 1)`).
     pub fn with_loss(mut self, loss: f64) -> Self {
-        self.loss = loss.clamp(0.0, 0.999_999);
+        self.loss = clamp_probability(loss);
+        self
+    }
+
+    /// Duplicates each surviving message with probability `duplicate`
+    /// (clamped to `[0, 1)`).
+    pub fn with_duplicate(mut self, duplicate: f64) -> Self {
+        self.duplicate = clamp_probability(duplicate);
+        self
+    }
+
+    /// Swaps a surviving message with its successor with probability
+    /// `reorder` (clamped to `[0, 1)`).
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        self.reorder = clamp_probability(reorder);
         self
     }
 
@@ -66,6 +237,16 @@ impl Impairment {
         self.loss
     }
 
+    /// The configured duplication probability.
+    pub fn duplicate(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// The configured reorder probability.
+    pub fn reorder(&self) -> f64 {
+        self.reorder
+    }
+
     fn next_unit(&mut self) -> f64 {
         // xorshift64*: cheap, deterministic, good enough for impairment
         // decisions (not for sampling — the samplers use `rand`).
@@ -77,12 +258,26 @@ impl Impairment {
         (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Decides whether the next message is dropped.
+    /// Decides whether the next message is dropped. Draws nothing when
+    /// loss is disabled.
     pub fn drops(&mut self) -> bool {
         self.loss > 0.0 && self.next_unit() < self.loss
     }
 
-    /// Draws the next message's extra delay.
+    /// Decides whether the next surviving message is delivered twice.
+    /// Draws nothing when duplication is disabled.
+    pub fn duplicates(&mut self) -> bool {
+        self.duplicate > 0.0 && self.next_unit() < self.duplicate
+    }
+
+    /// Decides whether the next surviving message swaps with its
+    /// successor. Draws nothing when reorder is disabled.
+    pub fn reorders(&mut self) -> bool {
+        self.reorder > 0.0 && self.next_unit() < self.reorder
+    }
+
+    /// Draws the next message's extra delay. Draws nothing when jitter is
+    /// disabled.
     pub fn extra_delay(&mut self) -> Duration {
         if self.jitter.is_zero() {
             Duration::ZERO
@@ -101,6 +296,8 @@ mod tests {
         let mut imp = Impairment::new(1);
         for _ in 0..100 {
             assert!(!imp.drops());
+            assert!(!imp.duplicates());
+            assert!(!imp.reorders());
             assert_eq!(imp.extra_delay(), Duration::ZERO);
         }
     }
@@ -111,6 +308,14 @@ mod tests {
         let dropped = (0..10_000).filter(|_| imp.drops()).count();
         let rate = dropped as f64 / 10_000.0;
         assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn duplicate_rate_is_respected() {
+        let mut imp = Impairment::new(8).with_duplicate(0.4);
+        let dups = (0..10_000).filter(|_| imp.duplicates()).count();
+        let rate = dups as f64 / 10_000.0;
+        assert!((rate - 0.4).abs() < 0.03, "rate {rate}");
     }
 
     #[test]
@@ -138,10 +343,87 @@ mod tests {
     }
 
     #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        // The historical `seed.max(1)` collapsed seeds 0 and 1 into one
+        // stream; splitmix64 mixing keeps every pair of small seeds apart.
+        for (a, b) in [(0u64, 1u64), (1, 2), (0, 2), (3, 4)] {
+            let mut x = Impairment::new(a).with_loss(0.5);
+            let mut y = Impairment::new(b).with_loss(0.5);
+            let dx: Vec<bool> = (0..64).map(|_| x.drops()).collect();
+            let dy: Vec<bool> = (0..64).map(|_| y.drops()).collect();
+            assert_ne!(dx, dy, "seeds {a} and {b} produced identical streams");
+        }
+    }
+
+    #[test]
     fn loss_is_clamped_below_one() {
         let imp = Impairment::new(2).with_loss(5.0);
         assert!(imp.loss() < 1.0);
         let imp = Impairment::new(2).with_loss(-1.0);
         assert_eq!(imp.loss(), 0.0);
+    }
+
+    #[test]
+    fn nan_probabilities_disable_the_knob() {
+        let spec = ImpairmentSpec::none()
+            .loss(f64::NAN)
+            .duplicate(f64::NAN)
+            .reorder(f64::NAN);
+        assert!(spec.is_noop(), "NaN must not count as impairment");
+        assert_eq!(spec.delivery_factor(), 1.0);
+        let imp = Impairment::new(3).with_loss(f64::NAN);
+        assert_eq!(imp.loss(), 0.0);
+    }
+
+    #[test]
+    fn spec_builds_equivalent_stream() {
+        let spec = ImpairmentSpec::none()
+            .loss(0.3)
+            .duplicate(0.1)
+            .reorder(0.05)
+            .jitter(Duration::from_millis(2));
+        let mut from_spec = spec.stream(11);
+        let mut by_hand = Impairment::new(11)
+            .with_loss(0.3)
+            .with_duplicate(0.1)
+            .with_reorder(0.05)
+            .with_jitter(Duration::from_millis(2));
+        for _ in 0..50 {
+            assert_eq!(from_spec.drops(), by_hand.drops());
+            assert_eq!(from_spec.duplicates(), by_hand.duplicates());
+            assert_eq!(from_spec.reorders(), by_hand.reorders());
+            assert_eq!(from_spec.extra_delay(), by_hand.extra_delay());
+        }
+    }
+
+    #[test]
+    fn spec_noop_and_delivery_factor() {
+        assert!(ImpairmentSpec::none().is_noop());
+        assert!(!ImpairmentSpec::none().loss(0.1).is_noop());
+        assert_eq!(ImpairmentSpec::none().delivery_factor(), 1.0);
+        let spec = ImpairmentSpec::none().loss(0.1).duplicate(0.5);
+        assert!((spec.delivery_factor() - 0.9 * 1.5).abs() < 1e-12);
+        assert_eq!(spec.loss_probability(), 0.1);
+        assert_eq!(spec.duplicate_probability(), 0.5);
+        assert_eq!(spec.reorder_probability(), 0.0);
+        assert_eq!(spec.jitter_bound(), Duration::ZERO);
+    }
+
+    #[test]
+    fn disabled_knobs_consume_no_randomness() {
+        // Loss-only streams must not advance state on duplicate/reorder/
+        // jitter queries, or zero-configured hops would perturb seeded runs.
+        let mut probed = Impairment::new(13).with_loss(0.5);
+        let mut plain = Impairment::new(13).with_loss(0.5);
+        let mut seq_probed = Vec::new();
+        let mut seq_plain = Vec::new();
+        for _ in 0..32 {
+            seq_probed.push(probed.drops());
+            assert!(!probed.duplicates());
+            assert!(!probed.reorders());
+            assert_eq!(probed.extra_delay(), Duration::ZERO);
+            seq_plain.push(plain.drops());
+        }
+        assert_eq!(seq_probed, seq_plain);
     }
 }

@@ -9,6 +9,9 @@
 //! * [`Link`] — a point-to-point channel with configurable one-way
 //!   propagation delay and finite capacity (serialisation delay), driven by
 //!   a background pump thread;
+//! * [`ImpairmentSpec`] / [`Impairment`] — deterministic seeded loss,
+//!   jitter, duplication and bounded reorder (`tc netem`'s fault knobs),
+//!   the decision source behind the runtime's per-hop fault injection;
 //! * [`NetMetrics`] / [`bandwidth_saving`] — bytes-on-wire accounting for
 //!   the Figure 7 bandwidth experiment;
 //! * [`Clock`], [`WallClock`], [`SimClock`] — the time abstraction letting
@@ -36,7 +39,7 @@ pub mod metrics;
 pub mod ratelimit;
 
 pub use clock::{Clock, SimClock, WallClock};
-pub use impairment::Impairment;
+pub use impairment::{Impairment, ImpairmentSpec};
 pub use link::{Link, LinkClosed, LinkConfig, LinkSender};
 pub use metrics::{bandwidth_saving, NetMetrics};
 pub use ratelimit::RateLimiter;

@@ -58,22 +58,39 @@ impl RateLimiter {
         self.bytes_per_sec as u64
     }
 
+    /// Refills the bucket for the elapsed wall time and, if it now covers
+    /// `needed`, consumes the tokens. Both acquire paths share this one
+    /// refill so they agree on the oversized-frame policy: the bucket is
+    /// allowed to fill up to `max(burst, needed)`, letting a frame larger
+    /// than the burst accumulate enough tokens over time instead of being
+    /// capped out forever.
+    fn refill_and_take(&self, s: &mut BucketState, needed: f64) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+        s.tokens = (s.tokens + elapsed * self.bytes_per_sec).min(self.burst.max(needed));
+        s.last_refill = now;
+        if s.tokens >= needed {
+            s.tokens -= needed;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Blocks until `bytes` tokens are available, then consumes them.
     ///
-    /// Requests larger than the burst size are still served (the caller
-    /// waits for the deficit), so oversized frames degrade to pure pacing
-    /// rather than deadlocking.
+    /// **Oversized-frame policy**: requests larger than the burst size are
+    /// still served — the bucket fills past the burst up to the request
+    /// size while the caller waits — so oversized frames degrade to pure
+    /// pacing rather than deadlocking. [`RateLimiter::try_acquire`] applies
+    /// the same cap, so an oversized frame that keeps retrying eventually
+    /// succeeds there too.
     pub fn acquire(&self, bytes: u64) {
         let needed = bytes as f64;
         loop {
             let wait = {
                 let mut s = self.state.lock();
-                let now = Instant::now();
-                let elapsed = now.duration_since(s.last_refill).as_secs_f64();
-                s.tokens = (s.tokens + elapsed * self.bytes_per_sec).min(self.burst.max(needed));
-                s.last_refill = now;
-                if s.tokens >= needed {
-                    s.tokens -= needed;
+                if self.refill_and_take(&mut s, needed) {
                     return;
                 }
                 Duration::from_secs_f64(((needed - s.tokens) / self.bytes_per_sec).min(0.05))
@@ -84,19 +101,14 @@ impl RateLimiter {
 
     /// Non-blocking variant: consumes and returns `true` when the bucket
     /// covers `bytes` right now.
+    ///
+    /// Shares [`RateLimiter::acquire`]'s oversized-frame policy: a request
+    /// larger than the burst reports `false` until enough time has passed
+    /// for the bucket to fill up to the request size, then succeeds —
+    /// historically the refill here capped at `burst`, so the same frame
+    /// `acquire` would pace through could never pass `try_acquire`.
     pub fn try_acquire(&self, bytes: u64) -> bool {
-        let needed = bytes as f64;
-        let mut s = self.state.lock();
-        let now = Instant::now();
-        let elapsed = now.duration_since(s.last_refill).as_secs_f64();
-        s.tokens = (s.tokens + elapsed * self.bytes_per_sec).min(self.burst);
-        s.last_refill = now;
-        if s.tokens >= needed {
-            s.tokens -= needed;
-            true
-        } else {
-            false
-        }
+        self.refill_and_take(&mut self.state.lock(), bytes as f64)
     }
 }
 
@@ -131,6 +143,24 @@ mod tests {
         let t0 = Instant::now();
         limiter.acquire(10_000); // 100x the burst
         assert!(t0.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn try_acquire_serves_oversized_frames_like_acquire() {
+        // 1 MB/s with a 100-byte burst; a 10 KB frame needs ~10 ms of
+        // refill. It must start unavailable, then become available — the
+        // same pacing policy acquire applies, not a permanent refusal.
+        let limiter = RateLimiter::new(1_000_000, 100);
+        limiter.acquire(100); // drain the initial burst
+        assert!(!limiter.try_acquire(10_000), "not yet refilled");
+        let t0 = Instant::now();
+        while !limiter.try_acquire(10_000) {
+            assert!(
+                t0.elapsed() < Duration::from_millis(500),
+                "oversized try_acquire never succeeded"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     #[test]

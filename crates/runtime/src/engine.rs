@@ -41,6 +41,7 @@
 //! # Ok::<(), approxiot_runtime::EngineError>(())
 //! ```
 
+use crate::fault::{FaultInjector, HopFaults};
 use crate::node::SamplingNode;
 use crate::pipeline::{LatencyStats, PipelineEngine, PipelineOptions};
 use crate::query::QuerySet;
@@ -48,6 +49,8 @@ use crate::root::{RootConfig, RootNode, WindowResult};
 use crate::topology::{HopBytes, Topology};
 use approxiot_core::{Batch, BudgetError};
 use approxiot_mq::codec::encoded_len;
+use approxiot_streams::{TumblingWindow, WindowId};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by the driver/engine layer.
@@ -123,6 +126,9 @@ pub struct RunReport {
     pub results: Vec<WindowResult>,
     /// Wire bytes per hop (sources-side hop first).
     pub bytes: HopBytes,
+    /// Frames/items dropped and duplicated per hop by fault injection
+    /// (all-zero on an unimpaired topology).
+    pub faults: HopFaults,
     /// Items pushed by the sources.
     pub source_items: u64,
     /// Wall time from engine start to completion.
@@ -168,6 +174,14 @@ pub struct SimEngine {
     nodes: Vec<Vec<SamplingNode>>,
     root: RootNode,
     bytes: HopBytes,
+    /// `injectors[hop][sender]`: one deterministic fault stream per sender
+    /// per hop — `None` everywhere on an unimpaired topology
+    /// (`sender` = source index on hop 0, sending node index after that).
+    injectors: Vec<Vec<Option<FaultInjector>>>,
+    /// True source items pushed per root window — the denominator of each
+    /// result's completeness fraction.
+    window_items: BTreeMap<WindowId, u64>,
+    scheme: TumblingWindow,
     results: Vec<WindowResult>,
     source_items: u64,
     /// High-water event time seen so far — [`Engine::poll`]'s watermark.
@@ -207,13 +221,20 @@ impl SimEngine {
             window: topology.window(),
             queries,
             seed: topology.root_seed(),
+            delivery_factor: topology.delivery_factor(),
+            allowed_lateness: topology.allowed_lateness(),
         })?;
+        let injectors = hop_injectors(&topology);
         let hops = topology.hops();
+        let scheme = TumblingWindow::new(topology.window());
         Ok(SimEngine {
             topology,
             nodes,
             root,
             bytes: HopBytes::new(hops),
+            injectors,
+            window_items: BTreeMap::new(),
+            scheme,
             results: Vec::new(),
             source_items: 0,
             max_event_ts: 0,
@@ -233,12 +254,42 @@ impl SimEngine {
     /// processes its inputs in canonical `(child, arrival)` order — the
     /// same order the deterministic threaded engine reconstructs — and
     /// wire bytes are accounted per hop with real codec frame sizes.
+    ///
+    /// On an impaired topology every frame additionally passes its
+    /// sender's [`FaultInjector`] before crossing the hop: dropped frames
+    /// never reach (or bill) the link, duplicated frames arrive — and
+    /// bill — twice, and reordered frames swap within their burst (the
+    /// outputs a node emits for one input frame).
     pub fn push_interval(&mut self, source_batches: &[Batch]) {
+        let impaired = self.topology.has_impairment();
         for batch in source_batches {
             self.source_items += batch.len() as u64;
-            if let Some(ts) = batch.items.iter().map(|i| i.source_ts).max() {
+            if impaired {
+                // Per-window true counts: the completeness denominator.
+                for item in &batch.items {
+                    self.max_event_ts = self.max_event_ts.max(item.source_ts);
+                    *self
+                        .window_items
+                        .entry(self.scheme.index_of(item.source_ts))
+                        .or_insert(0) += 1;
+                }
+            } else if let Some(ts) = batch.items.iter().map(|i| i.source_ts).max() {
+                // Unimpaired: completeness is 1.0 by definition, so keep
+                // the historical single max() pass.
                 self.max_event_ts = self.max_event_ts.max(ts);
             }
+        }
+        if impaired {
+            self.push_interval_impaired(source_batches);
+        } else {
+            self.push_interval_clean(source_batches);
+        }
+    }
+
+    /// The unimpaired fast path: identical to the historical engine (no
+    /// frame clones, no injector bookkeeping).
+    fn push_interval_clean(&mut self, source_batches: &[Batch]) {
+        for batch in source_batches {
             self.bytes.add(0, encoded_len(batch) as u64);
         }
         // First layer: inputs are the source batches themselves.
@@ -289,24 +340,118 @@ impl SimEngine {
         }
     }
 
+    /// The fault-injected path. Per-node frame order is exactly the clean
+    /// path's canonical `(interval, sender, arrival)` order, minus dropped
+    /// frames, plus duplicated copies, with bursts possibly reordered —
+    /// the same sequence every sender's injector produces on the threaded
+    /// engine, which is what keeps impaired runs engine-identical.
+    fn push_interval_impaired(&mut self, source_batches: &[Batch]) {
+        let Self {
+            topology,
+            nodes,
+            root,
+            bytes,
+            injectors,
+            ..
+        } = self;
+        let n_layers = nodes.len();
+        // Hop 0: each source frame crosses its injector into node i % n0.
+        let n0 = topology.layers()[0].nodes;
+        let mut inputs: Vec<Vec<Batch>> = vec![Vec::new(); n0];
+        for (i, batch) in source_batches.iter().enumerate() {
+            let sink = &mut inputs[i % n0];
+            match injectors[0][i].as_mut() {
+                Some(injector) => {
+                    injector.transmit(std::slice::from_ref(batch), &mut |frame, _| {
+                        bytes.add(0, encoded_len(frame) as u64);
+                        sink.push(frame.clone());
+                        true
+                    });
+                }
+                None => {
+                    bytes.add(0, encoded_len(batch) as u64);
+                    sink.push(batch.clone());
+                }
+            }
+        }
+        // Each layer processes its delivered frames in (sender, arrival)
+        // order; the outputs of one input frame form one burst on the next
+        // hop, delivered to node j % n_next (or the root).
+        for (l, layer_nodes) in nodes.iter_mut().enumerate() {
+            let hop = l + 1;
+            let n_next = topology.layers().get(l + 1).map_or(0, |layer| layer.nodes);
+            let mut next: Vec<Vec<Batch>> = vec![Vec::new(); n_next];
+            for (j, frames) in inputs.into_iter().enumerate() {
+                for frame in &frames {
+                    let mut outs = layer_nodes[j].process_batch_parallel(frame);
+                    outs.retain(|out| !out.is_empty());
+                    match injectors[hop][j].as_mut() {
+                        Some(injector) => {
+                            if l + 1 < n_layers {
+                                let sink = &mut next[j % n_next];
+                                injector.transmit(&outs, &mut |out, _| {
+                                    bytes.add(hop, encoded_len(out) as u64);
+                                    sink.push(out.clone());
+                                    true
+                                });
+                            } else {
+                                injector.transmit(&outs, &mut |out, _| {
+                                    bytes.add(hop, encoded_len(out) as u64);
+                                    root.ingest(out);
+                                    true
+                                });
+                            }
+                        }
+                        None => {
+                            for out in outs {
+                                bytes.add(hop, encoded_len(&out) as u64);
+                                if l + 1 < n_layers {
+                                    next[j % n_next].push(out);
+                                } else {
+                                    root.ingest(&out);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            inputs = next;
+        }
+    }
+
     /// Advances the event-time watermark, returning (and recording) the
     /// closed windows' results.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
-        let new = self.root.advance_watermark(watermark_nanos);
+        let mut new = self.root.advance_watermark(watermark_nanos);
+        self.annotate(&mut new);
         self.results.extend(new.iter().cloned());
         new
     }
 
     /// Flushes every open window (end of stream).
     pub fn flush(&mut self) -> Vec<WindowResult> {
-        let new = self.root.flush();
+        let mut new = self.root.flush();
+        self.annotate(&mut new);
         self.results.extend(new.iter().cloned());
         new
+    }
+
+    /// Fills in each result's completeness against the true per-window
+    /// source counts (only impaired topologies can be incomplete).
+    fn annotate(&self, results: &mut [WindowResult]) {
+        if self.topology.has_impairment() {
+            fill_completeness(results, &self.window_items, self.topology.delivery_factor());
+        }
     }
 
     /// Wire bytes so far, per hop.
     pub fn bytes(&self) -> &HopBytes {
         &self.bytes
+    }
+
+    /// Fault-injection accounting so far, per hop.
+    pub fn faults(&self) -> HopFaults {
+        collect_faults(&self.injectors)
     }
 
     /// Total items pushed by sources so far.
@@ -339,11 +484,61 @@ impl Engine for SimEngine {
         RunReport {
             results,
             bytes: self.bytes,
+            faults: collect_faults(&self.injectors),
             source_items: self.source_items,
             elapsed,
             throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),
             latency: LatencyStats::default(),
         }
+    }
+}
+
+/// Builds the per-hop, per-sender injector table for a topology: `None`
+/// everywhere a hop's spec is a no-op, so unimpaired paths stay untouched.
+pub(crate) fn hop_injectors(topology: &Topology) -> Vec<Vec<Option<FaultInjector>>> {
+    (0..topology.hops())
+        .map(|hop| {
+            let senders = if hop == 0 {
+                topology.sources()
+            } else {
+                topology.layers()[hop - 1].nodes
+            };
+            let spec = topology.hop_impairment(hop);
+            (0..senders)
+                .map(|sender| FaultInjector::new(spec, topology.hop_impairment_seed(hop, sender)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Aggregates an injector table's counters into per-hop fault accounting.
+pub(crate) fn collect_faults(injectors: &[Vec<Option<FaultInjector>>]) -> HopFaults {
+    let mut faults = HopFaults::new(injectors.len());
+    for (hop, senders) in injectors.iter().enumerate() {
+        for injector in senders.iter().flatten() {
+            faults.record(hop, injector.stats());
+        }
+    }
+    faults
+}
+
+/// Fills each result's completeness fraction: the delivered (pre-rescale)
+/// estimated count over the true pushed count, clamped to `[0, 1]`.
+/// `count_hat` carries the Horvitz–Thompson rescale (division by the
+/// delivery factor), so multiplying it back out recovers what actually
+/// arrived.
+pub(crate) fn fill_completeness(
+    results: &mut [WindowResult],
+    window_items: &BTreeMap<WindowId, u64>,
+    delivery_factor: f64,
+) {
+    for result in results {
+        let actual = window_items.get(&result.window).copied().unwrap_or(0);
+        result.completeness = if actual == 0 {
+            1.0
+        } else {
+            ((result.count_hat * delivery_factor) / actual as f64).clamp(0.0, 1.0)
+        };
     }
 }
 

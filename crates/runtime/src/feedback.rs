@@ -124,6 +124,8 @@ mod tests {
             queries: Default::default(),
             sampled_items: 0,
             count_hat: 0.0,
+            completeness: 1.0,
+            dropped_late: 0,
         }
     }
 

@@ -23,6 +23,22 @@
 //!   order over the real wire path, so fixed-seed runs produce identical
 //!   estimates on both engines.
 //!
+//! ## Fault injection
+//!
+//! Every hop's [`LinkSpec`] can carry an
+//! [`approxiot_net::ImpairmentSpec`] (loss, jitter, duplication, bounded
+//! reorder). Both engines honour it through per-sender [`FaultInjector`]
+//! streams — seeded by [`Topology::hop_impairment_seed`], so fixed-seed
+//! impaired runs stay **bit-identical** across Sim and Pipeline-replay —
+//! and the analytics stay loss-aware: the root divides stratum weights by
+//! [`Topology::delivery_factor`] (Horvitz–Thompson, keeping SUM/COUNT
+//! unbiased under uniform loss), each [`WindowResult`] reports its
+//! `completeness` fraction and `dropped_late` count, runs report per-hop
+//! [`HopFaults`], and `Topology::builder().allowed_lateness(..)` keeps
+//! windows open for jitter-delayed stragglers. An all-zero spec is a
+//! strict no-op. See [`fault`] for the determinism contract and
+//! `examples/chaos.rs` for a loss sweep.
+//!
 //! The paper's fixed `leaves/mids/root` shape survives as thin wrappers:
 //! [`TreeConfig`]/[`SimTree`] and [`PipelineConfig`]/[`run_pipeline`].
 //!
@@ -64,6 +80,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod feedback;
 pub mod node;
 pub mod pipeline;
@@ -74,6 +91,7 @@ pub mod topology;
 pub mod tree;
 
 pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
+pub use fault::{FaultInjector, FaultStats, HopFaults};
 pub use feedback::FeedbackLoop;
 pub use node::{SamplingNode, Strategy};
 pub use pipeline::{

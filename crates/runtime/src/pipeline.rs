@@ -25,6 +25,18 @@
 //!   latency dependence in Figure 9. SRS and native nodes forward
 //!   immediately (coin flips need no window).
 //!
+//! ## Fault injection
+//!
+//! Hops with a non-trivial [`crate::Topology::hop_impairment`] spec get
+//! per-sender [`FaultInjector`] streams: the driver owns the hop-0
+//! injectors (one per source), each edge node owns its outgoing hop's. In
+//! wall-clock mode drops skip the limiter and the wire, duplicates send
+//! twice, and jitter is added to the send timestamp so consumers hold the
+//! frame longer (pair with `Topology::allowed_lateness` to keep jittered
+//! stragglers countable). In deterministic mode the same decision streams
+//! run against the canonical frame order, so impaired fixed-seed runs
+//! remain bit-identical to the sim engine — see [`crate::fault`].
+//!
 //! ## Deterministic mode
 //!
 //! [`PipelineOptions::deterministic`] trades the WAN timing emulation for
@@ -53,7 +65,8 @@
 //! `pipeline_throughput` bench (results in `BENCH_pipeline.json`) measures
 //! the combined effect at the system level.
 
-use crate::engine::{Engine, EngineError, RunReport};
+use crate::engine::{fill_completeness, Engine, EngineError, RunReport};
+use crate::fault::{FaultInjector, FaultStats, HopFaults};
 use crate::node::{SamplingNode, Strategy};
 use crate::query::{Query, QuerySet};
 use crate::root::{RootConfig, RootNode, WindowResult};
@@ -63,6 +76,8 @@ use approxiot_core::{Batch, BatchPool, BudgetError};
 use approxiot_mq::codec::{decode_batch_into, encoded_len};
 use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, Record, StartOffset};
 use approxiot_net::RateLimiter;
+use approxiot_streams::{TumblingWindow, WindowId};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -170,6 +185,7 @@ impl PipelineConfig {
             builder = builder.root_link(crate::topology::LinkSpec {
                 delay: self.hop_delays[2],
                 capacity_bytes_per_sec: Some(c),
+                ..crate::topology::LinkSpec::default()
             });
         }
         builder.build()
@@ -339,6 +355,16 @@ pub struct PipelineEngine {
     /// *sending node*, so N sources inject at N times the per-uplink cap
     /// in aggregate (matching the legacy per-source-thread limiters).
     source_limiters: Vec<Option<RateLimiter>>,
+    /// One hop-0 fault stream per source (`None` on a perfect first hop):
+    /// the driver is the sender, so it owns the injectors.
+    source_injectors: Vec<Option<FaultInjector>>,
+    /// Per-hop fault counters; edge threads merge their injector stats in
+    /// as they exit (hop 0 is merged from `source_injectors` at finish).
+    fault_cells: Vec<Arc<Mutex<FaultStats>>>,
+    /// True source items pushed per root window (completeness
+    /// denominator); wall mode counts by the re-stamped send time.
+    window_items: BTreeMap<WindowId, u64>,
+    scheme: TumblingWindow,
     /// Per-hop byte counters (hop 0 filled from `producer` at finish).
     bytes: Vec<Arc<AtomicU64>>,
     latencies: Arc<Mutex<Vec<u64>>>,
@@ -393,6 +419,9 @@ impl PipelineEngine {
         let bytes: Vec<Arc<AtomicU64>> = (0..topology.hops())
             .map(|_| Arc::new(AtomicU64::new(0)))
             .collect();
+        let fault_cells: Vec<Arc<Mutex<FaultStats>>> = (0..topology.hops())
+            .map(|_| Arc::new(Mutex::new(FaultStats::default())))
+            .collect();
         let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
         let (result_tx, result_rx) = mpsc::channel();
         let (elapsed_tx, elapsed_rx) = mpsc::channel();
@@ -425,14 +454,43 @@ impl PipelineEngine {
                 let deterministic = options.deterministic;
                 let left = Arc::clone(&closers);
                 let bytes_out = Arc::clone(&bytes[l + 1]);
+                // The node is the sender on hop l + 1: its fault stream
+                // (same spec + seed derivation as the sim engine's) rides
+                // on its thread.
+                let mut injector = FaultInjector::new(
+                    topology.hop_impairment(l + 1),
+                    topology.hop_impairment_seed(l + 1, j),
+                );
+                let faults_out = Arc::clone(&fault_cells[l + 1]);
                 handles.push(
                     thread::Builder::new()
                         .name(format!("approxiot-edge-{l}-{j}"))
                         .spawn(move || {
                             if deterministic {
-                                edge_node_replay(consumer, &producer, node, &params, limiter);
+                                edge_node_replay(
+                                    consumer,
+                                    &producer,
+                                    node,
+                                    &params,
+                                    limiter,
+                                    &mut injector,
+                                );
                             } else {
-                                edge_node_loop(consumer, &producer, node, params, limiter, epoch);
+                                edge_node_loop(
+                                    consumer,
+                                    &producer,
+                                    node,
+                                    params,
+                                    limiter,
+                                    epoch,
+                                    &mut injector,
+                                );
+                            }
+                            if let Some(injector) = &injector {
+                                faults_out
+                                    .lock()
+                                    .expect("fault cell mutex never poisoned")
+                                    .merge(injector.stats());
                             }
                             bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
                             if left.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -452,6 +510,8 @@ impl PipelineEngine {
             window: topology.window(),
             queries,
             seed: topology.root_seed(),
+            delivery_factor: topology.delivery_factor(),
+            allowed_lateness: topology.allowed_lateness(),
         })?;
         let root_consumer =
             Consumer::subscribe_all(Arc::clone(&feeds[n_layers]), StartOffset::Earliest);
@@ -485,12 +545,25 @@ impl PipelineEngine {
         let source_limiters = (0..topology.sources())
             .map(|_| make_limiter(topology.layer_link(0).capacity_bytes_per_sec))
             .collect();
+        let source_injectors = (0..topology.sources())
+            .map(|s| {
+                FaultInjector::new(
+                    topology.hop_impairment(0),
+                    topology.hop_impairment_seed(0, s),
+                )
+            })
+            .collect();
+        let scheme = TumblingWindow::new(topology.window());
         Ok(PipelineEngine {
             topology,
             options,
             epoch,
             producer,
             source_limiters,
+            source_injectors,
+            fault_cells,
+            window_items: BTreeMap::new(),
+            scheme,
             bytes,
             latencies,
             result_rx,
@@ -509,11 +582,39 @@ impl PipelineEngine {
         &self.topology
     }
 
+    /// Sends one source frame through its hop-0 injector (if any): the
+    /// limiter and the wire are only charged for frames that survive, and
+    /// wall-mode jitter is added to the send timestamp so the consumer
+    /// side holds the frame longer.
     fn send_source(&mut self, partition: u32, batch: &Batch, ts: u64) -> Result<(), EngineError> {
-        if let Some(l) = &self.source_limiters[partition as usize] {
-            l.acquire(encoded_len(batch) as u64);
-        }
-        if self.producer.send_to(partition, batch, ts).is_err() {
+        let limiter = &self.source_limiters[partition as usize];
+        let producer = &self.producer;
+        // In replay mode `ts` is the interval key: the jitter draw still
+        // happens (stream alignment with the sim engine) but must never
+        // perturb the key.
+        let wall = !self.options.deterministic;
+        let sent = match self.source_injectors[partition as usize].as_mut() {
+            Some(injector) => {
+                injector.transmit(std::slice::from_ref(batch), &mut |frame, extra| {
+                    if let Some(l) = limiter {
+                        l.acquire(encoded_len(frame) as u64);
+                    }
+                    let stamp = if wall {
+                        ts.saturating_add(extra.as_nanos() as u64)
+                    } else {
+                        ts
+                    };
+                    producer.send_to(partition, frame, stamp).is_ok()
+                })
+            }
+            None => {
+                if let Some(l) = limiter {
+                    l.acquire(encoded_len(batch) as u64);
+                }
+                producer.send_to(partition, batch, ts).is_ok()
+            }
+        };
+        if !sent {
             self.closed = true;
             return Err(EngineError::Closed);
         }
@@ -524,6 +625,13 @@ impl PipelineEngine {
         let mut new = Vec::new();
         while let Ok(result) = self.result_rx.try_recv() {
             new.push(result);
+        }
+        if self.topology.has_impairment() {
+            fill_completeness(
+                &mut new,
+                &self.window_items,
+                self.topology.delivery_factor(),
+            );
         }
         self.results.extend(new.iter().cloned());
         new
@@ -545,15 +653,33 @@ impl Engine for PipelineEngine {
         }
         let key = self.intervals_pushed;
         self.intervals_pushed += 1;
+        // Per-window true counts feed each result's completeness fraction;
+        // on a perfect network completeness is 1.0 by definition, so skip
+        // the bookkeeping entirely.
+        let impaired = self.topology.has_impairment();
         for (s, batch) in interval.iter().enumerate() {
             self.source_items += batch.len() as u64;
             if self.options.deterministic {
+                if impaired {
+                    for item in &batch.items {
+                        *self
+                            .window_items
+                            .entry(self.scheme.index_of(item.source_ts))
+                            .or_insert(0) += 1;
+                    }
+                }
                 // Preserve event time; key records by interval so replay
                 // can reconstruct the canonical order.
                 self.send_source(s as u32, batch, key)?;
             } else {
                 // Re-stamp with wall send time for true end-to-end latency.
                 let ts = self.epoch.elapsed().as_nanos() as u64;
+                if impaired {
+                    *self
+                        .window_items
+                        .entry(self.scheme.index_of(ts))
+                        .or_insert(0) += batch.len() as u64;
+                }
                 let mut stamped = std::mem::take(&mut self.stamp_scratch);
                 stamped.clone_from(batch);
                 for item in &mut stamped.items {
@@ -587,6 +713,15 @@ impl Engine for PipelineEngine {
             .try_recv()
             .unwrap_or_else(|_| self.epoch.elapsed());
         self.bytes[0].fetch_add(self.producer.bytes_sent(), Ordering::Relaxed);
+        // Hop 0's injectors live on the driver; the edge hops' counters
+        // were merged into the cells as their threads exited.
+        let mut faults = HopFaults::new(self.fault_cells.len());
+        for injector in self.source_injectors.iter().flatten() {
+            faults.record(0, injector.stats());
+        }
+        for (hop, cell) in self.fault_cells.iter().enumerate() {
+            faults.record(hop, &cell.lock().expect("fault cell mutex never poisoned"));
+        }
         let mut results = std::mem::take(&mut self.results);
         results.sort_by_key(|r| r.window);
         let latency_samples =
@@ -599,6 +734,7 @@ impl Engine for PipelineEngine {
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect::<Vec<_>>()
                 .into(),
+            faults,
             source_items: self.source_items,
             elapsed,
             throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -648,10 +784,15 @@ struct EdgeParams {
 
 /// The per-edge-node wall-clock loop.
 ///
-/// Steady-state allocation-free (see the module docs): records poll into
-/// a reused buffer, frames decode into pooled batches, and every batch —
-/// the decoded input and each forwarded output — returns to the node's
-/// [`BatchPool`] after the producer's reused scratch has encoded it.
+/// Steady-state allocation-free (see the module docs) **when the outgoing
+/// hop is unimpaired**: records poll into a reused buffer, frames decode
+/// into pooled batches, and every batch — the decoded input and each
+/// forwarded output — returns to the node's [`BatchPool`] after the
+/// producer's reused scratch has encoded it. With an injector present the
+/// node's outputs route through it instead: dropped frames never touch the
+/// limiter or the wire, duplicated frames are sent twice, and jitter is
+/// added to the send timestamp (the consumer side holds the frame for
+/// `send + delay + jitter`).
 fn edge_node_loop(
     mut consumer: Consumer,
     producer: &BatchProducer,
@@ -659,6 +800,7 @@ fn edge_node_loop(
     params: EdgeParams,
     limiter: Option<RateLimiter>,
     epoch: Instant,
+    injector: &mut Option<FaultInjector>,
 ) {
     // Sized to cover a window's held backlog in buffered (WHS) mode, not
     // just one poll's worth; beyond this a burst falls back to fresh
@@ -667,21 +809,40 @@ fn edge_node_loop(
     let mut records: Vec<Record> = Vec::new();
     let mut held: Vec<Batch> = Vec::new();
     let mut last_flush = epoch.elapsed();
-    let send = |out: &Batch| {
+    let send = |out: &Batch, extra: Duration| {
         if out.is_empty() {
             return true;
         }
         if let Some(l) = &limiter {
             l.acquire(encoded_len(out) as u64);
         }
-        let ts = epoch.elapsed().as_nanos() as u64;
+        let ts = (epoch.elapsed().as_nanos() as u64).saturating_add(extra.as_nanos() as u64);
         producer.send_to(params.out_partition, out, ts).is_ok()
     };
-    let forward = |node: &mut SamplingNode, pool: &mut BatchPool, mut batch: Batch| {
+    let forward = |node: &mut SamplingNode,
+                   pool: &mut BatchPool,
+                   injector: &mut Option<FaultInjector>,
+                   mut batch: Batch| {
+        if let Some(injector) = injector {
+            // Fault-injected path: the outputs of this one input frame are
+            // one transmission burst.
+            let mut outs = if params.sharded {
+                node.process_batch_parallel(&batch)
+            } else {
+                vec![node.process_batch_mut(&mut batch)]
+            };
+            outs.retain(|out| !out.is_empty());
+            let ok = injector.transmit(&outs, &mut |out, extra| send(out, extra));
+            for out in outs {
+                pool.put(out);
+            }
+            pool.put(batch);
+            return ok;
+        }
         if params.sharded {
             let mut ok = true;
             for out in node.process_batch_parallel(&batch) {
-                ok = ok && send(&out);
+                ok = ok && send(&out, Duration::ZERO);
                 pool.put(out);
             }
             pool.put(batch);
@@ -690,7 +851,7 @@ fn edge_node_loop(
             // Native nodes move the input into the output here, so even
             // the unsampled baseline forwards without copying items.
             let out = node.process_batch_mut(&mut batch);
-            let ok = send(&out);
+            let ok = send(&out, Duration::ZERO);
             // The pool pops LIFO, so put the larger storage last: native
             // moved the input's allocation into `out` (leaving `batch` a
             // husk), while WHS/SRS leave the big decoded input in `batch`
@@ -716,14 +877,14 @@ fn edge_node_loop(
                     wait_until(epoch, record.timestamp, params.hop_delay);
                     if params.buffered {
                         held.push(batch);
-                    } else if !forward(&mut node, &mut pool, batch) {
+                    } else if !forward(&mut node, &mut pool, injector, batch) {
                         return;
                     }
                 }
             }
             Err(MqError::Closed) => {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &mut pool, batch) {
+                    if !forward(&mut node, &mut pool, injector, batch) {
                         return;
                     }
                 }
@@ -735,7 +896,7 @@ fn edge_node_loop(
             let now = epoch.elapsed();
             if now.saturating_sub(last_flush) >= params.window {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &mut pool, batch) {
+                    if !forward(&mut node, &mut pool, injector, batch) {
                         return;
                     }
                 }
@@ -750,33 +911,46 @@ fn edge_node_loop(
 /// order — `(timestamp, partition, offset)` on the wire, since records are
 /// keyed by interval and each partition has a single producer. Outputs
 /// inherit their input's interval key so the next layer can do the same.
+///
+/// Fault injection composes with replay: the injector sees the same
+/// canonical burst sequence the sim engine produces for this sender, so
+/// every frame meets the same fate. Jitter draws happen but never touch
+/// the interval key (replay has no wall time to perturb).
 fn edge_node_replay(
     mut consumer: Consumer,
     producer: &BatchProducer,
     mut node: SamplingNode,
     params: &EdgeParams,
     limiter: Option<RateLimiter>,
+    injector: &mut Option<FaultInjector>,
 ) {
     let Some(mut held) = collect_until_closed(&mut consumer) else {
         return;
     };
     held.sort_by_key(|(key, _)| *key);
     for (key, mut batch) in held {
-        let outs = if params.sharded {
+        let mut outs = if params.sharded {
             node.process_batch_parallel(&batch)
         } else {
             vec![node.process_batch_mut(&mut batch)]
         };
-        for out in outs {
-            if out.is_empty() {
-                continue;
-            }
-            if let Some(l) = &limiter {
-                l.acquire(encoded_len(&out) as u64);
-            }
-            if producer.send_to(params.out_partition, &out, key.0).is_err() {
-                return;
-            }
+        outs.retain(|out| !out.is_empty());
+        let sent = match injector {
+            Some(injector) => injector.transmit(&outs, &mut |out, _| {
+                if let Some(l) = &limiter {
+                    l.acquire(encoded_len(out) as u64);
+                }
+                producer.send_to(params.out_partition, out, key.0).is_ok()
+            }),
+            None => outs.iter().all(|out| {
+                if let Some(l) = &limiter {
+                    l.acquire(encoded_len(out) as u64);
+                }
+                producer.send_to(params.out_partition, out, key.0).is_ok()
+            }),
+        };
+        if !sent {
+            return;
         }
     }
 }

@@ -31,6 +31,16 @@ pub struct WindowResult {
     pub sampled_items: usize,
     /// Reconstructed original item count for the window (Equation 8).
     pub count_hat: f64,
+    /// Estimated fraction of the window's source items whose contribution
+    /// survived in-flight loss, in `[0, 1]`. Exactly `1.0` on an
+    /// unimpaired topology; under fault injection the engine fills it in
+    /// from the delivered (pre-rescale) count against the true pushed
+    /// count.
+    pub completeness: f64,
+    /// Items the root rejected for arriving past the allowed-lateness
+    /// horizon since the previous result was emitted (the window they
+    /// targeted had already been answered).
+    pub dropped_late: u64,
 }
 
 impl WindowResult {
@@ -57,11 +67,21 @@ pub struct RootConfig {
     pub queries: QuerySet,
     /// RNG seed for the root's sampler.
     pub seed: u64,
+    /// Expected delivered copies per source item under the topology's
+    /// fault injection ([`crate::Topology::delivery_factor`]). The root
+    /// divides every stratum weight by this factor (Horvitz–Thompson
+    /// under uniform random loss) so SUM/COUNT stay unbiased; `1.0` — the
+    /// unimpaired value — changes nothing.
+    pub delivery_factor: f64,
+    /// How long each window keeps accepting jitter-delayed arrivals past
+    /// its end; later stragglers are dropped and counted in
+    /// [`WindowResult::dropped_late`].
+    pub allowed_lateness: Duration,
 }
 
 impl RootConfig {
     /// A root for an ApproxIoT pipeline with the given per-layer and
-    /// overall fractions.
+    /// overall fractions, on a perfect (unimpaired) network.
     pub fn approxiot(fraction: f64, overall_fraction: f64, window: Duration) -> Self {
         RootConfig {
             strategy: Strategy::whs(),
@@ -70,6 +90,8 @@ impl RootConfig {
             window,
             queries: QuerySet::default(),
             seed: 0xB07,
+            delivery_factor: 1.0,
+            allowed_lateness: Duration::ZERO,
         }
     }
 }
@@ -92,6 +114,8 @@ impl RootConfig {
 ///     window: Duration::from_secs(1),
 ///     queries: QuerySet::single(Query::Sum),
 ///     seed: 1,
+///     delivery_factor: 1.0,
+///     allowed_lateness: Duration::ZERO,
 /// })?;
 /// root.ingest(&Batch::from_items(vec![StreamItem::with_meta(StratumId::new(0), 5.0, 0, 10)]));
 /// let results = root.advance_watermark(2_000_000_000);
@@ -106,8 +130,17 @@ pub struct RootNode {
     /// The first scalar query (drives the result's primary `estimate`).
     primary: Query,
     strategy: Strategy,
-    /// Horvitz–Thompson scale for SRS reconstruction.
+    /// Horvitz–Thompson scale for SRS reconstruction (already divided by
+    /// the delivery factor).
     srs_scale: f64,
+    /// `1 / delivery_factor`: the loss correction applied to every
+    /// stratum weight filed into `Θ`. Exactly `1.0` when the topology is
+    /// unimpaired, in which case no weight is touched.
+    loss_scale: f64,
+    /// Items dropped for arriving past the allowed-lateness horizon.
+    dropped_late: u64,
+    /// `dropped_late` already attributed to an emitted result.
+    dropped_late_reported: u64,
     emitted: u64,
 }
 
@@ -118,16 +151,30 @@ impl RootNode {
     ///
     /// Returns [`approxiot_core::BudgetError`] for fractions outside
     /// `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `delivery_factor` is finite and positive (loss is
+    /// clamped below 1, so every real topology satisfies this).
     pub fn new(config: RootConfig) -> Result<Self, approxiot_core::BudgetError> {
         // Validate the overall fraction through the same gate.
         approxiot_core::SamplingBudget::new(config.overall_fraction)?;
+        assert!(
+            config.delivery_factor.is_finite() && config.delivery_factor > 0.0,
+            "delivery factor must be finite and positive, got {}",
+            config.delivery_factor
+        );
         Ok(RootNode {
             sampler: SamplingNode::new(config.strategy, config.fraction, config.seed)?,
-            buffer: WindowBuffer::new(TumblingWindow::new(config.window)),
+            buffer: WindowBuffer::new(TumblingWindow::new(config.window))
+                .with_allowed_lateness(config.allowed_lateness),
             primary: config.queries.primary(),
             queries: config.queries,
             strategy: config.strategy,
-            srs_scale: 1.0 / config.overall_fraction,
+            srs_scale: 1.0 / (config.overall_fraction * config.delivery_factor),
+            loss_scale: 1.0 / config.delivery_factor,
+            dropped_late: 0,
+            dropped_late_reported: 0,
             emitted: 0,
         })
     }
@@ -170,7 +217,8 @@ impl RootNode {
     /// case — edge nodes forward at window granularity) moves its item
     /// vector and weight map straight into the store, no per-item copies
     /// and no weight-map clone. Only batches genuinely straddling a window
-    /// boundary take the splitting path.
+    /// boundary take the splitting path. Items targeting a window that
+    /// already closed (past the allowed lateness) are dropped and counted.
     fn ingest_sampled(&mut self, sampled: Batch) {
         if sampled.is_empty() {
             return;
@@ -182,6 +230,10 @@ impl RootNode {
             .iter()
             .all(|i| scheme.index_of(i.source_ts) == first_window)
         {
+            if !self.buffer.accepts(sampled.items[0].source_ts) {
+                self.dropped_late += sampled.items.len() as u64;
+                return;
+            }
             let Batch { weights, items } = sampled;
             let weights = self.effective_weights_owned(weights, &items);
             self.buffer.insert(
@@ -204,6 +256,10 @@ impl RootNode {
                 .push(*item);
         }
         for (window, items) in per_window {
+            if !self.buffer.accepts(scheme.start_of(window)) {
+                self.dropped_late += items.len() as u64;
+                continue;
+            }
             let weights = self.effective_weights(&sampled.weights, &items);
             self.buffer.insert(
                 scheme.start_of(window),
@@ -217,10 +273,14 @@ impl RootNode {
 
     /// Builds the weight map `Θ` should record for `items`:
     /// WHS keeps the sampled weights; SRS substitutes the Horvitz–Thompson
-    /// scale; native forces weight 1 (exact).
+    /// scale; native forces weight 1 (exact). On an impaired topology,
+    /// every weight is additionally divided by the delivery factor so
+    /// randomly lost contributions are extrapolated back in
+    /// (Horvitz–Thompson under uniform loss).
     ///
     /// The owned variant is the single-window fast path — the WHS arm
-    /// passes the sampled map through without cloning it. The borrowed
+    /// passes the sampled map through without cloning it (and without
+    /// touching it at all when the network is perfect). The borrowed
     /// variant serves the window-splitting path, where each split needs
     /// its own copy.
     fn effective_weights_owned(
@@ -229,15 +289,27 @@ impl RootNode {
         items: &[approxiot_core::StreamItem],
     ) -> WeightMap {
         match self.strategy {
-            Strategy::Whs { .. } => sampled,
+            Strategy::Whs { .. } => self.scale_for_loss(sampled, items),
             Strategy::Srs => {
                 let mut w = WeightMap::new();
                 for item in items {
-                    w.set(item.stratum, self.srs_scale.max(1.0));
+                    w.set(item.stratum, self.srs_scale);
                 }
                 w
             }
-            Strategy::Native => WeightMap::new(),
+            Strategy::Native => {
+                if self.loss_scale == 1.0 {
+                    WeightMap::new()
+                } else {
+                    // Exact execution still loses frames in flight: give
+                    // every delivered item the loss correction.
+                    let mut w = WeightMap::new();
+                    for item in items {
+                        w.set(item.stratum, self.loss_scale);
+                    }
+                    w
+                }
+            }
         }
     }
 
@@ -247,9 +319,29 @@ impl RootNode {
         items: &[approxiot_core::StreamItem],
     ) -> WeightMap {
         match self.strategy {
-            Strategy::Whs { .. } => sampled.clone(),
+            Strategy::Whs { .. } => self.scale_for_loss(sampled.clone(), items),
             _ => self.effective_weights_owned(WeightMap::new(), items),
         }
+    }
+
+    /// Divides the sampled weight of every stratum present in `items` by
+    /// the delivery factor. Strata without an explicit entry (implicit
+    /// weight 1) get one, so the correction reaches unsampled strata too.
+    /// A no-op returning the map untouched on a perfect network.
+    fn scale_for_loss(
+        &self,
+        mut weights: WeightMap,
+        items: &[approxiot_core::StreamItem],
+    ) -> WeightMap {
+        if self.loss_scale == 1.0 {
+            return weights;
+        }
+        let strata: std::collections::BTreeSet<StratumId> =
+            items.iter().map(|i| i.stratum).collect();
+        for stratum in strata {
+            weights.set(stratum, weights.get(stratum) * self.loss_scale);
+        }
+        weights
     }
 
     /// Advances the event-time watermark, closing and answering every
@@ -292,6 +384,10 @@ impl RootNode {
             .unwrap_or_else(|| self.primary.run_per_stratum(&theta));
         self.emitted += 1;
         let scheme = self.buffer.scheme();
+        // Late drops are attributed to the result emitted after they
+        // happened (their own window is already gone by definition).
+        let dropped_late = self.dropped_late - self.dropped_late_reported;
+        self.dropped_late_reported = self.dropped_late;
         WindowResult {
             window,
             start_nanos: scheme.start_of(window),
@@ -301,12 +397,19 @@ impl RootNode {
             queries,
             sampled_items: theta.sampled_items(),
             count_hat: theta.count_estimate(),
+            completeness: 1.0,
+            dropped_late,
         }
     }
 
     /// Number of window results emitted so far.
     pub fn windows_emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Total items dropped for arriving past the allowed-lateness horizon.
+    pub fn dropped_late(&self) -> u64 {
+        self.dropped_late
     }
 
     /// Items received (pre-sampling) by the root.
@@ -330,6 +433,8 @@ mod tests {
             window: Duration::from_secs(1),
             queries: QuerySet::single(Query::Sum),
             seed: 7,
+            delivery_factor: 1.0,
+            allowed_lateness: Duration::ZERO,
         }
     }
 
@@ -474,6 +579,92 @@ mod tests {
     #[test]
     fn rejects_invalid_overall_fraction() {
         assert!(RootNode::new(cfg(Strategy::Srs, 0.5, 0.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery factor must be finite")]
+    fn rejects_non_positive_delivery_factor() {
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.delivery_factor = 0.0;
+        let _ = RootNode::new(config);
+    }
+
+    #[test]
+    fn loss_rescale_extrapolates_lost_contributions() {
+        // Half the frames were lost in flight (delivery factor 0.5): the
+        // surviving half, rescaled, still reconstructs the full total.
+        for strategy in [Strategy::whs(), Strategy::Srs, Strategy::Native] {
+            let mut config = cfg(strategy, 1.0, 1.0);
+            config.delivery_factor = 0.5;
+            let mut root = RootNode::new(config).expect("valid");
+            // 10 of 20 original items actually arrive.
+            root.ingest(&items(0, 10, 2.0, 100));
+            let results = root.advance_watermark(SEC);
+            assert_eq!(
+                results[0].estimate.value,
+                40.0,
+                "{} under 50% loss",
+                strategy.label()
+            );
+            assert_eq!(results[0].count_hat, 20.0);
+        }
+    }
+
+    #[test]
+    fn loss_rescale_keeps_mean_invariant() {
+        // MEAN is a ratio: the uniform weight rescale must cancel out.
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.delivery_factor = 0.8;
+        config.queries = QuerySet::single(Query::Mean);
+        let mut root = RootNode::new(config).expect("valid");
+        root.ingest(&items(0, 8, 5.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert!((results[0].estimate.value - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_duplication_rescales_weights_below_one() {
+        // Delivery factor above 1 (duplication dominates): delivered items
+        // are over-represented and must be scaled *down*.
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.delivery_factor = 2.0;
+        let mut root = RootNode::new(config).expect("valid");
+        // Every item delivered twice: 5 originals arrive as 10 copies.
+        root.ingest(&items(0, 10, 3.0, 100));
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results[0].estimate.value, 15.0);
+        assert_eq!(results[0].count_hat, 5.0);
+    }
+
+    #[test]
+    fn late_arrivals_are_dropped_and_attributed() {
+        let mut root = RootNode::new(cfg(Strategy::whs(), 1.0, 1.0)).expect("valid");
+        root.ingest(&items(0, 4, 1.0, 100));
+        let first = root.advance_watermark(SEC);
+        assert_eq!(first[0].dropped_late, 0);
+        // Window 0 is answered; a straggler for it must not resurrect it.
+        root.ingest(&items(0, 3, 1.0, 200));
+        root.ingest(&items(0, 2, 1.0, SEC + 100));
+        assert_eq!(root.dropped_late(), 3);
+        let rest = root.flush();
+        assert_eq!(rest.len(), 1, "no duplicate window 0 result");
+        assert_eq!(rest[0].window, 1);
+        assert_eq!(rest[0].dropped_late, 3, "attributed to the next result");
+    }
+
+    #[test]
+    fn allowed_lateness_admits_stragglers() {
+        let mut config = cfg(Strategy::whs(), 1.0, 1.0);
+        config.allowed_lateness = Duration::from_millis(500);
+        let mut root = RootNode::new(config).expect("valid");
+        root.ingest(&items(0, 4, 1.0, 100));
+        // Watermark inside the lateness horizon: window 0 stays open.
+        assert!(root.advance_watermark(SEC + 400_000_000).is_empty());
+        root.ingest(&items(0, 1, 1.0, 200));
+        assert_eq!(root.dropped_late(), 0);
+        let results = root.advance_watermark(SEC + 500_000_000);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].estimate.value, 5.0, "straggler included");
     }
 
     #[test]

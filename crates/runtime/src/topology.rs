@@ -34,6 +34,7 @@
 
 use crate::node::Strategy;
 use approxiot_core::{BudgetError, SamplingBudget};
+use approxiot_net::ImpairmentSpec;
 use std::time::Duration;
 
 /// How the end-to-end sampling fraction is divided across the sampling
@@ -91,13 +92,17 @@ impl FractionSplit {
 
 /// One WAN hop: the link feeding a layer (or the root) from the layer
 /// below it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// One-way propagation delay.
     pub delay: Duration,
     /// Uplink capacity in bytes/second charged per *sending* node
     /// (`None` = unlimited).
     pub capacity_bytes_per_sec: Option<u64>,
+    /// Deterministic fault injection on this hop (loss, jitter,
+    /// duplication, bounded reorder). [`ImpairmentSpec::none`] — the
+    /// default — leaves the hop perfect and changes nothing.
+    pub impairment: ImpairmentSpec,
 }
 
 impl Default for LinkSpec {
@@ -105,6 +110,7 @@ impl Default for LinkSpec {
         LinkSpec {
             delay: Duration::ZERO,
             capacity_bytes_per_sec: None,
+            impairment: ImpairmentSpec::none(),
         }
     }
 }
@@ -156,6 +162,13 @@ impl LayerSpec {
     /// feeding this layer.
     pub fn capacity(mut self, bytes_per_sec: u64) -> Self {
         self.link.capacity_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// Fault injection (loss/jitter/duplication/reorder) on the link
+    /// feeding this layer.
+    pub fn impairment(mut self, impairment: ImpairmentSpec) -> Self {
+        self.link.impairment = impairment;
         self
     }
 }
@@ -225,6 +238,7 @@ pub struct Topology {
     overall_fraction: f64,
     split: FractionSplit,
     window: Duration,
+    allowed_lateness: Duration,
     sources: usize,
     seed: u64,
 }
@@ -341,6 +355,53 @@ impl Topology {
         (0..self.hops()).map(|h| self.hop_link(h).delay).sum()
     }
 
+    /// How long the root keeps each window open past its end for
+    /// jitter-delayed arrivals (wall-clock engine only; virtual time has
+    /// no late arrivals).
+    pub fn allowed_lateness(&self) -> Duration {
+        self.allowed_lateness
+    }
+
+    /// The fault-injection spec of hop `hop` (`0..hops()`, root hop last).
+    pub fn hop_impairment(&self, hop: usize) -> ImpairmentSpec {
+        self.hop_link(hop).impairment
+    }
+
+    /// Returns `true` when any hop carries a non-trivial impairment spec.
+    pub fn has_impairment(&self) -> bool {
+        (0..self.hops()).any(|h| !self.hop_impairment(h).is_noop())
+    }
+
+    /// Expected delivered copies per source item across every hop:
+    /// `Π_h (1 − loss_h) · (1 + duplicate_h)`. Every frame crosses each
+    /// hop independently, so an item's end-to-end survival compounds per
+    /// hop regardless of how sampling re-frames it. The root divides its
+    /// stratum weights by this factor (Horvitz–Thompson under uniform
+    /// random loss), keeping SUM/COUNT unbiased; exactly `1.0` when no
+    /// hop is impaired.
+    pub fn delivery_factor(&self) -> f64 {
+        (0..self.hops())
+            .map(|h| self.hop_impairment(h).delivery_factor())
+            .product()
+    }
+
+    /// The deterministic impairment-stream seed of sender `sender` on hop
+    /// `hop` (source index for hop 0, the sending node's index after
+    /// that).
+    ///
+    /// Like [`Topology::node_seed`], both engines derive the per-sender
+    /// fault streams through this one function — and the downstream
+    /// [`approxiot_net::Impairment`] mixes the result through splitmix64 —
+    /// so a fixed-seed impaired run drops, duplicates and reorders the
+    /// same frames on either engine. The multiplier differs from
+    /// `node_seed`'s so fault streams never collide with sampler seeds.
+    pub fn hop_impairment_seed(&self, hop: usize, sender: usize) -> u64 {
+        self.seed
+            ^ (0xC2B2_AE3D_27D4_EB4Fu64
+                .wrapping_mul(hop as u64 + 1)
+                .wrapping_add(sender as u64))
+    }
+
     /// The deterministic RNG seed of node `index` in edge layer `layer`.
     ///
     /// Both engines derive per-node seeds through this single function, so
@@ -379,6 +440,8 @@ pub struct TopologyBuilder {
     overall_fraction: f64,
     split: FractionSplit,
     window: Duration,
+    allowed_lateness: Duration,
+    impair_all: Option<ImpairmentSpec>,
     sources: usize,
     seed: u64,
 }
@@ -393,6 +456,8 @@ impl Default for TopologyBuilder {
             overall_fraction: 1.0,
             split: FractionSplit::Even,
             window: Duration::from_secs(1),
+            allowed_lateness: Duration::ZERO,
+            impair_all: None,
             sources: 1,
             seed: 0,
         }
@@ -421,6 +486,26 @@ impl TopologyBuilder {
     /// Sets the root link's one-way delay.
     pub fn root_delay(mut self, delay: Duration) -> Self {
         self.root_link.delay = delay;
+        self
+    }
+
+    /// Sets fault injection on the link feeding the root.
+    pub fn root_impairment(mut self, impairment: ImpairmentSpec) -> Self {
+        self.root_link.impairment = impairment;
+        self
+    }
+
+    /// Applies `impairment` to **every** hop that has no explicit spec of
+    /// its own — the one-liner for uniform chaos sweeps.
+    pub fn impair_all_hops(mut self, impairment: ImpairmentSpec) -> Self {
+        self.impair_all = Some(impairment);
+        self
+    }
+
+    /// Keeps each root window open for `lateness` past its end so
+    /// jitter-delayed arrivals still count (wall-clock engine).
+    pub fn allowed_lateness(mut self, lateness: Duration) -> Self {
+        self.allowed_lateness = lateness;
         self
     }
 
@@ -484,14 +569,27 @@ impl TopologyBuilder {
             assert!(layer.workers > 0, "edge layer {i} workers must be positive");
         }
         SamplingBudget::new(self.overall_fraction)?;
+        let mut layers = self.layers;
+        let mut root_link = self.root_link;
+        if let Some(spec) = self.impair_all {
+            for layer in &mut layers {
+                if layer.link.impairment.is_noop() {
+                    layer.link.impairment = spec;
+                }
+            }
+            if root_link.impairment.is_noop() {
+                root_link.impairment = spec;
+            }
+        }
         Ok(Topology {
-            layers: self.layers,
-            root_link: self.root_link,
+            layers,
+            root_link,
             strategy: self.strategy,
             root_strategy: self.root_strategy,
             overall_fraction: self.overall_fraction,
             split: self.split,
             window: self.window,
+            allowed_lateness: self.allowed_lateness,
             sources: self.sources,
             seed: self.seed,
         })
@@ -607,6 +705,80 @@ mod tests {
         assert_eq!(bytes.sampled_wire_bytes(), 417);
         assert_eq!(bytes.total(), 1417);
         assert_eq!(bytes.hops(), &[1000, 300, 90, 27]);
+    }
+
+    #[test]
+    fn impairment_rides_on_hops_and_compounds_delivery() {
+        let chaos = ImpairmentSpec::none().loss(0.1);
+        let dup = ImpairmentSpec::none().duplicate(0.5);
+        let t = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2).impairment(chaos))
+            .layer(LayerSpec::new(1))
+            .root_impairment(dup)
+            .build()
+            .expect("valid");
+        assert!(t.has_impairment());
+        assert_eq!(t.hop_impairment(0), chaos);
+        assert!(t.hop_impairment(1).is_noop());
+        assert_eq!(t.hop_impairment(2), dup);
+        assert!((t.delivery_factor() - 0.9 * 1.5).abs() < 1e-12);
+        // An unimpaired topology reports a clean factor of exactly 1.
+        let clean = Topology::paper(0.2, 1.0);
+        assert!(!clean.has_impairment());
+        assert_eq!(clean.delivery_factor(), 1.0);
+    }
+
+    #[test]
+    fn impair_all_hops_respects_explicit_specs() {
+        let uniform = ImpairmentSpec::none().loss(0.05);
+        let own = ImpairmentSpec::none().loss(0.2);
+        let t = Topology::builder()
+            .sources(2)
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1).impairment(own))
+            .impair_all_hops(uniform)
+            .build()
+            .expect("valid");
+        assert_eq!(t.hop_impairment(0), uniform);
+        assert_eq!(t.hop_impairment(1), own, "explicit spec wins");
+        assert_eq!(t.hop_impairment(2), uniform, "root hop covered too");
+    }
+
+    #[test]
+    fn impairment_seeds_are_distinct_per_hop_sender_and_from_samplers() {
+        let t = Topology::paper(0.5, 0.0);
+        let mut seeds = std::collections::BTreeSet::new();
+        for hop in 0..t.hops() {
+            for sender in 0..8 {
+                seeds.insert(t.hop_impairment_seed(hop, sender));
+            }
+        }
+        let fault_streams = seeds.len();
+        assert_eq!(fault_streams, 3 * 8, "no fault-seed collisions");
+        for layer in 0..2 {
+            for node in 0..4 {
+                seeds.insert(t.node_seed(layer, node));
+            }
+        }
+        seeds.insert(t.root_seed());
+        assert_eq!(
+            seeds.len(),
+            fault_streams + 9,
+            "fault seeds disjoint from sampler seeds"
+        );
+    }
+
+    #[test]
+    fn allowed_lateness_defaults_to_zero() {
+        assert_eq!(Topology::paper(0.2, 1.0).allowed_lateness(), Duration::ZERO);
+        let t = Topology::builder()
+            .sources(1)
+            .layer(LayerSpec::new(1))
+            .allowed_lateness(Duration::from_millis(50))
+            .build()
+            .expect("valid");
+        assert_eq!(t.allowed_lateness(), Duration::from_millis(50));
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl TumblingWindow {
 /// Accumulates values per window and drains windows the watermark has
 /// passed.
 ///
+/// ## Allowed lateness
+///
+/// By default a window closes as soon as the watermark reaches its end,
+/// and a value arriving for an already-drained window is **rejected** (and
+/// counted in [`WindowBuffer::late_rejections`]) rather than silently
+/// re-opening the window — re-opening would emit a second result for the
+/// same window id. [`WindowBuffer::with_allowed_lateness`] relaxes the
+/// policy for jitter-delayed arrivals: a window stays open (and accepts
+/// stragglers) until the watermark passes `end + lateness`.
+///
 /// # Examples
 ///
 /// ```
@@ -83,20 +93,36 @@ impl TumblingWindow {
 /// let closed = buf.drain_closed(1_000_000_000); // watermark at 1 s closes window 0
 /// assert_eq!(closed, vec![(0, vec!["a"])]);
 /// assert_eq!(buf.pending_windows(), 1);
+/// assert!(!buf.insert(500_000_000, "late")); // window 0 already emitted
+/// assert_eq!(buf.late_rejections(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct WindowBuffer<T> {
     scheme: TumblingWindow,
     windows: BTreeMap<WindowId, Vec<T>>,
+    allowed_lateness_nanos: u64,
+    /// High-water of every `drain_closed` watermark seen so far.
+    watermark_nanos: u64,
+    late_rejections: u64,
 }
 
 impl<T> WindowBuffer<T> {
-    /// Creates an empty buffer over `scheme`.
+    /// Creates an empty buffer over `scheme` with zero allowed lateness.
     pub fn new(scheme: TumblingWindow) -> Self {
         WindowBuffer {
             scheme,
             windows: BTreeMap::new(),
+            allowed_lateness_nanos: 0,
+            watermark_nanos: 0,
+            late_rejections: 0,
         }
+    }
+
+    /// Keeps each window open for `lateness` past its end, so arrivals
+    /// delayed in flight (link jitter) still land in their window.
+    pub fn with_allowed_lateness(mut self, lateness: Duration) -> Self {
+        self.allowed_lateness_nanos = lateness.as_nanos() as u64;
+        self
     }
 
     /// The window scheme.
@@ -104,22 +130,56 @@ impl<T> WindowBuffer<T> {
         self.scheme
     }
 
-    /// Files `value` under the window containing `ts_nanos`.
-    pub fn insert(&mut self, ts_nanos: u64, value: T) {
+    /// The configured allowed lateness.
+    pub fn allowed_lateness(&self) -> Duration {
+        Duration::from_nanos(self.allowed_lateness_nanos)
+    }
+
+    /// Returns `true` while the window containing `ts_nanos` still accepts
+    /// values — the watermark has not yet passed its end plus the allowed
+    /// lateness.
+    pub fn accepts(&self, ts_nanos: u64) -> bool {
+        let close_at = self
+            .scheme
+            .end_of(self.scheme.index_of(ts_nanos))
+            .saturating_add(self.allowed_lateness_nanos);
+        close_at > self.watermark_nanos
+    }
+
+    /// Files `value` under the window containing `ts_nanos`. Returns
+    /// `false` (dropping the value and counting a late rejection) when
+    /// that window was already closed by an earlier watermark.
+    pub fn insert(&mut self, ts_nanos: u64, value: T) -> bool {
+        if !self.accepts(ts_nanos) {
+            self.late_rejections += 1;
+            return false;
+        }
         self.windows
             .entry(self.scheme.index_of(ts_nanos))
             .or_default()
             .push(value);
+        true
     }
 
-    /// Removes and returns every window whose end is at or before
-    /// `watermark_nanos`, in window order.
+    /// Number of values rejected for arriving after their window closed.
+    pub fn late_rejections(&self) -> u64 {
+        self.late_rejections
+    }
+
+    /// Removes and returns every window whose end (plus the allowed
+    /// lateness) is at or before `watermark_nanos`, in window order.
     pub fn drain_closed(&mut self, watermark_nanos: u64) -> Vec<(WindowId, Vec<T>)> {
+        self.watermark_nanos = self.watermark_nanos.max(watermark_nanos);
         let closed_ids: Vec<WindowId> = self
             .windows
             .keys()
             .copied()
-            .take_while(|&id| self.scheme.end_of(id) <= watermark_nanos)
+            .take_while(|&id| {
+                self.scheme
+                    .end_of(id)
+                    .saturating_add(self.allowed_lateness_nanos)
+                    <= watermark_nanos
+            })
             .collect();
         closed_ids
             .into_iter()
@@ -221,6 +281,48 @@ mod tests {
         let all = buf.drain_all();
         assert_eq!(all.len(), 2);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn late_inserts_are_rejected_and_counted() {
+        let mut buf = WindowBuffer::new(TumblingWindow::new(Duration::from_secs(1)));
+        assert!(buf.insert(100, "w0"));
+        assert_eq!(buf.drain_closed(SEC).len(), 1);
+        // Window 0 has been emitted; a straggler must not re-open it.
+        assert!(!buf.insert(200, "late"));
+        assert_eq!(buf.late_rejections(), 1);
+        assert!(buf.is_empty(), "rejected value not buffered");
+        assert!(buf.drain_all().is_empty(), "no duplicate window 0 result");
+    }
+
+    #[test]
+    fn allowed_lateness_keeps_windows_open_for_stragglers() {
+        let lateness = Duration::from_millis(300);
+        let mut buf = WindowBuffer::new(TumblingWindow::new(Duration::from_secs(1)))
+            .with_allowed_lateness(lateness);
+        assert_eq!(buf.allowed_lateness(), lateness);
+        buf.insert(100, "on-time");
+        // Watermark inside the lateness horizon: window 0 stays open...
+        assert!(buf.drain_closed(SEC + 200_000_000).is_empty());
+        assert!(buf.accepts(500));
+        assert!(buf.insert(500, "straggler"), "within allowed lateness");
+        // ...and closes (with the straggler) once the horizon passes.
+        let closed = buf.drain_closed(SEC + 300_000_000);
+        assert_eq!(closed, vec![(0, vec!["on-time", "straggler"])]);
+        assert!(!buf.accepts(900), "past end + lateness");
+        assert!(!buf.insert(900, "too-late"));
+        assert_eq!(buf.late_rejections(), 1);
+    }
+
+    #[test]
+    fn watermark_high_water_is_monotonic() {
+        let mut buf = WindowBuffer::new(TumblingWindow::new(Duration::from_secs(1)));
+        buf.drain_closed(3 * SEC);
+        // A regressing watermark must not re-admit closed windows.
+        buf.drain_closed(SEC);
+        assert!(!buf.insert(2 * SEC + 1, "w2"));
+        assert_eq!(buf.late_rejections(), 1);
+        assert!(buf.insert(3 * SEC + 1, "w3"));
     }
 
     #[test]

@@ -146,11 +146,75 @@ pub fn skewed_mix(total_rate: f64, interval: Duration) -> StreamMix {
     mix_of(values, rates, interval)
 }
 
+/// One level of the chaos sweep: a loss rate with its figure label.
+///
+/// The fault-injection experiments run the same workload over increasingly
+/// lossy networks and compare estimate error against the per-window
+/// completeness the root reports. Jitter (as a fraction of the window) and
+/// light duplication ride along so every impairment knob is exercised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosLevel {
+    /// Figure label ("loss 1%", …).
+    pub label: &'static str,
+    /// Per-hop frame loss probability.
+    pub loss: f64,
+    /// Per-hop frame duplication probability.
+    pub duplicate: f64,
+    /// Per-hop jitter bound as a fraction of the computation window.
+    pub jitter_window_fraction: f64,
+}
+
+/// The chaos sweep of the loss-vs-error experiments: a perfect network
+/// (the control — must reproduce the unimpaired run exactly), 1% loss and
+/// 10% loss, each with proportional jitter and light duplication.
+pub fn chaos_levels() -> [ChaosLevel; 3] {
+    [
+        ChaosLevel {
+            label: "loss 0%",
+            loss: 0.0,
+            duplicate: 0.0,
+            jitter_window_fraction: 0.0,
+        },
+        ChaosLevel {
+            label: "loss 1%",
+            loss: 0.01,
+            duplicate: 0.002,
+            jitter_window_fraction: 0.05,
+        },
+        ChaosLevel {
+            label: "loss 10%",
+            loss: 0.10,
+            duplicate: 0.02,
+            jitter_window_fraction: 0.10,
+        },
+    ]
+}
+
+/// The chaos-sweep workload: the Figure 5(a) Gaussian mix — four strata
+/// whose scales span four orders of magnitude, so uncorrected loss shows
+/// up immediately in the SUM estimate.
+pub fn chaos_mix(total_rate: f64, interval: Duration) -> StreamMix {
+    gaussian_mix(total_rate, interval)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn chaos_levels_start_with_the_control() {
+        let levels = chaos_levels();
+        assert_eq!(levels[0].loss, 0.0, "level 0 is the unimpaired control");
+        assert_eq!(levels[0].duplicate, 0.0);
+        assert_eq!(levels[0].jitter_window_fraction, 0.0);
+        assert_eq!(levels[1].loss, 0.01);
+        assert_eq!(levels[2].loss, 0.10);
+        assert!(levels.windows(2).all(|w| w[0].loss < w[1].loss));
+        let mix = chaos_mix(1000.0, Duration::from_secs(1));
+        assert_eq!(mix.strata().len(), 4);
+    }
 
     #[test]
     fn gaussian_mix_has_four_strata() {

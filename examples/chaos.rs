@@ -1,0 +1,126 @@
+//! Chaos sweep: estimate quality vs. network loss, deterministically.
+//!
+//! The same fixed-seed workload runs three times over the paper's
+//! 8 → 4 → 2 → root tree while every WAN hop drops 0%, 1% and 10% of its
+//! frames (with proportional jitter and light duplication). The root's
+//! loss-aware Horvitz–Thompson rescale keeps SUM unbiased, and each
+//! window reports the completeness fraction it actually observed.
+//!
+//! The zero-loss level is the control: it must reproduce the unimpaired
+//! baseline **bit for bit** (the CI chaos smoke step asserts exactly
+//! that — a failure here means the fault-injection layer is not a strict
+//! no-op when disabled).
+//!
+//! Run with: `cargo run --release --example chaos`
+
+use approxiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const WINDOW: Duration = Duration::from_secs(1);
+const INTERVALS: u64 = 8;
+const SEC: u64 = 1_000_000_000;
+
+/// The fixed-seed workload: `INTERVALS` windows of the four-strata chaos
+/// mix, split round-robin over the topology's sources.
+fn intervals(sources: usize) -> (Vec<Vec<Batch>>, f64) {
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    let mut mix = scenarios::chaos_mix(40_000.0, WINDOW);
+    let mut truth = 0.0;
+    let data = (0..INTERVALS)
+        .map(|t| {
+            let mut batch = mix.next_interval(&mut rng);
+            for item in &mut batch.items {
+                item.source_ts = t * SEC + 1 + item.source_ts % (SEC - 1);
+            }
+            truth += batch.value_sum();
+            let mut per_source: Vec<Batch> = (0..sources).map(|_| Batch::new()).collect();
+            for (k, item) in batch.items.into_iter().enumerate() {
+                per_source[k % sources].items.push(item);
+            }
+            per_source
+        })
+        .collect();
+    (data, truth)
+}
+
+fn topology(level: &scenarios::ChaosLevel) -> Topology {
+    let spec = ImpairmentSpec::none()
+        .loss(level.loss)
+        .duplicate(level.duplicate)
+        .jitter(WINDOW.mul_f64(level.jitter_window_fraction));
+    Topology::builder()
+        .sources(8)
+        .layer(LayerSpec::new(4))
+        .layer(LayerSpec::new(2))
+        .impair_all_hops(spec)
+        .strategy(Strategy::whs())
+        .overall_fraction(0.2)
+        .window(WINDOW)
+        .seed(0x10D5)
+        .build()
+        .expect("valid fraction")
+}
+
+fn run(topology: Topology, data: &[Vec<Batch>]) -> RunReport {
+    Driver::new(
+        topology,
+        QuerySet::new().with(QuerySpec::Sum),
+        EngineKind::Sim,
+    )
+    .expect("valid topology")
+    .run(data)
+    .expect("sim run")
+}
+
+fn main() -> ExitCode {
+    let (data, truth) = intervals(8);
+    let baseline = run(
+        Topology::builder()
+            .sources(8)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .strategy(Strategy::whs())
+            .overall_fraction(0.2)
+            .window(WINDOW)
+            .seed(0x10D5)
+            .build()
+            .expect("valid fraction"),
+        &data,
+    );
+
+    println!("chaos sweep: {INTERVALS} windows, paper tree, 20% sampling fraction");
+    println!("level      completeness   est. error   items dropped   dup'd");
+    for level in scenarios::chaos_levels() {
+        let report = run(topology(&level), &data);
+        let est: f64 = report.results.iter().map(|r| r.estimate.value).sum();
+        let completeness = report.results.iter().map(|r| r.completeness).sum::<f64>()
+            / report.results.len() as f64;
+        println!(
+            "{:<10} {:>10.1}%   {:>9.3}%   {:>13}   {:>5}",
+            level.label,
+            100.0 * completeness,
+            100.0 * accuracy_loss(est, truth),
+            report.faults.dropped_items(),
+            report.faults.duplicated_items(),
+        );
+
+        if level.loss == 0.0 {
+            // The control must match the unimpaired baseline bit for bit.
+            let identical = report.results.len() == baseline.results.len()
+                && report.results.iter().zip(&baseline.results).all(|(a, b)| {
+                    a.estimate.value.to_bits() == b.estimate.value.to_bits()
+                        && a.count_hat.to_bits() == b.count_hat.to_bits()
+                        && a.completeness == 1.0
+                });
+            if !identical || !report.faults.is_clean() {
+                eprintln!("FAIL: zero-loss chaos config diverged from the unimpaired baseline");
+                return ExitCode::FAILURE;
+            }
+            println!("           └─ control matches unimpaired baseline bit-for-bit");
+        }
+    }
+    ExitCode::SUCCESS
+}

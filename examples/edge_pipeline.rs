@@ -54,6 +54,7 @@ fn main() -> Result<(), EngineError> {
         .root_link(LinkSpec {
             delay: Duration::from_millis(40),
             capacity_bytes_per_sec: Some(4_000_000),
+            ..LinkSpec::default()
         })
         .strategy(Strategy::whs())
         .overall_fraction(0.20)

@@ -98,13 +98,15 @@ pub mod prelude {
         WhsSampler, WhsScratch,
     };
     pub use approxiot_mq::{BatchProducer, Broker, Consumer, StartOffset};
-    pub use approxiot_net::{bandwidth_saving, Clock, LinkConfig, SimClock, WallClock};
+    pub use approxiot_net::{
+        bandwidth_saving, Clock, Impairment, ImpairmentSpec, LinkConfig, SimClock, WallClock,
+    };
     pub use approxiot_runtime::{
-        run_pipeline, Driver, Engine, EngineError, EngineKind, FeedbackLoop, FractionSplit,
-        HopBytes, LatencyStats, LayerBytes, LayerSpec, LinkSpec, PipelineConfig, PipelineEngine,
-        PipelineOptions, PipelineReport, Query, QueryResults, QuerySet, QuerySpec, QueryValue,
-        RootConfig, RootNode, RunReport, SamplingNode, SimEngine, SimTree, Strategy, Topology,
-        TreeConfig, WindowResult,
+        run_pipeline, Driver, Engine, EngineError, EngineKind, FaultInjector, FaultStats,
+        FeedbackLoop, FractionSplit, HopBytes, HopFaults, LatencyStats, LayerBytes, LayerSpec,
+        LinkSpec, PipelineConfig, PipelineEngine, PipelineOptions, PipelineReport, Query,
+        QueryResults, QuerySet, QuerySpec, QueryValue, RootConfig, RootNode, RunReport,
+        SamplingNode, SimEngine, SimTree, Strategy, Topology, TreeConfig, WindowResult,
     };
     pub use approxiot_streams::{Processor, TumblingWindow, WindowBuffer};
     pub use approxiot_workload::{

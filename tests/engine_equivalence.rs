@@ -186,6 +186,164 @@ fn five_layer_heterogeneous_tree_is_engine_identical() {
 }
 
 #[test]
+fn impaired_topology_stays_engine_identical() {
+    // The acceptance criterion: fixed-seed loss + jitter + duplication +
+    // reorder on the asymmetric tree must leave Sim and Pipeline-replay
+    // bit-identical — every sender's fault stream drops, duplicates and
+    // reorders the same frames on both engines.
+    let chaos = ImpairmentSpec::none()
+        .loss(0.10)
+        .jitter(Duration::from_millis(30))
+        .duplicate(0.05)
+        .reorder(0.20);
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3).impairment(chaos))
+            .layer(LayerSpec::new(2).impairment(chaos))
+            .root_impairment(chaos)
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .build()
+            .expect("valid fraction")
+    };
+    let data = noisy_intervals(4, 5, 300);
+    let sim = Driver::new(build(), multi_queries(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+    // The chaos actually bit: something was dropped, and the per-hop fault
+    // accounting agrees across engines.
+    assert!(sim.faults.dropped_items() > 0, "loss must have fired");
+    assert_eq!(sim.faults, pipeline.faults, "per-hop fault accounting");
+    // Completeness is a real fraction and both engines agree bitwise.
+    for (a, b) in sim.results.iter().zip(&pipeline.results) {
+        assert!((0.0..=1.0).contains(&a.completeness));
+        assert_eq!(a.completeness.to_bits(), b.completeness.to_bits());
+    }
+}
+
+#[test]
+fn impaired_sharded_workers_stay_engine_identical() {
+    // §III-E shard bursts are where bounded reorder actually permutes
+    // frames; the swap must replay identically through the broker.
+    let chaos = ImpairmentSpec::none().loss(0.05).reorder(0.5);
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3).workers(2).impairment(chaos))
+            .layer(LayerSpec::new(2).workers(2).impairment(chaos))
+            .root_impairment(chaos)
+            .overall_fraction(0.2)
+            .window(Duration::from_secs(1))
+            .seed(0x5EED)
+            .build()
+            .expect("valid fraction")
+    };
+    let data = noisy_intervals(3, 5, 400);
+    let sim = Driver::new(build(), multi_queries(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+    assert_eq!(sim.faults, pipeline.faults);
+}
+
+#[test]
+fn zero_impairment_config_changes_nothing() {
+    // A fully wired but all-zero Impairment spec must be a strict no-op:
+    // bit-identical to a topology with no impairment at all, on both
+    // engines.
+    let data = noisy_intervals(3, 5, 200);
+    let zero = ImpairmentSpec::none();
+    let with_zero_spec = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3).impairment(zero))
+            .layer(LayerSpec::new(2).impairment(zero))
+            .root_impairment(zero)
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .build()
+            .expect("valid fraction")
+    };
+    for kind in [EngineKind::Sim, EngineKind::pipeline_deterministic()] {
+        let plain = Driver::new(asymmetric_topology(0.3, 1), multi_queries(), kind.clone())
+            .expect("valid")
+            .run(&data)
+            .expect("plain run");
+        let zeroed = Driver::new(with_zero_spec(), multi_queries(), kind)
+            .expect("valid")
+            .run(&data)
+            .expect("zero-spec run");
+        assert_identical(&plain, &zeroed);
+        assert_eq!(plain.bytes, zeroed.bytes, "byte accounting untouched");
+        assert!(zeroed.faults.is_clean());
+        for result in &zeroed.results {
+            assert_eq!(result.completeness, 1.0);
+            assert_eq!(result.dropped_late, 0);
+        }
+    }
+}
+
+#[test]
+fn wall_clock_pipeline_survives_impairment() {
+    // The wall-clock engine is not bit-reproducible, but under loss its
+    // rescaled count must still land near the truth, with sane
+    // completeness accounting.
+    let chaos = ImpairmentSpec::none()
+        .loss(0.05)
+        .jitter(Duration::from_millis(2));
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3).impairment(chaos))
+            .layer(LayerSpec::new(2).impairment(chaos))
+            .root_impairment(chaos)
+            .overall_fraction(0.5)
+            .window(Duration::from_millis(100))
+            .allowed_lateness(Duration::from_millis(20))
+            .seed(0xBEEF)
+            .build()
+            .expect("valid fraction")
+    };
+    let data = noisy_intervals(4, 5, 200);
+    let report = Driver::new(build(), QuerySet::default(), EngineKind::pipeline())
+        .expect("valid")
+        .run(&data)
+        .expect("wall run");
+    let count: f64 = report.results.iter().map(|r| r.count_hat).sum();
+    // 4000 items, ~85% end-to-end survival, rescaled back to ~4000: a wide
+    // tolerance since frame-level loss on few frames is noisy.
+    assert!(
+        count > 2000.0 && count < 6500.0,
+        "rescaled count way off: {count}"
+    );
+    for result in &report.results {
+        assert!((0.0..=1.0).contains(&result.completeness));
+    }
+}
+
+#[test]
 fn wall_clock_pipeline_runs_the_same_description() {
     // The wall-clock engine is not bit-identical (event time is re-stamped
     // at send), but the same description must run and reconstruct counts.

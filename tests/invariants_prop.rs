@@ -244,3 +244,97 @@ proptest! {
         prop_assert_eq!(outs, run());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault injection invariants over arbitrary loss/duplication/reorder
+    /// configurations: every window's completeness lands in `[0, 1]`, the
+    /// Horvitz–Thompson rescale keeps the count estimate finite and
+    /// non-negative, and the per-hop fault accounting adds up.
+    #[test]
+    fn completeness_is_a_fraction_under_arbitrary_impairment(
+        loss_pct in 0u32..60,
+        dup_pct in 0u32..20,
+        reorder_pct in 0u32..40,
+        seed in 0u64..200,
+    ) {
+        let spec = ImpairmentSpec::none()
+            .loss(loss_pct as f64 / 100.0)
+            .duplicate(dup_pct as f64 / 100.0)
+            .reorder(reorder_pct as f64 / 100.0);
+        let topology = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .impair_all_hops(spec)
+            .overall_fraction(0.5)
+            .seed(seed)
+            .build()
+            .expect("valid fraction");
+        let data: Vec<Vec<Batch>> = (0..3u64)
+            .map(|t| {
+                (0..4u32)
+                    .map(|s| Batch::from_items(
+                        (0..100u64)
+                            .map(|k| StreamItem::with_meta(
+                                StratumId::new(s), 1.0 + (k % 7) as f64, k, t * 1_000_000_000 + 1 + k))
+                            .collect(),
+                    ))
+                    .collect()
+            })
+            .collect();
+        let report = Driver::sim(topology, QuerySet::default())
+            .expect("valid")
+            .run(&data)
+            .expect("sim run");
+        for result in &report.results {
+            prop_assert!((0.0..=1.0).contains(&result.completeness),
+                "completeness {} outside [0,1]", result.completeness);
+            prop_assert!(result.count_hat.is_finite() && result.count_hat >= 0.0);
+        }
+        if spec.is_noop() {
+            prop_assert!(report.faults.is_clean());
+            for result in &report.results {
+                prop_assert_eq!(result.completeness, 1.0);
+            }
+        }
+    }
+
+    /// The zero-impairment control: for any seed, a run with no impairment
+    /// and a run with an explicit all-zero spec produce bit-identical
+    /// estimates — chaos off means *exactly* today's behaviour.
+    #[test]
+    fn zero_loss_reproduces_unimpaired_results(seed in 0u64..300) {
+        let data: Vec<Vec<Batch>> = vec![(0..3u32)
+            .map(|s| Batch::from_items(
+                (0..150u64)
+                    .map(|k| StreamItem::with_meta(StratumId::new(s), (k % 11) as f64 + 0.5, k, 1 + k))
+                    .collect(),
+            ))
+            .collect()];
+        let build = |impaired: bool| {
+            let mut builder = Topology::builder()
+                .sources(3)
+                .layer(LayerSpec::new(2))
+                .layer(LayerSpec::new(1))
+                .overall_fraction(0.4)
+                .seed(seed);
+            if impaired {
+                builder = builder.impair_all_hops(ImpairmentSpec::none());
+            }
+            builder.build().expect("valid fraction")
+        };
+        let plain = Driver::sim(build(false), QuerySet::default())
+            .expect("valid").run(&data).expect("runs");
+        let zeroed = Driver::sim(build(true), QuerySet::default())
+            .expect("valid").run(&data).expect("runs");
+        prop_assert_eq!(plain.results.len(), zeroed.results.len());
+        for (a, b) in plain.results.iter().zip(&zeroed.results) {
+            prop_assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
+            prop_assert_eq!(a.count_hat.to_bits(), b.count_hat.to_bits());
+            prop_assert_eq!(b.completeness, 1.0);
+            prop_assert_eq!(b.dropped_late, 0);
+        }
+    }
+}
