@@ -1,0 +1,210 @@
+//! `approxiot-harness`: run the scenario matrix, print the markdown
+//! summary, optionally write `BENCH_harness.json` and gate against a
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release -p approxiot-bench --bin harness -- [OPTIONS]
+//!
+//!   --out <FILE>        write the schema-versioned results JSON
+//!   --check             compare against --baseline and exit non-zero on drift
+//!   --baseline <FILE>   the committed baseline to gate on (required with --check)
+//!   --quick             smaller fixed workload for smoke runs (3 windows, 4k items/window)
+//!   --intervals <N>     override the window count
+//!   --rate <R>          override items per window
+//!   --seed <S>          override the base seed
+//! ```
+//!
+//! `--out` is written *before* the check runs, so CI can upload the fresh
+//! numbers as an artifact even when the gate fails.
+
+use approxiot_bench::harness::{
+    check, default_matrix, detected_cpus, markdown_summary, run_matrix, HarnessOptions,
+    MatrixReport,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+approxiot-harness: run the scenario matrix, print the markdown summary,
+optionally write BENCH_harness.json and gate against a committed baseline.
+
+USAGE:
+  cargo run --release -p approxiot-bench --bin harness -- [OPTIONS]
+
+OPTIONS:
+  --out <FILE>        write the schema-versioned results JSON
+  --check             compare against --baseline and exit non-zero on drift
+  --baseline <FILE>   the committed baseline to gate on (required with --check)
+  --quick             smaller fixed workload for smoke runs (3 windows, 4k items/window)
+  --intervals <N>     override the window count
+  --rate <R>          override items per window
+  --seed <S>          override the base seed (must fit in 2^53)
+  -h, --help          print this help";
+
+struct Args {
+    out: Option<String>,
+    check_baseline: Option<String>,
+    opts: HarnessOptions,
+}
+
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
+    let mut out = None;
+    let mut baseline = None;
+    let mut do_check = false;
+    let mut quick = false;
+    // Explicit workload overrides, applied on top of the preset at the
+    // end so `--intervals 5 --quick` and `--quick --intervals 5` agree.
+    let mut intervals = None;
+    let mut rate = None;
+    let mut seed = None;
+    let mut args = std::env::args().skip(1);
+    let value_of = |flag: &str, args: &mut dyn Iterator<Item = String>| match args.next() {
+        // A following flag is a missing value, not a value — otherwise
+        // `--out --check ...` would write a file named "--check" and
+        // silently skip the gate.
+        Some(value) if !value.starts_with("--") => Ok(value),
+        _ => Err(format!("{flag} needs a value")),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(value_of("--out", &mut args)?),
+            "--baseline" => baseline = Some(value_of("--baseline", &mut args)?),
+            "--check" => do_check = true,
+            "--quick" => quick = true,
+            "--intervals" => {
+                intervals = Some(
+                    value_of("--intervals", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("--intervals: {e}"))?,
+                );
+            }
+            "--rate" => {
+                rate = Some(
+                    value_of("--rate", &mut args)?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                );
+            }
+            "--seed" => {
+                let parsed: u64 = value_of("--seed", &mut args)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                // The JSON tree stores numbers as f64; a seed past 2^53
+                // would not round-trip and the written baseline could
+                // never pass its own check.
+                if parsed > (1u64 << 53) {
+                    return Err(format!(
+                        "--seed: {parsed} exceeds 2^53 and cannot round-trip through the baseline JSON"
+                    ));
+                }
+                seed = Some(parsed);
+            }
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument '{other}' (run with --help)")),
+        }
+    }
+    if do_check && baseline.is_none() {
+        return Err("--check needs --baseline <FILE>".to_string());
+    }
+    if !do_check && baseline.is_some() {
+        // The inverse slip must not silently skip the gate either.
+        return Err("--baseline without --check would never be compared; add --check".to_string());
+    }
+    let mut opts = if quick {
+        HarnessOptions::quick()
+    } else {
+        HarnessOptions::default()
+    };
+    if let Some(intervals) = intervals {
+        opts.intervals = intervals;
+    }
+    if let Some(rate) = rate {
+        opts.rate = rate;
+    }
+    if let Some(seed) = seed {
+        opts.seed = seed;
+    }
+    Ok(Parsed::Run(Box::new(Args {
+        out,
+        check_baseline: if do_check { baseline } else { None },
+        opts,
+    })))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("harness: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Read the baseline up front so a missing/malformed file fails fast,
+    // before minutes of matrix execution.
+    let baseline = match &args.check_baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("harness: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(text) => match MatrixReport::parse(&text) {
+                Err(e) => {
+                    eprintln!("harness: baseline {path} is malformed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(baseline) => Some(baseline),
+            },
+        },
+    };
+    let matrix = default_matrix();
+    eprintln!(
+        "harness: running {} scenarios ({} windows x {:.0} items/window, seed {:#x}) on {} CPU(s)",
+        matrix.len(),
+        args.opts.intervals,
+        args.opts.rate,
+        args.opts.seed,
+        detected_cpus()
+    );
+    let report = run_matrix(&matrix, &args.opts);
+    print!("{}", markdown_summary(&report));
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_pretty()) {
+            eprintln!("harness: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("harness: wrote {path}");
+    }
+
+    if let Some(baseline) = &baseline {
+        let path = args.check_baseline.as_deref().unwrap_or_default();
+        let outcome = check(&report, baseline);
+        eprintln!("harness: wall-clock gate {}", outcome.perf_note);
+        if outcome.passed() {
+            eprintln!(
+                "harness: baseline check PASSED ({} rows, deterministic columns bit-exact)",
+                outcome.compared
+            );
+        } else {
+            for failure in &outcome.failures {
+                eprintln!("harness: FAIL {failure}");
+            }
+            eprintln!(
+                "harness: baseline check FAILED with {} finding(s); if the change is intended, \
+                 refresh the baseline with --out {path}",
+                outcome.failures.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1086 @@
+//! The scenario-matrix benchmark harness — the engine behind the
+//! `harness` binary.
+//!
+//! One declarative matrix crosses every axis the paper's accuracy-vs-cost
+//! trade-off has: topology **shape** (the paper's 8→4→2 tree, a deeper
+//! 4-hop variant, a fully sharded variant) × sampling **strategy**
+//! (WHS / SRS / native) × §III-E edge **workers** {1, 2, 4} ×
+//! [`ImpairmentSpec`] **loss** {0, 1%, 5%, 10%} × end-to-end **fraction**
+//! {10%, 20%}. Every scenario runs the same fixed-seed workload through
+//! the [`Driver`] front door on the deterministic virtual-time engine and
+//! is measured against an **exact native reference run** of the same
+//! shape (`Strategy::Native`, fraction 1.0, no impairment), producing one
+//! [`ScenarioRow`] of error / completeness / per-hop bytes / wall-clock
+//! columns.
+//!
+//! The result table serializes to the schema-versioned
+//! `BENCH_harness.json` ([`MatrixReport`]); [`check`] implements the CI
+//! baseline gate:
+//!
+//! * **deterministic columns** (error, completeness, bytes, fault and
+//!   item counts) must reproduce the baseline **bit for bit** at fixed
+//!   seed — any drift is a behaviour change, not noise;
+//! * **wall-clock columns** get noise-aware bands: wide on 1-CPU hosts
+//!   (scheduler noise dominates), tighter on multi-core hosts, and
+//!   skipped entirely when the baseline was recorded on a host with a
+//!   different CPU count (cross-machine wall-clock comparisons are
+//!   meaningless — the fresh numbers still land in the CI artifact).
+
+use crate::json::Json;
+use approxiot_core::accuracy_loss;
+use approxiot_net::ImpairmentSpec;
+use approxiot_runtime::{
+    mean_window_error, window_estimates, Driver, EngineKind, LayerSpec, QuerySet, QuerySpec,
+    RunReport, RunSummary, Strategy, Topology,
+};
+use approxiot_workload::scenarios::{self, ChaosLevel};
+use approxiot_workload::StreamMix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Version of the `BENCH_harness.json` schema this build reads/writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Every shape feeds this many sources, so one fixed-seed dataset serves
+/// the whole matrix.
+pub const SOURCES: usize = 8;
+
+/// The topology shapes the matrix sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// The paper's testbed: 8 sources → 4 edge → 2 edge → root, worker
+    /// shards on the first (leaf) layer.
+    Paper,
+    /// One hop deeper: 8 → 4 → 2 → 1 → root — a fourth sampling stage
+    /// and a fourth metered WAN hop.
+    Deep4,
+    /// The paper shape with §III-E worker shards on *every* edge layer.
+    Sharded,
+}
+
+impl Shape {
+    /// Scenario-id slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Shape::Paper => "paper",
+            Shape::Deep4 => "deep4",
+            Shape::Sharded => "sharded",
+        }
+    }
+}
+
+/// One cell of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Topology shape.
+    pub shape: Shape,
+    /// Sampling strategy at every stage.
+    pub strategy: Strategy,
+    /// §III-E worker shards (where the shape places them).
+    pub workers: usize,
+    /// Impairment level on every hop.
+    pub level: ChaosLevel,
+    /// End-to-end sampling fraction.
+    pub fraction: f64,
+}
+
+impl Scenario {
+    /// The stable row id baselines are matched by, e.g.
+    /// `paper/approxiot/w2/loss5/f20`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/w{}/loss{}/f{}",
+            self.shape.slug(),
+            self.strategy.label(),
+            self.workers,
+            self.level.loss_pct(),
+            (self.fraction * 100.0).round() as u32
+        )
+    }
+
+    /// The topology this cell runs.
+    pub fn topology(&self, opts: &HarnessOptions) -> Topology {
+        let spec = ImpairmentSpec::none()
+            .loss(self.level.loss)
+            .duplicate(self.level.duplicate)
+            .jitter(opts.window.mul_f64(self.level.jitter_window_fraction));
+        let builder = Topology::builder().sources(SOURCES);
+        let builder = match self.shape {
+            Shape::Paper => builder
+                .layer(LayerSpec::new(4).workers(self.workers))
+                .layer(LayerSpec::new(2)),
+            Shape::Deep4 => builder
+                .layer(LayerSpec::new(4).workers(self.workers))
+                .layer(LayerSpec::new(2))
+                .layer(LayerSpec::new(1)),
+            Shape::Sharded => builder
+                .layer(LayerSpec::new(4).workers(self.workers))
+                .layer(LayerSpec::new(2).workers(self.workers)),
+        };
+        builder
+            .impair_all_hops(spec)
+            .strategy(self.strategy)
+            .overall_fraction(self.fraction)
+            .window(opts.window)
+            .seed(opts.seed)
+            .build()
+            .expect("matrix fractions are valid")
+    }
+}
+
+/// The default matrix: the full ROADMAP loss × fraction × workers sweep
+/// on the paper tree, the SRS/native strategy baselines, and the shape
+/// sweep — 34 scenarios.
+pub fn default_matrix() -> Vec<Scenario> {
+    let levels = scenarios::matrix_levels();
+    let mut matrix = Vec::new();
+    // 1. The ROADMAP sweep: loss {0,1,5,10}% × fraction {10,20}% ×
+    //    workers {1,2,4} on the paper tree under WHS.
+    for level in levels {
+        for fraction in scenarios::MATRIX_FRACTIONS {
+            for workers in scenarios::MATRIX_WORKERS {
+                matrix.push(Scenario {
+                    shape: Shape::Paper,
+                    strategy: Strategy::whs(),
+                    workers,
+                    level,
+                    fraction,
+                });
+            }
+        }
+    }
+    // 2. Strategy baselines on the same tree at the control and mid-loss
+    //    levels: SRS (the paper's coin-flip baseline) across both
+    //    fractions; native (the exactness control) ignores the fraction
+    //    axis entirely — SamplingNode forwards everything — so it gets
+    //    one row per level at its true fraction of 100% instead of
+    //    bit-identical duplicates per fraction.
+    for fraction in scenarios::MATRIX_FRACTIONS {
+        for level in [levels[0], levels[2]] {
+            matrix.push(Scenario {
+                shape: Shape::Paper,
+                strategy: Strategy::Srs,
+                workers: 1,
+                level,
+                fraction,
+            });
+        }
+    }
+    for level in [levels[0], levels[2]] {
+        matrix.push(Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::Native,
+            workers: 1,
+            level,
+            fraction: 1.0,
+        });
+    }
+    // 3. Shape sweep at the 20% fraction: one hop deeper, and shards on
+    //    every layer.
+    for shape in [Shape::Deep4, Shape::Sharded] {
+        for level in [levels[0], levels[2]] {
+            matrix.push(Scenario {
+                shape,
+                strategy: Strategy::whs(),
+                workers: 4,
+                level,
+                fraction: 0.2,
+            });
+        }
+    }
+    matrix
+}
+
+/// Workload parameters shared by every scenario (part of the baseline
+/// identity: [`check`] refuses to compare runs with different ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Windows of data to generate and push.
+    pub intervals: u64,
+    /// Workload rate, items per window across all strata.
+    pub rate: f64,
+    /// Computation window (and workload interval).
+    pub window: Duration,
+    /// Base seed: topologies use it directly, the workload derives from
+    /// it.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            intervals: 8,
+            rate: 24_000.0,
+            window: Duration::from_secs(1),
+            seed: 0x10D5,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// A smaller workload for smoke tests (`--quick`).
+    pub fn quick() -> Self {
+        HarnessOptions {
+            intervals: 3,
+            rate: 4_000.0,
+            ..HarnessOptions::default()
+        }
+    }
+}
+
+/// The fixed-seed dataset every scenario consumes: `intervals` windows of
+/// the four-strata chaos mix, split round-robin over the [`SOURCES`]
+/// through the same [`scenarios::split_interval`] the chaos example uses.
+pub fn dataset(opts: &HarnessOptions) -> Vec<Vec<approxiot_core::Batch>> {
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED_DA7A);
+    let mut mix: StreamMix = scenarios::chaos_mix(opts.rate, opts.window);
+    (0..opts.intervals)
+        .map(|t| scenarios::split_interval(mix.next_interval(&mut rng), t, opts.window, SOURCES))
+        .collect()
+}
+
+/// Runs one scenario over prepared data through the driver front door.
+pub fn run_scenario(
+    scenario: &Scenario,
+    opts: &HarnessOptions,
+    data: &[Vec<approxiot_core::Batch>],
+) -> RunReport {
+    Driver::new(
+        scenario.topology(opts),
+        QuerySet::new().with(QuerySpec::Sum),
+        EngineKind::Sim,
+    )
+    .expect("valid topology")
+    .run(data)
+    .expect("sim run")
+}
+
+/// Runs the exact reference for a shape: native strategy, full fraction,
+/// no impairment — the per-window ground truth of every approximate
+/// scenario on that shape.
+pub fn run_reference(
+    shape: Shape,
+    opts: &HarnessOptions,
+    data: &[Vec<approxiot_core::Batch>],
+) -> RunReport {
+    let exact = Scenario {
+        shape,
+        strategy: Strategy::Native,
+        workers: 1,
+        level: scenarios::matrix_levels()[0],
+        fraction: 1.0,
+    };
+    run_scenario(&exact, opts, data)
+}
+
+/// One scenario's measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Stable id ([`Scenario::id`]).
+    pub id: String,
+    /// Windows the run emitted.
+    pub windows: u64,
+    /// Mean per-window relative error vs the exact native reference.
+    pub mean_error: f64,
+    /// Relative error of the summed estimate vs the exact total.
+    pub total_error: f64,
+    /// Mean per-window completeness fraction.
+    pub mean_completeness: f64,
+    /// Items lost in flight.
+    pub dropped_items: u64,
+    /// Extra item copies delivered.
+    pub duplicated_items: u64,
+    /// Items the root rejected past the allowed-lateness horizon.
+    /// Always zero on the virtual-time engine (jitter perturbs wall
+    /// clock only); recorded so the late-drop channel is gated the day a
+    /// scenario runs the wall-clock pipeline.
+    pub dropped_late: u64,
+    /// Items pushed by the sources.
+    pub source_items: u64,
+    /// Wire bytes per hop, source-side hop first.
+    pub hop_bytes: Vec<u64>,
+    /// Bytes past the first hop (what sampling saves on).
+    pub wire_bytes: u64,
+    /// Wall time of the run, seconds (noise; not gated bit-exactly).
+    pub elapsed_secs: f64,
+    /// Source items per wall second (noise; band-gated).
+    pub throughput_items_per_sec: f64,
+}
+
+/// The whole matrix's results plus everything needed to reproduce them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Producing tool, `"approxiot-harness"`.
+    pub tool: String,
+    /// Workload parameters ([`HarnessOptions`]).
+    pub opts: HarnessOptions,
+    /// Detected logical CPUs on the recording host.
+    pub cpus: u64,
+    /// One row per scenario, matrix order.
+    pub rows: Vec<ScenarioRow>,
+}
+
+/// Detected logical CPU count (1 when detection fails).
+pub fn detected_cpus() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+/// Whether a scenario *is* its shape's exact reference configuration
+/// (native, full fraction, single worker, unimpaired) — such rows reuse
+/// the cached reference run instead of repeating the most expensive run
+/// in the matrix.
+fn is_reference(scenario: &Scenario) -> bool {
+    matches!(scenario.strategy, Strategy::Native)
+        && scenario.fraction == 1.0
+        && scenario.workers == 1
+        && scenario.level == scenarios::matrix_levels()[0]
+}
+
+/// Executes `matrix` and measures every scenario against its shape's
+/// exact reference run.
+pub fn run_matrix(matrix: &[Scenario], opts: &HarnessOptions) -> MatrixReport {
+    let data = dataset(opts);
+    // One exact native reference per shape; its report doubles as the
+    // matrix's own native control row.
+    let mut references: BTreeMap<&'static str, RunReport> = BTreeMap::new();
+    let rows = matrix
+        .iter()
+        .map(|scenario| {
+            let reference = references
+                .entry(scenario.shape.slug())
+                .or_insert_with(|| run_reference(scenario.shape, opts, &data));
+            let truth = window_estimates(reference);
+            let report = if is_reference(scenario) {
+                reference.clone()
+            } else {
+                run_scenario(scenario, opts, &data)
+            };
+            let summary = RunSummary::of(&report);
+            let exact_total: f64 = truth.values().sum();
+            ScenarioRow {
+                id: scenario.id(),
+                windows: summary.windows as u64,
+                mean_error: mean_window_error(&report, &truth),
+                total_error: accuracy_loss(summary.estimate_total, exact_total),
+                mean_completeness: summary.mean_completeness,
+                dropped_items: summary.dropped_items,
+                duplicated_items: summary.duplicated_items,
+                dropped_late: summary.dropped_late,
+                source_items: summary.source_items,
+                hop_bytes: summary.hop_bytes,
+                wire_bytes: summary.wire_bytes,
+                elapsed_secs: summary.elapsed.as_secs_f64(),
+                throughput_items_per_sec: summary.throughput_items_per_sec,
+            }
+        })
+        .collect();
+    MatrixReport {
+        schema_version: SCHEMA_VERSION,
+        tool: "approxiot-harness".to_string(),
+        opts: opts.clone(),
+        cpus: detected_cpus(),
+        rows,
+    }
+}
+
+impl MatrixReport {
+    /// Serializes to the `BENCH_harness.json` schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::from(self.schema_version)),
+            ("tool", Json::from(self.tool.as_str())),
+            (
+                "workload",
+                Json::obj([
+                    ("intervals", Json::from(self.opts.intervals)),
+                    ("rate_items_per_window", Json::from(self.opts.rate)),
+                    ("window_secs", Json::from(self.opts.window.as_secs_f64())),
+                    ("seed", Json::from(self.opts.seed)),
+                    ("sources", Json::from(SOURCES)),
+                ]),
+            ),
+            ("cpus", Json::from(self.cpus)),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Json::obj([
+                                ("id", Json::from(row.id.as_str())),
+                                ("windows", Json::from(row.windows)),
+                                ("mean_error", Json::from(row.mean_error)),
+                                ("total_error", Json::from(row.total_error)),
+                                ("mean_completeness", Json::from(row.mean_completeness)),
+                                ("dropped_items", Json::from(row.dropped_items)),
+                                ("dropped_late", Json::from(row.dropped_late)),
+                                ("duplicated_items", Json::from(row.duplicated_items)),
+                                ("source_items", Json::from(row.source_items)),
+                                (
+                                    "hop_bytes",
+                                    Json::Arr(
+                                        row.hop_bytes.iter().map(|&b| Json::from(b)).collect(),
+                                    ),
+                                ),
+                                ("wire_bytes", Json::from(row.wire_bytes)),
+                                ("elapsed_secs", Json::from(row.elapsed_secs)),
+                                (
+                                    "throughput_items_per_sec",
+                                    Json::from(row.throughput_items_per_sec),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The pretty-printed document (what `--out` writes).
+    pub fn to_pretty(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Parses a `BENCH_harness.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn parse(text: &str) -> Result<MatrixReport, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        MatrixReport::from_json(&doc)
+    }
+
+    /// Decodes the schema from a parsed JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn from_json(doc: &Json) -> Result<MatrixReport, String> {
+        let field_u64 = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing(key))
+        };
+        let field_f64 = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| missing(key))
+        };
+        let workload = doc.get("workload").ok_or_else(|| missing("workload"))?;
+        // `sources` is part of the workload identity but a compile-time
+        // constant, not an option — refuse baselines recorded with a
+        // different source count instead of misreporting every row as
+        // seed drift.
+        let sources = field_u64(workload, "sources")?;
+        if sources != SOURCES as u64 {
+            return Err(format!(
+                "baseline recorded with {sources} sources, this build uses {SOURCES}"
+            ));
+        }
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing("rows"))?
+            .iter()
+            .map(|row| {
+                Ok(ScenarioRow {
+                    id: row
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| missing("rows[].id"))?
+                        .to_string(),
+                    windows: field_u64(row, "windows")?,
+                    mean_error: field_f64(row, "mean_error")?,
+                    total_error: field_f64(row, "total_error")?,
+                    mean_completeness: field_f64(row, "mean_completeness")?,
+                    dropped_items: field_u64(row, "dropped_items")?,
+                    dropped_late: field_u64(row, "dropped_late")?,
+                    duplicated_items: field_u64(row, "duplicated_items")?,
+                    source_items: field_u64(row, "source_items")?,
+                    hop_bytes: row
+                        .get("hop_bytes")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| missing("rows[].hop_bytes"))?
+                        .iter()
+                        .map(|b| b.as_u64().ok_or_else(|| missing("rows[].hop_bytes[]")))
+                        .collect::<Result<_, _>>()?,
+                    wire_bytes: field_u64(row, "wire_bytes")?,
+                    elapsed_secs: field_f64(row, "elapsed_secs")?,
+                    throughput_items_per_sec: field_f64(row, "throughput_items_per_sec")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MatrixReport {
+            schema_version: field_u64(doc, "schema_version")?,
+            tool: doc
+                .get("tool")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("tool"))?
+                .to_string(),
+            opts: HarnessOptions {
+                intervals: field_u64(workload, "intervals")?,
+                rate: field_f64(workload, "rate_items_per_window")?,
+                window: Duration::try_from_secs_f64(field_f64(workload, "window_secs")?)
+                    .map_err(|e| format!("invalid 'window_secs': {e}"))?,
+                seed: field_u64(workload, "seed")?,
+            },
+            cpus: field_u64(doc, "cpus")?,
+            rows,
+        })
+    }
+}
+
+fn missing(key: &str) -> String {
+    format!("missing or mistyped field '{key}'")
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Everything that failed, one human-readable line each; empty =
+    /// pass.
+    pub failures: Vec<String>,
+    /// Whether the aggregate wall-clock gate was applied (same CPU count
+    /// on both sides and both runs long enough to measure).
+    pub perf_gated: bool,
+    /// Human-readable description of the wall-clock gate's status.
+    pub perf_note: String,
+    /// Rows compared.
+    pub compared: usize,
+}
+
+impl CheckReport {
+    /// `true` when nothing failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Allowed relative regression of **aggregate** throughput before the
+/// perf gate fails: wide on 1-CPU hosts (shared-runner scheduler noise
+/// dominates there), tighter with real parallelism.
+pub fn throughput_band(cpus: u64) -> f64 {
+    if cpus <= 1 {
+        0.60
+    } else {
+        0.30
+    }
+}
+
+/// Minimum summed scenario wall time (seconds) before throughput is
+/// gated at all. Individual scenarios run in microseconds to
+/// milliseconds, where a single scheduler preemption reads as a fake
+/// multi-× "regression" — only the matrix-level aggregate is signal,
+/// and only once there is enough of it.
+pub const MIN_PERF_ELAPSED_SECS: f64 = 0.1;
+
+/// Summed `(source_items, elapsed_secs)` over rows.
+fn totals<'a>(rows: impl Iterator<Item = &'a ScenarioRow>) -> (u64, f64) {
+    rows.fold((0, 0.0), |(items, secs), row| {
+        (items + row.source_items, secs + row.elapsed_secs)
+    })
+}
+
+/// Compares a fresh run against a baseline.
+///
+/// Deterministic columns (error, completeness, counts, bytes) must match
+/// **bit for bit**. Wall-clock is gated on the *aggregate* throughput of
+/// the matched rows (total items over total scenario seconds), within
+/// [`throughput_band`], and only when both runs saw the same CPU count
+/// and both aggregates clear [`MIN_PERF_ELAPSED_SECS`] — per-row
+/// wall-clock numbers are recorded for the artifact but never gated.
+pub fn check(current: &MatrixReport, baseline: &MatrixReport) -> CheckReport {
+    let mut failures = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        failures.push(format!(
+            "schema version mismatch: baseline v{}, current v{} — refresh the baseline",
+            baseline.schema_version, current.schema_version
+        ));
+        return CheckReport {
+            failures,
+            perf_gated: false,
+            perf_note: "off: incomparable reports".to_string(),
+            compared: 0,
+        };
+    }
+    if baseline.opts != current.opts {
+        failures.push(format!(
+            "workload mismatch: baseline {:?}, current {:?} — deterministic columns are only \
+             comparable on identical workloads",
+            baseline.opts, current.opts
+        ));
+        return CheckReport {
+            failures,
+            perf_gated: false,
+            perf_note: "off: incomparable reports".to_string(),
+            compared: 0,
+        };
+    }
+    let base_rows: BTreeMap<&str, &ScenarioRow> =
+        baseline.rows.iter().map(|r| (r.id.as_str(), r)).collect();
+    let current_ids: std::collections::BTreeSet<&str> =
+        current.rows.iter().map(|r| r.id.as_str()).collect();
+    for stale in baseline
+        .rows
+        .iter()
+        .filter(|r| !current_ids.contains(r.id.as_str()))
+    {
+        failures.push(format!(
+            "{}: in the baseline but not in the current matrix — refresh the baseline",
+            stale.id
+        ));
+    }
+    let mut compared = 0;
+    for row in &current.rows {
+        let Some(base) = base_rows.get(row.id.as_str()) else {
+            failures.push(format!(
+                "{}: not in the baseline — refresh it to cover the new scenario",
+                row.id
+            ));
+            continue;
+        };
+        compared += 1;
+        let mut exact_f64 = |name: &str, got: f64, want: f64| {
+            if got.to_bits() != want.to_bits() {
+                failures.push(format!(
+                    "{}: {} drifted at fixed seed: baseline {}, got {}",
+                    row.id, name, want, got
+                ));
+            }
+        };
+        exact_f64("mean_error", row.mean_error, base.mean_error);
+        exact_f64("total_error", row.total_error, base.total_error);
+        exact_f64(
+            "mean_completeness",
+            row.mean_completeness,
+            base.mean_completeness,
+        );
+        let mut exact_u64 = |name: &str, got: u64, want: u64| {
+            if got != want {
+                failures.push(format!(
+                    "{}: {} drifted at fixed seed: baseline {}, got {}",
+                    row.id, name, want, got
+                ));
+            }
+        };
+        exact_u64("windows", row.windows, base.windows);
+        exact_u64("dropped_items", row.dropped_items, base.dropped_items);
+        exact_u64("dropped_late", row.dropped_late, base.dropped_late);
+        exact_u64(
+            "duplicated_items",
+            row.duplicated_items,
+            base.duplicated_items,
+        );
+        exact_u64("source_items", row.source_items, base.source_items);
+        exact_u64("wire_bytes", row.wire_bytes, base.wire_bytes);
+        if row.hop_bytes != base.hop_bytes {
+            failures.push(format!(
+                "{}: hop_bytes drifted at fixed seed: baseline {:?}, got {:?}",
+                row.id, base.hop_bytes, row.hop_bytes
+            ));
+        }
+    }
+    // The wall-clock gate: aggregate throughput over the matched rows.
+    let (cur_items, cur_secs) = totals(
+        current
+            .rows
+            .iter()
+            .filter(|r| base_rows.contains_key(r.id.as_str())),
+    );
+    let (base_items, base_secs) = totals(
+        baseline
+            .rows
+            .iter()
+            .filter(|r| current_ids.contains(r.id.as_str())),
+    );
+    let (perf_gated, perf_note) = if baseline.cpus != current.cpus {
+        (
+            false,
+            format!(
+                "off: baseline recorded on {} CPU(s), this host has {} — cross-machine \
+                 wall-clock comparisons are meaningless",
+                baseline.cpus, current.cpus
+            ),
+        )
+    } else if cur_secs < MIN_PERF_ELAPSED_SECS || base_secs < MIN_PERF_ELAPSED_SECS {
+        (
+            false,
+            format!(
+                "off: aggregate run too short to measure ({cur_secs:.3} s vs baseline \
+                 {base_secs:.3} s, floor {MIN_PERF_ELAPSED_SECS} s)"
+            ),
+        )
+    } else {
+        let band = throughput_band(current.cpus);
+        let cur_tp = cur_items as f64 / cur_secs;
+        let base_tp = base_items as f64 / base_secs;
+        if cur_tp < base_tp * (1.0 - band) {
+            failures.push(format!(
+                "aggregate throughput regressed beyond the {:.0}% band: baseline {:.2} Mitems/s, \
+                 got {:.2} Mitems/s",
+                band * 100.0,
+                base_tp / 1e6,
+                cur_tp / 1e6
+            ));
+        }
+        (
+            true,
+            format!(
+                "on: aggregate {:.2} Mitems/s vs baseline {:.2} Mitems/s, {:.0}% band",
+                cur_tp / 1e6,
+                base_tp / 1e6,
+                throughput_band(current.cpus) * 100.0
+            ),
+        )
+    };
+    CheckReport {
+        failures,
+        perf_gated,
+        perf_note,
+        compared,
+    }
+}
+
+/// The compact markdown table printed to the CI job log (and step
+/// summary): one row per scenario, the columns an engineer scans for.
+pub fn markdown_summary(report: &MatrixReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### approxiot-harness — {} scenarios, {} windows × {:.0} items/window, seed {:#x}, {} CPU(s)",
+        report.rows.len(),
+        report.opts.intervals,
+        report.opts.rate,
+        report.opts.seed,
+        report.cpus
+    );
+    out.push_str(
+        "\n| scenario | err % | total err % | compl % | dropped | wire KiB | Mitems/s |\n\
+         |---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {:.3} | {:.1} | {} | {:.1} | {:.2} |",
+            row.id,
+            row.mean_error * 100.0,
+            row.total_error * 100.0,
+            row.mean_completeness * 100.0,
+            row.dropped_items,
+            row.wire_bytes as f64 / 1024.0,
+            row.throughput_items_per_sec / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxiot_runtime::results_bit_identical;
+
+    fn tiny_opts() -> HarnessOptions {
+        HarnessOptions {
+            intervals: 3,
+            rate: 2_000.0,
+            ..HarnessOptions::default()
+        }
+    }
+
+    /// A small but representative slice of the matrix: sharded workers,
+    /// mid loss, both fractions, a non-paper shape and a non-WHS
+    /// strategy.
+    fn subset() -> Vec<Scenario> {
+        let levels = scenarios::matrix_levels();
+        vec![
+            Scenario {
+                shape: Shape::Paper,
+                strategy: Strategy::whs(),
+                workers: 1,
+                level: levels[0],
+                fraction: 0.2,
+            },
+            Scenario {
+                shape: Shape::Paper,
+                strategy: Strategy::whs(),
+                workers: 2,
+                level: levels[2],
+                fraction: 0.1,
+            },
+            Scenario {
+                shape: Shape::Deep4,
+                strategy: Strategy::whs(),
+                workers: 4,
+                level: levels[3],
+                fraction: 0.2,
+            },
+            Scenario {
+                shape: Shape::Paper,
+                strategy: Strategy::Srs,
+                workers: 1,
+                level: levels[1],
+                fraction: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn matrix_covers_the_roadmap_sweep() {
+        let matrix = default_matrix();
+        let ids: Vec<String> = matrix.iter().map(Scenario::id).collect();
+        // Ids are unique: the baseline join key.
+        let unique: std::collections::BTreeSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate scenario ids");
+        // The full loss × fraction × workers cross product under WHS.
+        for loss in [0u32, 1, 5, 10] {
+            for frac in [10u32, 20] {
+                for workers in [1u32, 2, 4] {
+                    let id = format!("paper/approxiot/w{workers}/loss{loss}/f{frac}");
+                    assert!(ids.contains(&id), "matrix is missing {id}");
+                }
+            }
+        }
+        // Baseline strategies and both extra shapes are present. Native
+        // ignores the fraction axis, so it appears exactly once per
+        // swept loss level, at its true fraction of 100%.
+        assert!(ids.iter().any(|id| id.contains("/srs/")));
+        assert_eq!(
+            ids.iter().filter(|id| id.contains("/native/")).count(),
+            2,
+            "one native control per loss level, no duplicate rows"
+        );
+        assert!(ids.contains(&"paper/native/w1/loss5/f100".to_string()));
+        assert!(ids.iter().any(|id| id.starts_with("deep4/")));
+        assert!(ids.iter().any(|id| id.starts_with("sharded/")));
+        assert_eq!(matrix.len(), 34);
+    }
+
+    #[test]
+    fn error_and_completeness_columns_are_fixed_seed_deterministic() {
+        let opts = tiny_opts();
+        let a = run_matrix(&subset(), &opts);
+        let b = run_matrix(&subset(), &opts);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.mean_error.to_bits(), y.mean_error.to_bits(), "{}", x.id);
+            assert_eq!(x.total_error.to_bits(), y.total_error.to_bits(), "{}", x.id);
+            assert_eq!(
+                x.mean_completeness.to_bits(),
+                y.mean_completeness.to_bits(),
+                "{}",
+                x.id
+            );
+            assert_eq!(x.hop_bytes, y.hop_bytes, "{}", x.id);
+            assert_eq!(x.dropped_items, y.dropped_items, "{}", x.id);
+            // elapsed/throughput are noise and deliberately not asserted.
+        }
+    }
+
+    #[test]
+    fn rows_reflect_loss_and_fraction() {
+        let opts = tiny_opts();
+        let report = run_matrix(&subset(), &opts);
+        let by_id: BTreeMap<&str, &ScenarioRow> =
+            report.rows.iter().map(|r| (r.id.as_str(), r)).collect();
+        let control = by_id["paper/approxiot/w1/loss0/f20"];
+        assert_eq!(control.mean_completeness, 1.0);
+        assert_eq!(control.dropped_items, 0);
+        assert_eq!(control.windows, opts.intervals);
+        assert_eq!(
+            control.source_items,
+            (opts.intervals as f64 * opts.rate) as u64
+        );
+        let lossy = by_id["deep4/approxiot/w4/loss10/f20"];
+        assert!(lossy.dropped_items > 0, "10% loss drops frames");
+        assert!(lossy.mean_completeness < 1.0);
+        assert_eq!(lossy.hop_bytes.len(), 4, "deep-4 has four metered hops");
+        // Sampling saves wire bytes relative to what the sources pushed.
+        assert!(control.wire_bytes < control.hop_bytes[0]);
+    }
+
+    #[test]
+    fn zero_loss_scenario_matches_the_unimpaired_run_bit_for_bit() {
+        // The chaos example's control, pinned as a harness test: an
+        // all-zero ImpairmentSpec must be a strict no-op.
+        let opts = tiny_opts();
+        let data = dataset(&opts);
+        let control = Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::whs(),
+            workers: 1,
+            level: scenarios::matrix_levels()[0],
+            fraction: 0.2,
+        };
+        let impaired_path = run_scenario(&control, &opts, &data);
+        // The same topology built without impair_all_hops at all.
+        let clean = Topology::builder()
+            .sources(SOURCES)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .strategy(Strategy::whs())
+            .overall_fraction(0.2)
+            .window(opts.window)
+            .seed(opts.seed)
+            .build()
+            .expect("valid");
+        let clean_run = Driver::sim(clean, QuerySet::new().with(QuerySpec::Sum))
+            .expect("valid")
+            .run(&data)
+            .expect("runs");
+        assert!(results_bit_identical(&impaired_path, &clean_run));
+        assert!(impaired_path.faults.is_clean());
+        assert!(impaired_path.results.iter().all(|r| r.completeness == 1.0));
+    }
+
+    #[test]
+    fn json_round_trips_the_report_exactly() {
+        let report = run_matrix(&subset()[..2], &tiny_opts());
+        let parsed = MatrixReport::parse(&report.to_pretty()).expect("parses");
+        assert_eq!(parsed, report, "schema round-trip preserves every bit");
+    }
+
+    #[test]
+    fn self_baseline_passes_and_perturbations_fail() {
+        let report = run_matrix(&subset()[..2], &tiny_opts());
+        let baseline = MatrixReport::parse(&report.to_pretty()).expect("parses");
+        let outcome = check(&report, &baseline);
+        assert!(
+            outcome.passed(),
+            "self-check failed: {:?}",
+            outcome.failures
+        );
+        assert!(
+            !outcome.perf_gated,
+            "a sub-{MIN_PERF_ELAPSED_SECS}-second run is too short to gate wall clock"
+        );
+        assert!(
+            outcome.perf_note.contains("too short"),
+            "{}",
+            outcome.perf_note
+        );
+        assert_eq!(outcome.compared, 2);
+
+        // A 1-ulp error drift fails the gate.
+        let mut drifted = baseline.clone();
+        drifted.rows[0].mean_error = f64::from_bits(drifted.rows[0].mean_error.to_bits() + 1);
+        let outcome = check(&report, &drifted);
+        assert!(outcome.failures.iter().any(|f| f.contains("mean_error")));
+
+        // Completeness drift fails too.
+        let mut drifted = baseline.clone();
+        drifted.rows[1].mean_completeness -= 1e-12;
+        assert!(!check(&report, &drifted).passed());
+
+        // Scenario-set drift is named in both directions.
+        let mut missing_row = baseline.clone();
+        missing_row.rows.pop();
+        assert!(check(&report, &missing_row)
+            .failures
+            .iter()
+            .any(|f| f.contains("not in the baseline")));
+        let mut extra_row = baseline.clone();
+        extra_row.rows.push(baseline.rows[0].clone());
+        extra_row.rows.last_mut().unwrap().id = "paper/approxiot/w9/loss0/f20".to_string();
+        assert!(check(&report, &extra_row)
+            .failures
+            .iter()
+            .any(|f| f.contains("not in the current matrix")));
+
+        // Workload / schema mismatches refuse to compare at all.
+        let mut other_workload = baseline.clone();
+        other_workload.opts.rate += 1.0;
+        let outcome = check(&report, &other_workload);
+        assert_eq!(outcome.compared, 0);
+        assert!(outcome.failures[0].contains("workload mismatch"));
+        let mut other_schema = baseline;
+        other_schema.schema_version += 1;
+        assert!(check(&report, &other_schema).failures[0].contains("schema version"));
+    }
+
+    /// A synthetic long-enough report for exercising the wall-clock gate
+    /// without actually burning wall clock.
+    fn synthetic_report(cpus: u64, elapsed_per_row: f64) -> MatrixReport {
+        let row = |id: &str| ScenarioRow {
+            id: id.to_string(),
+            windows: 4,
+            mean_error: 0.01,
+            total_error: 0.01,
+            mean_completeness: 1.0,
+            dropped_items: 0,
+            duplicated_items: 0,
+            dropped_late: 0,
+            source_items: 1_000_000,
+            hop_bytes: vec![100, 10],
+            wire_bytes: 10,
+            elapsed_secs: elapsed_per_row,
+            throughput_items_per_sec: 1_000_000.0 / elapsed_per_row,
+        };
+        MatrixReport {
+            schema_version: SCHEMA_VERSION,
+            tool: "approxiot-harness".to_string(),
+            opts: HarnessOptions::default(),
+            cpus,
+            rows: vec![row("a"), row("b")],
+        }
+    }
+
+    #[test]
+    fn wall_clock_gate_compares_aggregates_with_noise_aware_bands() {
+        // Identical long runs on the same host: gated and passing.
+        let base = synthetic_report(1, 0.2);
+        let outcome = check(&synthetic_report(1, 0.2), &base);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert!(outcome.perf_gated);
+        assert!(
+            outcome.perf_note.starts_with("on:"),
+            "{}",
+            outcome.perf_note
+        );
+
+        // Within the 1-CPU 60% band: 2× slower still passes...
+        let outcome = check(&synthetic_report(1, 0.4), &base);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        // ...but 3× slower fails with an aggregate finding.
+        let outcome = check(&synthetic_report(1, 0.6), &base);
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| f.contains("aggregate throughput")));
+
+        // The multi-core band is tighter: 2× slower fails there.
+        let multi_base = synthetic_report(4, 0.2);
+        let outcome = check(&synthetic_report(4, 0.4), &multi_base);
+        assert!(!outcome.passed());
+
+        // Different host shapes never gate wall clock, however slow.
+        let other_host = synthetic_report(4, 60.0);
+        let mut cross = check(&other_host, &base);
+        assert!(cross.passed(), "{:?}", cross.failures);
+        assert!(!cross.perf_gated);
+        assert!(cross.perf_note.contains("CPU"), "{}", cross.perf_note);
+
+        // Sub-floor runs never gate either.
+        cross = check(&synthetic_report(1, 0.01), &synthetic_report(1, 0.01));
+        assert!(!cross.perf_gated);
+        assert!(cross.perf_note.contains("too short"), "{}", cross.perf_note);
+    }
+
+    #[test]
+    fn markdown_summary_has_one_line_per_scenario() {
+        let report = run_matrix(&subset()[..2], &tiny_opts());
+        let md = markdown_summary(&report);
+        for row in &report.rows {
+            assert!(md.contains(&row.id), "missing {}", row.id);
+        }
+        assert_eq!(md.lines().filter(|l| l.starts_with("| ")).count(), 2 + 1);
+    }
+}

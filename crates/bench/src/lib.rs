@@ -8,6 +8,13 @@
 //! The accuracy figures run on [`approxiot_runtime::SimTree`] (virtual
 //! time, seeded); the throughput/latency/bandwidth figures run on the
 //! threaded [`approxiot_runtime::run_pipeline`].
+//!
+//! The crate also ships the `harness` **binary** — the scenario-matrix
+//! benchmark harness with baseline regression gates (see [`harness`] and
+//! `BENCH_harness.json` at the repository root).
+
+pub mod harness;
+pub mod json;
 
 use approxiot_core::{accuracy_loss, Batch, StratumId};
 use approxiot_runtime::{FractionSplit, Query, SimTree, Strategy, TreeConfig};

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `harness` binary: two real invocations must
+//! reproduce the deterministic columns bit for bit, a self-baseline must
+//! pass `--check`, and a perturbed baseline must fail it with a non-zero
+//! exit.
+
+use approxiot_bench::harness::MatrixReport;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_harness(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args(args)
+        .output()
+        .expect("harness binary runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("approxiot_harness_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn two_invocations_reproduce_and_the_check_gates() {
+    let first = scratch("first.json");
+    let second = scratch("second.json");
+
+    // Invocation 1: write a baseline.
+    let out = run_harness(&["--quick", "--out", first.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("| paper/approxiot/w1/loss0/f10 |"),
+        "markdown summary on stdout:\n{stdout}"
+    );
+
+    // Invocation 2: a fresh process must reproduce every deterministic
+    // column bit for bit.
+    let out = run_harness(&["--quick", "--out", second.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let a = MatrixReport::parse(&std::fs::read_to_string(&first).unwrap()).unwrap();
+    let b = MatrixReport::parse(&std::fs::read_to_string(&second).unwrap()).unwrap();
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (x, y) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(
+            x.mean_error.to_bits(),
+            y.mean_error.to_bits(),
+            "mean_error of {} differs across invocations",
+            x.id
+        );
+        assert_eq!(
+            x.mean_completeness.to_bits(),
+            y.mean_completeness.to_bits(),
+            "mean_completeness of {} differs across invocations",
+            x.id
+        );
+        assert_eq!(x.total_error.to_bits(), y.total_error.to_bits(), "{}", x.id);
+        assert_eq!(x.hop_bytes, y.hop_bytes, "{}", x.id);
+        assert_eq!(
+            (
+                x.windows,
+                x.dropped_items,
+                x.duplicated_items,
+                x.source_items
+            ),
+            (
+                y.windows,
+                y.dropped_items,
+                y.duplicated_items,
+                y.source_items
+            ),
+            "{}",
+            x.id
+        );
+    }
+
+    // Invocation 3: checking against our own fresh baseline passes.
+    let out = run_harness(&["--quick", "--check", "--baseline", first.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "self-baseline check failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("PASSED"));
+
+    // Invocation 4: a 1-ulp perturbation of one error cell fails the
+    // check with a non-zero exit that names the drifted column.
+    let mut drifted = a.clone();
+    drifted.rows[5].mean_error = f64::from_bits(drifted.rows[5].mean_error.to_bits() + 1);
+    let perturbed = scratch("perturbed.json");
+    std::fs::write(&perturbed, drifted.to_pretty()).unwrap();
+    let out = run_harness(&[
+        "--quick",
+        "--check",
+        "--baseline",
+        perturbed.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "perturbed baseline must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mean_error"), "names the column:\n{stderr}");
+    assert!(
+        stderr.contains(&drifted.rows[5].id),
+        "names the row:\n{stderr}"
+    );
+}
+
+#[test]
+fn missing_and_malformed_baselines_fail_clearly() {
+    let out = run_harness(&["--quick", "--check"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--baseline"));
+
+    let garbage = scratch("garbage.json");
+    std::fs::write(&garbage, "{ not json").unwrap();
+    let out = run_harness(&[
+        "--quick",
+        "--check",
+        "--baseline",
+        garbage.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed"));
+
+    let out = run_harness(&["--bogus-flag"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+
+    // A flag where a value belongs is a parse error, not a value — the
+    // gate must never be silently skipped by an argument slip.
+    let out = run_harness(&["--out", "--check", "--baseline", "x.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out needs a value"));
+}

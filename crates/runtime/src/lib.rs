@@ -82,6 +82,7 @@
 pub mod engine;
 pub mod fault;
 pub mod feedback;
+pub mod metrics;
 pub mod node;
 pub mod pipeline;
 pub mod pool;
@@ -93,6 +94,7 @@ pub mod tree;
 pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
 pub use fault::{FaultInjector, FaultStats, HopFaults};
 pub use feedback::FeedbackLoop;
+pub use metrics::{mean_window_error, results_bit_identical, window_estimates, RunSummary};
 pub use node::{SamplingNode, Strategy};
 pub use pipeline::{
     run_pipeline, LatencyStats, PipelineConfig, PipelineEngine, PipelineOptions, PipelineReport,

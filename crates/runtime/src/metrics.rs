@@ -1,0 +1,251 @@
+//! Run-report metrics: the one place a [`RunReport`] is reduced to the
+//! error / completeness / cost summary that used to be hand-rolled by
+//! every consumer (`examples/chaos.rs`, ad-hoc bench code).
+//!
+//! Three kinds of consumers share this module:
+//!
+//! * the scenario-matrix **bench harness** (`approxiot-bench`, binary
+//!   `harness`), which serializes a [`RunSummary`] per scenario and gates
+//!   CI on the deterministic columns;
+//! * **examples** like the chaos sweep, which print the same columns;
+//! * **tests** pinning the fixed-seed determinism contract through
+//!   [`results_bit_identical`].
+//!
+//! The error helpers compare a run against a reference — typically an
+//! exact run (`Strategy::Native`, fraction `1.0`, no impairment) of the
+//! same workload — via its per-window estimate map
+//! ([`window_estimates`]), so "ground truth" is itself produced through
+//! the engine front door rather than recomputed on the side.
+
+use crate::engine::RunReport;
+use approxiot_core::accuracy_loss;
+use approxiot_streams::WindowId;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The scalar summary of one run: every column the scenario-matrix
+/// harness records, computed one way.
+///
+/// At a fixed topology seed the estimate/completeness/byte/fault columns
+/// are exactly reproducible (the engines are deterministic, and sharded
+/// workers are bit-identical threaded or inline); only [`elapsed`] and
+/// [`throughput_items_per_sec`] vary run to run.
+///
+/// [`elapsed`]: RunSummary::elapsed
+/// [`throughput_items_per_sec`]: RunSummary::throughput_items_per_sec
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Windows the run emitted.
+    pub windows: usize,
+    /// Sum of the primary query's estimate over every window.
+    pub estimate_total: f64,
+    /// Mean per-window completeness fraction (`1.0` when no windows).
+    pub mean_completeness: f64,
+    /// Items lost in flight across every hop.
+    pub dropped_items: u64,
+    /// Extra item copies delivered across every hop.
+    pub duplicated_items: u64,
+    /// Items the root rejected past the allowed-lateness horizon.
+    pub dropped_late: u64,
+    /// Items pushed by the sources.
+    pub source_items: u64,
+    /// Wire bytes per hop, source-side hop first.
+    pub hop_bytes: Vec<u64>,
+    /// Bytes crossing the WAN segments sampling can save on (every hop
+    /// past the first).
+    pub wire_bytes: u64,
+    /// Wall time from engine start to completion.
+    pub elapsed: Duration,
+    /// Source items per wall second.
+    pub throughput_items_per_sec: f64,
+}
+
+impl RunSummary {
+    /// Reduces a run report to its summary.
+    pub fn of(report: &RunReport) -> Self {
+        let windows = report.results.len();
+        let mean_completeness = if windows == 0 {
+            1.0
+        } else {
+            report.results.iter().map(|r| r.completeness).sum::<f64>() / windows as f64
+        };
+        RunSummary {
+            windows,
+            estimate_total: report.results.iter().map(|r| r.estimate.value).sum(),
+            mean_completeness,
+            dropped_items: report.faults.dropped_items(),
+            duplicated_items: report.faults.duplicated_items(),
+            dropped_late: report.results.iter().map(|r| r.dropped_late).sum(),
+            source_items: report.source_items,
+            hop_bytes: report.bytes.hops().to_vec(),
+            wire_bytes: report.bytes.sampled_wire_bytes(),
+            elapsed: report.elapsed,
+            throughput_items_per_sec: report.throughput_items_per_sec,
+        }
+    }
+
+    /// Relative error of the summed estimate against an exact total
+    /// (the paper's headline [`accuracy_loss`] on the whole run).
+    pub fn total_error_vs(&self, truth: f64) -> f64 {
+        accuracy_loss(self.estimate_total, truth)
+    }
+}
+
+/// The per-window primary-query estimates of a run, keyed by window id.
+///
+/// On an exact reference run this *is* the per-window ground truth the
+/// harness measures every approximate scenario against.
+pub fn window_estimates(report: &RunReport) -> BTreeMap<WindowId, f64> {
+    report
+        .results
+        .iter()
+        .map(|r| (r.window, r.estimate.value))
+        .collect()
+}
+
+/// Mean per-window relative error of `report` against a reference's
+/// per-window estimates (from [`window_estimates`] of an exact run).
+///
+/// Every reference window counts: a window the run failed to emit at all
+/// contributes its full relative error (estimate `0.0`). Returns `0.0`
+/// when the reference is empty.
+pub fn mean_window_error(report: &RunReport, truths: &BTreeMap<WindowId, f64>) -> f64 {
+    if truths.is_empty() {
+        return 0.0;
+    }
+    let estimates = window_estimates(report);
+    let total: f64 = truths
+        .iter()
+        .map(|(window, &truth)| accuracy_loss(estimates.get(window).copied().unwrap_or(0.0), truth))
+        .sum();
+    total / truths.len() as f64
+}
+
+/// Returns `true` when two runs produced the same windows with
+/// bit-identical primary estimates and reconstructed counts — the
+/// fixed-seed determinism contract (engine equivalence, the chaos
+/// zero-loss control, harness reproducibility).
+pub fn results_bit_identical(a: &RunReport, b: &RunReport) -> bool {
+    a.results.len() == b.results.len()
+        && a.results.iter().zip(&b.results).all(|(x, y)| {
+            x.window == y.window
+                && x.estimate.value.to_bits() == y.estimate.value.to_bits()
+                && x.count_hat.to_bits() == y.count_hat.to_bits()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySet;
+    use crate::topology::{LayerSpec, Topology};
+    use crate::Driver;
+    use approxiot_core::{Batch, StratumId, StreamItem};
+    use approxiot_net::ImpairmentSpec;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn interval(sources: usize, n: usize, value: f64, ts: u64) -> Vec<Batch> {
+        (0..sources)
+            .map(|s| {
+                Batch::from_items(
+                    (0..n)
+                        .map(|k| {
+                            StreamItem::with_meta(StratumId::new(s as u32), value, k as u64, ts)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn topology(fraction: f64, impaired: bool) -> Topology {
+        let mut b = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .overall_fraction(fraction)
+            .seed(9);
+        if impaired {
+            b = b.impair_all_hops(ImpairmentSpec::none().loss(0.2));
+        }
+        b.build().expect("valid")
+    }
+
+    fn run(fraction: f64, impaired: bool) -> RunReport {
+        Driver::sim(topology(fraction, impaired), QuerySet::default())
+            .expect("valid")
+            .run(&[interval(4, 200, 2.0, 10), interval(4, 200, 2.0, SEC + 10)])
+            .expect("runs")
+    }
+
+    #[test]
+    fn summary_reduces_a_clean_run() {
+        let report = run(0.5, false);
+        let summary = RunSummary::of(&report);
+        assert_eq!(summary.windows, 2);
+        assert_eq!(summary.source_items, 1600);
+        assert_eq!(summary.mean_completeness, 1.0);
+        assert_eq!(summary.dropped_items, 0);
+        assert_eq!(summary.duplicated_items, 0);
+        assert_eq!(summary.dropped_late, 0);
+        assert_eq!(summary.hop_bytes.len(), 3);
+        assert_eq!(
+            summary.wire_bytes,
+            summary.hop_bytes[1] + summary.hop_bytes[2]
+        );
+        // Constant values reconstruct the exact total.
+        assert!(summary.total_error_vs(3200.0) < 1e-9);
+        assert!(summary.throughput_items_per_sec > 0.0);
+    }
+
+    #[test]
+    fn summary_counts_faults_on_an_impaired_run() {
+        let report = run(1.0, true);
+        let summary = RunSummary::of(&report);
+        assert!(summary.dropped_items > 0, "20% loss over 3 hops drops");
+        assert!(summary.mean_completeness < 1.0);
+        assert!(summary.mean_completeness > 0.0);
+    }
+
+    #[test]
+    fn window_estimates_key_by_window() {
+        let exact = run(1.0, false);
+        let truths = window_estimates(&exact);
+        assert_eq!(truths.len(), 2);
+        assert!((truths[&0] - 1600.0).abs() < 1e-9);
+        assert!((truths[&1] - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_window_error_is_zero_against_self_and_positive_under_loss() {
+        let exact = run(1.0, false);
+        let truths = window_estimates(&exact);
+        assert_eq!(mean_window_error(&exact, &truths), 0.0);
+        let lossy = run(1.0, true);
+        let err = mean_window_error(&lossy, &truths);
+        assert!(err.is_finite());
+        // Constant-valued strata stay exact in expectation, but dropped
+        // frames make the realized estimate differ from the exact one.
+        assert!(err > 0.0, "loss must show up as window error: {err}");
+        assert_eq!(mean_window_error(&exact, &BTreeMap::new()), 0.0);
+    }
+
+    #[test]
+    fn mean_window_error_charges_missing_windows() {
+        let exact = run(1.0, false);
+        let mut truths = window_estimates(&exact);
+        truths.insert(7, 100.0); // a window the run never produced
+        let err = mean_window_error(&exact, &truths);
+        assert!((err - 1.0 / 3.0).abs() < 1e-12, "one fully-missed window");
+    }
+
+    #[test]
+    fn bit_identity_detects_equality_and_drift() {
+        let a = run(0.5, false);
+        let b = run(0.5, false);
+        assert!(results_bit_identical(&a, &b), "fixed seed reproduces");
+        let c = run(0.5, true);
+        assert!(!results_bit_identical(&a, &c), "impairment changes bits");
+    }
+}

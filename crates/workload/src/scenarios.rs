@@ -12,7 +12,7 @@
 //!   arrival shares 80%, 19.89%, 0.1%, 0.01%.
 
 use crate::source::{StreamMix, SubStreamSpec, ValueDist};
-use approxiot_core::StratumId;
+use approxiot_core::{Batch, StratumId};
 use std::time::Duration;
 
 /// The four Gaussian value distributions A–D of §V.
@@ -164,10 +164,20 @@ pub struct ChaosLevel {
     pub jitter_window_fraction: f64,
 }
 
-/// The chaos sweep of the loss-vs-error experiments: a perfect network
-/// (the control — must reproduce the unimpaired run exactly), 1% loss and
-/// 10% loss, each with proportional jitter and light duplication.
-pub fn chaos_levels() -> [ChaosLevel; 3] {
+impl ChaosLevel {
+    /// Percentage points of loss, as used in scenario ids and tables
+    /// (`0`, `1`, `5`, `10`).
+    pub fn loss_pct(&self) -> u32 {
+        (self.loss * 100.0).round() as u32
+    }
+}
+
+/// The full loss grid of the error-vs-cost matrix: `{0, 1%, 5%, 10%}`
+/// frame loss per hop, each with proportional jitter and light
+/// duplication. Level 0 is the unimpaired control (an all-zero spec —
+/// must reproduce the clean run exactly); [`chaos_levels`] is the
+/// three-level subset the chaos example sweeps.
+pub fn matrix_levels() -> [ChaosLevel; 4] {
     [
         ChaosLevel {
             label: "loss 0%",
@@ -182,6 +192,12 @@ pub fn chaos_levels() -> [ChaosLevel; 3] {
             jitter_window_fraction: 0.05,
         },
         ChaosLevel {
+            label: "loss 5%",
+            loss: 0.05,
+            duplicate: 0.01,
+            jitter_window_fraction: 0.075,
+        },
+        ChaosLevel {
             label: "loss 10%",
             loss: 0.10,
             duplicate: 0.02,
@@ -190,11 +206,48 @@ pub fn chaos_levels() -> [ChaosLevel; 3] {
     ]
 }
 
+/// The sampling fractions of the error-vs-cost matrix (the ROADMAP sweep:
+/// 10% and 20% end to end).
+pub const MATRIX_FRACTIONS: [f64; 2] = [0.10, 0.20];
+
+/// The §III-E edge worker-shard counts of the thread-scaling matrix.
+pub const MATRIX_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// The chaos sweep of the loss-vs-error experiments: a perfect network
+/// (the control — must reproduce the unimpaired run exactly), 1% loss and
+/// 10% loss, each with proportional jitter and light duplication. A
+/// subset of [`matrix_levels`] (which adds the 5% midpoint).
+pub fn chaos_levels() -> [ChaosLevel; 3] {
+    let [control, low, _, high] = matrix_levels();
+    [control, low, high]
+}
+
 /// The chaos-sweep workload: the Figure 5(a) Gaussian mix — four strata
 /// whose scales span four orders of magnitude, so uncorrected loss shows
 /// up immediately in the SUM estimate.
 pub fn chaos_mix(total_rate: f64, interval: Duration) -> StreamMix {
     gaussian_mix(total_rate, interval)
+}
+
+/// Prepares one interval batch for a multi-source topology: remaps every
+/// timestamp strictly inside window `t` (never on the boundary, so each
+/// interval closes exactly one window) and splits the items round-robin
+/// over `sources` per-source batches.
+///
+/// This is the fixed-seed interval shape shared by the chaos example and
+/// the bench harness's scenario matrix — one implementation, so the
+/// example's zero-loss control validates exactly the workload the
+/// harness measures.
+pub fn split_interval(mut batch: Batch, t: u64, window: Duration, sources: usize) -> Vec<Batch> {
+    let window_nanos = window.as_nanos() as u64;
+    for item in &mut batch.items {
+        item.source_ts = t * window_nanos + 1 + item.source_ts % (window_nanos - 1);
+    }
+    let mut per_source: Vec<Batch> = (0..sources).map(|_| Batch::new()).collect();
+    for (k, item) in batch.items.into_iter().enumerate() {
+        per_source[k % sources].items.push(item);
+    }
+    per_source
 }
 
 #[cfg(test)]
@@ -214,6 +267,51 @@ mod tests {
         assert!(levels.windows(2).all(|w| w[0].loss < w[1].loss));
         let mix = chaos_mix(1000.0, Duration::from_secs(1));
         assert_eq!(mix.strata().len(), 4);
+    }
+
+    #[test]
+    fn matrix_levels_cover_the_roadmap_grid() {
+        let levels = matrix_levels();
+        assert_eq!(
+            levels.map(|l| l.loss_pct()),
+            [0, 1, 5, 10],
+            "the ROADMAP sweep grid"
+        );
+        assert!(levels.windows(2).all(|w| w[0].loss < w[1].loss));
+        // Jitter and duplication scale with loss (zero only at the control).
+        assert!(levels[1..]
+            .iter()
+            .all(|l| l.duplicate > 0.0 && l.jitter_window_fraction > 0.0));
+        // The chaos example's three levels are a strict subset.
+        let chaos = chaos_levels();
+        assert_eq!(chaos[0], levels[0]);
+        assert_eq!(chaos[1], levels[1]);
+        assert_eq!(chaos[2], levels[3]);
+        assert_eq!(MATRIX_FRACTIONS, [0.10, 0.20]);
+        assert_eq!(MATRIX_WORKERS, [1, 2, 4]);
+    }
+
+    #[test]
+    fn split_interval_remaps_into_the_window_and_splits_round_robin() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let window = Duration::from_secs(1);
+        let nanos = window.as_nanos() as u64;
+        let batch = chaos_mix(800.0, window).next_interval(&mut rng);
+        let total = batch.len();
+        let values: f64 = batch.value_sum();
+        let parts = split_interval(batch, 3, window, 8);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(parts.iter().map(Batch::len).sum::<usize>(), total);
+        // Round-robin split is balanced to within one item.
+        assert!(parts.iter().all(|p| p.len().abs_diff(total / 8) <= 1));
+        // Every timestamp lands strictly inside window 3.
+        assert!(parts
+            .iter()
+            .flat_map(|p| &p.items)
+            .all(|i| i.source_ts > 3 * nanos && i.source_ts < 4 * nanos));
+        // Splitting moves items, never makes or loses value.
+        let sum: f64 = parts.iter().map(Batch::value_sum).sum();
+        assert!((sum - values).abs() < 1e-6);
     }
 
     #[test]

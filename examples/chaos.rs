@@ -21,26 +21,19 @@ use std::time::Duration;
 
 const WINDOW: Duration = Duration::from_secs(1);
 const INTERVALS: u64 = 8;
-const SEC: u64 = 1_000_000_000;
 
 /// The fixed-seed workload: `INTERVALS` windows of the four-strata chaos
-/// mix, split round-robin over the topology's sources.
+/// mix, split round-robin over the topology's sources (the same
+/// [`scenarios::split_interval`] shape the bench harness measures).
 fn intervals(sources: usize) -> (Vec<Vec<Batch>>, f64) {
     let mut rng = StdRng::seed_from_u64(0xC4A05);
     let mut mix = scenarios::chaos_mix(40_000.0, WINDOW);
     let mut truth = 0.0;
     let data = (0..INTERVALS)
         .map(|t| {
-            let mut batch = mix.next_interval(&mut rng);
-            for item in &mut batch.items {
-                item.source_ts = t * SEC + 1 + item.source_ts % (SEC - 1);
-            }
+            let batch = mix.next_interval(&mut rng);
             truth += batch.value_sum();
-            let mut per_source: Vec<Batch> = (0..sources).map(|_| Batch::new()).collect();
-            for (k, item) in batch.items.into_iter().enumerate() {
-                per_source[k % sources].items.push(item);
-            }
-            per_source
+            scenarios::split_interval(batch, t, WINDOW, sources)
         })
         .collect();
     (data, truth)
@@ -95,26 +88,22 @@ fn main() -> ExitCode {
     println!("level      completeness   est. error   items dropped   dup'd");
     for level in scenarios::chaos_levels() {
         let report = run(topology(&level), &data);
-        let est: f64 = report.results.iter().map(|r| r.estimate.value).sum();
-        let completeness = report.results.iter().map(|r| r.completeness).sum::<f64>()
-            / report.results.len() as f64;
+        // The shared metrics module (also behind the bench harness's
+        // scenario matrix) owns the error/completeness reduction.
+        let summary = RunSummary::of(&report);
         println!(
             "{:<10} {:>10.1}%   {:>9.3}%   {:>13}   {:>5}",
             level.label,
-            100.0 * completeness,
-            100.0 * accuracy_loss(est, truth),
-            report.faults.dropped_items(),
-            report.faults.duplicated_items(),
+            100.0 * summary.mean_completeness,
+            100.0 * summary.total_error_vs(truth),
+            summary.dropped_items,
+            summary.duplicated_items,
         );
 
         if level.loss == 0.0 {
             // The control must match the unimpaired baseline bit for bit.
-            let identical = report.results.len() == baseline.results.len()
-                && report.results.iter().zip(&baseline.results).all(|(a, b)| {
-                    a.estimate.value.to_bits() == b.estimate.value.to_bits()
-                        && a.count_hat.to_bits() == b.count_hat.to_bits()
-                        && a.completeness == 1.0
-                });
+            let identical = results_bit_identical(&report, &baseline)
+                && report.results.iter().all(|r| r.completeness == 1.0);
             if !identical || !report.faults.is_clean() {
                 eprintln!("FAIL: zero-loss chaos config diverged from the unimpaired baseline");
                 return ExitCode::FAILURE;
