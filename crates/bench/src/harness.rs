@@ -30,8 +30,8 @@ use crate::json::Json;
 use approxiot_core::accuracy_loss;
 use approxiot_net::ImpairmentSpec;
 use approxiot_runtime::{
-    mean_window_error, window_estimates, Driver, EngineKind, LayerSpec, QuerySet, QuerySpec,
-    RunReport, RunSummary, Strategy, Topology,
+    mean_window_error, window_estimates, ChurnSchedule, Driver, EngineKind, LayerSpec, QuerySet,
+    QuerySpec, RunReport, RunSummary, Strategy, Topology,
 };
 use approxiot_workload::scenarios::{self, ChaosLevel};
 use approxiot_workload::StreamMix;
@@ -41,7 +41,8 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Version of the `BENCH_harness.json` schema this build reads/writes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the churn scenario rows and their five exact-integer columns.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Every shape feeds this many sources, so one fixed-seed dataset serves
 /// the whole matrix.
@@ -71,6 +72,50 @@ impl Shape {
     }
 }
 
+/// Named fleet-churn schedules the matrix sweeps on the paper tree
+/// (layers 4 → 2); each is a deterministic [`ChurnSchedule`] scaled to
+/// the workload's interval count so the quick and full workloads both
+/// exercise it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPreset {
+    /// One leaf crashes mid-run, losing its buffered window.
+    CrashOneLeaf,
+    /// A staggered one-interval reboot walks across all four leaves.
+    RollingReboot,
+    /// A mid node goes dark for the second half of the run, taking its
+    /// whole subtree's output with it.
+    DarkSubtree,
+    /// Every leaf drops to a half-fraction low-power mode after warm-up.
+    LowPowerFleet,
+}
+
+impl ChurnPreset {
+    /// Scenario-id slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ChurnPreset::CrashOneLeaf => "crash-one-leaf",
+            ChurnPreset::RollingReboot => "rolling-reboot",
+            ChurnPreset::DarkSubtree => "dark-subtree",
+            ChurnPreset::LowPowerFleet => "low-power-fleet",
+        }
+    }
+
+    /// The schedule, scaled to `intervals` windows of workload.
+    pub fn schedule(self, intervals: u64) -> ChurnSchedule {
+        let mid = (intervals / 2).max(1);
+        match self {
+            ChurnPreset::CrashOneLeaf => ChurnSchedule::new().crash(0, 0, mid),
+            ChurnPreset::RollingReboot => (0..4u64).fold(ChurnSchedule::new(), |s, k| {
+                s.down(0, k as usize, 1 + k, 2 + k)
+            }),
+            ChurnPreset::DarkSubtree => ChurnSchedule::new().down(1, 0, mid, mid + intervals),
+            ChurnPreset::LowPowerFleet => (0..4).fold(ChurnSchedule::new(), |s, k| {
+                s.low_power(0, k, 1, intervals.max(2), 0.5)
+            }),
+        }
+    }
+}
+
 /// One cell of the scenario matrix.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -84,20 +129,28 @@ pub struct Scenario {
     pub level: ChaosLevel,
     /// End-to-end sampling fraction.
     pub fraction: f64,
+    /// Fleet-churn schedule, if any (paper shape only).
+    pub churn: Option<ChurnPreset>,
 }
 
 impl Scenario {
     /// The stable row id baselines are matched by, e.g.
-    /// `paper/approxiot/w2/loss5/f20`.
+    /// `paper/approxiot/w2/loss5/f20` — churn rows append their preset
+    /// slug (`.../f20/churn-rolling-reboot`), so pre-churn ids are
+    /// untouched.
     pub fn id(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/w{}/loss{}/f{}",
             self.shape.slug(),
             self.strategy.label(),
             self.workers,
             self.level.loss_pct(),
             (self.fraction * 100.0).round() as u32
-        )
+        );
+        match self.churn {
+            Some(preset) => format!("{base}/churn-{}", preset.slug()),
+            None => base,
+        }
     }
 
     /// The topology this cell runs.
@@ -119,6 +172,10 @@ impl Scenario {
                 .layer(LayerSpec::new(4).workers(self.workers))
                 .layer(LayerSpec::new(2).workers(self.workers)),
         };
+        let builder = match self.churn {
+            Some(preset) => builder.churn(preset.schedule(opts.intervals)),
+            None => builder,
+        };
         builder
             .impair_all_hops(spec)
             .strategy(self.strategy)
@@ -131,8 +188,8 @@ impl Scenario {
 }
 
 /// The default matrix: the full ROADMAP loss × fraction × workers sweep
-/// on the paper tree, the SRS/native strategy baselines, and the shape
-/// sweep — 34 scenarios.
+/// on the paper tree, the SRS/native strategy baselines, the shape
+/// sweep, and the fleet-churn preset sweep — 38 scenarios.
 pub fn default_matrix() -> Vec<Scenario> {
     let levels = scenarios::matrix_levels();
     let mut matrix = Vec::new();
@@ -147,6 +204,7 @@ pub fn default_matrix() -> Vec<Scenario> {
                     workers,
                     level,
                     fraction,
+                    churn: None,
                 });
             }
         }
@@ -165,6 +223,7 @@ pub fn default_matrix() -> Vec<Scenario> {
                 workers: 1,
                 level,
                 fraction,
+                churn: None,
             });
         }
     }
@@ -175,6 +234,7 @@ pub fn default_matrix() -> Vec<Scenario> {
             workers: 1,
             level,
             fraction: 1.0,
+            churn: None,
         });
     }
     // 3. Shape sweep at the 20% fraction: one hop deeper, and shards on
@@ -187,8 +247,28 @@ pub fn default_matrix() -> Vec<Scenario> {
                 workers: 4,
                 level,
                 fraction: 0.2,
+                churn: None,
             });
         }
+    }
+    // 4. Fleet-churn presets on the clean paper tree at the 20% fraction:
+    //    each scored against the same (unchurned) native reference, so
+    //    the error columns show what the node-level Horvitz–Thompson
+    //    rescale recovers under outages.
+    for churn in [
+        ChurnPreset::CrashOneLeaf,
+        ChurnPreset::RollingReboot,
+        ChurnPreset::DarkSubtree,
+        ChurnPreset::LowPowerFleet,
+    ] {
+        matrix.push(Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::whs(),
+            workers: 1,
+            level: levels[0],
+            fraction: 0.2,
+            churn: Some(churn),
+        });
     }
     matrix
 }
@@ -271,6 +351,7 @@ pub fn run_reference(
         workers: 1,
         level: scenarios::matrix_levels()[0],
         fraction: 1.0,
+        churn: None,
     };
     run_scenario(&exact, opts, data)
 }
@@ -299,6 +380,16 @@ pub struct ScenarioRow {
     pub dropped_late: u64,
     /// Items pushed by the sources.
     pub source_items: u64,
+    /// Node-intervals spent down across the fleet ([`RunReport::churn`]).
+    pub node_downtime: u64,
+    /// Windows in which any node was not fully healthy.
+    pub windows_degraded: u64,
+    /// Mid-window crashes that fired.
+    pub churn_crashes: u64,
+    /// Down→up transitions observed on the timeline.
+    pub churn_reboots: u64,
+    /// Replacement nodes that joined a layer.
+    pub churn_replacements: u64,
     /// Wire bytes per hop, source-side hop first.
     pub hop_bytes: Vec<u64>,
     /// Bytes past the first hop (what sampling saves on).
@@ -373,6 +464,11 @@ pub fn run_matrix(matrix: &[Scenario], opts: &HarnessOptions) -> MatrixReport {
                 duplicated_items: summary.duplicated_items,
                 dropped_late: summary.dropped_late,
                 source_items: summary.source_items,
+                node_downtime: report.churn.node_downtime,
+                windows_degraded: report.churn.windows_degraded,
+                churn_crashes: report.churn.crashes,
+                churn_reboots: report.churn.reboots,
+                churn_replacements: report.churn.replacements,
                 hop_bytes: summary.hop_bytes,
                 wire_bytes: summary.wire_bytes,
                 elapsed_secs: summary.elapsed.as_secs_f64(),
@@ -422,6 +518,11 @@ impl MatrixReport {
                                 ("dropped_late", Json::from(row.dropped_late)),
                                 ("duplicated_items", Json::from(row.duplicated_items)),
                                 ("source_items", Json::from(row.source_items)),
+                                ("node_downtime", Json::from(row.node_downtime)),
+                                ("windows_degraded", Json::from(row.windows_degraded)),
+                                ("churn_crashes", Json::from(row.churn_crashes)),
+                                ("churn_reboots", Json::from(row.churn_reboots)),
+                                ("churn_replacements", Json::from(row.churn_replacements)),
                                 (
                                     "hop_bytes",
                                     Json::Arr(
@@ -504,6 +605,11 @@ impl MatrixReport {
                     dropped_late: field_u64(row, "dropped_late")?,
                     duplicated_items: field_u64(row, "duplicated_items")?,
                     source_items: field_u64(row, "source_items")?,
+                    node_downtime: field_u64(row, "node_downtime")?,
+                    windows_degraded: field_u64(row, "windows_degraded")?,
+                    churn_crashes: field_u64(row, "churn_crashes")?,
+                    churn_reboots: field_u64(row, "churn_reboots")?,
+                    churn_replacements: field_u64(row, "churn_replacements")?,
                     hop_bytes: row
                         .get("hop_bytes")
                         .and_then(Json::as_arr)
@@ -679,6 +785,19 @@ pub fn check(current: &MatrixReport, baseline: &MatrixReport) -> CheckReport {
             base.duplicated_items,
         );
         exact_u64("source_items", row.source_items, base.source_items);
+        exact_u64("node_downtime", row.node_downtime, base.node_downtime);
+        exact_u64(
+            "windows_degraded",
+            row.windows_degraded,
+            base.windows_degraded,
+        );
+        exact_u64("churn_crashes", row.churn_crashes, base.churn_crashes);
+        exact_u64("churn_reboots", row.churn_reboots, base.churn_reboots);
+        exact_u64(
+            "churn_replacements",
+            row.churn_replacements,
+            base.churn_replacements,
+        );
         exact_u64("wire_bytes", row.wire_bytes, base.wire_bytes);
         if row.hop_bytes != base.hop_bytes {
             failures.push(format!(
@@ -763,18 +882,19 @@ pub fn markdown_summary(report: &MatrixReport) -> String {
         report.cpus
     );
     out.push_str(
-        "\n| scenario | err % | total err % | compl % | dropped | wire KiB | Mitems/s |\n\
-         |---|---:|---:|---:|---:|---:|---:|\n",
+        "\n| scenario | err % | total err % | compl % | dropped | downtime | wire KiB | Mitems/s |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|\n",
     );
     for row in &report.rows {
         let _ = writeln!(
             out,
-            "| {} | {:.3} | {:.3} | {:.1} | {} | {:.1} | {:.2} |",
+            "| {} | {:.3} | {:.3} | {:.1} | {} | {} | {:.1} | {:.2} |",
             row.id,
             row.mean_error * 100.0,
             row.total_error * 100.0,
             row.mean_completeness * 100.0,
             row.dropped_items,
+            row.node_downtime,
             row.wire_bytes as f64 / 1024.0,
             row.throughput_items_per_sec / 1e6
         );
@@ -807,6 +927,7 @@ mod tests {
                 workers: 1,
                 level: levels[0],
                 fraction: 0.2,
+                churn: None,
             },
             Scenario {
                 shape: Shape::Paper,
@@ -814,6 +935,7 @@ mod tests {
                 workers: 2,
                 level: levels[2],
                 fraction: 0.1,
+                churn: None,
             },
             Scenario {
                 shape: Shape::Deep4,
@@ -821,6 +943,7 @@ mod tests {
                 workers: 4,
                 level: levels[3],
                 fraction: 0.2,
+                churn: None,
             },
             Scenario {
                 shape: Shape::Paper,
@@ -828,6 +951,15 @@ mod tests {
                 workers: 1,
                 level: levels[1],
                 fraction: 0.1,
+                churn: None,
+            },
+            Scenario {
+                shape: Shape::Paper,
+                strategy: Strategy::whs(),
+                workers: 1,
+                level: levels[0],
+                fraction: 0.2,
+                churn: Some(ChurnPreset::RollingReboot),
             },
         ]
     }
@@ -860,7 +992,19 @@ mod tests {
         assert!(ids.contains(&"paper/native/w1/loss5/f100".to_string()));
         assert!(ids.iter().any(|id| id.starts_with("deep4/")));
         assert!(ids.iter().any(|id| id.starts_with("sharded/")));
-        assert_eq!(matrix.len(), 34);
+        // The four churn presets, each on the clean paper tree — and
+        // never suffixing a pre-churn id.
+        for slug in [
+            "crash-one-leaf",
+            "rolling-reboot",
+            "dark-subtree",
+            "low-power-fleet",
+        ] {
+            let id = format!("paper/approxiot/w1/loss0/f20/churn-{slug}");
+            assert!(ids.contains(&id), "matrix is missing {id}");
+        }
+        assert!(ids.contains(&"paper/approxiot/w1/loss0/f20".to_string()));
+        assert_eq!(matrix.len(), 38);
     }
 
     #[test]
@@ -919,6 +1063,7 @@ mod tests {
             workers: 1,
             level: scenarios::matrix_levels()[0],
             fraction: 0.2,
+            churn: None,
         };
         let impaired_path = run_scenario(&control, &opts, &data);
         // The same topology built without impair_all_hops at all.
@@ -939,6 +1084,23 @@ mod tests {
         assert!(results_bit_identical(&impaired_path, &clean_run));
         assert!(impaired_path.faults.is_clean());
         assert!(impaired_path.results.iter().all(|r| r.completeness == 1.0));
+    }
+
+    #[test]
+    fn churn_rows_record_outage_accounting() {
+        let opts = tiny_opts();
+        let report = run_matrix(&subset(), &opts);
+        let by_id: BTreeMap<&str, &ScenarioRow> =
+            report.rows.iter().map(|r| (r.id.as_str(), r)).collect();
+        let rebooting = by_id["paper/approxiot/w1/loss0/f20/churn-rolling-reboot"];
+        assert!(rebooting.node_downtime > 0, "reboots must cost downtime");
+        assert!(rebooting.windows_degraded > 0);
+        assert!(rebooting.mean_completeness < 1.0);
+        // The unchurned control row stays clean.
+        let control = by_id["paper/approxiot/w1/loss0/f20"];
+        assert_eq!(control.node_downtime, 0);
+        assert_eq!(control.windows_degraded, 0);
+        assert_eq!(control.churn_crashes, 0);
     }
 
     #[test]
@@ -980,6 +1142,22 @@ mod tests {
         drifted.rows[1].mean_completeness -= 1e-12;
         assert!(!check(&report, &drifted).passed());
 
+        // A perturbed churn column fails with a named finding.
+        let mut drifted = baseline.clone();
+        drifted.rows[0].node_downtime += 1;
+        let outcome = check(&report, &drifted);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("node_downtime")),
+            "{:?}",
+            outcome.failures
+        );
+        let mut drifted = baseline.clone();
+        drifted.rows[1].churn_crashes += 1;
+        assert!(check(&report, &drifted)
+            .failures
+            .iter()
+            .any(|f| f.contains("churn_crashes")));
+
         // Scenario-set drift is named in both directions.
         let mut missing_row = baseline.clone();
         missing_row.rows.pop();
@@ -1019,6 +1197,11 @@ mod tests {
             duplicated_items: 0,
             dropped_late: 0,
             source_items: 1_000_000,
+            node_downtime: 0,
+            windows_degraded: 0,
+            churn_crashes: 0,
+            churn_reboots: 0,
+            churn_replacements: 0,
             hop_bytes: vec![100, 10],
             wire_bytes: 10,
             elapsed_secs: elapsed_per_row,

@@ -41,6 +41,7 @@
 //! # Ok::<(), approxiot_runtime::EngineError>(())
 //! ```
 
+use crate::churn::{ChurnDriver, ChurnStats, NodeChurnContext, NodeChurnState, NodeDisposition};
 use crate::fault::{FaultInjector, HopFaults};
 use crate::node::SamplingNode;
 use crate::pipeline::{LatencyStats, PipelineEngine, PipelineOptions};
@@ -129,6 +130,9 @@ pub struct RunReport {
     /// Frames/items dropped and duplicated per hop by fault injection
     /// (all-zero on an unimpaired topology).
     pub faults: HopFaults,
+    /// Fleet-churn accounting: node downtime, degraded windows, crash /
+    /// reboot / replacement counts (all-zero on an unchurned topology).
+    pub churn: ChurnStats,
     /// Items pushed by the sources.
     pub source_items: u64,
     /// Wall time from engine start to completion.
@@ -186,6 +190,15 @@ pub struct SimEngine {
     source_items: u64,
     /// High-water event time seen so far — [`Engine::poll`]'s watermark.
     max_event_ts: u64,
+    /// Intervals pushed so far — the churn schedule's timeline index.
+    intervals_pushed: u64,
+    /// Churn bookkeeping (`None` on an unchurned topology: strict no-op).
+    churn: Option<ChurnDriver>,
+    /// `churn_ctx[layer][index]` / `churn_states[layer][index]`: the
+    /// per-node rebuild context and lazily-applied churn state (empty
+    /// unless the topology carries churn).
+    churn_ctx: Vec<Vec<NodeChurnContext>>,
+    churn_states: Vec<Vec<NodeChurnState>>,
     started: Instant,
 }
 
@@ -214,7 +227,7 @@ impl SimEngine {
                     .collect::<Result<Vec<_>, _>>()
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let root = RootNode::new(RootConfig {
+        let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
             fraction: *fractions.last().expect("depth >= 1"),
             overall_fraction: topology.overall_fraction(),
@@ -224,6 +237,28 @@ impl SimEngine {
             delivery_factor: topology.delivery_factor(),
             allowed_lateness: topology.allowed_lateness(),
         })?;
+        let (churn, churn_ctx, churn_states) = if topology.has_churn() {
+            let driver = ChurnDriver::new(&topology);
+            root.set_inclusion(driver.inclusion());
+            let ctx = topology
+                .layers()
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| {
+                    (0..layer.nodes)
+                        .map(|j| NodeChurnContext::new(&topology, &fractions, l, j))
+                        .collect()
+                })
+                .collect();
+            let states = topology
+                .layers()
+                .iter()
+                .map(|layer| vec![NodeChurnState::new(); layer.nodes])
+                .collect();
+            (Some(driver), ctx, states)
+        } else {
+            (None, Vec::new(), Vec::new())
+        };
         let injectors = hop_injectors(&topology);
         let hops = topology.hops();
         let scheme = TumblingWindow::new(topology.window());
@@ -238,6 +273,10 @@ impl SimEngine {
             results: Vec::new(),
             source_items: 0,
             max_event_ts: 0,
+            intervals_pushed: 0,
+            churn,
+            churn_ctx,
+            churn_states,
             started: Instant::now(),
         })
     }
@@ -261,10 +300,13 @@ impl SimEngine {
     /// bill — twice, and reordered frames swap within their burst (the
     /// outputs a node emits for one input frame).
     pub fn push_interval(&mut self, source_batches: &[Batch]) {
+        let interval = self.intervals_pushed;
+        self.intervals_pushed += 1;
+        let churned = self.churn.is_some();
         let impaired = self.topology.has_impairment();
         for batch in source_batches {
             self.source_items += batch.len() as u64;
-            if impaired {
+            if impaired && !churned {
                 // Per-window true counts: the completeness denominator.
                 for item in &batch.items {
                     self.max_event_ts = self.max_event_ts.max(item.source_ts);
@@ -275,11 +317,16 @@ impl SimEngine {
                 }
             } else if let Some(ts) = batch.items.iter().map(|i| i.source_ts).max() {
                 // Unimpaired: completeness is 1.0 by definition, so keep
-                // the historical single max() pass.
+                // the historical single max() pass. (Churned runs track
+                // per-window counts in the inclusion map instead.)
                 self.max_event_ts = self.max_event_ts.max(ts);
             }
         }
-        if impaired {
+        if let Some(churn) = self.churn.as_mut() {
+            // Inclusion tallies + fleet stats, before the data flows.
+            churn.note_interval(interval, source_batches);
+            self.push_interval_churned(source_batches, interval);
+        } else if impaired {
             self.push_interval_impaired(source_batches);
         } else {
             self.push_interval_clean(source_batches);
@@ -419,6 +466,103 @@ impl SimEngine {
         }
     }
 
+    /// The churned path: the impaired path's wire semantics plus the
+    /// per-node churn state machine. A dark node's delivered frames are
+    /// lost at its doorstep (the sender already transmitted — and billed —
+    /// them); a crashed node processes its input (its sampler RNG advances
+    /// exactly as if healthy) then loses its buffered output before
+    /// forwarding; replacements and fraction scales are applied lazily via
+    /// [`NodeChurnState::sync`] only when a node is about to process data,
+    /// the same moments replay mode applies them — which is what keeps
+    /// fixed-seed churn runs engine-identical.
+    fn push_interval_churned(&mut self, source_batches: &[Batch], interval: u64) {
+        let Self {
+            topology,
+            nodes,
+            root,
+            bytes,
+            injectors,
+            churn_ctx,
+            churn_states,
+            ..
+        } = self;
+        let schedule = topology.churn();
+        let n_layers = nodes.len();
+        // Hop 0: sources are never churned; identical to the impaired path.
+        let n0 = topology.layers()[0].nodes;
+        let mut inputs: Vec<Vec<Batch>> = vec![Vec::new(); n0];
+        for (i, batch) in source_batches.iter().enumerate() {
+            let sink = &mut inputs[i % n0];
+            match injectors[0][i].as_mut() {
+                Some(injector) => {
+                    injector.transmit(std::slice::from_ref(batch), &mut |frame, _| {
+                        bytes.add(0, encoded_len(frame) as u64);
+                        sink.push(frame.clone());
+                        true
+                    });
+                }
+                None => {
+                    bytes.add(0, encoded_len(batch) as u64);
+                    sink.push(batch.clone());
+                }
+            }
+        }
+        for (l, layer_nodes) in nodes.iter_mut().enumerate() {
+            let hop = l + 1;
+            let n_next = topology.layers().get(l + 1).map_or(0, |layer| layer.nodes);
+            let mut next: Vec<Vec<Batch>> = vec![Vec::new(); n_next];
+            for (j, frames) in inputs.into_iter().enumerate() {
+                if frames.is_empty() {
+                    // No deliveries — replay mode has no record to process
+                    // here either, so the node's churn state stays lazy.
+                    continue;
+                }
+                let disposition = schedule.disposition(l, j, interval);
+                if disposition == NodeDisposition::Down {
+                    continue; // dark: deliveries lost at the doorstep
+                }
+                churn_states[l][j].sync(&mut layer_nodes[j], &churn_ctx[l][j], schedule, interval);
+                let crashed = matches!(disposition, NodeDisposition::Crashed { .. });
+                for frame in &frames {
+                    let mut outs = layer_nodes[j].process_batch_parallel(frame);
+                    outs.retain(|out| !out.is_empty());
+                    if crashed {
+                        continue; // buffered output lost before forwarding
+                    }
+                    match injectors[hop][j].as_mut() {
+                        Some(injector) => {
+                            if l + 1 < n_layers {
+                                let sink = &mut next[j % n_next];
+                                injector.transmit(&outs, &mut |out, _| {
+                                    bytes.add(hop, encoded_len(out) as u64);
+                                    sink.push(out.clone());
+                                    true
+                                });
+                            } else {
+                                injector.transmit(&outs, &mut |out, _| {
+                                    bytes.add(hop, encoded_len(out) as u64);
+                                    root.ingest(out);
+                                    true
+                                });
+                            }
+                        }
+                        None => {
+                            for out in outs {
+                                bytes.add(hop, encoded_len(&out) as u64);
+                                if l + 1 < n_layers {
+                                    next[j % n_next].push(out);
+                                } else {
+                                    root.ingest(&out);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            inputs = next;
+        }
+    }
+
     /// Advances the event-time watermark, returning (and recording) the
     /// closed windows' results.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
@@ -437,9 +581,13 @@ impl SimEngine {
     }
 
     /// Fills in each result's completeness against the true per-window
-    /// source counts (only impaired topologies can be incomplete).
+    /// source counts (only impaired or churned topologies can be
+    /// incomplete; churn's per-window inclusion tallies subsume the
+    /// run-global impairment factor).
     fn annotate(&self, results: &mut [WindowResult]) {
-        if self.topology.has_impairment() {
+        if let Some(churn) = &self.churn {
+            churn.fill_completeness(results);
+        } else if self.topology.has_impairment() {
             fill_completeness(results, &self.window_items, self.topology.delivery_factor());
         }
     }
@@ -485,6 +633,11 @@ impl Engine for SimEngine {
             results,
             bytes: self.bytes,
             faults: collect_faults(&self.injectors),
+            churn: self
+                .churn
+                .as_ref()
+                .map(ChurnDriver::stats)
+                .unwrap_or_default(),
             source_items: self.source_items,
             elapsed,
             throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),

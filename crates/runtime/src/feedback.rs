@@ -25,6 +25,7 @@ pub struct FeedbackLoop {
     /// plus root); the paper's testbed has 3.
     depth: usize,
     refinements: u64,
+    gated: u64,
 }
 
 impl FeedbackLoop {
@@ -42,6 +43,7 @@ impl FeedbackLoop {
             confidence: Confidence::P95,
             depth: 3,
             refinements: 0,
+            gated: 0,
         })
     }
 
@@ -92,9 +94,30 @@ impl FeedbackLoop {
         self.refinements
     }
 
+    /// Number of windows skipped because their completeness fell below
+    /// [`COMPLETENESS_GATE`](Self::COMPLETENESS_GATE).
+    pub fn gated(&self) -> u64 {
+        self.gated
+    }
+
+    /// Windows with completeness below this are not fed to the
+    /// controller: their inflated error bound reflects missing data (a
+    /// dark subtree, heavy loss), not an under-sampled fleet, and raising
+    /// the fraction fleet-wide would not recover the lost strata.
+    pub const COMPLETENESS_GATE: f64 = 0.95;
+
     /// Feeds one window result back; returns the (possibly refined)
     /// overall fraction for the next window.
+    ///
+    /// Windows whose `completeness` falls below
+    /// [`COMPLETENESS_GATE`](Self::COMPLETENESS_GATE) leave the fraction
+    /// untouched — outage-driven inaccuracy must not escalate the sampling
+    /// fraction across the healthy part of the fleet.
     pub fn observe(&mut self, result: &WindowResult) -> f64 {
+        if result.completeness < Self::COMPLETENESS_GATE {
+            self.gated += 1;
+            return self.controller.fraction();
+        }
         let observed = result
             .estimate
             .relative_bound(self.confidence)
@@ -179,6 +202,26 @@ mod tests {
             .expect("valid")
             .for_topology(&topology);
         assert_eq!(feedback.depth(), 4);
+    }
+
+    #[test]
+    fn incomplete_windows_do_not_escalate_the_fraction() {
+        let mut feedback = FeedbackLoop::new(0.1, 0.01).expect("valid");
+        // Same 20x-over-budget bound as `noisy_windows_raise_the_fraction`,
+        // but the window is missing a subtree: the fraction must hold.
+        let mut dark = result(100.0, 100.0);
+        dark.completeness = 0.5;
+        let f = feedback.observe(&dark);
+        assert_eq!(f, 0.1);
+        assert_eq!(feedback.refinements(), 0);
+        assert_eq!(feedback.gated(), 1);
+        // Right at the gate the controller is consulted again.
+        let mut healthy = result(100.0, 100.0);
+        healthy.completeness = FeedbackLoop::COMPLETENESS_GATE;
+        let f = feedback.observe(&healthy);
+        assert!(f > 0.1);
+        assert_eq!(feedback.refinements(), 1);
+        assert_eq!(feedback.gated(), 1);
     }
 
     #[test]

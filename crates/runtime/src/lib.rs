@@ -39,6 +39,23 @@
 //! strict no-op. See [`fault`] for the determinism contract and
 //! `examples/chaos.rs` for a loss sweep.
 //!
+//! ## Fleet churn
+//!
+//! Node-level failures ride the same determinism contract: a
+//! [`ChurnSchedule`] attaches per-node events to the virtual timeline —
+//! down/up at interval boundaries, mid-window crashes that lose a node's
+//! buffered samples, replacement nodes joining a layer (fresh samplers
+//! seeded by [`Topology::replacement_seed`]), and degradation modes
+//! (low-power with a shrunken sampling fraction, or silent). Both engines
+//! honour the schedule identically — fixed-seed churn runs stay
+//! bit-identical across Sim and Pipeline-replay — and the analytics stay
+//! unbiased: the root generalizes the run-global Horvitz–Thompson rescale
+//! to per-window, per-stratum inclusion factors built from per-sender
+//! [`Topology::path_delivery_factor`]s, so SUM/COUNT hold up while a
+//! subtree is dark and `completeness` reflects outages, not just packet
+//! loss. An empty schedule is a strict no-op. See [`churn`] for the event
+//! semantics and `examples/churn.rs` for a rolling-reboot sweep.
+//!
 //! The paper's fixed `leaves/mids/root` shape survives as thin wrappers:
 //! [`TreeConfig`]/[`SimTree`] and [`PipelineConfig`]/[`run_pipeline`].
 //!
@@ -79,6 +96,7 @@
 //! # Ok::<(), approxiot_runtime::EngineError>(())
 //! ```
 
+pub mod churn;
 pub mod engine;
 pub mod fault;
 pub mod feedback;
@@ -91,6 +109,7 @@ pub mod root;
 pub mod topology;
 pub mod tree;
 
+pub use churn::{ChurnSchedule, ChurnStats, DegradedMode, NodeDisposition};
 pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
 pub use fault::{FaultInjector, FaultStats, HopFaults};
 pub use feedback::FeedbackLoop;

@@ -65,6 +65,7 @@
 //! `pipeline_throughput` bench (results in `BENCH_pipeline.json`) measures
 //! the combined effect at the system level.
 
+use crate::churn::{ChurnDriver, ChurnSchedule, NodeChurnContext, NodeChurnState, NodeDisposition};
 use crate::engine::{fill_completeness, Engine, EngineError, RunReport};
 use crate::fault::{FaultInjector, FaultStats, HopFaults};
 use crate::node::{SamplingNode, Strategy};
@@ -377,6 +378,10 @@ pub struct PipelineEngine {
     closed: bool,
     /// Scratch for wall-mode re-stamping.
     stamp_scratch: Batch,
+    /// Churn bookkeeping (`None` on an unchurned topology: strict no-op).
+    /// The driver notes inclusion tallies at push time; the root thread
+    /// reads them (through the shared handle) at answer time.
+    churn: Option<ChurnDriver>,
 }
 
 impl PipelineEngine {
@@ -426,6 +431,7 @@ impl PipelineEngine {
         let (result_tx, result_rx) = mpsc::channel();
         let (elapsed_tx, elapsed_rx) = mpsc::channel();
         let mut handles = Vec::new();
+        let churn = topology.has_churn().then(|| ChurnDriver::new(&topology));
 
         // ---- Edge layers ---------------------------------------------------
         for (l, layer) in topology.layers().iter().enumerate() {
@@ -462,6 +468,15 @@ impl PipelineEngine {
                     topology.hop_impairment_seed(l + 1, j),
                 );
                 let faults_out = Arc::clone(&fault_cells[l + 1]);
+                // The node's churn handle rides on its thread, applied
+                // lazily at the same processing moments the sim engine
+                // applies it (None on an unchurned topology).
+                let mut edge_churn = topology.has_churn().then(|| EdgeChurn {
+                    schedule: topology.churn().clone(),
+                    ctx: NodeChurnContext::new(&topology, &fractions, l, j),
+                    state: NodeChurnState::new(),
+                    scheme: TumblingWindow::new(topology.window()),
+                });
                 handles.push(
                     thread::Builder::new()
                         .name(format!("approxiot-edge-{l}-{j}"))
@@ -474,6 +489,7 @@ impl PipelineEngine {
                                     &params,
                                     limiter,
                                     &mut injector,
+                                    &mut edge_churn,
                                 );
                             } else {
                                 edge_node_loop(
@@ -484,6 +500,7 @@ impl PipelineEngine {
                                     limiter,
                                     epoch,
                                     &mut injector,
+                                    &mut edge_churn,
                                 );
                             }
                             if let Some(injector) = &injector {
@@ -503,7 +520,7 @@ impl PipelineEngine {
         }
 
         // ---- Root ----------------------------------------------------------
-        let root = RootNode::new(RootConfig {
+        let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
             fraction: *fractions.last().expect("depth >= 1"),
             overall_fraction: topology.overall_fraction(),
@@ -513,6 +530,14 @@ impl PipelineEngine {
             delivery_factor: topology.delivery_factor(),
             allowed_lateness: topology.allowed_lateness(),
         })?;
+        if let Some(churn) = &churn {
+            // In replay mode the root only answers after its input closes,
+            // by which time every pushed interval has been noted, so the
+            // inclusion map it reads is complete (wall mode reads the
+            // tallies noted up to each watermark advance — approximate,
+            // like all wall-mode accounting).
+            root.set_inclusion(churn.inclusion());
+        }
         let root_consumer =
             Consumer::subscribe_all(Arc::clone(&feeds[n_layers]), StartOffset::Earliest);
         let root_delay = topology.root_link().delay;
@@ -574,6 +599,7 @@ impl PipelineEngine {
             intervals_pushed: 0,
             closed: false,
             stamp_scratch: Batch::new(),
+            churn,
         })
     }
 
@@ -626,7 +652,9 @@ impl PipelineEngine {
         while let Ok(result) = self.result_rx.try_recv() {
             new.push(result);
         }
-        if self.topology.has_impairment() {
+        if let Some(churn) = &self.churn {
+            churn.fill_completeness(&mut new);
+        } else if self.topology.has_impairment() {
             fill_completeness(
                 &mut new,
                 &self.window_items,
@@ -655,8 +683,17 @@ impl Engine for PipelineEngine {
         self.intervals_pushed += 1;
         // Per-window true counts feed each result's completeness fraction;
         // on a perfect network completeness is 1.0 by definition, so skip
-        // the bookkeeping entirely.
-        let impaired = self.topology.has_impairment();
+        // the bookkeeping entirely. (Churned runs track per-window counts
+        // in the inclusion map instead.)
+        let churned = self.churn.is_some();
+        let impaired = self.topology.has_impairment() && !churned;
+        if self.options.deterministic {
+            if let Some(churn) = self.churn.as_mut() {
+                // Same accumulation order as the sim engine: the interval's
+                // batches in source order, before any send.
+                churn.note_interval(key, interval);
+            }
+        }
         for (s, batch) in interval.iter().enumerate() {
             self.source_items += batch.len() as u64;
             if self.options.deterministic {
@@ -684,6 +721,12 @@ impl Engine for PipelineEngine {
                 stamped.clone_from(batch);
                 for item in &mut stamped.items {
                     item.source_ts = ts;
+                }
+                if let Some(churn) = self.churn.as_mut() {
+                    // Wall mode maps the schedule onto wall windows: the
+                    // re-stamped send time decides both the window and the
+                    // interval the fleet's dispositions are evaluated at.
+                    churn.note_wall(s, ts, &stamped);
                 }
                 let sent = self.send_source(s as u32, &stamped, ts);
                 self.stamp_scratch = stamped;
@@ -735,6 +778,11 @@ impl Engine for PipelineEngine {
                 .collect::<Vec<_>>()
                 .into(),
             faults,
+            churn: self
+                .churn
+                .as_ref()
+                .map(ChurnDriver::stats)
+                .unwrap_or_default(),
             source_items: self.source_items,
             elapsed,
             throughput_items_per_sec: self.source_items as f64 / elapsed.as_secs_f64().max(1e-9),
@@ -782,6 +830,30 @@ struct EdgeParams {
     sharded: bool,
 }
 
+/// One edge thread's view of the fleet churn schedule: its own slot's
+/// events plus the lazily-applied node state ([`NodeChurnState`]). Replay
+/// mode evaluates dispositions at each record's interval key — the exact
+/// timeline index the sim engine uses — which is what keeps fixed-seed
+/// churn runs engine-identical; the wall loop maps wall time onto windows
+/// instead.
+struct EdgeChurn {
+    schedule: ChurnSchedule,
+    ctx: NodeChurnContext,
+    state: NodeChurnState,
+    scheme: TumblingWindow,
+}
+
+impl EdgeChurn {
+    fn disposition(&self, interval: u64) -> NodeDisposition {
+        self.schedule
+            .disposition(self.ctx.layer, self.ctx.index, interval)
+    }
+
+    fn sync(&mut self, node: &mut SamplingNode, interval: u64) {
+        self.state.sync(node, &self.ctx, &self.schedule, interval);
+    }
+}
+
 /// The per-edge-node wall-clock loop.
 ///
 /// Steady-state allocation-free (see the module docs) **when the outgoing
@@ -793,6 +865,7 @@ struct EdgeParams {
 /// limiter or the wire, duplicated frames are sent twice, and jitter is
 /// added to the send timestamp (the consumer side holds the frame for
 /// `send + delay + jitter`).
+#[allow(clippy::too_many_arguments)]
 fn edge_node_loop(
     mut consumer: Consumer,
     producer: &BatchProducer,
@@ -801,6 +874,7 @@ fn edge_node_loop(
     limiter: Option<RateLimiter>,
     epoch: Instant,
     injector: &mut Option<FaultInjector>,
+    churn: &mut Option<EdgeChurn>,
 ) {
     // Sized to cover a window's held backlog in buffered (WHS) mode, not
     // just one poll's worth; beyond this a burst falls back to fresh
@@ -822,7 +896,38 @@ fn edge_node_loop(
     let forward = |node: &mut SamplingNode,
                    pool: &mut BatchPool,
                    injector: &mut Option<FaultInjector>,
+                   churn: &mut Option<EdgeChurn>,
                    mut batch: Batch| {
+        if let Some(churn) = churn {
+            // Wall mode evaluates the schedule at the wall window of "now"
+            // — the processing moment — mirroring a real fleet where an
+            // outage is a property of when work happens, not of the data.
+            let interval = churn.scheme.index_of(epoch.elapsed().as_nanos() as u64);
+            match churn.disposition(interval) {
+                NodeDisposition::Down => {
+                    // Dark: the delivery is lost at this node's doorstep
+                    // (the sender already billed the wire).
+                    pool.put(batch);
+                    return true;
+                }
+                NodeDisposition::Crashed { .. } => {
+                    // Mid-window crash: process (the sampler RNG advances
+                    // as if healthy), then lose the buffered output.
+                    churn.sync(node, interval);
+                    let outs = if params.sharded {
+                        node.process_batch_parallel(&batch)
+                    } else {
+                        vec![node.process_batch_mut(&mut batch)]
+                    };
+                    for out in outs {
+                        pool.put(out);
+                    }
+                    pool.put(batch);
+                    return true;
+                }
+                NodeDisposition::Active { .. } => churn.sync(node, interval),
+            }
+        }
         if let Some(injector) = injector {
             // Fault-injected path: the outputs of this one input frame are
             // one transmission burst.
@@ -877,14 +982,14 @@ fn edge_node_loop(
                     wait_until(epoch, record.timestamp, params.hop_delay);
                     if params.buffered {
                         held.push(batch);
-                    } else if !forward(&mut node, &mut pool, injector, batch) {
+                    } else if !forward(&mut node, &mut pool, injector, churn, batch) {
                         return;
                     }
                 }
             }
             Err(MqError::Closed) => {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &mut pool, injector, batch) {
+                    if !forward(&mut node, &mut pool, injector, churn, batch) {
                         return;
                     }
                 }
@@ -896,7 +1001,7 @@ fn edge_node_loop(
             let now = epoch.elapsed();
             if now.saturating_sub(last_flush) >= params.window {
                 for batch in held.drain(..) {
-                    if !forward(&mut node, &mut pool, injector, batch) {
+                    if !forward(&mut node, &mut pool, injector, churn, batch) {
                         return;
                     }
                 }
@@ -923,18 +1028,35 @@ fn edge_node_replay(
     params: &EdgeParams,
     limiter: Option<RateLimiter>,
     injector: &mut Option<FaultInjector>,
+    churn: &mut Option<EdgeChurn>,
 ) {
     let Some(mut held) = collect_until_closed(&mut consumer) else {
         return;
     };
     held.sort_by_key(|(key, _)| *key);
     for (key, mut batch) in held {
+        // Replay evaluates the schedule at the record's interval key —
+        // the same timeline index (and the same lazy application moments)
+        // as the sim engine's churned path.
+        let mut crashed = false;
+        if let Some(churn) = churn.as_mut() {
+            match churn.disposition(key.0) {
+                NodeDisposition::Down => continue, // lost at the doorstep
+                disposition => {
+                    churn.sync(&mut node, key.0);
+                    crashed = matches!(disposition, NodeDisposition::Crashed { .. });
+                }
+            }
+        }
         let mut outs = if params.sharded {
             node.process_batch_parallel(&batch)
         } else {
             vec![node.process_batch_mut(&mut batch)]
         };
         outs.retain(|out| !out.is_empty());
+        if crashed {
+            continue; // processed, then the buffered output is lost
+        }
         let sent = match injector {
             Some(injector) => injector.transmit(&outs, &mut |out, _| {
                 if let Some(l) = &limiter {

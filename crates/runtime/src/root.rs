@@ -1,6 +1,7 @@
 //! The root node: final sampling stage, windowed `Θ` store, query
 //! execution and error bounds (Algorithm 2, lines 20–26).
 
+use crate::churn::InclusionHandle;
 use crate::node::{SamplingNode, Strategy};
 use crate::query::{Query, QueryResults, QuerySet, QuerySpec, QueryValue};
 use approxiot_core::{Batch, Confidence, Estimate, StratumId, ThetaStore, WeightMap, WhsOutput};
@@ -142,6 +143,12 @@ pub struct RootNode {
     /// `dropped_late` already attributed to an emitted result.
     dropped_late_reported: u64,
     emitted: u64,
+    /// Per-window, per-stratum inclusion tallies shared with the engine's
+    /// churn driver (`None` on an unchurned topology). When present, the
+    /// run-global `loss_scale` generalizes at answer time to
+    /// `1 / (loss_scale_already_applied · inclusion_factor)` per stratum —
+    /// the node-level Horvitz–Thompson rescale.
+    inclusion: Option<InclusionHandle>,
 }
 
 impl RootNode {
@@ -176,7 +183,17 @@ impl RootNode {
             dropped_late: 0,
             dropped_late_reported: 0,
             emitted: 0,
+            inclusion: None,
         })
+    }
+
+    /// Attaches the engine's per-window inclusion map (fleet churn): at
+    /// answer time every stratum's weight is further divided by that
+    /// window's inclusion factor, generalizing the run-global loss rescale
+    /// to per-window, per-subtree delivery — SUM/COUNT stay unbiased while
+    /// nodes are down. Never called on an unchurned topology.
+    pub fn set_inclusion(&mut self, inclusion: InclusionHandle) {
+        self.inclusion = Some(inclusion);
     }
 
     /// The primary (first scalar) query this root runs.
@@ -344,6 +361,44 @@ impl RootNode {
         weights
     }
 
+    /// The node-level Horvitz–Thompson rescale (fleet churn only): divides
+    /// every stratum weight by the window's effective inclusion factor —
+    /// the expected delivered weight per pushed item, built by the engine
+    /// from per-sender path delivery factors over the leaves actually
+    /// alive that window. The `loss_scale` already applied at ingest is
+    /// part of the factor, so the combined multiplier per stratum is
+    /// exactly `1 / factor(window, stratum)` relative to the raw sampled
+    /// weights; with every node healthy the factor equals the run-global
+    /// delivery factor and the correction cancels. Strata whose factor is
+    /// zero (nothing could have arrived) are left untouched — there is no
+    /// unbiased extrapolation from an empty stratum.
+    fn rescale_for_inclusion(&self, window: WindowId, outputs: &mut [WhsOutput]) {
+        let Some(inclusion) = &self.inclusion else {
+            return;
+        };
+        let map = inclusion.lock().expect("inclusion mutex never poisoned");
+        let Some(tallies) = map.get(&window) else {
+            return;
+        };
+        for output in outputs {
+            let strata: std::collections::BTreeSet<StratumId> =
+                output.sample.iter().map(|i| i.stratum).collect();
+            for stratum in strata {
+                let Some(tally) = tallies.get(&stratum) else {
+                    continue;
+                };
+                let factor = tally.factor();
+                if factor <= 0.0 {
+                    continue;
+                }
+                let correction = 1.0 / (self.loss_scale * factor);
+                output
+                    .weights
+                    .set(stratum, output.weights.get(stratum) * correction);
+            }
+        }
+    }
+
     /// Advances the event-time watermark, closing and answering every
     /// window that ended at or before it.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
@@ -362,7 +417,8 @@ impl RootNode {
             .collect()
     }
 
-    fn answer(&mut self, window: WindowId, outputs: Vec<WhsOutput>) -> WindowResult {
+    fn answer(&mut self, window: WindowId, mut outputs: Vec<WhsOutput>) -> WindowResult {
+        self.rescale_for_inclusion(window, &mut outputs);
         let theta: ThetaStore = outputs.into_iter().collect();
         let queries = self.queries.run(&theta);
         // Reuse the registered answers for the result's primary fields;

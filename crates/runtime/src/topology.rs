@@ -32,6 +32,7 @@
 //! assert_eq!(topology.hops(), 3);  // sources→L1, L1→L2, L2→root
 //! ```
 
+use crate::churn::{self, ChurnSchedule, NodeDisposition};
 use crate::node::Strategy;
 use approxiot_core::{BudgetError, SamplingBudget};
 use approxiot_net::ImpairmentSpec;
@@ -241,6 +242,7 @@ pub struct Topology {
     allowed_lateness: Duration,
     sources: usize,
     seed: u64,
+    churn: ChurnSchedule,
 }
 
 impl Topology {
@@ -385,6 +387,77 @@ impl Topology {
             .product()
     }
 
+    /// Expected delivered copies per item of source `source`, compounding
+    /// the impairments of the specific links its items traverse
+    /// (source → its leaf, then the parent chain up to the root).
+    ///
+    /// [`Topology::delivery_factor`] multiplies one impairment per hop,
+    /// which silently assumes every sender on a hop is impaired alike;
+    /// once churn makes senders on the same hop differ (replacement or
+    /// degraded nodes), the root's Horvitz–Thompson rescale must weight
+    /// each source by *its own path*. With today's per-hop (not
+    /// per-link-instance) impairment specs the product is bitwise equal
+    /// to `delivery_factor()` for every source, so consuming this is a
+    /// strict refinement, not a behaviour change.
+    pub fn path_delivery_factor(&self, source: usize) -> f64 {
+        let mut factor = self.hop_impairment(0).delivery_factor();
+        let mut index = source % self.layers[0].nodes;
+        for layer in 0..self.layers.len() {
+            factor *= self.hop_impairment(layer + 1).delivery_factor();
+            index = self.parent_of(layer, index);
+        }
+        factor
+    }
+
+    /// The churn schedule (empty — a strict no-op — unless one was set
+    /// via [`TopologyBuilder::churn`]).
+    pub fn churn(&self) -> &ChurnSchedule {
+        &self.churn
+    }
+
+    /// Returns `true` when the topology carries any churn events at all.
+    pub fn has_churn(&self) -> bool {
+        !self.churn.is_noop()
+    }
+
+    /// Whether every node on source `source`'s path to the root is
+    /// processing during `interval` — `false` as soon as any node on the
+    /// path is dark (down or silent) or crashes that interval, because
+    /// the source's items can then never reach the root. Low-power nodes
+    /// count as alive (they still forward a sample).
+    pub fn source_path_alive(&self, source: usize, interval: u64) -> bool {
+        let mut index = source % self.layers[0].nodes;
+        for layer in 0..self.layers.len() {
+            match self.churn.disposition(layer, index, interval) {
+                NodeDisposition::Down | NodeDisposition::Crashed { .. } => return false,
+                NodeDisposition::Active { .. } => {}
+            }
+            index = self.parent_of(layer, index);
+        }
+        true
+    }
+
+    /// The deterministic churn-stream seed of node `index` in edge layer
+    /// `layer`, feeding replacement-node sampler seeds.
+    ///
+    /// A third odd multiplier keeps churn seeds disjoint from both
+    /// [`Topology::node_seed`] sampler seeds and
+    /// [`Topology::hop_impairment_seed`] fault streams.
+    pub fn churn_seed(&self, layer: usize, index: usize) -> u64 {
+        self.seed
+            ^ (0xD6E8_FEB8_6659_FD93u64
+                .wrapping_mul(layer as u64 + 1)
+                .wrapping_add(index as u64))
+    }
+
+    /// The sampler seed of the `generation`-th replacement node in slot
+    /// `(layer, index)` (generation 0 is the original node, which uses
+    /// [`Topology::node_seed`]). Mixed through splitmix64 so adjacent
+    /// generations decorrelate.
+    pub fn replacement_seed(&self, layer: usize, index: usize, generation: u64) -> u64 {
+        churn::replacement_seed(self.churn_seed(layer, index), generation)
+    }
+
     /// The deterministic impairment-stream seed of sender `sender` on hop
     /// `hop` (source index for hop 0, the sending node's index after
     /// that).
@@ -444,6 +517,7 @@ pub struct TopologyBuilder {
     impair_all: Option<ImpairmentSpec>,
     sources: usize,
     seed: u64,
+    churn: ChurnSchedule,
 }
 
 impl Default for TopologyBuilder {
@@ -460,6 +534,7 @@ impl Default for TopologyBuilder {
             impair_all: None,
             sources: 1,
             seed: 0,
+            churn: ChurnSchedule::new(),
         }
     }
 }
@@ -545,6 +620,14 @@ impl TopologyBuilder {
         self
     }
 
+    /// Attaches a deterministic churn schedule (node outages, crashes,
+    /// replacements, degradation) both engines honour identically; see
+    /// [`crate::churn`]. An empty schedule is a strict no-op.
+    pub fn churn(mut self, churn: ChurnSchedule) -> Self {
+        self.churn = churn;
+        self
+    }
+
     /// Validates and builds the topology.
     ///
     /// # Errors
@@ -554,7 +637,8 @@ impl TopologyBuilder {
     /// # Panics
     ///
     /// Panics if no edge layer was added, a layer has zero nodes or zero
-    /// workers, or no sources were declared.
+    /// workers, no sources were declared, or the churn schedule addresses
+    /// a node outside the tree (or carries an empty range / bad scale).
     pub fn build(self) -> Result<Topology, BudgetError> {
         assert!(
             !self.layers.is_empty(),
@@ -569,6 +653,8 @@ impl TopologyBuilder {
             assert!(layer.workers > 0, "edge layer {i} workers must be positive");
         }
         SamplingBudget::new(self.overall_fraction)?;
+        let node_counts: Vec<usize> = self.layers.iter().map(|l| l.nodes).collect();
+        self.churn.validate(&node_counts);
         let mut layers = self.layers;
         let mut root_link = self.root_link;
         if let Some(spec) = self.impair_all {
@@ -592,6 +678,7 @@ impl TopologyBuilder {
             allowed_lateness: self.allowed_lateness,
             sources: self.sources,
             seed: self.seed,
+            churn: self.churn,
         })
     }
 }
@@ -767,6 +854,99 @@ mod tests {
             fault_streams + 9,
             "fault seeds disjoint from sampler seeds"
         );
+    }
+
+    #[test]
+    fn churn_seeds_are_disjoint_from_sampler_and_fault_seeds() {
+        let t = Topology::paper(0.5, 0.0);
+        let mut seeds = std::collections::BTreeSet::new();
+        for layer in 0..2 {
+            for node in 0..4 {
+                seeds.insert(t.churn_seed(layer, node));
+            }
+        }
+        let churn_streams = seeds.len();
+        assert_eq!(churn_streams, 8, "no churn-seed collisions");
+        for hop in 0..t.hops() {
+            for sender in 0..8 {
+                seeds.insert(t.hop_impairment_seed(hop, sender));
+            }
+        }
+        for layer in 0..2 {
+            for node in 0..4 {
+                seeds.insert(t.node_seed(layer, node));
+            }
+        }
+        seeds.insert(t.root_seed());
+        assert_eq!(
+            seeds.len(),
+            churn_streams + 3 * 8 + 9,
+            "churn seeds disjoint from fault and sampler seeds"
+        );
+        // Replacement generations get fresh, distinct sampler seeds.
+        let g1 = t.replacement_seed(0, 0, 1);
+        let g2 = t.replacement_seed(0, 0, 2);
+        assert_ne!(g1, g2);
+        assert_ne!(g1, t.node_seed(0, 0));
+    }
+
+    #[test]
+    fn path_delivery_factor_matches_global_factor_per_hop_specs() {
+        let t = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2).impairment(ImpairmentSpec::none().loss(0.1)))
+            .layer(LayerSpec::new(1))
+            .root_impairment(ImpairmentSpec::none().duplicate(0.5))
+            .build()
+            .expect("valid");
+        for source in 0..4 {
+            assert_eq!(
+                t.path_delivery_factor(source).to_bits(),
+                t.delivery_factor().to_bits(),
+                "homogeneous per-hop specs: every path compounds identically"
+            );
+        }
+    }
+
+    #[test]
+    fn source_path_alive_tracks_the_leaf_to_root_chain() {
+        // Paper tree: source s → leaf s % 4 → mid (s % 4) % 2 → root.
+        let t = Topology::builder()
+            .sources(8)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .churn(
+                ChurnSchedule::new()
+                    .down(0, 1, 2, 4) // leaf 1 dark for intervals [2, 4)
+                    .crash(1, 0, 5) // mid node 0 crashes at interval 5
+                    .low_power(0, 2, 0, 10, 0.5),
+            )
+            .build()
+            .expect("valid");
+        assert!(t.has_churn());
+        // Sources 1 and 5 route through leaf 1: dead during the outage.
+        assert!(t.source_path_alive(1, 1));
+        assert!(!t.source_path_alive(1, 2));
+        assert!(!t.source_path_alive(5, 3));
+        assert!(t.source_path_alive(1, 4), "back up after the outage");
+        // Mid node 0 serves the even leaves (0 and 2) → sources 0,2,4,6.
+        assert!(
+            !t.source_path_alive(0, 5),
+            "crash loses the subtree's window"
+        );
+        assert!(t.source_path_alive(1, 5), "odd leaves route around it");
+        // Low-power nodes still forward: path stays alive.
+        assert!(t.source_path_alive(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "addresses layer 7")]
+    fn build_rejects_churn_events_outside_the_tree() {
+        let _ = Topology::builder()
+            .sources(2)
+            .layer(LayerSpec::new(2))
+            .churn(ChurnSchedule::new().down(7, 0, 0, 1))
+            .build();
     }
 
     #[test]

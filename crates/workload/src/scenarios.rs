@@ -231,13 +231,19 @@ pub fn chaos_mix(total_rate: f64, interval: Duration) -> StreamMix {
 
 /// Prepares one interval batch for a multi-source topology: remaps every
 /// timestamp strictly inside window `t` (never on the boundary, so each
-/// interval closes exactly one window) and splits the items round-robin
-/// over `sources` per-source batches.
+/// interval closes exactly one window) and splits the items over
+/// `sources` per-source batches with a rotating round-robin — the
+/// rotation advances one slot per full cycle, so periodic structure in
+/// the mix (the four equal-rate strata interleave item by item) does not
+/// lock a stratum onto a fixed subset of sources. The split stays
+/// balanced to within one item, and every stratum reaches every source —
+/// which is what lets the node-level Horvitz–Thompson rescale recover a
+/// stratum when churn takes some (not all) of its sources dark.
 ///
-/// This is the fixed-seed interval shape shared by the chaos example and
-/// the bench harness's scenario matrix — one implementation, so the
-/// example's zero-loss control validates exactly the workload the
-/// harness measures.
+/// This is the fixed-seed interval shape shared by the chaos and churn
+/// examples and the bench harness's scenario matrix — one implementation,
+/// so the examples' zero-impairment controls validate exactly the
+/// workload the harness measures.
 pub fn split_interval(mut batch: Batch, t: u64, window: Duration, sources: usize) -> Vec<Batch> {
     let window_nanos = window.as_nanos() as u64;
     for item in &mut batch.items {
@@ -245,7 +251,7 @@ pub fn split_interval(mut batch: Batch, t: u64, window: Duration, sources: usize
     }
     let mut per_source: Vec<Batch> = (0..sources).map(|_| Batch::new()).collect();
     for (k, item) in batch.items.into_iter().enumerate() {
-        per_source[k % sources].items.push(item);
+        per_source[(k + k / sources) % sources].items.push(item);
     }
     per_source
 }
@@ -302,8 +308,13 @@ mod tests {
         let parts = split_interval(batch, 3, window, 8);
         assert_eq!(parts.len(), 8);
         assert_eq!(parts.iter().map(Batch::len).sum::<usize>(), total);
-        // Round-robin split is balanced to within one item.
+        // Rotating round-robin split is balanced to within one item...
         assert!(parts.iter().all(|p| p.len().abs_diff(total / 8) <= 1));
+        // ...and de-correlates the mix's stratum interleaving from the
+        // source index: every stratum reaches every source.
+        for part in &parts {
+            assert_eq!(part.strata().len(), 4, "stratum locked onto a source");
+        }
         // Every timestamp lands strictly inside window 3.
         assert!(parts
             .iter()

@@ -1,0 +1,124 @@
+//! Churn sweep: estimate quality vs. fleet churn, deterministically.
+//!
+//! The same fixed-seed workload runs four times over the paper's
+//! 8 → 4 → 2 → root tree while a **rolling reboot** walks across 0, 2, 4
+//! and all 8 leaves — each rebooting leaf goes dark for one staggered
+//! interval on the virtual timeline. The root's node-level
+//! Horvitz–Thompson rescale reweights every window's surviving strata by
+//! their inclusion factor, so SUM stays unbiased while nodes are down,
+//! and each window's completeness reports the outage it actually absorbed.
+//!
+//! The zero-reboot level is the control: its empty [`ChurnSchedule`] must
+//! reproduce the unchurned baseline **bit for bit** (the CI churn smoke
+//! step asserts exactly that — a failure here means the churn layer is
+//! not a strict no-op when disabled).
+//!
+//! Run with: `cargo run --release --example churn`
+
+use approxiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const WINDOW: Duration = Duration::from_secs(1);
+const INTERVALS: u64 = 8;
+
+/// The fixed-seed workload: `INTERVALS` windows of the four-strata chaos
+/// mix, split round-robin over the topology's sources — the same shape as
+/// `examples/chaos.rs`, so the two sweeps are directly comparable.
+fn intervals(sources: usize) -> (Vec<Vec<Batch>>, f64) {
+    let mut rng = StdRng::seed_from_u64(0xC4A05);
+    let mut mix = scenarios::chaos_mix(40_000.0, WINDOW);
+    let mut truth = 0.0;
+    let data = (0..INTERVALS)
+        .map(|t| {
+            let batch = mix.next_interval(&mut rng);
+            truth += batch.value_sum();
+            scenarios::split_interval(batch, t, WINDOW, sources)
+        })
+        .collect();
+    (data, truth)
+}
+
+/// A rolling reboot across the first `leaves` leaf nodes (the paper tree
+/// has 4, each fed by 2 sources): leaf `k` goes dark for the single
+/// interval `[1 + k, 2 + k)`, so at most one leaf is down in any window —
+/// the fleet-upgrade pattern.
+fn rolling_reboot(leaves: u32) -> ChurnSchedule {
+    let mut schedule = ChurnSchedule::new();
+    for k in 0..leaves as u64 {
+        schedule = schedule.down(0, k as usize, 1 + k, 2 + k);
+    }
+    schedule
+}
+
+fn topology(schedule: ChurnSchedule) -> Topology {
+    Topology::builder()
+        .sources(8)
+        .layer(LayerSpec::new(4))
+        .layer(LayerSpec::new(2))
+        .strategy(Strategy::whs())
+        .overall_fraction(0.2)
+        .window(WINDOW)
+        .seed(0x10D5)
+        .churn(schedule)
+        .build()
+        .expect("valid churn schedule")
+}
+
+fn run(topology: Topology, data: &[Vec<Batch>]) -> RunReport {
+    Driver::new(
+        topology,
+        QuerySet::new().with(QuerySpec::Sum),
+        EngineKind::Sim,
+    )
+    .expect("valid topology")
+    .run(data)
+    .expect("sim run")
+}
+
+fn main() -> ExitCode {
+    let (data, truth) = intervals(8);
+    let baseline = run(
+        Topology::builder()
+            .sources(8)
+            .layer(LayerSpec::new(4))
+            .layer(LayerSpec::new(2))
+            .strategy(Strategy::whs())
+            .overall_fraction(0.2)
+            .window(WINDOW)
+            .seed(0x10D5)
+            .build()
+            .expect("valid fraction"),
+        &data,
+    );
+
+    println!("churn sweep: {INTERVALS} windows, paper tree, rolling leaf reboots");
+    println!("reboots    completeness   est. error   node downtime   degraded windows");
+    for leaves in [0u32, 1, 2, 4] {
+        let report = run(topology(rolling_reboot(leaves)), &data);
+        let summary = RunSummary::of(&report);
+        println!(
+            "{:<10} {:>10.1}%   {:>9.3}%   {:>13}   {:>16}",
+            leaves,
+            100.0 * summary.mean_completeness,
+            100.0 * summary.total_error_vs(truth),
+            report.churn.node_downtime,
+            report.churn.windows_degraded,
+        );
+
+        if leaves == 0 {
+            // The empty-schedule control must match the unchurned
+            // baseline bit for bit.
+            let identical = results_bit_identical(&report, &baseline)
+                && report.results.iter().all(|r| r.completeness == 1.0);
+            if !identical || report.churn != ChurnStats::default() {
+                eprintln!("FAIL: empty churn schedule diverged from the unchurned baseline");
+                return ExitCode::FAILURE;
+            }
+            println!("           └─ control matches unchurned baseline bit-for-bit");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -102,12 +102,13 @@ pub mod prelude {
         bandwidth_saving, Clock, Impairment, ImpairmentSpec, LinkConfig, SimClock, WallClock,
     };
     pub use approxiot_runtime::{
-        mean_window_error, results_bit_identical, run_pipeline, window_estimates, Driver, Engine,
-        EngineError, EngineKind, FaultInjector, FaultStats, FeedbackLoop, FractionSplit, HopBytes,
-        HopFaults, LatencyStats, LayerBytes, LayerSpec, LinkSpec, PipelineConfig, PipelineEngine,
-        PipelineOptions, PipelineReport, Query, QueryResults, QuerySet, QuerySpec, QueryValue,
-        RootConfig, RootNode, RunReport, RunSummary, SamplingNode, SimEngine, SimTree, Strategy,
-        Topology, TreeConfig, WindowResult,
+        mean_window_error, results_bit_identical, run_pipeline, window_estimates, ChurnSchedule,
+        ChurnStats, DegradedMode, Driver, Engine, EngineError, EngineKind, FaultInjector,
+        FaultStats, FeedbackLoop, FractionSplit, HopBytes, HopFaults, LatencyStats, LayerBytes,
+        LayerSpec, LinkSpec, NodeDisposition, PipelineConfig, PipelineEngine, PipelineOptions,
+        PipelineReport, Query, QueryResults, QuerySet, QuerySpec, QueryValue, RootConfig, RootNode,
+        RunReport, RunSummary, SamplingNode, SimEngine, SimTree, Strategy, Topology, TreeConfig,
+        WindowResult,
     };
     pub use approxiot_streams::{Processor, TumblingWindow, WindowBuffer};
     pub use approxiot_workload::{

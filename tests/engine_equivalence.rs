@@ -366,3 +366,129 @@ fn wall_clock_pipeline_runs_the_same_description() {
     // Each sampling stage keeps ~67%, so every hop carries fewer bytes.
     assert!(hops[1] < hops[0] && hops[2] < hops[1], "hops {hops:?}");
 }
+
+#[test]
+fn churned_topology_stays_engine_identical() {
+    // The PR 6 acceptance criterion: a schedule mixing a mid-window
+    // crash, a reboot (down/up span), a replacement node and a low-power
+    // window on the asymmetric tree must leave Sim and Pipeline-replay
+    // bit-identical — every node applies the same disposition at the same
+    // processing moments on both engines.
+    let schedule = || {
+        ChurnSchedule::new()
+            .crash(0, 1, 2) // leaf 1 loses its interval-2 buffer
+            .down(0, 2, 1, 3) // leaf 2 reboots: dark for [1, 3)
+            .replace(1, 0, 3) // mid 0 swapped for a fresh unit at 3
+            .low_power(0, 0, 2, 5, 0.5) // leaf 0 halves its fraction
+    };
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .churn(schedule())
+            .build()
+            .expect("valid churn schedule")
+    };
+    let data = noisy_intervals(5, 5, 300);
+    let sim = Driver::new(build(), multi_queries(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+    // The schedule actually bit, and both engines agree on the accounting.
+    assert!(sim.churn.node_downtime > 0, "outage must have fired");
+    assert!(sim.churn.crashes > 0 && sim.churn.replacements > 0);
+    assert_eq!(sim.churn, pipeline.churn, "churn accounting");
+    // Completeness reflects the outages bitwise on both engines.
+    let mut saw_incomplete = false;
+    for (a, b) in sim.results.iter().zip(&pipeline.results) {
+        assert!((0.0..=1.0).contains(&a.completeness));
+        assert_eq!(a.completeness.to_bits(), b.completeness.to_bits());
+        saw_incomplete |= a.completeness < 1.0;
+    }
+    assert!(saw_incomplete, "an outage window must report < 1 complete");
+}
+
+#[test]
+fn churn_and_impairment_compose_engine_identically() {
+    // Packet-level impairment and node-level churn share the timeline;
+    // their seeded streams are disjoint and the composition must still
+    // replay bit-identically.
+    let chaos = ImpairmentSpec::none().loss(0.10).duplicate(0.05);
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3).impairment(chaos))
+            .layer(LayerSpec::new(2).impairment(chaos))
+            .root_impairment(chaos)
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .churn(ChurnSchedule::new().down(1, 1, 1, 2).crash(0, 0, 2))
+            .build()
+            .expect("valid")
+    };
+    let data = noisy_intervals(4, 5, 300);
+    let sim = Driver::new(build(), multi_queries(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_identical(&sim, &pipeline);
+    assert_eq!(sim.faults, pipeline.faults);
+    assert_eq!(sim.churn, pipeline.churn);
+}
+
+#[test]
+fn empty_churn_schedule_changes_nothing() {
+    // A wired but empty ChurnSchedule must be a strict no-op: bit-identical
+    // to a topology with no churn at all, on both engines.
+    let data = noisy_intervals(3, 5, 200);
+    let with_empty_schedule = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .churn(ChurnSchedule::new())
+            .build()
+            .expect("valid")
+    };
+    for kind in [EngineKind::Sim, EngineKind::pipeline_deterministic()] {
+        let plain = Driver::new(asymmetric_topology(0.3, 1), multi_queries(), kind.clone())
+            .expect("valid")
+            .run(&data)
+            .expect("plain run");
+        let empty = Driver::new(with_empty_schedule(), multi_queries(), kind)
+            .expect("valid")
+            .run(&data)
+            .expect("empty-schedule run");
+        assert_identical(&plain, &empty);
+        assert_eq!(plain.bytes, empty.bytes, "byte accounting untouched");
+        assert_eq!(empty.churn, ChurnStats::default());
+        for result in &empty.results {
+            assert_eq!(result.completeness, 1.0);
+        }
+    }
+}

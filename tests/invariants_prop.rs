@@ -338,3 +338,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Node-level Horvitz–Thompson under a mid-window crash: for any seed
+    /// and crash timing, a leaf losing its buffered samples leaves the
+    /// per-window COUNT exact (the inclusion-factor rescale restores every
+    /// stratum's count bit of mass) and the SUM within sampling tolerance
+    /// of the no-churn reference. Strata span both leaves, so no stratum
+    /// goes fully dark and the rescale has surviving mass to work with.
+    #[test]
+    fn crash_rescale_keeps_sum_and_count_unbiased(
+        seed in 0u64..300,
+        crash_at in 0u64..3,
+        value_scale in 1u32..10,
+    ) {
+        let data: Vec<Vec<Batch>> = (0..3u64)
+            .map(|t| {
+                (0..4u64)
+                    .map(|s| Batch::from_items(
+                        (0..200u64)
+                            .map(|k| StreamItem::with_meta(
+                                StratumId::new((k % 3) as u32),
+                                value_scale as f64 * (1.0 + ((s * 200 + k) % 13) as f64),
+                                k,
+                                t * 1_000_000_000 + 1 + k))
+                            .collect(),
+                    ))
+                    .collect()
+            })
+            .collect();
+        let build = |schedule: ChurnSchedule| {
+            Topology::builder()
+                .sources(4)
+                .layer(LayerSpec::new(2))
+                .layer(LayerSpec::new(1))
+                .overall_fraction(0.5)
+                .seed(seed)
+                .churn(schedule)
+                .build()
+                .expect("valid")
+        };
+        let reference = Driver::sim(build(ChurnSchedule::new()), QuerySet::default())
+            .expect("valid").run(&data).expect("runs");
+        let crashed = Driver::sim(
+            build(ChurnSchedule::new().crash(0, 0, crash_at)),
+            QuerySet::default(),
+        )
+        .expect("valid").run(&data).expect("runs");
+        prop_assert_eq!(reference.results.len(), crashed.results.len());
+        prop_assert_eq!(crashed.churn.crashes, 1);
+        for (r, c) in reference.results.iter().zip(&crashed.results) {
+            // COUNT: per-stratum reconstruction is exact, and the
+            // inclusion rescale is exactly 1/factor — so the rescaled
+            // count matches the no-churn count to float round-off.
+            prop_assert!((c.count_hat - r.count_hat).abs() < 1e-6,
+                "window {}: count {} vs {}", c.window, c.count_hat, r.count_hat);
+            // SUM: unbiased but noisy — only half of each stratum's items
+            // survive the crashed window, so allow sampling tolerance.
+            let rel = (c.estimate.value - r.estimate.value).abs() / r.estimate.value.abs();
+            prop_assert!(rel < 0.25,
+                "window {}: sum {} vs {} (rel {rel})",
+                c.window, c.estimate.value, r.estimate.value);
+            prop_assert!((0.0..=1.0).contains(&c.completeness));
+            if c.window == crash_at {
+                prop_assert!(c.completeness < 1.0, "crash window must be incomplete");
+            }
+        }
+    }
+}
