@@ -26,10 +26,10 @@ use std::time::Duration;
 
 /// Splits a mixed interval batch into one batch per stratum, modelling one
 /// source node per sub-stream (the paper's sources feed the first layer
-/// independently).
+/// independently). Groups through [`Batch::split_by_stratum`]
+/// (`StrataIndex`-backed, no per-item `BTreeMap` inserts).
 pub fn split_by_stratum(batch: &Batch) -> Vec<Batch> {
-    let strata = batch.stratify();
-    strata.into_values().map(Batch::from_items).collect()
+    batch.split_by_stratum()
 }
 
 /// Measures the mean per-window accuracy loss of a strategy on an

@@ -77,12 +77,34 @@ impl Batch {
 
     /// Groups the items by stratum, preserving arrival order within each
     /// stratum (line 5 of Algorithm 1, `Update(items)`).
+    #[deprecated(
+        since = "0.7.0",
+        note = "clones every item into per-stratum BTreeMap vectors; \
+                use StrataIndex::build / build_columns (zero-copy grouping) instead"
+    )]
     pub fn stratify(&self) -> BTreeMap<StratumId, Vec<StreamItem>> {
         let mut strata: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
         for item in &self.items {
             strata.entry(item.stratum).or_default().push(*item);
         }
         strata
+    }
+
+    /// Splits the batch into one batch per stratum — ascending by stratum,
+    /// arrival order preserved within each — modelling one source per
+    /// sub-stream (the usual shape of test and example inputs).
+    ///
+    /// The replacement for `stratify().into_values().map(from_items)`:
+    /// groups through a [`StrataIndex`] (contiguous scratch, no per-item
+    /// `BTreeMap` inserts), paying one allocation per output batch instead
+    /// of log-time tree insertion per item.
+    pub fn split_by_stratum(&self) -> Vec<Batch> {
+        let mut index = StrataIndex::new();
+        index.build(&self.items);
+        index
+            .iter_in(&self.items)
+            .map(|(_, items)| Batch::from_items(items.to_vec()))
+            .collect()
     }
 
     /// The set of strata present in the batch, in ascending order.
@@ -205,6 +227,12 @@ pub struct StrataIndex {
     strata_of_bucket: Vec<StratumId>,
     /// Bucket → next scatter position.
     cursors: Vec<usize>,
+    /// Grouped position → original position (columnar scatter path only);
+    /// columnar kernels gather through this instead of copying items.
+    perm: Vec<u32>,
+    /// `true` when the last build came from [`StrataIndex::build_columns`]
+    /// (the scatter product is `perm`, not `scratch`).
+    columnar: bool,
 }
 
 /// One contiguous per-stratum range of the scratch buffer.
@@ -235,7 +263,59 @@ impl StrataIndex {
 
     /// Rebuilds the index over `items`, reusing all internal buffers.
     pub fn build(&mut self, items: &[StreamItem]) {
-        self.len = items.len();
+        self.begin(items.len());
+        self.columnar = false;
+        let contiguous = self.count_pass(items.iter().map(|item| item.stratum));
+        if self.layout(contiguous) {
+            return;
+        }
+        // Interleaved input: scatter items into the contiguous scratch
+        // ranges (pass 2), preserving arrival order within each stratum.
+        if self.scratch.len() < items.len() {
+            let filler = items
+                .first()
+                .copied()
+                .unwrap_or_else(|| StreamItem::new(StratumId::new(0), 0.0));
+            self.scratch.resize(items.len(), filler);
+        }
+        for (item, &bucket) in items.iter().zip(&self.bucket_of_item) {
+            let pos = self.cursors[bucket as usize];
+            self.scratch[pos] = *item;
+            self.cursors[bucket as usize] = pos + 1;
+        }
+    }
+
+    /// Rebuilds the index over a raw stratum **column** — the columnar
+    /// twin of [`StrataIndex::build`], sharing its counting pass (same
+    /// grouped-input fast path, same resulting ranges).
+    ///
+    /// The difference is in what the scatter pass produces: instead of
+    /// copying 28-byte items into `scratch`, interleaved inputs fill a
+    /// `u32` permutation mapping each *grouped* position back to its
+    /// *original* position. Columnar kernels then gather survivor fields
+    /// by index through [`StrataIndex::src_index`]; already-grouped
+    /// inputs skip even that (identity mapping, zero extra work).
+    pub fn build_columns(&mut self, strata: &[u32]) {
+        self.begin(strata.len());
+        self.columnar = true;
+        let contiguous = self.count_pass(strata.iter().map(|&s| StratumId::new(s)));
+        if self.layout(contiguous) {
+            return;
+        }
+        // Interleaved input: fill the grouped-position → original-position
+        // permutation (pass 2) instead of moving any item data.
+        self.perm.clear();
+        self.perm.resize(strata.len(), 0);
+        for (pos, &bucket) in self.bucket_of_item.iter().enumerate() {
+            let slot = self.cursors[bucket as usize];
+            self.perm[slot] = pos as u32;
+            self.cursors[bucket as usize] = slot + 1;
+        }
+    }
+
+    /// Resets per-build state (buffers keep their allocations).
+    fn begin(&mut self, len: usize) {
+        self.len = len;
         self.ranges.clear();
         self.counts.clear();
         self.first_pos.clear();
@@ -251,18 +331,21 @@ impl StrataIndex {
                 .for_each(|s| *s = TableSlot::default());
             self.generation = 1;
         }
+    }
 
-        // Pass 1: discover strata and count, memoising the previous item's
-        // stratum — real streams arrive in long per-source runs. Along the
-        // way, detect whether every stratum forms a single contiguous run;
-        // a stratum re-entered after a gap breaks contiguity.
+    /// Pass 1: discovers strata and counts, memoising the previous
+    /// position's stratum — real streams arrive in long per-source runs.
+    /// Along the way, detects whether every stratum forms a single
+    /// contiguous run (a stratum re-entered after a gap breaks
+    /// contiguity); returns that flag.
+    fn count_pass(&mut self, strata: impl Iterator<Item = StratumId>) -> bool {
         let mut contiguous = true;
         let mut last: Option<(StratumId, u32)> = None;
-        for (pos, item) in items.iter().enumerate() {
+        for (pos, stratum) in strata.enumerate() {
             let bucket = match last {
-                Some((stratum, bucket)) if stratum == item.stratum => bucket,
+                Some((prev, bucket)) if prev == stratum => bucket,
                 _ => {
-                    let bucket = self.bucket_for(item.stratum);
+                    let bucket = self.bucket_for(stratum);
                     if self.counts[bucket as usize] == 0 {
                         self.first_pos[bucket as usize] = pos;
                     } else {
@@ -271,12 +354,18 @@ impl StrataIndex {
                     bucket
                 }
             };
-            last = Some((item.stratum, bucket));
+            last = Some((stratum, bucket));
             self.counts[bucket as usize] += 1;
             self.bucket_of_item.push(bucket);
         }
+        contiguous
+    }
 
-        // Order the (few) strata.
+    /// Orders the (few) strata and assigns their ranges. Returns `true`
+    /// when the grouped zero-copy path applies (no scatter pass needed);
+    /// otherwise the contiguous scatter layout and cursors are prepared
+    /// for the caller's pass 2.
+    fn layout(&mut self, contiguous: bool) -> bool {
         self.ranges.extend(
             self.strata_of_bucket
                 .iter()
@@ -297,10 +386,9 @@ impl StrataIndex {
                 range.start = self.first_pos[range.bucket as usize];
                 range.end = range.start + self.counts[range.bucket as usize];
             }
-            return;
+            return true;
         }
 
-        // Interleaved input: lay out contiguous scratch ranges...
         self.cursors.clear();
         self.cursors.resize(self.strata_of_bucket.len(), 0);
         let mut offset = 0usize;
@@ -310,20 +398,7 @@ impl StrataIndex {
             range.end = offset;
             self.cursors[range.bucket as usize] = range.start;
         }
-        // ...and scatter items into them (pass 2), preserving arrival
-        // order within each stratum.
-        if self.scratch.len() < items.len() {
-            let filler = items
-                .first()
-                .copied()
-                .unwrap_or_else(|| StreamItem::new(StratumId::new(0), 0.0));
-            self.scratch.resize(items.len(), filler);
-        }
-        for (item, &bucket) in items.iter().zip(&self.bucket_of_item) {
-            let pos = self.cursors[bucket as usize];
-            self.scratch[pos] = *item;
-            self.cursors[bucket as usize] = pos + 1;
-        }
+        false
     }
 
     fn bucket_for(&mut self, stratum: StratumId) -> u32 {
@@ -383,6 +458,38 @@ impl StrataIndex {
         self.ranges.iter().map(|r| (r.stratum, r.end - r.start))
     }
 
+    /// Returns `true` when the last build hit the grouped zero-copy fast
+    /// path (every stratum one contiguous run, ranges index the input
+    /// directly, identity permutation).
+    pub fn grouped(&self) -> bool {
+        self.grouped
+    }
+
+    /// `(stratum, grouped range)` pairs, ascending by stratum. Map a
+    /// grouped position back to the input through
+    /// [`StrataIndex::src_index`].
+    pub fn column_ranges(&self) -> impl Iterator<Item = (StratumId, std::ops::Range<usize>)> + '_ {
+        self.ranges.iter().map(|r| (r.stratum, r.start..r.end))
+    }
+
+    /// Maps a grouped position (from [`StrataIndex::column_ranges`]) to
+    /// its position in the input passed to the last
+    /// [`StrataIndex::build_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the last build was not columnar, and
+    /// (always) when `pos` exceeds the indexed length on the scatter path.
+    #[inline]
+    pub fn src_index(&self, pos: usize) -> usize {
+        debug_assert!(self.columnar, "src_index is only valid after build_columns");
+        if self.grouped {
+            pos
+        } else {
+            self.perm[pos] as usize
+        }
+    }
+
     /// `(stratum, items)` groups, ascending by stratum, arrival order
     /// preserved within each group.
     ///
@@ -401,6 +508,11 @@ impl StrataIndex {
             items.len(),
             self.len,
             "iter_in needs the slice passed to build"
+        );
+        assert!(
+            !self.columnar || self.grouped,
+            "iter_in after build_columns: the scatter product is a permutation, \
+             not regrouped items — use column_ranges/src_index"
         );
         let source: &'a [StreamItem] = if self.grouped {
             items
@@ -453,6 +565,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn stratify_groups_by_stratum_preserving_order() {
         let batch = Batch::from_items(vec![item(1, 10.0), item(0, 1.0), item(1, 20.0)]);
         let strata = batch.stratify();
@@ -496,6 +609,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn strata_index_matches_stratify_interleaved() {
         // Interleaved strata exercise the scatter path.
         let batch = Batch::from_items(vec![
@@ -577,6 +691,63 @@ mod tests {
         assert_eq!(strata, vec![StratumId::new(2), StratumId::new(big)]);
         let counts: Vec<_> = index.counts().collect();
         assert_eq!(counts[1], (StratumId::new(big), 2));
+    }
+
+    #[test]
+    fn build_columns_matches_build_interleaved() {
+        // Same logical input through both builds: the ranges must agree
+        // and the permutation must regroup the columns exactly like the
+        // AoS scatter pass regroups the items.
+        let items = vec![
+            item(3, 1.0),
+            item(1, 2.0),
+            item(3, 3.0),
+            item(0, 4.0),
+            item(1, 5.0),
+        ];
+        let strata: Vec<u32> = items.iter().map(|i| i.stratum.index()).collect();
+        let mut aos = StrataIndex::new();
+        aos.build(&items);
+        let mut soa = StrataIndex::new();
+        soa.build_columns(&strata);
+        assert!(!soa.grouped());
+        assert_eq!(soa.num_strata(), aos.num_strata());
+        let aos_groups: Vec<_> = aos.iter_in(&items).collect();
+        for ((stratum, range), (aos_stratum, aos_items)) in
+            soa.column_ranges().zip(aos_groups.iter())
+        {
+            assert_eq!(stratum, *aos_stratum);
+            let gathered: Vec<_> = range.map(|pos| items[soa.src_index(pos)]).collect();
+            assert_eq!(gathered.as_slice(), *aos_items);
+        }
+    }
+
+    #[test]
+    fn build_columns_grouped_is_identity_permutation() {
+        let strata = vec![5u32, 5, 2, 0, 0];
+        let mut index = StrataIndex::new();
+        index.build_columns(&strata);
+        assert!(index.grouped());
+        let ranges: Vec<_> = index.column_ranges().collect();
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0], (StratumId::new(0), 3..5));
+        assert_eq!(ranges[2], (StratumId::new(5), 0..2));
+        assert_eq!(index.src_index(4), 4);
+    }
+
+    #[test]
+    fn build_columns_then_build_reuses_cleanly() {
+        let mut index = StrataIndex::new();
+        index.build_columns(&[0, 1, 0]);
+        assert_eq!(index.num_strata(), 2);
+        let second = [item(7, 9.0)];
+        index.build(&second);
+        assert_eq!(index.num_strata(), 1);
+        let (stratum, slice) = index.iter_in(&second).next().expect("one group");
+        assert_eq!(stratum, StratumId::new(7));
+        assert_eq!(slice[0].value, 9.0);
+        index.build_columns(&[]);
+        assert!(index.is_empty());
     }
 
     #[test]

@@ -51,8 +51,38 @@
 //! the shared [`shard_slice`]/[`shard_budget`] partitioning), keeping this
 //! type as the reference implementation.
 //!
-//! `micro_samplers` in `approxiot-bench` tracks both paths; baseline
-//! numbers live in `BENCH_micro.json` at the repository root.
+//! ## Data layout: `Batch` vs `ColumnarBatch`
+//!
+//! Two physical representations of the same logical `(W, items)` pair
+//! coexist:
+//!
+//! * [`Batch`] — array-of-structs (`Vec<StreamItem>`, 28 bytes/item).
+//!   The API-boundary type: workload generators, examples and the sim
+//!   engine speak it, and it is what `whs_sample` documents against the
+//!   paper's pseudocode.
+//! * [`ColumnarBatch`] — struct-of-arrays: four contiguous columns
+//!   (`strata: Vec<u32>`, `values: Vec<f64>`, `seqs`/`source_ts:
+//!   Vec<u64>`) plus the [`WeightMap`]. The hot-path type: stratum
+//!   grouping scans a flat `&[u32]`
+//!   ([`StrataIndex::build_columns`]), value sums reduce over a flat
+//!   `&[f64]` the compiler auto-vectorizes, Floyd/SRS selection gathers
+//!   survivors **by index** into column outputs
+//!   ([`WhsScratch::sample_columns_into`],
+//!   [`ParallelShardedSampler::sample_columns_with_weights`] with plain
+//!   `(start, end)` shard ranges via [`shard_bounds`]), and the wire
+//!   codec's columnar v2 frame encodes/decodes each column as one bulk
+//!   copy.
+//!
+//! Conversion each way is one transposing pass
+//! ([`ColumnarBatch::from_batch`] / [`ColumnarBatch::to_batch`]), and a
+//! fixed seed produces **bit-identical** samples and weights through
+//! either representation — the columnar kernels replicate the AoS RNG
+//! consumption exactly (pinned by parity tests and the engine-equivalence
+//! suite).
+//!
+//! `micro_samplers` and `columnar_kernels` in `approxiot-bench` track
+//! both paths and both layouts; baseline numbers live in
+//! `BENCH_micro.json` at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +116,7 @@
 
 pub mod batch;
 pub mod budget;
+pub mod columns;
 pub mod error;
 pub mod estimate;
 pub mod item;
@@ -97,6 +128,7 @@ pub mod weight;
 
 pub use batch::{distinct_strata_into, Batch, StrataIndex};
 pub use budget::{AdaptiveController, BudgetError, CostFunction, FixedSize, SamplingBudget};
+pub use columns::{distinct_strata_u32_into, ColumnarBatch, ColumnarPool, ColumnsView};
 pub use error::{accuracy_loss, Confidence, Estimate};
 pub use estimate::{StratumEstimate, ThetaStore};
 pub use item::{Measure, StratumId, StreamItem};
@@ -104,7 +136,7 @@ pub use pool::BatchPool;
 pub use sampling::allocation::{Allocation, SizingScratch};
 pub use sampling::reservoir::{Reservoir, SkipReservoir};
 pub use sampling::sharded::{
-    shard_budget, shard_slice, sharded_whs_sample, ParallelShardedSampler,
+    shard_bounds, shard_budget, shard_slice, sharded_whs_sample, ParallelShardedSampler,
 };
 pub use sampling::srs::{InvalidFractionError, SrsSampler};
 pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler, WhsScratch};

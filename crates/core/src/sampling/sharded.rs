@@ -9,6 +9,7 @@
 //! the design changes — the whole point of the section.
 
 use crate::batch::Batch;
+use crate::columns::{ColumnarBatch, ColumnsView};
 use crate::item::StreamItem;
 use crate::sampling::allocation::Allocation;
 use crate::sampling::whs::{whs_sample, WhsOutput, WhsScratch};
@@ -97,12 +98,20 @@ pub fn shard_budget(total: usize, workers: usize, idx: usize) -> usize {
 /// of the §III-E design must partition identically or fixed-seed outputs
 /// diverge between engines.
 pub fn shard_slice(items: &[StreamItem], workers: usize, idx: usize) -> &[StreamItem] {
-    let n = items.len();
+    let (start, end) = shard_bounds(items.len(), workers, idx);
+    &items[start..end]
+}
+
+/// The `(start, end)` bounds [`shard_slice`] cuts for shard `idx` of
+/// `workers` over `n` items. Columnar shard jobs take these bounds
+/// directly over the column buffers ([`ColumnsView::range`]), so both
+/// layouts partition identically by construction.
+pub fn shard_bounds(n: usize, workers: usize, idx: usize) -> (usize, usize) {
     let base = n / workers;
     let extra = n % workers;
     let start = idx * base + idx.min(extra);
     let len = base + usize::from(idx < extra);
-    &items[start..start + len]
+    (start, start + len)
 }
 
 /// Truly parallel §III-E sharding: the node's sub-stream is split over `w`
@@ -278,6 +287,89 @@ impl ParallelShardedSampler {
                         shard
                             .scratch
                             .sample_slice(slice, budget, w_in, allocation, &mut shard.rng)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Samples one columnar batch across all shards, resolving missing
+    /// input weights via the carry-forward rule — the columnar twin of
+    /// [`ParallelShardedSampler::sample_batch`]. One output per shard, in
+    /// shard order, each carrying its `(W_out, sample)` pair.
+    pub fn sample_columns(
+        &mut self,
+        batch: &ColumnarBatch,
+        sample_size: usize,
+    ) -> Vec<ColumnarBatch> {
+        let mut strata = std::mem::take(&mut self.strata_scratch);
+        crate::columns::distinct_strata_u32_into(&batch.strata, &mut strata);
+        let resolved = self.store.resolve(strata.iter().copied(), &batch.weights);
+        self.strata_scratch = strata;
+        self.sample_columns_with_weights(batch.view(), sample_size, &resolved)
+    }
+
+    /// Samples a columnar view across all shards with already-resolved
+    /// input weights. Shard `idx` samples `input.range(start, end)` with
+    /// the [`shard_bounds`] cut — the same partition [`shard_slice`]
+    /// makes — with the same per-shard RNG and budget as
+    /// [`ParallelShardedSampler::sample_with_weights`], so for a fixed
+    /// seed the shard outputs are **bit-identical** to the AoS path
+    /// (pinned by tests).
+    pub fn sample_columns_with_weights(
+        &mut self,
+        input: ColumnsView<'_>,
+        sample_size: usize,
+        w_in: &WeightMap,
+    ) -> Vec<ColumnarBatch> {
+        let workers = self.shards.len();
+        let allocation = self.allocation;
+        if workers == 1 || !self.threaded || input.len() < Self::MIN_PARALLEL_ITEMS {
+            // Inline path: identical per-shard RNG/scratch usage, so the
+            // output matches the threaded path bit for bit.
+            return self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(idx, shard)| {
+                    let (start, end) = shard_bounds(input.len(), workers, idx);
+                    let mut out = ColumnarBatch::new();
+                    shard.scratch.sample_columns_into(
+                        input.range(start, end),
+                        shard_budget(sample_size, workers, idx),
+                        w_in,
+                        allocation,
+                        &mut out,
+                        &mut shard.rng,
+                    );
+                    out
+                })
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(idx, shard)| {
+                    let (start, end) = shard_bounds(input.len(), workers, idx);
+                    let view = input.range(start, end);
+                    let budget = shard_budget(sample_size, workers, idx);
+                    scope.spawn(move || {
+                        let mut out = ColumnarBatch::new();
+                        shard.scratch.sample_columns_into(
+                            view,
+                            budget,
+                            w_in,
+                            allocation,
+                            &mut out,
+                            &mut shard.rng,
+                        );
+                        out
                     })
                 })
                 .collect();
@@ -508,6 +600,45 @@ mod tests {
             (theta.count_estimate() - 8.0).abs() < 1e-9,
             "reset clears carry"
         );
+    }
+
+    #[test]
+    fn columnar_shards_bit_identical_to_aos() {
+        // Small (inline) and large (threaded) batches, with carried
+        // weights: the columnar shard outputs must match the AoS shard
+        // outputs exactly, pair by pair.
+        for n in [100usize, 20_000] {
+            let mut batch = batch_of(&[(0, n), (1, n / 2)]);
+            batch.weights.set(s(0), 2.0);
+            let cols = ColumnarBatch::from_batch(&batch);
+            let mut aos = ParallelShardedSampler::new(Allocation::Uniform, 4, 11);
+            let mut soa = ParallelShardedSampler::new(Allocation::Uniform, 4, 11);
+            for round in 0..2 {
+                let a = aos.sample_batch(&batch, n / 5);
+                let b = soa.sample_columns(&cols, n / 5);
+                assert_eq!(a.len(), b.len());
+                for (shard_a, shard_b) in a.into_iter().zip(b) {
+                    assert_eq!(
+                        shard_b.to_batch(),
+                        shard_a.into_batch(),
+                        "n = {n}, round {round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bounds_match_shard_slice() {
+        let items: Vec<_> = (0..17)
+            .map(|k| StreamItem::with_meta(s(0), 0.0, k, 0))
+            .collect();
+        for workers in 1..6 {
+            for idx in 0..workers {
+                let (start, end) = shard_bounds(items.len(), workers, idx);
+                assert_eq!(&items[start..end], shard_slice(&items, workers, idx));
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! exactly what Figures 5 and 10 of the paper demonstrate.
 
 use crate::batch::Batch;
+use crate::columns::{ColumnarBatch, ColumnsView};
 use crate::item::StreamItem;
 use rand::Rng;
 
@@ -67,6 +68,29 @@ impl SrsSampler {
             .filter(|_| rng.random::<f64>() < self.fraction)
             .copied()
             .collect()
+    }
+
+    /// Samples one columnar view, appending survivors to `out` — the
+    /// columnar twin of [`SrsSampler::sample`], gathering kept indices
+    /// into the output columns. One coin flip per item in order, so the
+    /// survivors are **bit-identical** to the AoS path for the same RNG
+    /// state.
+    pub fn sample_columns_into<R: Rng + ?Sized>(
+        &self,
+        input: ColumnsView<'_>,
+        out: &mut ColumnarBatch,
+        rng: &mut R,
+    ) {
+        for i in 0..input.len() {
+            if rng.random::<f64>() < self.fraction {
+                out.push_parts(
+                    input.strata[i],
+                    input.values[i],
+                    input.seqs[i],
+                    input.source_ts[i],
+                );
+            }
+        }
     }
 
     /// Estimates the total value of the original batch from a sample taken
@@ -183,6 +207,21 @@ mod tests {
             StreamItem::new(StratumId::new(0), 4.0),
         ];
         assert_eq!(srs.estimate_mean(&sample), Some(3.0));
+    }
+
+    #[test]
+    fn columnar_srs_bit_identical_to_aos() {
+        let srs = SrsSampler::new(0.3).expect("valid");
+        let b = batch(500, 2.0);
+        let cols = ColumnarBatch::from_batch(&b);
+        for seed in [0u64, 7, 1234] {
+            let mut aos_rng = StdRng::seed_from_u64(seed);
+            let aos = srs.sample(&b, &mut aos_rng);
+            let mut soa_rng = StdRng::seed_from_u64(seed);
+            let mut out = ColumnarBatch::new();
+            srs.sample_columns_into(cols.view(), &mut out, &mut soa_rng);
+            assert_eq!(out.to_batch().items, aos, "seed {seed}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! SUM/MEAN estimators unbiased without any cross-node coordination.
 
 use crate::batch::{Batch, StrataIndex};
+use crate::columns::{ColumnarBatch, ColumnsView};
 use crate::item::StreamItem;
 use crate::sampling::allocation::{Allocation, SizingScratch};
 use crate::sampling::reservoir::Reservoir;
@@ -64,7 +65,10 @@ pub fn whs_sample<R: Rng + ?Sized>(
     allocation: Allocation,
     rng: &mut R,
 ) -> WhsOutput {
-    // Line 5: stratify the input into sub-streams.
+    // Line 5: stratify the input into sub-streams. (The deprecated
+    // clone-per-item grouping is exactly what makes this the readable
+    // reference — the hot paths use `StrataIndex`.)
+    #[allow(deprecated)]
     let strata = batch.stratify();
     let counts: BTreeMap<_, _> = strata.iter().map(|(&s, v)| (s, v.len())).collect();
     // Line 7: decide the reservoir size for each sub-stream.
@@ -255,6 +259,108 @@ impl WhsScratch {
         }
         WhsOutput { weights, sample }
     }
+
+    /// Builds the stratum index for a raw stratum column without sampling
+    /// yet — the columnar twin of [`WhsScratch::index_items`].
+    pub fn index_columns(&mut self, strata: &[u32]) {
+        self.index.build_columns(strata);
+    }
+
+    /// Runs `WHSamp` over a columnar view with resolved input weights,
+    /// writing the `(W_out, sample)` pair into `out` (weights into
+    /// `out.weights`).
+    ///
+    /// **Bit-identical** to [`WhsScratch::sample_slice`] on the same
+    /// logical items with the same RNG state: the counting pass, the
+    /// reservoir sizing inputs and the Floyd draw sequence are shared, and
+    /// survivors are *gathered by index* into the output columns instead
+    /// of copied as structs. Parity is pinned by tests.
+    pub fn sample_columns_into<R: Rng + ?Sized>(
+        &mut self,
+        input: ColumnsView<'_>,
+        sample_size: usize,
+        w_in: &WeightMap,
+        allocation: Allocation,
+        out: &mut ColumnarBatch,
+        rng: &mut R,
+    ) {
+        self.index.build_columns(input.strata);
+        self.sample_columns_indexed(input, sample_size, w_in, allocation, out, rng)
+    }
+
+    /// Samples the previously indexed columns (Algorithm 1 lines 7–18).
+    /// `input` must be the view whose `strata` column was passed to
+    /// [`WhsScratch::index_columns`].
+    pub fn sample_columns_indexed<R: Rng + ?Sized>(
+        &mut self,
+        input: ColumnsView<'_>,
+        sample_size: usize,
+        w_in: &WeightMap,
+        allocation: Allocation,
+        out: &mut ColumnarBatch,
+        rng: &mut R,
+    ) {
+        out.clear();
+        // Line 7: per-stratum reservoir sizes from the interval budget.
+        self.counts.clear();
+        self.counts.extend(self.index.counts().map(|(_, c)| c));
+        allocation.reservoir_sizes_slice(
+            &self.counts,
+            sample_size,
+            &mut self.sizes,
+            &mut self.sizing,
+        );
+
+        let mut kept_total = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            kept_total += c.min(self.sizes[i]);
+        }
+        out.reserve(kept_total);
+        let grouped = self.index.grouped();
+        for (i, (stratum, range)) in self.index.column_ranges().enumerate() {
+            let c_i = range.end - range.start;
+            let n_i = self.sizes[i];
+            let input_w = w_in.get(stratum);
+            if c_i <= n_i {
+                // Whole stratum fits: keep it verbatim, weight unchanged.
+                if grouped {
+                    // Grouped fast path: four bulk column copies.
+                    out.extend_from_view(input, range.start, range.end);
+                } else {
+                    for pos in range {
+                        let src = self.index.src_index(pos);
+                        out.push_parts(
+                            input.strata[src],
+                            input.values[src],
+                            input.seqs[src],
+                            input.source_ts[src],
+                        );
+                    }
+                }
+                out.weights.set(stratum, input_w);
+            } else if n_i == 0 {
+                // Entire stratum dropped; no surviving item can carry the
+                // weight (same rule as `whs_sample`).
+                continue;
+            } else {
+                // Line 10 overflow path: Floyd's selection sampling picks
+                // a uniform n_i-subset with exactly n_i draws, then the
+                // survivors are gathered by index into the columns.
+                floyd_pick_into(c_i, n_i, &mut self.chosen, &mut self.chosen_bits, rng);
+                for &local in self.chosen.iter() {
+                    let src = self.index.src_index(range.start + local as usize);
+                    out.push_parts(
+                        input.strata[src],
+                        input.values[src],
+                        input.seqs[src],
+                        input.source_ts[src],
+                    );
+                }
+                // Lines 12–18, Equations 1–2.
+                out.weights.set(stratum, input_w * c_i as f64 / n_i as f64);
+            }
+        }
+    }
 }
 
 /// Appends a uniform `n`-subset of `items` to `out` using Floyd's
@@ -272,7 +378,24 @@ fn floyd_sample_into<R: Rng + ?Sized>(
     out: &mut Vec<StreamItem>,
     rng: &mut R,
 ) {
-    let c = items.len();
+    floyd_pick_into(items.len(), n, chosen, bits, rng);
+    for &i in chosen.iter() {
+        out.push(items[i as usize]);
+    }
+}
+
+/// Fills `chosen` with a uniform `n`-subset of `0..c` using Floyd's
+/// draws (the selection half of [`floyd_sample_into`], shared by the AoS
+/// and columnar kernels so their RNG consumption is identical by
+/// construction). `bits` must be all-zero on entry and is returned
+/// all-zero.
+fn floyd_pick_into<R: Rng + ?Sized>(
+    c: usize,
+    n: usize,
+    chosen: &mut Vec<u32>,
+    bits: &mut Vec<u64>,
+    rng: &mut R,
+) {
     debug_assert!(n <= c, "selection needs n <= c");
     let words = c.div_ceil(64);
     if bits.len() < words {
@@ -288,9 +411,6 @@ fn floyd_sample_into<R: Rng + ?Sized>(
         };
         bits[pick / 64] |= 1 << (pick % 64);
         chosen.push(pick as u32);
-    }
-    for &i in chosen.iter() {
-        out.push(items[i as usize]);
     }
     for &i in chosen.iter() {
         bits[i as usize / 64] &= !(1 << (i as usize % 64));
@@ -379,6 +499,44 @@ impl WhsSampler {
             .sample_indexed(&batch.items, sample_size, &resolved, self.allocation, rng)
     }
 
+    /// Resolves the input weights for a columnar batch via the
+    /// carry-forward rule without sampling — the columnar twin of
+    /// [`WhsSampler::resolve_weights`], scanning the raw `u32` stratum
+    /// column.
+    pub fn resolve_weights_columns(&mut self, batch: &ColumnarBatch) -> WeightMap {
+        crate::columns::distinct_strata_u32_into(&batch.strata, &mut self.strata_scratch);
+        let strata = std::mem::take(&mut self.strata_scratch);
+        let resolved = self.store.resolve(strata.iter().copied(), &batch.weights);
+        self.strata_scratch = strata;
+        resolved
+    }
+
+    /// Runs `WHSamp` on one columnar batch, resolving missing input
+    /// weights via the carry-forward rule and writing the `(W_out,
+    /// sample)` pair into `out`. Bit-identical to
+    /// [`WhsSampler::sample_batch`] on the same logical items and RNG
+    /// state (see [`WhsScratch::sample_columns_into`]).
+    pub fn sample_columns_into<R: Rng + ?Sized>(
+        &mut self,
+        batch: &ColumnarBatch,
+        sample_size: usize,
+        out: &mut ColumnarBatch,
+        rng: &mut R,
+    ) {
+        self.scratch.index_columns(&batch.strata);
+        let resolved = self
+            .store
+            .resolve(self.scratch.index.strata(), &batch.weights);
+        self.scratch.sample_columns_indexed(
+            batch.view(),
+            sample_size,
+            &resolved,
+            self.allocation,
+            out,
+            rng,
+        );
+    }
+
     /// Forgets all carried weights (used between independent runs).
     pub fn reset(&mut self) {
         self.store.clear();
@@ -437,6 +595,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn count_reconstruction_invariant_single_node() {
         // Equation 9: W_out * c̃ == W_in * c for every stratum.
         let mut rng = StdRng::seed_from_u64(7);
@@ -571,6 +730,102 @@ mod tests {
             out.weights.get(s(0)),
             1.0,
             "after reset unknown strata weigh 1"
+        );
+    }
+
+    #[test]
+    fn columnar_kernel_bit_identical_to_aos() {
+        // The acceptance invariant of the columnar refactor: same logical
+        // items + same RNG state ⇒ byte-for-byte the same sample and
+        // weights through either layout. Cover grouped inputs (bulk-copy
+        // fast path), interleaved inputs (permutation gather) and several
+        // budgets (fit / overflow / drop arms).
+        let grouped = batch_of(&[(0, 40), (1, 7), (5, 120)]);
+        let mut interleaved_items = Vec::new();
+        for k in 0..60 {
+            interleaved_items.push(StreamItem::with_meta(
+                s(k % 3),
+                k as f64,
+                k as u64,
+                k as u64,
+            ));
+        }
+        let interleaved = Batch::from_items(interleaved_items);
+        for (batch, label) in [(&grouped, "grouped"), (&interleaved, "interleaved")] {
+            for budget in [0, 2, 25, 500] {
+                for seed in [1u64, 42, 0xDEAD] {
+                    let mut w_in = WeightMap::new();
+                    w_in.set(s(0), 2.5);
+                    let mut aos_rng = StdRng::seed_from_u64(seed);
+                    let mut kernel = WhsScratch::new();
+                    let aos = kernel.sample_slice(
+                        &batch.items,
+                        budget,
+                        &w_in,
+                        Allocation::Uniform,
+                        &mut aos_rng,
+                    );
+                    let cols_in = ColumnarBatch::from_batch(batch);
+                    let mut soa_rng = StdRng::seed_from_u64(seed);
+                    let mut soa_kernel = WhsScratch::new();
+                    let mut cols_out = ColumnarBatch::new();
+                    soa_kernel.sample_columns_into(
+                        cols_in.view(),
+                        budget,
+                        &w_in,
+                        Allocation::Uniform,
+                        &mut cols_out,
+                        &mut soa_rng,
+                    );
+                    assert_eq!(
+                        cols_out.to_batch(),
+                        aos.clone().into_batch(),
+                        "{label}/budget {budget}/seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_sampler_carries_weights_like_aos() {
+        // The stateful carry-forward rule (Figure 3) must behave the same
+        // through the columnar entry, including across batches where the
+        // second arrives without weight metadata.
+        let mut first = batch_of(&[(0, 8), (1, 3)]);
+        first.weights.set(s(0), 1.5);
+        let second = batch_of(&[(0, 6)]); // no weight metadata
+
+        let mut aos_rng = StdRng::seed_from_u64(99);
+        let mut aos_node = WhsSampler::new(Allocation::Uniform);
+        let aos1 = aos_node.sample_batch(&first, 4, &mut aos_rng);
+        let aos2 = aos_node.sample_batch(&second, 2, &mut aos_rng);
+
+        let mut soa_rng = StdRng::seed_from_u64(99);
+        let mut soa_node = WhsSampler::new(Allocation::Uniform);
+        let mut out1 = ColumnarBatch::new();
+        let mut out2 = ColumnarBatch::new();
+        soa_node.sample_columns_into(
+            &ColumnarBatch::from_batch(&first),
+            4,
+            &mut out1,
+            &mut soa_rng,
+        );
+        soa_node.sample_columns_into(
+            &ColumnarBatch::from_batch(&second),
+            2,
+            &mut out2,
+            &mut soa_rng,
+        );
+
+        assert_eq!(out1.to_batch(), aos1.into_batch());
+        assert_eq!(out2.to_batch(), aos2.into_batch());
+        // And the resolved-weights helper agrees with the AoS one.
+        let mut a = WhsSampler::new(Allocation::Uniform);
+        let mut b = WhsSampler::new(Allocation::Uniform);
+        assert_eq!(
+            a.resolve_weights(&first),
+            b.resolve_weights_columns(&ColumnarBatch::from_batch(&first))
         );
     }
 

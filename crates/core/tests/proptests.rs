@@ -266,6 +266,9 @@ proptest! {
 
     /// The index groups exactly like `stratify` for any input order.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn strata_index_equals_stratify(items in arb_items(), shuffle in proptest::bool::ANY) {
         let items = if shuffle { interleave(&items) } else { items };
         let batch = Batch::from_items(items.clone());
@@ -284,6 +287,9 @@ proptest! {
     /// Eq. 9 on the index-based hot path, for grouped and interleaved
     /// inputs alike.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn hot_path_count_reconstruction(
         items in arb_items(),
         shuffle in proptest::bool::ANY,
@@ -349,6 +355,9 @@ proptest! {
     /// Eq. 9 across the parallel shards: the union of per-shard outputs
     /// reconstructs every stratum count exactly.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn parallel_path_count_reconstruction(
         items in arb_items(),
         workers in 1usize..9,

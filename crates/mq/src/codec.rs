@@ -5,7 +5,10 @@
 //! binary frame, so the network layer can meter *real* bytes on the wire
 //! for the bandwidth-saving experiment (Figure 7).
 //!
-//! Frame layout (all integers little-endian):
+//! Two frame versions share the magic number and the weights section
+//! (all integers little-endian):
+//!
+//! **v1 — array-of-structs** (the original layout, still decodable):
 //!
 //! ```text
 //! magic     u16  = 0xA107
@@ -14,13 +17,36 @@
 //! items     u32  count, then per entry: stratum u32, value f64,
 //!                                        seq u64, source_ts u64
 //! ```
+//!
+//! **v2 — columnar**: the body is four length-prefixed column runs, one
+//! per [`approxiot_core::ColumnarBatch`] column, in declaration order:
+//!
+//! ```text
+//! magic     u16  = 0xA107
+//! version   u8   = 2
+//! weights   u32  count, then per entry: stratum u32, weight f64
+//! strata    u32  count n, then n × u32
+//! values    u32  count n, then n × f64
+//! seqs      u32  count n, then n × u64
+//! source_ts u32  count n, then n × u64
+//! ```
+//!
+//! All four counts must agree. Because each run is contiguous and
+//! little-endian, encode and decode on little-endian hosts are a handful
+//! of bulk `extend_from_slice`/`copy_from_slice` calls per frame instead
+//! of 28 bytes of per-item field writes (big-endian hosts fall back to
+//! per-element conversion). v2 costs 12 extra bytes per frame over v1 for
+//! the same items; the codecs reject each other's frames with named
+//! errors, and [`decode_batch_any_into`] dispatches on the version byte
+//! when either may arrive.
 
 use crate::error::MqError;
-use approxiot_core::{Batch, StratumId, StreamItem};
+use approxiot_core::{Batch, ColumnarBatch, StratumId, StreamItem, WeightMap};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u16 = 0xA107;
 const VERSION: u8 = 1;
+const VERSION_COLUMNAR: u8 = 2;
 
 /// Bytes per encoded weight entry.
 const WEIGHT_ENTRY: usize = 4 + 8;
@@ -117,26 +143,18 @@ pub fn decode_batch_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqError>
         return Err(MqError::Codec(format!("bad magic 0x{magic:04X}")));
     }
     let version = buf.get_u8();
+    if version == VERSION_COLUMNAR {
+        return Err(MqError::Codec(
+            "columnar v2 frame in the v1 item decoder (use decode_columns or decode_batch_any)"
+                .into(),
+        ));
+    }
     if version != VERSION {
         return Err(MqError::Codec(format!("unsupported version {version}")));
     }
-    if buf.remaining() < 4 {
-        return Err(MqError::Codec("truncated weight count".into()));
-    }
-    let weight_count = buf.get_u32_le() as usize;
-    if buf.remaining() < weight_count * WEIGHT_ENTRY {
-        return Err(MqError::Codec("truncated weight entries".into()));
-    }
-    for _ in 0..weight_count {
-        let stratum = StratumId::new(buf.get_u32_le());
-        let weight = buf.get_f64_le();
-        if !weight.is_finite() || weight < 1.0 - 1e-9 {
-            batch.weights.clear();
-            return Err(MqError::Codec(format!(
-                "invalid weight {weight} for {stratum}"
-            )));
-        }
-        batch.weights.set(stratum, weight);
+    if let Err(err) = decode_weights(&mut buf, &mut batch.weights) {
+        batch.weights.clear();
+        return Err(err);
     }
     if buf.remaining() < 4 {
         batch.weights.clear();
@@ -164,6 +182,375 @@ pub fn decode_batch_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqError>
         batch
             .items
             .push(StreamItem::with_meta(stratum, value, seq, source_ts));
+    }
+    Ok(())
+}
+
+/// Decodes the shared weights section (count + entries), validating each
+/// weight like v1 always has.
+fn decode_weights(buf: &mut &[u8], weights: &mut WeightMap) -> Result<(), MqError> {
+    if buf.remaining() < 4 {
+        return Err(MqError::Codec("truncated weight count".into()));
+    }
+    let weight_count = buf.get_u32_le() as usize;
+    if buf.remaining() < weight_count * WEIGHT_ENTRY {
+        return Err(MqError::Codec("truncated weight entries".into()));
+    }
+    for _ in 0..weight_count {
+        let stratum = StratumId::new(buf.get_u32_le());
+        let weight = buf.get_f64_le();
+        if !weight.is_finite() || weight < 1.0 - 1e-9 {
+            return Err(MqError::Codec(format!(
+                "invalid weight {weight} for {stratum}"
+            )));
+        }
+        weights.set(stratum, weight);
+    }
+    Ok(())
+}
+
+/// A column element type the v2 codec moves in bulk. All three
+/// implementors (`u32`, `u64`, `f64`) are plain-old-data with every bit
+/// pattern valid, which is what makes the byte-view casts in the
+/// little-endian fast paths sound.
+trait ColumnElem: Copy {
+    /// Encoded bytes per element.
+    const SIZE: usize;
+    #[cfg(not(target_endian = "little"))]
+    fn put_le(buf: &mut BytesMut, v: Self);
+    /// Reads one element from a little-endian byte run (big-endian hosts
+    /// and the strided v2 → `Batch` path).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl ColumnElem for u32 {
+    const SIZE: usize = 4;
+    #[cfg(not(target_endian = "little"))]
+    fn put_le(buf: &mut BytesMut, v: Self) {
+        buf.put_u32_le(v);
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes[..4].try_into().expect("length checked"))
+    }
+}
+
+impl ColumnElem for u64 {
+    const SIZE: usize = 8;
+    #[cfg(not(target_endian = "little"))]
+    fn put_le(buf: &mut BytesMut, v: Self) {
+        buf.put_u64_le(v);
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes[..8].try_into().expect("length checked"))
+    }
+}
+
+impl ColumnElem for f64 {
+    const SIZE: usize = 8;
+    #[cfg(not(target_endian = "little"))]
+    fn put_le(buf: &mut BytesMut, v: Self) {
+        buf.put_f64_le(v);
+    }
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().expect("length checked"))
+    }
+}
+
+/// Appends one length-prefixed column run: `u32` element count, then the
+/// raw little-endian elements — a single `extend_from_slice` on
+/// little-endian hosts.
+fn put_column<T: ColumnElem>(buf: &mut BytesMut, col: &[T]) {
+    buf.put_u32_le(col.len() as u32);
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `T: ColumnElem` is plain-old-data without padding, so
+        // viewing the slice as bytes is sound, and on a little-endian
+        // host the in-memory bytes are exactly the wire encoding.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(col.as_ptr().cast::<u8>(), std::mem::size_of_val(col))
+        };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in col {
+        T::put_le(buf, v);
+    }
+}
+
+/// Takes one length-prefixed column run off the front of `buf`, returning
+/// its raw byte region and element count after bounds checks.
+fn take_column_bytes<'a>(
+    buf: &mut &'a [u8],
+    elem_size: usize,
+    name: &str,
+) -> Result<(&'a [u8], usize), MqError> {
+    if buf.remaining() < 4 {
+        return Err(MqError::Codec(format!("truncated {name} column count")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let nbytes = n
+        .checked_mul(elem_size)
+        .ok_or_else(|| MqError::Codec(format!("{name} column count overflows")))?;
+    if buf.remaining() < nbytes {
+        return Err(MqError::Codec(format!("truncated {name} column")));
+    }
+    let (bytes, tail) = buf.split_at(nbytes);
+    *buf = tail;
+    Ok((bytes, n))
+}
+
+/// Refills `out` from a column's little-endian byte run — one bulk
+/// `copy_nonoverlapping` on little-endian hosts, per-element conversion
+/// otherwise.
+fn fill_column<T: ColumnElem>(out: &mut Vec<T>, bytes: &[u8], n: usize) {
+    out.clear();
+    out.reserve(n);
+    #[cfg(target_endian = "little")]
+    // SAFETY: `T` is plain-old-data admitting every bit pattern, `bytes`
+    // holds exactly `n * T::SIZE` bytes (checked by the caller through
+    // `take_column_bytes`), and `reserve` guaranteed capacity for `n`
+    // elements before `set_len`.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for i in 0..n {
+        out.push(T::read_le(&bytes[i * T::SIZE..]));
+    }
+}
+
+/// Returns the exact encoded size of a columnar batch as a v2 frame,
+/// without encoding it.
+pub fn encoded_len_columns(batch: &ColumnarBatch) -> usize {
+    HEADER + 4 + batch.weights.len() * WEIGHT_ENTRY + 4 * 4 + batch.len() * ITEM_ENTRY
+}
+
+/// Returns the exact encoded size of an AoS batch as a v2 columnar frame
+/// (see [`encode_batch_v2_into`]).
+pub fn encoded_len_v2(batch: &Batch) -> usize {
+    HEADER + 4 + batch.weights.len() * WEIGHT_ENTRY + 4 * 4 + batch.items.len() * ITEM_ENTRY
+}
+
+/// Encodes a columnar batch into a v2 wire frame.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{ColumnarBatch, StratumId, StreamItem};
+/// use approxiot_mq::codec::{decode_columns, encode_columns};
+///
+/// let mut batch = ColumnarBatch::new();
+/// batch.push(StreamItem::new(StratumId::new(0), 1.5));
+/// let frame = encode_columns(&batch);
+/// assert_eq!(decode_columns(&frame)?, batch);
+/// # Ok::<(), approxiot_mq::MqError>(())
+/// ```
+pub fn encode_columns(batch: &ColumnarBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len_columns(batch));
+    encode_columns_into(batch, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a columnar batch into a caller-owned buffer, replacing its
+/// contents — the steady-state entry point, zero allocations per frame
+/// once the buffer has warmed up. The body is four bulk column copies.
+pub fn encode_columns_into(batch: &ColumnarBatch, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(encoded_len_columns(batch));
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION_COLUMNAR);
+    buf.put_u32_le(batch.weights.len() as u32);
+    for (stratum, weight) in batch.weights.iter() {
+        buf.put_u32_le(stratum.index());
+        buf.put_f64_le(weight);
+    }
+    put_column(buf, &batch.strata);
+    put_column(buf, &batch.values);
+    put_column(buf, &batch.seqs);
+    put_column(buf, &batch.source_ts);
+}
+
+/// Encodes an **AoS** batch into a v2 columnar frame — four strided
+/// passes over the items instead of a transposing copy, for producers
+/// (like the pipeline source) that hold a [`Batch`] but feed columnar
+/// consumers. Byte-identical to converting to a [`ColumnarBatch`] first
+/// and calling [`encode_columns_into`].
+pub fn encode_batch_v2_into(batch: &Batch, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(encoded_len_v2(batch));
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION_COLUMNAR);
+    buf.put_u32_le(batch.weights.len() as u32);
+    for (stratum, weight) in batch.weights.iter() {
+        buf.put_u32_le(stratum.index());
+        buf.put_f64_le(weight);
+    }
+    let n = batch.items.len() as u32;
+    buf.put_u32_le(n);
+    for item in &batch.items {
+        buf.put_u32_le(item.stratum.index());
+    }
+    buf.put_u32_le(n);
+    for item in &batch.items {
+        buf.put_f64_le(item.value);
+    }
+    buf.put_u32_le(n);
+    for item in &batch.items {
+        buf.put_u64_le(item.seq);
+    }
+    buf.put_u32_le(n);
+    for item in &batch.items {
+        buf.put_u64_le(item.source_ts);
+    }
+}
+
+/// Decodes a v2 wire frame into a columnar batch.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, wrong or unsupported
+/// version, truncated/corrupted frame or trailing bytes.
+pub fn decode_columns(frame: &[u8]) -> Result<ColumnarBatch, MqError> {
+    let mut batch = ColumnarBatch::new();
+    decode_columns_into(frame, &mut batch)?;
+    Ok(batch)
+}
+
+/// Decodes a v2 wire frame into a caller-owned (typically recycled)
+/// columnar batch, replacing its contents — the columnar twin of
+/// [`decode_batch_into`], with each column landing as one bulk copy. On
+/// error the batch is left cleared, never partially decoded.
+///
+/// A **v1** frame is rejected with a named error (`"AoS v1 frame in the
+/// columnar decoder"`); use [`decode_batch_into`] or sniff with
+/// [`frame_version`] when either version may arrive.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, wrong or unsupported
+/// version, truncated/corrupted frame, column length mismatch or trailing
+/// bytes; never panics, whatever the input bytes.
+pub fn decode_columns_into(frame: &[u8], batch: &mut ColumnarBatch) -> Result<(), MqError> {
+    let result = decode_columns_inner(frame, batch);
+    if result.is_err() {
+        batch.clear();
+    }
+    result
+}
+
+fn decode_columns_inner(frame: &[u8], batch: &mut ColumnarBatch) -> Result<(), MqError> {
+    batch.clear();
+    let mut buf = frame;
+    if buf.remaining() < HEADER {
+        return Err(MqError::Codec("frame shorter than header".into()));
+    }
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(MqError::Codec(format!("bad magic 0x{magic:04X}")));
+    }
+    let version = buf.get_u8();
+    if version == VERSION {
+        return Err(MqError::Codec(
+            "AoS v1 frame in the columnar decoder (use decode_batch or decode_batch_any)".into(),
+        ));
+    }
+    if version != VERSION_COLUMNAR {
+        return Err(MqError::Codec(format!("unsupported version {version}")));
+    }
+    decode_weights(&mut buf, &mut batch.weights)?;
+    let (strata, n) = take_column_bytes(&mut buf, u32::SIZE, "strata")?;
+    let (values, n_values) = take_column_bytes(&mut buf, f64::SIZE, "values")?;
+    let (seqs, n_seqs) = take_column_bytes(&mut buf, u64::SIZE, "seqs")?;
+    let (source_ts, n_ts) = take_column_bytes(&mut buf, u64::SIZE, "source_ts")?;
+    if n_values != n || n_seqs != n || n_ts != n {
+        return Err(MqError::Codec(format!(
+            "column length mismatch: strata {n}, values {n_values}, seqs {n_seqs}, source_ts {n_ts}"
+        )));
+    }
+    if buf.remaining() != 0 {
+        return Err(MqError::Codec(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    fill_column(&mut batch.strata, strata, n);
+    fill_column(&mut batch.values, values, n);
+    fill_column(&mut batch.seqs, seqs, n);
+    fill_column(&mut batch.source_ts, source_ts, n);
+    Ok(())
+}
+
+/// Reads the version byte of a frame after checking the magic number —
+/// for dispatch points that accept both frame versions.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] when the frame is shorter than a header or
+/// carries the wrong magic (the version byte itself is not validated).
+pub fn frame_version(frame: &[u8]) -> Result<u8, MqError> {
+    if frame.len() < HEADER {
+        return Err(MqError::Codec("frame shorter than header".into()));
+    }
+    let magic = u16::from_le_bytes([frame[0], frame[1]]);
+    if magic != MAGIC {
+        return Err(MqError::Codec(format!("bad magic 0x{magic:04X}")));
+    }
+    Ok(frame[2])
+}
+
+/// Decodes a frame of **either** version into an AoS batch: v1 frames go
+/// through [`decode_batch_into`]; v2 frames are read column-run by
+/// column-run with strided per-item reconstruction (no intermediate
+/// columnar allocation). Used by aggregation points (the root) that may
+/// receive both layouts.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, unsupported version
+/// or corrupted frame; on error the batch is left cleared.
+pub fn decode_batch_any_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqError> {
+    match frame_version(frame) {
+        Ok(VERSION_COLUMNAR) => {
+            let result = decode_v2_into_batch(frame, batch);
+            if result.is_err() {
+                batch.clear();
+            }
+            result
+        }
+        // v1, unknown versions, and header errors all get the v1
+        // decoder's clearing behaviour and named errors.
+        _ => decode_batch_into(frame, batch),
+    }
+}
+
+fn decode_v2_into_batch(frame: &[u8], batch: &mut Batch) -> Result<(), MqError> {
+    batch.clear();
+    let mut buf = &frame[HEADER..]; // magic + version validated by the caller
+    decode_weights(&mut buf, &mut batch.weights)?;
+    let (strata, n) = take_column_bytes(&mut buf, u32::SIZE, "strata")?;
+    let (values, n_values) = take_column_bytes(&mut buf, f64::SIZE, "values")?;
+    let (seqs, n_seqs) = take_column_bytes(&mut buf, u64::SIZE, "seqs")?;
+    let (source_ts, n_ts) = take_column_bytes(&mut buf, u64::SIZE, "source_ts")?;
+    if n_values != n || n_seqs != n || n_ts != n {
+        return Err(MqError::Codec(format!(
+            "column length mismatch: strata {n}, values {n_values}, seqs {n_seqs}, source_ts {n_ts}"
+        )));
+    }
+    if buf.remaining() != 0 {
+        return Err(MqError::Codec(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    batch.items.reserve(n);
+    for i in 0..n {
+        batch.items.push(StreamItem::with_meta(
+            StratumId::new(u32::read_le(&strata[i * u32::SIZE..])),
+            f64::read_le(&values[i * f64::SIZE..]),
+            u64::read_le(&seqs[i * u64::SIZE..]),
+            u64::read_le(&source_ts[i * u64::SIZE..]),
+        ));
     }
     Ok(())
 }
@@ -302,5 +689,171 @@ mod tests {
             StreamItem::new(StratumId::new(0), 0.0),
         ]);
         assert_eq!(encoded_len(&two) - encoded_len(&one), ITEM_ENTRY);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_columns() {
+        let cols = ColumnarBatch::from_batch(&sample_batch());
+        let frame = encode_columns(&cols);
+        assert_eq!(frame.len(), encoded_len_columns(&cols));
+        assert_eq!(frame[2], VERSION_COLUMNAR);
+        let decoded = decode_columns(&frame).expect("decodes");
+        assert_eq!(decoded, cols);
+    }
+
+    #[test]
+    fn v2_roundtrip_empty_batch() {
+        let cols = ColumnarBatch::new();
+        let decoded = decode_columns(&encode_columns(&cols)).expect("decodes");
+        assert_eq!(decoded, cols);
+        assert_eq!(encoded_len_columns(&cols), HEADER + 4 + 16);
+    }
+
+    #[test]
+    fn encode_batch_v2_matches_columnar_encode() {
+        let batch = sample_batch();
+        let mut from_aos = BytesMut::new();
+        encode_batch_v2_into(&batch, &mut from_aos);
+        let from_cols = encode_columns(&ColumnarBatch::from_batch(&batch));
+        assert_eq!(&from_aos[..], &from_cols[..], "byte-identical encodings");
+        assert_eq!(from_aos.len(), encoded_len_v2(&batch));
+    }
+
+    #[test]
+    fn v1_decoder_rejects_v2_frame_with_named_error() {
+        let frame = encode_columns(&ColumnarBatch::from_batch(&sample_batch()));
+        let err = decode_batch(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("columnar v2 frame"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn v2_decoder_rejects_v1_frame_with_named_error() {
+        let frame = encode_batch(&sample_batch());
+        let err = decode_columns(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("AoS v1 frame"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn v2_rejects_truncation_at_every_length() {
+        let frame = encode_columns(&ColumnarBatch::from_batch(&sample_batch()));
+        for len in 0..frame.len() {
+            assert!(
+                decode_columns(&frame[..len]).is_err(),
+                "truncated frame of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_rejects_trailing_bytes() {
+        let mut frame = encode_columns(&ColumnarBatch::from_batch(&sample_batch())).to_vec();
+        frame.push(0);
+        let err = decode_columns(&frame).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn v2_rejects_column_length_mismatch() {
+        // Hand-craft a frame whose values column is one element short.
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION_COLUMNAR);
+        buf.put_u32_le(0); // no weights
+        buf.put_u32_le(2); // strata: 2 elements
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // values: 1 element
+        buf.put_f64_le(4.5);
+        buf.put_u32_le(2); // seqs
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u32_le(2); // source_ts
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        let err = decode_columns(&buf).unwrap_err();
+        assert!(err.to_string().contains("column length mismatch"));
+    }
+
+    #[test]
+    fn v2_rejects_invalid_weight() {
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION_COLUMNAR);
+        buf.put_u32_le(1);
+        buf.put_u32_le(7);
+        buf.put_f64_le(0.5);
+        for _ in 0..4 {
+            buf.put_u32_le(0); // four empty columns
+        }
+        let err = decode_columns(&buf).unwrap_err();
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn v2_decode_into_clears_stale_contents_on_error() {
+        let mut stale = ColumnarBatch::from_batch(&sample_batch());
+        let err = decode_columns_into(&[0xFF, 0xFF, 2], &mut stale).unwrap_err();
+        assert!(matches!(err, MqError::Codec(_)));
+        assert!(stale.is_empty(), "failed decode must not leave stale items");
+        assert!(stale.weights.is_empty());
+    }
+
+    #[test]
+    fn v2_decode_into_refills_recycled_columns_without_growth() {
+        let cols = ColumnarBatch::from_batch(&sample_batch());
+        let frame = encode_columns(&cols);
+        let mut recycled = ColumnarBatch::new();
+        decode_columns_into(&frame, &mut recycled).expect("decodes");
+        assert_eq!(recycled, cols);
+        let warm = recycled.values.capacity();
+        for _ in 0..100 {
+            decode_columns_into(&frame, &mut recycled).expect("decodes");
+        }
+        assert_eq!(recycled, cols);
+        assert_eq!(recycled.values.capacity(), warm, "column storage reused");
+    }
+
+    #[test]
+    fn frame_version_sniffs_both_versions() {
+        let batch = sample_batch();
+        assert_eq!(frame_version(&encode_batch(&batch)).expect("v1"), VERSION);
+        let cols = ColumnarBatch::from_batch(&batch);
+        assert_eq!(
+            frame_version(&encode_columns(&cols)).expect("v2"),
+            VERSION_COLUMNAR
+        );
+        assert!(frame_version(&[0xA1]).is_err());
+        assert!(frame_version(&[0x00, 0x00, 1]).is_err());
+    }
+
+    #[test]
+    fn decode_any_accepts_both_versions() {
+        let batch = sample_batch();
+        let mut out = Batch::new();
+        decode_batch_any_into(&encode_batch(&batch), &mut out).expect("v1 decodes");
+        assert_eq!(out, batch);
+        let mut buf = BytesMut::new();
+        encode_batch_v2_into(&batch, &mut buf);
+        decode_batch_any_into(&buf, &mut out).expect("v2 decodes");
+        assert_eq!(out, batch, "v2 round-trips through the any-decoder");
+        let err = decode_batch_any_into(&[0xA1], &mut out).unwrap_err();
+        assert!(err.to_string().contains("shorter than header"));
+        assert!(out.is_empty(), "failed decode leaves the batch cleared");
+    }
+
+    #[test]
+    fn v2_costs_twelve_extra_bytes_over_v1() {
+        let batch = sample_batch();
+        assert_eq!(encoded_len_v2(&batch), encoded_len(&batch) + 12);
+        assert_eq!(
+            encoded_len_columns(&ColumnarBatch::from_batch(&batch)),
+            encoded_len_v2(&batch)
+        );
     }
 }

@@ -1,0 +1,118 @@
+//! Fuzz-style property tests for the columnar v2 wire frame.
+//!
+//! Four invariants pin the codec against the v1 path:
+//!
+//! 1. **Cross-layout equality** — the same logical batch encoded as an AoS
+//!    v1 frame and as a columnar v2 frame decodes to identical contents,
+//!    whichever decoder (layout-specific or version-sniffing) reads it.
+//! 2. **Prefix rejection** — every strict prefix of a valid v2 frame fails
+//!    to decode; there are no partial reads.
+//! 3. **No panics on garbage** — arbitrary bytes never panic any decoder;
+//!    they either decode (vanishingly unlikely) or return an error.
+//! 4. **Cross-version rejection** — the v1 decoder names the v2 frame it
+//!    refuses, and vice versa, so misrouted frames fail loudly rather than
+//!    silently misparse.
+
+use approxiot_core::{Batch, ColumnarBatch, StratumId, StreamItem, WeightMap};
+use approxiot_mq::codec::{
+    decode_batch, decode_batch_any_into, decode_batch_into, decode_columns, decode_columns_into,
+    encode_batch, encode_batch_v2_into, encode_columns, encoded_len_columns, encoded_len_v2,
+};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (
+        proptest::collection::vec((0u32..16, -1e9f64..1e9, 0u64..1000, 0u64..1_000_000), 0..50),
+        proptest::collection::vec((0u32..16, 1.0f64..1e6), 0..8),
+    )
+        .prop_map(|(items, weights)| {
+            let mut map = WeightMap::new();
+            for (s, w) in weights {
+                map.set(StratumId::new(s), w);
+            }
+            Batch::with_weights(
+                map,
+                items
+                    .into_iter()
+                    .map(|(s, v, seq, ts)| StreamItem::with_meta(StratumId::new(s), v, seq, ts))
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// v1 and v2 frames of the same batch decode to equal contents, via
+    /// every decoder entry point, and the v2 length prediction holds.
+    #[test]
+    fn v2_roundtrip_matches_v1(batch in arb_batch()) {
+        let v1 = encode_batch(&batch);
+        let columns = ColumnarBatch::from_batch(&batch);
+        let v2 = encode_columns(&columns);
+        prop_assert_eq!(v2.len(), encoded_len_columns(&columns));
+        prop_assert_eq!(v2.len(), encoded_len_v2(&batch));
+
+        // Both strided-encode entry points emit identical bytes.
+        let mut buf = BytesMut::new();
+        encode_batch_v2_into(&batch, &mut buf);
+        prop_assert_eq!(&buf[..], &v2[..]);
+
+        // Layout-specific decoders agree across layouts.
+        let from_v1 = decode_batch(&v1).expect("well-formed v1 frame");
+        let from_v2 = decode_columns(&v2).expect("well-formed v2 frame");
+        prop_assert_eq!(&from_v2.to_batch(), &from_v1);
+        prop_assert_eq!(&from_v1, &batch);
+
+        // The version-sniffing decoder accepts both and agrees too.
+        let mut any = Batch::new();
+        decode_batch_any_into(&v1, &mut any).expect("v1 via any");
+        prop_assert_eq!(&any, &batch);
+        decode_batch_any_into(&v2, &mut any).expect("v2 via any");
+        prop_assert_eq!(&any, &batch);
+    }
+
+    /// Every strict prefix of a v2 frame is rejected, and the recycled
+    /// output columns come back empty after the failure.
+    #[test]
+    fn v2_rejects_every_prefix(batch in arb_batch(), cut in 0usize..100) {
+        let columns = ColumnarBatch::from_batch(&batch);
+        let frame = encode_columns(&columns);
+        let len = cut % frame.len(); // frame is never empty (header + counts)
+        let mut out = ColumnarBatch::from_batch(&batch); // stale contents
+        prop_assert!(decode_columns_into(&frame[..len], &mut out).is_err());
+        prop_assert!(out.is_empty(), "failed decode must clear the output");
+        let mut aos = Batch::new();
+        prop_assert!(decode_batch_any_into(&frame[..len], &mut aos).is_err());
+        prop_assert!(aos.is_empty());
+    }
+
+    /// Arbitrary bytes never panic any decoder.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut columns = ColumnarBatch::new();
+        let _ = decode_columns_into(&bytes, &mut columns);
+        let mut batch = Batch::new();
+        let _ = decode_batch_into(&bytes, &mut batch);
+        let _ = decode_batch_any_into(&bytes, &mut batch);
+    }
+
+    /// Misrouted frames are rejected with an error naming the other
+    /// version, for any batch shape.
+    #[test]
+    fn cross_version_frames_rejected_by_name(batch in arb_batch()) {
+        let v1 = encode_batch(&batch);
+        let v2 = encode_columns(&ColumnarBatch::from_batch(&batch));
+
+        let mut columns = ColumnarBatch::from_batch(&batch);
+        let err = decode_columns_into(&v1, &mut columns).expect_err("v1 into columnar");
+        prop_assert!(err.to_string().contains("AoS v1 frame"), "got: {err}");
+        prop_assert!(columns.is_empty());
+
+        let mut aos = Batch::new();
+        let err = decode_batch_into(&v2, &mut aos).expect_err("v2 into v1 decoder");
+        prop_assert!(err.to_string().contains("columnar v2 frame"), "got: {err}");
+        prop_assert!(aos.is_empty());
+    }
+}

@@ -43,9 +43,30 @@
 //!   in sim and replay mode the draw happens — keeping streams aligned —
 //!   and the duration is ignored.
 
-use approxiot_core::Batch;
+use approxiot_core::{Batch, ColumnarBatch};
 use approxiot_net::{Impairment, ImpairmentSpec};
 use std::time::Duration;
+
+/// A frame the injector can transmit: anything that knows how many items
+/// it carries (for drop/duplicate item accounting). Implemented for both
+/// batch layouts so AoS and columnar sends share one decision stream —
+/// the injected fates depend only on frame order, never on layout.
+pub trait FaultFrame {
+    /// Items inside the frame.
+    fn item_count(&self) -> usize;
+}
+
+impl FaultFrame for Batch {
+    fn item_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl FaultFrame for ColumnarBatch {
+    fn item_count(&self) -> usize {
+        self.len()
+    }
+}
 
 /// Drop/duplicate accounting of one injector (or one whole hop, when
 /// aggregated into [`HopFaults`]).
@@ -181,10 +202,15 @@ impl FaultInjector {
     /// jitter draw per delivered copy at delivery time. Reorder swaps a
     /// frame with its surviving successor within the burst (adjacent,
     /// non-cascading), so single-frame bursts never reorder.
-    pub fn transmit(
+    ///
+    /// Generic over the frame layout ([`FaultFrame`]): the decision
+    /// stream consumes randomness identically for [`Batch`] and
+    /// [`ColumnarBatch`] bursts, so an engine switching a hop to columnar
+    /// frames keeps the exact same fate sequence.
+    pub fn transmit<F: FaultFrame>(
         &mut self,
-        burst: &[Batch],
-        deliver: &mut dyn FnMut(&Batch, Duration) -> bool,
+        burst: &[F],
+        deliver: &mut dyn FnMut(&F, Duration) -> bool,
     ) -> bool {
         self.plan.clear();
         // True while the previous plan entry was already displaced by a
@@ -193,13 +219,13 @@ impl FaultInjector {
         for (idx, frame) in burst.iter().enumerate() {
             if self.stream.drops() {
                 self.stats.dropped_frames += 1;
-                self.stats.dropped_items += frame.len() as u64;
+                self.stats.dropped_items += frame.item_count() as u64;
                 continue;
             }
             let duplicated = self.stream.duplicates();
             if duplicated {
                 self.stats.duplicated_frames += 1;
-                self.stats.duplicated_items += frame.len() as u64;
+                self.stats.duplicated_items += frame.item_count() as u64;
             }
             // The draw happens for every surviving frame (stream alignment);
             // it only takes effect on a free predecessor.

@@ -111,7 +111,7 @@ pub mod tree;
 
 pub use churn::{ChurnSchedule, ChurnStats, DegradedMode, NodeDisposition};
 pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
-pub use fault::{FaultInjector, FaultStats, HopFaults};
+pub use fault::{FaultFrame, FaultInjector, FaultStats, HopFaults};
 pub use feedback::FeedbackLoop;
 pub use metrics::{mean_window_error, results_bit_identical, window_estimates, RunSummary};
 pub use node::{SamplingNode, Strategy};

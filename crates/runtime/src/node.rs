@@ -3,7 +3,9 @@
 //! baseline or the native (no sampling) execution.
 
 use crate::pool::WorkerPool;
-use approxiot_core::{Allocation, Batch, CostFunction, SamplingBudget, SrsSampler, WhsSampler};
+use approxiot_core::{
+    Allocation, Batch, ColumnarBatch, CostFunction, SamplingBudget, SrsSampler, WhsSampler,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -274,6 +276,74 @@ impl SamplingNode {
             .collect()
     }
 
+    /// Processes one incoming **columnar** batch — the hot-path twin of
+    /// [`SamplingNode::process_batch`], running the flat-slice kernels.
+    /// Bit-identical output for the same logical items and node state:
+    /// every strategy consumes the node RNG exactly like its AoS
+    /// counterpart.
+    pub fn process_columns(&mut self, batch: &ColumnarBatch) -> ColumnarBatch {
+        self.items_in += batch.len() as u64;
+        let out = match self.strategy {
+            Strategy::Whs { .. } => {
+                let size = self.budget.sample_size(batch.len());
+                let mut out = ColumnarBatch::new();
+                self.whs
+                    .sample_columns_into(batch, size, &mut out, &mut self.rng);
+                out
+            }
+            Strategy::Srs => {
+                let srs = self
+                    .srs
+                    .as_ref()
+                    .expect("srs sampler present for Srs strategy");
+                let mut out = ColumnarBatch::new();
+                srs.sample_columns_into(batch.view(), &mut out, &mut self.rng);
+                out
+            }
+            Strategy::Native => batch.clone(),
+        };
+        self.items_out += out.len() as u64;
+        out
+    }
+
+    /// Like [`SamplingNode::process_columns`], but borrows the input
+    /// mutably so native (no-sampling) nodes can **move** the columns to
+    /// the output instead of cloning them — the columnar twin of
+    /// [`SamplingNode::process_batch_mut`].
+    pub fn process_columns_mut(&mut self, batch: &mut ColumnarBatch) -> ColumnarBatch {
+        if matches!(self.strategy, Strategy::Native) {
+            let out = std::mem::take(batch);
+            self.items_in += out.len() as u64;
+            self.items_out += out.len() as u64;
+            return out;
+        }
+        self.process_columns(batch)
+    }
+
+    /// Processes one columnar batch on the node's persistent
+    /// [`WorkerPool`] (§III-E) — the columnar twin of
+    /// [`SamplingNode::process_batch_parallel`], with per-shard `(start,
+    /// end)` ranges over the columns instead of item sub-slices. Shard
+    /// outputs are bit-identical to the AoS path for the same logical
+    /// items; carried weights share the same store, so the entry points
+    /// can be mixed freely.
+    pub fn process_columns_parallel(&mut self, batch: &ColumnarBatch) -> Vec<ColumnarBatch> {
+        let Some(parallel) = self.parallel.as_mut() else {
+            return vec![self.process_columns(batch)];
+        };
+        self.items_in += batch.len() as u64;
+        let size = self.budget.sample_size(batch.len());
+        // Resolve carried weights through the node's single weight store.
+        let resolved = self.whs.resolve_weights_columns(batch);
+        let outs = parallel.sample_columns_with_weights(batch.view(), size, &resolved);
+        outs.into_iter()
+            .filter(|o| !o.is_empty())
+            .inspect(|o| {
+                self.items_out += o.len() as u64;
+            })
+            .collect()
+    }
+
     /// Items received so far.
     pub fn items_in(&self) -> u64 {
         self.items_in
@@ -518,6 +588,47 @@ mod sharded_tests {
         let outs = node.process_batch_parallel(&batch(10));
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].len(), 5);
+    }
+
+    #[test]
+    fn columnar_node_bit_identical_to_aos_node() {
+        // Every strategy, unsharded and parallel: processing the same
+        // logical batch through the columnar entries must reproduce the
+        // AoS entries exactly.
+        for strategy in [Strategy::whs(), Strategy::Srs, Strategy::Native] {
+            let mut aos = SamplingNode::new(strategy, 0.25, 9).expect("valid");
+            let mut soa = SamplingNode::new(strategy, 0.25, 9).expect("valid");
+            for round in 0..3usize {
+                let b = batch(1_000 + round);
+                let cols = ColumnarBatch::from_batch(&b);
+                let a = aos.process_batch(&b);
+                let c = soa.process_columns(&cols);
+                assert_eq!(c.to_batch(), a, "{}/round {round}", strategy.label());
+            }
+            assert_eq!(aos.items_in(), soa.items_in());
+            assert_eq!(aos.items_out(), soa.items_out());
+        }
+        let mut aos = SamplingNode::with_workers(Strategy::whs(), 0.1, 1, 4).expect("valid");
+        let mut soa = SamplingNode::with_workers(Strategy::whs(), 0.1, 1, 4).expect("valid");
+        let b = batch(100_000);
+        let cols = ColumnarBatch::from_batch(&b);
+        let a = aos.process_batch_parallel(&b);
+        let c = soa.process_columns_parallel(&cols);
+        assert_eq!(a.len(), c.len());
+        for (a, c) in a.into_iter().zip(c) {
+            assert_eq!(c.to_batch(), a, "parallel shard outputs diverged");
+        }
+    }
+
+    #[test]
+    fn process_columns_mut_moves_native_columns() {
+        let mut node = SamplingNode::new(Strategy::Native, 1.0, 3).expect("valid");
+        let mut input = ColumnarBatch::from_batch(&batch(17));
+        let ptr = input.strata.as_ptr();
+        let out = node.process_columns_mut(&mut input);
+        assert_eq!(out.len(), 17);
+        assert_eq!(out.strata.as_ptr(), ptr, "moved, not cloned");
+        assert!(input.is_empty(), "input contents consumed");
     }
 
     #[test]

@@ -48,18 +48,29 @@
 //! window estimates** on both engines, pinned by the engine-equivalence
 //! integration test.
 //!
-//! ## Buffer reuse on the wire path
+//! ## Columnar wire path and buffer reuse
+//!
+//! The whole inter-node wire runs on the **v2 columnar frame** and the
+//! [`ColumnarBatch`] hot-path representation: the driver encodes source
+//! batches straight into v2 ([`BatchProducer::send_v2_to`]), edge nodes
+//! decode frames into recycled column sets drawn from a per-node
+//! [`ColumnarPool`] ([`decode_columns_into`] — four bulk copies per
+//! frame), sample through the flat-slice kernels
+//! ([`SamplingNode::process_columns_parallel`] /
+//! [`SamplingNode::process_columns_mut`]) and forward with
+//! [`BatchProducer::send_columns_to`]; the root accepts either version
+//! through [`decode_batch_any_into`]. Sampling output is bit-identical to
+//! the array-of-structs path (pinned by kernel-, pool- and node-level
+//! parity tests), so fixed-seed estimates are unchanged — only the
+//! per-item traversal cost drops.
 //!
 //! The wall-clock node loops are steady-state allocation-free end to end.
 //! Every consumer polls through one reused record buffer
 //! ([`Consumer::poll_into`] appending via the partition logs'
-//! `read_into`), every frame decodes into a recycled [`Batch`] drawn from
-//! a per-node [`BatchPool`] ([`decode_batch_into`]), every producer
-//! encodes through its own reused scratch
-//! ([`approxiot_mq::codec::encode_batch_into`]), and both the input batch
-//! and the forwarded output batches return to the pool once sent — native
-//! nodes even *move* the input to the output instead of cloning it
-//! ([`SamplingNode::process_batch_mut`]). Sharded WHS nodes sample on a
+//! `read_into`), every producer encodes through its own reused scratch,
+//! and both the input columns and the forwarded output batches return to
+//! the pool once sent — native nodes even *move* the input columns to the
+//! output instead of cloning them. Sharded WHS nodes sample on a
 //! persistent [`crate::WorkerPool`] rather than a per-batch thread scope,
 //! so thread lifecycle is off the per-batch path too; the
 //! `pipeline_throughput` bench (results in `BENCH_pipeline.json`) measures
@@ -73,8 +84,10 @@ use crate::query::{Query, QuerySet};
 use crate::root::{RootConfig, RootNode, WindowResult};
 use crate::topology::{FractionSplit, LayerSpec, Topology};
 use crate::tree::LayerBytes;
-use approxiot_core::{Batch, BatchPool, BudgetError};
-use approxiot_mq::codec::{decode_batch_into, encoded_len};
+use approxiot_core::{Batch, BatchPool, BudgetError, ColumnarBatch, ColumnarPool};
+use approxiot_mq::codec::{
+    decode_batch_any_into, decode_columns_into, encoded_len_columns, encoded_len_v2,
+};
 use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, Record, StartOffset};
 use approxiot_net::RateLimiter;
 use approxiot_streams::{TumblingWindow, WindowId};
@@ -623,21 +636,21 @@ impl PipelineEngine {
             Some(injector) => {
                 injector.transmit(std::slice::from_ref(batch), &mut |frame, extra| {
                     if let Some(l) = limiter {
-                        l.acquire(encoded_len(frame) as u64);
+                        l.acquire(encoded_len_v2(frame) as u64);
                     }
                     let stamp = if wall {
                         ts.saturating_add(extra.as_nanos() as u64)
                     } else {
                         ts
                     };
-                    producer.send_to(partition, frame, stamp).is_ok()
+                    producer.send_v2_to(partition, frame, stamp).is_ok()
                 })
             }
             None => {
                 if let Some(l) = limiter {
-                    l.acquire(encoded_len(batch) as u64);
+                    l.acquire(encoded_len_v2(batch) as u64);
                 }
-                producer.send_to(partition, batch, ts).is_ok()
+                producer.send_v2_to(partition, batch, ts).is_ok()
             }
         };
         if !sent {
@@ -854,12 +867,15 @@ impl EdgeChurn {
     }
 }
 
-/// The per-edge-node wall-clock loop.
+/// The per-edge-node wall-clock loop, running entirely on the columnar
+/// hot path: v2 frames decode into pooled [`ColumnarBatch`]es, the node
+/// samples through the flat-slice kernels, and outputs go back out as v2
+/// frames.
 ///
 /// Steady-state allocation-free (see the module docs) **when the outgoing
 /// hop is unimpaired**: records poll into a reused buffer, frames decode
-/// into pooled batches, and every batch — the decoded input and each
-/// forwarded output — returns to the node's [`BatchPool`] after the
+/// into pooled column sets, and every batch — the decoded input and each
+/// forwarded output — returns to the node's [`ColumnarPool`] after the
 /// producer's reused scratch has encoded it. With an injector present the
 /// node's outputs route through it instead: dropped frames never touch the
 /// limiter or the wire, duplicated frames are sent twice, and jitter is
@@ -879,25 +895,27 @@ fn edge_node_loop(
     // Sized to cover a window's held backlog in buffered (WHS) mode, not
     // just one poll's worth; beyond this a burst falls back to fresh
     // allocations rather than pinning memory.
-    let mut pool = BatchPool::new(256);
+    let mut pool = ColumnarPool::new(256);
     let mut records: Vec<Record> = Vec::new();
-    let mut held: Vec<Batch> = Vec::new();
+    let mut held: Vec<ColumnarBatch> = Vec::new();
     let mut last_flush = epoch.elapsed();
-    let send = |out: &Batch, extra: Duration| {
+    let send = |out: &ColumnarBatch, extra: Duration| {
         if out.is_empty() {
             return true;
         }
         if let Some(l) = &limiter {
-            l.acquire(encoded_len(out) as u64);
+            l.acquire(encoded_len_columns(out) as u64);
         }
         let ts = (epoch.elapsed().as_nanos() as u64).saturating_add(extra.as_nanos() as u64);
-        producer.send_to(params.out_partition, out, ts).is_ok()
+        producer
+            .send_columns_to(params.out_partition, out, ts)
+            .is_ok()
     };
     let forward = |node: &mut SamplingNode,
-                   pool: &mut BatchPool,
+                   pool: &mut ColumnarPool,
                    injector: &mut Option<FaultInjector>,
                    churn: &mut Option<EdgeChurn>,
-                   mut batch: Batch| {
+                   mut batch: ColumnarBatch| {
         if let Some(churn) = churn {
             // Wall mode evaluates the schedule at the wall window of "now"
             // — the processing moment — mirroring a real fleet where an
@@ -915,9 +933,9 @@ fn edge_node_loop(
                     // as if healthy), then lose the buffered output.
                     churn.sync(node, interval);
                     let outs = if params.sharded {
-                        node.process_batch_parallel(&batch)
+                        node.process_columns_parallel(&batch)
                     } else {
-                        vec![node.process_batch_mut(&mut batch)]
+                        vec![node.process_columns_mut(&mut batch)]
                     };
                     for out in outs {
                         pool.put(out);
@@ -932,9 +950,9 @@ fn edge_node_loop(
             // Fault-injected path: the outputs of this one input frame are
             // one transmission burst.
             let mut outs = if params.sharded {
-                node.process_batch_parallel(&batch)
+                node.process_columns_parallel(&batch)
             } else {
-                vec![node.process_batch_mut(&mut batch)]
+                vec![node.process_columns_mut(&mut batch)]
             };
             outs.retain(|out| !out.is_empty());
             let ok = injector.transmit(&outs, &mut |out, extra| send(out, extra));
@@ -946,22 +964,22 @@ fn edge_node_loop(
         }
         if params.sharded {
             let mut ok = true;
-            for out in node.process_batch_parallel(&batch) {
+            for out in node.process_columns_parallel(&batch) {
                 ok = ok && send(&out, Duration::ZERO);
                 pool.put(out);
             }
             pool.put(batch);
             ok
         } else {
-            // Native nodes move the input into the output here, so even
-            // the unsampled baseline forwards without copying items.
-            let out = node.process_batch_mut(&mut batch);
+            // Native nodes move the input columns into the output here, so
+            // even the unsampled baseline forwards without copying items.
+            let out = node.process_columns_mut(&mut batch);
             let ok = send(&out, Duration::ZERO);
             // The pool pops LIFO, so put the larger storage last: native
             // moved the input's allocation into `out` (leaving `batch` a
             // husk), while WHS/SRS leave the big decoded input in `batch`
             // — either way the next decode gets the warmest buffer.
-            if out.items.capacity() > batch.items.capacity() {
+            if out.values.capacity() > batch.values.capacity() {
                 pool.put(batch);
                 pool.put(out);
             } else {
@@ -976,7 +994,7 @@ fn edge_node_loop(
             Ok(_) => {
                 for record in records.drain(..) {
                     let mut batch = pool.get();
-                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                    if decode_columns_into(&record.value, &mut batch).is_err() {
                         return;
                     }
                     wait_until(epoch, record.timestamp, params.hop_delay);
@@ -1030,7 +1048,7 @@ fn edge_node_replay(
     injector: &mut Option<FaultInjector>,
     churn: &mut Option<EdgeChurn>,
 ) {
-    let Some(mut held) = collect_until_closed(&mut consumer) else {
+    let Some(mut held) = collect_columns_until_closed(&mut consumer) else {
         return;
     };
     held.sort_by_key(|(key, _)| *key);
@@ -1049,9 +1067,9 @@ fn edge_node_replay(
             }
         }
         let mut outs = if params.sharded {
-            node.process_batch_parallel(&batch)
+            node.process_columns_parallel(&batch)
         } else {
-            vec![node.process_batch_mut(&mut batch)]
+            vec![node.process_columns_mut(&mut batch)]
         };
         outs.retain(|out| !out.is_empty());
         if crashed {
@@ -1060,15 +1078,19 @@ fn edge_node_replay(
         let sent = match injector {
             Some(injector) => injector.transmit(&outs, &mut |out, _| {
                 if let Some(l) = &limiter {
-                    l.acquire(encoded_len(out) as u64);
+                    l.acquire(encoded_len_columns(out) as u64);
                 }
-                producer.send_to(params.out_partition, out, key.0).is_ok()
+                producer
+                    .send_columns_to(params.out_partition, out, key.0)
+                    .is_ok()
             }),
             None => outs.iter().all(|out| {
                 if let Some(l) = &limiter {
-                    l.acquire(encoded_len(out) as u64);
+                    l.acquire(encoded_len_columns(out) as u64);
                 }
-                producer.send_to(params.out_partition, out, key.0).is_ok()
+                producer
+                    .send_columns_to(params.out_partition, out, key.0)
+                    .is_ok()
             }),
         };
         if !sent {
@@ -1077,8 +1099,8 @@ fn edge_node_replay(
     }
 }
 
-/// Drains a consumer to close, decoding every record; `None` on a decode
-/// error (poisoned stream).
+/// Drains a consumer to close, decoding every record into an AoS batch
+/// (either frame version); `None` on a decode error (poisoned stream).
 #[allow(clippy::type_complexity)]
 fn collect_until_closed(consumer: &mut Consumer) -> Option<Vec<((u64, u32, u64), Batch)>> {
     let mut held = Vec::new();
@@ -1088,7 +1110,33 @@ fn collect_until_closed(consumer: &mut Consumer) -> Option<Vec<((u64, u32, u64),
             Ok(_) => {
                 for record in records.drain(..) {
                     let mut batch = Batch::new();
-                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                    if decode_batch_any_into(&record.value, &mut batch).is_err() {
+                        return None;
+                    }
+                    held.push(((record.timestamp, record.partition, record.offset), batch));
+                }
+            }
+            Err(MqError::Closed) => return Some(held),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Columnar twin of [`collect_until_closed`]: drains to close decoding
+/// every v2 frame into its own [`ColumnarBatch`] (replay holds the full
+/// backlog anyway, so there is nothing to pool).
+#[allow(clippy::type_complexity)]
+fn collect_columns_until_closed(
+    consumer: &mut Consumer,
+) -> Option<Vec<((u64, u32, u64), ColumnarBatch)>> {
+    let mut held = Vec::new();
+    let mut records: Vec<Record> = Vec::new();
+    loop {
+        match consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5)) {
+            Ok(_) => {
+                for record in records.drain(..) {
+                    let mut batch = ColumnarBatch::new();
+                    if decode_columns_into(&record.value, &mut batch).is_err() {
                         return None;
                     }
                     held.push(((record.timestamp, record.partition, record.offset), batch));
@@ -1119,7 +1167,7 @@ fn root_loop(
             Ok(_) => {
                 for record in records.drain(..) {
                     let mut batch = pool.get();
-                    if decode_batch_into(&record.value, &mut batch).is_err() {
+                    if decode_batch_any_into(&record.value, &mut batch).is_err() {
                         break 'run;
                     }
                     wait_until(epoch, record.timestamp, root_delay);

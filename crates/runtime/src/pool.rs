@@ -44,35 +44,62 @@
 //! the pool.
 
 use approxiot_core::{
-    shard_budget, shard_slice, Allocation, Batch, ParallelShardedSampler, StreamItem, WeightMap,
-    WeightStore, WhsOutput, WhsScratch,
+    shard_bounds, shard_budget, shard_slice, Allocation, Batch, ColumnarBatch, ColumnsView,
+    ParallelShardedSampler, StreamItem, WeightMap, WeightStore, WhsOutput, WhsScratch,
 };
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::thread::JoinHandle;
 
+/// The input a job points at: an AoS item slice, or the four column
+/// slices of a [`ColumnsView`] range (same length each). Both variants
+/// drive the same per-shard RNG discipline, so a pool can serve either
+/// representation batch by batch.
+enum JobInput {
+    Items {
+        items: *const StreamItem,
+        len: usize,
+    },
+    Columns {
+        strata: *const u32,
+        values: *const f64,
+        seqs: *const u64,
+        source_ts: *const u64,
+        len: usize,
+    },
+}
+
 /// One sampling job handed to a worker shard.
 ///
-/// Carries raw views of the caller's item slice and resolved weight map.
-/// Safety rests on the dispatch protocol, not on lifetimes: the only
-/// submitter is [`WorkerPool::sample_with_weights`], which neither returns
+/// Carries raw views of the caller's input (item slice or column slices)
+/// and resolved weight map. Safety rests on the dispatch protocol, not on
+/// lifetimes: the only submitter is [`dispatch_jobs`] (via
+/// [`WorkerPool::sample_with_weights`] /
+/// [`WorkerPool::sample_columns_with_weights`]), which neither returns
 /// nor unwinds until every dispatched shard has sent its result **or hung
 /// up** (a hang-up means the worker's closure, including its copy of this
 /// job, is already destroyed), so the borrows the pointers alias strictly
 /// outlive every worker's use of them — even when a shard panics mid-run.
 struct Job {
-    items: *const StreamItem,
-    len: usize,
+    input: JobInput,
     w_in: *const WeightMap,
     budget: usize,
     allocation: Allocation,
 }
 
-// SAFETY: `StreamItem` is `Copy + Send` and `WeightMap` is `Sync`; the
-// pointers are dereferenced only between job receipt and result send,
-// while the submitting call is still blocked (see `Job`'s invariant).
+// SAFETY: `StreamItem` and the column element types are `Copy + Send` and
+// `WeightMap` is `Sync`; the pointers are dereferenced only between job
+// receipt and result send, while the submitting call is still blocked
+// (see `Job`'s invariant).
 unsafe impl Send for Job {}
+
+/// What a shard sends back: the output representation matching the job's
+/// input representation.
+enum ShardOutput {
+    Items(WhsOutput),
+    Columns(ColumnarBatch),
+}
 
 /// A worker shard's private sampling state — identical to what the
 /// scoped-thread sampler keeps per shard, which is what makes the two
@@ -90,19 +117,56 @@ impl ShardState {
         }
     }
 
-    fn run(&mut self, items: &[StreamItem], job: &Job) -> WhsOutput {
+    fn run(&mut self, job: &Job) -> ShardOutput {
         // SAFETY: the submitter blocks until our result is received, so
-        // `w_in` is alive for the duration of this call.
+        // `w_in` and the input slices are alive for the duration of this
+        // call; see `Job`.
         let w_in = unsafe { &*job.w_in };
-        self.scratch
-            .sample_slice(items, job.budget, w_in, job.allocation, &mut self.rng)
+        match job.input {
+            JobInput::Items { items, len } => {
+                let items = unsafe { std::slice::from_raw_parts(items, len) };
+                ShardOutput::Items(self.scratch.sample_slice(
+                    items,
+                    job.budget,
+                    w_in,
+                    job.allocation,
+                    &mut self.rng,
+                ))
+            }
+            JobInput::Columns {
+                strata,
+                values,
+                seqs,
+                source_ts,
+                len,
+            } => {
+                let view = unsafe {
+                    ColumnsView {
+                        strata: std::slice::from_raw_parts(strata, len),
+                        values: std::slice::from_raw_parts(values, len),
+                        seqs: std::slice::from_raw_parts(seqs, len),
+                        source_ts: std::slice::from_raw_parts(source_ts, len),
+                    }
+                };
+                let mut out = ColumnarBatch::new();
+                self.scratch.sample_columns_into(
+                    view,
+                    job.budget,
+                    w_in,
+                    job.allocation,
+                    &mut out,
+                    &mut self.rng,
+                );
+                ShardOutput::Columns(out)
+            }
+        }
     }
 }
 
 /// One long-lived worker: its job channel, result channel and thread.
 struct Worker {
     jobs: Sender<Job>,
-    results: Receiver<WhsOutput>,
+    results: Receiver<ShardOutput>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -113,16 +177,13 @@ impl Worker {
         // job per shard before collecting, so sends never block and the
         // queue never reorders.
         let (job_tx, job_rx) = bounded::<Job>(1);
-        let (result_tx, result_rx) = bounded::<WhsOutput>(1);
+        let (result_tx, result_rx) = bounded::<ShardOutput>(1);
         let mut state = ShardState::new(seed, idx);
         let thread = std::thread::Builder::new()
             .name(format!("approxiot-edge-worker-{idx}"))
             .spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    // SAFETY: the submitter blocks until our result is
-                    // received; see `Job`.
-                    let items = unsafe { std::slice::from_raw_parts(job.items, job.len) };
-                    let out = state.run(items, &job);
+                    let out = state.run(&job);
                     if result_tx.send(out).is_err() {
                         break; // pool dropped mid-collect (panic unwind)
                     }
@@ -135,6 +196,43 @@ impl Worker {
             thread: Some(thread),
         }
     }
+}
+
+/// Sends one job to every worker and collects the results **in shard
+/// order** behind a panic-safety barrier: every dispatched shard must
+/// either return its output or hang up before this function does anything
+/// that can unwind. A hang-up means the worker's closure — including its
+/// copy of the job pointers — is already gone, so after the barrier no
+/// thread can still read the borrows behind the raw pointers and it is
+/// safe to panic (or return) from the submitting frame.
+fn dispatch_jobs(
+    workers_vec: &[Worker],
+    mut make_job: impl FnMut(usize, usize) -> Job,
+) -> Vec<ShardOutput> {
+    let workers = workers_vec.len();
+    let mut dispatched = 0usize;
+    for (idx, worker) in workers_vec.iter().enumerate() {
+        if worker.jobs.send(make_job(idx, workers)).is_err() {
+            // Worker gone (panicked on an earlier batch): stop handing
+            // out jobs, but fall through to the barrier so
+            // already-dispatched shards finish before we unwind.
+            break;
+        }
+        dispatched += 1;
+    }
+    let results: Vec<Option<ShardOutput>> = workers_vec
+        .iter()
+        .take(dispatched)
+        .map(|w| w.results.recv().ok())
+        .collect();
+    assert!(
+        dispatched == workers && results.iter().all(Option::is_some),
+        "edge worker shard panicked"
+    );
+    results
+        .into_iter()
+        .map(|r| r.expect("all results checked present above"))
+        .collect()
 }
 
 /// Persistent, channel-fed execution engine for §III-E parallel sharded
@@ -295,45 +393,87 @@ impl WorkerPool {
             // bit.
             Engine::Inline(sampler) => sampler.sample_with_weights(items, sample_size, w_in),
             Engine::Threaded(workers_vec) => {
-                let workers = workers_vec.len();
-                let mut dispatched = 0usize;
-                for (idx, worker) in workers_vec.iter().enumerate() {
+                let outs = dispatch_jobs(workers_vec, |idx, workers| {
                     let slice = shard_slice(items, workers, idx);
-                    let job = Job {
-                        items: slice.as_ptr(),
-                        len: slice.len(),
+                    Job {
+                        input: JobInput::Items {
+                            items: slice.as_ptr(),
+                            len: slice.len(),
+                        },
                         w_in,
                         budget: shard_budget(sample_size, workers, idx),
                         allocation,
-                    };
-                    if worker.jobs.send(job).is_err() {
-                        // Worker gone (panicked on an earlier batch): stop
-                        // handing out jobs, but fall through to the
-                        // barrier so already-dispatched shards finish
-                        // before we unwind.
-                        break;
                     }
-                    dispatched += 1;
-                }
-                // Panic-safety barrier, in shard order: wait for every
-                // dispatched shard to either return its output or hang up
-                // before doing anything that can unwind. A hang-up means
-                // the worker's closure — including its copy of the job
-                // pointers — is already gone, so after this loop no thread
-                // can still read the borrows behind the raw pointers and
-                // it is safe to panic (or return) from this frame.
-                let results: Vec<Option<WhsOutput>> = workers_vec
-                    .iter()
-                    .take(dispatched)
-                    .map(|w| w.results.recv().ok())
-                    .collect();
-                assert!(
-                    dispatched == workers && results.iter().all(Option::is_some),
-                    "edge worker shard panicked"
-                );
-                results
-                    .into_iter()
-                    .map(|r| r.expect("all results checked present above"))
+                });
+                outs.into_iter()
+                    .map(|out| match out {
+                        ShardOutput::Items(out) => out,
+                        ShardOutput::Columns(_) => {
+                            unreachable!("items job returned columnar output")
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Samples one columnar batch across all shards, resolving missing
+    /// input weights via the carry-forward rule — the columnar twin of
+    /// [`WorkerPool::sample_batch`]; one output per shard, in shard order.
+    pub fn sample_columns(
+        &mut self,
+        batch: &ColumnarBatch,
+        sample_size: usize,
+    ) -> Vec<ColumnarBatch> {
+        let mut strata = std::mem::take(&mut self.strata_scratch);
+        approxiot_core::distinct_strata_u32_into(&batch.strata, &mut strata);
+        let resolved = self.store.resolve(strata.iter().copied(), &batch.weights);
+        self.strata_scratch = strata;
+        self.sample_columns_with_weights(batch.view(), sample_size, &resolved)
+    }
+
+    /// Samples a columnar view across all shards with already-resolved
+    /// input weights; one output per shard, in shard order. Shard `idx`
+    /// takes the [`shard_bounds`] range over the columns — the same cut
+    /// and per-shard RNG as [`WorkerPool::sample_with_weights`], so the
+    /// shard outputs are bit-identical to the AoS path for the same
+    /// logical items. Blocks until every shard has returned — jobs never
+    /// outlive this call.
+    pub fn sample_columns_with_weights(
+        &mut self,
+        input: ColumnsView<'_>,
+        sample_size: usize,
+        w_in: &WeightMap,
+    ) -> Vec<ColumnarBatch> {
+        let allocation = self.allocation;
+        match &mut self.engine {
+            Engine::Inline(sampler) => {
+                sampler.sample_columns_with_weights(input, sample_size, w_in)
+            }
+            Engine::Threaded(workers_vec) => {
+                let outs = dispatch_jobs(workers_vec, |idx, workers| {
+                    let (start, end) = shard_bounds(input.len(), workers, idx);
+                    let view = input.range(start, end);
+                    Job {
+                        input: JobInput::Columns {
+                            strata: view.strata.as_ptr(),
+                            values: view.values.as_ptr(),
+                            seqs: view.seqs.as_ptr(),
+                            source_ts: view.source_ts.as_ptr(),
+                            len: view.len(),
+                        },
+                        w_in,
+                        budget: shard_budget(sample_size, workers, idx),
+                        allocation,
+                    }
+                });
+                outs.into_iter()
+                    .map(|out| match out {
+                        ShardOutput::Columns(out) => out,
+                        ShardOutput::Items(_) => {
+                            unreachable!("columnar job returned items output")
+                        }
+                    })
                     .collect()
             }
         }
@@ -424,6 +564,35 @@ mod tests {
                     assert_eq!(
                         from_pool, from_scope,
                         "workers={workers} threaded={threaded} round={round}: engines diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_pool_bit_identical_to_aos_pool() {
+        // Threaded and inline engines, multi-batch stream with carried
+        // weights: the columnar dispatch must reproduce the AoS dispatch
+        // shard for shard.
+        for threaded in [false, true] {
+            let mut aos = WorkerPool::with_threading(Allocation::Uniform, 4, 42, threaded);
+            let mut soa = WorkerPool::with_threading(Allocation::Uniform, 4, 42, threaded);
+            for round in 0..3usize {
+                let mut batch = batch_of(&[(0, 5_000 + round), (1, 777), (2, 13)]);
+                if round == 0 {
+                    batch.weights.set(s(1), 2.5);
+                }
+                let cols = ColumnarBatch::from_batch(&batch);
+                let budget = 600 + round;
+                let from_aos = aos.sample_batch(&batch, budget);
+                let from_soa = soa.sample_columns(&cols, budget);
+                assert_eq!(from_aos.len(), from_soa.len());
+                for (a, b) in from_aos.into_iter().zip(from_soa) {
+                    assert_eq!(
+                        b.to_batch(),
+                        a.into_batch(),
+                        "threaded={threaded} round={round}: layouts diverged"
                     );
                 }
             }

@@ -28,7 +28,7 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //! let mut mix = scenarios::gaussian_mix(10_000.0, Duration::from_secs(1));
 //! let batch = mix.next_interval(&mut rng);
-//! assert_eq!(batch.stratify().len(), 4); // sub-streams A–D
+//! assert_eq!(batch.strata().len(), 4); // sub-streams A–D
 //! ```
 
 pub mod dist;

@@ -348,6 +348,9 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn skewed_mix_shares_match_paper() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
@@ -361,6 +364,9 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn skewed_mix_d_values_dominate() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
@@ -383,6 +389,9 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn gaussian_rate_mix_uses_setting() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut mix = gaussian_rate_mix(RateSetting::Setting1, Duration::from_millis(100));

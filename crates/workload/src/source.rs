@@ -150,7 +150,21 @@ impl StreamMix {
 
     /// The strata in this mix.
     pub fn strata(&self) -> Vec<StratumId> {
-        self.streams.iter().map(|s| s.spec.stratum).collect()
+        let mut ids = Vec::new();
+        self.strata_into(&mut ids);
+        ids
+    }
+
+    /// Fills `out` with the distinct strata of this mix, ascending —
+    /// the reused-buffer variant of [`StreamMix::strata`], following the
+    /// same pattern as [`approxiot_core::distinct_strata_into`]: callers
+    /// polling per interval keep one buffer alive instead of allocating a
+    /// fresh vector per call.
+    pub fn strata_into(&self, out: &mut Vec<StratumId>) {
+        out.clear();
+        out.extend(self.streams.iter().map(|s| s.spec.stratum));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// The sub-stream specs.
@@ -233,6 +247,9 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn item_counts_match_rates() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mix = StreamMix::new(
@@ -247,6 +264,26 @@ mod tests {
         assert_eq!(strata[&s(0)].len(), 100);
         assert_eq!(strata[&s(1)].len(), 50);
         assert_eq!(mix.expected_items_per_interval(), 150.0);
+    }
+
+    #[test]
+    fn strata_into_dedupes_and_reuses_the_buffer() {
+        // Two specs sharing a stratum: the distinct set has two entries.
+        let mix = StreamMix::new(
+            vec![
+                SubStreamSpec::new(s(3), 10.0, ValueDist::Constant(1.0)),
+                SubStreamSpec::new(s(0), 10.0, ValueDist::Constant(1.0)),
+                SubStreamSpec::new(s(3), 10.0, ValueDist::Constant(2.0)),
+            ],
+            Duration::from_secs(1),
+        );
+        let mut ids = Vec::with_capacity(8);
+        let warm = ids.capacity();
+        mix.strata_into(&mut ids);
+        assert_eq!(ids, vec![s(0), s(3)], "sorted and deduped");
+        mix.strata_into(&mut ids);
+        assert_eq!(ids.capacity(), warm, "buffer reused across calls");
+        assert_eq!(mix.strata(), vec![s(0), s(3)]);
     }
 
     #[test]

@@ -131,7 +131,18 @@ impl TaxiTrace {
 
     /// The strata produced by this trace.
     pub fn strata(&self) -> Vec<StratumId> {
-        (0..BOROUGHS.len() as u32).map(StratumId::new).collect()
+        let mut ids = Vec::new();
+        self.strata_into(&mut ids);
+        ids
+    }
+
+    /// Fills `out` with the strata of this trace, ascending — the
+    /// reused-buffer variant of [`TaxiTrace::strata`] (the
+    /// [`approxiot_core::distinct_strata_into`] pattern), for callers
+    /// polling per interval.
+    pub fn strata_into(&self, out: &mut Vec<StratumId>) {
+        out.clear();
+        out.extend((0..BOROUGHS.len() as u32).map(StratumId::new));
     }
 
     /// Diurnal demand multiplier at a simulated time-of-day (double-peaked:
@@ -194,6 +205,9 @@ mod tests {
     }
 
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn manhattan_dominates_staten_island() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut trace = TaxiTrace::new(50_000.0, Duration::from_secs(1));

@@ -115,6 +115,9 @@ proptest! {
     /// The taxi trace always emits positive fares from its five boroughs
     /// with Manhattan dominant.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn taxi_trace_invariants(rate in 1_000.0f64..50_000.0, seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut trace = TaxiTrace::new(rate, Duration::from_millis(100));

@@ -30,11 +30,7 @@ fn main() -> Result<(), EngineError> {
             let batch = mix.next_interval(&mut rng);
             truth_per_interval.push(batch.value_sum());
             // One source per sub-stream.
-            let mut parts: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let mut parts = batch.split_by_stratum();
             parts.resize_with(4, Batch::new);
             parts
         })

@@ -43,11 +43,7 @@ fn main() -> Result<(), EngineError> {
     for _ in 0..15 {
         let batch = trace.next_interval(&mut rng);
         truths.push(batch.value_sum());
-        let mut sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let mut sources = batch.split_by_stratum();
         sources.resize_with(names.len(), Batch::new);
         driver.push_interval(&sources)?;
     }

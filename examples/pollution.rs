@@ -54,11 +54,7 @@ fn main() -> Result<(), EngineError> {
         let mut driver = Driver::new(topology, queries.clone(), EngineKind::Sim)?;
         let batch = trace.next_interval(&mut rng);
         let truth = batch.value_sum();
-        let mut parts: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let mut parts = batch.split_by_stratum();
         parts.resize_with(sources, Batch::new);
         driver.push_interval(&parts)?;
         let report = driver.finish();

@@ -33,11 +33,7 @@ fn run(strategy: Strategy, fraction: f64, seed: u64) -> (f64, f64) {
     for _ in 0..10 {
         let batch = mix.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
     }
     let estimate: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();

@@ -27,11 +27,7 @@ fn run_tree_on_mix(
     for _ in 0..intervals {
         let batch = mix.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
     }
     let results = tree.flush();
@@ -93,11 +89,7 @@ fn error_bounds_cover_the_truth_at_nominal_rate() {
         for _ in 0..10 {
             let batch = mix.next_interval(&mut rng);
             truths.push(batch.value_sum());
-            let sources: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let sources = batch.split_by_stratum();
             tree.push_interval(&sources);
         }
         for r in tree.flush() {
@@ -127,11 +119,7 @@ fn count_reconstruction_is_exact_for_every_strategy_setting() {
         for _ in 0..5 {
             let batch = mix.next_interval(&mut rng);
             total_items += batch.len();
-            let sources: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let sources = batch.split_by_stratum();
             tree.push_interval(&sources);
         }
         let count: f64 = tree.flush().iter().map(|r| r.count_hat).sum();
@@ -156,11 +144,7 @@ fn taxi_trace_end_to_end() {
     for _ in 0..10 {
         let batch = trace.next_interval(&mut rng);
         truth += batch.value_sum();
-        let sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
     }
     let estimate: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -186,11 +170,7 @@ fn pollution_trace_is_more_accurate_than_taxi_at_same_fraction() {
         for _ in 0..10 {
             let batch = taxi.next_interval(&mut rng);
             truth += batch.value_sum();
-            let sources: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let sources = batch.split_by_stratum();
             tree.push_interval(&sources);
         }
         let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -207,11 +187,7 @@ fn pollution_trace_is_more_accurate_than_taxi_at_same_fraction() {
         for _ in 0..10 {
             let batch = pollution.next_interval(&mut rng);
             truth += batch.value_sum();
-            let sources: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let sources = batch.split_by_stratum();
             tree.push_interval(&sources);
         }
         let est: f64 = tree.flush().iter().map(|r| r.estimate.value).sum();
@@ -232,11 +208,7 @@ fn threaded_pipeline_matches_sim_tree_counts() {
     let intervals: Vec<Vec<Batch>> = (0..5)
         .map(|_| {
             let batch = mix.next_interval(&mut rng);
-            let mut parts: Vec<Batch> = batch
-                .stratify()
-                .into_values()
-                .map(Batch::from_items)
-                .collect();
+            let mut parts = batch.split_by_stratum();
             while parts.len() < 4 {
                 parts.push(Batch::new());
             }
@@ -295,11 +267,7 @@ fn multi_query_driver_answers_quantiles_on_real_workloads() {
         let batch = trace.next_interval(&mut rng);
         truth += batch.value_sum();
         all_values.extend(batch.items.iter().map(|i| i.value));
-        let mut sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let mut sources = batch.split_by_stratum();
         sources.resize_with(6, Batch::new);
         driver
             .push_interval(&sources)
@@ -351,11 +319,7 @@ fn adaptive_feedback_converges_towards_error_budget() {
         )
         .expect("valid");
         let batch = mix.next_interval(&mut rng);
-        let sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
         let results = tree.flush();
         let r = &results[0];

@@ -171,11 +171,7 @@ fn extreme_fractions_are_stable() {
         .expect("valid");
         let batch = mix.next_interval(&mut rng);
         let truth = batch.value_sum();
-        let sources: Vec<Batch> = batch
-            .stratify()
-            .into_values()
-            .map(Batch::from_items)
-            .collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
         let results = tree.flush();
         assert_eq!(results.len(), 1);

@@ -36,6 +36,9 @@ proptest! {
     /// the input count times the input weight, regardless of batch shape,
     /// sample size or input weights.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn count_reconstruction_invariant(
         batch in arb_batch(),
         sample_size in 0usize..500,
@@ -152,8 +155,7 @@ proptest! {
                 .with_seed(seed),
         ).expect("valid fraction");
         let total = batch.len();
-        let sources: Vec<Batch> =
-            batch.stratify().into_values().map(Batch::from_items).collect();
+        let sources = batch.split_by_stratum();
         tree.push_interval(&sources);
         let count: f64 = tree.flush().iter().map(|r| r.count_hat).sum();
         prop_assert!((count - total as f64).abs() < 1e-6,
@@ -194,6 +196,9 @@ proptest! {
     /// running on the zero-copy StrataIndex kernel) preserves Eq. 9 for
     /// arbitrary batches, exactly like the pure `whs_sample` reference.
     #[test]
+    // Deliberately exercises the deprecated map-based grouping
+    // (cold-path/compat coverage).
+    #[allow(deprecated)]
     fn hot_path_node_count_reconstruction(
         batch in arb_batch(),
         fraction_pct in 5u32..100,
