@@ -1,0 +1,1010 @@
+//! `approxiot-analysis` — offline static checks for the workspace's
+//! determinism and safety contracts.
+//!
+//! The repo's central guarantee is that fixed-seed runs are bit-identical
+//! across SimEngine and PipelineEngine-replay. That property is easy to
+//! break silently: one stray wall-clock read in a replay path, one hash-map
+//! iteration in a report writer, one RNG seeded outside the splitmix seed
+//! families. Tests at a single seed may well miss all of these. This crate
+//! walks the workspace `.rs` sources with a hand-rolled line/token scanner
+//! (no external parser — the build environment is fully offline) and
+//! enforces the named rules below, reporting `file:line` findings and
+//! exiting non-zero from the `check` subcommand.
+//!
+//! | Rule | Contract |
+//! |------|----------|
+//! | D1 | no wall-clock reads outside the allowlisted clock-gated modules |
+//! | D2 | no hash-map/hash-set types in non-test code (iteration order) |
+//! | D3 | RNG seeding flows through the `Topology` seed-derivation helpers |
+//! | S1 | every `unsafe` carries a `SAFETY:` comment; crate roots pin their unsafe posture |
+//! | P1 | no `unwrap`/`expect`/`panic!` in non-test `runtime`/`mq`/`net` library code |
+//! | W0 | waiver hygiene: well-formed, carries a reason, actually used |
+//!
+//! Exceptions are first-class, not silent: a trailing or immediately
+//! preceding comment of the form
+//!
+//! ```text
+//! // analysis: allow(P1, reason = "lock poisoning handled by caller")
+//! ```
+//!
+//! suppresses exactly one rule on exactly one line. Waivers are counted and
+//! reported per crate so reviewers see the full exception surface, and an
+//! unused or reason-less waiver is itself a finding (W0).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// The named contracts the scanner enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads outside the clock-gated module allowlist.
+    D1,
+    /// Iteration-order-dependent collections in non-test code.
+    D2,
+    /// RNG seeding outside the topology seed-derivation families.
+    D3,
+    /// Unjustified `unsafe` or missing crate-level unsafe posture.
+    S1,
+    /// Panicking calls in non-test runtime/mq/net library code.
+    P1,
+    /// Waiver hygiene: malformed, reason-less, or unused waivers.
+    W0,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::S1, Rule::P1, Rule::W0];
+
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::S1 => "S1",
+            Rule::P1 => "P1",
+            Rule::W0 => "W0",
+        }
+    }
+
+    /// One-line description, shown by the `rules` subcommand.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "no wall-clock (`Instant::now` / `SystemTime`) outside allowlisted clock modules"
+            }
+            Rule::D2 => {
+                "no `HashMap` / `HashSet` in non-test code; use `BTreeMap` or sorted iteration"
+            }
+            Rule::D3 => {
+                "RNG seeding flows through `Topology` seed helpers; no `thread_rng` / `from_entropy`"
+            }
+            Rule::S1 => {
+                "every `unsafe` carries a `SAFETY:` comment; crate roots declare their unsafe posture"
+            }
+            Rule::P1 => {
+                "no `.unwrap()` / `.expect(` / `panic!` in non-test runtime/mq/net code without a waiver"
+            }
+            Rule::W0 => "waivers must be well-formed, carry a reason, and suppress a real finding",
+        }
+    }
+
+    /// Parse a rule code appearing inside a waiver annotation. `W0` is not
+    /// waivable — hygiene findings always surface.
+    pub fn parse_waivable(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "S1" => Some(Rule::S1),
+            "P1" => Some(Rule::P1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A single rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `analysis: allow(...)` annotation.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub krate: String,
+    pub file: String,
+    /// Line the annotation comment sits on.
+    pub line: usize,
+    /// Code line the waiver applies to (same line for trailing comments,
+    /// next non-blank code line for standalone comments).
+    pub target_line: usize,
+    pub rule: Rule,
+    pub reason: String,
+    pub used: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Static allowlists backing the rules. Paths are repo-root-relative with
+/// `/` separators.
+pub struct Config {
+    /// Modules allowed to read the wall clock (D1): the clock abstraction
+    /// itself plus the explicitly clock-gated wall-clock branches.
+    pub d1_allow_files: &'static [&'static str],
+    /// Modules allowed to call `seed_from_u64` directly (D3): worker-lane
+    /// fan-out that derives per-shard seeds from an already-derived node
+    /// seed, where the lane arithmetic is the documented scheme.
+    pub d3_allow_files: &'static [&'static str],
+    /// Topology seed-family helpers; a seeding call on the same line as one
+    /// of these is by definition flowing through the derivation layer.
+    pub d3_seed_helpers: &'static [&'static str],
+    /// Crates whose non-test code must be panic-free without a waiver (P1).
+    pub p1_crates: &'static [&'static str],
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            d1_allow_files: &[
+                "crates/net/src/clock.rs",
+                "crates/runtime/src/pipeline.rs",
+                "crates/runtime/src/engine.rs",
+                "crates/mq/src/consumer.rs",
+            ],
+            d3_allow_files: &[
+                "crates/core/src/sampling/sharded.rs",
+                "crates/runtime/src/pool.rs",
+                "crates/runtime/src/node.rs",
+            ],
+            d3_seed_helpers: &[
+                "node_seed",
+                "hop_impairment_seed",
+                "churn_seed",
+                "replacement_seed",
+                "root_seed",
+            ],
+            p1_crates: &["runtime", "mq", "net"],
+        }
+    }
+}
+
+impl Config {
+    fn d1_allows(&self, rel_path: &str) -> bool {
+        self.d1_allow_files.contains(&rel_path)
+    }
+
+    fn d3_allows(&self, rel_path: &str) -> bool {
+        self.d3_allow_files.contains(&rel_path)
+    }
+
+    fn p1_applies(&self, krate: &str) -> bool {
+        self.p1_crates.contains(&krate)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping: split each line into (code, comment), blanking string
+// and char-literal contents so token matching never fires inside data.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+struct Stripped {
+    code: String,
+    comment: String,
+}
+
+#[derive(Clone, Copy)]
+enum LexState {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a normal (possibly byte) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u8),
+}
+
+/// Count `#`s after `chars[i]`, then require `"`; returns (hashes, consumed)
+/// for a raw-string opener starting at the `r`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u8, usize)> {
+    let mut j = i + 1;
+    let mut hashes = 0u8;
+    while chars.get(j) == Some(&'#') {
+        hashes = hashes.saturating_add(1);
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn strip_lines(text: &str) -> Vec<Stripped> {
+    let mut out = Vec::new();
+    let mut state = LexState::Code;
+    for raw in text.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut line = Stripped::default();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                LexState::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                    if c == '/' && next == Some('/') {
+                        line.comment.extend(&chars[i + 2..]);
+                        i = chars.len();
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::Block(1);
+                        line.code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = LexState::Str;
+                        i += 1;
+                    } else if (c == 'r' && !prev_ident)
+                        || (c == 'b' && !prev_ident && next == Some('r'))
+                    {
+                        let r_at = if c == 'b' { i + 1 } else { i };
+                        if let Some((hashes, consumed)) = raw_string_open(&chars, r_at) {
+                            line.code.push('"');
+                            state = LexState::RawStr(hashes);
+                            i = r_at + consumed;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a backslash or a closing
+                        // quote two ahead means literal; otherwise lifetime.
+                        if next == Some('\\') {
+                            line.code.push_str("''");
+                            i += 2;
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            i += 1; // closing quote (or line end)
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("''");
+                            i += 3;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                LexState::Block(depth) => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = LexState::Code;
+                        } else {
+                            state = LexState::Block(depth - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    let c = chars[i];
+                    if c == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL)
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = LexState::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if chars[i] == '"' {
+                        let close = (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                        if close {
+                            line.code.push('"');
+                            state = LexState::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// Word-boundary match: `needle` appears in `hay` not glued to identifier
+/// characters on either side.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after = hay[at + needle.len()..].chars().next();
+        let after_ok = !after.map(is_ident_char).unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] region tracking
+// ---------------------------------------------------------------------------
+
+/// Per-line flag: true when the line belongs to a `#[cfg(test)]` item
+/// (the attribute line itself, the item body, and its closing brace).
+fn test_regions(lines: &[Stripped]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Brace depths at which a cfg(test) item body opened.
+    let mut test_entries: Vec<i64> = Vec::new();
+    // Latched cfg(test) attribute waiting for its item's `{` (cancelled by
+    // a `;` at the latch depth: the attribute decorated a braceless item).
+    let mut pending_at: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let mut in_test = !test_entries.is_empty() || pending_at.is_some();
+        if line.code.contains("cfg(test") {
+            pending_at = Some(depth);
+            in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(latch) = pending_at.take() {
+                        if latch + 1 == depth {
+                            test_entries.push(depth);
+                            in_test = true;
+                        } else {
+                            // A `{` deeper than the latch (e.g. inside an
+                            // attribute argument) keeps the latch armed.
+                            pending_at = Some(latch);
+                        }
+                    }
+                }
+                '}' => {
+                    if test_entries.last() == Some(&depth) {
+                        test_entries.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_at == Some(depth) => {
+                    pending_at = None;
+                }
+                _ => {}
+            }
+        }
+        flags[idx] = in_test || !test_entries.is_empty();
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------------
+// Waiver parsing
+// ---------------------------------------------------------------------------
+
+const WAIVER_TAG: &str = "analysis:";
+
+/// Parse one comment for a waiver annotation. Returns `Ok(None)` when the
+/// comment carries no annotation, `Err(message)` for a malformed one.
+fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, String> {
+    let Some(tag_at) = comment.find(WAIVER_TAG) else {
+        return Ok(None);
+    };
+    let rest = comment[tag_at + WAIVER_TAG.len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>, reason = \"...\")` after `analysis:`".to_string());
+    };
+    let Some(close) = args.rfind(')') else {
+        return Err("unclosed `allow(` in waiver".to_string());
+    };
+    let args = &args[..close];
+    let (rule_str, reason_part) = match args.find(',') {
+        Some(comma) => (args[..comma].trim(), Some(args[comma + 1..].trim())),
+        None => (args.trim(), None),
+    };
+    let Some(rule) = Rule::parse_waivable(rule_str) else {
+        return Err(format!("unknown or unwaivable rule `{rule_str}` in waiver"));
+    };
+    let Some(reason_part) = reason_part else {
+        return Err(format!("waiver for {rule} is missing `reason = \"...\"`"));
+    };
+    let Some(quoted) = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim_start)
+    else {
+        return Err(format!("waiver for {rule} is missing `reason = \"...\"`"));
+    };
+    let reason = quoted.trim_start_matches('"').trim_end_matches('"').trim();
+    if reason.is_empty() {
+        return Err(format!("waiver for {rule} has an empty reason"));
+    }
+    Ok(Some((rule, reason.to_string())))
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------------
+
+/// Everything the scanner learned about one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waiver>,
+    /// The file contains a bare `unsafe` token in code.
+    pub has_unsafe_code: bool,
+    /// The file declares `#![deny(unsafe_op_in_unsafe_fn)]`.
+    pub declares_deny_unsafe_op: bool,
+    /// The file declares `#![forbid(unsafe_code)]`.
+    pub declares_forbid_unsafe: bool,
+}
+
+/// Run every line rule against one file's text. `rel_path` is repo-root
+/// relative with `/` separators; `krate` is the workspace crate directory
+/// name (`core`, `mq`, ... or `approxiot` for the facade).
+pub fn analyze_source(cfg: &Config, krate: &str, rel_path: &str, text: &str) -> FileReport {
+    let lines = strip_lines(text);
+    let in_test = test_regions(&lines);
+    let mut report = FileReport::default();
+
+    // Pass 1: waivers (and W0 findings for malformed ones). Doc comments
+    // (`///` / `//!`) never carry live waivers — they document the syntax.
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.comment.starts_with('/') || line.comment.starts_with('!') {
+            continue;
+        }
+        match parse_waiver(&line.comment) {
+            Ok(None) => {}
+            Ok(Some((rule, reason))) => {
+                let target_line = if line.code.trim().is_empty() {
+                    // Standalone comment: applies to the next code line,
+                    // looking through attribute lines (so a waiver can sit
+                    // above e.g. `#[allow(clippy::disallowed_methods)]`).
+                    lines[idx + 1..]
+                        .iter()
+                        .position(|l| {
+                            let code = l.code.trim();
+                            !code.is_empty() && !code.starts_with("#[")
+                        })
+                        .map(|off| lineno + 1 + off)
+                        .unwrap_or(0)
+                } else {
+                    lineno
+                };
+                report.waivers.push(Waiver {
+                    krate: krate.to_string(),
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    target_line,
+                    rule,
+                    reason,
+                    used: false,
+                });
+            }
+            Err(message) => report.findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: Rule::W0,
+                message,
+            }),
+        }
+    }
+
+    // Pass 2: line rules.
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        raw.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let test = in_test[idx];
+
+        // Crate-root posture declarations (recorded for the S1 crate check).
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#![") {
+            if code.contains("deny(unsafe_op_in_unsafe_fn)") {
+                report.declares_deny_unsafe_op = true;
+            }
+            if code.contains("forbid(unsafe_code)") {
+                report.declares_forbid_unsafe = true;
+            }
+        }
+
+        // D1: wall-clock reads.
+        if !test && !cfg.d1_allows(rel_path) {
+            if code.contains("Instant::now") {
+                push(
+                    lineno,
+                    Rule::D1,
+                    "wall-clock read `Instant::now` outside the clock-gated allowlist".into(),
+                );
+            } else if has_word(code, "SystemTime") {
+                push(
+                    lineno,
+                    Rule::D1,
+                    "`SystemTime` outside the clock-gated allowlist".into(),
+                );
+            }
+        }
+
+        // D2: iteration-order-dependent collections.
+        if !test {
+            for ty in ["HashMap", "HashSet"] {
+                if has_word(code, ty) {
+                    push(
+                        lineno,
+                        Rule::D2,
+                        format!("`{ty}` in non-test code; use `BTreeMap`/`BTreeSet` or sorted iteration"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // D3: seeding discipline.
+        if has_word(code, "thread_rng") || has_word(code, "from_entropy") {
+            push(
+                lineno,
+                Rule::D3,
+                "entropy-based RNG construction; all randomness must be seeded".into(),
+            );
+        } else if !test
+            && has_word(code, "seed_from_u64")
+            && !cfg.d3_allows(rel_path)
+            && !cfg.d3_seed_helpers.iter().any(|h| has_word(code, h))
+        {
+            push(
+                lineno,
+                Rule::D3,
+                "raw `seed_from_u64` outside the topology seed-derivation helpers".into(),
+            );
+        }
+
+        // S1: unsafe justification. Accept `SAFETY:` on the same line or in
+        // the contiguous comment/attribute block immediately above.
+        if has_word(code, "unsafe") {
+            report.has_unsafe_code = true;
+            let mut justified = line.comment.contains("SAFETY:");
+            if !justified {
+                for prev in lines[..idx].iter().rev() {
+                    if prev.comment.contains("SAFETY:") {
+                        justified = true;
+                        break;
+                    }
+                    let prev_code = prev.code.trim();
+                    if !prev_code.is_empty() && !prev_code.starts_with("#[") {
+                        break;
+                    }
+                }
+            }
+            if !justified {
+                push(
+                    lineno,
+                    Rule::S1,
+                    "`unsafe` without a `// SAFETY:` justification".into(),
+                );
+            }
+        }
+
+        // P1: panicking calls in the panic-free crates.
+        if !test && cfg.p1_applies(krate) {
+            let pattern = if code.contains(".unwrap()") {
+                Some(".unwrap()")
+            } else if code.contains(".expect(") {
+                Some(".expect(")
+            } else if has_word(code, "panic!") {
+                Some("panic!")
+            } else {
+                None
+            };
+            if let Some(pattern) = pattern {
+                push(
+                    lineno,
+                    Rule::P1,
+                    format!("`{pattern}` in non-test {krate} code; return a typed error or waive with a reason"),
+                );
+            }
+        }
+    }
+
+    // Pass 3: waiver suppression.
+    for finding in raw {
+        let waiver = report
+            .waivers
+            .iter_mut()
+            .find(|w| w.rule == finding.rule && w.target_line == finding.line);
+        match waiver {
+            Some(w) => w.used = true,
+            None => report.findings.push(finding),
+        }
+    }
+
+    // Pass 4: a waiver that suppressed nothing is itself a finding.
+    for w in &report.waivers {
+        if !w.used {
+            report.findings.push(Finding {
+                file: rel_path.to_string(),
+                line: w.line,
+                rule: Rule::W0,
+                message: format!("waiver for {} does not suppress any finding", w.rule),
+            });
+        }
+    }
+
+    report.findings.sort();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// The product crates under scan: the facade package plus everything under
+/// `crates/`. Vendored stand-ins (`vendor/`), integration tests, benches,
+/// and examples are out of scope.
+pub fn workspace_crates(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut crates = vec![("approxiot".to_string(), root.join("src"))];
+    let crates_dir = root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.path().join("src").is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    for name in names {
+        let src = crates_dir.join(&name).join("src");
+        crates.push((name, src));
+    }
+    Ok(crates)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Full workspace report: per-file findings plus the crate-level S1 posture
+/// check (crates containing `unsafe` must deny `unsafe_op_in_unsafe_fn` at
+/// every crate root; all others must forbid unsafe code outright).
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waiver>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Waiver counts keyed by (crate, rule), for the CI job summary.
+    pub fn waiver_counts(&self) -> BTreeMap<(String, Rule), usize> {
+        let mut counts = BTreeMap::new();
+        for w in &self.waivers {
+            *counts.entry((w.krate.clone(), w.rule)).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Markdown table of waiver counts per crate, one column per waivable
+    /// rule — rendered into `$GITHUB_STEP_SUMMARY` by the CI job.
+    pub fn summary_markdown(&self) -> String {
+        let waivable = [Rule::D1, Rule::D2, Rule::D3, Rule::S1, Rule::P1];
+        let counts = self.waiver_counts();
+        let mut crates: Vec<&String> = counts.keys().map(|(k, _)| k).collect();
+        crates.dedup();
+        let mut out = String::from("## Static-analysis waivers\n\n");
+        out.push_str(&format!(
+            "{} file(s) scanned, {} finding(s), {} waiver(s).\n\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waivers.len()
+        ));
+        out.push_str("| crate |");
+        for r in waivable {
+            out.push_str(&format!(" {r} |"));
+        }
+        out.push_str(" total |\n|---|");
+        out.push_str(&"---|".repeat(waivable.len() + 1));
+        out.push('\n');
+        for krate in crates {
+            let mut total = 0;
+            let mut row = format!("| {krate} |");
+            for r in waivable {
+                let n = counts.get(&(krate.clone(), r)).copied().unwrap_or(0);
+                total += n;
+                row.push_str(&format!(" {n} |"));
+            }
+            out.push_str(&format!("{row} {total} |\n"));
+        }
+        out
+    }
+}
+
+/// Scan every product crate under `root` and aggregate findings.
+pub fn check_workspace(cfg: &Config, root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (krate, src_dir) in workspace_crates(root)? {
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        let mut crate_has_unsafe = false;
+        // (rel_path, declares_deny, declares_forbid) for each crate root.
+        let mut roots: Vec<(String, bool, bool)> = Vec::new();
+        for path in &files {
+            let text = fs::read_to_string(path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let file_report = analyze_source(cfg, &krate, &rel, &text);
+            crate_has_unsafe |= file_report.has_unsafe_code;
+            let within_src = path.strip_prefix(&src_dir).unwrap_or(path);
+            let is_root = within_src == Path::new("lib.rs")
+                || within_src == Path::new("main.rs")
+                || within_src.starts_with("bin");
+            if is_root {
+                roots.push((
+                    rel.clone(),
+                    file_report.declares_deny_unsafe_op,
+                    file_report.declares_forbid_unsafe,
+                ));
+            }
+            report.findings.extend(file_report.findings);
+            report.waivers.extend(file_report.waivers);
+            report.files_scanned += 1;
+        }
+        for (rel, declares_deny, declares_forbid) in roots {
+            if crate_has_unsafe && !declares_deny {
+                report.findings.push(Finding {
+                    file: rel,
+                    line: 1,
+                    rule: Rule::S1,
+                    message: format!(
+                        "crate `{krate}` contains unsafe code but this root lacks #![deny(unsafe_op_in_unsafe_fn)]"
+                    ),
+                });
+            } else if !crate_has_unsafe && !declares_forbid {
+                report.findings.push(Finding {
+                    file: rel,
+                    line: 1,
+                    rule: Rule::S1,
+                    message: format!("crate `{krate}` root lacks #![forbid(unsafe_code)]"),
+                });
+            }
+        }
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(krate: &str, path: &str, text: &str) -> FileReport {
+        analyze_source(&Config::default(), krate, path, text)
+    }
+
+    #[test]
+    fn stripper_separates_code_and_comments() {
+        let lines = strip_lines("let x = 1; // trailing\n/* block */ let y = 2;\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " trailing");
+        assert!(lines[1].code.contains("let y = 2;"));
+        assert_eq!(lines[1].comment, " block ");
+    }
+
+    #[test]
+    fn stripper_blanks_string_contents() {
+        let lines = strip_lines(r#"call("seeded via thread_rng inside a string");"#);
+        assert_eq!(lines[0].code, r#"call("");"#);
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_char_literals() {
+        let src = "let s = r#\"raw \"quoted\" body\"#; let c = '{'; let lt: &'static str = \"\";";
+        let lines = strip_lines(src);
+        assert!(!lines[0].code.contains("raw"));
+        assert!(
+            !lines[0].code.contains('{'),
+            "char literal content must be blanked"
+        );
+        assert!(lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn stripper_tracks_multiline_block_comments() {
+        let lines = strip_lines("/* one\n   two */ code();\n");
+        assert_eq!(lines[0].code.trim(), "");
+        assert!(lines[1].code.contains("code();"));
+    }
+
+    #[test]
+    fn test_region_covers_mod_tests_and_cancels_on_semicolon() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n#[cfg(test)]\nuse foo;\nfn tail() {}\n";
+        let lines = strip_lines(src);
+        let flags = test_regions(&lines);
+        assert_eq!(
+            flags,
+            vec![false, true, true, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn waiver_parses_rule_and_reason() {
+        let parsed = parse_waiver(" analysis: allow(P1, reason = \"checked above\")").unwrap();
+        let (rule, reason) = parsed.unwrap();
+        assert_eq!(rule, Rule::P1);
+        assert_eq!(reason, "checked above");
+    }
+
+    #[test]
+    fn waiver_rejects_missing_reason_and_unknown_rule() {
+        assert!(parse_waiver(" analysis: allow(P1)").is_err());
+        assert!(parse_waiver(" analysis: allow(P1, reason = \"\")").is_err());
+        assert!(parse_waiver(" analysis: allow(Z9, reason = \"x\")").is_err());
+        assert!(
+            parse_waiver(" analysis: allow(W0, reason = \"x\")").is_err(),
+            "W0 is unwaivable"
+        );
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses_and_is_marked_used() {
+        let src = "fn f() {\n    x.unwrap() // analysis: allow(P1, reason = \"cannot fail\")\n}\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.waivers[0].used);
+    }
+
+    #[test]
+    fn standalone_waiver_targets_next_code_line() {
+        let src =
+            "fn f() {\n    // analysis: allow(P1, reason = \"cannot fail\")\n    x.unwrap();\n}\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.waivers[0].target_line, 3);
+    }
+
+    #[test]
+    fn unused_waiver_is_a_w0_finding() {
+        let src = "// analysis: allow(D1, reason = \"nothing here\")\nfn f() {}\n";
+        let report = analyze("core", "crates/core/src/f.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::W0);
+    }
+
+    #[test]
+    fn rules_skip_strings_comments_and_test_code() {
+        let src = concat!(
+            "fn f() { log(\"Instant::now HashMap thread_rng .unwrap()\"); }\n",
+            "// mentions Instant::now and HashMap in prose\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::collections::HashMap;\n",
+            "    fn t() { let _ = x.unwrap(); }\n",
+            "}\n",
+        );
+        let report = analyze("runtime", "crates/runtime/src/f.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn d3_allows_seeding_via_topology_helpers() {
+        let ok = "let rng = StdRng::seed_from_u64(topology.node_seed(id));\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", ok);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        let bad = "let rng = StdRng::seed_from_u64(id * 31);\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", bad);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::D3);
+    }
+
+    #[test]
+    fn s1_accepts_safety_comment_above_attribute() {
+        let src = "// SAFETY: Job pointers outlive the worker.\n#[allow(dead_code)]\nunsafe impl Send for Job {}\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.has_unsafe_code);
+    }
+
+    #[test]
+    fn p1_only_applies_to_configured_crates() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(analyze("core", "crates/core/src/f.rs", src)
+            .findings
+            .is_empty());
+        assert_eq!(analyze("net", "crates/net/src/f.rs", src).findings.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or_else(PoisonError::into_inner); }\n";
+        let report = analyze("runtime", "crates/runtime/src/f.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+}

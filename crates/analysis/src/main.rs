@@ -1,0 +1,88 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p approxiot-analysis -- check [--root PATH] [--summary PATH]
+//! cargo run -p approxiot-analysis -- rules
+//! ```
+//!
+//! `check` exits 1 when any finding survives waiver suppression; `--summary`
+//! writes the per-crate waiver table as markdown (CI appends it to the job
+//! summary). `rules` prints the rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use approxiot_analysis::{check_workspace, Config, Rule};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: approxiot-analysis <check [--root PATH] [--summary PATH] | rules>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in Rule::ALL {
+                println!("{rule}  {}", rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => run_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut summary: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--summary" => match it.next() {
+                Some(p) => summary = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = match check_workspace(&Config::default(), &root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("analysis: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = summary {
+        if let Err(err) = std::fs::write(&path, report.summary_markdown()) {
+            eprintln!(
+                "analysis: failed to write summary {}: {err}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "analysis: {} file(s) scanned, {} finding(s), {} waiver(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.waivers.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

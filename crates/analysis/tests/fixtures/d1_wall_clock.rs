@@ -1,0 +1,5 @@
+//! D1 fixture: a wall-clock read outside the clock-gated allowlist.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

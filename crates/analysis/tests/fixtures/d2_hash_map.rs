@@ -1,0 +1,11 @@
+//! D2 fixture: an iteration-order-dependent collection in non-test code.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[String]) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    for k in keys {
+        *out.entry(k.clone()).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! D3 fixture: entropy-based RNG construction (unseeded randomness).
+
+pub fn rng() -> impl Rng {
+    rand::thread_rng()
+}

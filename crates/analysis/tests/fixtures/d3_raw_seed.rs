@@ -1,0 +1,6 @@
+//! D3 fixture: RNG seeded with ad-hoc arithmetic instead of a Topology
+//! seed-derivation helper.
+
+pub fn rng_for(node: u64) -> StdRng {
+    StdRng::seed_from_u64(node * 31 + 7)
+}

@@ -1,0 +1,5 @@
+//! P1 fixture: a bare unwrap in non-test library code.
+
+pub fn head(items: &[u32]) -> u32 {
+    items.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! S1 fixture: an unsafe block with no SAFETY justification.
+
+pub fn first(items: &[u32]) -> u32 {
+    unsafe { *items.as_ptr() }
+}

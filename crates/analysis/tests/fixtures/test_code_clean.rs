@@ -1,0 +1,21 @@
+//! Negative fixture: every would-be violation lives inside `#[cfg(test)]`
+//! or inside string/comment text, so nothing may fire.
+
+pub fn describe() -> &'static str {
+    // Prose mentioning Instant::now and .unwrap() must not trip anything.
+    "calls Instant::now, HashMap::new and .unwrap() — but only in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_only_code_is_exempt() {
+        let started = std::time::Instant::now();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut map = HashMap::new();
+        map.insert("k", started.elapsed());
+        map.get("k").unwrap();
+    }
+}

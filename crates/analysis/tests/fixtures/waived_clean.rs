@@ -1,0 +1,7 @@
+//! Waiver fixture: the same P1 violation as `p1_unwrap.rs`, suppressed by
+//! a well-formed waiver. Must produce zero findings and one used waiver.
+
+pub fn head(items: &[u32]) -> u32 {
+    // analysis: allow(P1, reason = "caller guarantees a non-empty slice")
+    items.first().copied().unwrap()
+}

@@ -1,0 +1,6 @@
+//! W0 fixture: a waiver with no reason string.
+
+pub fn head(items: &[u32]) -> u32 {
+    // analysis: allow(P1)
+    items.first().copied().unwrap()
+}

@@ -1,0 +1,108 @@
+//! Each known-bad fixture must trip exactly its own rule — no more, no
+//! less — when analyzed as non-test code of a P1-scoped crate.
+
+use approxiot_analysis::{analyze_source, Config, FileReport, Rule};
+
+/// Analyze a fixture as if it were runtime library code (no allowlist
+/// entry matches `bad.rs`, and the P1 rule applies to `runtime`).
+fn analyze(text: &str) -> FileReport {
+    analyze_source(
+        &Config::default(),
+        "runtime",
+        "crates/runtime/src/bad.rs",
+        text,
+    )
+}
+
+/// Assert the fixture fires `rule` and nothing else.
+fn assert_fires_exactly(text: &str, rule: Rule) {
+    let report = analyze(text);
+    assert!(
+        report.findings.iter().any(|f| f.rule == rule),
+        "expected a {rule} finding, got {:?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule == rule),
+        "expected only {rule} findings, got {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn d1_fires_on_wall_clock_read() {
+    assert_fires_exactly(include_str!("fixtures/d1_wall_clock.rs"), Rule::D1);
+}
+
+#[test]
+fn d1_respects_the_clock_allowlist() {
+    let text = include_str!("fixtures/d1_wall_clock.rs");
+    let report = analyze_source(&Config::default(), "net", "crates/net/src/clock.rs", text);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn d2_fires_on_hash_map() {
+    assert_fires_exactly(include_str!("fixtures/d2_hash_map.rs"), Rule::D2);
+}
+
+#[test]
+fn d3_fires_on_raw_seed_arithmetic() {
+    assert_fires_exactly(include_str!("fixtures/d3_raw_seed.rs"), Rule::D3);
+}
+
+#[test]
+fn d3_fires_on_entropy_rng() {
+    assert_fires_exactly(include_str!("fixtures/d3_entropy.rs"), Rule::D3);
+}
+
+#[test]
+fn s1_fires_on_unsafe_without_safety_comment() {
+    assert_fires_exactly(include_str!("fixtures/s1_no_safety.rs"), Rule::S1);
+}
+
+#[test]
+fn p1_fires_on_bare_unwrap() {
+    assert_fires_exactly(include_str!("fixtures/p1_unwrap.rs"), Rule::P1);
+}
+
+#[test]
+fn p1_does_not_apply_outside_the_panic_free_crates() {
+    let text = include_str!("fixtures/p1_unwrap.rs");
+    let report = analyze_source(&Config::default(), "core", "crates/core/src/bad.rs", text);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn well_formed_waiver_suppresses_the_finding() {
+    let report = analyze(include_str!("fixtures/waived_clean.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.waivers.len(), 1);
+    assert!(report.waivers[0].used);
+    assert_eq!(report.waivers[0].rule, Rule::P1);
+    assert_eq!(
+        report.waivers[0].reason,
+        "caller guarantees a non-empty slice"
+    );
+}
+
+#[test]
+fn malformed_waiver_is_w0_and_does_not_suppress() {
+    let report = analyze(include_str!("fixtures/waiver_malformed.rs"));
+    assert!(
+        report.findings.iter().any(|f| f.rule == Rule::W0),
+        "reason-less waiver must be a W0 finding: {:?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().any(|f| f.rule == Rule::P1),
+        "a malformed waiver must not suppress the underlying finding: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn test_code_strings_and_comments_are_exempt() {
+    let report = analyze(include_str!("fixtures/test_code_clean.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}

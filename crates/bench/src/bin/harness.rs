@@ -17,6 +17,8 @@
 //! `--out` is written *before* the check runs, so CI can upload the fresh
 //! numbers as an artifact even when the gate fails.
 
+#![forbid(unsafe_code)]
+
 use approxiot_bench::harness::{
     check, default_matrix, detected_cpus, markdown_summary, run_matrix, HarnessOptions,
     MatrixReport,

@@ -314,6 +314,8 @@ impl HarnessOptions {
 /// the four-strata chaos mix, split round-robin over the [`SOURCES`]
 /// through the same [`scenarios::split_interval`] the chaos example uses.
 pub fn dataset(opts: &HarnessOptions) -> Vec<Vec<approxiot_core::Batch>> {
+    // analysis: allow(D3, reason = "bench-only workload generator; engine RNGs still derive from Topology seeds")
+    #[allow(clippy::disallowed_methods)]
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED_DA7A);
     let mut mix: StreamMix = scenarios::chaos_mix(opts.rate, opts.window);
     (0..opts.intervals)

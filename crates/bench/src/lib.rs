@@ -13,6 +13,8 @@
 //! benchmark harness with baseline regression gates (see [`harness`] and
 //! `BENCH_harness.json` at the repository root).
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod json;
 
@@ -60,6 +62,8 @@ where
         seed,
     };
     let mut tree = SimTree::new(config).expect("fraction validated by caller");
+    // analysis: allow(D3, reason = "bench-only synthetic workload stream; not part of an engine run")
+    #[allow(clippy::disallowed_methods)]
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     let mut truths: BTreeMap<u64, f64> = BTreeMap::new();
     let window_nanos = window.as_nanos() as u64;

@@ -75,29 +75,14 @@ impl Batch {
         self.items.is_empty()
     }
 
-    /// Groups the items by stratum, preserving arrival order within each
-    /// stratum (line 5 of Algorithm 1, `Update(items)`).
-    #[deprecated(
-        since = "0.7.0",
-        note = "clones every item into per-stratum BTreeMap vectors; \
-                use StrataIndex::build / build_columns (zero-copy grouping) instead"
-    )]
-    pub fn stratify(&self) -> BTreeMap<StratumId, Vec<StreamItem>> {
-        let mut strata: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
-        for item in &self.items {
-            strata.entry(item.stratum).or_default().push(*item);
-        }
-        strata
-    }
-
     /// Splits the batch into one batch per stratum — ascending by stratum,
     /// arrival order preserved within each — modelling one source per
     /// sub-stream (the usual shape of test and example inputs).
     ///
-    /// The replacement for `stratify().into_values().map(from_items)`:
-    /// groups through a [`StrataIndex`] (contiguous scratch, no per-item
-    /// `BTreeMap` inserts), paying one allocation per output batch instead
-    /// of log-time tree insertion per item.
+    /// Groups through a [`StrataIndex`] (contiguous scratch, no per-item
+    /// map inserts), paying one allocation per output batch instead of
+    /// log-time tree insertion per item — line 5 of Algorithm 1,
+    /// `Update(items)`.
     pub fn split_by_stratum(&self) -> Vec<Batch> {
         let mut index = StrataIndex::new();
         index.build(&self.items);
@@ -109,10 +94,9 @@ impl Batch {
 
     /// The set of strata present in the batch, in ascending order.
     ///
-    /// Costs one pass over the items and one small vector — unlike the
-    /// obvious `stratify().into_keys()`, which would clone every item into
-    /// per-stratum vectors just to read the keys. Callers on a hot path
-    /// should prefer [`distinct_strata_into`] with a reused buffer.
+    /// Costs one pass over the items and one small vector — no per-stratum
+    /// item clones just to read the keys. Callers on a hot path should
+    /// prefer [`distinct_strata_into`] with a reused buffer.
     pub fn strata(&self) -> Vec<StratumId> {
         let mut ids = Vec::new();
         distinct_strata_into(&self.items, &mut ids);
@@ -159,10 +143,10 @@ impl Batch {
 /// Reusable zero-copy stratification: groups a batch of items into
 /// contiguous per-stratum ranges over an internal scratch buffer.
 ///
-/// This is the allocation-free replacement for [`Batch::stratify`] on the
-/// sampling hot path. Where `stratify` builds a fresh
-/// `BTreeMap<StratumId, Vec<StreamItem>>` per batch (one heap vector per
-/// stratum, every item pushed through `BTreeMap` lookups), a `StrataIndex`
+/// This is the allocation-free grouping primitive of the sampling hot
+/// path. Where a naive per-batch `BTreeMap<StratumId, Vec<StreamItem>>`
+/// costs one heap vector per stratum with every item pushed through
+/// `BTreeMap` lookups, a `StrataIndex`
 /// owns all its buffers and reuses them across batches: after the first
 /// few batches of a steady workload, [`StrataIndex::build`] performs
 /// **zero allocations**, and for the common case of inputs that already
@@ -173,7 +157,7 @@ impl Batch {
 /// the internal scratch buffer.
 ///
 /// Within each stratum the arrival order of items is preserved, matching
-/// `stratify`'s semantics (line 5 of Algorithm 1).
+/// the map-based grouping semantics (line 5 of Algorithm 1).
 ///
 /// Stratum ids index a sparse lookup table, so they are assumed *dense*
 /// (as [`StratumId`]'s docs promise). Ids above an internal cap fall back
@@ -565,14 +549,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn stratify_groups_by_stratum_preserving_order() {
+    fn split_by_stratum_groups_ascending_preserving_order() {
         let batch = Batch::from_items(vec![item(1, 10.0), item(0, 1.0), item(1, 20.0)]);
-        let strata = batch.stratify();
+        let strata = batch.split_by_stratum();
         assert_eq!(strata.len(), 2);
-        assert_eq!(strata[&StratumId::new(1)].len(), 2);
-        assert_eq!(strata[&StratumId::new(1)][0].value, 10.0);
-        assert_eq!(strata[&StratumId::new(1)][1].value, 20.0);
+        assert_eq!(strata[0].items[0].stratum, StratumId::new(0));
+        assert_eq!(strata[1].len(), 2);
+        assert_eq!(strata[1].items[0].value, 10.0);
+        assert_eq!(strata[1].items[1].value, 20.0);
         assert_eq!(batch.strata(), vec![StratumId::new(0), StratumId::new(1)]);
     }
 
@@ -609,8 +593,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn strata_index_matches_stratify_interleaved() {
+    fn strata_index_matches_map_grouping_interleaved() {
         // Interleaved strata exercise the scatter path.
         let batch = Batch::from_items(vec![
             item(3, 1.0),
@@ -621,7 +604,11 @@ mod tests {
         ]);
         let mut index = StrataIndex::new();
         index.build(&batch.items);
-        let by_map = batch.stratify();
+        // Independent oracle: naive per-item map grouping.
+        let mut by_map: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
+        for item in &batch.items {
+            by_map.entry(item.stratum).or_default().push(*item);
+        }
         assert_eq!(index.num_strata(), by_map.len());
         assert_eq!(index.total_items(), batch.len());
         for ((stratum, slice), (map_stratum, map_items)) in

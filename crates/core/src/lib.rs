@@ -23,9 +23,9 @@
 //! Two implementations coexist:
 //!
 //! * [`whs_sample`] — the readable reference (and benchmark baseline):
-//!   per batch it builds a `BTreeMap<StratumId, Vec<StreamItem>>`
-//!   ([`Batch::stratify`]), two more maps for reservoir sizing, and runs
-//!   Vitter's Algorithm R with one RNG draw per item.
+//!   per batch it builds a `BTreeMap<StratumId, Vec<StreamItem>>`, two
+//!   more maps for reservoir sizing, and runs Vitter's Algorithm R with
+//!   one RNG draw per item.
 //! * [`WhsSampler`] / [`WhsScratch`] — the production hot path. A
 //!   reusable [`StrataIndex`] groups each batch into contiguous
 //!   per-stratum ranges (zero allocations in steady state; zero item
@@ -113,6 +113,8 @@
 //! let est = theta.sum_estimate();
 //! assert!(est.covers(truth, Confidence::P997));
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod budget;

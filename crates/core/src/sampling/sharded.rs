@@ -202,6 +202,9 @@ impl ParallelShardedSampler {
         assert!(workers > 0, "workers must be positive");
         let shards = (0..workers as u64)
             .map(|i| ShardState {
+                // D3-allowlisted worker-lane seeding: the node seed fans
+                // out per shard with the documented `^ i` scheme.
+                #[allow(clippy::disallowed_methods)]
                 rng: StdRng::seed_from_u64(seed ^ i),
                 scratch: WhsScratch::new(),
             })

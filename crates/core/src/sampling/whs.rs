@@ -15,7 +15,7 @@
 
 use crate::batch::{Batch, StrataIndex};
 use crate::columns::{ColumnarBatch, ColumnsView};
-use crate::item::StreamItem;
+use crate::item::{StratumId, StreamItem};
 use crate::sampling::allocation::{Allocation, SizingScratch};
 use crate::sampling::reservoir::Reservoir;
 use crate::weight::{WeightMap, WeightStore};
@@ -65,11 +65,13 @@ pub fn whs_sample<R: Rng + ?Sized>(
     allocation: Allocation,
     rng: &mut R,
 ) -> WhsOutput {
-    // Line 5: stratify the input into sub-streams. (The deprecated
-    // clone-per-item grouping is exactly what makes this the readable
-    // reference — the hot paths use `StrataIndex`.)
-    #[allow(deprecated)]
-    let strata = batch.stratify();
+    // Line 5: stratify the input into sub-streams. (The clone-per-item
+    // map grouping is exactly what makes this the readable reference —
+    // the hot paths group through `StrataIndex`.)
+    let mut strata: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
+    for item in &batch.items {
+        strata.entry(item.stratum).or_default().push(*item);
+    }
     let counts: BTreeMap<_, _> = strata.iter().map(|(&s, v)| (s, v.len())).collect();
     // Line 7: decide the reservoir size for each sub-stream.
     let sizes = allocation.reservoir_sizes(&counts, sample_size);
@@ -595,7 +597,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn count_reconstruction_invariant_single_node() {
         // Equation 9: W_out * c̃ == W_in * c for every stratum.
         let mut rng = StdRng::seed_from_u64(7);
@@ -604,8 +605,8 @@ mod tests {
         w_in.set(s(0), 2.0);
         w_in.set(s(1), 1.5);
         let out = whs_sample(&batch, 30, &w_in, Allocation::Uniform, &mut rng);
-        let strata_counts = batch.stratify();
-        for (stratum, originals) in strata_counts {
+        for originals in batch.split_by_stratum() {
+            let stratum = originals.items[0].stratum;
             let c = originals.len() as f64;
             let kept = out.sample.iter().filter(|i| i.stratum == stratum).count() as f64;
             let lhs = out.weights.get(stratum) * kept;

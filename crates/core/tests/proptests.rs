@@ -244,6 +244,16 @@ fn arb_items() -> impl Strategy<Value = Vec<StreamItem>> {
     })
 }
 
+/// Independent grouping oracle: naive per-item map grouping — ascending by
+/// stratum, arrival order preserved within each.
+fn group_by_stratum(items: &[StreamItem]) -> BTreeMap<StratumId, Vec<StreamItem>> {
+    let mut map: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
+    for item in items {
+        map.entry(item.stratum).or_default().push(*item);
+    }
+    map
+}
+
 /// Riffle the grouped items into an interleaved order (same multiset,
 /// breaks the StrataIndex grouped fast path so the scatter path runs too).
 fn interleave(items: &[StreamItem]) -> Vec<StreamItem> {
@@ -264,17 +274,14 @@ fn interleave(items: &[StreamItem]) -> Vec<StreamItem> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The index groups exactly like `stratify` for any input order.
+    /// The index groups exactly like the naive map grouping for any
+    /// input order.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
-    fn strata_index_equals_stratify(items in arb_items(), shuffle in proptest::bool::ANY) {
+    fn strata_index_equals_map_grouping(items in arb_items(), shuffle in proptest::bool::ANY) {
         let items = if shuffle { interleave(&items) } else { items };
-        let batch = Batch::from_items(items.clone());
         let mut index = StrataIndex::new();
         index.build(&items);
-        let by_map = batch.stratify();
+        let by_map = group_by_stratum(&items);
         prop_assert_eq!(index.num_strata(), by_map.len());
         for ((stratum, slice), (map_stratum, map_items)) in
             index.iter_in(&items).zip(by_map.iter())
@@ -287,9 +294,6 @@ proptest! {
     /// Eq. 9 on the index-based hot path, for grouped and interleaved
     /// inputs alike.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn hot_path_count_reconstruction(
         items in arb_items(),
         shuffle in proptest::bool::ANY,
@@ -306,7 +310,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut kernel = WhsScratch::new();
         let out = kernel.sample_slice(&items, sample_size, &w_in, Allocation::Uniform, &mut rng);
-        for (stratum, originals) in batch.stratify() {
+        for (stratum, originals) in group_by_stratum(&items) {
             let kept = out.sample.iter().filter(|i| i.stratum == stratum).count();
             if kept == 0 {
                 prop_assert!(out.weights.get_explicit(stratum).is_none());
@@ -355,9 +359,6 @@ proptest! {
     /// Eq. 9 across the parallel shards: the union of per-shard outputs
     /// reconstructs every stratum count exactly.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn parallel_path_count_reconstruction(
         items in arb_items(),
         workers in 1usize..9,
@@ -375,7 +376,7 @@ proptest! {
         // summing reconstructions over shards must give the global count.
         let theta: ThetaStore = outs.iter().filter(|o| !o.sample.is_empty()).cloned().collect();
         if !theta.is_empty() {
-            for (stratum, originals) in batch.stratify() {
+            for (stratum, originals) in group_by_stratum(&items) {
                 let est = theta.stratum_estimates();
                 let Some(e) = est.get(&stratum) else { continue };
                 // Shards that dropped their whole sub-slice contribute

@@ -3,7 +3,7 @@
 use crate::error::MqError;
 use crate::topic::Topic;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default per-partition retention (records).
@@ -27,7 +27,9 @@ pub const DEFAULT_RETENTION: usize = 1 << 20;
 /// ```
 #[derive(Debug, Default)]
 pub struct Broker {
-    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    // BTreeMap, not HashMap: `close()` and `topic_names()` iterate the
+    // registry, and iteration order must not depend on hash state.
+    topics: RwLock<BTreeMap<String, Arc<Topic>>>,
 }
 
 impl Broker {
@@ -83,10 +85,16 @@ impl Broker {
         if let Ok(t) = self.topic(name) {
             return t;
         }
-        match self.create_topic(name, partitions) {
-            Ok(t) => t,
-            // Raced with another creator: the topic exists now.
-            Err(_) => self.topic(name).expect("topic created concurrently"),
+        // Take the write lock once and decide under it; this cannot race
+        // with a concurrent creator the way lookup-then-create would.
+        let mut topics = self.topics.write();
+        match topics.get(name) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let topic = Arc::new(Topic::new(name, partitions, DEFAULT_RETENTION));
+                topics.insert(name.to_string(), Arc::clone(&topic));
+                topic
+            }
         }
     }
 
@@ -107,9 +115,7 @@ impl Broker {
 
     /// Names of all topics, sorted.
     pub fn topic_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.topics.read().keys().cloned().collect()
     }
 
     /// Closes every topic (in-flight readers drain then observe `Closed`).

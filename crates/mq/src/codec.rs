@@ -230,6 +230,7 @@ impl ColumnElem for u32 {
         buf.put_u32_le(v);
     }
     fn read_le(bytes: &[u8]) -> Self {
+        // analysis: allow(P1, reason = "slice is exactly SIZE bytes; the [..N] index above already checks it")
         u32::from_le_bytes(bytes[..4].try_into().expect("length checked"))
     }
 }
@@ -241,6 +242,7 @@ impl ColumnElem for u64 {
         buf.put_u64_le(v);
     }
     fn read_le(bytes: &[u8]) -> Self {
+        // analysis: allow(P1, reason = "slice is exactly SIZE bytes; the [..N] index above already checks it")
         u64::from_le_bytes(bytes[..8].try_into().expect("length checked"))
     }
 }
@@ -252,6 +254,7 @@ impl ColumnElem for f64 {
         buf.put_f64_le(v);
     }
     fn read_le(bytes: &[u8]) -> Self {
+        // analysis: allow(P1, reason = "slice is exactly SIZE bytes; the [..N] index above already checks it")
         f64::from_le_bytes(bytes[..8].try_into().expect("length checked"))
     }
 }

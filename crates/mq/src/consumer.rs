@@ -198,8 +198,7 @@ impl Consumer {
             }
             Err(e) => return Err(e),
         };
-        if taken > 0 {
-            let last = out.last().expect("taken > 0 records were appended");
+        if let Some(last) = out.last().filter(|_| taken > 0) {
             self.offsets.insert(partition, last.offset + 1);
         }
         Ok(taken)

@@ -35,6 +35,8 @@
 //! # Ok::<(), approxiot_mq::MqError>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod broker;
 pub mod codec;
 pub mod consumer;

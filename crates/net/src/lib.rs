@@ -32,6 +32,8 @@
 //! assert_eq!(rx.recv().expect("delivered"), b"frame");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod impairment;
 pub mod link;

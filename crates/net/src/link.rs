@@ -186,10 +186,13 @@ impl Link {
         };
         let (out_tx, out_rx) = channel::unbounded::<T>();
         let metrics = NetMetrics::new();
+        // analysis: allow(D1, reason = "real-link transport path; never used by the deterministic engines")
+        #[allow(clippy::disallowed_methods)]
         let epoch = Instant::now();
         let pump = thread::Builder::new()
             .name("approxiot-link-pump".into())
             .spawn(move || pump_loop(in_rx, out_tx, config, epoch))
+            // analysis: allow(P1, reason = "thread spawn fails only on OS resource exhaustion; no fallback exists")
             .expect("spawn link pump thread");
         (
             LinkSender {

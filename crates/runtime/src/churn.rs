@@ -485,7 +485,7 @@ impl ChurnDriver {
         let mut map = self
             .inclusion
             .lock()
-            .expect("inclusion mutex never poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (source, batch) in batches.iter().enumerate() {
             let alive = self.topology.source_path_alive(source, interval);
             let pdf = self.pdf[source];
@@ -515,7 +515,7 @@ impl ChurnDriver {
         let mut map = self
             .inclusion
             .lock()
-            .expect("inclusion mutex never poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let window = map.entry(interval).or_default();
         for item in &batch.items {
             let tally = window.entry(item.stratum).or_default();
@@ -575,7 +575,7 @@ impl ChurnDriver {
         let map = self
             .inclusion
             .lock()
-            .expect("inclusion mutex never poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for result in results {
             let Some(window) = map.get(&result.window) else {
                 result.completeness = 1.0;
@@ -659,6 +659,7 @@ impl NodeChurnState {
                 replacement_seed(ctx.churn_seed, generation),
                 ctx.workers,
             )
+            // analysis: allow(P1, reason = "rebuilding with the same base fraction the builder already validated")
             .expect("base fraction validated at build time");
         }
         let scale = match schedule.disposition(ctx.layer, ctx.index, interval) {
@@ -669,6 +670,7 @@ impl NodeChurnState {
         if scale != self.scale {
             self.scale = scale;
             node.set_fraction((ctx.base_fraction * scale).min(1.0))
+                // analysis: allow(P1, reason = "schedule builder clamps fraction_scale to (0, 1]")
                 .expect("scale validated in (0, 1] at build time");
         }
     }

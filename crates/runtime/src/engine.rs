@@ -229,6 +229,7 @@ impl SimEngine {
             .collect::<Result<Vec<_>, _>>()?;
         let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
+            // analysis: allow(P1, reason = "TopologyBuilder rejects depth-0 trees, so fractions is non-empty")
             fraction: *fractions.last().expect("depth >= 1"),
             overall_fraction: topology.overall_fraction(),
             window: topology.window(),
@@ -277,6 +278,9 @@ impl SimEngine {
             churn,
             churn_ctx,
             churn_states,
+            // D1-allowlisted: wall-clock elapsed time is reported, never
+            // fed back into the virtual-time run.
+            #[allow(clippy::disallowed_methods)]
             started: Instant::now(),
         })
     }

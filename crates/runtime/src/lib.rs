@@ -96,6 +96,8 @@
 //! # Ok::<(), approxiot_runtime::EngineError>(())
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod churn;
 pub mod engine;
 pub mod fault;

@@ -112,6 +112,7 @@ impl SamplingNode {
         let budget = SamplingBudget::new(fraction)?;
         // The budget already validated the (0, 1] domain SrsSampler requires.
         let srs = match strategy {
+            // analysis: allow(P1, reason = "SamplingBudget::new above already validated the (0, 1] domain")
             Strategy::Srs => Some(SrsSampler::new(fraction).expect("fraction validated by budget")),
             _ => None,
         };
@@ -136,6 +137,8 @@ impl SamplingNode {
             whs: WhsSampler::new(allocation),
             srs,
             parallel,
+            // D3-allowlisted: `seed` comes from Topology::node_seed.
+            #[allow(clippy::disallowed_methods)]
             rng: StdRng::seed_from_u64(seed),
             items_in: 0,
             items_out: 0,
@@ -165,6 +168,7 @@ impl SamplingNode {
     pub fn set_fraction(&mut self, fraction: f64) -> Result<(), approxiot_core::BudgetError> {
         self.budget = SamplingBudget::new(fraction)?;
         if self.srs.is_some() {
+            // analysis: allow(P1, reason = "SamplingBudget::new above already validated the (0, 1] domain")
             self.srs = Some(SrsSampler::new(fraction).expect("same domain as budget"));
         }
         Ok(())
@@ -184,6 +188,7 @@ impl SamplingNode {
                 let srs = self
                     .srs
                     .as_ref()
+                    // analysis: allow(P1, reason = "constructor creates the sampler whenever strategy is Srs")
                     .expect("srs sampler present for Srs strategy");
                 Batch::from_items(srs.sample(batch, &mut self.rng))
             }
@@ -295,6 +300,7 @@ impl SamplingNode {
                 let srs = self
                     .srs
                     .as_ref()
+                    // analysis: allow(P1, reason = "constructor creates the sampler whenever strategy is Srs")
                     .expect("srs sampler present for Srs strategy");
                 let mut out = ColumnarBatch::new();
                 srs.sample_columns_into(batch.view(), &mut out, &mut self.rng);

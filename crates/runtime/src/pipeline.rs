@@ -418,21 +418,27 @@ impl PipelineEngine {
         feeds.push(
             broker
                 .create_topic("layer0", topology.sources() as u32)
+                // analysis: allow(P1, reason = "broker was constructed empty two lines up; names cannot collide")
                 .expect("fresh broker"),
         );
         for l in 1..n_layers {
             feeds.push(
                 broker
                     .create_topic(&format!("layer{l}"), topology.layers()[l - 1].nodes as u32)
+                    // analysis: allow(P1, reason = "broker was constructed empty above; names cannot collide")
                     .expect("fresh broker"),
             );
         }
         feeds.push(
             broker
                 .create_topic("root", topology.layers()[n_layers - 1].nodes as u32)
+                // analysis: allow(P1, reason = "broker was constructed empty above; names cannot collide")
                 .expect("fresh broker"),
         );
 
+        // D1-allowlisted: the pipeline's wall-clock branch anchors replay
+        // timestamps to a real epoch.
+        #[allow(clippy::disallowed_methods)]
         let epoch = Instant::now();
         let bytes: Vec<Arc<AtomicU64>> = (0..topology.hops())
             .map(|_| Arc::new(AtomicU64::new(0)))
@@ -519,7 +525,7 @@ impl PipelineEngine {
                             if let Some(injector) = &injector {
                                 faults_out
                                     .lock()
-                                    .expect("fault cell mutex never poisoned")
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                                     .merge(injector.stats());
                             }
                             bytes_out.fetch_add(producer.bytes_sent(), Ordering::Relaxed);
@@ -527,6 +533,7 @@ impl PipelineEngine {
                                 producer.topic().close();
                             }
                         })
+                        // analysis: allow(P1, reason = "thread spawn fails only on OS resource exhaustion; no fallback exists")
                         .expect("spawn edge thread"),
                 );
             }
@@ -535,6 +542,7 @@ impl PipelineEngine {
         // ---- Root ----------------------------------------------------------
         let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
+            // analysis: allow(P1, reason = "TopologyBuilder rejects depth-0 trees, so fractions is non-empty")
             fraction: *fractions.last().expect("depth >= 1"),
             overall_fraction: topology.overall_fraction(),
             window: topology.window(),
@@ -576,6 +584,7 @@ impl PipelineEngine {
                     }
                     let _ = elapsed_tx.send(epoch.elapsed());
                 })
+                // analysis: allow(P1, reason = "thread spawn fails only on OS resource exhaustion; no fallback exists")
                 .expect("spawn root thread"),
         );
 
@@ -761,6 +770,7 @@ impl Engine for PipelineEngine {
     fn finish(mut self: Box<Self>) -> RunReport {
         self.producer.topic().close();
         for handle in self.handles.drain(..) {
+            // analysis: allow(P1, reason = "deliberate panic propagation: a dead worker means the report would be wrong")
             handle.join().expect("pipeline worker thread panicked");
         }
         self.drain_results();
@@ -776,12 +786,21 @@ impl Engine for PipelineEngine {
             faults.record(0, injector.stats());
         }
         for (hop, cell) in self.fault_cells.iter().enumerate() {
-            faults.record(hop, &cell.lock().expect("fault cell mutex never poisoned"));
+            faults.record(
+                hop,
+                &cell
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
         }
         let mut results = std::mem::take(&mut self.results);
         results.sort_by_key(|r| r.window);
-        let latency_samples =
-            std::mem::take(&mut *self.latencies.lock().expect("latency mutex never poisoned"));
+        let latency_samples = std::mem::take(
+            &mut *self
+                .latencies
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         RunReport {
             results,
             bytes: self
@@ -1173,7 +1192,9 @@ fn root_loop(
                     wait_until(epoch, record.timestamp, root_delay);
                     let now = epoch.elapsed().as_nanos() as u64;
                     {
-                        let mut lat = latencies.lock().expect("latency mutex never poisoned");
+                        let mut lat = latencies
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         if lat.len() < 500_000 {
                             lat.extend(batch.items.iter().map(|i| now.saturating_sub(i.source_ts)));
                         }

@@ -376,7 +376,9 @@ impl RootNode {
         let Some(inclusion) = &self.inclusion else {
             return;
         };
-        let map = inclusion.lock().expect("inclusion mutex never poisoned");
+        let map = inclusion
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(tallies) = map.get(&window) else {
             return;
         };

@@ -30,6 +30,8 @@
 //! assert_eq!(ctx.drain(), vec![50]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod processor;
 pub mod runtime;

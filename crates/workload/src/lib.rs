@@ -31,6 +31,8 @@
 //! assert_eq!(batch.strata().len(), 4); // sub-streams A–D
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod pollution;
 pub mod replay;

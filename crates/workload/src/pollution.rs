@@ -170,24 +170,18 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn every_sensor_reports_every_pollutant() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut trace = PollutionTrace::new(50, Duration::from_secs(1));
         let batch = trace.next_interval(&mut rng);
-        let strata = batch.stratify();
+        let strata = batch.split_by_stratum();
         assert_eq!(strata.len(), 4);
-        for items in strata.values() {
-            assert_eq!(items.len(), 50);
+        for sub in &strata {
+            assert_eq!(sub.len(), 50);
         }
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn readings_stay_near_baselines() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut trace = PollutionTrace::new(100, Duration::from_secs(1));
@@ -196,9 +190,10 @@ mod tests {
             trace.next_interval(&mut rng);
         }
         let batch = trace.next_interval(&mut rng);
-        let strata = batch.stratify();
+        let strata = batch.split_by_stratum();
         for (p_idx, pollutant) in POLLUTANTS.iter().enumerate() {
-            let items = &strata[&StratumId::new(p_idx as u32)];
+            assert_eq!(strata[p_idx].items[0].stratum, StratumId::new(p_idx as u32));
+            let items = &strata[p_idx].items;
             let mean: f64 = items.iter().map(|i| i.value).sum::<f64>() / items.len() as f64;
             let rel = (mean - pollutant.baseline).abs() / pollutant.baseline;
             assert!(
@@ -211,9 +206,6 @@ mod tests {
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn pollution_values_are_stabler_than_taxi_fares() {
         // The property behind Figure 11(a)'s "similar but lower" curve:
         // coefficient of variation of pollution readings ≪ taxi fares.
@@ -227,9 +219,10 @@ mod tests {
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
         let cv_per_stratum: Vec<f64> = batch
-            .stratify()
-            .values()
-            .map(|items| {
+            .split_by_stratum()
+            .iter()
+            .map(|sub| {
+                let items = &sub.items;
                 let m: f64 = items.iter().map(|i| i.value).sum::<f64>() / items.len() as f64;
                 let v: f64 =
                     items.iter().map(|i| (i.value - m).powi(2)).sum::<f64>() / items.len() as f64;

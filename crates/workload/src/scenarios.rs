@@ -348,32 +348,28 @@ mod tests {
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn skewed_mix_shares_match_paper() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
         let batch = mix.next_interval(&mut rng);
-        let strata = batch.stratify();
+        let strata = batch.split_by_stratum();
+        assert_eq!(strata.len(), 4);
         let total = batch.len() as f64;
-        let share_a = strata[&StratumId::new(0)].len() as f64 / total;
-        let share_d = strata[&StratumId::new(3)].len() as f64 / total;
+        let share_a = strata[0].len() as f64 / total;
+        let share_d = strata[3].len() as f64 / total;
         assert!((share_a - 0.80).abs() < 0.01, "A share {share_a}");
         assert!((share_d - 0.0001).abs() < 0.0001, "D share {share_d}");
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn skewed_mix_d_values_dominate() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut mix = skewed_mix(100_000.0, Duration::from_secs(1));
         let batch = mix.next_interval(&mut rng);
-        let strata = batch.stratify();
-        let sum_d: f64 = strata[&StratumId::new(3)].iter().map(|i| i.value).sum();
-        let sum_a: f64 = strata[&StratumId::new(0)].iter().map(|i| i.value).sum();
+        let strata = batch.split_by_stratum();
+        assert_eq!(strata.len(), 4);
+        let sum_d: f64 = strata[3].items.iter().map(|i| i.value).sum();
+        let sum_a: f64 = strata[0].items.iter().map(|i| i.value).sum();
         assert!(sum_d > 50.0 * sum_a, "D should dwarf A: {sum_d} vs {sum_a}");
     }
 
@@ -389,15 +385,13 @@ mod tests {
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn gaussian_rate_mix_uses_setting() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut mix = gaussian_rate_mix(RateSetting::Setting1, Duration::from_millis(100));
         let batch = mix.next_interval(&mut rng);
-        let strata = batch.stratify();
-        assert_eq!(strata[&StratumId::new(0)].len(), 5_000); // 50k * 0.1s
-        assert_eq!(strata[&StratumId::new(3)].len(), 62); // 625 * 0.1s (floor)
+        let strata = batch.split_by_stratum();
+        assert_eq!(strata.len(), 4);
+        assert_eq!(strata[0].len(), 5_000); // 50k * 0.1s
+        assert_eq!(strata[3].len(), 62); // 625 * 0.1s (floor)
     }
 }

@@ -247,9 +247,6 @@ mod tests {
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn item_counts_match_rates() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mix = StreamMix::new(
@@ -260,9 +257,10 @@ mod tests {
             Duration::from_secs(1),
         );
         let batch = mix.next_interval(&mut rng);
-        let strata = batch.stratify();
-        assert_eq!(strata[&s(0)].len(), 100);
-        assert_eq!(strata[&s(1)].len(), 50);
+        let strata = batch.split_by_stratum();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0].len(), 100);
+        assert_eq!(strata[1].len(), 50);
         assert_eq!(mix.expected_items_per_interval(), 150.0);
     }
 

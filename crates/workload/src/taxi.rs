@@ -205,16 +205,17 @@ mod tests {
     }
 
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn manhattan_dominates_staten_island() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut trace = TaxiTrace::new(50_000.0, Duration::from_secs(1));
         let batch = trace.next_interval(&mut rng);
-        let strata = batch.stratify();
-        let manhattan = strata[&StratumId::new(0)].len();
-        let staten = strata.get(&StratumId::new(4)).map_or(0, Vec::len);
+        let strata = batch.split_by_stratum();
+        assert_eq!(strata[0].items[0].stratum, StratumId::new(0));
+        let manhattan = strata[0].len();
+        let staten = strata
+            .iter()
+            .find(|sub| sub.items[0].stratum == StratumId::new(4))
+            .map_or(0, |sub| sub.len());
         assert!(manhattan > 30 * staten.max(1), "{manhattan} vs {staten}");
     }
 

@@ -115,20 +115,21 @@ proptest! {
     /// The taxi trace always emits positive fares from its five boroughs
     /// with Manhattan dominant.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn taxi_trace_invariants(rate in 1_000.0f64..50_000.0, seed in 0u64..100) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut trace = TaxiTrace::new(rate, Duration::from_millis(100));
         let batch = trace.next_interval(&mut rng);
         prop_assert!(batch.items.iter().all(|i| i.value > 0.0));
         prop_assert!(batch.items.iter().all(|i| i.stratum.index() < 5));
-        let strata = batch.stratify();
-        if let Some(manhattan) = strata.get(&StratumId::new(0)) {
-            for (s, items) in &strata {
+        let strata = batch.split_by_stratum();
+        if let Some(manhattan) = strata
+            .iter()
+            .find(|sub| sub.items[0].stratum == StratumId::new(0))
+        {
+            for sub in &strata {
+                let s = sub.items[0].stratum;
                 if s.index() != 0 {
-                    prop_assert!(manhattan.len() >= items.len(),
+                    prop_assert!(manhattan.len() >= sub.len(),
                         "manhattan must dominate {s}");
                 }
             }

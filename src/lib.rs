@@ -79,6 +79,8 @@
 //! [`runtime::TreeConfig::paper_topology`] /
 //! [`runtime::PipelineConfig::paper_topology`] — over the same builder.
 
+#![forbid(unsafe_code)]
+
 pub use approxiot_core as core;
 pub use approxiot_mq as mq;
 pub use approxiot_net as net;

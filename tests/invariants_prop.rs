@@ -9,7 +9,18 @@ use proptest::test_runner::Config as ProptestConfig;
 use proptest::{prop_assert, prop_assert_eq, proptest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Independent grouping oracle: naive per-item map grouping — ascending by
+/// stratum, arrival order preserved within each.
+fn group_by_stratum(batch: &Batch) -> BTreeMap<StratumId, Vec<StreamItem>> {
+    let mut map: BTreeMap<StratumId, Vec<StreamItem>> = BTreeMap::new();
+    for item in &batch.items {
+        map.entry(item.stratum).or_default().push(*item);
+    }
+    map
+}
 
 /// Strategy: a batch of up to 4 strata with up to 200 items each.
 fn arb_batch() -> impl proptest::strategy::Strategy<Value = Batch> {
@@ -36,9 +47,6 @@ proptest! {
     /// the input count times the input weight, regardless of batch shape,
     /// sample size or input weights.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn count_reconstruction_invariant(
         batch in arb_batch(),
         sample_size in 0usize..500,
@@ -51,7 +59,7 @@ proptest! {
             w_in.set(s, w_in_scale as f64);
         }
         let out = whs_sample(&batch, sample_size, &w_in, Allocation::Uniform, &mut rng);
-        for (stratum, originals) in batch.stratify() {
+        for (stratum, originals) in group_by_stratum(&batch) {
             let kept = out.sample.iter().filter(|i| i.stratum == stratum).count();
             if kept == 0 {
                 // Fully dropped stratum (zero reservoir): no invariant to
@@ -196,9 +204,6 @@ proptest! {
     /// running on the zero-copy StrataIndex kernel) preserves Eq. 9 for
     /// arbitrary batches, exactly like the pure `whs_sample` reference.
     #[test]
-    // Deliberately exercises the deprecated map-based grouping
-    // (cold-path/compat coverage).
-    #[allow(deprecated)]
     fn hot_path_node_count_reconstruction(
         batch in arb_batch(),
         fraction_pct in 5u32..100,
@@ -208,7 +213,7 @@ proptest! {
         let mut sampler = WhsSampler::new(Allocation::Uniform);
         let size = (batch.len() * fraction_pct as usize).div_ceil(100);
         let out = sampler.sample_batch(&batch, size, &mut rng);
-        for (stratum, originals) in batch.stratify() {
+        for (stratum, originals) in group_by_stratum(&batch) {
             let kept = out.sample.iter().filter(|i| i.stratum == stratum).count();
             if kept == 0 {
                 continue;
