@@ -1,0 +1,510 @@
+//! Workspace-level concurrency graphs built from per-file models.
+//!
+//! Two graphs matter for the checks:
+//!
+//! - the **lock-acquisition-order graph**: an edge `A -> B` means some
+//!   execution context acquires `B` while a guard for `A` is live — either
+//!   directly (nested scopes) or through one level of call-summary
+//!   propagation into a callee whose simple name is unique in the
+//!   workspace. A cycle is a potential deadlock (rule C1).
+//! - the **channel context graph**: an edge `ctx1 -> ctx2` means `ctx1`
+//!   sends on a bounded channel that `ctx2` receives from. A cycle means a
+//!   full queue can stall the ring (rule C2).
+//!
+//! Both graphs are also what the `graph` subcommand renders as DOT.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{ContextSummary, FileModel, Role};
+
+/// One lock-order edge with its witness site.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Context in which the second acquisition happens.
+    pub ctx: String,
+    /// Site of the second acquisition.
+    pub file: String,
+    pub line: usize,
+    /// Callee context name when the edge crosses a call boundary.
+    pub via_call: Option<String>,
+}
+
+/// One channel edge: `from_ctx` sends on `chan`, `to_ctx` receives.
+#[derive(Clone, Debug)]
+pub struct ChanEdge {
+    pub from_ctx: String,
+    pub to_ctx: String,
+    pub chan: String,
+    /// Send site (where backpressure would bite).
+    pub file: String,
+    pub line: usize,
+    pub bounded: Option<bool>,
+}
+
+/// All per-file models plus the cross-file indices the rules need.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    pub files: Vec<FileModel>,
+}
+
+impl WorkspaceModel {
+    pub fn new(files: Vec<FileModel>) -> WorkspaceModel {
+        WorkspaceModel { files }
+    }
+
+    pub fn contexts(&self) -> impl Iterator<Item = &ContextSummary> {
+        self.files.iter().flat_map(|f| f.contexts.iter())
+    }
+
+    /// The context for `name` iff exactly one workspace fn has that simple
+    /// name. Ambiguous names never propagate — a summary attached to the
+    /// wrong callee could fabricate a cycle.
+    fn unique_fn(&self, name: &str) -> Option<&ContextSummary> {
+        let mut found = None;
+        for ctx in self.contexts() {
+            if ctx.fn_name.as_deref() == Some(name) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(ctx);
+            }
+        }
+        found
+    }
+
+    /// Lock-order edges, deduplicated by (from, to) keeping the first
+    /// witness in (file, line) order.
+    pub fn lock_edges(&self) -> Vec<LockEdge> {
+        let mut edges: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+        let mut add = |e: LockEdge| {
+            let key = (e.from.clone(), e.to.clone());
+            match edges.get(&key) {
+                Some(old) if (old.file.as_str(), old.line) <= (e.file.as_str(), e.line) => {}
+                _ => {
+                    edges.insert(key, e);
+                }
+            }
+        };
+        for ctx in self.contexts() {
+            // Direct nesting: acquisition `b` while guard `a` is live.
+            for (i, a) in ctx.locks.iter().enumerate() {
+                for b in &ctx.locks[i + 1..] {
+                    if a.line <= b.line && b.line <= a.until && a.lock != b.lock {
+                        add(LockEdge {
+                            from: a.lock.clone(),
+                            to: b.lock.clone(),
+                            ctx: ctx.name.clone(),
+                            file: ctx.file.clone(),
+                            line: b.line,
+                            via_call: None,
+                        });
+                    }
+                }
+            }
+            // One level of call propagation under a held guard.
+            for call in &ctx.calls {
+                let held: Vec<&str> = ctx.guards_at(call.line).map(|g| g.lock.as_str()).collect();
+                if held.is_empty() {
+                    continue;
+                }
+                let Some(callee) = self.unique_fn(&call.callee) else {
+                    continue;
+                };
+                if callee.name == ctx.name {
+                    continue;
+                }
+                for acq in &callee.locks {
+                    for from in &held {
+                        if *from != acq.lock {
+                            add(LockEdge {
+                                from: (*from).to_string(),
+                                to: acq.lock.clone(),
+                                ctx: ctx.name.clone(),
+                                file: callee.file.clone(),
+                                line: acq.line,
+                                via_call: Some(callee.name.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        edges.into_values().collect()
+    }
+
+    /// Simple cycles in the lock-order graph, each reported once (anchored
+    /// at its lexicographically smallest node).
+    pub fn lock_cycles(&self) -> Vec<Vec<LockEdge>> {
+        let edges = self.lock_edges();
+        cycles(&edges, |e| (&e.from, &e.to))
+    }
+
+    /// Channel edges: one per (send context, recv context, channel).
+    pub fn channel_edges(&self) -> Vec<ChanEdge> {
+        #[derive(Default)]
+        struct Ends {
+            sends: Vec<(String, String, usize, Option<bool>)>,
+            recvs: BTreeSet<String>,
+        }
+        let mut per_chan: BTreeMap<String, Ends> = BTreeMap::new();
+        for ctx in self.contexts() {
+            for op in &ctx.chan_ops {
+                let Some(chan) = &op.chan else { continue };
+                let ends = per_chan.entry(chan.clone()).or_default();
+                match op.role {
+                    Role::Send => {
+                        ends.sends
+                            .push((ctx.name.clone(), ctx.file.clone(), op.line, op.bounded))
+                    }
+                    Role::Recv => {
+                        ends.recvs.insert(ctx.name.clone());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for (chan, ends) in &per_chan {
+            for (sctx, file, line, bounded) in &ends.sends {
+                for rctx in &ends.recvs {
+                    if sctx == rctx {
+                        continue;
+                    }
+                    if seen.insert((sctx.clone(), rctx.clone(), chan.clone())) {
+                        out.push(ChanEdge {
+                            from_ctx: sctx.clone(),
+                            to_ctx: rctx.clone(),
+                            chan: chan.clone(),
+                            file: file.clone(),
+                            line: *line,
+                            bounded: *bounded,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Cycles among contexts linked by **bounded** channels only — an
+    /// unbounded send cannot block, so it cannot close a backpressure ring.
+    pub fn channel_cycles(&self) -> Vec<Vec<ChanEdge>> {
+        let edges: Vec<ChanEdge> = self
+            .channel_edges()
+            .into_iter()
+            .filter(|e| e.bounded == Some(true))
+            .collect();
+        cycles(&edges, |e| (&e.from_ctx, &e.to_ctx))
+    }
+
+    /// Render both graphs as one DOT digraph for the `graph` subcommand.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph approxiot_concurrency {\n");
+        out.push_str("  rankdir=LR;\n  node [fontsize=10];\n");
+
+        out.push_str("  subgraph cluster_locks {\n    label=\"lock acquisition order\";\n");
+        let lock_edges = self.lock_edges();
+        let mut lock_nodes: BTreeSet<&str> = BTreeSet::new();
+        for e in &lock_edges {
+            lock_nodes.insert(&e.from);
+            lock_nodes.insert(&e.to);
+        }
+        // Locks never acquired nested still appear as isolated nodes so the
+        // graph shows the full lock inventory.
+        for ctx in self.contexts() {
+            for acq in &ctx.locks {
+                lock_nodes.insert(&acq.lock);
+            }
+        }
+        for n in &lock_nodes {
+            out.push_str(&format!(
+                "    \"lock:{}\" [label=\"{}\" shape=box];\n",
+                dot_escape(n),
+                dot_escape(n)
+            ));
+        }
+        for e in &lock_edges {
+            let style = if e.via_call.is_some() {
+                " style=dashed"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    \"lock:{}\" -> \"lock:{}\" [label=\"{}:{}\"{}];\n",
+                dot_escape(&e.from),
+                dot_escape(&e.to),
+                dot_escape(&e.file),
+                e.line,
+                style
+            ));
+        }
+        out.push_str("  }\n");
+
+        out.push_str("  subgraph cluster_channels {\n    label=\"channel topology\";\n");
+        let chan_edges = self.channel_edges();
+        let mut chan_defs: BTreeMap<&str, Option<bool>> = BTreeMap::new();
+        for f in &self.files {
+            for c in &f.channels {
+                chan_defs.insert(&c.key, c.bounded);
+            }
+        }
+        let mut ctx_nodes: BTreeSet<&str> = BTreeSet::new();
+        let mut used_chans: BTreeSet<&str> = BTreeSet::new();
+        for e in &chan_edges {
+            ctx_nodes.insert(&e.from_ctx);
+            ctx_nodes.insert(&e.to_ctx);
+            used_chans.insert(&e.chan);
+        }
+        for n in &ctx_nodes {
+            out.push_str(&format!(
+                "    \"ctx:{}\" [label=\"{}\" shape=ellipse];\n",
+                dot_escape(n),
+                dot_escape(n)
+            ));
+        }
+        for chan in &used_chans {
+            let kind = match chan_defs.get(chan).copied().flatten() {
+                Some(true) => "bounded",
+                Some(false) => "unbounded",
+                None => "unknown",
+            };
+            out.push_str(&format!(
+                "    \"chan:{}\" [label=\"{} ({})\" shape=diamond];\n",
+                dot_escape(chan),
+                dot_escape(chan),
+                kind
+            ));
+        }
+        let mut emitted: BTreeSet<(String, String)> = BTreeSet::new();
+        for e in &chan_edges {
+            let send = (format!("ctx:{}", e.from_ctx), format!("chan:{}", e.chan));
+            if emitted.insert(send.clone()) {
+                out.push_str(&format!(
+                    "    \"{}\" -> \"{}\" [label=\"send\"];\n",
+                    dot_escape(&send.0),
+                    dot_escape(&send.1)
+                ));
+            }
+            let recv = (format!("chan:{}", e.chan), format!("ctx:{}", e.to_ctx));
+            if emitted.insert(recv.clone()) {
+                out.push_str(&format!(
+                    "    \"{}\" -> \"{}\" [label=\"recv\"];\n",
+                    dot_escape(&recv.0),
+                    dot_escape(&recv.1)
+                ));
+            }
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Enumerate simple cycles in an edge list. Each cycle is reported exactly
+/// once, anchored at its lexicographically smallest node: the DFS from
+/// start `s` only walks nodes `>= s`, so a cycle surfaces only when `s` is
+/// its minimum. Graphs here are tiny (tens of nodes), so the plain
+/// recursive search is fine.
+fn cycles<E: Clone>(edges: &[E], ends: impl Fn(&E) -> (&String, &String)) -> Vec<Vec<E>> {
+    let mut adj: BTreeMap<&str, Vec<&E>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        let (from, to) = ends(e);
+        adj.entry(from.as_str()).or_default().push(e);
+        nodes.insert(from.as_str());
+        nodes.insert(to.as_str());
+    }
+    let mut found: Vec<Vec<E>> = Vec::new();
+    for start in &nodes {
+        let mut path: Vec<&E> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        dfs(
+            start,
+            start,
+            &adj,
+            &ends,
+            &mut path,
+            &mut on_path,
+            &mut found,
+        );
+    }
+    found
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<'a, E: Clone>(
+    node: &'a str,
+    start: &str,
+    adj: &BTreeMap<&'a str, Vec<&'a E>>,
+    ends: &impl Fn(&E) -> (&String, &String),
+    path: &mut Vec<&'a E>,
+    on_path: &mut BTreeSet<&'a str>,
+    found: &mut Vec<Vec<E>>,
+) {
+    on_path.insert(node);
+    for edge in adj.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+        let (_, to) = ends(edge);
+        if to.as_str() == start {
+            let mut cycle: Vec<E> = path.iter().map(|e| (*e).clone()).collect();
+            cycle.push((*edge).clone());
+            found.push(cycle);
+        } else if to.as_str() > start && !on_path.contains(to.as_str()) {
+            path.push(edge);
+            dfs(to.as_str(), start, adj, ends, path, on_path, found);
+            path.pop();
+        }
+    }
+    on_path.remove(node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(texts: &[(&str, &str)]) -> WorkspaceModel {
+        WorkspaceModel::new(
+            texts
+                .iter()
+                .map(|(path, text)| FileModel::build(path, text))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn opposite_order_acquisitions_form_a_cycle() {
+        let src = concat!(
+            "struct S {\n",
+            "    a: Mutex<u32>,\n",
+            "    b: Mutex<u32>,\n",
+            "}\n",
+            "impl S {\n",
+            "    fn ab(&self) {\n",
+            "        let ga = self.a.lock();\n",
+            "        let gb = self.b.lock();\n",
+            "        drop(gb);\n",
+            "        drop(ga);\n",
+            "    }\n",
+            "    fn ba(&self) {\n",
+            "        let gb = self.b.lock();\n",
+            "        let ga = self.a.lock();\n",
+            "        drop(ga);\n",
+            "        drop(gb);\n",
+            "    }\n",
+            "}\n",
+        );
+        let m = ws(&[("crates/x/src/s.rs", src)]);
+        let cycles = m.lock_cycles();
+        assert_eq!(cycles.len(), 1, "exactly one cycle: {cycles:?}");
+        let nodes: BTreeSet<&str> = cycles[0].iter().map(|e| e.from.as_str()).collect();
+        assert_eq!(nodes, BTreeSet::from(["S::a", "S::b"]));
+    }
+
+    #[test]
+    fn consistent_order_is_acyclic() {
+        let src = concat!(
+            "struct S {\n",
+            "    a: Mutex<u32>,\n",
+            "    b: Mutex<u32>,\n",
+            "}\n",
+            "impl S {\n",
+            "    fn one(&self) {\n",
+            "        let ga = self.a.lock();\n",
+            "        let gb = self.b.lock();\n",
+            "    }\n",
+            "    fn two(&self) {\n",
+            "        let ga = self.a.lock();\n",
+            "        let gb = self.b.lock();\n",
+            "    }\n",
+            "}\n",
+        );
+        let m = ws(&[("crates/x/src/s.rs", src)]);
+        assert!(m.lock_cycles().is_empty());
+        assert_eq!(m.lock_edges().len(), 1, "one deduped A->B edge");
+    }
+
+    #[test]
+    fn call_propagation_crosses_files_only_for_unique_names() {
+        let caller = concat!(
+            "struct A {\n",
+            "    a: Mutex<u32>,\n",
+            "}\n",
+            "impl A {\n",
+            "    fn outer(&self, h: &Helper) {\n",
+            "        let g = self.a.lock();\n",
+            "        h.deep_touch();\n",
+            "    }\n",
+            "}\n",
+        );
+        let callee = concat!(
+            "struct Helper {\n",
+            "    b: Mutex<u32>,\n",
+            "}\n",
+            "impl Helper {\n",
+            "    fn deep_touch(&self) {\n",
+            "        let g = self.b.lock();\n",
+            "        let _ = *g;\n",
+            "    }\n",
+            "}\n",
+        );
+        let m = ws(&[("crates/x/src/a.rs", caller), ("crates/x/src/h.rs", callee)]);
+        let edges = m.lock_edges();
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].from, "A::a");
+        assert_eq!(edges[0].to, "Helper::b");
+        assert_eq!(edges[0].via_call.as_deref(), Some("Helper::deep_touch"));
+
+        // The same callee name defined twice kills propagation.
+        let dup = "struct Other {\n    c: Mutex<u32>,\n}\nimpl Other {\n    fn deep_touch(&self) {\n        let g = self.c.lock();\n    }\n}\n";
+        let m2 = ws(&[
+            ("crates/x/src/a.rs", caller),
+            ("crates/x/src/h.rs", callee),
+            ("crates/x/src/o.rs", dup),
+        ]);
+        assert!(m2.lock_edges().is_empty(), "{:?}", m2.lock_edges());
+    }
+
+    #[test]
+    fn bounded_channel_ring_is_a_cycle_and_unbounded_is_not() {
+        let bounded_ring = concat!(
+            "fn build() {\n",
+            "    let (jtx, jrx) = bounded::<u32>(1);\n",
+            "    let (rtx, rrx) = bounded::<u32>(1);\n",
+            "    std::thread::spawn(move || {\n",
+            "        while let Ok(v) = jrx.recv() {\n",
+            "            let _ = rtx.send(v);\n",
+            "        }\n",
+            "    });\n",
+            "    dispatch(jtx, rrx);\n",
+            "}\n",
+            "fn dispatch(jtx: Sender<u32>, rrx: Receiver<u32>) {\n",
+            "    let _ = jtx.send(1);\n",
+            "    let _ = rrx.recv();\n",
+            "}\n",
+        );
+        let m = ws(&[("crates/x/src/ring.rs", bounded_ring)]);
+        let cycles = m.channel_cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+
+        let unbounded_ring = bounded_ring.replace("bounded::<u32>(1)", "unbounded::<u32>()");
+        let m2 = ws(&[("crates/x/src/ring.rs", unbounded_ring.as_str())]);
+        assert!(m2.channel_cycles().is_empty());
+    }
+
+    #[test]
+    fn dot_output_names_both_clusters() {
+        let m = ws(&[(
+            "crates/x/src/s.rs",
+            "struct S {\n    a: Mutex<u32>,\n}\nimpl S {\n    fn f(&self) {\n        let g = self.a.lock();\n    }\n}\n",
+        )]);
+        let dot = m.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_locks"));
+        assert!(dot.contains("cluster_channels"));
+        assert!(dot.contains("lock:S::a"));
+    }
+}

@@ -15,10 +15,20 @@
 //! |------|----------|
 //! | D1 | no wall-clock reads outside the allowlisted clock-gated modules |
 //! | D2 | no hash-map/hash-set types in non-test code (iteration order) |
-//! | D3 | RNG seeding flows through the `Topology` seed-derivation helpers |
+//! | D3 | RNG seed arguments trace to a `Topology` seed-derivation helper |
 //! | S1 | every `unsafe` carries a `SAFETY:` comment; crate roots pin their unsafe posture |
 //! | P1 | no `unwrap`/`expect`/`panic!` in non-test `runtime`/`mq`/`net` library code |
+//! | C1 | the cross-function lock-acquisition-order graph is acyclic |
+//! | C2 | no bounded-channel send under a lock; no bounded send/recv rings |
+//! | C3 | no lock held across a blocking call (channel op, join, sleep) |
 //! | W0 | waiver hygiene: well-formed, carries a reason, actually used |
+//!
+//! D1–P1 are line rules checked per file. C1–C3 are graph rules: a model
+//! pass ([`model`]) summarizes each function's lock acquisitions, channel
+//! endpoints, and blocking calls, a graph pass ([`graph`]) assembles the
+//! workspace lock-order and channel-topology graphs, and
+//! [`rules_concurrency`] walks them for cycles and lock-held-across-block
+//! hazards. The `graph` subcommand renders both graphs as DOT.
 //!
 //! Exceptions are first-class, not silent: a trailing or immediately
 //! preceding comment of the form
@@ -32,6 +42,10 @@
 //! unused or reason-less waiver is itself a finding (W0).
 
 #![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod model;
+mod rules_concurrency;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -56,12 +70,40 @@ pub enum Rule {
     S1,
     /// Panicking calls in non-test runtime/mq/net library code.
     P1,
+    /// Lock-acquisition-order cycles (potential deadlock).
+    C1,
+    /// Channel-topology hazards: bounded send under lock, bounded rings.
+    C2,
+    /// Lock held across a blocking call.
+    C3,
     /// Waiver hygiene: malformed, reason-less, or unused waivers.
     W0,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::S1, Rule::P1, Rule::W0];
+    pub const ALL: [Rule; 9] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::S1,
+        Rule::P1,
+        Rule::C1,
+        Rule::C2,
+        Rule::C3,
+        Rule::W0,
+    ];
+
+    /// Every rule a waiver may name (everything but W0 itself).
+    pub const WAIVABLE: [Rule; 8] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::S1,
+        Rule::P1,
+        Rule::C1,
+        Rule::C2,
+        Rule::C3,
+    ];
 
     pub fn code(self) -> &'static str {
         match self {
@@ -70,6 +112,9 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::S1 => "S1",
             Rule::P1 => "P1",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::C3 => "C3",
             Rule::W0 => "W0",
         }
     }
@@ -92,6 +137,15 @@ impl Rule {
             Rule::P1 => {
                 "no `.unwrap()` / `.expect(` / `panic!` in non-test runtime/mq/net code without a waiver"
             }
+            Rule::C1 => {
+                "lock-acquisition order is globally consistent; any cross-function cycle is a potential deadlock"
+            }
+            Rule::C2 => {
+                "no bounded-channel send while a lock is held; no send/recv rings over bounded channels"
+            }
+            Rule::C3 => {
+                "no lock guard held across a blocking call (channel send/recv, `join`, sleep, `acquire`)"
+            }
             Rule::W0 => "waivers must be well-formed, carry a reason, and suppress a real finding",
         }
     }
@@ -99,14 +153,7 @@ impl Rule {
     /// Parse a rule code appearing inside a waiver annotation. `W0` is not
     /// waivable — hygiene findings always surface.
     pub fn parse_waivable(s: &str) -> Option<Rule> {
-        match s {
-            "D1" => Some(Rule::D1),
-            "D2" => Some(Rule::D2),
-            "D3" => Some(Rule::D3),
-            "S1" => Some(Rule::S1),
-            "P1" => Some(Rule::P1),
-            _ => None,
-        }
+        Rule::WAIVABLE.into_iter().find(|r| r.code() == s)
     }
 }
 
@@ -217,9 +264,9 @@ impl Config {
 // ---------------------------------------------------------------------------
 
 #[derive(Clone, Debug, Default)]
-struct Stripped {
-    code: String,
-    comment: String,
+pub(crate) struct Stripped {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 #[derive(Clone, Copy)]
@@ -249,11 +296,11 @@ fn raw_string_open(chars: &[char], i: usize) -> Option<(u8, usize)> {
     }
 }
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-fn strip_lines(text: &str) -> Vec<Stripped> {
+pub(crate) fn strip_lines(text: &str) -> Vec<Stripped> {
     let mut out = Vec::new();
     let mut state = LexState::Code;
     for raw in text.lines() {
@@ -366,7 +413,7 @@ fn strip_lines(text: &str) -> Vec<Stripped> {
 
 /// Word-boundary match: `needle` appears in `hay` not glued to identifier
 /// characters on either side.
-fn has_word(hay: &str, needle: &str) -> bool {
+pub(crate) fn has_word(hay: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = hay[start..].find(needle) {
         let at = start + pos;
@@ -387,7 +434,7 @@ fn has_word(hay: &str, needle: &str) -> bool {
 
 /// Per-line flag: true when the line belongs to a `#[cfg(test)]` item
 /// (the attribute line itself, the item body, and its closing brace).
-fn test_regions(lines: &[Stripped]) -> Vec<bool> {
+pub(crate) fn test_regions(lines: &[Stripped]) -> Vec<bool> {
     let mut flags = vec![false; lines.len()];
     let mut depth: i64 = 0;
     // Brace depths at which a cfg(test) item body opened.
@@ -476,6 +523,150 @@ fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, String> {
         return Err(format!("waiver for {rule} has an empty reason"));
     }
     Ok(Some((rule, reason.to_string())))
+}
+
+// ---------------------------------------------------------------------------
+// D3 seed-flow taint
+// ---------------------------------------------------------------------------
+
+/// Argument text of the `seed_from_u64(...)` call starting on `lines[idx]`,
+/// spanning up to 8 lines for multi-line argument lists. `None` when the
+/// token is not followed by a parseable call.
+fn seed_call_args(lines: &[Stripped], idx: usize) -> Option<String> {
+    let code = lines[idx].code.as_str();
+    let at = code.find("seed_from_u64")?;
+    let after = &code[at + "seed_from_u64".len()..];
+    let open = after.find('(')?;
+    if !after[..open].trim().is_empty() {
+        return None;
+    }
+    let start_col = at + "seed_from_u64".len() + open;
+    let mut depth = 0i32;
+    let mut args = String::new();
+    for (j, line) in lines[idx..].iter().take(8).enumerate() {
+        let text = if j == 0 {
+            &line.code[start_col..]
+        } else {
+            line.code.as_str()
+        };
+        for c in text.chars() {
+            match c {
+                '(' => {
+                    if depth > 0 {
+                        args.push(c);
+                    }
+                    depth += 1;
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(args);
+                    }
+                    args.push(c);
+                }
+                _ if depth > 0 => args.push(c),
+                _ => {}
+            }
+        }
+        args.push(' ');
+    }
+    None
+}
+
+/// Identifier tokens in an expression, minus numeric literals and binding
+/// noise — the candidates for taint tracing.
+fn ident_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if is_ident_char(c) {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|t| {
+        !t.starts_with(|c: char| c.is_ascii_digit())
+            && !matches!(t.as_str(), "self" | "mut" | "let" | "as" | "ref")
+    });
+    out
+}
+
+/// The right-hand side of a `ident = ...` / `let ident = ...` assignment on
+/// this line, if any (`==` comparisons and `=>` match arms excluded).
+fn assignment_rhs(code: &str, ident: &str) -> Option<String> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let at = start + pos;
+        start = at + ident.len();
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = &code[at + ident.len()..];
+        if !before_ok || after.chars().next().map(is_ident_char).unwrap_or(false) {
+            continue;
+        }
+        let rest = after.trim_start();
+        if let Some(rhs) = rest.strip_prefix('=') {
+            if !rhs.starts_with('=') && !rhs.starts_with('>') {
+                return Some(rhs.trim().trim_end_matches(';').trim().to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Does `ident` trace back to a seed-helper call through local
+/// assignments? Reverse scan for the nearest assignment at or before
+/// `use_idx`; its RHS either names a helper directly or the trace recurses
+/// into the RHS identifiers. The nearest assignment decides — shadowing
+/// resolves conservatively toward a finding.
+fn traces_to_helper(
+    cfg: &Config,
+    lines: &[Stripped],
+    use_idx: usize,
+    ident: &str,
+    depth: usize,
+    visited: &mut Vec<String>,
+) -> bool {
+    if depth == 0 || visited.iter().any(|v| v == ident) {
+        return false;
+    }
+    visited.push(ident.to_string());
+    for j in (0..=use_idx).rev() {
+        let Some(rhs) = assignment_rhs(&lines[j].code, ident) else {
+            continue;
+        };
+        if cfg.d3_seed_helpers.iter().any(|h| has_word(&rhs, h)) {
+            return true;
+        }
+        return ident_tokens(&rhs)
+            .iter()
+            .any(|tok| tok != ident && traces_to_helper(cfg, lines, j, tok, depth - 1, visited));
+    }
+    false
+}
+
+/// D3 taint verdict for the seeding call on `lines[idx]`: clean iff a seed
+/// helper appears in the argument list, or any argument identifier traces
+/// back to a helper call through local assignments.
+fn d3_seed_flows_from_helper(cfg: &Config, lines: &[Stripped], idx: usize) -> bool {
+    let Some(args) = seed_call_args(lines, idx) else {
+        // Unparsable call shape (e.g. a bare path mention): fall back to the
+        // same-line helper check.
+        return cfg
+            .d3_seed_helpers
+            .iter()
+            .any(|h| has_word(&lines[idx].code, h));
+    };
+    if cfg.d3_seed_helpers.iter().any(|h| has_word(&args, h)) {
+        return true;
+    }
+    ident_tokens(&args).iter().any(|tok| {
+        let mut visited = Vec::new();
+        traces_to_helper(cfg, lines, idx, tok, 8, &mut visited)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -607,7 +798,10 @@ pub fn analyze_source(cfg: &Config, krate: &str, rel_path: &str, text: &str) -> 
             }
         }
 
-        // D3: seeding discipline.
+        // D3: seeding discipline. Entropy sources are banned outright; a
+        // `seed_from_u64` argument must *trace back* to a topology seed
+        // helper through local assignments (seed-flow taint), not merely
+        // avoid banned tokens.
         if has_word(code, "thread_rng") || has_word(code, "from_entropy") {
             push(
                 lineno,
@@ -617,12 +811,12 @@ pub fn analyze_source(cfg: &Config, krate: &str, rel_path: &str, text: &str) -> 
         } else if !test
             && has_word(code, "seed_from_u64")
             && !cfg.d3_allows(rel_path)
-            && !cfg.d3_seed_helpers.iter().any(|h| has_word(code, h))
+            && !d3_seed_flows_from_helper(cfg, &lines, idx)
         {
             push(
                 lineno,
                 Rule::D3,
-                "raw `seed_from_u64` outside the topology seed-derivation helpers".into(),
+                "`seed_from_u64` argument does not trace back to a topology seed helper".into(),
             );
         }
 
@@ -673,7 +867,9 @@ pub fn analyze_source(cfg: &Config, krate: &str, rel_path: &str, text: &str) -> 
         }
     }
 
-    // Pass 3: waiver suppression.
+    // Pass 3: waiver suppression. Unused waivers are NOT flagged here —
+    // the graph rules run at workspace level and may still consume them;
+    // `check_sources` audits leftovers as W0.
     for finding in raw {
         let waiver = report
             .waivers
@@ -682,18 +878,6 @@ pub fn analyze_source(cfg: &Config, krate: &str, rel_path: &str, text: &str) -> 
         match waiver {
             Some(w) => w.used = true,
             None => report.findings.push(finding),
-        }
-    }
-
-    // Pass 4: a waiver that suppressed nothing is itself a finding.
-    for w in &report.waivers {
-        if !w.used {
-            report.findings.push(Finding {
-                file: rel_path.to_string(),
-                line: w.line,
-                rule: Rule::W0,
-                message: format!("waiver for {} does not suppress any finding", w.rule),
-            });
         }
     }
 
@@ -765,10 +949,71 @@ impl Report {
         counts
     }
 
+    /// Per-rule findings/waivers table — appended to the CI job summary so
+    /// reviewers see which contracts are doing work on every run.
+    pub fn rules_markdown(&self) -> String {
+        let mut out =
+            String::from("## Findings by rule\n\n| rule | findings | waivers |\n|---|---|---|\n");
+        for r in Rule::ALL {
+            let f = self.findings.iter().filter(|x| x.rule == r).count();
+            let w = self.waivers.iter().filter(|x| x.rule == r).count();
+            out.push_str(&format!("| {r} | {f} | {w} |\n"));
+        }
+        out
+    }
+
+    /// Machine-readable findings for CI artifacts. Hand-rolled JSON — the
+    /// crate is deliberately dependency-free.
+    pub fn findings_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                json_escape(&f.message)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"crate\": \"{}\", \"file\": \"{}\", \"line\": {}, \"target_line\": {}, \"rule\": \"{}\", \"reason\": \"{}\", \"used\": {}}}",
+                json_escape(&w.krate),
+                json_escape(&w.file),
+                w.line,
+                w.target_line,
+                w.rule,
+                json_escape(&w.reason),
+                w.used
+            ));
+        }
+        out.push_str(if self.waivers.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
     /// Markdown table of waiver counts per crate, one column per waivable
     /// rule — rendered into `$GITHUB_STEP_SUMMARY` by the CI job.
     pub fn summary_markdown(&self) -> String {
-        let waivable = [Rule::D1, Rule::D2, Rule::D3, Rule::S1, Rule::P1];
+        let waivable = Rule::WAIVABLE;
         let counts = self.waiver_counts();
         let mut crates: Vec<&String> = counts.keys().map(|(k, _)| k).collect();
         crates.dedup();
@@ -800,15 +1045,19 @@ impl Report {
     }
 }
 
-/// Scan every product crate under `root` and aggregate findings.
-pub fn check_workspace(cfg: &Config, root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+/// One source file queued for analysis.
+pub struct SourceSpec {
+    pub krate: String,
+    pub rel_path: String,
+    pub text: String,
+}
+
+/// Load every `.rs` file of every product crate under `root`.
+pub fn load_sources(root: &Path) -> io::Result<Vec<SourceSpec>> {
+    let mut out = Vec::new();
     for (krate, src_dir) in workspace_crates(root)? {
         let mut files = Vec::new();
         collect_rs_files(&src_dir, &mut files)?;
-        let mut crate_has_unsafe = false;
-        // (rel_path, declares_deny, declares_forbid) for each crate root.
-        let mut roots: Vec<(String, bool, bool)> = Vec::new();
         for path in &files {
             let text = fs::read_to_string(path)?;
             let rel = path
@@ -816,36 +1065,70 @@ pub fn check_workspace(cfg: &Config, root: &Path) -> io::Result<Report> {
                 .unwrap_or(path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let file_report = analyze_source(cfg, &krate, &rel, &text);
-            crate_has_unsafe |= file_report.has_unsafe_code;
-            let within_src = path.strip_prefix(&src_dir).unwrap_or(path);
-            let is_root = within_src == Path::new("lib.rs")
-                || within_src == Path::new("main.rs")
-                || within_src.starts_with("bin");
-            if is_root {
-                roots.push((
-                    rel.clone(),
-                    file_report.declares_deny_unsafe_op,
-                    file_report.declares_forbid_unsafe,
-                ));
-            }
-            report.findings.extend(file_report.findings);
-            report.waivers.extend(file_report.waivers);
-            report.files_scanned += 1;
+            out.push(SourceSpec {
+                krate: krate.clone(),
+                rel_path: rel,
+                text,
+            });
         }
+    }
+    Ok(out)
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("/src/bin/")
+}
+
+/// Build the workspace concurrency model for a source set — what the
+/// `graph` subcommand renders as DOT.
+pub fn workspace_model(sources: &[SourceSpec]) -> graph::WorkspaceModel {
+    graph::WorkspaceModel::new(
+        sources
+            .iter()
+            .map(|s| model::FileModel::build(&s.rel_path, &s.text))
+            .collect(),
+    )
+}
+
+/// Run the full pipeline over an explicit source set: per-file line rules,
+/// crate-level S1 posture (for crates whose root is in the set), the
+/// workspace concurrency rules, and the unused-waiver audit.
+pub fn check_sources(cfg: &Config, sources: &[SourceSpec]) -> Report {
+    // krate -> (has_unsafe, crate roots as (rel, declares_deny, declares_forbid))
+    type Posture = BTreeMap<String, (bool, Vec<(String, bool, bool)>)>;
+    let mut report = Report::default();
+    let mut models = Vec::new();
+    let mut posture: Posture = BTreeMap::new();
+    for s in sources {
+        let fr = analyze_source(cfg, &s.krate, &s.rel_path, &s.text);
+        let entry = posture.entry(s.krate.clone()).or_default();
+        entry.0 |= fr.has_unsafe_code;
+        if is_crate_root(&s.rel_path) {
+            entry.1.push((
+                s.rel_path.clone(),
+                fr.declares_deny_unsafe_op,
+                fr.declares_forbid_unsafe,
+            ));
+        }
+        report.findings.extend(fr.findings);
+        report.waivers.extend(fr.waivers);
+        models.push(model::FileModel::build(&s.rel_path, &s.text));
+        report.files_scanned += 1;
+    }
+    for (krate, (has_unsafe, roots)) in &posture {
         for (rel, declares_deny, declares_forbid) in roots {
-            if crate_has_unsafe && !declares_deny {
+            if *has_unsafe && !declares_deny {
                 report.findings.push(Finding {
-                    file: rel,
+                    file: rel.clone(),
                     line: 1,
                     rule: Rule::S1,
                     message: format!(
                         "crate `{krate}` contains unsafe code but this root lacks #![deny(unsafe_op_in_unsafe_fn)]"
                     ),
                 });
-            } else if !crate_has_unsafe && !declares_forbid {
+            } else if !*has_unsafe && !declares_forbid {
                 report.findings.push(Finding {
-                    file: rel,
+                    file: rel.clone(),
                     line: 1,
                     rule: Rule::S1,
                     message: format!("crate `{krate}` root lacks #![forbid(unsafe_code)]"),
@@ -853,8 +1136,56 @@ pub fn check_workspace(cfg: &Config, root: &Path) -> io::Result<Report> {
             }
         }
     }
+
+    // Concurrency graph rules, suppressed against the workspace waiver set.
+    let ws = graph::WorkspaceModel::new(models);
+    for finding in rules_concurrency::check(&ws) {
+        let waiver = report.waivers.iter_mut().find(|w| {
+            w.rule == finding.rule && w.file == finding.file && w.target_line == finding.line
+        });
+        match waiver {
+            Some(w) => w.used = true,
+            None => report.findings.push(finding),
+        }
+    }
+
+    // W0 audit: a waiver that suppressed nothing anywhere is a finding.
+    let unused: Vec<Finding> = report
+        .waivers
+        .iter()
+        .filter(|w| !w.used)
+        .map(|w| Finding {
+            file: w.file.clone(),
+            line: w.line,
+            rule: Rule::W0,
+            message: format!("waiver for {} does not suppress any finding", w.rule),
+        })
+        .collect();
+    report.findings.extend(unused);
+
     report.findings.sort();
-    Ok(report)
+    report
+}
+
+/// Scan every product crate under `root` and aggregate findings.
+pub fn check_workspace(cfg: &Config, root: &Path) -> io::Result<Report> {
+    Ok(check_sources(cfg, &load_sources(root)?))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -952,9 +1283,19 @@ mod tests {
 
     #[test]
     fn unused_waiver_is_a_w0_finding() {
+        // The unused-waiver audit runs at workspace level (graph rules may
+        // consume a waiver the line rules did not), so exercise the full
+        // `check_sources` pipeline.
         let src = "// analysis: allow(D1, reason = \"nothing here\")\nfn f() {}\n";
-        let report = analyze("core", "crates/core/src/f.rs", src);
-        assert_eq!(report.findings.len(), 1);
+        let report = check_sources(
+            &Config::default(),
+            &[SourceSpec {
+                krate: "core".to_string(),
+                rel_path: "crates/core/src/f.rs".to_string(),
+                text: src.to_string(),
+            }],
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
         assert_eq!(report.findings[0].rule, Rule::W0);
     }
 
@@ -982,6 +1323,50 @@ mod tests {
         let report = analyze("runtime", "crates/runtime/src/f.rs", bad);
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].rule, Rule::D3);
+    }
+
+    #[test]
+    fn d3_taint_traces_through_local_assignments() {
+        let ok = concat!(
+            "fn f(topology: &Topology, id: u64) {\n",
+            "    let base = topology.node_seed(id);\n",
+            "    let mixed = base ^ 0x9E37;\n",
+            "    let rng = StdRng::seed_from_u64(mixed);\n",
+            "}\n",
+        );
+        let report = analyze("runtime", "crates/runtime/src/f.rs", ok);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn d3_taint_rejects_laundered_constants() {
+        // A chain of local assignments that never touches a seed helper
+        // must still fire — token matching alone would have passed this
+        // once the banned names were hidden behind a rename.
+        let bad = concat!(
+            "fn f(id: u64) {\n",
+            "    let node_value = id.wrapping_mul(31);\n",
+            "    let derived = node_value ^ 0x5EED;\n",
+            "    let rng = StdRng::seed_from_u64(derived);\n",
+            "}\n",
+        );
+        let report = analyze("runtime", "crates/runtime/src/f.rs", bad);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, Rule::D3);
+        assert_eq!(report.findings[0].line, 4);
+    }
+
+    #[test]
+    fn d3_taint_spans_multiline_argument_lists() {
+        let ok = concat!(
+            "fn f(topology: &Topology, id: u64) {\n",
+            "    let rng = StdRng::seed_from_u64(\n",
+            "        topology.churn_seed(id),\n",
+            "    );\n",
+            "}\n",
+        );
+        let report = analyze("runtime", "crates/runtime/src/f.rs", ok);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
     #[test]

@@ -2,22 +2,31 @@
 //!
 //! ```text
 //! cargo run -p approxiot-analysis -- check [--root PATH] [--summary PATH]
+//!                                          [--json PATH] [--format human|json]
+//! cargo run -p approxiot-analysis -- graph [--root PATH] [--out PATH]
 //! cargo run -p approxiot-analysis -- rules
 //! ```
 //!
 //! `check` exits 1 when any finding survives waiver suppression; `--summary`
-//! writes the per-crate waiver table as markdown (CI appends it to the job
-//! summary). `rules` prints the rule catalogue.
+//! writes the per-crate waiver table plus the per-rule findings table as
+//! markdown (CI appends it to the job summary), `--json` writes the
+//! machine-readable findings (CI uploads it as an artifact), and
+//! `--format json` prints that JSON to stdout instead of the human lines.
+//! `graph` emits the workspace lock-order and channel-topology graphs as
+//! one DOT digraph. `rules` prints the rule catalogue.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use approxiot_analysis::{check_workspace, Config, Rule};
+use approxiot_analysis::{check_sources, load_sources, workspace_model, Config, Rule};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: approxiot-analysis <check [--root PATH] [--summary PATH] | rules>");
+    eprintln!(
+        "usage: approxiot-analysis <check [--root PATH] [--summary PATH] [--json PATH] \
+         [--format human|json] | graph [--root PATH] [--out PATH] | rules>"
+    );
     ExitCode::from(2)
 }
 
@@ -31,6 +40,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("check") => run_check(&args[1..]),
+        Some("graph") => run_graph(&args[1..]),
         _ => usage(),
     }
 }
@@ -38,6 +48,8 @@ fn main() -> ExitCode {
 fn run_check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut summary: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut format = "human".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,20 +61,30 @@ fn run_check(args: &[String]) -> ExitCode {
                 Some(p) => summary = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--json" => match it.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("human" | "json")) => format = f.to_string(),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
 
-    let report = match check_workspace(&Config::default(), &root) {
-        Ok(report) => report,
+    let sources = match load_sources(&root) {
+        Ok(sources) => sources,
         Err(err) => {
             eprintln!("analysis: failed to scan {}: {err}", root.display());
             return ExitCode::from(2);
         }
     };
+    let report = check_sources(&Config::default(), &sources);
 
     if let Some(path) = summary {
-        if let Err(err) = std::fs::write(&path, report.summary_markdown()) {
+        let text = format!("{}\n{}", report.summary_markdown(), report.rules_markdown());
+        if let Err(err) = std::fs::write(&path, text) {
             eprintln!(
                 "analysis: failed to write summary {}: {err}",
                 path.display()
@@ -70,19 +92,67 @@ fn run_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-
-    for finding in &report.findings {
-        println!("{finding}");
+    if let Some(path) = json {
+        if let Err(err) = std::fs::write(&path, report.findings_json()) {
+            eprintln!("analysis: failed to write json {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
     }
-    println!(
-        "analysis: {} file(s) scanned, {} finding(s), {} waiver(s)",
-        report.files_scanned,
-        report.findings.len(),
-        report.waivers.len()
-    );
+
+    if format == "json" {
+        print!("{}", report.findings_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "analysis: {} file(s) scanned, {} finding(s), {} waiver(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.waivers.len()
+        );
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn run_graph(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let sources = match load_sources(&root) {
+        Ok(sources) => sources,
+        Err(err) => {
+            eprintln!("analysis: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let dot = workspace_model(&sources).to_dot();
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &dot) {
+                eprintln!("analysis: failed to write graph {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("analysis: wrote {}", path.display());
+        }
+        None => print!("{dot}"),
+    }
+    ExitCode::SUCCESS
 }

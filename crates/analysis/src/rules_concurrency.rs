@@ -1,0 +1,136 @@
+//! Graph rules over the workspace concurrency model.
+//!
+//! - **C1** — the lock-acquisition-order graph must be acyclic. A cycle is
+//!   a potential deadlock; the finding prints the full witness path (who
+//!   acquires what where, while holding what).
+//! - **C2** — channel topology: no send on a *bounded* channel while a
+//!   lock is held (the send can block on backpressure with the lock
+//!   pinned), and no send/recv ring among threads over bounded channels
+//!   (a full queue stalls every member of the ring).
+//! - **C3** — no lock held across any other blocking call: channel
+//!   send/recv, `thread::sleep`, `join`, rate-limiter `acquire`. Condvar
+//!   waits are exempt — they release the guard while parked.
+//!
+//! Findings anchor on real acquisition/send sites so the existing
+//! `// analysis: allow(...)` waiver machinery can target them.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{ChanEdge, LockEdge, WorkspaceModel};
+use crate::{Finding, Rule};
+
+pub fn check(ws: &WorkspaceModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // C1: lock-order cycles.
+    for cycle in ws.lock_cycles() {
+        let Some(first) = cycle.first() else { continue };
+        let ring: Vec<&str> = cycle
+            .iter()
+            .map(|e| e.from.as_str())
+            .chain(std::iter::once(first.from.as_str()))
+            .collect();
+        let witness: Vec<String> = cycle.iter().map(describe_lock_edge).collect();
+        findings.push(Finding {
+            file: first.file.clone(),
+            line: first.line,
+            rule: Rule::C1,
+            message: format!(
+                "potential deadlock: lock-order cycle {}; witness: {}",
+                ring.join(" -> "),
+                witness.join("; ")
+            ),
+        });
+    }
+
+    // C2a: bounded-channel send while holding a lock.
+    for ctx in ws.contexts() {
+        for op in &ctx.chan_ops {
+            if op.role != crate::model::Role::Send || op.bounded != Some(true) {
+                continue;
+            }
+            if let Some(guard) = ctx.guards_at(op.line).next() {
+                findings.push(Finding {
+                    file: ctx.file.clone(),
+                    line: op.line,
+                    rule: Rule::C2,
+                    message: format!(
+                        "send on bounded channel while holding lock `{}` in {} — backpressure can deadlock",
+                        guard.lock, ctx.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // C2b: send/recv rings over bounded channels.
+    for cycle in ws.channel_cycles() {
+        let Some(anchor) = cycle
+            .iter()
+            .min_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)))
+        else {
+            continue;
+        };
+        let ring: Vec<String> = cycle.iter().map(describe_chan_edge).collect();
+        findings.push(Finding {
+            file: anchor.file.clone(),
+            line: anchor.line,
+            rule: Rule::C2,
+            message: format!(
+                "bounded-channel send/recv cycle — a full queue can stall the ring: {}",
+                ring.join("; ")
+            ),
+        });
+    }
+
+    // C3: lock held across a blocking call. Skip lines that already carry
+    // a C2 finding — the bounded-send-under-lock case is the same defect
+    // reported with more context.
+    let c2_sites: BTreeSet<(String, usize)> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::C2)
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    for ctx in ws.contexts() {
+        for call in &ctx.blocking {
+            if c2_sites.contains(&(ctx.file.clone(), call.line)) {
+                continue;
+            }
+            if let Some(guard) = ctx.guards_at(call.line).next() {
+                findings.push(Finding {
+                    file: ctx.file.clone(),
+                    line: call.line,
+                    rule: Rule::C3,
+                    message: format!(
+                        "lock `{}` held across blocking {} in {} (acquired at line {})",
+                        guard.lock, call.what, ctx.name, guard.line
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+fn describe_lock_edge(e: &LockEdge) -> String {
+    match &e.via_call {
+        Some(callee) => format!(
+            "{} holds `{}` and calls {} which acquires `{}` at {}:{}",
+            e.ctx, e.from, callee, e.to, e.file, e.line
+        ),
+        None => format!(
+            "{} acquires `{}` at {}:{} while holding `{}`",
+            e.ctx, e.to, e.file, e.line, e.from
+        ),
+    }
+}
+
+fn describe_chan_edge(e: &ChanEdge) -> String {
+    format!(
+        "{} sends at {}:{} on a bounded channel received by {}",
+        e.from_ctx, e.file, e.line, e.to_ctx
+    )
+}

@@ -1,0 +1,36 @@
+//! Fixture: a lock-order cycle that only exists through a call edge.
+//! `enqueue` holds `queue` and calls `flush_stats`, which acquires
+//! `stats` — that is the `queue -> stats` edge, discovered by one level
+//! of call-summary propagation. `report` takes `stats` then `queue`
+//! directly, closing the cycle.
+
+use std::sync::Mutex;
+
+pub struct Broker {
+    queue: Mutex<Vec<u64>>,
+    stats: Mutex<u64>,
+}
+
+impl Broker {
+    pub fn enqueue(&self, item: u64) {
+        let mut queue = self.queue.lock();
+        queue.push(item);
+        self.flush_stats(queue.len());
+        drop(queue);
+    }
+
+    fn flush_stats(&self, depth: usize) {
+        let mut stats = self.stats.lock();
+        *stats = depth as u64;
+        drop(stats);
+    }
+
+    pub fn report(&self) -> (u64, usize) {
+        let stats = self.stats.lock();
+        let queue = self.queue.lock();
+        let out = (*stats, queue.len());
+        drop(queue);
+        drop(stats);
+        out
+    }
+}

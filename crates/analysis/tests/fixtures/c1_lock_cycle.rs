@@ -1,0 +1,30 @@
+//! Fixture: the seeded deadlock — two locks acquired in opposite order by
+//! two methods of the same type. `credit` holds `accounts` while taking
+//! `journal`; `audit` holds `journal` while taking `accounts`. C1 must
+//! report the cycle with a witness path naming both acquisition sites.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    pub fn credit(&self, amount: u64) {
+        let accounts = self.accounts.lock();
+        let mut journal = self.journal.lock();
+        journal.push(format!("credit {amount}"));
+        drop(journal);
+        drop(accounts);
+    }
+
+    pub fn audit(&self) -> u64 {
+        let journal = self.journal.lock();
+        let accounts = self.accounts.lock();
+        let total = accounts.iter().sum();
+        drop(accounts);
+        drop(journal);
+        total
+    }
+}

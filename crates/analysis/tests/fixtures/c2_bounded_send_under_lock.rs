@@ -1,0 +1,18 @@
+//! Fixture: send on a bounded channel while a lock guard is live. If the
+//! queue is full the send parks with the lock pinned, and the consumer
+//! that would drain the queue may need that same lock — C2.
+
+use crossbeam_channel::bounded;
+use std::sync::Mutex;
+
+pub struct Stage {
+    state: Mutex<u64>,
+}
+
+pub fn pump(stage: &Stage) {
+    let (tx, rx) = bounded::<u64>(4);
+    let guard = stage.state.lock();
+    tx.send(*guard).ok();
+    drop(guard);
+    drop(rx);
+}

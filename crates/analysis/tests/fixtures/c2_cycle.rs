@@ -1,0 +1,21 @@
+//! Fixture: a send/recv ring over two bounded channels. The main context
+//! sends requests and receives replies; the spawned worker receives
+//! requests and sends replies. With both queues bounded, a full queue on
+//! either side stalls the whole ring — C2.
+
+use crossbeam_channel::bounded;
+use std::thread;
+
+pub fn ring() {
+    let (req_tx, req_rx) = bounded::<u64>(1);
+    let (rep_tx, rep_rx) = bounded::<u64>(1);
+    thread::spawn(move || {
+        while let Ok(v) = req_rx.recv() {
+            rep_tx.send(v + 1).ok();
+        }
+    });
+    for v in 0..4u64 {
+        req_tx.send(v).ok();
+        let _ = rep_rx.recv();
+    }
+}

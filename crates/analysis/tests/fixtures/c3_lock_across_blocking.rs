@@ -1,0 +1,19 @@
+//! Fixture: a lock guard held across `thread::sleep`. Every other thread
+//! that needs the gauge stalls for the full sleep — C3.
+
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+pub struct Gauge {
+    value: Mutex<u64>,
+}
+
+impl Gauge {
+    pub fn publish(&self, sample: u64) {
+        let mut value = self.value.lock();
+        *value = sample;
+        thread::sleep(Duration::from_millis(5));
+        drop(value);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: the clean counterpart of the laundering case. The seed flows
+//! through the same number of local assignments, but the chain bottoms
+//! out at a topology seed helper — D3 stays quiet.
+
+pub fn shard_rng(topology: &Topology, node: u64, shard: u64) -> StdRng {
+    let base = topology.node_seed(node);
+    let lane = base.wrapping_add(shard);
+    let seed = lane.rotate_left(9);
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,10 @@
+//! Fixture: a seed laundered through local arithmetic that never touches
+//! a topology seed helper. Each hop is an innocent-looking assignment,
+//! but the taint chain bottoms out at a raw parameter — D3.
+
+pub fn lane_rng(lane: u64) -> StdRng {
+    let base = lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mixed = base ^ 0x5851_f42d_4c95_7f2d;
+    let seed = mixed.rotate_left(17);
+    StdRng::seed_from_u64(seed)
+}

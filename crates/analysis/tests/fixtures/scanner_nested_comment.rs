@@ -1,0 +1,14 @@
+//! Scanner regression: Rust block comments nest. Everything between the
+//! outermost `/*` and its matching `*/` is commentary, including text that
+//! looks like rule triggers.
+
+/* outer comment opens here
+   /* nested comment: Instant::now() and thread_rng() and .unwrap() */
+   still inside the OUTER comment after the inner one closed:
+   SystemTime::now(); from_entropy(); panic!("not real code")
+*/
+
+pub fn survives_nested_comments() -> u64 {
+    let depth = 2; /* inline /* nested */ still a comment */
+    depth
+}

@@ -1,0 +1,20 @@
+//! Scanner regression: raw strings with hash guards (`r#"..."#`,
+//! `r##"..."##`) are data, not code — even when they contain quote marks,
+//! comment markers, and rule-trigger text.
+
+pub fn banner() -> &'static str {
+    r##"says "Instant::now()" and .unwrap() and /* not a comment */ as text"##
+}
+
+pub fn inner_hash_quote() -> &'static str {
+    r#"a "quoted" thread_rng() inside a raw string"#
+}
+
+pub fn multiline_raw() -> String {
+    let template = r##"
+        line one: SystemTime::now()
+        line two: "# not the terminator
+        line three: from_entropy()
+    "##;
+    template.to_string()
+}

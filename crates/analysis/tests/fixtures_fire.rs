@@ -1,7 +1,12 @@
 //! Each known-bad fixture must trip exactly its own rule — no more, no
-//! less — when analyzed as non-test code of a P1-scoped crate.
+//! less — when analyzed as non-test code of a P1-scoped crate. Line rules
+//! run through `analyze_source`; the concurrency graph rules (C1/C2/C3)
+//! only exist at workspace level, so their fixtures go through
+//! `check_sources` as a one-file workspace.
 
-use approxiot_analysis::{analyze_source, Config, FileReport, Rule};
+use approxiot_analysis::{
+    analyze_source, check_sources, Config, FileReport, Report, Rule, SourceSpec,
+};
 
 /// Analyze a fixture as if it were runtime library code (no allowlist
 /// entry matches `bad.rs`, and the P1 rule applies to `runtime`).
@@ -27,6 +32,41 @@ fn assert_fires_exactly(text: &str, rule: Rule) {
         "expected only {rule} findings, got {:?}",
         report.findings
     );
+}
+
+/// Run the fixture through the workspace-level checker as a one-file
+/// workspace — the concurrency rules build their graphs there.
+fn check_single(text: &str) -> Report {
+    check_sources(
+        &Config::default(),
+        &[SourceSpec {
+            krate: "runtime".to_string(),
+            rel_path: "crates/runtime/src/bad.rs".to_string(),
+            text: text.to_string(),
+        }],
+    )
+}
+
+/// Assert the workspace-level check fires `rule` and nothing else, and
+/// return the matching findings' messages for closer inspection.
+fn assert_ws_fires_exactly(text: &str, rule: Rule) -> Vec<String> {
+    let report = check_single(text);
+    assert!(
+        report.findings.iter().any(|f| f.rule == rule),
+        "expected a {rule} finding, got {:?}",
+        report.findings
+    );
+    assert!(
+        report.findings.iter().all(|f| f.rule == rule),
+        "expected only {rule} findings, got {:?}",
+        report.findings
+    );
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.message.clone())
+        .collect()
 }
 
 #[test]
@@ -104,5 +144,98 @@ fn malformed_waiver_is_w0_and_does_not_suppress() {
 #[test]
 fn test_code_strings_and_comments_are_exempt() {
     let report = analyze(include_str!("fixtures/test_code_clean.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn nested_block_comments_hide_their_contents() {
+    let report = analyze(include_str!("fixtures/scanner_nested_comment.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn raw_strings_with_hash_guards_are_data() {
+    let report = analyze(include_str!("fixtures/scanner_raw_string_hashes.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn c1_fires_on_opposite_lock_order_with_a_witness_path() {
+    let messages = assert_ws_fires_exactly(include_str!("fixtures/c1_lock_cycle.rs"), Rule::C1);
+    assert_eq!(messages.len(), 1, "one cycle, one finding: {messages:?}");
+    let msg = &messages[0];
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    assert!(
+        msg.contains("Ledger::accounts") && msg.contains("Ledger::journal"),
+        "cycle names both struct-scoped locks: {msg}"
+    );
+    // The witness path walks the real acquisition sites: who takes what,
+    // where, while holding what.
+    assert!(msg.contains("witness:"), "{msg}");
+    assert!(
+        msg.contains("credit") && msg.contains("audit"),
+        "witness names both functions: {msg}"
+    );
+    assert!(
+        msg.contains("crates/runtime/src/bad.rs:"),
+        "witness anchors file:line acquisition sites: {msg}"
+    );
+}
+
+#[test]
+fn c1_sees_cycles_through_one_level_of_calls() {
+    let messages =
+        assert_ws_fires_exactly(include_str!("fixtures/c1_call_propagation.rs"), Rule::C1);
+    let msg = &messages[0];
+    assert!(
+        msg.contains("calls Broker::flush_stats which acquires"),
+        "the call-propagated edge is spelled out in the witness: {msg}"
+    );
+    assert!(
+        msg.contains("Broker::queue") && msg.contains("Broker::stats"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn c2_fires_on_bounded_send_while_holding_a_lock() {
+    let messages = assert_ws_fires_exactly(
+        include_str!("fixtures/c2_bounded_send_under_lock.rs"),
+        Rule::C2,
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("send on bounded channel while holding lock")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn c2_fires_on_a_bounded_send_recv_ring() {
+    let messages = assert_ws_fires_exactly(include_str!("fixtures/c2_cycle.rs"), Rule::C2);
+    assert_eq!(messages.len(), 1, "one ring, one finding: {messages:?}");
+    assert!(messages[0].contains("send/recv cycle"), "{}", messages[0]);
+}
+
+#[test]
+fn c3_fires_on_a_lock_held_across_sleep() {
+    let messages = assert_ws_fires_exactly(
+        include_str!("fixtures/c3_lock_across_blocking.rs"),
+        Rule::C3,
+    );
+    let msg = &messages[0];
+    assert!(msg.contains("held across blocking sleep"), "{msg}");
+    assert!(msg.contains("Gauge::value"), "{msg}");
+}
+
+#[test]
+fn d3_fires_on_a_laundered_seed_chain() {
+    assert_fires_exactly(include_str!("fixtures/d3_taint_launder.rs"), Rule::D3);
+}
+
+#[test]
+fn d3_accepts_a_seed_chain_rooted_at_a_topology_helper() {
+    let report = analyze(include_str!("fixtures/d3_taint_chain_clean.rs"));
     assert!(report.findings.is_empty(), "{:?}", report.findings);
 }

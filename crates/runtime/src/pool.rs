@@ -192,6 +192,7 @@ impl Worker {
             .spawn(move || {
                 while let Ok(job) = job_rx.recv() {
                     let out = state.run(&job);
+                    // analysis: allow(C2, reason = "capacity-1 request/reply protocol: the dispatcher sends one job per shard and collects before resubmitting, so neither queue can fill")
                     if result_tx.send(out).is_err() {
                         break; // pool dropped mid-collect (panic unwind)
                     }
