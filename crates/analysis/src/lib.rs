@@ -27,8 +27,8 @@
 //! pass ([`model`]) summarizes each function's lock acquisitions, channel
 //! endpoints, and blocking calls, a graph pass ([`graph`]) assembles the
 //! workspace lock-order and channel-topology graphs, and
-//! [`rules_concurrency`] walks them for cycles and lock-held-across-block
-//! hazards. The `graph` subcommand renders both graphs as DOT.
+//! the private `rules_concurrency` pass walks them for cycles and
+//! lock-held-across-block hazards. The `graph` subcommand renders both graphs as DOT.
 //!
 //! Exceptions are first-class, not silent: a trailing or immediately
 //! preceding comment of the form

@@ -55,7 +55,7 @@ fn every_waiver_carries_a_reason_and_is_used() {
 /// unused-waiver audit (W0) keeps it from going stale upward.
 #[test]
 fn waiver_count_is_pinned() {
-    const EXPECTED_WAIVERS: usize = 26;
+    const EXPECTED_WAIVERS: usize = 33;
     let report = check_workspace(&Config::default(), repo_root()).expect("scan workspace");
     assert_eq!(
         report.waivers.len(),

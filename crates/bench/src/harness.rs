@@ -4,9 +4,12 @@
 //! One declarative matrix crosses every axis the paper's accuracy-vs-cost
 //! trade-off has: topology **shape** (the paper's 8→4→2 tree, a deeper
 //! 4-hop variant, a fully sharded variant) × sampling **strategy**
-//! (WHS / SRS / native) × §III-E edge **workers** {1, 2, 4} ×
-//! [`ImpairmentSpec`] **loss** {0, 1%, 5%, 10%} × end-to-end **fraction**
-//! {10%, 20%}. Every scenario runs the same fixed-seed workload through
+//! (WHS / SRS / native / mergeable sketch strata) × §III-E edge
+//! **workers** {1, 2, 4} × [`ImpairmentSpec`] **loss** {0, 1%, 5%, 10%}
+//! × end-to-end **fraction** {10%, 20%}. Sketch scenarios additionally
+//! sweep the [`SketchConfig`] fidelity axis (compact / default /
+//! high-fidelity) on the clean trees — the driver rejects impairment and
+//! churn on the summary path, so those axes stay item-strategy-only. Every scenario runs the same fixed-seed workload through
 //! the [`Driver`] front door on the deterministic virtual-time engine and
 //! is measured against an **exact native reference run** of the same
 //! shape (`Strategy::Native`, fraction 1.0, no impairment), producing one
@@ -27,7 +30,7 @@
 //!   meaningless — the fresh numbers still land in the CI artifact).
 
 use crate::json::Json;
-use approxiot_core::accuracy_loss;
+use approxiot_core::{accuracy_loss, SketchConfig};
 use approxiot_net::ImpairmentSpec;
 use approxiot_runtime::{
     mean_window_error, window_estimates, ChurnSchedule, Driver, EngineKind, LayerSpec, QuerySet,
@@ -41,8 +44,10 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Version of the `BENCH_harness.json` schema this build reads/writes.
-/// v2 added the churn scenario rows and their five exact-integer columns.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v2 added the churn scenario rows and their five exact-integer columns;
+/// v3 added the sketch-strategy rows, whose ids carry a `/k{K}h{H}`
+/// [`SketchConfig`] suffix.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Every shape feeds this many sources, so one fixed-seed dataset serves
 /// the whole matrix.
@@ -136,7 +141,8 @@ pub struct Scenario {
 impl Scenario {
     /// The stable row id baselines are matched by, e.g.
     /// `paper/approxiot/w2/loss5/f20` — churn rows append their preset
-    /// slug (`.../f20/churn-rolling-reboot`), so pre-churn ids are
+    /// slug (`.../f20/churn-rolling-reboot`) and sketch rows their
+    /// [`SketchConfig`] (`.../f100/k256h64`), so pre-existing ids are
     /// untouched.
     pub fn id(&self) -> String {
         let base = format!(
@@ -147,6 +153,12 @@ impl Scenario {
             self.level.loss_pct(),
             (self.fraction * 100.0).round() as u32
         );
+        let base = match self.strategy {
+            Strategy::Sketch(config) => {
+                format!("{base}/k{}h{}", config.kll_k, config.heavy_capacity)
+            }
+            _ => base,
+        };
         match self.churn {
             Some(preset) => format!("{base}/churn-{}", preset.slug()),
             None => base,
@@ -189,7 +201,8 @@ impl Scenario {
 
 /// The default matrix: the full ROADMAP loss × fraction × workers sweep
 /// on the paper tree, the SRS/native strategy baselines, the shape
-/// sweep, and the fleet-churn preset sweep — 38 scenarios.
+/// sweep, the fleet-churn preset sweep, and the sketch-strata fidelity
+/// sweep — 43 scenarios.
 pub fn default_matrix() -> Vec<Scenario> {
     let levels = scenarios::matrix_levels();
     let mut matrix = Vec::new();
@@ -268,6 +281,33 @@ pub fn default_matrix() -> Vec<Scenario> {
             level: levels[0],
             fraction: 0.2,
             churn: Some(churn),
+        });
+    }
+    // 5. Mergeable sketch strata on the clean trees (the driver rejects
+    //    impairment and churn on the summary path, and the fraction axis
+    //    does not apply — summaries absorb everything, so rows carry the
+    //    f100 slug like native). The default config runs on every shape;
+    //    the paper tree additionally spans the fidelity axis with a
+    //    compact and a high-fidelity config, bracketing the error/bytes
+    //    trade-off the README table quotes.
+    for shape in [Shape::Paper, Shape::Deep4, Shape::Sharded] {
+        matrix.push(Scenario {
+            shape,
+            strategy: Strategy::sketch(),
+            workers: if shape == Shape::Sharded { 4 } else { 1 },
+            level: levels[0],
+            fraction: 1.0,
+            churn: None,
+        });
+    }
+    for config in [SketchConfig::new(64, 8), SketchConfig::new(1024, 64)] {
+        matrix.push(Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::Sketch(config),
+            workers: 1,
+            level: levels[0],
+            fraction: 1.0,
+            churn: None,
         });
     }
     matrix
@@ -1006,7 +1046,74 @@ mod tests {
             assert!(ids.contains(&id), "matrix is missing {id}");
         }
         assert!(ids.contains(&"paper/approxiot/w1/loss0/f20".to_string()));
-        assert_eq!(matrix.len(), 38);
+        // The sketch fidelity sweep: the default config on every shape,
+        // compact and high-fidelity brackets on the paper tree, all on
+        // the clean trees (the driver rejects impaired/churned sketch).
+        for id in [
+            "paper/sketch/w1/loss0/f100/k256h64",
+            "deep4/sketch/w1/loss0/f100/k256h64",
+            "sharded/sketch/w4/loss0/f100/k256h64",
+            "paper/sketch/w1/loss0/f100/k64h8",
+            "paper/sketch/w1/loss0/f100/k1024h64",
+        ] {
+            assert!(ids.contains(&id.to_string()), "matrix is missing {id}");
+        }
+        assert!(
+            ids.iter()
+                .all(|id| !id.contains("/sketch/") || id.contains("/loss0/")),
+            "sketch rows must stay unimpaired"
+        );
+        assert_eq!(matrix.len(), 43);
+    }
+
+    /// The PR-10 acceptance gate: at the full workload size, the default
+    /// sketch scenario ships strictly fewer total wire bytes than the
+    /// paper tree's 10%-fraction WHS row while answering SUM at least as
+    /// accurately (moments are exact sums, so its error is float noise).
+    #[test]
+    fn sketch_row_beats_the_ten_percent_whs_row_on_bytes_at_equal_accuracy() {
+        let opts = HarnessOptions::default();
+        let levels = scenarios::matrix_levels();
+        let whs = Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::whs(),
+            workers: 1,
+            level: levels[0],
+            fraction: 0.1,
+            churn: None,
+        };
+        let sketch = Scenario {
+            shape: Shape::Paper,
+            strategy: Strategy::sketch(),
+            workers: 1,
+            level: levels[0],
+            fraction: 1.0,
+            churn: None,
+        };
+        let report = run_matrix(&[whs, sketch], &opts);
+        let total = |row: &ScenarioRow| row.hop_bytes.iter().sum::<u64>();
+        let whs_row = &report.rows[0];
+        let sketch_row = &report.rows[1];
+        assert!(
+            total(sketch_row) < total(whs_row),
+            "sketch must compress the wire: {} vs WHS {}",
+            total(sketch_row),
+            total(whs_row)
+        );
+        assert!(
+            sketch_row.mean_error <= whs_row.mean_error,
+            "sketch SUM error {} must not exceed WHS f10's {}",
+            sketch_row.mean_error,
+            whs_row.mean_error
+        );
+        assert!(
+            sketch_row.total_error <= whs_row.total_error,
+            "sketch total error {} must not exceed WHS f10's {}",
+            sketch_row.total_error,
+            whs_row.total_error
+        );
+        assert_eq!(sketch_row.mean_completeness, 1.0);
+        assert_eq!(sketch_row.dropped_items, 0);
     }
 
     #[test]

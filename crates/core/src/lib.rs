@@ -126,6 +126,7 @@ pub mod pool;
 pub mod quantile;
 pub mod sampling;
 pub mod stats;
+pub mod summary;
 pub mod weight;
 
 pub use batch::{distinct_strata_into, Batch, StrataIndex};
@@ -142,4 +143,8 @@ pub use sampling::sharded::{
 };
 pub use sampling::srs::{InvalidFractionError, SrsSampler};
 pub use sampling::whs::{whs_sample, WhsOutput, WhsSampler, WhsScratch};
+pub use summary::{
+    stratum_sketch_seed, HeavyEntry, KllSketch, Moments, SketchConfig, SpaceSaving,
+    StratumSummaries, StratumSummary,
+};
 pub use weight::{WeightMap, WeightStore};

@@ -39,14 +39,45 @@
 //! the same items; the codecs reject each other's frames with named
 //! errors, and [`decode_batch_any_into`] dispatches on the version byte
 //! when either may arrive.
+//!
+//! **v3 — per-stratum summaries** (the sketch strategy's wire format):
+//! no items at all — the body is a sequence of windows, each holding
+//! length-prefixed per-stratum summary sections (exact moments + the
+//! KLL-style sketch entries) plus the shared heavy-hitter counters:
+//!
+//! ```text
+//! magic       u16  = 0xA107
+//! version     u8   = 3
+//! kll_k       u32  \  SketchConfig — lets a decoder rebuild summaries
+//! heavy_cap   u32  /  without out-of-band state
+//! seed        u64  topology-wide sketch seed
+//! windows     u32  count, then per window:
+//!   window    u64  window index
+//!   strata    u32  count, then per stratum a length-prefixed section:
+//!     len     u32  section bytes after this prefix
+//!     stratum u32
+//!     moments count u64, sum f64, sum_sq f64
+//!     sketch  level u32, observed u64, entries u32 × (hash u64, value f64)
+//!   heavy     u32  count, then per entry: stratum u32, weight f64, err f64
+//! ```
+//!
+//! A v3 frame's size is independent of the item count — that is the
+//! whole point: inner hops of a sketch topology ship `O(strata · k)`
+//! bytes per window however fast the sources run. The summary decoder
+//! rejects v1/v2 item frames with named errors and vice versa.
 
 use crate::error::MqError;
-use approxiot_core::{Batch, ColumnarBatch, StratumId, StreamItem, WeightMap};
+use approxiot_core::summary::stratum_sketch_seed;
+use approxiot_core::{
+    Batch, ColumnarBatch, HeavyEntry, KllSketch, Moments, SketchConfig, SpaceSaving, StratumId,
+    StratumSummaries, StratumSummary, StreamItem, WeightMap,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u16 = 0xA107;
 const VERSION: u8 = 1;
 const VERSION_COLUMNAR: u8 = 2;
+const VERSION_SUMMARY: u8 = 3;
 
 /// Bytes per encoded weight entry.
 const WEIGHT_ENTRY: usize = 4 + 8;
@@ -147,6 +178,11 @@ pub fn decode_batch_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqError>
         return Err(MqError::Codec(
             "columnar v2 frame in the v1 item decoder (use decode_columns or decode_batch_any)"
                 .into(),
+        ));
+    }
+    if version == VERSION_SUMMARY {
+        return Err(MqError::Codec(
+            "summary v3 frame in the v1 item decoder (use decode_summaries)".into(),
         ));
     }
     if version != VERSION {
@@ -458,6 +494,11 @@ fn decode_columns_inner(frame: &[u8], batch: &mut ColumnarBatch) -> Result<(), M
             "AoS v1 frame in the columnar decoder (use decode_batch or decode_batch_any)".into(),
         ));
     }
+    if version == VERSION_SUMMARY {
+        return Err(MqError::Codec(
+            "summary v3 frame in the columnar decoder (use decode_summaries)".into(),
+        ));
+    }
     if version != VERSION_COLUMNAR {
         return Err(MqError::Codec(format!("unsupported version {version}")));
     }
@@ -521,7 +562,8 @@ pub fn decode_batch_any_into(frame: &[u8], batch: &mut Batch) -> Result<(), MqEr
             }
             result
         }
-        // v1, unknown versions, and header errors all get the v1
+        // v1, v3 (rejected by name — a summary frame has no item
+        // payload), unknown versions, and header errors all get the v1
         // decoder's clearing behaviour and named errors.
         _ => decode_batch_into(frame, batch),
     }
@@ -554,6 +596,291 @@ fn decode_v2_into_batch(frame: &[u8], batch: &mut Batch) -> Result<(), MqError> 
             u64::read_le(&seqs[i * u64::SIZE..]),
             u64::read_le(&source_ts[i * u64::SIZE..]),
         ));
+    }
+    Ok(())
+}
+
+/// Bytes per encoded heavy-hitter counter.
+const HEAVY_ENTRY: usize = 4 + 8 + 8;
+/// Bytes per encoded sketch entry.
+const SKETCH_ENTRY: usize = 8 + 8;
+/// Fixed bytes of one per-stratum section body: stratum id, the three
+/// moment fields, and the sketch header (level, observed, entry count).
+const SECTION_FIXED: usize = 4 + (8 + 8 + 8) + (4 + 8 + 4);
+/// Fixed bytes of the v3 frame header past the shared magic/version:
+/// config (kll_k, heavy_capacity), seed, window count.
+const SUMMARY_FIXED: usize = 4 + 4 + 8 + 4;
+/// Fixed bytes of one window: window index, stratum count, heavy count.
+const WINDOW_FIXED: usize = 8 + 4 + 4;
+
+/// The encoded size of one per-stratum section body (past its `u32`
+/// length prefix).
+fn summary_section_len(section: &StratumSummary) -> usize {
+    SECTION_FIXED + section.sketch.len() * SKETCH_ENTRY
+}
+
+/// Returns the exact encoded size of a set of window summaries as a v3
+/// frame, without encoding it — how the engines bill `HopBytes` for a
+/// sketch hop. Note there is no per-item term anywhere: the size depends
+/// only on strata counts and sketch/heavy occupancy.
+pub fn encoded_len_summaries(windows: &[(u64, StratumSummaries)]) -> usize {
+    let mut len = HEADER + SUMMARY_FIXED;
+    for (_, summaries) in windows {
+        len += WINDOW_FIXED;
+        for section in summaries.strata().values() {
+            len += 4 + summary_section_len(section);
+        }
+        len += summaries.heavy().entries().len() * HEAVY_ENTRY;
+    }
+    len
+}
+
+/// Encodes per-window summaries into a v3 wire frame. `config` and
+/// `seed` are frame-wide (they are topology-wide in practice); every
+/// window's summaries must carry the same pair.
+///
+/// # Examples
+///
+/// ```
+/// use approxiot_core::{SketchConfig, StratumId, StratumSummaries};
+/// use approxiot_mq::codec::{decode_summaries, encode_summaries};
+///
+/// let config = SketchConfig::default();
+/// let mut summaries = StratumSummaries::new(config, 42);
+/// summaries.observe(StratumId::new(0), 1, 2.5);
+/// let frame = encode_summaries(config, 42, &[(0, summaries.clone())]);
+/// assert_eq!(decode_summaries(&frame)?, vec![(0, summaries)]);
+/// # Ok::<(), approxiot_mq::MqError>(())
+/// ```
+pub fn encode_summaries(
+    config: SketchConfig,
+    seed: u64,
+    windows: &[(u64, StratumSummaries)],
+) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len_summaries(windows));
+    encode_summaries_into(config, seed, windows, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes per-window summaries into a caller-owned buffer, replacing
+/// its contents — the steady-state entry point, zero allocations per
+/// frame once the buffer has warmed up.
+pub fn encode_summaries_into(
+    config: SketchConfig,
+    seed: u64,
+    windows: &[(u64, StratumSummaries)],
+    buf: &mut BytesMut,
+) {
+    buf.clear();
+    buf.reserve(encoded_len_summaries(windows));
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION_SUMMARY);
+    buf.put_u32_le(config.kll_k);
+    buf.put_u32_le(config.heavy_capacity);
+    buf.put_u64_le(seed);
+    buf.put_u32_le(windows.len() as u32);
+    for (window, summaries) in windows {
+        debug_assert_eq!(summaries.config(), config, "config is frame-wide");
+        debug_assert_eq!(summaries.seed(), seed, "seed is frame-wide");
+        buf.put_u64_le(*window);
+        buf.put_u32_le(summaries.strata().len() as u32);
+        for (stratum, section) in summaries.strata() {
+            buf.put_u32_le(summary_section_len(section) as u32);
+            buf.put_u32_le(stratum.index());
+            buf.put_u64_le(section.moments.count);
+            buf.put_f64_le(section.moments.sum);
+            buf.put_f64_le(section.moments.sum_sq);
+            buf.put_u32_le(section.sketch.level());
+            buf.put_u64_le(section.sketch.observed());
+            buf.put_u32_le(section.sketch.len() as u32);
+            for &(hash, value) in section.sketch.entries() {
+                buf.put_u64_le(hash);
+                buf.put_f64_le(value);
+            }
+        }
+        buf.put_u32_le(summaries.heavy().entries().len() as u32);
+        for (stratum, entry) in summaries.heavy().entries() {
+            buf.put_u32_le(stratum.index());
+            buf.put_f64_le(entry.weight);
+            buf.put_f64_le(entry.err);
+        }
+    }
+}
+
+/// Decodes a v3 wire frame back into its per-window summaries.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, wrong or
+/// unsupported version, or truncated/corrupted frame.
+pub fn decode_summaries(frame: &[u8]) -> Result<Vec<(u64, StratumSummaries)>, MqError> {
+    let mut windows = Vec::new();
+    decode_summaries_into(frame, &mut windows)?;
+    Ok(windows)
+}
+
+/// Decodes a v3 wire frame into a caller-owned vector, replacing its
+/// contents. On error the vector is left cleared — never partially
+/// decoded.
+///
+/// A **v1** or **v2** item frame is rejected with a named error; use
+/// [`frame_version`] to sniff when item and summary frames may both
+/// arrive on one channel.
+///
+/// # Errors
+///
+/// Returns [`MqError::Codec`] on a bad magic number, wrong or
+/// unsupported version, truncated/corrupted frame, non-finite summary
+/// statistics or trailing bytes; never panics, whatever the input bytes.
+pub fn decode_summaries_into(
+    frame: &[u8],
+    out: &mut Vec<(u64, StratumSummaries)>,
+) -> Result<(), MqError> {
+    let result = decode_summaries_inner(frame, out);
+    if result.is_err() {
+        out.clear();
+    }
+    result
+}
+
+fn decode_summaries_inner(
+    frame: &[u8],
+    out: &mut Vec<(u64, StratumSummaries)>,
+) -> Result<(), MqError> {
+    out.clear();
+    let mut buf = frame;
+    if buf.remaining() < HEADER {
+        return Err(MqError::Codec("frame shorter than header".into()));
+    }
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(MqError::Codec(format!("bad magic 0x{magic:04X}")));
+    }
+    let version = buf.get_u8();
+    if version == VERSION {
+        return Err(MqError::Codec(
+            "AoS v1 frame in the summary decoder (use decode_batch or decode_batch_any)".into(),
+        ));
+    }
+    if version == VERSION_COLUMNAR {
+        return Err(MqError::Codec(
+            "columnar v2 frame in the summary decoder (use decode_columns or decode_batch_any)"
+                .into(),
+        ));
+    }
+    if version != VERSION_SUMMARY {
+        return Err(MqError::Codec(format!("unsupported version {version}")));
+    }
+    if buf.remaining() < SUMMARY_FIXED {
+        return Err(MqError::Codec("truncated summary header".into()));
+    }
+    let kll_k = buf.get_u32_le();
+    let heavy_capacity = buf.get_u32_le();
+    let config = SketchConfig::new(kll_k, heavy_capacity);
+    let seed = buf.get_u64_le();
+    let window_count = buf.get_u32_le() as usize;
+    for _ in 0..window_count {
+        if buf.remaining() < 8 + 4 {
+            return Err(MqError::Codec("truncated window header".into()));
+        }
+        let window = buf.get_u64_le();
+        let strata_count = buf.get_u32_le() as usize;
+        let mut strata = Vec::new();
+        for _ in 0..strata_count {
+            if buf.remaining() < 4 {
+                return Err(MqError::Codec("truncated section length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(MqError::Codec("truncated stratum section".into()));
+            }
+            let (mut section, tail) = buf.split_at(len);
+            buf = tail;
+            if section.remaining() < SECTION_FIXED {
+                return Err(MqError::Codec(
+                    "stratum section shorter than its fixed part".into(),
+                ));
+            }
+            let stratum = StratumId::new(section.get_u32_le());
+            let count = section.get_u64_le();
+            let sum = section.get_f64_le();
+            let sum_sq = section.get_f64_le();
+            if !sum.is_finite() || !sum_sq.is_finite() {
+                return Err(MqError::Codec(format!("non-finite moments for {stratum}")));
+            }
+            let level = section.get_u32_le();
+            let observed = section.get_u64_le();
+            let entry_count = section.get_u32_le() as usize;
+            let nbytes = entry_count
+                .checked_mul(SKETCH_ENTRY)
+                .ok_or_else(|| MqError::Codec("sketch entry count overflows".into()))?;
+            if section.remaining() != nbytes {
+                return Err(MqError::Codec(format!(
+                    "stratum section length mismatch: {} bytes for {entry_count} sketch entries",
+                    section.remaining()
+                )));
+            }
+            let mut entries = Vec::with_capacity(entry_count);
+            for _ in 0..entry_count {
+                let hash = section.get_u64_le();
+                let value = section.get_f64_le();
+                entries.push((hash, value));
+            }
+            strata.push((
+                stratum,
+                StratumSummary {
+                    moments: Moments { count, sum, sum_sq },
+                    sketch: KllSketch::from_parts(
+                        kll_k,
+                        stratum_sketch_seed(seed, stratum),
+                        level,
+                        observed,
+                        entries,
+                    ),
+                },
+            ));
+        }
+        if buf.remaining() < 4 {
+            return Err(MqError::Codec("truncated heavy count".into()));
+        }
+        let heavy_count = buf.get_u32_le() as usize;
+        let nbytes = heavy_count
+            .checked_mul(HEAVY_ENTRY)
+            .ok_or_else(|| MqError::Codec("heavy entry count overflows".into()))?;
+        if buf.remaining() < nbytes {
+            return Err(MqError::Codec("truncated heavy entries".into()));
+        }
+        let mut heavy = Vec::with_capacity(heavy_count);
+        for _ in 0..heavy_count {
+            let stratum = StratumId::new(buf.get_u32_le());
+            let weight = buf.get_f64_le();
+            let err = buf.get_f64_le();
+            // Reject counters the query path could not build estimates
+            // from (Estimate::new refuses NaN values and variances).
+            // Negative values are legitimate: a stratum of negative item
+            // values carries a negative mass and floor.
+            if !weight.is_finite() || !err.is_finite() {
+                return Err(MqError::Codec(format!(
+                    "invalid heavy counter ({weight}, {err}) for {stratum}"
+                )));
+            }
+            heavy.push((stratum, HeavyEntry { weight, err }));
+        }
+        out.push((
+            window,
+            StratumSummaries::from_parts(
+                config,
+                seed,
+                strata,
+                SpaceSaving::from_parts(heavy_capacity, heavy),
+            ),
+        ));
+    }
+    if buf.remaining() != 0 {
+        return Err(MqError::Codec(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )));
     }
     Ok(())
 }
@@ -858,5 +1185,183 @@ mod tests {
             encoded_len_columns(&ColumnarBatch::from_batch(&batch)),
             encoded_len_v2(&batch)
         );
+    }
+
+    const SAMPLE_CONFIG: SketchConfig = SketchConfig::new(16, 4);
+    const SAMPLE_SEED: u64 = 0xFEED;
+
+    fn sample_summaries() -> Vec<(u64, StratumSummaries)> {
+        let mut w0 = StratumSummaries::new(SAMPLE_CONFIG, SAMPLE_SEED);
+        for i in 0..120u64 {
+            w0.observe(StratumId::new((i % 3) as u32), i, (i % 17) as f64);
+        }
+        let mut w1 = StratumSummaries::new(SAMPLE_CONFIG, SAMPLE_SEED);
+        for i in 0..40u64 {
+            w1.observe(StratumId::new(7), 1000 + i, -1.5 * i as f64);
+        }
+        vec![(0, w0), (3, w1)]
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_summaries() {
+        let windows = sample_summaries();
+        let frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &windows);
+        assert_eq!(frame.len(), encoded_len_summaries(&windows));
+        assert_eq!(frame[2], VERSION_SUMMARY);
+        assert_eq!(decode_summaries(&frame).expect("decodes"), windows);
+    }
+
+    #[test]
+    fn v3_roundtrip_empty_frame() {
+        let frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &[]);
+        assert_eq!(frame.len(), HEADER + SUMMARY_FIXED);
+        assert_eq!(decode_summaries(&frame).expect("decodes"), vec![]);
+    }
+
+    #[test]
+    fn v3_roundtrip_counts_only_config() {
+        let config = SketchConfig::counts_only();
+        let mut summaries = StratumSummaries::new(config, 1);
+        for i in 0..50u64 {
+            summaries.observe(StratumId::new(0), i, 2.0);
+        }
+        let windows = vec![(9, summaries)];
+        let frame = encode_summaries(config, 1, &windows);
+        let decoded = decode_summaries(&frame).expect("decodes");
+        assert_eq!(decoded, windows);
+        assert_eq!(decoded[0].1.count(), 50);
+    }
+
+    #[test]
+    fn v3_rejects_truncation_at_every_length() {
+        let frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &sample_summaries());
+        for len in 0..frame.len() {
+            assert!(
+                decode_summaries(&frame[..len]).is_err(),
+                "truncated frame of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_rejects_trailing_bytes() {
+        let mut frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &sample_summaries()).to_vec();
+        frame.push(0);
+        let err = decode_summaries(&frame).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn v3_rejects_invalid_heavy_counter() {
+        // Hand-craft a frame with a NaN heavy weight: one window, no
+        // strata, one heavy entry.
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION_SUMMARY);
+        buf.put_u32_le(16);
+        buf.put_u32_le(4);
+        buf.put_u64_le(0);
+        buf.put_u32_le(1); // one window
+        buf.put_u64_le(0); // window index
+        buf.put_u32_le(0); // no strata
+        buf.put_u32_le(1); // one heavy entry
+        buf.put_u32_le(5);
+        buf.put_f64_le(f64::NAN);
+        buf.put_f64_le(0.0);
+        let err = decode_summaries(&buf).unwrap_err();
+        assert!(err.to_string().contains("invalid heavy counter"));
+    }
+
+    #[test]
+    fn v3_rejects_section_length_mismatch() {
+        // A section that claims more sketch entries than its length holds.
+        let mut frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &sample_summaries()).to_vec();
+        // The first section's sketch entry count sits after the length
+        // prefix (4) + stratum (4) + moments (24) + level (4) + observed
+        // (8); window header starts after HEADER + SUMMARY_FIXED.
+        let entry_count_at = HEADER + SUMMARY_FIXED + 8 + 4 + 4 + 4 + 24 + 4 + 8;
+        frame[entry_count_at] = frame[entry_count_at].wrapping_add(1);
+        let err = decode_summaries(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("section length mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn v3_decoder_rejects_v1_and_v2_frames_with_named_errors() {
+        let err = decode_summaries(&encode_batch(&sample_batch())).unwrap_err();
+        assert!(
+            err.to_string().contains("AoS v1 frame"),
+            "unexpected error: {err}"
+        );
+        let frame = encode_columns(&ColumnarBatch::from_batch(&sample_batch()));
+        let err = decode_summaries(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("columnar v2 frame"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn item_decoders_reject_v3_frame_with_named_errors() {
+        let frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &sample_summaries());
+        let err = decode_batch(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("summary v3 frame"),
+            "unexpected error: {err}"
+        );
+        let err = decode_columns(&frame).unwrap_err();
+        assert!(
+            err.to_string().contains("summary v3 frame"),
+            "unexpected error: {err}"
+        );
+        let mut out = Batch::new();
+        let err = decode_batch_any_into(&frame, &mut out).unwrap_err();
+        assert!(
+            err.to_string().contains("summary v3 frame"),
+            "unexpected error: {err}"
+        );
+        assert!(out.is_empty(), "failed decode leaves the batch cleared");
+    }
+
+    #[test]
+    fn v3_decode_into_clears_stale_contents_on_error() {
+        let mut stale = sample_summaries();
+        let err = decode_summaries_into(&[0xFF, 0xFF, 3], &mut stale).unwrap_err();
+        assert!(matches!(err, MqError::Codec(_)));
+        assert!(
+            stale.is_empty(),
+            "failed decode must not leave stale windows"
+        );
+    }
+
+    #[test]
+    fn frame_version_sniffs_v3() {
+        let frame = encode_summaries(SAMPLE_CONFIG, SAMPLE_SEED, &sample_summaries());
+        assert_eq!(frame_version(&frame).expect("v3"), VERSION_SUMMARY);
+    }
+
+    #[test]
+    fn v3_size_is_independent_of_item_count() {
+        let mut small = StratumSummaries::new(SAMPLE_CONFIG, SAMPLE_SEED);
+        let mut large = StratumSummaries::new(SAMPLE_CONFIG, SAMPLE_SEED);
+        for i in 0..200u64 {
+            small.observe(StratumId::new((i % 3) as u32), i, (i % 13) as f64);
+        }
+        for i in 0..20_000u64 {
+            large.observe(StratumId::new((i % 3) as u32), i, (i % 13) as f64);
+        }
+        let small_len = encoded_len_summaries(&[(0, small)]);
+        let large_len = encoded_len_summaries(&[(0, large)]);
+        // The frame is bounded by strata count and configured capacities
+        // alone: 100× the items cannot push it past the cap.
+        let cap = HEADER
+            + SUMMARY_FIXED
+            + WINDOW_FIXED
+            + 3 * (4 + SECTION_FIXED + 16 * SKETCH_ENTRY)
+            + 4 * HEAVY_ENTRY;
+        assert!(small_len <= cap, "{small_len} > {cap}");
+        assert!(large_len <= cap, "{large_len} > {cap}");
     }
 }

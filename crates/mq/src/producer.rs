@@ -1,10 +1,12 @@
 //! Producers: typed convenience handles for publishing batches.
 
-use crate::codec::{encode_batch_into, encode_batch_v2_into, encode_columns_into};
+use crate::codec::{
+    encode_batch_into, encode_batch_v2_into, encode_columns_into, encode_summaries_into,
+};
 use crate::error::MqError;
 use crate::record::ProducerRecord;
 use crate::topic::Topic;
-use approxiot_core::{Batch, ColumnarBatch};
+use approxiot_core::{Batch, ColumnarBatch, SketchConfig, StratumSummaries};
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -186,6 +188,45 @@ impl BatchProducer {
         )
     }
 
+    /// Publishes per-window stratum summaries to a specific partition as
+    /// a **v3** summary frame — one frame per sketch node per interval,
+    /// with the same scratch reuse and byte metering as the item senders.
+    /// Items-sent counts the summaries' exact observed item counts, so
+    /// the meter stays comparable across strategies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MqError::PartitionOutOfRange`] or [`MqError::Closed`].
+    pub fn send_summaries_to(
+        &self,
+        partition: u32,
+        config: SketchConfig,
+        seed: u64,
+        windows: &[(u64, StratumSummaries)],
+        timestamp: u64,
+    ) -> Result<(u32, u64), MqError> {
+        let frame = {
+            let mut scratch = self.scratch.lock();
+            encode_summaries_into(config, seed, windows, &mut scratch);
+            self.bytes_sent
+                .fetch_add(scratch.len() as u64, Ordering::Relaxed);
+            self.batches_sent.fetch_add(1, Ordering::Relaxed);
+            self.items_sent.fetch_add(
+                windows.iter().map(|(_, s)| s.count()).sum::<u64>(),
+                Ordering::Relaxed,
+            );
+            Bytes::copy_from_slice(&scratch)
+        };
+        self.topic.append_to(
+            partition,
+            ProducerRecord {
+                key: None,
+                value: frame,
+                timestamp,
+            },
+        )
+    }
+
     /// Total encoded bytes published.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.load(Ordering::Relaxed)
@@ -313,6 +354,39 @@ mod tests {
             records[0].value, records[1].value,
             "both entry points produce byte-identical v2 frames"
         );
+    }
+
+    #[test]
+    fn send_summaries_to_publishes_v3_and_meters() {
+        use crate::codec::{decode_summaries, encoded_len_summaries};
+        let broker = Broker::new();
+        let topic = broker.create_topic("t", 2).expect("create");
+        let producer = BatchProducer::new(Arc::clone(&topic));
+        let config = SketchConfig::default();
+        let mut summaries = StratumSummaries::new(config, 5);
+        for i in 0..12u64 {
+            summaries.observe(StratumId::new((i % 3) as u32), i, i as f64);
+        }
+        let windows = vec![(0u64, summaries)];
+        let (p, _) = producer
+            .send_summaries_to(1, config, 5, &windows, 9)
+            .expect("send");
+        assert_eq!(p, 1);
+        assert_eq!(producer.batches_sent(), 1);
+        assert_eq!(producer.items_sent(), 12, "exact observed count");
+        assert_eq!(
+            producer.bytes_sent(),
+            encoded_len_summaries(&windows) as u64
+        );
+        let record = topic
+            .partition(1)
+            .expect("partition")
+            .read_from(0, 1, std::time::Duration::from_millis(10))
+            .expect("read")
+            .pop()
+            .expect("one record");
+        assert_eq!(record.timestamp, 9);
+        assert_eq!(decode_summaries(&record.value).expect("v3 frame"), windows);
     }
 
     #[test]

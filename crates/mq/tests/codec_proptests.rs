@@ -12,11 +12,18 @@
 //! 4. **Cross-version rejection** — the v1 decoder names the v2 frame it
 //!    refuses, and vice versa, so misrouted frames fail loudly rather than
 //!    silently misparse.
+//!
+//! The same invariants extend to the v3 summary frame: round-trip over
+//! arbitrary observation multisets, every-prefix rejection, garbage never
+//! panics, and three-way cross-version rejection by name.
 
-use approxiot_core::{Batch, ColumnarBatch, StratumId, StreamItem, WeightMap};
+use approxiot_core::{
+    Batch, ColumnarBatch, SketchConfig, StratumId, StratumSummaries, StreamItem, WeightMap,
+};
 use approxiot_mq::codec::{
     decode_batch, decode_batch_any_into, decode_batch_into, decode_columns, decode_columns_into,
-    encode_batch, encode_batch_v2_into, encode_columns, encoded_len_columns, encoded_len_v2,
+    decode_summaries, decode_summaries_into, encode_batch, encode_batch_v2_into, encode_columns,
+    encode_summaries, encoded_len_columns, encoded_len_summaries, encoded_len_v2,
 };
 use bytes::BytesMut;
 use proptest::prelude::*;
@@ -38,6 +45,34 @@ fn arb_batch() -> impl Strategy<Value = Batch> {
                     .map(|(s, v, seq, ts)| StreamItem::with_meta(StratumId::new(s), v, seq, ts))
                     .collect(),
             )
+        })
+}
+
+/// Window summaries built from an arbitrary observation multiset under a
+/// small arbitrary config.
+fn arb_summaries() -> impl Strategy<Value = (SketchConfig, u64, Vec<(u64, StratumSummaries)>)> {
+    (
+        (0u32..32, 0u32..8),
+        any::<u64>(),
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..16, -1e9f64..1e9), 0..60),
+            0..4,
+        ),
+    )
+        .prop_map(|((kll_k, heavy_capacity), seed, windows)| {
+            let config = SketchConfig::new(kll_k, heavy_capacity);
+            let windows = windows
+                .into_iter()
+                .enumerate()
+                .map(|(w, observations)| {
+                    let mut summaries = StratumSummaries::new(config, seed);
+                    for (i, (stratum, value)) in observations.into_iter().enumerate() {
+                        summaries.observe(StratumId::new(stratum), i as u64, value);
+                    }
+                    (w as u64, summaries)
+                })
+                .collect();
+            (config, seed, windows)
         })
 }
 
@@ -96,6 +131,75 @@ proptest! {
         let mut batch = Batch::new();
         let _ = decode_batch_into(&bytes, &mut batch);
         let _ = decode_batch_any_into(&bytes, &mut batch);
+        let mut windows = Vec::new();
+        let _ = decode_summaries_into(&bytes, &mut windows);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Magic-stamped garbage: a valid header followed by arbitrary bytes
+    /// exercises the body parsers far more often than pure noise, and
+    /// must still never panic the summary decoder (whose body layout has
+    /// the most internal structure of the three).
+    #[test]
+    fn summary_decoder_never_panics_on_stamped_garbage(
+        version in 0u8..5,
+        bytes in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut frame = vec![0x07, 0xA1, version];
+        frame.extend_from_slice(&bytes);
+        let mut windows = Vec::new();
+        let _ = decode_summaries_into(&frame, &mut windows);
+        let mut batch = Batch::new();
+        let _ = decode_batch_any_into(&frame, &mut batch);
+    }
+
+    /// A v3 frame round-trips bit-exactly for any observation multiset
+    /// and config, and the length prediction is exact.
+    #[test]
+    fn v3_roundtrip_preserves_summaries(arb in arb_summaries()) {
+        let (config, seed, windows) = arb;
+        let frame = encode_summaries(config, seed, &windows);
+        prop_assert_eq!(frame.len(), encoded_len_summaries(&windows));
+        let decoded = decode_summaries(&frame).expect("well-formed v3 frame");
+        prop_assert_eq!(decoded, windows);
+    }
+
+    /// Every strict prefix of a v3 frame is rejected, and the recycled
+    /// output vector comes back empty after the failure.
+    #[test]
+    fn v3_rejects_every_prefix(arb in arb_summaries(), cut in 0usize..4096) {
+        let (config, seed, windows) = arb;
+        let frame = encode_summaries(config, seed, &windows);
+        let len = cut % frame.len(); // frame is never empty (header + counts)
+        let mut out = windows.clone(); // stale contents
+        prop_assert!(decode_summaries_into(&frame[..len], &mut out).is_err());
+        prop_assert!(out.is_empty(), "failed decode must clear the output");
+    }
+
+    /// Misrouted v3 frames are rejected by name from every item decoder,
+    /// and the v3 decoder names the item frames it refuses.
+    #[test]
+    fn v3_cross_version_frames_rejected_by_name(batch in arb_batch(), arb in arb_summaries()) {
+        let (config, seed, windows) = arb;
+        let v3 = encode_summaries(config, seed, &windows);
+
+        let mut aos = Batch::new();
+        let err = decode_batch_into(&v3, &mut aos).expect_err("v3 into v1 decoder");
+        prop_assert!(err.to_string().contains("summary v3 frame"), "got: {err}");
+        let err = decode_batch_any_into(&v3, &mut aos).expect_err("v3 into any-decoder");
+        prop_assert!(err.to_string().contains("summary v3 frame"), "got: {err}");
+        let mut columns = ColumnarBatch::new();
+        let err = decode_columns_into(&v3, &mut columns).expect_err("v3 into columnar");
+        prop_assert!(err.to_string().contains("summary v3 frame"), "got: {err}");
+
+        let err = decode_summaries(&encode_batch(&batch)).expect_err("v1 into summary decoder");
+        prop_assert!(err.to_string().contains("AoS v1 frame"), "got: {err}");
+        let v2 = encode_columns(&ColumnarBatch::from_batch(&batch));
+        let err = decode_summaries(&v2).expect_err("v2 into summary decoder");
+        prop_assert!(err.to_string().contains("columnar v2 frame"), "got: {err}");
     }
 
     /// Misrouted frames are rejected with an error naming the other

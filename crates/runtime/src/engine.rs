@@ -43,13 +43,13 @@
 
 use crate::churn::{ChurnDriver, ChurnStats, NodeChurnContext, NodeChurnState, NodeDisposition};
 use crate::fault::{FaultInjector, HopFaults};
-use crate::node::SamplingNode;
+use crate::node::{NodePayload, SamplingNode, Strategy};
 use crate::pipeline::{LatencyStats, PipelineEngine, PipelineOptions};
-use crate::query::QuerySet;
+use crate::query::{QuerySet, QuerySpec};
 use crate::root::{RootConfig, RootNode, WindowResult};
 use crate::topology::{HopBytes, Topology};
 use approxiot_core::{Batch, BudgetError};
-use approxiot_mq::codec::encoded_len;
+use approxiot_mq::codec::{encoded_len, encoded_len_summaries};
 use approxiot_streams::{TumblingWindow, WindowId};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -69,6 +69,22 @@ pub enum EngineError {
     /// The engine's transport shut down before the push (threaded engine
     /// only).
     Closed,
+    /// A registered query the named strategy cannot answer (e.g.
+    /// `Quantile` on a counts-only sketch config). Checked at the driver
+    /// front door against every layer strategy and the root strategy.
+    UnsupportedQuery {
+        /// [`Strategy::label`] of the offending strategy.
+        strategy: &'static str,
+        /// The query the strategy cannot answer.
+        query: QuerySpec,
+    },
+    /// A sketch strategy was combined with a topology feature it cannot
+    /// run under: heterogeneous layers, mismatched sketch configs, fault
+    /// impairment, fleet churn, or the wall-clock pipeline.
+    SketchTopology {
+        /// What was wrong with the combination.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -82,6 +98,12 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::Closed => write!(f, "engine transport already closed"),
+            EngineError::UnsupportedQuery { strategy, query } => {
+                write!(f, "the {strategy} strategy cannot answer {query}")
+            }
+            EngineError::SketchTopology { reason } => {
+                write!(f, "invalid sketch topology: {reason}")
+            }
         }
     }
 }
@@ -217,16 +239,22 @@ impl SimEngine {
             .map(|(l, layer)| {
                 (0..layer.nodes)
                     .map(|j| {
-                        SamplingNode::with_workers(
-                            topology.layer_strategy(l),
-                            fractions[l],
-                            topology.node_seed(l, j),
-                            layer.workers,
-                        )
+                        let strategy = topology.layer_strategy(l);
+                        // Sketch nodes share the tree-wide sketch seed —
+                        // summaries only merge when item priorities agree.
+                        let seed = match strategy {
+                            Strategy::Sketch(_) => topology.sketch_seed(),
+                            _ => topology.node_seed(l, j),
+                        };
+                        SamplingNode::with_workers(strategy, fractions[l], seed, layer.workers)
                     })
                     .collect::<Result<Vec<_>, _>>()
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let root_seed = match topology.root_strategy() {
+            Strategy::Sketch(_) => topology.sketch_seed(),
+            _ => topology.root_seed(),
+        };
         let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
             // analysis: allow(P1, reason = "TopologyBuilder rejects depth-0 trees, so fractions is non-empty")
@@ -234,7 +262,7 @@ impl SimEngine {
             overall_fraction: topology.overall_fraction(),
             window: topology.window(),
             queries,
-            seed: topology.root_seed(),
+            seed: root_seed,
             delivery_factor: topology.delivery_factor(),
             allowed_lateness: topology.allowed_lateness(),
         })?;
@@ -326,7 +354,11 @@ impl SimEngine {
                 self.max_event_ts = self.max_event_ts.max(ts);
             }
         }
-        if let Some(churn) = self.churn.as_mut() {
+        if self.topology.sketch_config().is_some() {
+            // Sketch topologies are homogeneous and unimpaired (the
+            // driver validates); churn/impairment state is never built.
+            self.push_interval_sketch(source_batches);
+        } else if let Some(churn) = self.churn.as_mut() {
             // Inclusion tallies + fleet stats, before the data flows.
             churn.note_interval(interval, source_batches);
             self.push_interval_churned(source_batches, interval);
@@ -334,6 +366,49 @@ impl SimEngine {
             self.push_interval_impaired(source_batches);
         } else {
             self.push_interval_clean(source_batches);
+        }
+    }
+
+    /// The sketch-strategy path: hop 0 ships item frames exactly like the
+    /// clean path, the first layer folds them into per-window summaries,
+    /// and every hop after that carries **one summary payload per node
+    /// per interval** — billed with the real v3 frame size
+    /// ([`encoded_len_summaries`]) and merged downstream with no per-item
+    /// work. The root answers queries straight from the merged summaries.
+    fn push_interval_sketch(&mut self, source_batches: &[Batch]) {
+        let scheme = self.scheme;
+        // Hop 0: source item frames into the first layer, i % n0 fan-in.
+        let n0 = self.topology.layers()[0].nodes;
+        for (i, batch) in source_batches.iter().enumerate() {
+            self.bytes.add(0, encoded_len(batch) as u64);
+            self.nodes[0][i % n0].absorb_batch(batch, scheme);
+        }
+        // Deeper hops: drain each sender once, bill the v3 frame, merge
+        // into node j % n of the next layer (the root last).
+        let n_layers = self.nodes.len();
+        let root_hop = self.topology.hops() - 1;
+        for l in 0..n_layers {
+            let n_next = self
+                .topology
+                .layers()
+                .get(l + 1)
+                .map_or(0, |layer| layer.nodes);
+            for j in 0..self.nodes[l].len() {
+                let windows = self.nodes[l][j].take_summaries();
+                if windows.is_empty() {
+                    continue;
+                }
+                if l + 1 < n_layers {
+                    self.bytes
+                        .add(l + 1, encoded_len_summaries(&windows) as u64);
+                    let payload = NodePayload::Summaries(windows);
+                    self.nodes[l + 1][j % n_next].absorb_payload(&payload, scheme);
+                } else {
+                    self.bytes
+                        .add(root_hop, encoded_len_summaries(&windows) as u64);
+                    self.root.ingest_summaries(windows);
+                }
+            }
         }
     }
 
@@ -706,17 +781,72 @@ pub struct Driver {
     engine: Box<dyn Engine>,
 }
 
+/// Build-time validation at the driver front door: every layer strategy
+/// (and the root's) must be able to answer every registered query, and a
+/// sketch strategy anywhere requires a homogeneous, unimpaired,
+/// churn-free topology on a deterministic engine — the summary path has
+/// no per-item frames for fault injectors to act on, and KLL merges
+/// require one tree-wide config and seed.
+fn validate(topology: &Topology, queries: &QuerySet, kind: &EngineKind) -> Result<(), EngineError> {
+    let mut strategies: Vec<Strategy> = (0..topology.layers().len())
+        .map(|l| topology.layer_strategy(l))
+        .collect();
+    strategies.push(topology.root_strategy());
+    for strategy in &strategies {
+        for &query in queries.specs() {
+            if !strategy.supports(&query) {
+                return Err(EngineError::UnsupportedQuery {
+                    strategy: strategy.label(),
+                    query,
+                });
+            }
+        }
+    }
+    if !strategies.iter().any(|s| matches!(s, Strategy::Sketch(_))) {
+        return Ok(());
+    }
+    if strategies.iter().any(|s| *s != strategies[0]) {
+        return Err(EngineError::SketchTopology {
+            reason: "every layer and the root must run the same sketch config \
+                     (summaries only merge under one tree-wide config and seed)",
+        });
+    }
+    if topology.has_impairment() {
+        return Err(EngineError::SketchTopology {
+            reason: "fault impairment is not supported on the summary path",
+        });
+    }
+    if topology.has_churn() {
+        return Err(EngineError::SketchTopology {
+            reason: "fleet churn is not supported on the summary path",
+        });
+    }
+    if let EngineKind::Pipeline(options) = kind {
+        if !options.deterministic {
+            return Err(EngineError::SketchTopology {
+                reason: "the wall-clock pipeline is not supported; use \
+                         EngineKind::pipeline_deterministic()",
+            });
+        }
+    }
+    Ok(())
+}
+
 impl Driver {
     /// Builds a driver for `topology` + `queries` on the chosen engine.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Budget`] for an invalid sampling fraction.
+    /// Returns [`EngineError::Budget`] for an invalid sampling fraction,
+    /// [`EngineError::UnsupportedQuery`] when a registered query cannot
+    /// be answered by a layer's strategy, and
+    /// [`EngineError::SketchTopology`] for invalid sketch combinations.
     pub fn new(
         topology: Topology,
         queries: QuerySet,
         kind: EngineKind,
     ) -> Result<Self, EngineError> {
+        validate(&topology, &queries, &kind)?;
         let engine: Box<dyn Engine> = match kind {
             EngineKind::Sim => Box::new(SimEngine::new(topology.clone(), queries)?),
             EngineKind::Pipeline(options) => {
@@ -912,6 +1042,127 @@ mod tests {
             .and_then(crate::query::QueryValue::top_k)
             .expect("top-k");
         assert_eq!(top.len(), 3);
+    }
+
+    fn sketch_topology(seed: u64) -> Topology {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .strategy(Strategy::sketch())
+            .seed(seed)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn sketch_sim_answers_exact_moments_through_the_tree() {
+        let queries = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Count)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(2));
+        let mut driver = Driver::new(sketch_topology(11), queries, EngineKind::Sim).expect("valid");
+        driver
+            .push_interval(&interval(5, 400, 2.0, 10))
+            .expect("runs");
+        let report = driver.finish();
+        assert_eq!(report.results.len(), 1);
+        let r = &report.results[0];
+        assert_eq!(r.estimate.value, 4000.0, "moments are exact");
+        assert_eq!(r.estimate.variance, 0.0);
+        assert_eq!(r.count_hat, 2000.0);
+        assert_eq!(r.completeness, 1.0);
+        assert!(r.queries.quantile(0.5).is_some());
+        assert_eq!(r.queries.top_k(2).map(<[_]>::len), Some(2));
+        assert_eq!(report.source_items, 2000);
+    }
+
+    #[test]
+    fn sketch_hops_bill_summary_frames_not_items() {
+        let mut engine = SimEngine::new(sketch_topology(11), QuerySet::default()).expect("valid");
+        engine.push_interval(&interval(5, 1000, 1.0, 10));
+        engine.flush();
+        let hops = engine.bytes().hops().to_vec();
+        assert_eq!(hops.len(), 4);
+        assert!(hops[0] > 0, "hop 0 ships item frames");
+        for &inner in &hops[1..] {
+            assert!(inner > 0, "every hop bills its summary frames");
+            assert!(
+                inner < hops[0] / 4,
+                "summary hops must be well below the item hop: {hops:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_rejects_queries_the_sketch_cannot_answer() {
+        use approxiot_core::SketchConfig;
+        let counts_only = Topology::builder()
+            .sources(2)
+            .layer(LayerSpec::new(1))
+            .strategy(Strategy::Sketch(SketchConfig::counts_only()))
+            .build()
+            .expect("valid");
+        let err = Driver::sim(
+            counts_only.clone(),
+            QuerySet::new().with(QuerySpec::Quantile(0.5)),
+        )
+        .err()
+        .expect("rejected");
+        assert_eq!(
+            err,
+            EngineError::UnsupportedQuery {
+                strategy: "sketch",
+                query: QuerySpec::Quantile(0.5)
+            }
+        );
+        let err = Driver::sim(counts_only, QuerySet::new().with(QuerySpec::TopK(3)))
+            .err()
+            .expect("rejected");
+        assert!(err.to_string().contains("cannot answer TOP3"), "{err}");
+    }
+
+    #[test]
+    fn driver_rejects_invalid_sketch_combinations() {
+        use approxiot_net::ImpairmentSpec;
+        // Heterogeneous: a sketch tree with a non-sketch layer.
+        let mixed = Topology::builder()
+            .sources(2)
+            .layer(LayerSpec::new(2).strategy(Strategy::Native))
+            .layer(LayerSpec::new(1))
+            .strategy(Strategy::sketch())
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            Driver::sim(mixed, QuerySet::default()),
+            Err(EngineError::SketchTopology { .. })
+        ));
+        // Impairment on the summary path.
+        let impaired = Topology::builder()
+            .sources(2)
+            .layer(LayerSpec::new(1))
+            .strategy(Strategy::sketch())
+            .impair_all_hops(ImpairmentSpec::none().loss(0.5))
+            .build()
+            .expect("valid");
+        assert!(matches!(
+            Driver::sim(impaired, QuerySet::default()),
+            Err(EngineError::SketchTopology { .. })
+        ));
+        // The wall-clock pipeline; the deterministic pipeline is fine.
+        let sketch = sketch_topology(3);
+        assert!(matches!(
+            Driver::pipeline(sketch.clone(), QuerySet::default()),
+            Err(EngineError::SketchTopology { .. })
+        ));
+        assert!(Driver::new(
+            sketch,
+            QuerySet::default(),
+            EngineKind::pipeline_deterministic()
+        )
+        .is_ok());
     }
 
     #[test]

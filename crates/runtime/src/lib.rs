@@ -116,7 +116,7 @@ pub use engine::{Driver, Engine, EngineError, EngineKind, RunReport, SimEngine};
 pub use fault::{FaultFrame, FaultInjector, FaultStats, HopFaults};
 pub use feedback::FeedbackLoop;
 pub use metrics::{mean_window_error, results_bit_identical, window_estimates, RunSummary};
-pub use node::{SamplingNode, Strategy};
+pub use node::{merge_windowed_summaries, NodePayload, SamplingNode, Strategy};
 pub use pipeline::{
     run_pipeline, LatencyStats, PipelineConfig, PipelineEngine, PipelineOptions, PipelineReport,
 };

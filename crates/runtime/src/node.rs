@@ -3,11 +3,15 @@
 //! baseline or the native (no sampling) execution.
 
 use crate::pool::WorkerPool;
+use crate::query::QuerySpec;
 use approxiot_core::{
-    Allocation, Batch, ColumnarBatch, CostFunction, SamplingBudget, SrsSampler, WhsSampler,
+    Allocation, Batch, ColumnarBatch, CostFunction, SamplingBudget, SketchConfig, SrsSampler,
+    StratumSummaries, StreamItem, WhsSampler,
 };
+use approxiot_streams::TumblingWindow;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 /// The sampling strategy a node runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +25,12 @@ pub enum Strategy {
     Srs,
     /// No sampling: forward everything (the paper's "native execution").
     Native,
+    /// Mergeable per-stratum summaries instead of sampled items: leaves
+    /// fold their input into moment/KLL/Space-Saving summaries, inner
+    /// nodes merge child summaries with no per-item work, and the root
+    /// answers queries from the merged state. Frame size per hop is
+    /// `O(strata · k)`, independent of the item rate.
+    Sketch(SketchConfig),
 }
 
 impl Strategy {
@@ -31,12 +41,113 @@ impl Strategy {
         }
     }
 
-    /// Short label for reports ("approxiot", "srs", "native").
+    /// The sketch strategy with the default summary sizes.
+    pub fn sketch() -> Self {
+        Strategy::Sketch(SketchConfig::default())
+    }
+
+    /// Short label for reports ("approxiot", "srs", "native", "sketch").
     pub fn label(&self) -> &'static str {
         match self {
             Strategy::Whs { .. } => "approxiot",
             Strategy::Srs => "srs",
             Strategy::Native => "native",
+            Strategy::Sketch(_) => "sketch",
+        }
+    }
+
+    /// Whether the strategy runs on sampled items (WHS/SRS/native) rather
+    /// than mergeable summaries.
+    pub fn ships_items(&self) -> bool {
+        !matches!(self, Strategy::Sketch(_))
+    }
+
+    /// Whether a root running this strategy can answer `query`.
+    ///
+    /// Item strategies reconstruct every query from the weighted sample.
+    /// Sketch strata answer moments-backed queries always, but
+    /// `Quantile(q)` needs a KLL sketch (`kll_k > 0`) and `TopK(k)` a
+    /// Space-Saving summary (`heavy_capacity > 0`) — a
+    /// [`SketchConfig::counts_only`] topology supports neither. The
+    /// [`crate::Driver`] front door rejects unsupported combinations with
+    /// [`crate::EngineError::UnsupportedQuery`] instead of answering
+    /// wrong-or-empty.
+    pub fn supports(&self, query: &QuerySpec) -> bool {
+        match self {
+            Strategy::Whs { .. } | Strategy::Srs | Strategy::Native => true,
+            Strategy::Sketch(config) => match query {
+                QuerySpec::Sum
+                | QuerySpec::Mean
+                | QuerySpec::Count
+                | QuerySpec::SumPerStratum
+                | QuerySpec::MeanPerStratum
+                | QuerySpec::CountPerStratum => true,
+                QuerySpec::Quantile(_) => config.kll_k > 0,
+                QuerySpec::TopK(_) => config.heavy_capacity > 0,
+            },
+        }
+    }
+}
+
+/// What a node emits to its parent: sampled items (WHS/SRS/native) or
+/// per-window mergeable summaries (sketch). The payload-typed output is
+/// what lets one tree mix per-item and per-summary hops without the
+/// engines assuming "always a [`Batch`]".
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodePayload {
+    /// A `(W_out, sample)` batch of items.
+    Items(Batch),
+    /// Per-stratum summaries keyed by window index, in window order.
+    Summaries(Vec<(u64, StratumSummaries)>),
+}
+
+impl NodePayload {
+    /// Returns `true` when the payload carries nothing.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            NodePayload::Items(batch) => batch.is_empty(),
+            NodePayload::Summaries(windows) => windows.iter().all(|(_, s)| s.is_empty()),
+        }
+    }
+
+    /// The item batch, if this is an items payload.
+    pub fn items(&self) -> Option<&Batch> {
+        match self {
+            NodePayload::Items(batch) => Some(batch),
+            NodePayload::Summaries(_) => None,
+        }
+    }
+
+    /// The windowed summaries, if this is a summary payload.
+    pub fn summaries(&self) -> Option<&[(u64, StratumSummaries)]> {
+        match self {
+            NodePayload::Items(_) => None,
+            NodePayload::Summaries(windows) => Some(windows),
+        }
+    }
+}
+
+/// The sketch identity of one stream item: a deterministic function of the
+/// item alone (never of arrival order or node placement), so every engine
+/// and every node hashes the same item to the same KLL priority.
+#[inline]
+pub(crate) fn sketch_identity(item: &StreamItem) -> u64 {
+    item.seq ^ item.source_ts.rotate_left(32)
+}
+
+/// Merges windowed summaries into a window-keyed accumulator. Summary
+/// merge is associative and commutative bit-for-bit, so accumulation
+/// order never shows in the result.
+pub fn merge_windowed_summaries(
+    acc: &mut BTreeMap<u64, StratumSummaries>,
+    input: &[(u64, StratumSummaries)],
+) {
+    for (window, summaries) in input {
+        match acc.entry(*window) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(summaries),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(summaries.clone());
+            }
         }
     }
 }
@@ -71,9 +182,24 @@ pub struct SamplingNode {
     /// with more than one worker and runs the WHS strategy: a persistent
     /// [`WorkerPool`] whose shard threads live as long as the node.
     parallel: Option<WorkerPool>,
+    /// The summary path (`Some` only for sketch nodes): config, the
+    /// topology-wide sketch seed, and the window-keyed accumulator that
+    /// absorbed payloads merge into until [`SamplingNode::take_summaries`].
+    sketch: Option<SketchState>,
     rng: StdRng,
     items_in: u64,
     items_out: u64,
+}
+
+/// The per-node state of the summary path.
+#[derive(Debug)]
+struct SketchState {
+    config: SketchConfig,
+    /// The topology-wide sketch seed ([`crate::Topology::sketch_seed`]):
+    /// shared by every node so summaries merge (KLL requires it).
+    seed: u64,
+    /// Window-keyed merged summaries absorbed since the last take.
+    acc: BTreeMap<u64, StratumSummaries>,
 }
 
 impl SamplingNode {
@@ -131,12 +257,21 @@ impl SamplingNode {
             }
             _ => None,
         };
+        let sketch = match strategy {
+            Strategy::Sketch(config) => Some(SketchState {
+                config,
+                seed,
+                acc: BTreeMap::new(),
+            }),
+            _ => None,
+        };
         Ok(SamplingNode {
             strategy,
             budget,
             whs: WhsSampler::new(allocation),
             srs,
             parallel,
+            sketch,
             // D3-allowlisted: `seed` comes from Topology::node_seed.
             #[allow(clippy::disallowed_methods)]
             rng: StdRng::seed_from_u64(seed),
@@ -175,6 +310,11 @@ impl SamplingNode {
     }
 
     /// Processes one incoming batch into the batch forwarded upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sketch node — summary nodes forward summaries, not
+    /// items; use [`SamplingNode::process_payload`].
     pub fn process_batch(&mut self, batch: &Batch) -> Batch {
         self.items_in += batch.len() as u64;
         let out = match self.strategy {
@@ -193,6 +333,10 @@ impl SamplingNode {
                 Batch::from_items(srs.sample(batch, &mut self.rng))
             }
             Strategy::Native => batch.clone(),
+            Strategy::Sketch(_) => {
+                // analysis: allow(P1, reason = "documented contract panic; the Driver front door never routes item batches to sketch nodes")
+                panic!("sketch nodes forward summaries, not item batches; use process_payload")
+            }
         };
         self.items_out += out.len() as u64;
         out
@@ -307,6 +451,10 @@ impl SamplingNode {
                 out
             }
             Strategy::Native => batch.clone(),
+            Strategy::Sketch(_) => {
+                // analysis: allow(P1, reason = "documented contract panic; the Driver front door never routes item batches to sketch nodes")
+                panic!("sketch nodes forward summaries, not item batches; use process_payload")
+            }
         };
         self.items_out += out.len() as u64;
         out
@@ -350,6 +498,127 @@ impl SamplingNode {
             .collect()
     }
 
+    /// The payload front door: item-strategy nodes sample an items payload
+    /// into forwarded item payloads immediately (one call, its outputs);
+    /// sketch nodes **absorb** the payload — items are folded into the
+    /// window-keyed summary accumulator, child summaries are merged — and
+    /// return nothing until [`SamplingNode::take_summaries`] drains the
+    /// merged state (one payload per interval, the engines' forwarding
+    /// unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an item-strategy node is handed a summaries payload —
+    /// the [`crate::Driver`] front door rejects mixed topologies before
+    /// any data flows.
+    pub fn process_payload(
+        &mut self,
+        payload: &NodePayload,
+        scheme: TumblingWindow,
+    ) -> Vec<NodePayload> {
+        if self.sketch.is_some() {
+            self.absorb_payload(payload, scheme);
+            return Vec::new();
+        }
+        let batch = payload
+            .items()
+            // analysis: allow(P1, reason = "documented contract panic; the Driver validates topology homogeneity before any payload flows")
+            .expect("item-strategy nodes take item payloads; sketch topologies are homogeneous");
+        self.process_batch_parallel(batch)
+            .into_iter()
+            .filter(|out| !out.is_empty())
+            .map(NodePayload::Items)
+            .collect()
+    }
+
+    /// Folds one item batch into fresh per-window summaries without
+    /// touching the accumulator — the stateless leaf kernel behind
+    /// [`SamplingNode::process_payload`], exposed for tests and the
+    /// replay pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the node runs the sketch strategy.
+    pub fn summarize_batch(
+        &mut self,
+        batch: &Batch,
+        scheme: TumblingWindow,
+    ) -> Vec<(u64, StratumSummaries)> {
+        let state = self
+            .sketch
+            .as_ref()
+            // analysis: allow(P1, reason = "documented # Panics contract; callers are sketch-strategy nodes by construction")
+            .expect("summarize_batch requires the sketch strategy");
+        let (config, seed) = (state.config, state.seed);
+        self.items_in += batch.len() as u64;
+        let mut windows: BTreeMap<u64, StratumSummaries> = BTreeMap::new();
+        for item in &batch.items {
+            windows
+                .entry(scheme.index_of(item.source_ts))
+                .or_insert_with(|| StratumSummaries::new(config, seed))
+                .observe(item.stratum, sketch_identity(item), item.value);
+        }
+        windows.into_iter().filter(|(_, s)| !s.is_empty()).collect()
+    }
+
+    /// Absorbs one payload into the sketch accumulator: items are
+    /// summarized in place, child summaries are merged per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the node runs the sketch strategy.
+    pub fn absorb_payload(&mut self, payload: &NodePayload, scheme: TumblingWindow) {
+        match payload {
+            NodePayload::Items(batch) => self.absorb_batch(batch, scheme),
+            NodePayload::Summaries(windows) => {
+                let state = self
+                    .sketch
+                    .as_mut()
+                    // analysis: allow(P1, reason = "documented # Panics contract; callers are sketch-strategy nodes by construction")
+                    .expect("absorb_payload requires the sketch strategy");
+                merge_windowed_summaries(&mut state.acc, windows);
+            }
+        }
+    }
+
+    /// Absorbs one raw item batch into the sketch accumulator — the leaf
+    /// operation, [`SamplingNode::absorb_payload`]'s item arm without the
+    /// payload wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the node runs the sketch strategy.
+    pub fn absorb_batch(&mut self, batch: &Batch, scheme: TumblingWindow) {
+        self.items_in += batch.len() as u64;
+        let state = self
+            .sketch
+            .as_mut()
+            // analysis: allow(P1, reason = "documented # Panics contract; callers are sketch-strategy nodes by construction")
+            .expect("absorb_batch requires the sketch strategy");
+        let (config, seed) = (state.config, state.seed);
+        for item in &batch.items {
+            state
+                .acc
+                .entry(scheme.index_of(item.source_ts))
+                .or_insert_with(|| StratumSummaries::new(config, seed))
+                .observe(item.stratum, sketch_identity(item), item.value);
+        }
+    }
+
+    /// Drains the sketch accumulator: the merged per-window summaries
+    /// absorbed since the last take, in window order (empty windows are
+    /// never materialised). Returns an empty vector on item-strategy
+    /// nodes, which accumulate nothing.
+    pub fn take_summaries(&mut self) -> Vec<(u64, StratumSummaries)> {
+        let Some(state) = self.sketch.as_mut() else {
+            return Vec::new();
+        };
+        std::mem::take(&mut state.acc)
+            .into_iter()
+            .filter(|(_, s)| !s.is_empty())
+            .collect()
+    }
+
     /// Items received so far.
     pub fn items_in(&self) -> u64 {
         self.items_in
@@ -360,9 +629,13 @@ impl SamplingNode {
         self.items_out
     }
 
-    /// Clears carried weights and counters (between independent runs).
+    /// Clears carried weights, the sketch accumulator and counters
+    /// (between independent runs).
     pub fn reset(&mut self) {
         self.whs.reset();
+        if let Some(state) = self.sketch.as_mut() {
+            state.acc.clear();
+        }
         self.items_in = 0;
         self.items_out = 0;
     }
@@ -445,6 +718,94 @@ mod tests {
         assert_eq!(Strategy::whs().label(), "approxiot");
         assert_eq!(Strategy::Srs.label(), "srs");
         assert_eq!(Strategy::Native.label(), "native");
+        assert_eq!(Strategy::sketch().label(), "sketch");
+    }
+
+    #[test]
+    fn supports_reflects_summary_capabilities() {
+        use crate::query::QuerySpec;
+        let all = [
+            QuerySpec::Sum,
+            QuerySpec::Mean,
+            QuerySpec::Count,
+            QuerySpec::SumPerStratum,
+            QuerySpec::MeanPerStratum,
+            QuerySpec::CountPerStratum,
+            QuerySpec::Quantile(0.5),
+            QuerySpec::TopK(3),
+        ];
+        for strategy in [Strategy::whs(), Strategy::Srs, Strategy::Native] {
+            for spec in &all {
+                assert!(strategy.supports(spec), "{} {spec}", strategy.label());
+            }
+            assert!(strategy.ships_items());
+        }
+        let sketch = Strategy::sketch();
+        assert!(!sketch.ships_items());
+        for spec in &all {
+            assert!(sketch.supports(spec), "full config answers {spec}");
+        }
+        let counts = Strategy::Sketch(SketchConfig::counts_only());
+        assert!(counts.supports(&QuerySpec::Sum));
+        assert!(counts.supports(&QuerySpec::MeanPerStratum));
+        assert!(!counts.supports(&QuerySpec::Quantile(0.5)));
+        assert!(!counts.supports(&QuerySpec::TopK(3)));
+    }
+
+    #[test]
+    fn sketch_node_absorbs_items_and_takes_windowed_summaries() {
+        let scheme = TumblingWindow::new(std::time::Duration::from_secs(1));
+        let mut node = SamplingNode::new(Strategy::sketch(), 1.0, 7).expect("valid");
+        let mut items = Vec::new();
+        for k in 0..10 {
+            items.push(StreamItem::with_meta(StratumId::new(0), 2.0, k, 100));
+        }
+        items.push(StreamItem::with_meta(
+            StratumId::new(1),
+            5.0,
+            0,
+            1_500_000_000,
+        ));
+        let payload = NodePayload::Items(Batch::from_items(items));
+        assert!(
+            node.process_payload(&payload, scheme).is_empty(),
+            "absorbed"
+        );
+        let windows = node.take_summaries();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0, 0);
+        assert_eq!(windows[0].1.count(), 10);
+        assert_eq!(windows[0].1.sum(), 20.0);
+        assert_eq!(windows[1].0, 1);
+        assert_eq!(windows[1].1.sum(), 5.0);
+        assert_eq!(node.items_in(), 11);
+        assert!(node.take_summaries().is_empty(), "drained");
+    }
+
+    #[test]
+    fn merging_child_summaries_matches_single_node_ingest() {
+        // Two leaves + a merging mid must reproduce one node seeing the
+        // union — the tree-shape invariance the sketch strategy rests on.
+        let scheme = TumblingWindow::new(std::time::Duration::from_secs(1));
+        let seed = 99;
+        let mk = || SamplingNode::new(Strategy::sketch(), 1.0, seed).expect("valid");
+        let (mut leaf_a, mut leaf_b, mut mid, mut single) = (mk(), mk(), mk(), mk());
+        let batch_a = batch(&[(0, 50), (1, 20)]);
+        let batch_b = batch(&[(0, 30), (2, 10)]);
+        leaf_a.absorb_payload(&NodePayload::Items(batch_a.clone()), scheme);
+        leaf_b.absorb_payload(&NodePayload::Items(batch_b.clone()), scheme);
+        mid.absorb_payload(&NodePayload::Summaries(leaf_a.take_summaries()), scheme);
+        mid.absorb_payload(&NodePayload::Summaries(leaf_b.take_summaries()), scheme);
+        single.absorb_payload(&NodePayload::Items(batch_a), scheme);
+        single.absorb_payload(&NodePayload::Items(batch_b), scheme);
+        assert_eq!(mid.take_summaries(), single.take_summaries());
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch nodes forward summaries")]
+    fn sketch_node_rejects_the_item_path() {
+        let mut node = SamplingNode::new(Strategy::sketch(), 1.0, 7).expect("valid");
+        let _ = node.process_batch(&batch(&[(0, 1)]));
     }
 
     #[test]

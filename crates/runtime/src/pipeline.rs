@@ -79,14 +79,15 @@
 use crate::churn::{ChurnDriver, ChurnSchedule, NodeChurnContext, NodeChurnState, NodeDisposition};
 use crate::engine::{fill_completeness, Engine, EngineError, RunReport};
 use crate::fault::{FaultInjector, FaultStats, HopFaults};
-use crate::node::{SamplingNode, Strategy};
+use crate::node::{NodePayload, SamplingNode, Strategy};
 use crate::query::{Query, QuerySet};
 use crate::root::{RootConfig, RootNode, WindowResult};
 use crate::topology::{FractionSplit, LayerSpec, Topology};
 use crate::tree::LayerBytes;
-use approxiot_core::{Batch, BatchPool, BudgetError, ColumnarBatch, ColumnarPool};
+use approxiot_core::{Batch, BatchPool, BudgetError, ColumnarBatch, ColumnarPool, SketchConfig};
 use approxiot_mq::codec::{
-    decode_batch_any_into, decode_columns_into, encoded_len_columns, encoded_len_v2,
+    decode_batch_any_into, decode_columns_into, decode_summaries_into, encoded_len_columns,
+    encoded_len_summaries, encoded_len_v2,
 };
 use approxiot_mq::{BatchProducer, Broker, Consumer, MqError, Record, StartOffset};
 use approxiot_net::RateLimiter;
@@ -462,12 +463,20 @@ impl PipelineEngine {
                 let consumer =
                     Consumer::subscribe(Arc::clone(&feeds[l]), &partitions, StartOffset::Earliest);
                 let producer = BatchProducer::new(Arc::clone(&feeds[l + 1]));
-                let node = SamplingNode::with_workers(
-                    topology.layer_strategy(l),
-                    fractions[l],
-                    topology.node_seed(l, j),
-                    layer.workers,
-                )?;
+                // Sketch nodes share one tree-wide seed (KLL merges assert
+                // it), mirroring the sim engine's seed selection exactly so
+                // fixed-seed runs stay bit-identical across engines.
+                let strategy = topology.layer_strategy(l);
+                let sketch = match strategy {
+                    Strategy::Sketch(config) => Some(config),
+                    _ => None,
+                };
+                let node_seed = match strategy {
+                    Strategy::Sketch(_) => topology.sketch_seed(),
+                    _ => topology.node_seed(l, j),
+                };
+                let node =
+                    SamplingNode::with_workers(strategy, fractions[l], node_seed, layer.workers)?;
                 let limiter = make_limiter(topology.hop_link(l + 1).capacity_bytes_per_sec);
                 let params = EdgeParams {
                     hop_delay: topology.layer_link(l).delay,
@@ -477,6 +486,8 @@ impl PipelineEngine {
                     sharded: layer.workers > 1,
                 };
                 let deterministic = options.deterministic;
+                let sketch_seed = topology.sketch_seed();
+                let leaf = l == 0;
                 let left = Arc::clone(&closers);
                 let bytes_out = Arc::clone(&bytes[l + 1]);
                 // The node is the sender on hop l + 1: its fault stream
@@ -500,7 +511,21 @@ impl PipelineEngine {
                     thread::Builder::new()
                         .name(format!("approxiot-edge-{l}-{j}"))
                         .spawn(move || {
-                            if deterministic {
+                            if let Some(config) = sketch {
+                                // Sketch strata are replay-only (the driver
+                                // rejects wall-clock sketch runs): one v3
+                                // summary frame per node per interval.
+                                edge_node_sketch_replay(
+                                    consumer,
+                                    &producer,
+                                    node,
+                                    &params,
+                                    limiter,
+                                    leaf,
+                                    config,
+                                    sketch_seed,
+                                );
+                            } else if deterministic {
                                 edge_node_replay(
                                     consumer,
                                     &producer,
@@ -540,6 +565,7 @@ impl PipelineEngine {
         }
 
         // ---- Root ----------------------------------------------------------
+        let root_is_sketch = matches!(topology.root_strategy(), Strategy::Sketch(_));
         let mut root = RootNode::new(RootConfig {
             strategy: topology.root_strategy(),
             // analysis: allow(P1, reason = "TopologyBuilder rejects depth-0 trees, so fractions is non-empty")
@@ -547,7 +573,11 @@ impl PipelineEngine {
             overall_fraction: topology.overall_fraction(),
             window: topology.window(),
             queries,
-            seed: topology.root_seed(),
+            seed: if root_is_sketch {
+                topology.sketch_seed()
+            } else {
+                topology.root_seed()
+            },
             delivery_factor: topology.delivery_factor(),
             allowed_lateness: topology.allowed_lateness(),
         })?;
@@ -569,7 +599,9 @@ impl PipelineEngine {
             thread::Builder::new()
                 .name("approxiot-root".into())
                 .spawn(move || {
-                    if deterministic {
+                    if root_is_sketch {
+                        root_sketch_replay(root_consumer, root, &result_tx);
+                    } else if deterministic {
                         root_replay(root_consumer, root, &result_tx);
                     } else {
                         root_loop(
@@ -1167,6 +1199,88 @@ fn collect_columns_until_closed(
     }
 }
 
+/// Payload twin of [`collect_until_closed`] for sketch strata: leaves
+/// (`items = true`) decode the driver's item frames, inner nodes decode v3
+/// summary frames; `None` on a decode error (poisoned stream).
+#[allow(clippy::type_complexity)]
+fn collect_payloads_until_closed(
+    consumer: &mut Consumer,
+    items: bool,
+) -> Option<Vec<((u64, u32, u64), NodePayload)>> {
+    let mut held = Vec::new();
+    let mut records: Vec<Record> = Vec::new();
+    loop {
+        match consumer.poll_into(&mut records, POLL_MAX, Duration::from_millis(5)) {
+            Ok(_) => {
+                for record in records.drain(..) {
+                    let payload = if items {
+                        let mut batch = Batch::new();
+                        if decode_batch_any_into(&record.value, &mut batch).is_err() {
+                            return None;
+                        }
+                        NodePayload::Items(batch)
+                    } else {
+                        let mut windows = Vec::new();
+                        if decode_summaries_into(&record.value, &mut windows).is_err() {
+                            return None;
+                        }
+                        NodePayload::Summaries(windows)
+                    };
+                    held.push(((record.timestamp, record.partition, record.offset), payload));
+                }
+            }
+            Err(MqError::Closed) => return Some(held),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// The per-edge-node sketch replay: collect until closed, absorb in the
+/// canonical `(interval, child, arrival)` order, and forward **one v3
+/// summary frame per interval** — the same drain granularity (and the same
+/// `encoded_len_summaries` bytes) as the sim engine's
+/// `push_interval_sketch`, so fixed-seed runs stay bit-identical. Leaves
+/// summarize item frames; inner nodes merge their children's summaries with
+/// no per-item work.
+#[allow(clippy::too_many_arguments)]
+fn edge_node_sketch_replay(
+    mut consumer: Consumer,
+    producer: &BatchProducer,
+    mut node: SamplingNode,
+    params: &EdgeParams,
+    limiter: Option<RateLimiter>,
+    leaf: bool,
+    config: SketchConfig,
+    seed: u64,
+) {
+    let scheme = TumblingWindow::new(params.window);
+    let Some(mut held) = collect_payloads_until_closed(&mut consumer, leaf) else {
+        return;
+    };
+    held.sort_by_key(|(key, _)| *key);
+    let mut i = 0;
+    while i < held.len() {
+        let interval = held[i].0 .0;
+        while i < held.len() && held[i].0 .0 == interval {
+            node.absorb_payload(&held[i].1, scheme);
+            i += 1;
+        }
+        let windows = node.take_summaries();
+        if windows.is_empty() {
+            continue;
+        }
+        if let Some(l) = &limiter {
+            l.acquire(encoded_len_summaries(&windows) as u64);
+        }
+        if producer
+            .send_summaries_to(params.out_partition, config, seed, &windows, interval)
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
 /// The wall-clock root loop: ingest with delay emulation and latency
 /// sampling, advancing the watermark conservatively as wall time passes,
 /// streaming each closed window's result as it becomes available.
@@ -1230,6 +1344,30 @@ fn root_replay(mut consumer: Consumer, mut root: RootNode, result_tx: &mpsc::Sen
     held.sort_by_key(|(key, _)| *key);
     for (_, mut batch) in held {
         root.ingest_mut(&mut batch);
+    }
+    let mut results = root.flush();
+    results.sort_by_key(|r| r.window);
+    for result in results {
+        let _ = result_tx.send(result);
+    }
+}
+
+/// The sketch root: collect v3 summary frames to close, ingest in the
+/// canonical order (the same insertion order as the sim engine's per-interval
+/// `ingest_summaries` calls), answer every window at flush.
+fn root_sketch_replay(
+    mut consumer: Consumer,
+    mut root: RootNode,
+    result_tx: &mpsc::Sender<WindowResult>,
+) {
+    let Some(mut held) = collect_payloads_until_closed(&mut consumer, false) else {
+        return;
+    };
+    held.sort_by_key(|(key, _)| *key);
+    for (_, payload) in held {
+        if let NodePayload::Summaries(windows) = payload {
+            root.ingest_summaries(windows);
+        }
     }
     let mut results = root.flush();
     results.sort_by_key(|r| r.window);
@@ -1426,6 +1564,43 @@ mod tests {
         );
         assert_eq!(topology.root_link().capacity_bytes_per_sec, Some(1_000_000));
         assert_eq!(topology.root_link().delay, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn sketch_pipeline_replay_reconstructs_exact_moments() {
+        use crate::query::QuerySpec;
+        use crate::topology::Topology;
+        let topology = Topology::builder()
+            .sources(4)
+            .layer(LayerSpec::new(2))
+            .layer(LayerSpec::new(1))
+            .strategy(Strategy::sketch())
+            .seed(9)
+            .window(Duration::from_millis(50))
+            .build()
+            .expect("valid");
+        let queries = QuerySet::new().with(QuerySpec::Sum).with(QuerySpec::Count);
+        let mut engine = PipelineEngine::new(topology, queries, PipelineOptions::deterministic())
+            .expect("valid");
+        let data = intervals(3, 4, 100, 2.0);
+        for interval in &data {
+            Engine::push_interval(&mut engine, interval).expect("open");
+        }
+        let report = Box::new(engine).finish();
+        assert_eq!(report.results.len(), 1, "all items share one window");
+        let result = &report.results[0];
+        // Moments travel losslessly through the summary frames: the sum
+        // and count are exact with zero variance.
+        assert_eq!(result.estimate.value, 2400.0);
+        assert_eq!(result.estimate.variance, 0.0);
+        assert_eq!(result.count_hat, 1200.0);
+        let count = result.queries.count().expect("count registered");
+        assert_eq!(count.value, 1200.0);
+        // Every hop carried traffic: item frames at hop 0, one v3 summary
+        // frame per node per interval on the inner hops.
+        for (hop, bytes) in report.bytes.hops().iter().enumerate() {
+            assert!(*bytes > 0, "hop {hop} billed no bytes");
+        }
     }
 
     #[test]

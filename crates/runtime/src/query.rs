@@ -15,7 +15,7 @@
 //!   [`QueryResults`] map on the window result.
 
 use approxiot_core::quantile::{quantile_with_bounds, top_k_strata, QuantileEstimate};
-use approxiot_core::{Confidence, Estimate, StratumId, ThetaStore};
+use approxiot_core::{Confidence, Estimate, StratumId, StratumSummaries, ThetaStore};
 use std::collections::BTreeMap;
 
 /// A linear streaming query.
@@ -234,6 +234,40 @@ impl QueryResults {
     pub fn is_empty(&self) -> bool {
         self.answers.is_empty()
     }
+
+    /// The SUM estimate, if a SUM query was registered.
+    pub fn sum(&self) -> Option<&Estimate> {
+        self.get(QuerySpec::Sum).and_then(QueryValue::scalar)
+    }
+
+    /// The MEAN estimate, if a MEAN query was registered.
+    pub fn mean(&self) -> Option<&Estimate> {
+        self.get(QuerySpec::Mean).and_then(QueryValue::scalar)
+    }
+
+    /// The COUNT estimate, if a COUNT query was registered.
+    pub fn count(&self) -> Option<&Estimate> {
+        self.get(QuerySpec::Count).and_then(QueryValue::scalar)
+    }
+
+    /// The `q`-quantile estimate, if that exact quantile was registered
+    /// and the window was non-empty.
+    pub fn quantile(&self, q: f64) -> Option<&QuantileEstimate> {
+        self.get(QuerySpec::Quantile(q))
+            .and_then(QueryValue::quantile)
+    }
+
+    /// The ranked strata of a TOP-`k` query, if that exact `k` was
+    /// registered.
+    pub fn top_k(&self, k: usize) -> Option<&[(StratumId, Estimate)]> {
+        self.get(QuerySpec::TopK(k)).and_then(QueryValue::top_k)
+    }
+
+    /// The per-stratum map for `spec`, if it was registered and answers
+    /// per stratum.
+    pub fn per_stratum(&self, spec: QuerySpec) -> Option<&BTreeMap<StratumId, Estimate>> {
+        self.get(spec).and_then(QueryValue::per_stratum)
+    }
 }
 
 /// Any number of concurrent window queries, run together over each closed
@@ -343,6 +377,40 @@ impl QuerySet {
             .collect();
         QueryResults { answers }
     }
+
+    /// Runs every registered query over a window's merged stratum
+    /// summaries — the sketch-strategy counterpart of [`QuerySet::run`].
+    ///
+    /// SUM / MEAN / COUNT come from the exact moment accumulators
+    /// (variance 0 — sketch moments are lossless), the per-stratum
+    /// variants from the per-stratum moments, `Quantile(q)` from the KLL
+    /// sketch and `TopK(k)` from the Space-Saving counters.
+    pub fn run_summaries(&self, summaries: &StratumSummaries) -> QueryResults {
+        let answers = self
+            .specs
+            .iter()
+            .map(|&spec| {
+                let value = match spec {
+                    QuerySpec::Sum => QueryValue::Scalar(summaries.sum_estimate()),
+                    QuerySpec::Mean => QueryValue::Scalar(summaries.mean_estimate()),
+                    QuerySpec::Count => QueryValue::Scalar(summaries.count_estimate()),
+                    QuerySpec::SumPerStratum => QueryValue::PerStratum(summaries.sum_per_stratum()),
+                    QuerySpec::MeanPerStratum => {
+                        QueryValue::PerStratum(summaries.mean_per_stratum())
+                    }
+                    QuerySpec::CountPerStratum => {
+                        QueryValue::PerStratum(summaries.count_per_stratum())
+                    }
+                    QuerySpec::Quantile(q) => {
+                        QueryValue::Quantile(summaries.quantile(q, self.confidence))
+                    }
+                    QuerySpec::TopK(k) => QueryValue::TopK(summaries.top_k(k)),
+                };
+                (spec, value)
+            })
+            .collect();
+        QueryResults { answers }
+    }
 }
 
 #[cfg(test)]
@@ -432,26 +500,16 @@ mod tests {
             .with(QuerySpec::SumPerStratum);
         let results = set.run(&t);
         assert_eq!(results.len(), 5);
-        assert_eq!(
-            results.get(QuerySpec::Sum).and_then(QueryValue::scalar),
-            Some(&Query::Sum.run(&t))
-        );
-        let median = results
-            .get(QuerySpec::Quantile(0.5))
-            .and_then(QueryValue::quantile)
-            .expect("non-empty window");
+        assert_eq!(results.sum(), Some(&Query::Sum.run(&t)));
+        let median = results.quantile(0.5).expect("non-empty window");
         // Weighted CDF: weights 2,2,2,1; total 7, target 3.5 → value 2.
         assert_eq!(median.value, 2.0);
         assert!(median.lo <= median.value && median.value <= median.hi);
-        let top = results
-            .get(QuerySpec::TopK(1))
-            .and_then(QueryValue::top_k)
-            .expect("top-k answer");
+        let top = results.top_k(1).expect("top-k answer");
         assert_eq!(top[0].0, StratumId::new(1));
         assert_eq!(top[0].1.value, 100.0);
         let per = results
-            .get(QuerySpec::SumPerStratum)
-            .and_then(QueryValue::per_stratum)
+            .per_stratum(QuerySpec::SumPerStratum)
             .expect("per-stratum answer");
         assert_eq!(per[&StratumId::new(0)].value, 12.0);
     }
@@ -465,6 +523,61 @@ mod tests {
             Some(&QueryValue::Quantile(None))
         );
         assert!(results.get(QuerySpec::Quantile(0.5)).is_none());
+    }
+
+    #[test]
+    fn typed_accessors_return_registered_answers_only() {
+        let t = theta(&[(0, 2.0, &[1.0, 2.0, 3.0]), (1, 1.0, &[100.0])]);
+        let results = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(1))
+            .with(QuerySpec::CountPerStratum)
+            .run(&t);
+        assert_eq!(results.sum().map(|e| e.value), Some(112.0));
+        assert!(results.mean().is_none(), "MEAN was not registered");
+        assert!(results.count().is_none(), "COUNT was not registered");
+        assert_eq!(results.quantile(0.5).map(|q| q.value), Some(2.0));
+        assert!(results.quantile(0.9).is_none(), "only 0.5 registered");
+        assert_eq!(results.top_k(1).map(<[_]>::len), Some(1));
+        assert!(results.top_k(2).is_none(), "only k=1 registered");
+        let counts = results
+            .per_stratum(QuerySpec::CountPerStratum)
+            .expect("registered per-stratum query");
+        assert_eq!(counts[&StratumId::new(0)].value, 6.0);
+        assert!(results.per_stratum(QuerySpec::SumPerStratum).is_none());
+    }
+
+    #[test]
+    fn run_summaries_answers_every_query_kind() {
+        use approxiot_core::{SketchConfig, StratumSummaries};
+        let mut summaries = StratumSummaries::new(SketchConfig::default(), 7);
+        for i in 0..10u64 {
+            summaries.observe(StratumId::new(0), i, (i + 1) as f64);
+        }
+        summaries.observe(StratumId::new(1), 100, 500.0);
+        let results = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Mean)
+            .with(QuerySpec::Count)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(1))
+            .with(QuerySpec::SumPerStratum)
+            .run_summaries(&summaries);
+        // Moments are exact: sum 55 + 500, count 11.
+        assert_eq!(results.sum().map(|e| e.value), Some(555.0));
+        assert_eq!(results.sum().map(|e| e.variance), Some(0.0));
+        assert_eq!(results.count().map(|e| e.value), Some(11.0));
+        assert!((results.mean().expect("mean").value - 555.0 / 11.0).abs() < 1e-12);
+        let median = results.quantile(0.5).expect("non-empty sketch");
+        assert!(median.lo <= median.value && median.value <= median.hi);
+        let top = results.top_k(1).expect("top-k answer");
+        assert_eq!(top[0].0, StratumId::new(1), "stratum 1 carries the mass");
+        let per = results
+            .per_stratum(QuerySpec::SumPerStratum)
+            .expect("per-stratum answer");
+        assert_eq!(per[&StratumId::new(0)].value, 55.0);
+        assert_eq!(per[&StratumId::new(1)].value, 500.0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::churn::InclusionHandle;
 use crate::node::{SamplingNode, Strategy};
 use crate::query::{Query, QueryResults, QuerySet, QuerySpec, QueryValue};
-use approxiot_core::{Batch, Confidence, Estimate, StratumId, ThetaStore, WeightMap, WhsOutput};
+use approxiot_core::{
+    Batch, Confidence, Estimate, StratumId, StratumSummaries, ThetaStore, WeightMap, WhsOutput,
+};
 use approxiot_streams::{TumblingWindow, WindowBuffer, WindowId};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -127,6 +129,11 @@ impl RootConfig {
 pub struct RootNode {
     sampler: SamplingNode,
     buffer: WindowBuffer<WhsOutput>,
+    /// The sketch-strategy counterpart of `buffer`: per-window summary
+    /// payloads from the final edge layer, merged at answer time. Only
+    /// one of the two stores is ever populated — which one is decided by
+    /// the strategy.
+    summaries: WindowBuffer<StratumSummaries>,
     queries: QuerySet,
     /// The first scalar query (drives the result's primary `estimate`).
     primary: Query,
@@ -174,6 +181,8 @@ impl RootNode {
         Ok(RootNode {
             sampler: SamplingNode::new(config.strategy, config.fraction, config.seed)?,
             buffer: WindowBuffer::new(TumblingWindow::new(config.window))
+                .with_allowed_lateness(config.allowed_lateness),
+            summaries: WindowBuffer::new(TumblingWindow::new(config.window))
                 .with_allowed_lateness(config.allowed_lateness),
             primary: config.queries.primary(),
             queries: config.queries,
@@ -227,6 +236,27 @@ impl RootNode {
     pub fn ingest_mut(&mut self, batch: &mut Batch) {
         let sampled = self.sampler.process_batch_mut(batch);
         self.ingest_sampled(sampled);
+    }
+
+    /// Ingests windowed summary payloads from a sketch-strategy edge
+    /// layer ([`crate::NodePayload::Summaries`]): each window's summary is
+    /// filed into the per-window summary store, merged with whatever other
+    /// senders already contributed at answer time. Payloads targeting a
+    /// window that already closed (past the allowed lateness) are dropped
+    /// and their exact item counts added to the late tally.
+    pub fn ingest_summaries(&mut self, windows: Vec<(u64, StratumSummaries)>) {
+        let scheme = self.summaries.scheme();
+        for (window, summaries) in windows {
+            if summaries.is_empty() {
+                continue;
+            }
+            let start = scheme.start_of(window);
+            if !self.summaries.accepts(start) {
+                self.dropped_late += summaries.count();
+                continue;
+            }
+            self.summaries.insert(start, summaries);
+        }
     }
 
     /// Files the root's own sampled output into `Θ`, **consuming** it: a
@@ -327,6 +357,9 @@ impl RootNode {
                     w
                 }
             }
+            Strategy::Sketch(_) => {
+                unreachable!("sketch roots answer from summaries, not items")
+            }
         }
     }
 
@@ -404,6 +437,13 @@ impl RootNode {
     /// Advances the event-time watermark, closing and answering every
     /// window that ended at or before it.
     pub fn advance_watermark(&mut self, watermark_nanos: u64) -> Vec<WindowResult> {
+        if matches!(self.strategy, Strategy::Sketch(_)) {
+            let closed = self.summaries.drain_closed(watermark_nanos);
+            return closed
+                .into_iter()
+                .map(|(id, parts)| self.answer_summaries(id, parts))
+                .collect();
+        }
         let closed = self.buffer.drain_closed(watermark_nanos);
         closed
             .into_iter()
@@ -413,10 +453,82 @@ impl RootNode {
 
     /// Flushes all remaining windows (end of stream).
     pub fn flush(&mut self) -> Vec<WindowResult> {
+        if matches!(self.strategy, Strategy::Sketch(_)) {
+            let all = self.summaries.drain_all();
+            return all
+                .into_iter()
+                .map(|(id, parts)| self.answer_summaries(id, parts))
+                .collect();
+        }
         let all = self.buffer.drain_all();
         all.into_iter()
             .map(|(id, outputs)| self.answer(id, outputs))
             .collect()
+    }
+
+    /// The per-stratum variant of the primary query, for the result's
+    /// `per_stratum` field.
+    fn per_stratum_spec(&self) -> QuerySpec {
+        match self.primary {
+            Query::Sum => QuerySpec::SumPerStratum,
+            Query::Mean => QuerySpec::MeanPerStratum,
+            Query::Count => QuerySpec::CountPerStratum,
+        }
+    }
+
+    /// Answers one window from merged summaries — the sketch strategy's
+    /// counterpart of [`RootNode::answer`]. SUM/MEAN/COUNT come out of
+    /// the exact moment accumulators (variance 0), so `count_hat` is the
+    /// true window count and completeness is exact.
+    fn answer_summaries(&mut self, window: WindowId, parts: Vec<StratumSummaries>) -> WindowResult {
+        let mut parts = parts.into_iter();
+        // analysis: allow(P1, reason = "flush only drains windows that ingested at least one summary")
+        let mut merged = parts.next().expect("drained windows are never empty");
+        for part in parts {
+            merged.merge(&part);
+        }
+        let queries = self.queries.run_summaries(&merged);
+        let estimate = queries
+            .get(QuerySpec::from(self.primary))
+            .and_then(QueryValue::scalar)
+            .copied()
+            .unwrap_or_else(|| match self.primary {
+                Query::Sum => merged.sum_estimate(),
+                Query::Mean => merged.mean_estimate(),
+                Query::Count => merged.count_estimate(),
+            });
+        let per_stratum = queries
+            .per_stratum(self.per_stratum_spec())
+            .cloned()
+            .unwrap_or_else(|| match self.primary {
+                Query::Sum => merged.sum_per_stratum(),
+                Query::Mean => merged.mean_per_stratum(),
+                Query::Count => merged.count_per_stratum(),
+            });
+        // What the root actually holds for the window: retained sketch
+        // entries plus heavy-hitter counters.
+        let sampled_items = merged
+            .strata()
+            .values()
+            .map(|s| s.sketch.len())
+            .sum::<usize>()
+            + merged.heavy().entries().len();
+        self.emitted += 1;
+        let scheme = self.summaries.scheme();
+        let dropped_late = self.dropped_late - self.dropped_late_reported;
+        self.dropped_late_reported = self.dropped_late;
+        WindowResult {
+            window,
+            start_nanos: scheme.start_of(window),
+            end_nanos: scheme.end_of(window),
+            estimate,
+            per_stratum,
+            queries,
+            sampled_items,
+            count_hat: merged.count() as f64,
+            completeness: 1.0,
+            dropped_late,
+        }
     }
 
     fn answer(&mut self, window: WindowId, mut outputs: Vec<WhsOutput>) -> WindowResult {
@@ -430,14 +542,8 @@ impl RootNode {
             .and_then(QueryValue::scalar)
             .copied()
             .unwrap_or_else(|| self.primary.run(&theta));
-        let per_stratum_spec = match self.primary {
-            Query::Sum => QuerySpec::SumPerStratum,
-            Query::Mean => QuerySpec::MeanPerStratum,
-            Query::Count => QuerySpec::CountPerStratum,
-        };
         let per_stratum = queries
-            .get(per_stratum_spec)
-            .and_then(QueryValue::per_stratum)
+            .per_stratum(self.per_stratum_spec())
             .cloned()
             .unwrap_or_else(|| self.primary.run_per_stratum(&theta));
         self.emitted += 1;
@@ -727,7 +833,7 @@ mod tests {
 
     #[test]
     fn multi_query_windows_answer_every_registered_query() {
-        use crate::query::{QuerySpec, QueryValue};
+        use crate::query::QuerySpec;
         let mut config = cfg(Strategy::whs(), 1.0, 1.0);
         config.queries = QuerySet::new()
             .with(QuerySpec::Sum)
@@ -740,20 +846,80 @@ mod tests {
         let r = &results[0];
         assert_eq!(r.queries.len(), 3);
         assert_eq!(r.estimate.value, 59.0, "primary estimate is the SUM");
-        let median = r
-            .queries
-            .get(QuerySpec::Quantile(0.5))
-            .and_then(QueryValue::quantile)
-            .expect("non-empty window");
+        let median = r.queries.quantile(0.5).expect("non-empty window");
         assert_eq!(median.value, 1.0);
-        let top = r
-            .queries
-            .get(QuerySpec::TopK(2))
-            .and_then(QueryValue::top_k)
-            .expect("top-k answer");
+        let top = r.queries.top_k(2).expect("top-k answer");
         assert_eq!(top[0].0, StratumId::new(1), "heavy stratum ranks first");
         assert_eq!(top[0].1.value, 50.0);
         assert_eq!(top[1].1.value, 9.0);
+    }
+
+    #[test]
+    fn sketch_root_merges_summaries_and_answers_exact_moments() {
+        use crate::query::QuerySpec;
+        use approxiot_core::{SketchConfig, StratumSummaries};
+        let mut config = cfg(Strategy::sketch(), 1.0, 1.0);
+        config.queries = QuerySet::new()
+            .with(QuerySpec::Sum)
+            .with(QuerySpec::Count)
+            .with(QuerySpec::Quantile(0.5))
+            .with(QuerySpec::TopK(1));
+        let mut root = RootNode::new(config).expect("valid");
+        let sketch = SketchConfig::default();
+        // Two senders contribute to window 0, one to window 1.
+        let mut a = StratumSummaries::new(sketch, 9);
+        for i in 0..10u64 {
+            a.observe(StratumId::new(0), i, 1.0);
+        }
+        let mut b = StratumSummaries::new(sketch, 9);
+        b.observe(StratumId::new(1), 100, 50.0);
+        let mut c = StratumSummaries::new(sketch, 9);
+        c.observe(StratumId::new(0), 200, 7.0);
+        root.ingest_summaries(vec![(0, a), (1, c)]);
+        root.ingest_summaries(vec![(0, b)]);
+        let results = root.advance_watermark(SEC);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.window, 0);
+        assert_eq!(r.estimate.value, 60.0, "moments merge exactly");
+        assert_eq!(r.estimate.variance, 0.0);
+        assert_eq!(r.count_hat, 11.0);
+        assert_eq!(r.queries.count().map(|e| e.value), Some(11.0));
+        assert_eq!(
+            r.queries.top_k(1).map(|top| top[0].0),
+            Some(StratumId::new(1))
+        );
+        assert!(r.queries.quantile(0.5).is_some());
+        assert_eq!(r.per_stratum[&StratumId::new(1)].value, 50.0);
+        assert!(r.sampled_items > 0);
+        let rest = root.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].estimate.value, 7.0);
+        assert_eq!(root.windows_emitted(), 2);
+    }
+
+    #[test]
+    fn sketch_root_drops_late_summaries_with_exact_counts() {
+        use approxiot_core::{SketchConfig, StratumSummaries};
+        let mut root = RootNode::new(cfg(Strategy::sketch(), 1.0, 1.0)).expect("valid");
+        let sketch = SketchConfig::default();
+        let mut w0 = StratumSummaries::new(sketch, 9);
+        for i in 0..4u64 {
+            w0.observe(StratumId::new(0), i, 1.0);
+        }
+        root.ingest_summaries(vec![(0, w0.clone())]);
+        let first = root.advance_watermark(SEC);
+        assert_eq!(first[0].dropped_late, 0);
+        // Window 0 is answered; a straggling summary for it is dropped
+        // with its exact item count tallied.
+        let mut w1 = StratumSummaries::new(sketch, 9);
+        w1.observe(StratumId::new(0), 10, 2.0);
+        root.ingest_summaries(vec![(0, w0), (1, w1)]);
+        assert_eq!(root.dropped_late(), 4);
+        let rest = root.flush();
+        assert_eq!(rest.len(), 1, "no duplicate window 0 result");
+        assert_eq!(rest[0].window, 1);
+        assert_eq!(rest[0].dropped_late, 4);
     }
 
     #[test]

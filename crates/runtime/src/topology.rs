@@ -494,6 +494,26 @@ impl Topology {
         self.node_seed(self.layers.len(), 0)
     }
 
+    /// The deterministic seed of the summary sketches (sketch strategy
+    /// only) — the fourth seed family, disjoint from the sampler,
+    /// impairment and churn families by its own odd constant. Unlike
+    /// [`Topology::node_seed`] it is **tree-wide**: KLL merge requires
+    /// every node to hash items with the same seed, so one seed serves
+    /// the whole topology (per-stratum sketches decorrelate through
+    /// [`approxiot_core::stratum_sketch_seed`]).
+    pub fn sketch_seed(&self) -> u64 {
+        self.seed ^ 0xA24B_AED4_963E_E407
+    }
+
+    /// The sketch configuration, when the tree-wide strategy is
+    /// [`Strategy::Sketch`].
+    pub fn sketch_config(&self) -> Option<approxiot_core::SketchConfig> {
+        match self.strategy {
+            Strategy::Sketch(config) => Some(config),
+            _ => None,
+        }
+    }
+
     /// The parent index (in layer `layer + 1`, or the root for the last
     /// layer) that node `index` of layer `layer` forwards to.
     pub fn parent_of(&self, layer: usize, index: usize) -> usize {

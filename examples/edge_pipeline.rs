@@ -80,8 +80,7 @@ fn main() -> Result<(), EngineError> {
     for r in report.results.iter().take(5) {
         let top = r
             .queries
-            .get(QuerySpec::TopK(2))
-            .and_then(QueryValue::top_k)
+            .top_k(2)
             .and_then(|t| t.first())
             .map(|(s, _)| format!("{s}"))
             .unwrap_or_default();

@@ -65,11 +65,7 @@ fn main() -> Result<(), EngineError> {
 
     if let Some(r) = report.results.last() {
         println!("\nper-borough breakdown of window {}:", r.window);
-        if let Some(per) = r
-            .queries
-            .get(QuerySpec::SumPerStratum)
-            .and_then(QueryValue::per_stratum)
-        {
+        if let Some(per) = r.queries.per_stratum(QuerySpec::SumPerStratum) {
             for (stratum, est) in per {
                 println!(
                     "  {:>14}: ${:>12.2} ± {:>8.2}",
@@ -79,21 +75,13 @@ fn main() -> Result<(), EngineError> {
                 );
             }
         }
-        if let Some(top) = r
-            .queries
-            .get(QuerySpec::TopK(3))
-            .and_then(QueryValue::top_k)
-        {
+        if let Some(top) = r.queries.top_k(3) {
             let ranked: Vec<&str> = top.iter().map(|(s, _)| names[s.index() as usize]).collect();
             println!("  top-3 boroughs by revenue: {}", ranked.join(" > "));
         }
         println!("\nfare quantiles of window {} (95% CI):", r.window);
         for q in [0.5, 0.95] {
-            if let Some(est) = r
-                .queries
-                .get(QuerySpec::Quantile(q))
-                .and_then(QueryValue::quantile)
-            {
+            if let Some(est) = r.queries.quantile(q) {
                 println!(
                     "  p{:>2.0} fare: ${:>7.2}  [{:.2}, {:.2}]",
                     q * 100.0,

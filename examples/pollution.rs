@@ -62,8 +62,7 @@ fn main() -> Result<(), EngineError> {
         feedback.observe(r);
         let worst = r
             .queries
-            .get(QuerySpec::TopK(1))
-            .and_then(QueryValue::top_k)
+            .top_k(1)
             .and_then(|t| t.first())
             .map(|(s, _)| names[s.index() as usize])
             .unwrap_or("-");
@@ -80,11 +79,7 @@ fn main() -> Result<(), EngineError> {
     }
     if let Some(r) = last {
         println!("\nper-pollutant breakdown of the final window:");
-        if let Some(per) = r
-            .queries
-            .get(QuerySpec::SumPerStratum)
-            .and_then(QueryValue::per_stratum)
-        {
+        if let Some(per) = r.queries.per_stratum(QuerySpec::SumPerStratum) {
             for (stratum, est) in per {
                 println!(
                     "  {:>18}: {:>10.1} ± {:>6.1}",

@@ -64,21 +64,13 @@ fn main() -> Result<(), EngineError> {
         "accuracy loss    : {:.4}%",
         accuracy_loss(result.estimate.value, truth) * 100.0
     );
-    if let Some(median) = result
-        .queries
-        .get(QuerySpec::Quantile(0.5))
-        .and_then(QueryValue::quantile)
-    {
+    if let Some(median) = result.queries.quantile(0.5) {
         println!(
             "median value     : {:.2}  [{:.2}, {:.2}] (95% CI)",
             median.value, median.lo, median.hi
         );
     }
-    if let Some(top) = result
-        .queries
-        .get(QuerySpec::TopK(2))
-        .and_then(QueryValue::top_k)
-    {
+    if let Some(top) = result.queries.top_k(2) {
         println!("top strata by SUM:");
         for (stratum, est) in top {
             println!(

@@ -66,9 +66,7 @@
 //! // the weighted estimate exact up to float round-off)...
 //! assert!(accuracy_loss(result.estimate.value, truth) < 1e-9);
 //! // ...the median lands on the constant value...
-//! let median = result.queries.get(QuerySpec::Quantile(0.5))
-//!     .and_then(QueryValue::quantile)
-//!     .expect("non-empty window");
+//! let median = result.queries.quantile(0.5).expect("non-empty window");
 //! assert_eq!(median.value, 2.5);
 //! // ...and per-hop byte accounting shows the WAN savings.
 //! assert!(report.bytes.sampled_wire_bytes() < report.bytes.source_bytes());

@@ -282,11 +282,7 @@ fn multi_query_driver_answers_quantiles_on_real_workloads() {
     let true_median = all_values[all_values.len() / 2];
     for r in &report.results {
         assert_eq!(r.queries.len(), 3);
-        let median = r
-            .queries
-            .get(QuerySpec::Quantile(0.5))
-            .and_then(QueryValue::quantile)
-            .expect("non-empty window");
+        let median = r.queries.quantile(0.5).expect("non-empty window");
         assert!(median.lo <= median.value && median.value <= median.hi);
         assert!(
             (median.value - true_median).abs() / true_median < 0.5,
@@ -295,11 +291,7 @@ fn multi_query_driver_answers_quantiles_on_real_workloads() {
             median.value,
             true_median
         );
-        let top = r
-            .queries
-            .get(QuerySpec::TopK(3))
-            .and_then(QueryValue::top_k)
-            .expect("top-k answer");
+        let top = r.queries.top_k(3).expect("top-k answer");
         assert_eq!(top.len(), 3, "taxi has >= 3 boroughs");
         assert!(top[0].1.value >= top[1].1.value);
     }

@@ -108,16 +108,8 @@ fn asymmetric_four_layer_topology_is_engine_identical() {
     assert_identical(&sim, &pipeline);
     // The multi-query answers are present and non-trivial.
     let r = &sim.results[0];
-    assert!(r
-        .queries
-        .get(QuerySpec::Quantile(0.5))
-        .and_then(QueryValue::quantile)
-        .is_some());
-    let top = r
-        .queries
-        .get(QuerySpec::TopK(3))
-        .and_then(QueryValue::top_k)
-        .expect("top-k answer");
+    assert!(r.queries.quantile(0.5).is_some());
+    let top = r.queries.top_k(3).expect("top-k answer");
     assert_eq!(top.len(), 3);
     // Ranked descending by estimated stratum SUM.
     assert!(top[0].1.value >= top[1].1.value && top[1].1.value >= top[2].1.value);
@@ -183,6 +175,65 @@ fn five_layer_heterogeneous_tree_is_engine_identical() {
     // still reconstructs exactly.
     let total: f64 = sim.results.iter().map(|r| r.count_hat).sum();
     assert!((total - 3600.0).abs() < 1e-6, "count_hat {total}");
+}
+
+#[test]
+fn sketch_topology_is_engine_identical() {
+    // The PR 10 acceptance criterion: a fixed-seed sketch run — leaves
+    // summarizing, inner nodes merging, the root answering from the merged
+    // summaries — must be bit-identical across Sim and Pipeline-replay,
+    // and every inner hop must bill the exact same v3 summary-frame bytes.
+    let build = || {
+        Topology::builder()
+            .sources(5)
+            .layer(LayerSpec::new(3))
+            .layer(LayerSpec::new(2))
+            .strategy(Strategy::sketch())
+            .overall_fraction(0.3)
+            .window(Duration::from_secs(1))
+            .seed(0xE0_0E)
+            .build()
+            .expect("valid")
+    };
+    let data = noisy_intervals(4, 5, 300);
+    let sim = Driver::new(build(), multi_queries(), EngineKind::Sim)
+        .expect("valid")
+        .run(&data)
+        .expect("sim run");
+    let pipeline = Driver::new(
+        build(),
+        multi_queries(),
+        EngineKind::pipeline_deterministic(),
+    )
+    .expect("valid")
+    .run(&data)
+    .expect("pipeline run");
+    assert_eq!(sim.results.len(), 4, "one result per 1s window");
+    assert_identical(&sim, &pipeline);
+    // Every inner hop carries one v3 summary frame per node per interval;
+    // both engines bill the identical encoded length. (Hop 0 ships item
+    // frames and is billed v1 in Sim vs the v2 wire in the pipeline, like
+    // every other strategy.)
+    assert_eq!(
+        &sim.bytes.hops()[1..],
+        &pipeline.bytes.hops()[1..],
+        "inner-hop summary bytes"
+    );
+    // Moments travel losslessly: the SUM estimate is exact with zero
+    // variance, and the sketch answers the full multi-query set.
+    let truth: f64 = data.iter().flatten().map(Batch::value_sum).sum();
+    let total: f64 = sim.results.iter().map(|r| r.estimate.value).sum();
+    assert!(
+        (total - truth).abs() < 1e-6 * truth.abs(),
+        "sum {total} vs {truth}"
+    );
+    for result in &sim.results {
+        assert_eq!(result.estimate.variance, 0.0);
+        assert!(result.queries.quantile(0.5).is_some(), "median answered");
+        let top = result.queries.top_k(3).expect("top-k answered");
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1.value >= top[1].1.value && top[1].1.value >= top[2].1.value);
+    }
 }
 
 #[test]

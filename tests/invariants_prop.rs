@@ -418,3 +418,74 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case spawns both engines (the pipeline brings threads and a
+    // broker), so keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fixed-seed sketch runs are bit-identical across Sim and
+    /// Pipeline-replay for arbitrary seeds and shapes, and the inner hops
+    /// bill identical v3 summary-frame bytes.
+    #[test]
+    fn sketch_runs_are_engine_identical(
+        seed in 0u64..10_000,
+        sources in 2usize..5,
+        per_batch in 20usize..80,
+    ) {
+        let data: Vec<Vec<Batch>> = (0..2u64)
+            .map(|t| {
+                (0..sources)
+                    .map(|s| {
+                        Batch::from_items(
+                            (0..per_batch)
+                                .map(|k| {
+                                    StreamItem::with_meta(
+                                        StratumId::new(s as u32),
+                                        (s + 1) as f64 * (k % 13) as f64,
+                                        k as u64,
+                                        t * 1_000_000_000 + 1 + k as u64,
+                                    )
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let build = || {
+            Topology::builder()
+                .sources(sources)
+                .layer(LayerSpec::new(2))
+                .layer(LayerSpec::new(1))
+                .strategy(Strategy::sketch())
+                .window(Duration::from_secs(1))
+                .seed(seed)
+                .build()
+                .expect("valid")
+        };
+        let queries = || {
+            QuerySet::new()
+                .with(QuerySpec::Sum)
+                .with(QuerySpec::Quantile(0.9))
+                .with(QuerySpec::TopK(2))
+        };
+        let sim = Driver::new(build(), queries(), EngineKind::Sim)
+            .expect("valid")
+            .run(&data)
+            .expect("sim run");
+        let pipe = Driver::new(build(), queries(), EngineKind::pipeline_deterministic())
+            .expect("valid")
+            .run(&data)
+            .expect("pipeline run");
+        prop_assert_eq!(sim.results.len(), pipe.results.len());
+        for (a, b) in sim.results.iter().zip(&pipe.results) {
+            prop_assert_eq!(a.window, b.window);
+            prop_assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
+            prop_assert_eq!(a.count_hat.to_bits(), b.count_hat.to_bits());
+            prop_assert_eq!(a.sampled_items, b.sampled_items);
+            prop_assert_eq!(&a.queries, &b.queries);
+        }
+        prop_assert_eq!(&sim.bytes.hops()[1..], &pipe.bytes.hops()[1..]);
+    }
+}
